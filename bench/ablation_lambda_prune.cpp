@@ -1,0 +1,106 @@
+// Ablation: post-training Λ pruning — Fig. 7's observation made
+// actionable.
+//
+// The paper's parameter-distribution analysis shows the trained Λᵏ
+// concentrates near zero in several layers; those eigendirections gate no
+// meaningful quadratic response.  This bench trains the quadratic CNN,
+// prunes λ entries below a relative threshold, and reports:
+//   * per-layer mean effective rank before/after,
+//   * accuracy before/after pruning (no retraining),
+// sweeping the threshold to find how much of the quadratic machinery the
+// network actually uses.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/resnet.h"
+#include "nn/checkpoint.h"
+#include "train/lambda_prune.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Ablation: post-training Λ pruning (Fig. 7 made actionable)");
+
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 10;
+  data_config.image_size = 16;
+  data_config.noise_std = 0.7f;
+  const auto train_set =
+      data::make_synthetic_images(data_config, 500 * scale, 511);
+  const auto test_set =
+      data::make_synthetic_images(data_config, 250 * scale, 512);
+
+  ResNetConfig config;
+  config.depth = 14;
+  config.num_classes = 10;
+  config.image_size = 16;
+  config.base_width = 10;
+  // The paper trains this experiment for 180-250 epochs at lambda lr
+  // 1e-4 against base 0.1 (scale 1e-3).  Our scaled runs take ~25x
+  // fewer steps, so lambda's lr scale is raised to keep the total
+  // lambda learning (lr x steps) comparable -- without this the
+  // quadratic parameters stay at their init and the analysis reads
+  // initialization noise instead of trained structure.
+  config.spec = NeuronSpec::proposed(9, /*lambda_lr=*/0.05f);
+  config.seed = 37;
+  auto net = make_cifar_resnet(config);
+
+  train::TrainerConfig tc;
+  tc.epochs = 8 * scale;
+  tc.batch_size = 32;
+  tc.lr = 0.05f;
+  tc.clip_norm = 5.0f;
+  tc.augment_pad = 1;
+  train::Trainer trainer(*net, tc);
+  trainer.fit(train_set, test_set);
+  const double acc_float = trainer.evaluate(test_set).test_accuracy;
+
+  // Per-layer effective rank of the trained network (threshold 5%).
+  print_header("Per-layer mean effective rank after training (k = 9)");
+  CsvWriter rank_csv(
+      qdnn::bench::results_dir() + "/ablation_lambda_rank.csv",
+      {"layer", "effective_rank"});
+  for (nn::Parameter* p : net->parameters()) {
+    if (p->group != "quadratic_lambda") continue;
+    const double er = train::effective_rank(p->value, 0.05);
+    std::printf("  %-28s %.2f\n", p->name.c_str(), er);
+    rank_csv.write_row(std::vector<std::string>{p->name, fmt(er, 3)});
+  }
+
+  print_header("Accuracy vs pruning threshold (no retraining)");
+  CsvWriter csv(qdnn::bench::results_dir() + "/ablation_lambda_prune.csv",
+                {"threshold", "zeroed", "test_accuracy"});
+  print_row({"threshold", "lambda zeroed", "test acc"});
+  print_rule();
+  print_row({"none", "0", fmt(100 * acc_float, 2)});
+  csv.write_row(std::vector<std::string>{"0", "0", fmt(acc_float, 4)});
+
+  for (double threshold : {0.01, 0.05, 0.20, 0.50}) {
+    auto clone = make_cifar_resnet(config);
+    nn::copy_state(*net, *clone);
+    index_t zeroed = 0;
+    for (const auto& s : train::prune_lambdas(*clone, threshold))
+      zeroed += s.zeroed;
+    train::Trainer eval_trainer(*clone, tc);
+    const double acc = eval_trainer.evaluate(test_set).test_accuracy;
+    print_row({fmt(threshold, 2), std::to_string(zeroed),
+               fmt(100 * acc, 2)});
+    csv.write_row(std::vector<std::string>{
+        fmt(threshold, 2), std::to_string(zeroed), fmt(acc, 4)});
+  }
+
+  std::printf(
+      "\nExpected shape: small thresholds zero a sizeable fraction of λ\n"
+      "with no accuracy loss (those directions were never used — Fig. 7's\n"
+      "near-zero layers), while aggressive thresholds eventually bite.\n"
+      "Layers with low effective rank could be exported at reduced k.\n");
+  return 0;
+}

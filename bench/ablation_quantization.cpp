@@ -1,0 +1,123 @@
+// Ablation: post-training quantization of quadratic vs linear networks.
+//
+// The paper's storage argument (Table I, Eq. 9) counts fp32 parameters;
+// deployed models ship integer weights.  Two questions matter for the
+// proposed neuron:
+//   1. Does the quadratic response — which *squares* the quantized
+//      features — amplify weight-quantization error enough to lose the
+//      paper's efficiency edge at int8?  (Expected: no; the integer work
+//      is the same GEMM a linear layer does and Λ stays fp32-scale.)
+//   2. How low can the bit width go before accuracy collapses, and does
+//      the quadratic network degrade earlier than the linear baseline?
+//
+// Method: train one linear-neuron CNN and one proposed-neuron CNN to
+// convergence on the synthetic task, fake-quantize the weights per channel
+// at b ∈ {8, 6, 4, 3, 2} bits, and evaluate without retraining.  Storage
+// uses quantize::storage_report (int payload + per-channel scales).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/resnet.h"
+#include "nn/checkpoint.h"
+#include "quantize/quantize_model.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+using quadratic::NeuronSpec;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Ablation: post-training quantization (linear vs proposed)");
+
+  // 10 classes at noise 0.7 (the layer-placement configuration) keeps the
+  // float networks off the 100% ceiling so per-bit degradation shows.
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 10;
+  data_config.image_size = 16;
+  data_config.noise_std = 0.7f;
+  const auto train_set =
+      data::make_synthetic_images(data_config, 500 * scale, 411);
+  const auto test_set =
+      data::make_synthetic_images(data_config, 250 * scale, 412);
+
+  struct Variant {
+    const char* label;
+    NeuronSpec spec;
+  };
+  const Variant variants[] = {
+      {"linear", NeuronSpec::linear()},
+      {"proposed(k=9)", NeuronSpec::proposed(9)},
+  };
+
+  CsvWriter csv(qdnn::bench::results_dir() + "/ablation_quantization.csv",
+                {"variant", "bits", "test_accuracy", "weight_kib",
+                 "compression"});
+  print_row({"variant", "bits", "test acc", "weights/KiB", "compress"});
+  print_rule();
+
+  for (const Variant& variant : variants) {
+    ResNetConfig config;
+    config.depth = 14;
+    config.num_classes = 10;
+    config.image_size = 16;
+    config.base_width = 10;
+    config.spec = variant.spec;
+    config.seed = 35;
+    auto net = make_cifar_resnet(config);
+
+    train::TrainerConfig tc;
+    tc.epochs = 8 * scale;
+    tc.batch_size = 32;
+    tc.lr = 0.05f;
+    tc.clip_norm = 5.0f;
+    tc.augment_pad = 1;
+    train::Trainer trainer(*net, tc);
+    trainer.fit(train_set, test_set);
+    const double acc_float = trainer.evaluate(test_set).test_accuracy;
+    {
+      quantize::QuantizeConfig qc;  // fp32 row: report float storage
+      auto report = quantize::storage_report(*net, qc);
+      print_row({variant.label, "32", fmt(100 * acc_float, 2),
+                 fmt(report.total_fp32_bytes / 1024.0, 1), "1.00x"});
+      csv.write_row(std::vector<std::string>{
+          variant.label, "32", fmt(acc_float, 4),
+          fmt(report.total_fp32_bytes / 1024.0, 2), "1.0"});
+    }
+
+    for (int bits : {8, 6, 4, 3, 2}) {
+      auto clone = make_cifar_resnet(config);
+      // copy_state carries BatchNorm running statistics along with the
+      // weights — without them the clone's eval-mode accuracy is garbage.
+      nn::copy_state(*net, *clone);
+      quantize::QuantizeConfig qc;
+      qc.weight_bits = bits;
+      quantize::quantize_parameters(*clone, qc);
+      const auto report = quantize::storage_report(*clone, qc);
+      train::TrainerConfig eval_tc = tc;
+      train::Trainer eval_trainer(*clone, eval_tc);
+      const double acc = eval_trainer.evaluate(test_set).test_accuracy;
+      print_row({variant.label, std::to_string(bits), fmt(100 * acc, 2),
+                 fmt(report.total_quant_bytes / 1024.0, 1),
+                 fmt(report.compression(), 2) + "x"});
+      csv.write_row(std::vector<std::string>{
+          variant.label, std::to_string(bits), fmt(acc, 4),
+          fmt(report.total_quant_bytes / 1024.0, 2),
+          fmt(report.compression(), 2)});
+    }
+    print_rule();
+  }
+
+  std::printf(
+      "\nExpected shape: both networks hold their float accuracy at 8 and\n"
+      "6 bits and collapse by 2 bits; the proposed network tracks the\n"
+      "linear baseline's degradation curve (its integer arithmetic is the\n"
+      "same GEMM), so the paper's parameter savings survive deployment\n"
+      "quantization — int8 'ours' is ~4x smaller again than fp32 'ours'.\n");
+  return 0;
+}

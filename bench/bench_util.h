@@ -1,0 +1,55 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints a paper-vs-measured table to stdout and mirrors its
+// rows to bench_results/<name>.csv.  QDNN_BENCH_SCALE (default 1) scales
+// dataset sizes and epochs up for longer, higher-fidelity runs; the
+// default is sized for a single CPU core.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/io.h"
+
+namespace qdnn::bench {
+
+inline int bench_scale() {
+  const char* env = std::getenv("QDNN_BENCH_SCALE");
+  if (!env) return 1;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf(
+      "-----------------------------------------------------------------"
+      "-----------\n");
+}
+
+// Fixed-width row printing: columns are padded to 14 chars.
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, v);
+  return buf;
+}
+
+inline std::string results_dir() { return "bench_results"; }
+
+}  // namespace qdnn::bench

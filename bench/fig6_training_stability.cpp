@@ -1,0 +1,108 @@
+// Fig. 6 reproduction: training stability of kervolution (KNN-n, [14])
+// vs the proposed neuron on ResNet-18.
+//
+// The paper trains ResNet-18 on ImageNet with kervolution deployed in the
+// first n ∈ {3, 7, 11, 15} conv layers and shows that deep deployment
+// destabilizes training (loss divergence / wild fluctuation), while the
+// proposed neuron trains stably in ALL layers.  Here the substrate is the
+// synthetic ImageNet substitute at reduced scale; the mechanism under
+// test — polynomial-kernel amplification compounding with depth — is
+// identical (see tests/quadratic/kervolution_test.cpp for the unit-level
+// demonstration).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "models/resnet.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+using quadratic::NeuronKind;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Fig 6: training stability — ResNet-18, KNN-n vs ours");
+
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 8;
+  data_config.image_size = 16;
+  data_config.noise_std = 0.2f;
+  const auto train_set =
+      data::make_synthetic_images(data_config, 400 * scale, 31);
+  const auto test_set =
+      data::make_synthetic_images(data_config, 160 * scale, 32);
+
+  struct Config {
+    std::string label;
+    NeuronSpec spec;
+    index_t layer_limit;
+  };
+  NeuronSpec kerv = NeuronSpec::of(NeuronKind::kKervolution);
+  kerv.kerv_degree = 2;
+  kerv.kerv_c = 1.0f;
+  const std::vector<Config> configs = {
+      {"Ours(all layers)", NeuronSpec::proposed(9), -1},
+      {"KNN-3", kerv, 3},
+      {"KNN-7", kerv, 7},
+      {"KNN-11", kerv, 11},
+      {"KNN-15", kerv, 15},
+  };
+
+  CsvWriter csv(qdnn::bench::results_dir() + "/fig6_stability.csv",
+                {"config", "epoch", "train_loss", "train_accuracy",
+                 "diverged"});
+
+  print_row({"config", "epochs run", "final loss", "final acc",
+             "stable?"});
+  print_rule();
+  for (const Config& c : configs) {
+    ResNetConfig net_config;
+    net_config.num_classes = 8;
+    net_config.image_size = 16;
+    net_config.base_width = 8;
+    net_config.spec = c.spec;
+    net_config.quad_layer_limit = c.layer_limit;
+    net_config.seed = 42;
+    auto net = make_resnet18(net_config);
+
+    train::TrainerConfig tc;
+    tc.epochs = 5 * scale;
+    tc.batch_size = 32;
+    // The paper's ImageNet recipe: lr 0.1, no gradient clipping — which is
+    // exactly what exposes kervolution's instability.
+    tc.lr = 0.1f;
+    tc.clip_norm = 0.0f;
+    tc.augment_pad = 2;
+    tc.seed = 300;
+    train::Trainer trainer(*net, tc);
+    const auto history = trainer.fit(train_set, test_set);
+
+    // Stability verdict: training divergence (aborts the run) or a
+    // non-finite eval on the FINAL epoch counts as unstable; transient
+    // eval overflows while BN running stats settle do not.
+    bool train_diverged = false;
+    for (const auto& e : history) {
+      train_diverged = train_diverged || e.train_diverged;
+      csv.write_row(std::vector<std::string>{
+          c.label, std::to_string(e.epoch), fmt(e.train_loss, 4),
+          fmt(e.train_accuracy, 4), e.diverged ? "1" : "0"});
+    }
+    const auto& last = history.back();
+    const bool unstable = train_diverged || last.eval_diverged;
+    print_row({c.label, std::to_string(history.size()),
+               unstable ? "NaN/Inf" : fmt(last.train_loss, 3),
+               unstable ? "-" : fmt(100 * last.test_accuracy, 2),
+               unstable ? "DIVERGED" : "stable"});
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 6): ours and KNN-3 train stably;\n"
+      "KNN-11/KNN-15 (deep kervolution deployment) diverge or fluctuate\n"
+      "badly.  Divergence here = non-finite loss/activations detected.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Fig. 7 reproduction: distribution of linear vs quadratic parameters
+// per layer of a trained quadratic ResNet-20 on CIFAR-100.
+//
+// The paper's observation: quadratic parameters (Λᵏ) have strongly
+// depth-dependent spread — pronounced in some layers (1, 6, 8 in the
+// paper) and collapsed toward zero in others (11, 13, 19) — while linear
+// parameters keep a similar spread everywhere.  Conclusion: quadratic
+// neurons are not equally useful at every depth, but first-layer-only
+// deployment is also not optimal.
+//
+// Substrate: synthetic CIFAR-100 substitute at reduced scale; the bench
+// prints per-layer [q05, q95] ranges for both groups and the dispersion
+// statistic the claim rests on.
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/param_stats.h"
+#include "bench_util.h"
+#include "models/resnet.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Fig 7: parameter distributions, quadratic ResNet-20");
+
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 20;  // CIFAR-100 substitute, scaled classes
+  data_config.image_size = 16;
+  data_config.noise_std = 0.6f;
+  data_config.shape_amp = 0.3f;
+  const auto train_set =
+      data::make_synthetic_images(data_config, 800 * scale, 51);
+  const auto test_set =
+      data::make_synthetic_images(data_config, 200 * scale, 52);
+
+  ResNetConfig config;
+  config.depth = 20;
+  config.num_classes = 20;
+  config.image_size = 16;
+  config.base_width = 8;
+  // The paper trains this experiment for 180-250 epochs at lambda lr
+  // 1e-4 against base 0.1 (scale 1e-3).  Our scaled runs take ~25x
+  // fewer steps, so lambda's lr scale is raised to keep the total
+  // lambda learning (lr x steps) comparable -- without this the
+  // quadratic parameters stay at their init and the analysis reads
+  // initialization noise instead of trained structure.
+  config.spec = NeuronSpec::proposed(9, /*lambda_lr=*/1.0f);
+  config.seed = 13;
+  auto net = make_cifar_resnet(config);
+  // The paper's Fig. 7 shows unused layers' lambdas collapsing toward
+  // zero, which requires weight decay to act on them; qdnn's layers opt
+  // lambda out of decay by default (the conservative training choice), so
+  // this analysis opts it back in — matching the paper's recipe, where
+  // the global 5e-4 decay applies to every parameter.
+  for (nn::Parameter* p : net->parameters())
+    if (p->group == "quadratic_lambda") p->decay = true;
+
+  train::TrainerConfig tc;
+  tc.epochs = 18 * scale;
+  tc.batch_size = 64;  // the paper trains this experiment at batch 64
+  tc.lr = 0.05f;
+  tc.clip_norm = 5.0f;
+  tc.lr_milestones = {index_t(13 * scale)};
+  tc.augment_pad = 2;
+  train::Trainer trainer(*net, tc);
+  const auto history = trainer.fit(train_set, test_set);
+  std::printf("trained %zu epochs, final test acc %.2f%%\n\n",
+              history.size(),
+              100 * history.back().test_accuracy);
+
+  const auto stats = analysis::per_layer_stats(net->conv_layers());
+  CsvWriter csv(qdnn::bench::results_dir() + "/fig7_param_stats.csv",
+                {"layer", "group", "count", "min", "max", "mean", "stddev",
+                 "q05", "q95"});
+  print_row({"layer", "group", "q05", "q95", "stddev"});
+  print_rule();
+  std::vector<double> lambda_spread, linear_spread;
+  for (const auto& s : stats) {
+    csv.write_row(std::vector<std::string>{
+        s.layer, s.group, std::to_string(s.count), fmt(s.min, 5),
+        fmt(s.max, 5), fmt(s.mean, 5), fmt(s.stddev, 5), fmt(s.q05, 5),
+        fmt(s.q95, 5)});
+    if (s.group == "quadratic_lambda" || s.group == "linear")
+      print_row({s.layer, s.group, fmt(s.q05, 4), fmt(s.q95, 4),
+                 fmt(s.stddev, 4)});
+    if (s.group == "quadratic_lambda")
+      lambda_spread.push_back(s.q95 - s.q05);
+    if (s.group == "linear") linear_spread.push_back(s.q95 - s.q05);
+  }
+
+  // Dispersion-of-spread statistic: coefficient of variation of the
+  // per-layer spread.  The paper's claim is that this is much larger for
+  // the quadratic parameters than the linear ones.
+  auto coeff_var = [](const std::vector<double>& v) {
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(v.size());
+    return mean > 0 ? std::sqrt(var) / mean : 0.0;
+  };
+  const double cv_lambda = coeff_var(lambda_spread);
+  const double cv_linear = coeff_var(linear_spread);
+  std::printf(
+      "\nSpread variability across depth (coeff. of variation of "
+      "q95-q05):\n  quadratic (lambda): %.3f\n  linear (w):         %.3f\n"
+      "Expected shape (paper): quadratic >> linear — quadratic parameters\n"
+      "matter a lot in some layers and collapse toward zero in others.\n"
+      "%s\n",
+      cv_lambda, cv_linear,
+      cv_lambda > cv_linear ? "[shape HOLDS]" : "[shape DOES NOT HOLD]");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Fig. 8 reproduction: response visualization of the linear vs quadratic
+// parts of the proposed neuron.
+//
+// The paper feeds images to a trained quadratic CNN and shows that the
+// linear response (wᵀx + b) highlights edges / high-frequency detail
+// while the quadratic response (y₂ᵏ) follows the whole object shape /
+// low-frequency structure.  This bench:
+//   1. trains a small quadratic CNN on the synthetic shape dataset,
+//   2. extracts both responses for one image per class,
+//   3. writes them as PGM images under bench_results/fig8/,
+//   4. quantifies the claim with a Haar low/high-frequency energy split:
+//      the quadratic response should carry a larger low-frequency energy
+//      fraction than the linear one.
+#include <cstdio>
+
+#include "analysis/response_map.h"
+#include "bench_util.h"
+#include "models/resnet.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Fig 8: linear vs quadratic response maps");
+
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 4;
+  data_config.image_size = 20;
+  data_config.noise_std = 0.15f;
+  const auto train_set =
+      data::make_synthetic_images(data_config, 400 * scale, 61);
+  const auto test_set =
+      data::make_synthetic_images(data_config, 120 * scale, 62);
+
+  // Small quadratic CNN whose first layer we inspect.
+  ResNetConfig config;
+  config.depth = 8;
+  config.num_classes = 4;
+  config.image_size = 20;
+  config.base_width = 10;
+  // The paper trains this experiment for 180-250 epochs at lambda lr
+  // 1e-4 against base 0.1 (scale 1e-3).  Our scaled runs take ~25x
+  // fewer steps, so lambda's lr scale is raised to keep the total
+  // lambda learning (lr x steps) comparable -- without this the
+  // quadratic parameters stay at their init and the analysis reads
+  // initialization noise instead of trained structure.
+  config.spec = NeuronSpec::proposed(9, /*lambda_lr=*/0.05f);
+  config.seed = 23;
+  auto net = make_cifar_resnet(config);
+
+  train::TrainerConfig tc;
+  tc.epochs = 5 * scale;
+  tc.batch_size = 32;
+  tc.lr = 0.05f;
+  tc.clip_norm = 5.0f;
+  tc.augment_pad = 2;
+  train::Trainer trainer(*net, tc);
+  const auto history = trainer.fit(train_set, test_set);
+  std::printf("trained, final test acc %.2f%%\n\n",
+              100 * history.back().test_accuracy);
+
+  // The stem is the ProposedQuadConv2d we visualize, exactly as the paper
+  // probes an early conv layer.
+  auto* stem =
+      dynamic_cast<quadratic::ProposedQuadConv2d*>(net->conv_layers()[0]);
+  QDNN_CHECK(stem != nullptr, "stem is not a proposed quadratic conv");
+
+  CsvWriter csv(qdnn::bench::results_dir() + "/fig8_energy_split.csv",
+                {"image", "filter", "linear_low_fraction",
+                 "quadratic_low_fraction"});
+  print_row({"image", "filter", "lin low-freq", "quad low-freq"});
+  print_rule();
+
+  double lin_sum = 0.0, quad_sum = 0.0;
+  int count = 0;
+  for (index_t label = 0; label < 4; ++label) {
+    const Tensor image =
+        data::render_class_prototype(data_config, label, 70 + label);
+    const analysis::ResponsePair pair =
+        analysis::split_responses(*stem, image);
+    const index_t oh = pair.linear.dim(1), ow = pair.linear.dim(2);
+    for (index_t f = 0; f < pair.linear.dim(0); ++f) {
+      Tensor lin{Shape{oh, ow}};
+      Tensor quad{Shape{oh, ow}};
+      for (index_t i = 0; i < oh * ow; ++i) {
+        lin[i] = pair.linear[f * oh * ow + i];
+        quad[i] = pair.quadratic[f * oh * ow + i];
+      }
+      const auto dir = qdnn::bench::results_dir() + "/fig8";
+      write_pgm(dir + "/image" + std::to_string(label) + "_f" +
+                    std::to_string(f) + "_linear.pgm",
+                lin);
+      write_pgm(dir + "/image" + std::to_string(label) + "_f" +
+                    std::to_string(f) + "_quadratic.pgm",
+                quad);
+      const double lin_low =
+          analysis::frequency_energy_split(lin).low_fraction();
+      const double quad_low =
+          analysis::frequency_energy_split(quad).low_fraction();
+      lin_sum += lin_low;
+      quad_sum += quad_low;
+      ++count;
+      print_row({"class" + std::to_string(label), std::to_string(f),
+                 fmt(lin_low, 3), fmt(quad_low, 3)});
+      csv.write_row(std::vector<std::string>{
+          std::to_string(label), std::to_string(f), fmt(lin_low, 4),
+          fmt(quad_low, 4)});
+    }
+  }
+  const double lin_mean = lin_sum / count, quad_mean = quad_sum / count;
+  std::printf(
+      "\nMean low-frequency energy fraction: linear %.3f, quadratic "
+      "%.3f\nExpected shape (paper): quadratic > linear — the quadratic\n"
+      "response follows whole-object/low-frequency structure while the\n"
+      "linear part reacts to edges/texture.  %s\n"
+      "PGM maps written to bench_results/fig8/.\n",
+      lin_mean, quad_mean,
+      quad_mean > lin_mean ? "[shape HOLDS]" : "[shape DOES NOT HOLD]");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Engineering micro-benchmarks (google-benchmark): GEMM, im2col conv,
+// eigendecomposition, and forward/backward throughput of each neuron
+// family at equal layer width — the empirical counterpart of Table I's
+// MAC counts.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "linalg/eig.h"
+#include "linalg/gemm.h"
+#include "nn/conv2d.h"
+#include "quadratic/quad_conv.h"
+#include "quantize/quantized_modules.h"
+
+using namespace qdnn;
+using quadratic::NeuronKind;
+using quadratic::NeuronSpec;
+
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t{std::move(shape)};
+  rng.fill_uniform(t, -1.0f, 1.0f);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Tensor a = random_tensor(Shape{n, n}, 1);
+  const Tensor b = random_tensor(Shape{n, n}, 2);
+  Tensor c{Shape{n, n}};
+  for (auto _ : state) {
+    linalg::gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Eigh(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(3);
+  Tensor m{Shape{n, n}};
+  rng.fill_normal(m, 0.0f, 1.0f);
+  m = linalg::symmetrize(m);
+  for (auto _ : state) {
+    auto result = linalg::eigh(m);
+    benchmark::DoNotOptimize(result.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_Eigh)->Arg(16)->Arg(48)->Arg(96);
+
+// Forward pass of one conv layer per neuron family, equal target width.
+void conv_forward_bench(benchmark::State& state, const NeuronSpec& spec) {
+  Rng rng(4);
+  auto layer =
+      quadratic::make_conv_neuron(spec, 16, 16, 3, 1, 1, rng, "bench");
+  const Tensor x = random_tensor(Shape{4, 16, 16, 16}, 5);
+  for (auto _ : state) {
+    Tensor y = layer->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void BM_ConvLinear(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::linear());
+}
+void BM_ConvProposed(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::proposed(9));
+}
+void BM_ConvQuad1(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::of(NeuronKind::kQuad1));
+}
+void BM_ConvQuad2(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::of(NeuronKind::kQuad2));
+}
+void BM_ConvLowRank(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::of(NeuronKind::kLowRank, 9));
+}
+void BM_ConvKervolution(benchmark::State& state) {
+  conv_forward_bench(state, NeuronSpec::of(NeuronKind::kKervolution));
+}
+BENCHMARK(BM_ConvLinear);
+BENCHMARK(BM_ConvProposed);
+BENCHMARK(BM_ConvQuad1);
+BENCHMARK(BM_ConvQuad2);
+BENCHMARK(BM_ConvLowRank);
+BENCHMARK(BM_ConvKervolution);
+
+// Forward+backward of the proposed conv vs linear conv — the end-to-end
+// training-cost comparison.
+void BM_TrainStepLinear(benchmark::State& state) {
+  Rng rng(6);
+  nn::Conv2d conv(8, 8, 3, 1, 1, rng);
+  const Tensor x = random_tensor(Shape{4, 8, 12, 12}, 7);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    Tensor g = conv.backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+void BM_TrainStepProposed(benchmark::State& state) {
+  Rng rng(8);
+  quadratic::ProposedQuadConv2d conv(8, 1, 3, 1, 1, 7, rng);
+  const Tensor x = random_tensor(Shape{4, 8, 12, 12}, 9);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x);
+    Tensor g = conv.backward(y);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_TrainStepLinear);
+BENCHMARK(BM_TrainStepProposed);
+
+// Integer deployment kernels: int8 GEMM vs the fp32 GEMM it replaces,
+// and the full quantized proposed-conv forward vs its float source.
+void BM_GemmInt8(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Rng rng(10);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(255) - 127);
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(255) - 127);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    quantize::gemm_i8(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QuantizedProposedConvForward(benchmark::State& state) {
+  Rng rng(11);
+  quadratic::ProposedQuadConv2d conv(16, 2, 3, 1, 1, 7, rng);
+  const Tensor sample = random_tensor(Shape{4, 16, 16, 16}, 12);
+  quantize::QuantizedProposedConv2d qconv(conv, sample, 8);
+  const Tensor x = random_tensor(Shape{4, 16, 16, 16}, 13);
+  for (auto _ : state) {
+    Tensor y = qconv.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_QuantizedProposedConvForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

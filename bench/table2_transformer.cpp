@@ -1,0 +1,149 @@
+// Table II reproduction: Transformer machine translation with quadratic
+// attention projections.
+//
+// Paper setup: WMT14 En→De, newstest2014, BLEU under four evaluation
+// settings (13a / International tokenization × cased / uncased), baseline
+// Transformer (15.7M params) vs quadratic Transformer (12.6M, −20.3%)
+// with Λ learning rates 1e-4 / 1e-5 / 1e-6.
+//
+// Here the corpus is the synthetic translation task (see DESIGN.md): the
+// quadratic model uses the proposed neuron in all four MHA projections at
+// reduced projection width, which is where the >20% parameter saving
+// comes from; BLEU is scored with this repo's 13a/international
+// tokenizers, cased and uncased.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "train/seq2seq_trainer.h"
+
+using namespace qdnn;
+using qdnn::bench::bench_scale;
+using qdnn::bench::fmt;
+using qdnn::bench::print_header;
+using qdnn::bench::print_row;
+using qdnn::bench::print_rule;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  bool quadratic;
+  float lambda_lr_scale;  // relative to the base LR (paper: Λ lr 1e-4..1e-6
+                          // against much larger base)
+};
+
+models::TransformerConfig model_config(const Variant& v) {
+  models::TransformerConfig config;
+  config.src_vocab = 256;
+  config.tgt_vocab = 256;
+  config.d_model = 48;
+  config.n_heads = 4;
+  config.n_layers = 2;
+  config.d_ff = 96;
+  config.max_len = 32;
+  config.dropout = 0.1f;
+  config.seed = 17;
+  if (v.quadratic) {
+    // Proposed neurons in all MHA projections at reduced width: 24 = 4
+    // heads × 6, divisible by rank+1 = 4 (k = 3 at this scale; the paper
+    // uses k = 9 at d_model 512).
+    config.proj_dim = 24;
+    config.spec = quadratic::NeuronSpec::proposed(3, v.lambda_lr_scale);
+  } else {
+    config.proj_dim = 48;
+    config.spec = quadratic::NeuronSpec::linear();
+  }
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench_scale();
+  print_header("Table II: translation quality and parameter cost");
+
+  data::TranslationConfig corpus_config;
+  corpus_config.train_sentences = 1500 * scale;
+  corpus_config.test_sentences = 96;
+  const data::TranslationCorpus corpus =
+      make_translation_corpus(corpus_config);
+  std::printf("synthetic corpus: %zu train / %zu test sentences, "
+              "src vocab %lld, tgt vocab %lld\n\n",
+              corpus.train.size(), corpus.test.size(),
+              static_cast<long long>(corpus.src_vocab.size()),
+              static_cast<long long>(corpus.tgt_vocab.size()));
+
+  const std::vector<Variant> variants = {
+      {"Baseline", false, 1.0f},
+      {"Quad 1E-4", true, 1e-1f},
+      {"Quad 1E-5", true, 1e-2f},
+      {"Quad 1E-6", true, 1e-3f},
+  };
+
+  const std::vector<std::pair<std::string, train::BleuSettings>> settings =
+      {
+          {"13a/cased", {data::TokenizerKind::k13a, true}},
+          {"13a/uncased", {data::TokenizerKind::k13a, false}},
+          {"intl/cased", {data::TokenizerKind::kInternational, true}},
+          {"intl/uncased", {data::TokenizerKind::kInternational, false}},
+      };
+
+  CsvWriter csv(qdnn::bench::results_dir() + "/table2_transformer.csv",
+                {"model", "params", "setting", "bleu"});
+
+  struct Row {
+    std::string label;
+    index_t params;
+    std::vector<double> bleu;
+  };
+  std::vector<Row> rows;
+  for (const Variant& v : variants) {
+    models::Transformer model(model_config(v));
+    train::Seq2SeqConfig tc;
+    tc.epochs = 24 * scale;
+    tc.batch_size = 32;
+    tc.peak_lr = 5e-3f;  // Adam + warmup/inv-sqrt (Vaswani recipe)
+    tc.warmup_steps = 100;
+    tc.seed = 400;
+    train::Seq2SeqTrainer trainer(model, tc);
+    trainer.fit(corpus);
+
+    Row row{v.label, model.num_parameters(), {}};
+    for (const auto& [name, setting] : settings) {
+      const data::BleuResult bleu =
+          trainer.evaluate_bleu(corpus, setting);
+      row.bleu.push_back(bleu.bleu);
+      csv.write_row(std::vector<std::string>{
+          v.label, std::to_string(row.params), name, fmt(bleu.bleu, 2)});
+    }
+    rows.push_back(row);
+    std::printf("trained %-10s (params %s k)\n", v.label.c_str(),
+                fmt(row.params / 1e3, 1).c_str());
+  }
+
+  print_header("BLEU by evaluation setting (higher is better)");
+  print_row({"setting", rows[0].label, rows[1].label, rows[2].label,
+             rows[3].label});
+  print_rule();
+  for (std::size_t s = 0; s < settings.size(); ++s)
+    print_row({settings[s].first, fmt(rows[0].bleu[s], 2),
+               fmt(rows[1].bleu[s], 2), fmt(rows[2].bleu[s], 2),
+               fmt(rows[3].bleu[s], 2)});
+  print_rule();
+  print_row({"#params/k", fmt(rows[0].params / 1e3, 1),
+             fmt(rows[1].params / 1e3, 1), fmt(rows[2].params / 1e3, 1),
+             fmt(rows[3].params / 1e3, 1)});
+
+  const double delta =
+      100.0 *
+      (static_cast<double>(rows[1].params) - rows[0].params) /
+      rows[0].params;
+  std::printf(
+      "\nParameter delta quad vs baseline: %+.1f%% (paper: -20.3%%, "
+      "15.7M -> 12.6M).\n"
+      "Expected shape: quadratic models reach equal-or-better BLEU with\n"
+      ">20%% fewer parameters; FLOPs track parameters (~2 MACs/param per\n"
+      "token, Kaplan et al.), so the FLOP saving matches.\n",
+      delta);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: image classification with a quadratic ResNet — the paper's
+// Sec. IV-A workload end to end on the synthetic CIFAR-10 substitute.
+//
+// Trains a linear ResNet-14 and a quadratic (proposed, k=9) ResNet-14
+// side by side, reporting per-epoch accuracy, final parameter/MAC costs,
+// and the per-group parameter breakdown.
+//
+// Run: ./build/examples/image_classification [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/counters.h"
+#include "models/resnet.h"
+#include "train/trainer.h"
+
+using namespace qdnn;
+using namespace qdnn::models;
+
+int main(int argc, char** argv) {
+  const index_t epochs = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  data::SyntheticImageConfig data_config;
+  data_config.num_classes = 10;
+  data_config.image_size = 16;
+  data_config.noise_std = 0.6f;
+  data_config.shape_amp = 0.3f;
+  const auto train_set = data::make_synthetic_images(data_config, 500, 1);
+  const auto test_set = data::make_synthetic_images(data_config, 250, 2);
+  std::printf("synthetic CIFAR-10 substitute: %lld train / %lld test\n\n",
+              static_cast<long long>(train_set.size()),
+              static_cast<long long>(test_set.size()));
+
+  for (bool quadratic : {false, true}) {
+    ResNetConfig config;
+    config.depth = 14;
+    config.num_classes = 10;
+    config.image_size = 16;
+    config.base_width = 8;
+    config.spec = quadratic ? NeuronSpec::proposed(9, /*lambda_lr=*/1e-3f)
+                            : NeuronSpec::linear();
+    config.seed = 5;
+    auto net = make_cifar_resnet(config);
+
+    const auto breakdown = analysis::count_parameters(*net);
+    std::printf("=== %s ResNet-14: %lld params, %.2f MMACs/image ===\n",
+                quadratic ? "quadratic(k=9)" : "linear",
+                static_cast<long long>(breakdown.total),
+                net->macs_per_image() / 1e6);
+    for (const auto& [group, count] : breakdown.by_group)
+      std::printf("    %-18s %lld\n", group.c_str(),
+                  static_cast<long long>(count));
+
+    train::TrainerConfig tc;
+    tc.epochs = epochs;
+    tc.batch_size = 32;
+    tc.lr = 0.05f;
+    tc.clip_norm = 5.0f;
+    tc.lr_milestones = {epochs * 2 / 3};
+    tc.augment_pad = 2;  // the paper's pad-crop + flip recipe
+    train::Trainer trainer(*net, tc);
+    trainer.on_epoch = [](const train::EpochStats& e) {
+      std::printf("  epoch %2lld  train loss %.4f acc %5.1f%%  test acc "
+                  "%5.1f%%%s\n",
+                  static_cast<long long>(e.epoch), e.train_loss,
+                  100 * e.train_accuracy, 100 * e.test_accuracy,
+                  e.diverged ? "  [eval diverged - BN stats settling]" : "");
+    };
+    trainer.fit(train_set, test_set);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: the quadratic network reaches equal-or-better accuracy\n"
+      "at comparable parameter count (the paper's Fig. 4 in miniature).\n");
+  return 0;
+}

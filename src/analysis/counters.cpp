@@ -1,0 +1,22 @@
+#include "analysis/counters.h"
+
+#include <cstdio>
+
+namespace qdnn::analysis {
+
+ParamBreakdown count_parameters(nn::Module& model) {
+  ParamBreakdown breakdown;
+  for (const nn::Parameter* p : model.parameters()) {
+    breakdown.total += p->numel();
+    breakdown.by_group[p->group] += p->numel();
+  }
+  return breakdown;
+}
+
+std::string format_millions(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value / 1e6);
+  return std::string(buf);
+}
+
+}  // namespace qdnn::analysis

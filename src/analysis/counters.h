@@ -1,0 +1,23 @@
+// Parameter bookkeeping across a model, keyed by the Parameter::group tag
+// — the basis of the Fig. 7 linear-vs-quadratic distribution analysis and
+// the parameter columns of Figs. 4/5 and Table II.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace qdnn::analysis {
+
+struct ParamBreakdown {
+  index_t total = 0;
+  std::map<std::string, index_t> by_group;  // "linear", "quadratic_q", ...
+};
+
+ParamBreakdown count_parameters(nn::Module& model);
+
+// Millions-of-X formatting helpers for bench tables.
+std::string format_millions(double value, int decimals = 2);
+
+}  // namespace qdnn::analysis

@@ -1,0 +1,26 @@
+#include "analysis/energy_model.h"
+
+#include <cstdio>
+
+namespace qdnn::analysis {
+
+EnergyEstimate estimate_inference(index_t macs, index_t parameters,
+                                  Precision precision,
+                                  const EnergyParams& params) {
+  QDNN_CHECK(macs >= 0 && parameters >= 0, "counts must be non-negative");
+  EnergyEstimate e;
+  const double weight_bytes =
+      static_cast<double>(parameters) * params.bytes_per_weight(precision);
+  e.compute_pj = static_cast<double>(macs) * params.mac_pj(precision);
+  e.weight_sram_pj = weight_bytes * params.sram_pj_per_byte;
+  e.weight_dram_pj = weight_bytes * params.dram_pj_per_byte;
+  return e;
+}
+
+std::string format_microjoules(double pj, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, pj * 1e-6);
+  return buf;
+}
+
+}  // namespace qdnn::analysis

@@ -1,0 +1,66 @@
+// First-order inference energy model for deployed networks.
+//
+// The paper (a DATE publication) motivates quadratic neurons by the
+// compute/storage cost of DNNs on constrained devices; this module turns
+// the library's exact MAC and parameter counts into energy estimates so
+// the neuron families can be compared in deployment units (µJ/inference)
+// rather than raw op counts.
+//
+// Model: E = #MAC · E_mac(precision) + #weight_bytes · E_mem(level).
+// Per-op energies default to the widely used 45 nm measurements from
+// Horowitz, "Computing's energy problem (and what we can do about it)",
+// ISSCC 2014 — the same constants used by the Eyeriss/SqueezeNet line of
+// work.  They are parameters, not truths: override EnergyParams for a
+// different node.
+//
+// This is a *first-order* model: it ignores activation traffic, dataflow
+// reuse, and control overhead, which affect every neuron family alike.
+// Its purpose is relative comparison (ours vs linear vs prior quadratic
+// neurons at fp32/int8), where those shared terms cancel to first order.
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::analysis {
+
+enum class Precision { kFp32, kInt8 };
+
+struct EnergyParams {
+  // Energy per multiply-accumulate, picojoules (Horowitz ISSCC'14, 45 nm:
+  // fp32 mult 3.7 + fp32 add 0.9; int8 mult 0.2 + int32 add 0.1).
+  double fp32_mac_pj = 4.6;
+  double int8_mac_pj = 0.3;
+  // Energy per byte fetched for weights.  On-chip SRAM (32 KiB bank read
+  // 5 pJ / 8 B ≈ 0.6 pJ/B) vs off-chip DRAM (1.3 nJ / 8 B ≈ 160 pJ/B).
+  double sram_pj_per_byte = 0.6;
+  double dram_pj_per_byte = 160.0;
+
+  double mac_pj(Precision p) const {
+    return p == Precision::kFp32 ? fp32_mac_pj : int8_mac_pj;
+  }
+  double bytes_per_weight(Precision p) const {
+    return p == Precision::kFp32 ? 4.0 : 1.0;
+  }
+};
+
+struct EnergyEstimate {
+  double compute_pj = 0.0;       // #MAC · E_mac
+  double weight_sram_pj = 0.0;   // weights streamed from on-chip SRAM
+  double weight_dram_pj = 0.0;   // one full weight fetch from DRAM
+  // Weights-resident-on-chip total (the steady-state inference cost).
+  double on_chip_total_pj() const { return compute_pj + weight_sram_pj; }
+  // Cold-start total (weights fetched from DRAM once per inference —
+  // the worst case for models too large for on-chip memory).
+  double off_chip_total_pj() const { return compute_pj + weight_dram_pj; }
+};
+
+// Energy of one inference given exact MAC and parameter counts (the
+// library computes both: ResNet::macs_per_image and num_parameters).
+EnergyEstimate estimate_inference(index_t macs, index_t parameters,
+                                  Precision precision,
+                                  const EnergyParams& params = {});
+
+// Convenience: µJ formatting for bench tables.
+std::string format_microjoules(double pj, int decimals = 2);
+
+}  // namespace qdnn::analysis

@@ -1,0 +1,61 @@
+#include "analysis/param_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace qdnn::analysis {
+
+LayerParamStats stats_of(const std::string& layer, const std::string& group,
+                         const std::vector<float>& values) {
+  LayerParamStats s;
+  s.layer = layer;
+  s.group = group;
+  s.count = static_cast<index_t>(values.size());
+  if (values.empty()) return s;
+
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double mean = 0.0;
+  for (float v : sorted) mean += v;
+  mean /= static_cast<double>(sorted.size());
+  double var = 0.0;
+  for (float v : sorted) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(sorted.size());
+  s.mean = static_cast<float>(mean);
+  s.stddev = static_cast<float>(std::sqrt(var));
+  auto quantile = [&sorted](double q) {
+    const double pos = q * (static_cast<double>(sorted.size()) - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<float>(sorted[lo] * (1.0 - frac) +
+                              sorted[hi] * frac);
+  };
+  s.q05 = quantile(0.05);
+  s.q95 = quantile(0.95);
+  return s;
+}
+
+std::vector<LayerParamStats> per_layer_stats(
+    const std::vector<nn::Module*>& layers) {
+  std::vector<LayerParamStats> all;
+  for (nn::Module* layer : layers) {
+    std::map<std::string, std::vector<float>> by_group;
+    for (const nn::Parameter* p : layer->parameters()) {
+      auto& bucket = by_group[p->group];
+      for (index_t i = 0; i < p->value.numel(); ++i)
+        bucket.push_back(p->value[i]);
+    }
+    for (const auto& [group, values] : by_group)
+      all.push_back(stats_of(layer->name(), group, values));
+  }
+  return all;
+}
+
+}  // namespace qdnn::analysis

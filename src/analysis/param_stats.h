@@ -1,0 +1,40 @@
+// Per-layer parameter distribution statistics — the Fig. 7 experiment.
+//
+// The paper plots, for each conv layer of a trained ResNet-20, the spread
+// of the linear parameters (w) and the quadratic parameters (Λᵏ).  Here we
+// collect per-layer order statistics for each group and emit them as a
+// table/CSV; the paper's qualitative finding (quadratic parameters have
+// strongly depth-dependent spread, collapsing toward zero in some layers)
+// is asserted by the bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace qdnn::analysis {
+
+struct LayerParamStats {
+  std::string layer;
+  std::string group;
+  index_t count = 0;
+  float min = 0.0f;
+  float max = 0.0f;
+  float mean = 0.0f;
+  float stddev = 0.0f;
+  float q05 = 0.0f;  // 5th percentile
+  float q95 = 0.0f;  // 95th percentile
+};
+
+// Computes stats for every (layer, group) pair.  `layers` are modules
+// whose parameters are grouped under one layer label each — for a ResNet
+// pass its conv_layers().
+std::vector<LayerParamStats> per_layer_stats(
+    const std::vector<nn::Module*>& layers);
+
+// Stats over one flat buffer.
+LayerParamStats stats_of(const std::string& layer, const std::string& group,
+                         const std::vector<float>& values);
+
+}  // namespace qdnn::analysis

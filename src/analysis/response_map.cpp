@@ -1,0 +1,67 @@
+#include "analysis/response_map.h"
+
+namespace qdnn::analysis {
+
+ResponsePair split_responses(quadratic::ProposedQuadConv2d& layer,
+                             const Tensor& image) {
+  QDNN_CHECK_EQ(image.rank(), 3, "split_responses: expected [C, H, W]");
+  Tensor batch = image.reshaped(
+      Shape{1, image.dim(0), image.dim(1), image.dim(2)});
+  const Tensor out = layer.forward(batch);  // [1, F*(k+1), OH, OW]
+  const index_t filters = layer.filters();
+  const index_t k = layer.rank();
+  const index_t oh = out.dim(2), ow = out.dim(3);
+  const index_t plane = oh * ow;
+
+  ResponsePair pair{Tensor{Shape{filters, oh, ow}},
+                    Tensor{Shape{filters, oh, ow}}};
+  for (index_t f = 0; f < filters; ++f) {
+    const float* y = out.data() + (f * (k + 1)) * plane;
+    const float* lam = layer.lambda().value.data() + f * k;
+    float* lin = pair.linear.data() + f * plane;
+    float* quad = pair.quadratic.data() + f * plane;
+    // The emitted y channel is linear + quadratic; recover the quadratic
+    // part from the emitted fᵏ channels, then the linear part as the
+    // difference.
+    for (index_t j = 0; j < plane; ++j) {
+      float y2 = 0.0f;
+      for (index_t i = 0; i < k; ++i) {
+        const float fi = out.data()[(f * (k + 1) + 1 + i) * plane + j];
+        y2 += lam[i] * fi * fi;
+      }
+      quad[j] = y2;
+      lin[j] = y[j] - y2;
+    }
+  }
+  return pair;
+}
+
+EnergySplit frequency_energy_split(const Tensor& map2d) {
+  QDNN_CHECK_EQ(map2d.rank(), 2, "frequency_energy_split: [H, W]");
+  const index_t h = map2d.dim(0) & ~index_t{1};
+  const index_t w = map2d.dim(1) & ~index_t{1};
+  QDNN_CHECK(h >= 2 && w >= 2, "frequency_energy_split: map too small");
+
+  // Remove the global mean so DC offset doesn't dominate "low".
+  double mean = 0.0;
+  for (index_t y = 0; y < h; ++y)
+    for (index_t x = 0; x < w; ++x) mean += map2d.at(y, x);
+  mean /= static_cast<double>(h * w);
+
+  EnergySplit split;
+  for (index_t y = 0; y < h; y += 2)
+    for (index_t x = 0; x < w; x += 2) {
+      const double a = map2d.at(y, x) - mean;
+      const double b = map2d.at(y, x + 1) - mean;
+      const double c = map2d.at(y + 1, x) - mean;
+      const double d = map2d.at(y + 1, x + 1) - mean;
+      const double block_mean = 0.25 * (a + b + c + d);
+      split.low += 4.0 * block_mean * block_mean;
+      const double ra = a - block_mean, rb = b - block_mean,
+                   rc = c - block_mean, rd = d - block_mean;
+      split.high += ra * ra + rb * rb + rc * rc + rd * rd;
+    }
+  return split;
+}
+
+}  // namespace qdnn::analysis

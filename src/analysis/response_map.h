@@ -1,0 +1,38 @@
+// Neuron-response extraction — the Fig. 8 experiment.
+//
+// For a ProposedQuadConv2d layer and one input image, the paper shows the
+// linear part's response (wᵀx + b) next to the quadratic part's response
+// (y₂ᵏ = (fᵏ)ᵀΛᵏfᵏ) and observes that the quadratic response follows the
+// whole object / low-frequency structure while the linear part reacts to
+// edges.  split_responses computes both maps; frequency_energy_split
+// quantifies the low-vs-high-frequency content so the bench can assert
+// the paper's qualitative claim numerically.
+#pragma once
+
+#include "quadratic/quad_conv.h"
+
+namespace qdnn::analysis {
+
+struct ResponsePair {
+  Tensor linear;     // [filters, OH, OW]  — wᵀx + b
+  Tensor quadratic;  // [filters, OH, OW]  — (fᵏ)ᵀ Λᵏ fᵏ
+};
+
+// Runs one [C, H, W] image through the layer and splits the responses.
+ResponsePair split_responses(quadratic::ProposedQuadConv2d& layer,
+                             const Tensor& image);
+
+struct EnergySplit {
+  double low = 0.0;   // energy in the low-frequency half (local means)
+  double high = 0.0;  // energy in the residual (local differences)
+  double low_fraction() const {
+    const double total = low + high;
+    return total > 0.0 ? low / total : 0.0;
+  }
+};
+
+// Haar-style decomposition of a [H, W] map: energy of the 2×2 block means
+// vs the within-block residuals.
+EnergySplit frequency_energy_split(const Tensor& map2d);
+
+}  // namespace qdnn::analysis

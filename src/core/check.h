@@ -1,0 +1,36 @@
+// Lightweight runtime assertion macros used across qdnn.
+//
+// QDNN_CHECK is always on (it guards API contracts: shape mismatches,
+// invalid hyper-parameters, file errors).  It throws std::runtime_error so
+// failures are testable and never abort the process of an embedding
+// application.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qdnn {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "qdnn check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace qdnn
+
+#define QDNN_CHECK(cond, msg)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream qdnn_check_os_;                              \
+      qdnn_check_os_ << msg;                                          \
+      ::qdnn::check_failed(#cond, __FILE__, __LINE__,                 \
+                           qdnn_check_os_.str());                     \
+    }                                                                 \
+  } while (0)
+
+#define QDNN_CHECK_EQ(a, b, msg) \
+  QDNN_CHECK((a) == (b), msg << " (" << (a) << " vs " << (b) << ")")

@@ -1,0 +1,115 @@
+#include "core/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+namespace qdnn {
+
+namespace fs = std::filesystem;
+
+void ensure_directory(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  QDNN_CHECK(!ec, "cannot create directory " << dir << ": " << ec.message());
+}
+
+namespace {
+void ensure_parent(const std::string& path) {
+  const fs::path p(path);
+  if (p.has_parent_path()) ensure_directory(p.parent_path().string());
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> header)
+    : path_(std::move(path)) {
+  if (!header.empty()) write_row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  ensure_parent(path_);
+  std::ofstream out(path_, std::ios::trunc);
+  if (out) out << buffer_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += cells[i];
+  }
+  buffer_ += '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double c : cells) s.push_back(std::to_string(c));
+  write_row(s);
+}
+
+void write_pgm(const std::string& path, const Tensor& image) {
+  QDNN_CHECK_EQ(image.rank(), 2, "write_pgm expects [H, W]");
+  ensure_parent(path);
+  const index_t h = image.dim(0), w = image.dim(1);
+  const float lo = image.min(), hi = image.max();
+  const float scale = (hi > lo) ? 255.0f / (hi - lo) : 0.0f;
+
+  std::ofstream out(path, std::ios::binary);
+  QDNN_CHECK(out.good(), "cannot open " << path);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(w));
+  for (index_t y = 0; y < h; ++y) {
+    for (index_t x = 0; x < w; ++x) {
+      const float v = (image.at(y, x) - lo) * scale;
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::clamp(v, 0.0f, 255.0f));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x51444E4E;  // "QDNN"
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  ensure_parent(path);
+  std::ofstream out(path, std::ios::binary);
+  QDNN_CHECK(out.good(), "cannot open " << path);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  for (index_t i = 0; i < t.rank(); ++i) {
+    const std::int64_t d = t.dim(i);
+    out.write(reinterpret_cast<const char*>(&d), sizeof d);
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  QDNN_CHECK(out.good(), "write failed for " << path);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QDNN_CHECK(in.good(), "cannot open " << path);
+  std::uint32_t magic = 0, rank = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  QDNN_CHECK_EQ(magic, kMagic, "bad magic in " << path);
+  in.read(reinterpret_cast<char*>(&rank), sizeof rank);
+  std::vector<index_t> dims(rank);
+  for (auto& d : dims) {
+    std::int64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof v);
+    dims[static_cast<std::size_t>(&d - dims.data())] = v;
+  }
+  Tensor t{Shape(dims)};
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  QDNN_CHECK(in.good(), "truncated tensor file " << path);
+  return t;
+}
+
+}  // namespace qdnn

@@ -1,0 +1,43 @@
+// Small I/O helpers used by benches and examples: CSV emission for the
+// table/figure harnesses and binary PGM images for the Fig. 8 response
+// visualizations.  Tensor (de)serialization gives a simple checkpoint
+// format for the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn {
+
+// Writes rows as CSV; the header is emitted first if non-empty.  Creates
+// parent directories as needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path, std::vector<std::string> header = {});
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string buffer_;
+};
+
+// Writes a single-channel tensor [H, W] as a binary PGM (P5), min-max
+// normalized to 0..255.  Used for Fig. 8 response maps.
+void write_pgm(const std::string& path, const Tensor& image);
+
+// Simple binary tensor checkpoint: magic, rank, dims, float payload.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+// mkdir -p for the given directory path.
+void ensure_directory(const std::string& dir);
+
+}  // namespace qdnn

@@ -1,0 +1,105 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace qdnn {
+
+namespace {
+// SplitMix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 kept away from 0 so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+index_t Rng::uniform_int(index_t n) {
+  QDNN_CHECK(n > 0, "uniform_int: n must be positive");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return static_cast<index_t>(v % un);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xA0761D6478BD642Full); }
+
+std::vector<index_t> Rng::permutation(index_t n) {
+  std::vector<index_t> idx(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(uniform_int(i + 1))]);
+  return idx;
+}
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(uniform(lo, hi));
+}
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  for (index_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(normal(mean, stddev));
+}
+
+}  // namespace qdnn

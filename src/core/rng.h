@@ -1,0 +1,52 @@
+// Deterministic random number generation for the whole library.
+//
+// Every experiment in the paper reproduction is seeded; Rng wraps a
+// SplitMix64-seeded xoshiro256** generator plus the distributions the
+// library needs (uniform, normal via Box–Muller, permutations, Bernoulli).
+// No global RNG: each component receives an Rng (or a seed) explicitly so
+// runs are bit-reproducible regardless of module construction order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+  // Uniform integer in [0, n).
+  index_t uniform_int(index_t n);
+  bool bernoulli(double p);
+
+  // Derive an independent stream (for per-layer init from one master seed).
+  Rng split();
+
+  // Fisher–Yates shuffle of [0, n) indices.
+  std::vector<index_t> permutation(index_t n);
+
+  void fill_uniform(Tensor& t, float lo, float hi);
+  void fill_normal(Tensor& t, float mean, float stddev);
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace qdnn

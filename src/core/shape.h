@@ -1,0 +1,80 @@
+// Shape: an immutable-ish small vector of dimension extents for Tensor.
+//
+// Row-major semantics throughout the library.  Kept deliberately simple:
+// qdnn tensors are always dense and contiguous, so a Shape fully determines
+// the memory layout.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "core/check.h"
+
+namespace qdnn {
+
+using index_t = std::int64_t;
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<index_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<index_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  index_t rank() const { return static_cast<index_t>(dims_.size()); }
+
+  index_t operator[](index_t i) const {
+    QDNN_CHECK(i >= 0 && i < rank(), "shape index " << i << " out of rank "
+                                                    << rank());
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  // Total number of elements; 1 for a rank-0 (scalar) shape.
+  index_t numel() const {
+    index_t n = 1;
+    for (index_t d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<index_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Row-major strides (in elements, not bytes).
+  std::vector<index_t> strides() const {
+    std::vector<index_t> s(dims_.size(), 1);
+    for (index_t i = rank() - 2; i >= 0; --i) {
+      s[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+    }
+    return s;
+  }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void validate() const {
+    for (index_t d : dims_)
+      QDNN_CHECK(d >= 0, "negative dimension in shape " << to_string());
+  }
+
+  std::vector<index_t> dims_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.to_string();
+}
+
+}  // namespace qdnn

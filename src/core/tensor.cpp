@@ -1,0 +1,126 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qdnn {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  QDNN_CHECK(a.shape() == b.shape(), op << ": shape mismatch " << a.shape()
+                                        << " vs " << b.shape());
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(*this, other, "operator+=");
+  const float* src = other.data();
+  float* dst = data();
+  const index_t n = numel();
+  for (index_t i = 0; i < n; ++i) dst[i] += src[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(*this, other, "operator-=");
+  const float* src = other.data();
+  float* dst = data();
+  const index_t n = numel();
+  for (index_t i = 0; i < n; ++i) dst[i] -= src[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::add_scaled(const Tensor& other, float s) {
+  check_same_shape(*this, other, "add_scaled");
+  const float* src = other.data();
+  float* dst = data();
+  const index_t n = numel();
+  for (index_t i = 0; i < n; ++i) dst[i] += s * src[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  QDNN_CHECK(numel() > 0, "mean of empty tensor");
+  return sum() / static_cast<float>(numel());
+}
+
+float Tensor::min() const {
+  QDNN_CHECK(numel() > 0, "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  QDNN_CHECK(numel() > 0, "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+Tensor Tensor::map(const std::function<float(float)>& f) const {
+  Tensor out = *this;
+  for (index_t i = 0; i < out.numel(); ++i) out[i] = f(out[i]);
+  return out;
+}
+
+bool Tensor::all_finite() const {
+  for (float v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor operator*(const Tensor& a, float s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  QDNN_CHECK(a.shape() == b.shape(), "hadamard: shape mismatch");
+  Tensor out = a;
+  for (index_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  QDNN_CHECK(a.shape() == b.shape(), "max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (index_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace qdnn

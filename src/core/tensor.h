@@ -1,0 +1,120 @@
+// Tensor: dense, contiguous, row-major float tensor.
+//
+// This is the value type the whole library is built on.  It has value
+// semantics (copies copy the buffer) — modules that want sharing hold
+// Tensor by reference or cache what they need explicitly.  All arithmetic
+// helpers here are reference implementations; the performance-critical
+// paths (conv, attention) go through linalg::gemm instead.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qdnn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    QDNN_CHECK_EQ(static_cast<index_t>(data_.size()), shape_.numel(),
+                  "data size does not match shape " << shape_);
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor scalar(float v) { return Tensor(Shape{}, std::vector<float>{v}); }
+
+  const Shape& shape() const { return shape_; }
+  index_t numel() const { return shape_.numel(); }
+  index_t rank() const { return shape_.rank(); }
+  index_t dim(index_t i) const { return shape_[i]; }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](index_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](index_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // Multi-dimensional accessors for the common ranks.  Bounds are checked
+  // only via QDNN_CHECK on rank; per-element bounds checks would dominate
+  // reference loops.
+  float& at(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float at(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  float& at(index_t i, index_t j, index_t k) {
+    return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  float at(index_t i, index_t j, index_t k) const {
+    return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  float& at(index_t i, index_t j, index_t k, index_t l) {
+    return data_[static_cast<std::size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+  float at(index_t i, index_t j, index_t k, index_t l) const {
+    return data_[static_cast<std::size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+
+  // Reinterpret as a new shape with the same number of elements.
+  Tensor reshaped(Shape new_shape) const {
+    QDNN_CHECK_EQ(new_shape.numel(), numel(),
+                  "reshape " << shape_ << " -> " << new_shape);
+    Tensor out = *this;
+    out.shape_ = std::move(new_shape);
+    return out;
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  // In-place element-wise helpers.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+  Tensor& add_scaled(const Tensor& other, float s);  // this += s * other
+
+  // Reductions.
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  float squared_norm() const;
+
+  // Element-wise map (returns a new tensor).
+  Tensor map(const std::function<float(float)>& f) const;
+
+  // True iff every element is finite (no NaN/Inf) — used by the trainers'
+  // divergence detection (Fig 6 reproduces training blow-ups).
+  bool all_finite() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Out-of-place element-wise arithmetic (shapes must match exactly).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float s);
+Tensor hadamard(const Tensor& a, const Tensor& b);
+
+// max |a - b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace qdnn

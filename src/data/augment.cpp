@@ -1,0 +1,56 @@
+#include "data/augment.h"
+
+namespace qdnn::data {
+
+Tensor pad_crop(const Tensor& image3, index_t pad, index_t off_y,
+                index_t off_x) {
+  QDNN_CHECK_EQ(image3.rank(), 3, "pad_crop: expected [C,H,W]");
+  QDNN_CHECK(off_y >= 0 && off_y <= 2 * pad && off_x >= 0 &&
+                 off_x <= 2 * pad,
+             "pad_crop: offsets out of padded range");
+  const index_t c = image3.dim(0), h = image3.dim(1), w = image3.dim(2);
+  Tensor out{image3.shape()};
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t y = 0; y < h; ++y) {
+      // Source coordinates in the virtual padded image.
+      const index_t sy = y + off_y - pad;
+      for (index_t x = 0; x < w; ++x) {
+        const index_t sx = x + off_x - pad;
+        out.at(ch, y, x) = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                               ? image3.at(ch, sy, sx)
+                               : 0.0f;
+      }
+    }
+  return out;
+}
+
+Tensor hflip(const Tensor& image3) {
+  QDNN_CHECK_EQ(image3.rank(), 3, "hflip: expected [C,H,W]");
+  const index_t c = image3.dim(0), h = image3.dim(1), w = image3.dim(2);
+  Tensor out{image3.shape()};
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t y = 0; y < h; ++y)
+      for (index_t x = 0; x < w; ++x)
+        out.at(ch, y, x) = image3.at(ch, y, w - 1 - x);
+  return out;
+}
+
+Tensor augment_batch(const Tensor& images, index_t pad, Rng& rng) {
+  QDNN_CHECK_EQ(images.rank(), 4, "augment_batch: expected [N,C,H,W]");
+  const index_t n = images.dim(0), c = images.dim(1), h = images.dim(2),
+                w = images.dim(3);
+  const index_t plane = c * h * w;
+  Tensor out{images.shape()};
+  for (index_t s = 0; s < n; ++s) {
+    Tensor img{Shape{c, h, w}};
+    for (index_t i = 0; i < plane; ++i) img[i] = images[s * plane + i];
+    const index_t off_y = rng.uniform_int(2 * pad + 1);
+    const index_t off_x = rng.uniform_int(2 * pad + 1);
+    img = pad_crop(img, pad, off_y, off_x);
+    if (rng.bernoulli(0.5)) img = hflip(img);
+    for (index_t i = 0; i < plane; ++i) out[s * plane + i] = img[i];
+  }
+  return out;
+}
+
+}  // namespace qdnn::data

@@ -1,0 +1,21 @@
+// Training-time data augmentation matching the paper's CIFAR recipe
+// (Sec. IV-A): zero-pad then random-crop back to the original size, and
+// random horizontal flip.
+#pragma once
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace qdnn::data {
+
+// Pads each image by `pad` zeros on all sides, then crops a random
+// image_size window and flips horizontally with probability 1/2.
+// images: [N, C, H, W]; returns a tensor of the same shape.
+Tensor augment_batch(const Tensor& images, index_t pad, Rng& rng);
+
+// Deterministic variants, exposed for unit testing.
+Tensor pad_crop(const Tensor& image3, index_t pad, index_t off_y,
+                index_t off_x);                      // [C,H,W] -> [C,H,W]
+Tensor hflip(const Tensor& image3);                  // [C,H,W] -> [C,H,W]
+
+}  // namespace qdnn::data

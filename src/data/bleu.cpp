@@ -1,0 +1,83 @@
+#include "data/bleu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+
+namespace qdnn::data {
+
+namespace {
+
+// Counts n-grams of a fixed order as joined strings (tokens cannot
+// contain '\x1f', which is used as the joiner).
+std::map<std::string, long long> ngram_counts(
+    const std::vector<std::string>& tokens, std::size_t n) {
+  std::map<std::string, long long> counts;
+  if (tokens.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string key;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j) key += '\x1f';
+      key += tokens[i + j];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+}  // namespace
+
+BleuResult corpus_bleu(
+    const std::vector<std::vector<std::string>>& hypotheses,
+    const std::vector<std::vector<std::string>>& references) {
+  QDNN_CHECK_EQ(hypotheses.size(), references.size(),
+                "corpus_bleu: hypothesis/reference count");
+  BleuResult result;
+  long long matches[4] = {0, 0, 0, 0};
+  long long totals[4] = {0, 0, 0, 0};
+
+  for (std::size_t s = 0; s < hypotheses.size(); ++s) {
+    const auto& hyp = hypotheses[s];
+    const auto& ref = references[s];
+    result.hyp_length += static_cast<long long>(hyp.size());
+    result.ref_length += static_cast<long long>(ref.size());
+    for (std::size_t n = 1; n <= 4; ++n) {
+      const auto hyp_counts = ngram_counts(hyp, n);
+      const auto ref_counts = ngram_counts(ref, n);
+      for (const auto& [gram, count] : hyp_counts) {
+        totals[n - 1] += count;
+        const auto it = ref_counts.find(gram);
+        if (it != ref_counts.end())
+          matches[n - 1] += std::min(count, it->second);
+      }
+    }
+  }
+
+  double log_precision_sum = 0.0;
+  for (int n = 0; n < 4; ++n) {
+    if (totals[n] == 0) {
+      result.precisions[n] = 0.0;
+      return result;  // degenerate corpus (all hyps shorter than n)
+    }
+    // Epsilon-smoothed precision so a single zero order doesn't collapse
+    // the whole score to 0 on tiny eval sets (matches sacreBLEU's
+    // floor smoothing spirit).
+    const double p =
+        std::max(static_cast<double>(matches[n]), 1e-9) / totals[n];
+    result.precisions[n] = 100.0 * matches[n] / static_cast<double>(totals[n]);
+    log_precision_sum += std::log(p);
+  }
+
+  result.brevity_penalty =
+      (result.hyp_length >= result.ref_length || result.hyp_length == 0)
+          ? 1.0
+          : std::exp(1.0 - static_cast<double>(result.ref_length) /
+                               result.hyp_length);
+  result.bleu =
+      100.0 * result.brevity_penalty * std::exp(log_precision_sum / 4.0);
+  return result;
+}
+
+}  // namespace qdnn::data

@@ -1,0 +1,26 @@
+// Corpus-level BLEU (Papineni et al. 2002): modified n-gram precision up
+// to 4-grams, geometric mean, brevity penalty.  Operates on pre-tokenized
+// sentences; combine with data/tokenizer.h to realise Table II's four
+// evaluation settings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qdnn::data {
+
+struct BleuResult {
+  double bleu = 0.0;                 // 0..100 scale, as reported in papers
+  double precisions[4] = {0, 0, 0, 0};
+  double brevity_penalty = 1.0;
+  long long hyp_length = 0;
+  long long ref_length = 0;
+};
+
+// One reference per hypothesis (the synthetic task is deterministic, so a
+// single reference is exact).
+BleuResult corpus_bleu(
+    const std::vector<std::vector<std::string>>& hypotheses,
+    const std::vector<std::vector<std::string>>& references);
+
+}  // namespace qdnn::data

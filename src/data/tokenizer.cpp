@@ -1,0 +1,58 @@
+#include "data/tokenizer.h"
+
+#include <cctype>
+
+namespace qdnn::data {
+
+std::string lowercase(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+namespace {
+
+bool is_terminal_punct(char c) {
+  return c == '.' || c == ',' || c == '!' || c == '?' || c == ';' ||
+         c == ':';
+}
+
+bool is_symbol(char c) {
+  return !std::isalnum(static_cast<unsigned char>(c)) &&
+         !std::isspace(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(const std::string& text,
+                                  TokenizerKind kind, bool cased) {
+  const std::string input = cased ? text : lowercase(text);
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : input) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+      continue;
+    }
+    const bool split_here = (kind == TokenizerKind::kInternational)
+                                ? is_symbol(c)
+                                : is_terminal_punct(c);
+    if (split_here) {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace qdnn::data

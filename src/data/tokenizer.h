@@ -1,0 +1,25 @@
+// Evaluation tokenizers for BLEU, mirroring the two schemes of the
+// paper's Table II ("13a" and "International" rows of sacreBLEU):
+//
+//  * 13a-style:   splits terminal/clause punctuation (. , ! ? ; :) off
+//                 words but keeps intra-word hyphens joined.
+//  * intl-style:  additionally splits on every non-alphanumeric symbol,
+//                 so hyphenated compounds become three tokens.
+//
+// Each can run cased or lowercased, giving Table II's four evaluation
+// settings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qdnn::data {
+
+enum class TokenizerKind { k13a, kInternational };
+
+std::vector<std::string> tokenize(const std::string& text,
+                                  TokenizerKind kind, bool cased);
+
+std::string lowercase(const std::string& s);
+
+}  // namespace qdnn::data

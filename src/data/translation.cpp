@@ -1,0 +1,181 @@
+#include "data/translation.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qdnn::data {
+
+namespace {
+
+// Word inventory built deterministically from the config.  Index spaces:
+//   [0, content_words)                         common content words
+//   [content_words, +proper_nouns)             proper nouns (capitalized)
+//   [.., +verbs)                               verbs (reordered class)
+// Target-side surface forms add hyphenated compounds for the first
+// `compounds` content words.
+struct Inventory {
+  std::vector<std::string> src_words;
+  std::vector<std::string> tgt_words;
+  index_t content = 0, proper = 0, verbs = 0;
+
+  index_t total() const { return content + proper + verbs; }
+  bool is_proper(index_t w) const {
+    return w >= content && w < content + proper;
+  }
+  bool is_verb(index_t w) const { return w >= content + proper; }
+};
+
+Inventory build_inventory(const TranslationConfig& config) {
+  Inventory inv;
+  inv.content = config.content_words;
+  inv.proper = config.proper_nouns;
+  inv.verbs = config.verbs;
+  for (index_t i = 0; i < inv.content; ++i) {
+    inv.src_words.push_back("wort" + std::to_string(i));
+    if (i < config.compounds) {
+      // Hyphenated compound on the target side only.
+      inv.tgt_words.push_back("word" + std::to_string(i) + "-part" +
+                              std::to_string(i % 4));
+    } else {
+      inv.tgt_words.push_back("word" + std::to_string(i));
+    }
+  }
+  for (index_t i = 0; i < inv.proper; ++i) {
+    // Proper nouns share a lowercase twin among content words (ids i),
+    // which is what makes cased vs uncased BLEU diverge.
+    inv.src_words.push_back("Name" + std::to_string(i));
+    inv.tgt_words.push_back("Word" + std::to_string(i));
+  }
+  for (index_t i = 0; i < inv.verbs; ++i) {
+    inv.src_words.push_back("machen" + std::to_string(i));
+    inv.tgt_words.push_back("make" + std::to_string(i));
+  }
+  return inv;
+}
+
+constexpr const char* kPunct[] = {".", "!", "?"};
+
+}  // namespace
+
+std::string surface_from_ids(const Vocab& tgt_vocab,
+                             const std::vector<index_t>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::string& w = tgt_vocab.word(ids[i]);
+    const bool is_punct = (w == "." || w == "!" || w == "?");
+    if (!out.empty() && !is_punct) out += ' ';
+    out += w;
+  }
+  // Sentence-initial capitalization.
+  if (!out.empty())
+    out[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+TranslationCorpus make_translation_corpus(const TranslationConfig& config) {
+  QDNN_CHECK(config.min_len >= 2 && config.max_len >= config.min_len,
+             "translation: bad sentence length range");
+  const Inventory inv = build_inventory(config);
+  TranslationCorpus corpus;
+  // Register all words (and punctuation) in both vocabularies.
+  std::vector<index_t> src_of(static_cast<std::size_t>(inv.total()));
+  std::vector<index_t> tgt_of(static_cast<std::size_t>(inv.total()));
+  for (index_t w = 0; w < inv.total(); ++w) {
+    src_of[static_cast<std::size_t>(w)] =
+        corpus.src_vocab.add(inv.src_words[static_cast<std::size_t>(w)]);
+    tgt_of[static_cast<std::size_t>(w)] =
+        corpus.tgt_vocab.add(inv.tgt_words[static_cast<std::size_t>(w)]);
+  }
+  std::vector<index_t> src_punct, tgt_punct;
+  for (const char* p : kPunct) {
+    src_punct.push_back(corpus.src_vocab.add(p));
+    tgt_punct.push_back(corpus.tgt_vocab.add(p));
+  }
+
+  Rng rng(config.seed);
+  auto generate = [&](index_t count, std::vector<TranslationExample>& out) {
+    out.reserve(static_cast<std::size_t>(count));
+    for (index_t s = 0; s < count; ++s) {
+      const index_t len =
+          config.min_len + rng.uniform_int(config.max_len - config.min_len + 1);
+      // Sample content: len-1 non-verb words plus exactly one verb,
+      // clause-final in the source.
+      std::vector<index_t> words;
+      for (index_t i = 0; i + 1 < len; ++i) {
+        index_t w;
+        do {
+          w = rng.uniform_int(inv.content + inv.proper);
+        } while (false);
+        words.push_back(w);
+      }
+      const index_t verb =
+          inv.content + inv.proper + rng.uniform_int(inv.verbs);
+      const index_t punct = rng.uniform_int(3);
+
+      TranslationExample ex;
+      // Source order: content words, verb last (German-ish), punct.
+      for (index_t w : words)
+        ex.src_ids.push_back(src_of[static_cast<std::size_t>(w)]);
+      ex.src_ids.push_back(src_of[static_cast<std::size_t>(verb)]);
+      ex.src_ids.push_back(src_punct[static_cast<std::size_t>(punct)]);
+      // Target order: first word, verb second (English-ish), rest, punct.
+      std::vector<index_t> tgt_words;
+      tgt_words.push_back(words.front());
+      tgt_words.push_back(verb);
+      for (std::size_t i = 1; i < words.size(); ++i)
+        tgt_words.push_back(words[i]);
+      for (index_t w : tgt_words)
+        ex.tgt_ids.push_back(tgt_of[static_cast<std::size_t>(w)]);
+      ex.tgt_ids.push_back(tgt_punct[static_cast<std::size_t>(punct)]);
+      ex.tgt_surface = surface_from_ids(corpus.tgt_vocab, ex.tgt_ids);
+      out.push_back(std::move(ex));
+    }
+  };
+  generate(config.train_sentences, corpus.train);
+  generate(config.test_sentences, corpus.test);
+  return corpus;
+}
+
+Seq2SeqBatch make_batch(const std::vector<TranslationExample>& examples,
+                        index_t first, index_t count) {
+  QDNN_CHECK(first >= 0 &&
+                 first + count <= static_cast<index_t>(examples.size()),
+             "make_batch: range out of corpus");
+  QDNN_CHECK(count > 0, "make_batch: empty batch");
+  index_t ts = 0, tt = 0;
+  for (index_t i = first; i < first + count; ++i) {
+    const auto& ex = examples[static_cast<std::size_t>(i)];
+    ts = std::max(ts, static_cast<index_t>(ex.src_ids.size()));
+    // +1 for <eos> on the output side / <bos> on the input side.
+    tt = std::max(tt, static_cast<index_t>(ex.tgt_ids.size()) + 1);
+  }
+
+  Seq2SeqBatch batch;
+  batch.src = Tensor{Shape{count, ts}, static_cast<float>(Vocab::kPad)};
+  batch.tgt_in = Tensor{Shape{count, tt}, static_cast<float>(Vocab::kPad)};
+  batch.tgt_out.assign(static_cast<std::size_t>(count * tt), Vocab::kPad);
+  batch.src_lengths.resize(static_cast<std::size_t>(count));
+
+  for (index_t i = 0; i < count; ++i) {
+    const auto& ex = examples[static_cast<std::size_t>(first + i)];
+    batch.src_lengths[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(ex.src_ids.size());
+    for (std::size_t j = 0; j < ex.src_ids.size(); ++j)
+      batch.src.at(i, static_cast<index_t>(j)) =
+          static_cast<float>(ex.src_ids[j]);
+    batch.tgt_in.at(i, 0) = static_cast<float>(Vocab::kBos);
+    for (std::size_t j = 0; j < ex.tgt_ids.size(); ++j) {
+      if (static_cast<index_t>(j) + 1 < tt)
+        batch.tgt_in.at(i, static_cast<index_t>(j) + 1) =
+            static_cast<float>(ex.tgt_ids[j]);
+      batch.tgt_out[static_cast<std::size_t>(i * tt + static_cast<index_t>(j))] =
+          ex.tgt_ids[j];
+    }
+    batch.tgt_out[static_cast<std::size_t>(
+        i * tt + static_cast<index_t>(ex.tgt_ids.size()))] = Vocab::kEos;
+  }
+  return batch;
+}
+
+}  // namespace qdnn::data

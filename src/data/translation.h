@@ -1,0 +1,72 @@
+// Synthetic German→English-like parallel corpus — the offline substitute
+// for WMT14 newstest2014 (see DESIGN.md substitution table).
+//
+// The "language" is a token-mapped grammar with enough structure that a
+// Transformer must actually learn systematic behaviour:
+//   * every source content word s_i has a target translation t_i;
+//   * a "verb" word class is clause-final in the source and moves to
+//     second position in the target (caricature of German→English order);
+//   * sentences end in . ! or ?, attached to the last word in the surface
+//     string (so the 13a/international tokenizers have work to do);
+//   * proper nouns are capitalized, the sentence-initial word is
+//     capitalized in the surface form, and some words exist in both a
+//     capitalized proper-noun and lowercase common reading (so cased and
+//     uncased BLEU differ);
+//   * a fraction of target words are hyphenated compounds (so 13a and
+//     international tokenization differ).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "data/vocab.h"
+
+namespace qdnn::data {
+
+struct TranslationConfig {
+  index_t content_words = 120;   // translatable word pairs
+  index_t proper_nouns = 12;     // capitalized names (case-sensitive pairs)
+  index_t verbs = 12;            // reordered word class
+  index_t compounds = 10;        // hyphenated target compounds
+  index_t min_len = 3;           // content tokens per sentence
+  index_t max_len = 8;
+  index_t train_sentences = 2000;
+  index_t test_sentences = 128;
+  std::uint64_t seed = 7;
+};
+
+struct TranslationExample {
+  std::vector<index_t> src_ids;   // without bos/eos
+  std::vector<index_t> tgt_ids;   // without bos/eos
+  std::string tgt_surface;        // detokenized reference string
+};
+
+struct TranslationCorpus {
+  Vocab src_vocab;
+  Vocab tgt_vocab;
+  std::vector<TranslationExample> train;
+  std::vector<TranslationExample> test;
+};
+
+TranslationCorpus make_translation_corpus(const TranslationConfig& config);
+
+// Renders a decoded id sequence to a surface string with the corpus's
+// casing/punctuation conventions (inverse of the reference rendering), so
+// hypotheses and references are compared on equal footing.
+std::string surface_from_ids(const Vocab& tgt_vocab,
+                             const std::vector<index_t>& ids);
+
+// Batch assembly for Transformer training.
+struct Seq2SeqBatch {
+  Tensor src;                      // [N, Ts] ids, padded with kPad
+  Tensor tgt_in;                   // [N, Tt] <bos> + target (shifted right)
+  std::vector<index_t> tgt_out;    // N·Tt flattened next-token targets
+  std::vector<index_t> src_lengths;
+};
+
+Seq2SeqBatch make_batch(const std::vector<TranslationExample>& examples,
+                        index_t first, index_t count);
+
+}  // namespace qdnn::data

@@ -1,0 +1,49 @@
+#include "data/vocab.h"
+
+#include "core/check.h"
+
+namespace qdnn::data {
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<bos>");
+  add("<eos>");
+  add("<unk>");
+}
+
+index_t Vocab::add(const std::string& word) {
+  const auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  const index_t id = static_cast<index_t>(words_.size());
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+index_t Vocab::id(const std::string& word) const {
+  const auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocab::word(index_t id) const {
+  QDNN_CHECK(id >= 0 && id < size(), "Vocab: id " << id << " out of range");
+  return words_[static_cast<std::size_t>(id)];
+}
+
+std::vector<index_t> Vocab::encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<index_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(id(t));
+  return ids;
+}
+
+std::vector<std::string> Vocab::decode(
+    const std::vector<index_t>& ids) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(ids.size());
+  for (index_t i : ids) tokens.push_back(word(i));
+  return tokens;
+}
+
+}  // namespace qdnn::data

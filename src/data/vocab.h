@@ -1,0 +1,38 @@
+// Vocabulary with reserved special tokens, shared by the synthetic
+// translation corpus and the Transformer benches.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qdnn::data {
+
+class Vocab {
+ public:
+  // Special ids are fixed so models/losses can rely on them.
+  static constexpr index_t kPad = 0;
+  static constexpr index_t kBos = 1;
+  static constexpr index_t kEos = 2;
+  static constexpr index_t kUnk = 3;
+
+  Vocab();
+
+  // Adds a word if absent; returns its id either way.
+  index_t add(const std::string& word);
+  // Id lookup; kUnk for unknown words.
+  index_t id(const std::string& word) const;
+  const std::string& word(index_t id) const;
+  index_t size() const { return static_cast<index_t>(words_.size()); }
+
+  std::vector<index_t> encode(const std::vector<std::string>& tokens) const;
+  std::vector<std::string> decode(const std::vector<index_t>& ids) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, index_t> index_;
+};
+
+}  // namespace qdnn::data

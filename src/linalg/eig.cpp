@@ -1,0 +1,150 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace qdnn::linalg {
+
+Tensor symmetrize(const Tensor& m) {
+  QDNN_CHECK_EQ(m.rank(), 2, "symmetrize: rank-2 required");
+  QDNN_CHECK_EQ(m.dim(0), m.dim(1), "symmetrize: square required");
+  const index_t n = m.dim(0);
+  Tensor out{Shape{n, n}};
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      out.at(i, j) = 0.5f * (m.at(i, j) + m.at(j, i));
+  return out;
+}
+
+double frobenius_norm(const Tensor& m) {
+  double acc = 0.0;
+  for (index_t i = 0; i < m.numel(); ++i)
+    acc += static_cast<double>(m[i]) * m[i];
+  return std::sqrt(acc);
+}
+
+double quadratic_form(const Tensor& m, const Tensor& x) {
+  QDNN_CHECK_EQ(m.rank(), 2, "quadratic_form: matrix rank");
+  const index_t n = m.dim(0);
+  QDNN_CHECK_EQ(m.dim(1), n, "quadratic_form: square matrix");
+  QDNN_CHECK_EQ(x.numel(), n, "quadratic_form: vector length");
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      row += static_cast<double>(m.at(i, j)) * x[j];
+    acc += static_cast<double>(x[i]) * row;
+  }
+  return acc;
+}
+
+EigResult eigh(const Tensor& m, double symmetry_tol) {
+  QDNN_CHECK_EQ(m.rank(), 2, "eigh: rank-2 required");
+  const index_t n = m.dim(0);
+  QDNN_CHECK_EQ(m.dim(1), n, "eigh: square required");
+
+  // Work in double for numerical head-room; the library's tensors are
+  // float but Jacobi rotations accumulate.
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      const double mij = m.at(i, j), mji = m.at(j, i);
+      QDNN_CHECK(std::fabs(mij - mji) <= symmetry_tol,
+                 "eigh: matrix not symmetric at (" << i << "," << j << ")");
+      a[static_cast<std::size_t>(i * n + j)] = 0.5 * (mij + mji);
+    }
+
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  auto off_diag_norm = [&] {
+    double s = 0.0;
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = i + 1; j < n; ++j) {
+        const double x = a[static_cast<std::size_t>(i * n + j)];
+        s += x * x;
+      }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double eps = 1e-12 * std::max(1.0, frobenius_norm(m));
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps && off_diag_norm() > eps; ++sweep) {
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = a[static_cast<std::size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[static_cast<std::size_t>(p * n + p)];
+        const double aqq = a[static_cast<std::size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan of the rotation angle.
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/cols p and q of A.
+        for (index_t i = 0; i < n; ++i) {
+          const double aip = a[static_cast<std::size_t>(i * n + p)];
+          const double aiq = a[static_cast<std::size_t>(i * n + q)];
+          a[static_cast<std::size_t>(i * n + p)] = c * aip - s * aiq;
+          a[static_cast<std::size_t>(i * n + q)] = s * aip + c * aiq;
+        }
+        for (index_t j = 0; j < n; ++j) {
+          const double apj = a[static_cast<std::size_t>(p * n + j)];
+          const double aqj = a[static_cast<std::size_t>(q * n + j)];
+          a[static_cast<std::size_t>(p * n + j)] = c * apj - s * aqj;
+          a[static_cast<std::size_t>(q * n + j)] = s * apj + c * aqj;
+        }
+        // Accumulate eigenvectors.
+        for (index_t i = 0; i < n; ++i) {
+          const double vip = v[static_cast<std::size_t>(i * n + p)];
+          const double viq = v[static_cast<std::size_t>(i * n + q)];
+          v[static_cast<std::size_t>(i * n + p)] = c * vip - s * viq;
+          v[static_cast<std::size_t>(i * n + q)] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort by |λ| descending, as in the paper's top-k selection.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return std::fabs(a[static_cast<std::size_t>(x * n + x)]) >
+           std::fabs(a[static_cast<std::size_t>(y * n + y)]);
+  });
+
+  EigResult result{Tensor{Shape{n}}, Tensor{Shape{n, n}}};
+  for (index_t k = 0; k < n; ++k) {
+    const index_t src = order[static_cast<std::size_t>(k)];
+    result.eigenvalues[k] =
+        static_cast<float>(a[static_cast<std::size_t>(src * n + src)]);
+    for (index_t i = 0; i < n; ++i)
+      result.eigenvectors.at(i, k) =
+          static_cast<float>(v[static_cast<std::size_t>(i * n + src)]);
+  }
+  return result;
+}
+
+Tensor reconstruct(const Tensor& q, const Tensor& lambda) {
+  QDNN_CHECK_EQ(q.rank(), 2, "reconstruct: q rank");
+  QDNN_CHECK_EQ(lambda.rank(), 1, "reconstruct: lambda rank");
+  const index_t n = q.dim(0), k = q.dim(1);
+  QDNN_CHECK_EQ(lambda.numel(), k, "reconstruct: lambda length");
+  Tensor out{Shape{n, n}};
+  for (index_t c = 0; c < k; ++c) {
+    const float l = lambda[c];
+    for (index_t i = 0; i < n; ++i) {
+      const float qic = q.at(i, c) * l;
+      if (qic == 0.0f) continue;
+      for (index_t j = 0; j < n; ++j) out.at(i, j) += qic * q.at(j, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace qdnn::linalg

@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// The paper's construction (Sec. III-A) rests on the spectral theorem:
+// a real symmetric quadratic matrix M factorizes as M = Q Λ Qᵀ with
+// orthonormal Q.  Jacobi iteration is the right tool at neuron sizes
+// (n = C_in·K² is at most a few thousand): it is simple, numerically
+// robust, and delivers orthonormal eigenvectors to machine precision.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace qdnn::linalg {
+
+struct EigResult {
+  // Eigenvalues sorted in descending order of magnitude — the order the
+  // paper's top-k selection uses (PCA-style, Sec. III-A).
+  Tensor eigenvalues;   // [n]
+  // Column i of eigenvectors is the unit eigenvector for eigenvalues[i].
+  Tensor eigenvectors;  // [n, n]
+};
+
+// Decomposes a symmetric matrix.  The input is validated for symmetry up
+// to `symmetry_tol` (pass a large value to skip, e.g. after symmetrize()).
+EigResult eigh(const Tensor& m, double symmetry_tol = 1e-4);
+
+// Lemma 1: returns (M + Mᵀ)/2, the unique symmetric matrix with the same
+// quadratic form xᵀMx.
+Tensor symmetrize(const Tensor& m);
+
+// Reconstructs Q diag(λ) Qᵀ from a (possibly truncated) eigensystem:
+// q is [n, k], lambda is [k].
+Tensor reconstruct(const Tensor& q, const Tensor& lambda);
+
+// Frobenius norm of a matrix.
+double frobenius_norm(const Tensor& m);
+
+// Evaluates the quadratic form xᵀ M x (reference implementation).
+double quadratic_form(const Tensor& m, const Tensor& x);
+
+}  // namespace qdnn::linalg

@@ -1,0 +1,151 @@
+#include "linalg/gemm.h"
+
+#include <vector>
+
+namespace qdnn::linalg {
+
+namespace {
+
+// Blocked kernel for the no-transpose case: C += alpha * A(m,k) * B(k,n).
+// ikj ordering keeps B rows streaming and lets the compiler vectorize the
+// inner j loop.
+void gemm_nn(index_t m, index_t n, index_t k, float alpha, const float* a,
+             index_t lda, const float* b, index_t ldb, float* c,
+             index_t ldc) {
+  constexpr index_t kBlockI = 64;
+  constexpr index_t kBlockK = 256;
+  for (index_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const index_t i1 = std::min(i0 + kBlockI, m);
+    for (index_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const index_t p1 = std::min(p0 + kBlockK, k);
+      for (index_t i = i0; i < i1; ++i) {
+        float* ci = c + i * ldc;
+        const float* ai = a + i * lda;
+        for (index_t p = p0; p < p1; ++p) {
+          const float av = alpha * ai[p];
+          if (av == 0.0f) continue;
+          const float* bp = b + p * ldb;
+          for (index_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc) {
+  // Scale / clear C first.
+  if (beta == 0.0f) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) c[i * ldc + j] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (!trans_a && !trans_b) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // For transposed operands, materialize the effective row-major matrix
+  // once and reuse the fast kernel.  The packs are small relative to the
+  // O(mnk) work and keep a single well-optimized inner loop.
+  std::vector<float> pack;
+  const float* aa = a;
+  index_t alda = lda;
+  if (trans_a) {
+    pack.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+    for (index_t p = 0; p < k; ++p)
+      for (index_t i = 0; i < m; ++i)
+        pack[static_cast<std::size_t>(i * k + p)] = a[p * lda + i];
+    aa = pack.data();
+    alda = k;
+  }
+  std::vector<float> packb;
+  const float* bb = b;
+  index_t bldb = ldb;
+  if (trans_b) {
+    packb.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p)
+        packb[static_cast<std::size_t>(p * n + j)] = b[j * ldb + p];
+    bb = packb.data();
+    bldb = n;
+  }
+  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  QDNN_CHECK_EQ(a.rank(), 2, "matmul: a must be rank 2");
+  QDNN_CHECK_EQ(b.rank(), 2, "matmul: b must be rank 2");
+  QDNN_CHECK_EQ(a.dim(1), b.dim(0), "matmul: inner dims");
+  Tensor c{Shape{a.dim(0), b.dim(1)}};
+  gemm(false, false, a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), a.dim(1),
+       b.data(), b.dim(1), 0.0f, c.data(), c.dim(1));
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  QDNN_CHECK_EQ(a.rank(), 2, "matmul_tn: a must be rank 2");
+  QDNN_CHECK_EQ(b.rank(), 2, "matmul_tn: b must be rank 2");
+  QDNN_CHECK_EQ(a.dim(0), b.dim(0), "matmul_tn: inner dims");
+  Tensor c{Shape{a.dim(1), b.dim(1)}};
+  gemm(true, false, a.dim(1), b.dim(1), a.dim(0), 1.0f, a.data(), a.dim(1),
+       b.data(), b.dim(1), 0.0f, c.data(), c.dim(1));
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  QDNN_CHECK_EQ(a.rank(), 2, "matmul_nt: a must be rank 2");
+  QDNN_CHECK_EQ(b.rank(), 2, "matmul_nt: b must be rank 2");
+  QDNN_CHECK_EQ(a.dim(1), b.dim(1), "matmul_nt: inner dims");
+  Tensor c{Shape{a.dim(0), b.dim(0)}};
+  gemm(false, true, a.dim(0), b.dim(0), a.dim(1), 1.0f, a.data(), a.dim(1),
+       b.data(), b.dim(1), 0.0f, c.data(), c.dim(1));
+  return c;
+}
+
+void gemv(bool trans_a, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, float beta, float* y) {
+  const index_t out_dim = trans_a ? n : m;
+  if (beta == 0.0f) {
+    for (index_t i = 0; i < out_dim; ++i) y[i] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (index_t i = 0; i < out_dim; ++i) y[i] *= beta;
+  }
+  if (!trans_a) {
+    for (index_t i = 0; i < m; ++i)
+      y[i] += alpha * dot(a + i * lda, x, n);
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      const float xv = alpha * x[i];
+      if (xv == 0.0f) continue;
+      const float* ai = a + i * lda;
+      for (index_t j = 0; j < n; ++j) y[j] += xv * ai[j];
+    }
+  }
+}
+
+float dot(const float* a, const float* b, index_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  index_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void axpy(index_t n, float alpha, const float* x, float* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace qdnn::linalg

@@ -1,0 +1,32 @@
+// Dense matrix kernels.  These are the hot paths of the library: conv
+// layers (via im2col), attention, and every quadratic-neuron variant reduce
+// to calls here.  Implementation is a cache-blocked ikj kernel with
+// optional transposes — no BLAS dependency, deterministic results.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace qdnn::linalg {
+
+// C(m,n) = alpha * op(A) * op(B) + beta * C
+// op(A) is A (m,k) when !trans_a, or Aᵀ of A (k,m) when trans_a.
+void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc);
+
+// Convenience wrappers on Tensor ([m,k] x [k,n] -> [m,n]).
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);  // aᵀ b, a is [k,m]
+Tensor matmul_nt(const Tensor& a, const Tensor& b);  // a bᵀ, b is [n,k]
+
+// y(m) = op(A) x + beta*y
+void gemv(bool trans_a, index_t m, index_t n, float alpha, const float* a,
+          index_t lda, const float* x, float beta, float* y);
+
+// Dot product over n elements.
+float dot(const float* a, const float* b, index_t n);
+
+// y += alpha * x  (n elements).
+void axpy(index_t n, float alpha, const float* x, float* y);
+
+}  // namespace qdnn::linalg

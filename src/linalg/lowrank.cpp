@@ -1,0 +1,38 @@
+#include "linalg/lowrank.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace qdnn::linalg {
+
+LowRankFactors truncate_top_k(const Tensor& symmetric_m, index_t k) {
+  const index_t n = symmetric_m.dim(0);
+  QDNN_CHECK(k >= 1 && k <= n, "truncate_top_k: need 1 <= k <= n, got k="
+                                   << k << " n=" << n);
+  const EigResult eig = eigh(symmetric_m);
+  LowRankFactors f{Tensor{Shape{n, k}}, Tensor{Shape{k}}};
+  for (index_t c = 0; c < k; ++c) {
+    f.lambda[c] = eig.eigenvalues[c];
+    for (index_t i = 0; i < n; ++i) f.q.at(i, c) = eig.eigenvectors.at(i, c);
+  }
+  return f;
+}
+
+double truncation_error(const Tensor& symmetric_m, const LowRankFactors& f) {
+  const Tensor approx = reconstruct(f.q, f.lambda);
+  Tensor diff = symmetric_m;
+  diff -= approx;
+  return frobenius_norm(diff);
+}
+
+LowRankFactors random_rank_k(index_t n, index_t k, std::uint64_t seed) {
+  QDNN_CHECK(k >= 1 && k <= n, "random_rank_k: need 1 <= k <= n");
+  Rng rng(seed);
+  LowRankFactors f{Tensor{Shape{n, k}}, Tensor{Shape{k}}};
+  rng.fill_normal(f.q, 0.0f, 1.0f / std::sqrt(static_cast<float>(n)));
+  rng.fill_normal(f.lambda, 0.0f, 1.0f);
+  return f;
+}
+
+}  // namespace qdnn::linalg

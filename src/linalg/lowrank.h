@@ -1,0 +1,32 @@
+// Top-k spectral truncation — the paper's Sec. III-A approximation step.
+//
+// Given a symmetric M, truncate(M, k) keeps the k eigenpairs of largest
+// |λ| so that Mᵏ = Qᵏ Λᵏ (Qᵏ)ᵀ is the best rank-k approximation of M in
+// Frobenius norm (Eckart–Young–Mirsky).  This is both the initializer for
+// converting trained general-quadratic layers into the proposed form
+// (quadratic/convert.h) and the object the property tests interrogate.
+#pragma once
+
+#include "linalg/eig.h"
+
+namespace qdnn::linalg {
+
+struct LowRankFactors {
+  Tensor q;       // [n, k] — first k eigenvector columns
+  Tensor lambda;  // [k]    — top-k eigenvalues by magnitude, descending
+};
+
+// Truncates a symmetric matrix to its top-k spectral components.
+// Requires 1 <= k <= n.
+LowRankFactors truncate_top_k(const Tensor& symmetric_m, index_t k);
+
+// The approximation error ‖M − Mᵏ‖_F.  For a symmetric M this equals
+// sqrt(Σ_{i>k} λᵢ²), which the tests verify.
+double truncation_error(const Tensor& symmetric_m, const LowRankFactors& f);
+
+// Greedy alternative used as a *baseline* in ablations: random rank-k
+// factors with the same parameter count (shows the value of spectral
+// initialization).
+LowRankFactors random_rank_k(index_t n, index_t k, std::uint64_t seed);
+
+}  // namespace qdnn::linalg

@@ -1,0 +1,290 @@
+#include "models/resnet.h"
+
+#include "quadratic/complexity.h"
+
+namespace qdnn::models {
+
+using quadratic::conv_layer_cost;
+using quadratic::conv_out_channels;
+using quadratic::make_conv_neuron;
+using quadratic::NeuronKind;
+
+// ---------------------------------------------------------------------------
+// BasicBlock
+// ---------------------------------------------------------------------------
+
+BasicBlock::BasicBlock(index_t in_channels, index_t target_width,
+                       index_t stride, const NeuronSpec& spec1,
+                       const NeuronSpec& spec2, Rng& rng, std::string name)
+    : name_(std::move(name)) {
+  const index_t width1 = conv_out_channels(spec1, target_width);
+  const index_t width2 = conv_out_channels(spec2, target_width);
+  out_channels_ = width2;
+
+  conv1_ = make_conv_neuron(spec1, in_channels, target_width, 3, stride, 1,
+                            rng, name_ + ".conv1");
+  bn1_ = std::make_unique<nn::BatchNorm2d>(width1, 0.1f, 1e-5f,
+                                           name_ + ".bn1");
+  conv2_ = make_conv_neuron(spec2, width1, target_width, 3, 1, 1, rng,
+                            name_ + ".conv2");
+  bn2_ = std::make_unique<nn::BatchNorm2d>(width2, 0.1f, 1e-5f,
+                                           name_ + ".bn2");
+
+  identity_shortcut_ = (stride == 1 && in_channels == width2);
+  if (!identity_shortcut_) {
+    short_conv_ = std::make_unique<nn::Conv2d>(in_channels, width2, 1,
+                                               stride, 0, rng,
+                                               /*bias=*/false,
+                                               name_ + ".short");
+    short_bn_ = std::make_unique<nn::BatchNorm2d>(width2, 0.1f, 1e-5f,
+                                                  name_ + ".short_bn");
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& input) {
+  Tensor main = conv1_->forward(input);
+  main = bn1_->forward(main);
+  main = relu1_.forward(main);
+  main = conv2_->forward(main);
+  main = bn2_->forward(main);
+
+  Tensor shortcut;
+  if (identity_shortcut_) {
+    shortcut = input;
+  } else {
+    shortcut = short_conv_->forward(input);
+    shortcut = short_bn_->forward(shortcut);
+  }
+  main += shortcut;
+  return relu2_.forward(main);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  Tensor g = relu2_.backward(grad_output);
+  // Both branches receive g (the sum node fans the gradient out).
+  Tensor g_main = bn2_->backward(g);
+  g_main = conv2_->backward(g_main);
+  g_main = relu1_.backward(g_main);
+  g_main = bn1_->backward(g_main);
+  g_main = conv1_->backward(g_main);
+
+  if (identity_shortcut_) {
+    g_main += g;
+    return g_main;
+  }
+  Tensor g_short = short_bn_->backward(g);
+  g_short = short_conv_->backward(g_short);
+  g_main += g_short;
+  return g_main;
+}
+
+std::vector<nn::Parameter*> BasicBlock::parameters() {
+  std::vector<nn::Parameter*> params;
+  auto absorb = [&params](nn::Module& m) {
+    for (nn::Parameter* p : m.parameters()) params.push_back(p);
+  };
+  absorb(*conv1_);
+  absorb(*bn1_);
+  absorb(*conv2_);
+  absorb(*bn2_);
+  if (!identity_shortcut_) {
+    absorb(*short_conv_);
+    absorb(*short_bn_);
+  }
+  return params;
+}
+
+std::vector<nn::NamedBuffer> BasicBlock::buffers() {
+  std::vector<nn::NamedBuffer> bufs;
+  auto absorb = [&bufs](nn::Module& m) {
+    for (const nn::NamedBuffer& b : m.buffers()) bufs.push_back(b);
+  };
+  absorb(*conv1_);
+  absorb(*bn1_);
+  absorb(*conv2_);
+  absorb(*bn2_);
+  if (!identity_shortcut_) {
+    absorb(*short_conv_);
+    absorb(*short_bn_);
+  }
+  return bufs;
+}
+
+void BasicBlock::set_training(bool training) {
+  nn::Module::set_training(training);
+  conv1_->set_training(training);
+  bn1_->set_training(training);
+  relu1_.set_training(training);
+  conv2_->set_training(training);
+  bn2_->set_training(training);
+  relu2_.set_training(training);
+  if (!identity_shortcut_) {
+    short_conv_->set_training(training);
+    short_bn_->set_training(training);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResNet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Hands out the neuron spec per conv layer, honoring quad_layer_limit
+// (Fig. 6's "KNN-n" = non-linear family in the first n conv layers only).
+class SpecDispenser {
+ public:
+  SpecDispenser(const NeuronSpec& spec, index_t limit)
+      : spec_(spec), limit_(limit) {}
+
+  NeuronSpec next() {
+    const index_t idx = count_++;
+    if (limit_ >= 0 && idx >= limit_) return NeuronSpec::linear();
+    return spec_;
+  }
+
+ private:
+  NeuronSpec spec_;
+  index_t limit_;
+  index_t count_ = 0;
+};
+
+}  // namespace
+
+ResNet::ResNet(const ResNetConfig& config,
+               const std::vector<StageSpec>& stages, std::string name)
+    : config_(config), name_(std::move(name)) {
+  Rng rng(config.seed);
+  SpecDispenser dispenser(config.spec, config.quad_layer_limit);
+
+  index_t hw = config.image_size;
+  index_t channels = config.in_channels;
+
+  // Stem: 3×3 conv to base width.
+  const NeuronSpec stem_spec = dispenser.next();
+  const index_t stem_width = conv_out_channels(stem_spec, config.base_width);
+  stem_ = make_conv_neuron(stem_spec, channels, config.base_width, 3, 1, 1,
+                           rng, name_ + ".stem");
+  conv_layers_.push_back(stem_.get());
+  macs_per_image_ +=
+      conv_layer_cost(stem_spec, channels, 3,
+                      stem_spec.kind == NeuronKind::kProposed
+                          ? quadratic::proposed_filters(stem_spec,
+                                                        config.base_width)
+                          : config.base_width,
+                      hw * hw)
+          .macs;
+  stem_bn_ = std::make_unique<nn::BatchNorm2d>(stem_width, 0.1f, 1e-5f,
+                                               name_ + ".stem_bn");
+  channels = stem_width;
+
+  index_t block_idx = 0;
+  for (const StageSpec& stage : stages) {
+    const index_t width = config.base_width * stage.width_mult;
+    for (index_t b = 0; b < stage.blocks; ++b) {
+      const index_t stride = (b == 0) ? stage.stride : 1;
+      const NeuronSpec spec1 = dispenser.next();
+      const NeuronSpec spec2 = dispenser.next();
+      const index_t out_hw = hw / stride;
+
+      // MAC accounting for the two convs (+ projection shortcut if any).
+      auto conv_macs = [&](const NeuronSpec& s, index_t in_ch,
+                           index_t positions) {
+        const index_t filters =
+            s.kind == NeuronKind::kProposed
+                ? quadratic::proposed_filters(s, width)
+                : width;
+        return conv_layer_cost(s, in_ch, 3, filters, positions).macs;
+      };
+      macs_per_image_ += conv_macs(spec1, channels, out_hw * out_hw);
+      const index_t width1 = conv_out_channels(spec1, width);
+      macs_per_image_ += conv_macs(spec2, width1, out_hw * out_hw);
+      const index_t width2 = conv_out_channels(spec2, width);
+      if (stride != 1 || channels != width2)
+        macs_per_image_ += channels * width2 * out_hw * out_hw;
+
+      auto block = std::make_unique<BasicBlock>(
+          channels, width, stride, spec1, spec2, rng,
+          name_ + ".block" + std::to_string(block_idx++));
+      conv_layers_.push_back(block.get());
+      channels = block->out_channels();
+      hw = out_hw;
+      blocks_.push_back(std::move(block));
+    }
+  }
+
+  fc_ = std::make_unique<nn::Linear>(channels, config.num_classes, rng,
+                                     true, name_ + ".fc");
+  macs_per_image_ += channels * config.num_classes;
+}
+
+Tensor ResNet::forward(const Tensor& input) {
+  Tensor x = stem_->forward(input);
+  x = stem_bn_->forward(x);
+  x = stem_relu_.forward(x);
+  for (auto& block : blocks_) x = block->forward(x);
+  x = gap_.forward(x);
+  return fc_->forward(x);
+}
+
+Tensor ResNet::backward(const Tensor& grad_output) {
+  Tensor g = fc_->backward(grad_output);
+  g = gap_.backward(g);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+    g = (*it)->backward(g);
+  g = stem_relu_.backward(g);
+  g = stem_bn_->backward(g);
+  return stem_->backward(g);
+}
+
+std::vector<nn::Parameter*> ResNet::parameters() {
+  std::vector<nn::Parameter*> params;
+  auto absorb = [&params](nn::Module& m) {
+    for (nn::Parameter* p : m.parameters()) params.push_back(p);
+  };
+  absorb(*stem_);
+  absorb(*stem_bn_);
+  for (auto& block : blocks_) absorb(*block);
+  absorb(*fc_);
+  return params;
+}
+
+std::vector<nn::NamedBuffer> ResNet::buffers() {
+  std::vector<nn::NamedBuffer> bufs;
+  auto absorb = [&bufs](nn::Module& m) {
+    for (const nn::NamedBuffer& b : m.buffers()) bufs.push_back(b);
+  };
+  absorb(*stem_);
+  absorb(*stem_bn_);
+  for (auto& block : blocks_) absorb(*block);
+  absorb(*fc_);
+  return bufs;
+}
+
+void ResNet::set_training(bool training) {
+  nn::Module::set_training(training);
+  stem_->set_training(training);
+  stem_bn_->set_training(training);
+  stem_relu_.set_training(training);
+  for (auto& block : blocks_) block->set_training(training);
+  gap_.set_training(training);
+  fc_->set_training(training);
+}
+
+std::unique_ptr<ResNet> make_cifar_resnet(const ResNetConfig& config) {
+  QDNN_CHECK((config.depth - 2) % 6 == 0,
+             "CIFAR ResNet depth must be 6n+2, got " << config.depth);
+  const index_t n = (config.depth - 2) / 6;
+  const std::vector<StageSpec> stages{
+      {n, 1, 1}, {n, 2, 2}, {n, 4, 2}};
+  return std::make_unique<ResNet>(
+      config, stages, "resnet" + std::to_string(config.depth));
+}
+
+std::unique_ptr<ResNet> make_resnet18(const ResNetConfig& config) {
+  const std::vector<StageSpec> stages{
+      {2, 1, 1}, {2, 2, 2}, {2, 4, 2}, {2, 8, 2}};
+  return std::make_unique<ResNet>(config, stages, "resnet18");
+}
+
+}  // namespace qdnn::models

@@ -1,0 +1,128 @@
+// ResNet model family with pluggable neuron types.
+//
+// Two constructions from the paper's experiments:
+//  * CIFAR ResNets (He et al.): depth = 6n+2 ∈ {20, 32, 44, 56, 110},
+//    three stages of widths {w, 2w, 4w}, used for Figs. 4, 5, 7 and 8.
+//  * ResNet-18 (ImageNet-style stem, four stages of two basic blocks),
+//    used for the Fig. 6 training-stability study.
+//
+// The builder threads a NeuronSpec through every convolutional layer.  For
+// the proposed neuron each conv sizes itself to ⌈target/(k+1)⌉ filters
+// (the paper's "fewer neurons for the same feature map", Sec. III-C);
+// BatchNorm/downstream layers adapt to the actual channel count.  Shortcut
+// 1×1 projections stay linear (they are dimension adapters, not feature
+// extractors).  A `quad_layer_limit` restricts the non-linear family to
+// the first n conv layers — the "KNN-n" configurations of Fig. 6.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/activations.h"
+#include "quadratic/quad_conv.h"
+
+namespace qdnn::models {
+
+using quadratic::NeuronSpec;
+
+struct ResNetConfig {
+  index_t depth = 20;          // CIFAR family: 6n+2
+  index_t num_classes = 10;
+  index_t in_channels = 3;
+  index_t image_size = 32;     // square inputs
+  index_t base_width = 16;     // width of the first stage
+  NeuronSpec spec;             // neuron family for conv layers
+  // Deploy `spec` only in the first `quad_layer_limit` conv layers
+  // (counting the stem), linear elsewhere.  -1 = all layers.
+  index_t quad_layer_limit = -1;
+  std::uint64_t seed = 1;
+};
+
+// One pre-activation-free basic block: conv-bn-relu-conv-bn (+ skip) -relu.
+class BasicBlock : public nn::Module {
+ public:
+  BasicBlock(index_t in_channels, index_t target_width, index_t stride,
+             const NeuronSpec& spec1, const NeuronSpec& spec2, Rng& rng,
+             std::string name);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::vector<nn::NamedBuffer> buffers() override;
+  std::string name() const override { return name_; }
+  void set_training(bool training) override;
+
+  index_t out_channels() const { return out_channels_; }
+
+ private:
+  std::string name_;
+  index_t out_channels_;
+  nn::ModulePtr conv1_;
+  std::unique_ptr<nn::BatchNorm2d> bn1_;
+  nn::ReLU relu1_;
+  nn::ModulePtr conv2_;
+  std::unique_ptr<nn::BatchNorm2d> bn2_;
+  nn::ReLU relu2_;
+  // Projection shortcut when stride != 1 or channel mismatch.
+  std::unique_ptr<nn::Conv2d> short_conv_;
+  std::unique_ptr<nn::BatchNorm2d> short_bn_;
+  Tensor cached_shortcut_in_;  // needed when shortcut is identity
+  bool identity_shortcut_ = true;
+};
+
+// One stage of the network: `blocks` BasicBlocks at width
+// base_width·width_mult, the first with the given stride.
+struct StageSpec {
+  index_t blocks = 1;
+  index_t width_mult = 1;
+  index_t stride = 1;
+};
+
+class ResNet : public nn::Module {
+ public:
+  ResNet(const ResNetConfig& config, const std::vector<StageSpec>& stages,
+         std::string name);
+
+  // input: [N, C, H, W] images; output: [N, num_classes] logits.
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::vector<nn::NamedBuffer> buffers() override;
+  std::string name() const override { return name_; }
+  void set_training(bool training) override;
+
+  const ResNetConfig& config() const { return config_; }
+  // Analytic multiply-accumulate count for one image (accumulated from
+  // the conv/fc geometry at build time) — the paper's "FLOPs/MMacs" axis.
+  index_t macs_per_image() const { return macs_per_image_; }
+  // Conv layers in creation order with their layer names — used by the
+  // Fig 7/8 analyses.
+  const std::vector<nn::Module*>& conv_layers() const { return conv_layers_; }
+
+ private:
+  friend class ResNetBuilderAccess;
+  ResNetConfig config_;
+  std::string name_;
+  nn::ModulePtr stem_;
+  std::unique_ptr<nn::BatchNorm2d> stem_bn_;
+  nn::ReLU stem_relu_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  nn::GlobalAvgPool2d gap_;
+  std::unique_ptr<nn::Linear> fc_;
+  index_t macs_per_image_ = 0;
+  std::vector<nn::Module*> conv_layers_;
+};
+
+// CIFAR-style ResNet (depth = 6n+2).
+std::unique_ptr<ResNet> make_cifar_resnet(const ResNetConfig& config);
+
+// ResNet-18-style network for the Fig. 6 stability experiment: four
+// stages of two blocks, widths {w, 2w, 4w, 8w}; stem is a 3×3 conv (the
+// 7×7 ImageNet stem is scaled down with the input resolution).
+std::unique_ptr<ResNet> make_resnet18(const ResNetConfig& config);
+
+}  // namespace qdnn::models

@@ -1,0 +1,169 @@
+#include "models/transformer/attention.h"
+
+#include <cmath>
+
+#include "linalg/gemm.h"
+#include "nn/softmax.h"
+
+namespace qdnn::models {
+
+MultiHeadAttention::MultiHeadAttention(index_t d_model, index_t n_heads,
+                                       index_t proj_dim,
+                                       const quadratic::NeuronSpec& spec,
+                                       Rng& rng, std::string name)
+    : d_model_(d_model),
+      n_heads_(n_heads),
+      proj_dim_(proj_dim),
+      head_dim_(proj_dim / n_heads),
+      name_(std::move(name)) {
+  QDNN_CHECK(proj_dim % n_heads == 0,
+             name_ << ": proj_dim " << proj_dim << " not divisible by "
+                   << n_heads << " heads");
+  wq_ = quadratic::make_dense_neuron(spec, d_model, proj_dim, rng,
+                                     name_ + ".wq");
+  wk_ = quadratic::make_dense_neuron(spec, d_model, proj_dim, rng,
+                                     name_ + ".wk");
+  wv_ = quadratic::make_dense_neuron(spec, d_model, proj_dim, rng,
+                                     name_ + ".wv");
+  wo_ = quadratic::make_dense_neuron(spec, proj_dim, d_model, rng,
+                                     name_ + ".wo");
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& q_input,
+                                   const Tensor& kv_input, index_t n,
+                                   index_t tq, index_t tk, bool causal,
+                                   const std::vector<index_t>& kv_lengths) {
+  QDNN_CHECK_EQ(q_input.dim(0), n * tq, name_ << ": q rows");
+  QDNN_CHECK_EQ(kv_input.dim(0), n * tk, name_ << ": kv rows");
+  QDNN_CHECK(kv_lengths.empty() ||
+                 static_cast<index_t>(kv_lengths.size()) == n,
+             name_ << ": kv_lengths size");
+  n_ = n;
+  tq_ = tq;
+  tk_ = tk;
+
+  q_ = wq_->forward(q_input);
+  k_ = wk_->forward(kv_input);
+  v_ = wv_->forward(kv_input);
+
+  attn_ = Tensor{Shape{n, n_heads_, tq, tk}};
+  Tensor context{Shape{n * tq, proj_dim_}};
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  for (index_t s = 0; s < n; ++s) {
+    const index_t valid_k =
+        kv_lengths.empty() ? tk : kv_lengths[static_cast<std::size_t>(s)];
+    for (index_t h = 0; h < n_heads_; ++h) {
+      float* scores = attn_.data() + ((s * n_heads_ + h) * tq) * tk;
+      // scores[i, j] = (q_i · k_j) * scale over this head's slice.
+      for (index_t i = 0; i < tq; ++i) {
+        const float* q_row =
+            q_.data() + (s * tq + i) * proj_dim_ + h * head_dim_;
+        float* score_row = scores + i * tk;
+        const index_t limit = causal ? std::min(i + 1, valid_k) : valid_k;
+        for (index_t j = 0; j < tk; ++j) {
+          if (j < limit) {
+            const float* k_row =
+                k_.data() + (s * tk + j) * proj_dim_ + h * head_dim_;
+            score_row[j] = scale * linalg::dot(q_row, k_row, head_dim_);
+          } else {
+            score_row[j] = -1e30f;  // masked: pad or future position
+          }
+        }
+      }
+      nn::softmax_rows(scores, tq, tk);
+      // context = attn · V
+      for (index_t i = 0; i < tq; ++i) {
+        float* ctx_row =
+            context.data() + (s * tq + i) * proj_dim_ + h * head_dim_;
+        const float* score_row = scores + i * tk;
+        for (index_t j = 0; j < tk; ++j) {
+          const float a = score_row[j];
+          if (a == 0.0f) continue;
+          const float* v_row =
+              v_.data() + (s * tk + j) * proj_dim_ + h * head_dim_;
+          linalg::axpy(head_dim_, a, v_row, ctx_row);
+        }
+      }
+    }
+  }
+  // Keep the context for wo_'s backward via its own cache.
+  return wo_->forward(context);
+}
+
+std::pair<Tensor, Tensor> MultiHeadAttention::backward(
+    const Tensor& grad_output) {
+  QDNN_CHECK(n_ > 0, name_ << ": backward before forward");
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  Tensor g_context = wo_->backward(grad_output);  // [N·Tq, P]
+  Tensor g_q{Shape{n_ * tq_, proj_dim_}};
+  Tensor g_k{Shape{n_ * tk_, proj_dim_}};
+  Tensor g_v{Shape{n_ * tk_, proj_dim_}};
+
+  std::vector<float> g_scores(static_cast<std::size_t>(tq_ * tk_));
+  for (index_t s = 0; s < n_; ++s) {
+    for (index_t h = 0; h < n_heads_; ++h) {
+      const float* attn = attn_.data() + ((s * n_heads_ + h) * tq_) * tk_;
+      // dL/d(attn[i,j]) = g_ctx_i · v_j ; dL/dv_j += attn[i,j] g_ctx_i
+      for (index_t i = 0; i < tq_; ++i) {
+        const float* gc_row =
+            g_context.data() + (s * tq_ + i) * proj_dim_ + h * head_dim_;
+        const float* attn_row = attn + i * tk_;
+        float* gs_row = g_scores.data() + i * tk_;
+        for (index_t j = 0; j < tk_; ++j) {
+          const float* v_row =
+              v_.data() + (s * tk_ + j) * proj_dim_ + h * head_dim_;
+          gs_row[j] = linalg::dot(gc_row, v_row, head_dim_);
+          if (attn_row[j] != 0.0f) {
+            float* gv_row =
+                g_v.data() + (s * tk_ + j) * proj_dim_ + h * head_dim_;
+            linalg::axpy(head_dim_, attn_row[j], gc_row, gv_row);
+          }
+        }
+      }
+      // Back through softmax (masked entries have attn = 0, so they
+      // receive zero gradient automatically).
+      nn::softmax_backward_rows(attn, g_scores.data(), tq_, tk_);
+      // dq_i += scale * Σ_j gs[i,j] k_j ; dk_j += scale * Σ_i gs[i,j] q_i
+      for (index_t i = 0; i < tq_; ++i) {
+        float* gq_row =
+            g_q.data() + (s * tq_ + i) * proj_dim_ + h * head_dim_;
+        const float* q_row =
+            q_.data() + (s * tq_ + i) * proj_dim_ + h * head_dim_;
+        const float* gs_row = g_scores.data() + i * tk_;
+        for (index_t j = 0; j < tk_; ++j) {
+          const float g = gs_row[j] * scale;
+          if (g == 0.0f) continue;
+          const float* k_row =
+              k_.data() + (s * tk_ + j) * proj_dim_ + h * head_dim_;
+          linalg::axpy(head_dim_, g, k_row, gq_row);
+          float* gk_row =
+              g_k.data() + (s * tk_ + j) * proj_dim_ + h * head_dim_;
+          linalg::axpy(head_dim_, g, q_row, gk_row);
+        }
+      }
+    }
+  }
+
+  Tensor grad_q_input = wq_->backward(g_q);
+  Tensor grad_kv_input = wk_->backward(g_k);
+  grad_kv_input += wv_->backward(g_v);
+  return {std::move(grad_q_input), std::move(grad_kv_input)};
+}
+
+std::vector<nn::Parameter*> MultiHeadAttention::parameters() {
+  std::vector<nn::Parameter*> params;
+  for (nn::Module* m : {wq_.get(), wk_.get(), wv_.get(), wo_.get()})
+    for (nn::Parameter* p : m->parameters()) params.push_back(p);
+  return params;
+}
+
+void MultiHeadAttention::set_training(bool training) {
+  wq_->set_training(training);
+  wk_->set_training(training);
+  wv_->set_training(training);
+  wo_->set_training(training);
+}
+
+}  // namespace qdnn::models

@@ -1,0 +1,25 @@
+#include "models/transformer/feedforward.h"
+
+namespace qdnn::models {
+
+FeedForward::FeedForward(index_t d_model, index_t d_ff, Rng& rng,
+                         std::string name)
+    : name_(std::move(name)),
+      fc1_(d_model, d_ff, rng, true, name_ + ".fc1"),
+      fc2_(d_ff, d_model, rng, true, name_ + ".fc2") {}
+
+Tensor FeedForward::forward(const Tensor& input) {
+  return fc2_.forward(relu_.forward(fc1_.forward(input)));
+}
+
+Tensor FeedForward::backward(const Tensor& grad_output) {
+  return fc1_.backward(relu_.backward(fc2_.backward(grad_output)));
+}
+
+std::vector<nn::Parameter*> FeedForward::parameters() {
+  std::vector<nn::Parameter*> params = fc1_.parameters();
+  for (nn::Parameter* p : fc2_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace qdnn::models

@@ -1,0 +1,33 @@
+#include "models/transformer/positional.h"
+
+#include <cmath>
+
+namespace qdnn::models {
+
+PositionalEncoding::PositionalEncoding(index_t max_len, index_t d_model)
+    : max_len_(max_len), d_model_(d_model), table_{Shape{max_len, d_model}} {
+  for (index_t pos = 0; pos < max_len; ++pos) {
+    for (index_t i = 0; i < d_model; i += 2) {
+      const double angle =
+          pos / std::pow(10000.0, static_cast<double>(i) / d_model);
+      table_.at(pos, i) = static_cast<float>(std::sin(angle));
+      if (i + 1 < d_model)
+        table_.at(pos, i + 1) = static_cast<float>(std::cos(angle));
+    }
+  }
+}
+
+void PositionalEncoding::add_to(Tensor& flat, index_t n, index_t t) const {
+  QDNN_CHECK(t <= max_len_, "sequence length " << t << " exceeds max_len "
+                                               << max_len_);
+  QDNN_CHECK_EQ(flat.dim(0), n * t, "positional: rows");
+  QDNN_CHECK_EQ(flat.dim(1), d_model_, "positional: d_model");
+  for (index_t s = 0; s < n; ++s)
+    for (index_t pos = 0; pos < t; ++pos) {
+      float* row = flat.data() + (s * t + pos) * d_model_;
+      const float* pe = table_.data() + pos * d_model_;
+      for (index_t d = 0; d < d_model_; ++d) row[d] += pe[d];
+    }
+}
+
+}  // namespace qdnn::models

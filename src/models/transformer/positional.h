@@ -1,0 +1,23 @@
+// Sinusoidal positional encoding (Vaswani et al., Eq. 5): added to the
+// scaled token embeddings.  Precomputed once for a maximum length.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace qdnn::models {
+
+class PositionalEncoding {
+ public:
+  PositionalEncoding(index_t max_len, index_t d_model);
+
+  // Adds PE[0..t) to a flattened [N·T, D] activation.
+  void add_to(Tensor& flat, index_t n, index_t t) const;
+
+  const Tensor& table() const { return table_; }
+
+ private:
+  index_t max_len_, d_model_;
+  Tensor table_;  // [max_len, d_model]
+};
+
+}  // namespace qdnn::models

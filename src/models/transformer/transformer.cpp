@@ -1,0 +1,297 @@
+#include "models/transformer/transformer.h"
+
+#include <cmath>
+
+namespace qdnn::models {
+
+// ---------------------------------------------------------------------------
+// EncoderLayer
+// ---------------------------------------------------------------------------
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng& rng,
+                           std::string name)
+    : self_attn_(config.d_model, config.n_heads, config.proj_dim,
+                 config.spec, rng, name + ".self"),
+      drop1_(config.dropout, rng, name + ".drop1"),
+      ln1_(config.d_model, 1e-5f, name + ".ln1"),
+      ffn_(config.d_model, config.d_ff, rng, name + ".ffn"),
+      drop2_(config.dropout, rng, name + ".drop2"),
+      ln2_(config.d_model, 1e-5f, name + ".ln2") {}
+
+Tensor EncoderLayer::forward(const Tensor& x, index_t n, index_t t,
+                             const std::vector<index_t>& lengths) {
+  Tensor a = self_attn_.forward(x, x, n, t, t, /*causal=*/false, lengths);
+  a = drop1_.forward(a);
+  a += x;
+  Tensor x1 = ln1_.forward(a);
+  Tensor f = ffn_.forward(x1);
+  f = drop2_.forward(f);
+  f += x1;
+  return ln2_.forward(f);
+}
+
+Tensor EncoderLayer::backward(const Tensor& grad) {
+  Tensor g2 = ln2_.backward(grad);
+  Tensor g_f = drop2_.backward(g2);
+  Tensor g_x1 = ffn_.backward(g_f);
+  g_x1 += g2;  // residual branch
+  Tensor g1 = ln1_.backward(g_x1);
+  Tensor g_a = drop1_.backward(g1);
+  auto [gq, gkv] = self_attn_.backward(g_a);
+  gq += gkv;
+  gq += g1;  // residual branch
+  return gq;
+}
+
+std::vector<nn::Parameter*> EncoderLayer::parameters() {
+  std::vector<nn::Parameter*> params = self_attn_.parameters();
+  for (nn::Parameter* p : ln1_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : ffn_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : ln2_.parameters()) params.push_back(p);
+  return params;
+}
+
+void EncoderLayer::set_training(bool training) {
+  self_attn_.set_training(training);
+  drop1_.set_training(training);
+  ln1_.set_training(training);
+  ffn_.set_training(training);
+  drop2_.set_training(training);
+  ln2_.set_training(training);
+}
+
+// ---------------------------------------------------------------------------
+// DecoderLayer
+// ---------------------------------------------------------------------------
+
+DecoderLayer::DecoderLayer(const TransformerConfig& config, Rng& rng,
+                           std::string name)
+    : self_attn_(config.d_model, config.n_heads, config.proj_dim,
+                 config.spec, rng, name + ".self"),
+      drop1_(config.dropout, rng, name + ".drop1"),
+      ln1_(config.d_model, 1e-5f, name + ".ln1"),
+      cross_attn_(config.d_model, config.n_heads, config.proj_dim,
+                  config.spec, rng, name + ".cross"),
+      drop2_(config.dropout, rng, name + ".drop2"),
+      ln2_(config.d_model, 1e-5f, name + ".ln2"),
+      ffn_(config.d_model, config.d_ff, rng, name + ".ffn"),
+      drop3_(config.dropout, rng, name + ".drop3"),
+      ln3_(config.d_model, 1e-5f, name + ".ln3") {}
+
+Tensor DecoderLayer::forward(const Tensor& y, const Tensor& enc_out,
+                             index_t n, index_t tt, index_t ts,
+                             const std::vector<index_t>& src_lengths) {
+  Tensor a = self_attn_.forward(y, y, n, tt, tt, /*causal=*/true, {});
+  a = drop1_.forward(a);
+  a += y;
+  Tensor y1 = ln1_.forward(a);
+  Tensor c = cross_attn_.forward(y1, enc_out, n, tt, ts, /*causal=*/false,
+                                 src_lengths);
+  c = drop2_.forward(c);
+  c += y1;
+  Tensor y2 = ln2_.forward(c);
+  Tensor f = ffn_.forward(y2);
+  f = drop3_.forward(f);
+  f += y2;
+  return ln3_.forward(f);
+}
+
+std::pair<Tensor, Tensor> DecoderLayer::backward(const Tensor& grad) {
+  Tensor g3 = ln3_.backward(grad);
+  Tensor g_f = drop3_.backward(g3);
+  Tensor g_y2 = ffn_.backward(g_f);
+  g_y2 += g3;
+  Tensor g2 = ln2_.backward(g_y2);
+  Tensor g_c = drop2_.backward(g2);
+  auto [gq_c, g_enc] = cross_attn_.backward(g_c);
+  gq_c += g2;
+  Tensor g1 = ln1_.backward(gq_c);
+  Tensor g_a = drop1_.backward(g1);
+  auto [gq_s, gkv_s] = self_attn_.backward(g_a);
+  gq_s += gkv_s;
+  gq_s += g1;
+  return {std::move(gq_s), std::move(g_enc)};
+}
+
+std::vector<nn::Parameter*> DecoderLayer::parameters() {
+  std::vector<nn::Parameter*> params = self_attn_.parameters();
+  for (nn::Parameter* p : ln1_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : cross_attn_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : ln2_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : ffn_.parameters()) params.push_back(p);
+  for (nn::Parameter* p : ln3_.parameters()) params.push_back(p);
+  return params;
+}
+
+void DecoderLayer::set_training(bool training) {
+  self_attn_.set_training(training);
+  drop1_.set_training(training);
+  ln1_.set_training(training);
+  cross_attn_.set_training(training);
+  drop2_.set_training(training);
+  ln2_.set_training(training);
+  ffn_.set_training(training);
+  drop3_.set_training(training);
+  ln3_.set_training(training);
+}
+
+// ---------------------------------------------------------------------------
+// Transformer
+// ---------------------------------------------------------------------------
+
+Transformer::Transformer(const TransformerConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      pos_(config.max_len, config.d_model) {
+  src_embed_ = std::make_unique<nn::Embedding>(config.src_vocab,
+                                               config.d_model, rng_,
+                                               "src_embed");
+  tgt_embed_ = std::make_unique<nn::Embedding>(config.tgt_vocab,
+                                               config.d_model, rng_,
+                                               "tgt_embed");
+  for (index_t l = 0; l < config.n_layers; ++l) {
+    encoder_.push_back(std::make_unique<EncoderLayer>(
+        config, rng_, "enc" + std::to_string(l)));
+    decoder_.push_back(std::make_unique<DecoderLayer>(
+        config, rng_, "dec" + std::to_string(l)));
+  }
+  out_proj_ = std::make_unique<nn::Linear>(config.d_model, config.tgt_vocab,
+                                           rng_, true, "out_proj");
+}
+
+Tensor Transformer::encode(const Tensor& src_ids,
+                           const std::vector<index_t>& src_lengths) {
+  const index_t n = src_ids.dim(0), ts = src_ids.dim(1);
+  Tensor x = src_embed_->forward(src_ids);
+  x = x.reshaped(Shape{n * ts, config_.d_model});
+  x *= std::sqrt(static_cast<float>(config_.d_model));
+  pos_.add_to(x, n, ts);
+  for (auto& layer : encoder_) x = layer->forward(x, n, ts, src_lengths);
+  return x;
+}
+
+Tensor Transformer::decode(const Tensor& tgt_in_ids, const Tensor& enc_out,
+                           index_t ts,
+                           const std::vector<index_t>& src_lengths) {
+  const index_t n = tgt_in_ids.dim(0), tt = tgt_in_ids.dim(1);
+  Tensor y = tgt_embed_->forward(tgt_in_ids);
+  y = y.reshaped(Shape{n * tt, config_.d_model});
+  y *= std::sqrt(static_cast<float>(config_.d_model));
+  pos_.add_to(y, n, tt);
+  for (auto& layer : decoder_)
+    y = layer->forward(y, enc_out, n, tt, ts, src_lengths);
+  return out_proj_->forward(y);
+}
+
+Tensor Transformer::forward_train(const Tensor& src_ids,
+                                  const Tensor& tgt_in_ids,
+                                  const std::vector<index_t>& src_lengths) {
+  QDNN_CHECK_EQ(src_ids.dim(0), tgt_in_ids.dim(0),
+                "transformer: batch mismatch");
+  n_ = src_ids.dim(0);
+  ts_ = src_ids.dim(1);
+  tt_ = tgt_in_ids.dim(1);
+  src_lengths_ = src_lengths;
+  const Tensor enc_out = encode(src_ids, src_lengths);
+  return decode(tgt_in_ids, enc_out, ts_, src_lengths);
+}
+
+void Transformer::backward(const Tensor& grad_logits) {
+  QDNN_CHECK(n_ > 0, "transformer: backward before forward_train");
+  Tensor g_y = out_proj_->backward(grad_logits);
+
+  // Decoder stack (reverse); accumulate encoder-output gradient across all
+  // decoder layers' cross-attention.
+  Tensor g_enc{Shape{n_ * ts_, config_.d_model}};
+  for (auto it = decoder_.rbegin(); it != decoder_.rend(); ++it) {
+    auto [g_y_next, g_enc_layer] = (*it)->backward(g_y);
+    g_y = std::move(g_y_next);
+    g_enc += g_enc_layer;
+  }
+  // Back through the target embedding (+ scale; positional table is
+  // constant).
+  g_y *= std::sqrt(static_cast<float>(config_.d_model));
+  tgt_embed_->backward(g_y.reshaped(Shape{n_, tt_, config_.d_model}));
+
+  // Encoder stack (reverse).
+  for (auto it = encoder_.rbegin(); it != encoder_.rend(); ++it)
+    g_enc = (*it)->backward(g_enc);
+  g_enc *= std::sqrt(static_cast<float>(config_.d_model));
+  src_embed_->backward(g_enc.reshaped(Shape{n_, ts_, config_.d_model}));
+}
+
+std::vector<std::vector<index_t>> Transformer::greedy_decode(
+    const Tensor& src_ids, const std::vector<index_t>& src_lengths,
+    index_t bos, index_t eos, index_t max_steps) {
+  const index_t n = src_ids.dim(0);
+  const index_t ts = src_ids.dim(1);
+  QDNN_CHECK(max_steps <= config_.max_len, "greedy_decode: max_steps");
+  const Tensor enc_out = encode(src_ids, src_lengths);
+
+  std::vector<std::vector<index_t>> outputs(static_cast<std::size_t>(n));
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  // Growing teacher sequence, re-decoded each step (O(T²) but inference
+  // batches in the benches are small).
+  std::vector<std::vector<index_t>> prefix(static_cast<std::size_t>(n),
+                                           {bos});
+  for (index_t step = 0; step < max_steps; ++step) {
+    const index_t tt = step + 1;
+    Tensor tgt{Shape{n, tt}};
+    for (index_t s = 0; s < n; ++s)
+      for (index_t j = 0; j < tt; ++j)
+        tgt.at(s, j) =
+            static_cast<float>(prefix[static_cast<std::size_t>(s)]
+                               [static_cast<std::size_t>(j)]);
+    Tensor logits = decode(tgt, enc_out, ts, src_lengths);
+    bool all_done = true;
+    for (index_t s = 0; s < n; ++s) {
+      if (done[static_cast<std::size_t>(s)]) {
+        // Keep finished rows the same length as the rest of the batch so
+        // the next step's tgt tensor stays rectangular.
+        prefix[static_cast<std::size_t>(s)].push_back(eos);
+        continue;
+      }
+      const float* row =
+          logits.data() + ((s * tt) + (tt - 1)) * config_.tgt_vocab;
+      index_t best = 0;
+      for (index_t v = 1; v < config_.tgt_vocab; ++v)
+        if (row[v] > row[best]) best = v;
+      prefix[static_cast<std::size_t>(s)].push_back(best);
+      if (best == eos) {
+        done[static_cast<std::size_t>(s)] = true;
+      } else {
+        outputs[static_cast<std::size_t>(s)].push_back(best);
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  return outputs;
+}
+
+std::vector<nn::Parameter*> Transformer::parameters() {
+  std::vector<nn::Parameter*> params = src_embed_->parameters();
+  for (nn::Parameter* p : tgt_embed_->parameters()) params.push_back(p);
+  for (auto& layer : encoder_)
+    for (nn::Parameter* p : layer->parameters()) params.push_back(p);
+  for (auto& layer : decoder_)
+    for (nn::Parameter* p : layer->parameters()) params.push_back(p);
+  for (nn::Parameter* p : out_proj_->parameters()) params.push_back(p);
+  return params;
+}
+
+void Transformer::set_training(bool training) {
+  src_embed_->set_training(training);
+  tgt_embed_->set_training(training);
+  for (auto& layer : encoder_) layer->set_training(training);
+  for (auto& layer : decoder_) layer->set_training(training);
+  out_proj_->set_training(training);
+}
+
+index_t Transformer::num_parameters() {
+  index_t n = 0;
+  for (nn::Parameter* p : parameters()) n += p->numel();
+  return n;
+}
+
+}  // namespace qdnn::models

@@ -1,0 +1,93 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  cached_mask_ = Tensor{input.shape()};
+  for (index_t i = 0; i < out.numel(); ++i) {
+    if (out[i] > 0.0f) {
+      cached_mask_[i] = 1.0f;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_mask_.empty(), name_ << ": backward before forward");
+  return hadamard(grad_output, cached_mask_);
+}
+
+namespace {
+// tanh-approximation GELU and its derivative.
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+float gelu_value(float x) {
+  const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+  return 0.5f * x * (1.0f + t);
+}
+
+float gelu_grad(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+}  // namespace
+
+Tensor GELU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (index_t i = 0; i < out.numel(); ++i) out[i] = gelu_value(out[i]);
+  return out;
+}
+
+Tensor GELU::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
+  Tensor grad = grad_output;
+  for (index_t i = 0; i < grad.numel(); ++i)
+    grad[i] *= gelu_grad(cached_input_[i]);
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (index_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_output_.empty(), name_ << ": backward before forward");
+  Tensor grad = grad_output;
+  for (index_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out = input;
+  for (index_t i = 0; i < out.numel(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_output_.empty(), name_ << ": backward before forward");
+  Tensor grad = grad_output;
+  for (index_t i = 0; i < grad.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+}  // namespace qdnn::nn

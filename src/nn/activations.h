@@ -1,0 +1,61 @@
+// Element-wise activation modules (shape-preserving, any rank).
+//
+// ReLU follows the conv/quadratic layers in the ResNets; GELU is the
+// Transformer FFN activation.  Note the proposed quadratic neuron's
+// non-linearity lives *before* the activation (in the neuron itself), so
+// these compose with every neuron family unchanged.
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class ReLU : public Module {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_mask_;
+};
+
+class GELU : public Module {
+ public:
+  explicit GELU(std::string name = "gelu") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  explicit Tanh(std::string name = "tanh") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Module {
+ public:
+  explicit Sigmoid(std::string name = "sigmoid") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_output_;
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,155 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+BatchNorm2d::BatchNorm2d(index_t channels, float momentum, float eps,
+                         std::string name)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      name_(std::move(name)),
+      gamma_(name_ + ".gamma", Tensor{Shape{channels}, 1.0f}),
+      beta_(name_ + ".beta", Tensor{Shape{channels}}),
+      running_mean_{Shape{channels}},
+      running_var_{Shape{channels}, 1.0f} {
+  QDNN_CHECK(channels > 0, "BatchNorm2d: channels must be positive");
+  gamma_.decay = false;
+  beta_.decay = false;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input.dim(1), channels_, name_ << ": channels");
+  const index_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const index_t plane = h * w;
+  const index_t count = n * plane;
+
+  Tensor out{input.shape()};
+  cached_training_ = training_;
+  if (training_) {
+    cached_xhat_ = Tensor{input.shape()};
+    cached_invstd_ = Tensor{Shape{channels_}};
+    cached_count_ = count;
+    for (index_t c = 0; c < channels_; ++c) {
+      double mean = 0.0;
+      for (index_t s = 0; s < n; ++s) {
+        const float* p = input.data() + (s * channels_ + c) * plane;
+        for (index_t j = 0; j < plane; ++j) mean += p[j];
+      }
+      mean /= count;
+      double var = 0.0;
+      for (index_t s = 0; s < n; ++s) {
+        const float* p = input.data() + (s * channels_ + c) * plane;
+        for (index_t j = 0; j < plane; ++j) {
+          const double d = p[j] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;
+      const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_invstd_[c] = invstd;
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
+      const float g = gamma_.value[c], b = beta_.value[c];
+      const float fmean = static_cast<float>(mean);
+      for (index_t s = 0; s < n; ++s) {
+        const float* p = input.data() + (s * channels_ + c) * plane;
+        float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
+        float* o = out.data() + (s * channels_ + c) * plane;
+        for (index_t j = 0; j < plane; ++j) {
+          xh[j] = (p[j] - fmean) * invstd;
+          o[j] = g * xh[j] + b;
+        }
+      }
+    }
+  } else {
+    cached_xhat_ = Tensor{input.shape()};
+    cached_invstd_ = Tensor{Shape{channels_}};
+    cached_count_ = count;
+    for (index_t c = 0; c < channels_; ++c) {
+      const float invstd = 1.0f / std::sqrt(running_var_[c] + eps_);
+      cached_invstd_[c] = invstd;
+      const float g = gamma_.value[c], b = beta_.value[c];
+      const float mean = running_mean_[c];
+      for (index_t s = 0; s < n; ++s) {
+        const float* p = input.data() + (s * channels_ + c) * plane;
+        float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
+        float* o = out.data() + (s * channels_ + c) * plane;
+        for (index_t j = 0; j < plane; ++j) {
+          xh[j] = (p[j] - mean) * invstd;
+          o[j] = g * xh[j] + b;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_xhat_.empty(), name_ << ": backward before forward");
+  QDNN_CHECK(grad_output.shape() == cached_xhat_.shape(),
+             name_ << ": grad shape");
+  const index_t n = grad_output.dim(0), h = grad_output.dim(2),
+                w = grad_output.dim(3);
+  const index_t plane = h * w;
+  const double count = static_cast<double>(cached_count_);
+
+  Tensor grad_input{grad_output.shape()};
+  if (!cached_training_) {
+    // Eval mode: y = γ·x̂(running) + β is element-wise affine in x.
+    for (index_t c = 0; c < channels_; ++c) {
+      const float scale = gamma_.value[c] * cached_invstd_[c];
+      double sum_g = 0.0, sum_gx = 0.0;
+      for (index_t s = 0; s < n; ++s) {
+        const float* g = grad_output.data() + (s * channels_ + c) * plane;
+        const float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
+        float* gi = grad_input.data() + (s * channels_ + c) * plane;
+        for (index_t j = 0; j < plane; ++j) {
+          sum_g += g[j];
+          sum_gx += static_cast<double>(g[j]) * xh[j];
+          gi[j] = scale * g[j];
+        }
+      }
+      gamma_.grad[c] += static_cast<float>(sum_gx);
+      beta_.grad[c] += static_cast<float>(sum_g);
+    }
+    return grad_input;
+  }
+  for (index_t c = 0; c < channels_; ++c) {
+    // Accumulate dγ = Σ g·x̂ and dβ = Σ g.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (index_t s = 0; s < n; ++s) {
+      const float* g = grad_output.data() + (s * channels_ + c) * plane;
+      const float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
+      for (index_t j = 0; j < plane; ++j) {
+        sum_g += g[j];
+        sum_gx += static_cast<double>(g[j]) * xh[j];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gx);
+    beta_.grad[c] += static_cast<float>(sum_g);
+
+    // dx = (γ·invstd / m) * (m·g − Σg − x̂·Σ(g·x̂))
+    const float scale = gamma_.value[c] * cached_invstd_[c];
+    const float mean_g = static_cast<float>(sum_g / count);
+    const float mean_gx = static_cast<float>(sum_gx / count);
+    for (index_t s = 0; s < n; ++s) {
+      const float* g = grad_output.data() + (s * channels_ + c) * plane;
+      const float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
+      float* gi = grad_input.data() + (s * channels_ + c) * plane;
+      for (index_t j = 0; j < plane; ++j)
+        gi[j] = scale * (g[j] - mean_g - xh[j] * mean_gx);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() {
+  return {&gamma_, &beta_};
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,50 @@
+// BatchNorm2d over [N, C, H, W]: per-channel normalization with learned
+// affine (γ, β) and running statistics for inference.
+//
+// Every ResNet in the paper (linear and quadratic) places BatchNorm after
+// each conv; for the proposed neuron the k+1 output channels per filter
+// are normalized independently, which keeps the fᵏ feature channels on the
+// same scale as the quadratic output y.
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(index_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f, std::string name = "bn");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedBuffer> buffers() override {
+    return {{name_ + ".running_mean", &running_mean_},
+            {name_ + ".running_var", &running_var_}};
+  }
+  std::string name() const override { return name_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  index_t channels_;
+  float momentum_;
+  float eps_;
+  std::string name_;
+  Parameter gamma_;  // [C]
+  Parameter beta_;   // [C]
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached by forward for backward.  In eval mode the layer is a fixed
+  // affine map (running stats), so backward reduces to the scale term —
+  // supported so frozen-BN fine-tuning and eval-mode gradient checks work.
+  Tensor cached_xhat_;   // normalized input
+  Tensor cached_invstd_; // [C]
+  index_t cached_count_ = 0;
+  bool cached_training_ = true;  // mode of the last forward
+};
+
+}  // namespace qdnn::nn

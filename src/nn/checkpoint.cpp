@@ -1,0 +1,127 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "core/io.h"
+
+namespace qdnn::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x51434B50;  // "QCKP"
+
+void write_string(std::ofstream& out, const std::string& s) {
+  const std::uint32_t len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof len);
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof len);
+  QDNN_CHECK(in.good() && len < (1u << 20), "checkpoint: bad string");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  return s;
+}
+
+void write_entry(std::ofstream& out, const std::string& name,
+                 const Tensor& value) {
+  write_string(out, name);
+  const std::uint32_t rank = static_cast<std::uint32_t>(value.rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  for (index_t i = 0; i < value.rank(); ++i) {
+    const std::int64_t d = value.dim(i);
+    out.write(reinterpret_cast<const char*>(&d), sizeof d);
+  }
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.numel() * sizeof(float)));
+}
+
+// Named views over the module's persistent state: every parameter value
+// plus every buffer, in traversal order.
+std::vector<std::pair<std::string, Tensor*>> state_entries(Module& module) {
+  std::vector<std::pair<std::string, Tensor*>> entries;
+  for (Parameter* p : module.parameters()) entries.emplace_back(p->name, &p->value);
+  for (const NamedBuffer& b : module.buffers())
+    entries.emplace_back(b.name, b.tensor);
+  return entries;
+}
+
+}  // namespace
+
+void save_checkpoint(Module& module, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) ensure_directory(p.parent_path().string());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  QDNN_CHECK(out.good(), "checkpoint: cannot open " << path);
+
+  const auto entries = state_entries(module);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(entries.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& [name, value] : entries) write_entry(out, name, *value);
+  QDNN_CHECK(out.good(), "checkpoint: write failed for " << path);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QDNN_CHECK(in.good(), "checkpoint: cannot open " << path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  QDNN_CHECK_EQ(magic, kMagic, "checkpoint: bad magic in " << path);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+
+  // Index file entries by name.
+  std::map<std::string, Tensor> file_entries;
+  for (std::uint32_t e = 0; e < count; ++e) {
+    const std::string name = read_string(in);
+    std::uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof rank);
+    QDNN_CHECK(rank <= 8, "checkpoint: implausible rank " << rank);
+    std::vector<index_t> dims(rank);
+    for (auto& d : dims) {
+      std::int64_t v = 0;
+      in.read(reinterpret_cast<char*>(&v), sizeof v);
+      d = v;
+    }
+    Tensor t{Shape(dims)};
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    QDNN_CHECK(in.good(), "checkpoint: truncated at entry " << name);
+    file_entries.emplace(name, std::move(t));
+  }
+
+  const auto entries = state_entries(module);
+  QDNN_CHECK_EQ(entries.size(), file_entries.size(),
+                "checkpoint: state entry count mismatch (architecture "
+                "changed?)");
+  for (const auto& [name, value] : entries) {
+    const auto it = file_entries.find(name);
+    QDNN_CHECK(it != file_entries.end(),
+               "checkpoint: missing entry " << name);
+    QDNN_CHECK(it->second.shape() == value->shape(),
+               "checkpoint: shape mismatch for "
+                   << name << " (" << it->second.shape() << " vs "
+                   << value->shape() << ")");
+    *value = it->second;
+  }
+}
+
+void copy_state(Module& src, Module& dst) {
+  const auto s = state_entries(src);
+  const auto d = state_entries(dst);
+  QDNN_CHECK_EQ(s.size(), d.size(), "copy_state: entry count mismatch");
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    QDNN_CHECK_EQ(s[i].first, d[i].first,
+                  "copy_state: name mismatch at index " << i);
+    QDNN_CHECK(s[i].second->shape() == d[i].second->shape(),
+               "copy_state: shape mismatch for " << s[i].first);
+    *d[i].second = *s[i].second;
+  }
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,30 @@
+// Model checkpointing: saves/restores every Parameter AND every named
+// buffer (BatchNorm running statistics) of a module tree by name.  The
+// format is a simple indexed container of the core tensor serialization,
+// so checkpoints are portable across runs as long as the architecture
+// (and therefore the parameter/buffer names and shapes) matches.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+// Writes all parameters and buffers of `module` to `path`.
+void save_checkpoint(Module& module, const std::string& path);
+
+// Loads a checkpoint saved by save_checkpoint into `module`.  Every
+// parameter and buffer in the module must be present in the file with a
+// matching shape; extra entries in the file are an error (they indicate
+// an architecture mismatch).
+void load_checkpoint(Module& module, const std::string& path);
+
+// Copies all parameter values and buffers from `src` into `dst`.  The two
+// modules must be architecturally identical (same parameter/buffer names
+// and shapes in the same order) — the in-memory equivalent of
+// save_checkpoint + load_checkpoint, used to clone trained models for
+// quantization and ablation studies.
+void copy_state(Module& src, Module& dst);
+
+}  // namespace qdnn::nn

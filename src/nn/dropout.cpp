@@ -1,0 +1,36 @@
+#include "nn/dropout.h"
+
+namespace qdnn::nn {
+
+Dropout::Dropout(float p, Rng& rng, std::string name)
+    : p_(p), rng_(&rng), name_(std::move(name)) {
+  QDNN_CHECK(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0f) {
+    identity_ = true;
+    return input;
+  }
+  identity_ = false;
+  cached_mask_ = Tensor{input.shape()};
+  const float scale = 1.0f / (1.0f - p_);
+  Tensor out = input;
+  for (index_t i = 0; i < out.numel(); ++i) {
+    if (rng_->bernoulli(p_)) {
+      out[i] = 0.0f;
+    } else {
+      cached_mask_[i] = scale;
+      out[i] *= scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (identity_) return grad_output;
+  QDNN_CHECK(!cached_mask_.empty(), name_ << ": backward before forward");
+  return hadamard(grad_output, cached_mask_);
+}
+
+}  // namespace qdnn::nn

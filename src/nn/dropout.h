@@ -1,0 +1,27 @@
+// Inverted dropout (scale-at-train).  The Transformer experiments use
+// p = 0.1 as in "Attention Is All You Need"; disabled automatically in
+// eval mode.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng& rng, std::string name = "dropout");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  std::string name_;
+  Tensor cached_mask_;
+  bool identity_ = false;
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,53 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+Embedding::Embedding(index_t vocab_size, index_t dim, Rng& rng,
+                     std::string name)
+    : vocab_size_(vocab_size),
+      dim_(dim),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", Tensor{Shape{vocab_size, dim}}) {
+  QDNN_CHECK(vocab_size > 0 && dim > 0, "Embedding: dims must be positive");
+  rng.fill_normal(weight_.value, 0.0f,
+                  1.0f / std::sqrt(static_cast<float>(dim)));
+  weight_.decay = false;
+}
+
+Tensor Embedding::forward(const Tensor& ids) {
+  QDNN_CHECK_EQ(ids.rank(), 2, name_ << ": expected [N, T]");
+  cached_ids_ = ids;
+  const index_t n = ids.dim(0), t = ids.dim(1);
+  Tensor out{Shape{n, t, dim_}};
+  for (index_t i = 0; i < n * t; ++i) {
+    const index_t id = static_cast<index_t>(ids[i]);
+    QDNN_CHECK(id >= 0 && id < vocab_size_,
+               name_ << ": token id " << id << " out of vocab "
+                     << vocab_size_);
+    const float* src = weight_.value.data() + id * dim_;
+    float* dst = out.data() + i * dim_;
+    for (index_t d = 0; d < dim_; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_ids_.empty(), name_ << ": backward before forward");
+  const index_t n = cached_ids_.dim(0), t = cached_ids_.dim(1);
+  QDNN_CHECK(grad_output.shape() == Shape({n, t, dim_}),
+             name_ << ": grad shape");
+  for (index_t i = 0; i < n * t; ++i) {
+    const index_t id = static_cast<index_t>(cached_ids_[i]);
+    const float* src = grad_output.data() + i * dim_;
+    float* dst = weight_.grad.data() + id * dim_;
+    for (index_t d = 0; d < dim_; ++d) dst[d] += src[d];
+  }
+  // Ids are not differentiable; return an empty gradient.
+  return Tensor{};
+}
+
+std::vector<Parameter*> Embedding::parameters() { return {&weight_}; }
+
+}  // namespace qdnn::nn

@@ -1,0 +1,34 @@
+// Token embedding lookup: ids [N, T] (stored as floats holding integral
+// values) -> [N, T, D].  Shared between the Transformer encoder/decoder
+// and tied (optionally) with the output projection, as in the paper's
+// Table II baseline configuration.
+#pragma once
+
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(index_t vocab_size, index_t dim, Rng& rng,
+            std::string name = "embed");
+
+  Tensor forward(const Tensor& ids) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  Parameter& weight() { return weight_; }
+  index_t vocab_size() const { return vocab_size_; }
+  index_t dim() const { return dim_; }
+
+ private:
+  index_t vocab_size_;
+  index_t dim_;
+  std::string name_;
+  Parameter weight_;  // [V, D]
+  Tensor cached_ids_;
+};
+
+}  // namespace qdnn::nn

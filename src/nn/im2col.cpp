@@ -1,0 +1,64 @@
+#include "nn/im2col.h"
+
+namespace qdnn::nn {
+
+void im2col(const float* image, index_t height, index_t width,
+            const ConvGeometry& g, float* cols) {
+  const index_t oh = g.out_extent(height);
+  const index_t ow = g.out_extent(width);
+  const index_t n_cols = oh * ow;
+  index_t row = 0;
+  for (index_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = image + c * height * width;
+    for (index_t ky = 0; ky < g.kernel; ++ky) {
+      for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = cols + row * n_cols;
+        index_t col = 0;
+        for (index_t oy = 0; oy < oh; ++oy) {
+          const index_t iy = oy * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= height) {
+            for (index_t ox = 0; ox < ow; ++ox) out_row[col++] = 0.0f;
+            continue;
+          }
+          const float* img_row = chan + iy * width;
+          for (index_t ox = 0; ox < ow; ++ox) {
+            const index_t ix = ox * g.stride + kx - g.padding;
+            out_row[col++] =
+                (ix >= 0 && ix < width) ? img_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, index_t height, index_t width,
+            const ConvGeometry& g, float* image_grad) {
+  const index_t oh = g.out_extent(height);
+  const index_t ow = g.out_extent(width);
+  const index_t n_cols = oh * ow;
+  index_t row = 0;
+  for (index_t c = 0; c < g.in_channels; ++c) {
+    float* chan = image_grad + c * height * width;
+    for (index_t ky = 0; ky < g.kernel; ++ky) {
+      for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row = cols + row * n_cols;
+        index_t col = 0;
+        for (index_t oy = 0; oy < oh; ++oy) {
+          const index_t iy = oy * g.stride + ky - g.padding;
+          if (iy < 0 || iy >= height) {
+            col += ow;
+            continue;
+          }
+          float* img_row = chan + iy * width;
+          for (index_t ox = 0; ox < ow; ++ox, ++col) {
+            const index_t ix = ox * g.stride + kx - g.padding;
+            if (ix >= 0 && ix < width) img_row[ix] += in_row[col];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,28 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+void kaiming_normal(Tensor& w, index_t fan_in, Rng& rng) {
+  QDNN_CHECK(fan_in > 0, "kaiming_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(w, 0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& w, index_t fan_in, index_t fan_out, Rng& rng) {
+  QDNN_CHECK(fan_in > 0 && fan_out > 0, "xavier_uniform: fans positive");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(w, -bound, bound);
+}
+
+void uniform_bound(Tensor& w, float bound, Rng& rng) {
+  rng.fill_uniform(w, -bound, bound);
+}
+
+void lambda_init(Tensor& lambda, Rng& rng, float scale) {
+  rng.fill_uniform(lambda, -scale, scale);
+}
+
+}  // namespace qdnn::nn

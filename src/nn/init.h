@@ -1,0 +1,28 @@
+// Weight initialization schemes.
+//
+// ResNets use Kaiming (He) initialization for conv/linear weights; the
+// Transformer uses Xavier/Glorot.  The proposed quadratic neuron's Qᵏ is
+// initialized like a linear weight of the same fan-in (each column of Qᵏ
+// acts as an independent linear neuron, Sec. III-B) and Λᵏ starts small so
+// training begins near the linear regime.
+#pragma once
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace qdnn::nn {
+
+// He-normal: stddev = sqrt(2 / fan_in).
+void kaiming_normal(Tensor& w, index_t fan_in, Rng& rng);
+
+// Glorot-uniform: bound = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, index_t fan_in, index_t fan_out, Rng& rng);
+
+// Uniform in [-bound, bound].
+void uniform_bound(Tensor& w, float bound, Rng& rng);
+
+// Λᵏ initializer: small uniform values so the quadratic term starts as a
+// gentle perturbation of the linear neuron.
+void lambda_init(Tensor& lambda, Rng& rng, float scale = 0.05f);
+
+}  // namespace qdnn::nn

@@ -1,0 +1,78 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+LayerNorm::LayerNorm(index_t dim, float eps, std::string name)
+    : dim_(dim),
+      eps_(eps),
+      name_(std::move(name)),
+      gamma_(name_ + ".gamma", Tensor{Shape{dim}, 1.0f}),
+      beta_(name_ + ".beta", Tensor{Shape{dim}}) {
+  QDNN_CHECK(dim > 0, "LayerNorm: dim must be positive");
+  gamma_.decay = false;
+  beta_.decay = false;
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, D]");
+  QDNN_CHECK_EQ(input.dim(1), dim_, name_ << ": dim");
+  const index_t n = input.dim(0);
+  Tensor out{input.shape()};
+  cached_xhat_ = Tensor{input.shape()};
+  cached_invstd_ = Tensor{Shape{n}};
+  for (index_t i = 0; i < n; ++i) {
+    const float* x = input.data() + i * dim_;
+    double mean = 0.0;
+    for (index_t j = 0; j < dim_; ++j) mean += x[j];
+    mean /= dim_;
+    double var = 0.0;
+    for (index_t j = 0; j < dim_; ++j) {
+      const double d = x[j] - mean;
+      var += d * d;
+    }
+    var /= dim_;
+    const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    cached_invstd_[i] = invstd;
+    float* xh = cached_xhat_.data() + i * dim_;
+    float* o = out.data() + i * dim_;
+    const float fmean = static_cast<float>(mean);
+    for (index_t j = 0; j < dim_; ++j) {
+      xh[j] = (x[j] - fmean) * invstd;
+      o[j] = gamma_.value[j] * xh[j] + beta_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_xhat_.empty(), name_ << ": backward before forward");
+  const index_t n = grad_output.dim(0);
+  Tensor grad_input{grad_output.shape()};
+  for (index_t i = 0; i < n; ++i) {
+    const float* g = grad_output.data() + i * dim_;
+    const float* xh = cached_xhat_.data() + i * dim_;
+    float* gi = grad_input.data() + i * dim_;
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (index_t j = 0; j < dim_; ++j) {
+      const double gg = static_cast<double>(g[j]) * gamma_.value[j];
+      sum_g += gg;
+      sum_gx += gg * xh[j];
+      gamma_.grad[j] += g[j] * xh[j];
+      beta_.grad[j] += g[j];
+    }
+    const float mean_g = static_cast<float>(sum_g / dim_);
+    const float mean_gx = static_cast<float>(sum_gx / dim_);
+    const float invstd = cached_invstd_[i];
+    for (index_t j = 0; j < dim_; ++j) {
+      const float gg = g[j] * gamma_.value[j];
+      gi[j] = invstd * (gg - mean_g - xh[j] * mean_gx);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> LayerNorm::parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace qdnn::nn

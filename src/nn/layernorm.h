@@ -1,0 +1,29 @@
+// LayerNorm over the last dimension of [N, D] activations — the
+// normalization used by the Transformer blocks (Table II experiments).
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(index_t dim, float eps = 1e-5f,
+                     std::string name = "ln");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+ private:
+  index_t dim_;
+  float eps_;
+  std::string name_;
+  Parameter gamma_;  // [D]
+  Parameter beta_;   // [D]
+  Tensor cached_xhat_;
+  Tensor cached_invstd_;  // [N]
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,68 @@
+#include "nn/linear.h"
+
+#include "linalg/gemm.h"
+
+namespace qdnn::nn {
+
+Linear::Linear(index_t in_features, index_t out_features, Rng& rng,
+               bool bias, std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", Tensor{Shape{out_features, in_features}}),
+      bias_(name_ + ".bias",
+            bias ? Tensor{Shape{out_features}} : Tensor{}) {
+  QDNN_CHECK(in_features > 0 && out_features > 0,
+             "Linear: feature dims must be positive");
+  kaiming_normal(weight_.value, in_features_, rng);
+  bias_.decay = false;
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_features_, name_ << ": in_features");
+  cached_input_ = input;
+  const index_t n = input.dim(0);
+  Tensor out{Shape{n, out_features_}};
+  // out = input * Wᵀ
+  linalg::gemm(false, true, n, out_features_, in_features_, 1.0f,
+               input.data(), in_features_, weight_.value.data(),
+               in_features_, 0.0f, out.data(), out_features_);
+  if (has_bias_) {
+    for (index_t i = 0; i < n; ++i)
+      linalg::axpy(out_features_, 1.0f, bias_.value.data(),
+                   out.data() + i * out_features_);
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
+  QDNN_CHECK_EQ(grad_output.dim(1), out_features_, name_ << ": grad dims");
+  const index_t n = grad_output.dim(0);
+
+  // dW += gᵀ x  — [out, in]
+  linalg::gemm(true, false, out_features_, in_features_, n, 1.0f,
+               grad_output.data(), out_features_, cached_input_.data(),
+               in_features_, 1.0f, weight_.grad.data(), in_features_);
+  if (has_bias_) {
+    for (index_t i = 0; i < n; ++i)
+      linalg::axpy(out_features_, 1.0f, grad_output.data() + i * out_features_,
+                   bias_.grad.data());
+  }
+  // dx = g W — [n, in]
+  Tensor grad_input{Shape{n, in_features_}};
+  linalg::gemm(false, false, n, in_features_, out_features_, 1.0f,
+               grad_output.data(), out_features_, weight_.value.data(),
+               in_features_, 0.0f, grad_input.data(), in_features_);
+  return grad_input;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> params{&weight_};
+  if (has_bias_) params.push_back(&bias_);
+  return params;
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,41 @@
+// Fully-connected layer: y = x Wᵀ + b over a batch [N, in] -> [N, out].
+//
+// This is the "linear neuron" of the paper's Fig. 1a — the baseline every
+// quadratic variant is compared against — and the building block of the
+// Transformer projections that bench/table2_transformer swaps for
+// quadratic ones.
+#pragma once
+
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class Linear : public Module {
+ public:
+  Linear(index_t in_features, index_t out_features, Rng& rng,
+         bool bias = true, std::string name = "linear");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  index_t in_features() const { return in_features_; }
+  index_t out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  index_t in_features_;
+  index_t out_features_;
+  bool has_bias_;
+  std::string name_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace qdnn::nn

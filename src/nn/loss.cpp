@@ -1,0 +1,80 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+LossResult CrossEntropyLoss::operator()(
+    const Tensor& logits, const std::vector<index_t>& targets) const {
+  QDNN_CHECK_EQ(logits.rank(), 2, "CrossEntropyLoss: logits must be [N, C]");
+  const index_t n = logits.dim(0), c = logits.dim(1);
+  QDNN_CHECK_EQ(static_cast<index_t>(targets.size()), n,
+                "CrossEntropyLoss: target count");
+
+  LossResult result;
+  result.grad_logits = Tensor{logits.shape()};
+  double total = 0.0;
+
+  // First pass: count contributing rows so grads are scaled by 1/count.
+  index_t count = 0;
+  for (index_t i = 0; i < n; ++i)
+    if (targets[static_cast<std::size_t>(i)] != ignore_index_) ++count;
+  result.count = count;
+  if (count == 0) return result;
+  const float inv_count = 1.0f / static_cast<float>(count);
+
+  const float eps = label_smoothing_;
+  const float on_value = 1.0f - eps;
+  const float off_value = eps / static_cast<float>(c);
+
+  for (index_t i = 0; i < n; ++i) {
+    const index_t target = targets[static_cast<std::size_t>(i)];
+    if (target == ignore_index_) continue;
+    QDNN_CHECK(target >= 0 && target < c,
+               "CrossEntropyLoss: target " << target << " out of " << c);
+    const float* row = logits.data() + i * c;
+    float* grow = result.grad_logits.data() + i * c;
+
+    float mx = row[0];
+    for (index_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (index_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+    const double log_sum = std::log(sum) + mx;
+
+    // loss_i = −Σ_j q_j log p_j with q = smoothed one-hot.
+    double loss_i = 0.0;
+    index_t argmax = 0;
+    for (index_t j = 0; j < c; ++j) {
+      const double log_p = row[j] - log_sum;
+      const double q = (j == target) ? on_value + off_value : off_value;
+      loss_i -= q * log_p;
+      const float p = static_cast<float>(std::exp(log_p));
+      grow[j] = (p - static_cast<float>(q)) * inv_count;
+      if (row[j] > row[argmax]) argmax = j;
+    }
+    total += loss_i;
+    if (argmax == target) ++result.correct;
+  }
+  result.loss = static_cast<float>(total / count);
+  return result;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  QDNN_CHECK(pred.shape() == target.shape(), "mse_loss: shape mismatch");
+  LossResult result;
+  result.grad_logits = Tensor{pred.shape()};
+  const index_t n = pred.numel();
+  QDNN_CHECK(n > 0, "mse_loss: empty tensors");
+  double total = 0.0;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    total += 0.5 * static_cast<double>(d) * d;
+    result.grad_logits[i] = d * inv;
+  }
+  result.loss = static_cast<float>(total * inv);
+  result.count = n;
+  return result;
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,42 @@
+// Losses.  CrossEntropyLoss fuses log-softmax with NLL for numerical
+// stability; label smoothing (0.1 for the Transformer, 0 for the CNNs)
+// and an ignore_index for padded target positions are supported, matching
+// the training recipes of the paper's two experiment families.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn::nn {
+
+struct LossResult {
+  float loss = 0.0f;        // mean over contributing samples
+  Tensor grad_logits;       // dL/d(logits), same shape as logits
+  index_t count = 0;        // number of non-ignored samples
+  index_t correct = 0;      // top-1 correct predictions (for accuracy)
+};
+
+class CrossEntropyLoss {
+ public:
+  explicit CrossEntropyLoss(float label_smoothing = 0.0f,
+                            index_t ignore_index = -1)
+      : label_smoothing_(label_smoothing), ignore_index_(ignore_index) {
+    QDNN_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f,
+               "label smoothing in [0,1)");
+  }
+
+  // logits: [N, C]; targets: N class indices.
+  LossResult operator()(const Tensor& logits,
+                        const std::vector<index_t>& targets) const;
+
+ private:
+  float label_smoothing_;
+  index_t ignore_index_;
+};
+
+// Mean squared error (used by regression-style property tests and the
+// quickstart example): returns 0.5/N * Σ (pred − target)².
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace qdnn::nn

@@ -1,0 +1,5 @@
+#include "nn/module.h"
+
+// Module is header-only today; this TU anchors the vtable so the library
+// has a single translation unit emitting Module's RTTI.
+namespace qdnn::nn {}

@@ -1,0 +1,72 @@
+// Module: the layer abstraction of qdnn.
+//
+// qdnn uses explicit forward/backward (not taped autograd): forward()
+// caches whatever the layer needs, backward(grad_out) returns the gradient
+// w.r.t. the layer input and accumulates parameter gradients.  All
+// backward implementations are validated against central finite
+// differences in tests/nn/gradcheck_test.cpp.
+//
+// Data layout conventions:
+//   dense activations   [N, D]
+//   images              [N, C, H, W]
+//   token sequences     [N, T] (ids) / [N, T, D] (embedded, flattened to
+//                       [N*T, D] for dense sublayers)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace qdnn::nn {
+
+// A named non-trainable tensor owned by a module — persistent state that
+// is not updated by the optimizer but must survive checkpointing (the
+// canonical example: BatchNorm running statistics).
+struct NamedBuffer {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Computes the layer output and caches activations needed by backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  // Given dL/d(output), accumulates dL/d(params) into Parameter::grad and
+  // returns dL/d(input).  Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // All trainable parameters owned by this module (recursively).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  // All persistent non-trainable state (recursively) — saved and restored
+  // by nn::save_checkpoint/load_checkpoint alongside the parameters.
+  virtual std::vector<NamedBuffer> buffers() { return {}; }
+
+  // Human-readable identifier used in analysis outputs (Fig 7).
+  virtual std::string name() const = 0;
+
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  index_t num_parameters() {
+    index_t n = 0;
+    for (Parameter* p : parameters()) n += p->numel();
+    return n;
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace qdnn::nn

@@ -1,0 +1,38 @@
+// Parameter: a trainable tensor with its gradient and optimizer metadata.
+//
+// `lr_scale` implements the paper's per-group learning rates: the
+// eigenvalue vector Λᵏ of the proposed neuron trains at 1e-4…1e-6 while
+// the base LR is 0.1 (Sec. IV-A/IV-B), so Λ parameters carry
+// lr_scale = lr_Λ / lr_base and a single optimizer drives both groups.
+#pragma once
+
+#include <string>
+
+#include "core/tensor.h"
+
+namespace qdnn::nn {
+
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(value.shape()) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // Multiplies the optimizer's base learning rate for this parameter.
+  float lr_scale = 1.0f;
+  // Whether weight decay applies (biases and norms usually opt out).
+  bool decay = true;
+  // Analysis group: "linear" (w, biases, norms), "quadratic_q" (Qᵏ and
+  // other second-order weight factors) or "quadratic_lambda" (Λᵏ).  The
+  // Fig. 7 parameter-distribution experiment keys off this tag.
+  std::string group = "linear";
+
+  void zero_grad() { grad.zero(); }
+  index_t numel() const { return value.numel(); }
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,151 @@
+#include "nn/pooling.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qdnn::nn {
+
+Tensor GlobalAvgPool2d::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  cached_shape_ = input.shape();
+  const index_t n = input.dim(0), c = input.dim(1),
+                plane = input.dim(2) * input.dim(3);
+  Tensor out{Shape{n, c}};
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      const float* p = input.data() + (s * c + ch) * plane;
+      float acc = 0.0f;
+      for (index_t j = 0; j < plane; ++j) acc += p[j];
+      out.at(s, ch) = acc * inv;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool2d::backward(const Tensor& grad_output) {
+  QDNN_CHECK(cached_shape_.rank() == 4, name_ << ": backward before forward");
+  const index_t n = cached_shape_[0], c = cached_shape_[1],
+                plane = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_input{cached_shape_};
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.at(s, ch) * inv;
+      float* p = grad_input.data() + (s * c + ch) * plane;
+      for (index_t j = 0; j < plane; ++j) p[j] = g;
+    }
+  return grad_input;
+}
+
+MaxPool2d::MaxPool2d(index_t kernel, index_t stride, index_t padding,
+                     std::string name)
+    : kernel_(kernel), stride_(stride), padding_(padding),
+      name_(std::move(name)) {
+  QDNN_CHECK(kernel > 0 && stride > 0, "MaxPool2d: bad geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  cached_in_shape_ = input.shape();
+  const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const index_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor out{Shape{n, c, oh, ow}};
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  index_t oi = 0;
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (s * c + ch) * h * w;
+      for (index_t oy = 0; oy < oh; ++oy)
+        for (index_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          index_t best_idx = 0;
+          for (index_t ky = 0; ky < kernel_; ++ky) {
+            const index_t iy = oy * stride_ + ky - padding_;
+            if (iy < 0 || iy >= h) continue;
+            for (index_t kx = 0; kx < kernel_; ++kx) {
+              const index_t ix = ox * stride_ + kx - padding_;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = (s * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          }
+          // A window fully inside padding sees only -inf; map to 0 and point
+          // at an arbitrary (zero-grad) cell — cannot happen with the
+          // geometries used in the models, but keeps the layer total.
+          if (!std::isfinite(best)) best = 0.0f;
+          out[oi] = best;
+          argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+    }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  QDNN_CHECK(cached_in_shape_.rank() == 4,
+             name_ << ": backward before forward");
+  QDNN_CHECK_EQ(grad_output.numel(),
+                static_cast<index_t>(argmax_.size()),
+                name_ << ": grad size");
+  Tensor grad_input{cached_in_shape_};
+  for (index_t i = 0; i < grad_output.numel(); ++i)
+    grad_input[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(index_t kernel, index_t stride, std::string name)
+    : kernel_(kernel), stride_(stride), name_(std::move(name)) {
+  QDNN_CHECK(kernel > 0 && stride > 0, "AvgPool2d: bad geometry");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  cached_in_shape_ = input.shape();
+  const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t oh = (h - kernel_) / stride_ + 1;
+  const index_t ow = (w - kernel_) / stride_ + 1;
+  Tensor out{Shape{n, c, oh, ow}};
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (s * c + ch) * h * w;
+      for (index_t oy = 0; oy < oh; ++oy)
+        for (index_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (index_t ky = 0; ky < kernel_; ++ky)
+            for (index_t kx = 0; kx < kernel_; ++kx)
+              acc += plane[(oy * stride_ + ky) * w + ox * stride_ + kx];
+          out.at(s, ch, oy, ox) = acc * inv;
+        }
+    }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  QDNN_CHECK(cached_in_shape_.rank() == 4,
+             name_ << ": backward before forward");
+  const index_t n = cached_in_shape_[0], c = cached_in_shape_[1],
+                h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const index_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_input{cached_in_shape_};
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_input.data() + (s * c + ch) * h * w;
+      for (index_t oy = 0; oy < oh; ++oy)
+        for (index_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output.at(s, ch, oy, ox) * inv;
+          for (index_t ky = 0; ky < kernel_; ++ky)
+            for (index_t kx = 0; kx < kernel_; ++kx)
+              plane[(oy * stride_ + ky) * w + ox * stride_ + kx] += g;
+        }
+    }
+  return grad_input;
+}
+
+}  // namespace qdnn::nn

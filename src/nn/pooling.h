@@ -1,0 +1,51 @@
+// Pooling layers for the ResNet families.
+//
+// GlobalAvgPool2d ends every CIFAR ResNet ([N,C,H,W] -> [N,C]); MaxPool2d
+// is the ResNet-18 stem pool; AvgPool2d is available for ablations.
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class GlobalAvgPool2d : public Module {
+ public:
+  explicit GlobalAvgPool2d(std::string name = "gap") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape cached_shape_;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(index_t kernel, index_t stride, index_t padding = 0,
+            std::string name = "maxpool");
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  index_t kernel_, stride_, padding_;
+  std::string name_;
+  Shape cached_in_shape_;
+  std::vector<index_t> argmax_;  // flat input index per output element
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(index_t kernel, index_t stride, std::string name = "avgpool");
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  index_t kernel_, stride_;
+  std::string name_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,37 @@
+#include "nn/sequential.h"
+
+namespace qdnn::nn {
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& child : children_)
+    for (Parameter* p : child->parameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<NamedBuffer> Sequential::buffers() {
+  std::vector<NamedBuffer> bufs;
+  for (auto& child : children_)
+    for (const NamedBuffer& b : child->buffers()) bufs.push_back(b);
+  return bufs;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& child : children_) child->set_training(training);
+}
+
+}  // namespace qdnn::nn

@@ -1,0 +1,44 @@
+// Sequential: ordered composition of modules with chained forward and
+// reverse-order backward.  Owns its children.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name = "sequential")
+      : name_(std::move(name)) {}
+
+  // Appends a module; returns a raw observer pointer for wiring (the
+  // Sequential keeps ownership).
+  template <typename M, typename... Args>
+  M* emplace(Args&&... args) {
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = mod.get();
+    children_.push_back(std::move(mod));
+    return raw;
+  }
+
+  void append(ModulePtr m) { children_.push_back(std::move(m)); }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedBuffer> buffers() override;
+  std::string name() const override { return name_; }
+  void set_training(bool training) override;
+
+  index_t size() const { return static_cast<index_t>(children_.size()); }
+  Module& child(index_t i) { return *children_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::string name_;
+  std::vector<ModulePtr> children_;
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,49 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+
+namespace qdnn::nn {
+
+void softmax_rows(float* data, index_t rows, index_t cols) {
+  for (index_t r = 0; r < rows; ++r) {
+    float* row = data + r * cols;
+    float mx = row[0];
+    for (index_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (index_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (index_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void softmax_backward_rows(const float* y, float* g, index_t rows,
+                           index_t cols) {
+  for (index_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * cols;
+    float* gr = g + r * cols;
+    float dotv = 0.0f;
+    for (index_t c = 0; c < cols; ++c) dotv += yr[c] * gr[c];
+    for (index_t c = 0; c < cols; ++c) gr[c] = yr[c] * (gr[c] - dotv);
+  }
+}
+
+Tensor Softmax::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, C]");
+  Tensor out = input;
+  softmax_rows(out.data(), out.dim(0), out.dim(1));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Softmax::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_output_.empty(), name_ << ": backward before forward");
+  Tensor grad = grad_output;
+  softmax_backward_rows(cached_output_.data(), grad.data(), grad.dim(0),
+                        grad.dim(1));
+  return grad;
+}
+
+}  // namespace qdnn::nn

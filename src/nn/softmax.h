@@ -1,0 +1,29 @@
+// Row-wise softmax: free functions used by attention, plus a Module
+// wrapper.  Numerically stabilized by max-subtraction.
+#pragma once
+
+#include "nn/module.h"
+
+namespace qdnn::nn {
+
+// In-place softmax over each row of a [rows, cols] buffer.
+void softmax_rows(float* data, index_t rows, index_t cols);
+
+// Given y = softmax(x) row-wise and g = dL/dy, writes dL/dx in place into
+// g:  dx = y ⊙ (g − (g·y)).
+void softmax_backward_rows(const float* y, float* g, index_t rows,
+                           index_t cols);
+
+class Softmax : public Module {
+ public:
+  explicit Softmax(std::string name = "softmax") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor cached_output_;
+};
+
+}  // namespace qdnn::nn

@@ -1,0 +1,126 @@
+#include "quadratic/complexity.h"
+
+namespace qdnn::quadratic {
+
+NeuronCost neuron_cost(const NeuronSpec& spec, index_t n) {
+  QDNN_CHECK(n > 0, "neuron_cost: fan-in must be positive");
+  const index_t k = spec.rank;
+  NeuronCost c;
+  switch (spec.kind) {
+    case NeuronKind::kLinear:
+      // wᵀx
+      c.params = n;
+      c.macs = n;
+      break;
+    case NeuronKind::kGeneral:
+      // xᵀMx + wᵀx: M has n², w has n; quadratic form costs n² (with the
+      // running xᵀ· accumulation) plus 2n for the outer products/linear.
+      c.params = n * n + n;
+      c.macs = n * n + 2 * n;
+      break;
+    case NeuronKind::kPure:
+      // xᵀMx
+      c.params = n * n;
+      c.macs = n * n + n;
+      break;
+    case NeuronKind::kBuKarpatne:
+      // (w₁ᵀx)(w₂ᵀx) + w₁ᵀx — w₁ is reused by the linear term.
+      c.params = 2 * n;
+      c.macs = 2 * n;
+      break;
+    case NeuronKind::kLowRank:
+      // xᵀQ₁Q₂ᵀx + wᵀx: two n×k factors plus w; evaluating via
+      // a = Q₁ᵀx, b = Q₂ᵀx costs 2kn, plus k for a·b (Table I reports
+      // O(2kn + k), folding the linear term into the constant).
+      c.params = 2 * k * n + n;
+      c.macs = 2 * k * n + k;
+      break;
+    case NeuronKind::kQuad1:
+      // (w₁ᵀx)(w₂ᵀx) + w₃ᵀ(x⊙x): 3 weight vectors; the element-wise
+      // square costs an extra n multiplies.
+      c.params = 3 * n;
+      c.macs = 4 * n;
+      break;
+    case NeuronKind::kQuad2:
+      // (w₁ᵀx)(w₂ᵀx) + w₃ᵀx
+      c.params = 3 * n;
+      c.macs = 3 * n;
+      break;
+    case NeuronKind::kKervolution:
+      // (wᵀx + c)^d — same trainable parameters as a linear neuron.
+      c.params = n;
+      c.macs = n + spec.kerv_degree;
+      break;
+    case NeuronKind::kProposed:
+      // {xᵀQᵏΛᵏ(Qᵏ)ᵀx + wᵀx, (Qᵏ)ᵀx}: Qᵏ is n×k, Λᵏ diagonal (k), w is
+      // n.  MACs: n (linear) + kn (fᵏ = (Qᵏ)ᵀx) + 2k ((fᵏ)ᵀΛᵏfᵏ).
+      // Eq. (9) and Eq. (10) of the paper.
+      c.params = (k + 1) * n + k;
+      c.macs = (k + 1) * n + 2 * k;
+      c.outputs = k + 1;
+      break;
+    case NeuronKind::kProposedSumOnly:
+      // Same form and cost as the proposed neuron, but fᵏ is not emitted —
+      // a single output carries the whole (k+1)n + k budget.
+      c.params = (k + 1) * n + k;
+      c.macs = (k + 1) * n + 2 * k;
+      break;
+  }
+  return c;
+}
+
+double params_per_output(const NeuronSpec& spec, index_t n) {
+  const NeuronCost c = neuron_cost(spec, n);
+  return static_cast<double>(c.params) / static_cast<double>(c.outputs);
+}
+
+double macs_per_output(const NeuronSpec& spec, index_t n) {
+  const NeuronCost c = neuron_cost(spec, n);
+  return static_cast<double>(c.macs) / static_cast<double>(c.outputs);
+}
+
+LayerCost conv_layer_cost(const NeuronSpec& spec, index_t in_channels,
+                          index_t kernel, index_t filters,
+                          index_t spatial_positions) {
+  const index_t n = in_channels * kernel * kernel;
+  const NeuronCost c = neuron_cost(spec, n);
+  LayerCost layer;
+  layer.params = filters * c.params;
+  layer.macs = filters * c.macs * spatial_positions;
+  layer.out_channels = filters * c.outputs;
+  return layer;
+}
+
+std::string params_formula(const NeuronSpec& spec) {
+  switch (spec.kind) {
+    case NeuronKind::kLinear: return "O(n)";
+    case NeuronKind::kGeneral: return "O(n^2 + n)";
+    case NeuronKind::kPure: return "O(n^2)";
+    case NeuronKind::kBuKarpatne: return "O(2n)";
+    case NeuronKind::kLowRank: return "O(2kn + n)";
+    case NeuronKind::kQuad1: return "O(3n)";
+    case NeuronKind::kQuad2: return "O(3n)";
+    case NeuronKind::kKervolution: return "O(n)";
+    case NeuronKind::kProposed: return "O(n + k/(k+1)) per output";
+    case NeuronKind::kProposedSumOnly: return "O((k+1)n + k)";
+  }
+  return "?";
+}
+
+std::string macs_formula(const NeuronSpec& spec) {
+  switch (spec.kind) {
+    case NeuronKind::kLinear: return "O(n)";
+    case NeuronKind::kGeneral: return "O(n^2 + 2n)";
+    case NeuronKind::kPure: return "O(n^2 + n)";
+    case NeuronKind::kBuKarpatne: return "O(2n)";
+    case NeuronKind::kLowRank: return "O(2kn + k)";
+    case NeuronKind::kQuad1: return "O(4n)";
+    case NeuronKind::kQuad2: return "O(3n)";
+    case NeuronKind::kKervolution: return "O(n)";
+    case NeuronKind::kProposed: return "O(n + 2k/(k+1)) per output";
+    case NeuronKind::kProposedSumOnly: return "O((k+1)n + 2k)";
+  }
+  return "?";
+}
+
+}  // namespace qdnn::quadratic

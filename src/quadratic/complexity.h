@@ -1,0 +1,47 @@
+// Closed-form parameter / MAC cost models — the paper's Table I.
+//
+// `neuron_cost` returns the cost of ONE neuron of a family with fan-in n
+// and decomposition rank k (where applicable); `per_output_*` divide by
+// the number of outputs the neuron produces (the paper's "averaged
+// complexity", Sec. III-C: the proposed neuron emits k+1 values, so its
+// per-output cost is n + k/(k+1) parameters and n + 2k/(k+1) MACs).
+//
+// tests/quadratic/complexity_test.cpp verifies these formulas against
+// parameter counts of the instantiated layers, and bench/table1_complexity
+// prints the table the paper reports.
+#pragma once
+
+#include "quadratic/neuron_spec.h"
+
+namespace qdnn::quadratic {
+
+struct NeuronCost {
+  index_t params = 0;   // trainable parameters (bias excluded, as in Table I)
+  index_t macs = 0;     // multiply-accumulate operations per application
+  index_t outputs = 1;  // values emitted per neuron
+};
+
+// Cost of a single neuron with fan-in n.  `k` is the decomposition rank
+// (ignored by families without one).
+NeuronCost neuron_cost(const NeuronSpec& spec, index_t n);
+
+double params_per_output(const NeuronSpec& spec, index_t n);
+double macs_per_output(const NeuronSpec& spec, index_t n);
+
+// Cost of a conv layer of this family: `filters` neurons, each swept over
+// `spatial_positions` output pixels with fan-in n = C_in · K².
+struct LayerCost {
+  index_t params = 0;
+  index_t macs = 0;         // for one forward pass over the feature map
+  index_t out_channels = 0;
+};
+LayerCost conv_layer_cost(const NeuronSpec& spec, index_t in_channels,
+                          index_t kernel, index_t filters,
+                          index_t spatial_positions);
+
+// The Table I formula rendered as a human-readable string, for the bench
+// output (e.g. "O(n + k/(k+1))").
+std::string params_formula(const NeuronSpec& spec);
+std::string macs_formula(const NeuronSpec& spec);
+
+}  // namespace qdnn::quadratic

@@ -1,0 +1,80 @@
+#include "quadratic/convert.h"
+
+#include <cmath>
+
+#include "linalg/lowrank.h"
+
+namespace qdnn::quadratic {
+
+ConvertedNeuron convert_matrix(const Tensor& m, index_t k) {
+  const Tensor sym = linalg::symmetrize(m);
+  const linalg::LowRankFactors f = linalg::truncate_top_k(sym, k);
+  ConvertedNeuron out;
+  out.q = f.q;
+  out.lambda = f.lambda;
+  out.error = linalg::truncation_error(sym, f);
+  // Energy bookkeeping from the full spectrum.
+  const linalg::EigResult full = linalg::eigh(sym);
+  double total = 0.0, kept = 0.0;
+  for (index_t i = 0; i < full.eigenvalues.numel(); ++i) {
+    const double l2 = static_cast<double>(full.eigenvalues[i]) *
+                      full.eigenvalues[i];
+    total += l2;
+    if (i < k) kept += l2;
+  }
+  out.energy_kept = (total > 0.0) ? kept / total : 1.0;
+  return out;
+}
+
+std::unique_ptr<ProposedQuadraticDense> convert_layer(
+    GeneralQuadraticDense& source, index_t k, Rng& rng,
+    std::vector<double>* errors) {
+  QDNN_CHECK(source.include_linear(),
+             "convert_layer: source must include a linear term");
+  const index_t n = source.in_features();
+  const index_t units = source.units();
+  auto dst = std::make_unique<ProposedQuadraticDense>(
+      n, units, k, rng, /*lambda_lr_scale=*/1e-3f,
+      source.name() + ".converted");
+
+  if (errors) errors->clear();
+  for (index_t u = 0; u < units; ++u) {
+    // View of this unit's M.
+    Tensor m{Shape{n, n}};
+    const float* src_m = source.m().value.data() + u * n * n;
+    for (index_t i = 0; i < n * n; ++i) m[i] = src_m[i];
+    const ConvertedNeuron conv = convert_matrix(m, k);
+    if (errors) errors->push_back(conv.error);
+    // Qᵏ rows are stored unit-major, transposed ([units*k, n]).
+    for (index_t i = 0; i < k; ++i)
+      for (index_t j = 0; j < n; ++j)
+        dst->q().value[(u * k + i) * n + j] = conv.q.at(j, i);
+    for (index_t i = 0; i < k; ++i)
+      dst->lambda().value[u * k + i] = conv.lambda[i];
+    // Linear part transfers unchanged.
+    for (index_t j = 0; j < n; ++j)
+      dst->w().value[u * n + j] = source.w().value[u * n + j];
+    dst->bias().value[u] = source.bias().value[u];
+  }
+  return dst;
+}
+
+index_t rank_for_energy(const Tensor& m, double energy_fraction) {
+  QDNN_CHECK(energy_fraction > 0.0 && energy_fraction <= 1.0,
+             "rank_for_energy: fraction in (0, 1]");
+  const Tensor sym = linalg::symmetrize(m);
+  const linalg::EigResult eig = linalg::eigh(sym);
+  const index_t n = eig.eigenvalues.numel();
+  double total = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    total += static_cast<double>(eig.eigenvalues[i]) * eig.eigenvalues[i];
+  if (total == 0.0) return 1;
+  double kept = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    kept += static_cast<double>(eig.eigenvalues[i]) * eig.eigenvalues[i];
+    if (kept / total >= energy_fraction) return i + 1;
+  }
+  return n;
+}
+
+}  // namespace qdnn::quadratic

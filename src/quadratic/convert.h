@@ -1,0 +1,40 @@
+// Conversion of general quadratic neurons into the proposed form — the
+// paper's Sec. III-A pipeline made executable:
+//
+//   M  --Lemma 1-->  (M+Mᵀ)/2  --eigh-->  QΛQᵀ  --top-k-->  QᵏΛᵏ(Qᵏ)ᵀ
+//
+// This lets a user train (or import) a full general-quadratic layer and
+// distill it into the efficient neuron, with the Eckart–Young-optimal
+// approximation error reported per unit.  examples/convert_general.cpp
+// demonstrates the flow end to end.
+#pragma once
+
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::quadratic {
+
+struct ConvertedNeuron {
+  Tensor q;        // [n, k]
+  Tensor lambda;   // [k]
+  double error;    // ‖M_sym − Mᵏ‖_F
+  double energy_kept;  // Σ_top-k λᵢ² / Σ λᵢ² (1.0 = lossless)
+};
+
+// Converts a single quadratic matrix.  M may be asymmetric — Lemma 1 is
+// applied first (the quadratic form is unchanged).
+ConvertedNeuron convert_matrix(const Tensor& m, index_t k);
+
+// Converts every unit of a trained GeneralQuadraticDense layer into one
+// ProposedQuadraticDense layer with the same linear weights/biases and
+// spectrally-initialized Qᵏ, Λᵏ.  Per-unit errors are returned through
+// `errors` when non-null.
+std::unique_ptr<ProposedQuadraticDense> convert_layer(
+    GeneralQuadraticDense& source, index_t k, Rng& rng,
+    std::vector<double>* errors = nullptr);
+
+// Smallest k whose truncation keeps at least `energy_fraction` of the
+// squared spectral mass of M (useful for choosing the paper's
+// hyper-parameter k from data).
+index_t rank_for_energy(const Tensor& m, double energy_fraction);
+
+}  // namespace qdnn::quadratic

@@ -1,0 +1,101 @@
+#include "quadratic/kervolution.h"
+
+#include <cmath>
+
+#include "linalg/gemm.h"
+
+namespace qdnn::quadratic {
+
+namespace {
+// v^d for small integer d; avoids std::pow in the hot loop.
+inline float int_pow(float v, int d) {
+  float r = 1.0f;
+  for (int i = 0; i < d; ++i) r *= v;
+  return r;
+}
+}  // namespace
+
+KervolutionDense::KervolutionDense(index_t in_features, index_t out_features,
+                                   int degree, float c, Rng& rng,
+                                   std::string name)
+    : in_(in_features),
+      out_(out_features),
+      degree_(degree),
+      c_(c),
+      name_(std::move(name)),
+      w_(name_ + ".weight", Tensor{Shape{out_features, in_features}}) {
+  QDNN_CHECK(degree >= 1, name_ << ": degree must be >= 1");
+  nn::kaiming_normal(w_.value, in_, rng);
+}
+
+Tensor KervolutionDense::forward(const Tensor& input) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_, name_ << ": in_features");
+  cached_input_ = input;
+  const index_t n = input.dim(0);
+  cached_pre_ = Tensor{Shape{n, out_}};
+  linalg::gemm(false, true, n, out_, in_, 1.0f, input.data(), in_,
+               w_.value.data(), in_, 0.0f, cached_pre_.data(), out_);
+  Tensor out{Shape{n, out_}};
+  for (index_t i = 0; i < out.numel(); ++i) {
+    cached_pre_[i] += c_;
+    out[i] = int_pow(cached_pre_[i], degree_);
+  }
+  return out;
+}
+
+Tensor KervolutionDense::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_pre_.empty(), name_ << ": backward before forward");
+  const index_t n = cached_input_.dim(0);
+  // d/du u^d = d·u^(d−1) — this factor is what blows up with depth.
+  Tensor g_pre = grad_output;
+  for (index_t i = 0; i < g_pre.numel(); ++i)
+    g_pre[i] *= static_cast<float>(degree_) *
+                int_pow(cached_pre_[i], degree_ - 1);
+  linalg::gemm(true, false, out_, in_, n, 1.0f, g_pre.data(), out_,
+               cached_input_.data(), in_, 1.0f, w_.grad.data(), in_);
+  Tensor grad_input{Shape{n, in_}};
+  linalg::gemm(false, false, n, in_, out_, 1.0f, g_pre.data(), out_,
+               w_.value.data(), in_, 0.0f, grad_input.data(), in_);
+  return grad_input;
+}
+
+std::vector<nn::Parameter*> KervolutionDense::parameters() { return {&w_}; }
+
+KervolutionConv2d::KervolutionConv2d(index_t in_channels,
+                                     index_t out_channels, index_t kernel,
+                                     index_t stride, index_t padding,
+                                     int degree, float c, Rng& rng,
+                                     std::string name)
+    : conv_(in_channels, out_channels, kernel, stride, padding, rng,
+            /*bias=*/false, name + ".conv"),
+      degree_(degree),
+      c_(c),
+      name_(std::move(name)) {
+  QDNN_CHECK(degree >= 1, name_ << ": degree must be >= 1");
+}
+
+Tensor KervolutionConv2d::forward(const Tensor& input) {
+  cached_pre_ = conv_.forward(input);
+  Tensor out{cached_pre_.shape()};
+  for (index_t i = 0; i < out.numel(); ++i) {
+    cached_pre_[i] += c_;
+    out[i] = int_pow(cached_pre_[i], degree_);
+  }
+  return out;
+}
+
+Tensor KervolutionConv2d::backward(const Tensor& grad_output) {
+  QDNN_CHECK(!cached_pre_.empty(), name_ << ": backward before forward");
+  Tensor g_pre = grad_output;
+  for (index_t i = 0; i < g_pre.numel(); ++i)
+    g_pre[i] *= static_cast<float>(degree_) *
+                int_pow(cached_pre_[i], degree_ - 1);
+  return conv_.backward(g_pre);
+}
+
+std::vector<nn::Parameter*> KervolutionConv2d::parameters() {
+  return conv_.parameters();
+}
+
+}  // namespace qdnn::quadratic

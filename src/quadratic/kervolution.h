@@ -1,0 +1,60 @@
+// Kervolution [14] — polynomial-kernel neurons, K(x, w) = (xᵀw + c)^d.
+//
+// The interesting property for the paper's Fig. 6 is that kervolution adds
+// NO parameters over a linear neuron (the kernel is applied to the same
+// dot product), but composing the polynomial over many layers makes
+// training unstable: activations and gradients grow as powers of the
+// depth, which is exactly the divergence the figure shows for KNN-11/15.
+// qdnn therefore supports deploying kervolution only in the first
+// `n_layers` of a model (the "KNN-n" configurations).
+#pragma once
+
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace qdnn::quadratic {
+
+class KervolutionDense : public nn::Module {
+ public:
+  KervolutionDense(index_t in_features, index_t out_features, int degree,
+                   float c, Rng& rng, std::string name = "kerv_fc");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+ private:
+  index_t in_, out_;
+  int degree_;
+  float c_;
+  std::string name_;
+  nn::Parameter w_;       // [out, in]
+  Tensor cached_input_;
+  Tensor cached_pre_;     // xᵀw + c before the power
+};
+
+// Convolutional kervolution: linear conv followed by the element-wise
+// polynomial kernel (w·patch + c)^d.  Same weight count as Conv2d.
+class KervolutionConv2d : public nn::Module {
+ public:
+  KervolutionConv2d(index_t in_channels, index_t out_channels,
+                    index_t kernel, index_t stride, index_t padding,
+                    int degree, float c, Rng& rng,
+                    std::string name = "kerv_conv");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+ private:
+  nn::Conv2d conv_;
+  int degree_;
+  float c_;
+  std::string name_;
+  Tensor cached_pre_;  // conv output + c, before the power
+};
+
+}  // namespace qdnn::quadratic

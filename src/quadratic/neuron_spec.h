@@ -1,0 +1,93 @@
+// NeuronSpec: selects one row of the paper's Table I.
+//
+// Every model in qdnn (ResNet family, Transformer) is parameterized by a
+// NeuronSpec so each experiment swaps neuron families without touching
+// model code.  References follow the paper's bibliography:
+//   [14] Wang et al.   — Kervolution (polynomial kernel, parameter-free)
+//   [16] Mantini&Shah  — pure quadratic xᵀMx
+//   [17] Zoumpourlis   — general quadratic xᵀMx + wᵀx + b
+//   [18] Jiang et al.  — low-rank xᵀQ₁Q₂ᵀx + wᵀx
+//   [19] Fan et al.    — (w₁ᵀx)(w₂ᵀx) + w₃ᵀ(x⊙x)   ("Quad1" in Fig 5)
+//   [21] Xu et al.     — (w₁ᵀx)(w₂ᵀx) + w₃ᵀx       ("Quad2" in Fig 5)
+//   [23] Bu&Karpatne   — (w₁ᵀx)(w₂ᵀx) + w₁ᵀx
+//   ours               — {xᵀQᵏΛᵏ(Qᵏ)ᵀx + wᵀx, (Qᵏ)ᵀx}
+#pragma once
+
+#include <string>
+
+#include "core/shape.h"
+
+namespace qdnn::quadratic {
+
+enum class NeuronKind {
+  kLinear,       // conventional first-order neuron (baseline)
+  kGeneral,      // [17]
+  kPure,         // [16]
+  kBuKarpatne,   // [23]
+  kLowRank,      // [18]
+  kQuad1,        // [19]
+  kQuad2,        // [21]
+  kKervolution,  // [14]
+  kProposed,     // this paper
+  // Ablation: the proposed neuron with the vectorized output disabled —
+  // the same symmetric low-rank quadratic form, but fᵏ is consumed
+  // internally only (Sec. III-B's design choice removed).  One output per
+  // neuron, so per-output cost is the full (k+1)n + k.
+  kProposedSumOnly,
+};
+
+struct NeuronSpec {
+  NeuronKind kind = NeuronKind::kLinear;
+
+  // Rank of decomposition for kLowRank and kProposed (the paper fixes
+  // k = 9 in its CNN experiments).
+  index_t rank = 9;
+
+  // lr(Λᵏ) / lr(base): the paper trains Λ at 1e-4…1e-6 against base 0.1.
+  float lambda_lr_scale = 1e-3f;
+
+  // Kervolution polynomial kernel (x·w + c)^d hyper-parameters [14].
+  int kerv_degree = 2;
+  float kerv_c = 0.5f;
+
+  std::string kind_name() const;
+
+  // Number of outputs a single neuron of this kind produces (k+1 for the
+  // proposed neuron, 1 for every other family).
+  index_t outputs_per_neuron() const {
+    return kind == NeuronKind::kProposed ? rank + 1 : 1;
+  }
+
+  static NeuronSpec linear() { return NeuronSpec{}; }
+  static NeuronSpec proposed(index_t k = 9, float lambda_lr = 1e-3f) {
+    NeuronSpec s;
+    s.kind = NeuronKind::kProposed;
+    s.rank = k;
+    s.lambda_lr_scale = lambda_lr;
+    return s;
+  }
+  static NeuronSpec of(NeuronKind kind, index_t k = 9) {
+    NeuronSpec s;
+    s.kind = kind;
+    s.rank = k;
+    return s;
+  }
+};
+
+inline std::string NeuronSpec::kind_name() const {
+  switch (kind) {
+    case NeuronKind::kLinear: return "linear";
+    case NeuronKind::kGeneral: return "general[17]";
+    case NeuronKind::kPure: return "pure[16]";
+    case NeuronKind::kBuKarpatne: return "bu-karpatne[23]";
+    case NeuronKind::kLowRank: return "low-rank[18]";
+    case NeuronKind::kQuad1: return "quad1[19]";
+    case NeuronKind::kQuad2: return "quad2[21]";
+    case NeuronKind::kKervolution: return "kervolution[14]";
+    case NeuronKind::kProposed: return "proposed";
+    case NeuronKind::kProposedSumOnly: return "proposed-sum-only";
+  }
+  return "unknown";
+}
+
+}  // namespace qdnn::quadratic

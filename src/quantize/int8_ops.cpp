@@ -1,0 +1,55 @@
+#include "quantize/int8_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdnn::quantize {
+
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             index_t m, index_t n, index_t k) {
+  for (index_t i = 0; i < m; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    std::int32_t* c_row = c + i * n;
+    for (index_t j = 0; j < n; ++j) {
+      const std::int8_t* b_row = b + j * k;
+      std::int32_t acc = 0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(a_row[p]) *
+               static_cast<std::int32_t>(b_row[p]);
+      }
+      c_row[j] = acc;
+    }
+  }
+}
+
+void gemm_i8_nn(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                index_t m, index_t n, index_t k) {
+  for (index_t i = 0; i < m; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    std::int32_t* c_row = c + i * n;
+    for (index_t j = 0; j < n; ++j) c_row[j] = 0;
+    for (index_t p = 0; p < k; ++p) {
+      const std::int32_t av = a_row[p];
+      if (av == 0) continue;
+      const std::int8_t* b_row = b + p * n;
+      for (index_t j = 0; j < n; ++j)
+        c_row[j] += av * static_cast<std::int32_t>(b_row[j]);
+    }
+  }
+}
+
+QTensor quantize_activations(const Tensor& t, const QuantParams& params) {
+  return quantize(t, params);
+}
+
+void to_codes(const float* x, index_t n, const QuantParams& params,
+              std::int8_t* codes) {
+  const float qmax = static_cast<float>(params.qmax());
+  for (index_t i = 0; i < n; ++i) {
+    float q = std::nearbyint(x[i] / params.scale);
+    q = std::min(std::max(q, -qmax), qmax);
+    codes[i] = static_cast<std::int8_t>(q);
+  }
+}
+
+}  // namespace qdnn::quantize

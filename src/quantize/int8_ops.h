@@ -1,0 +1,39 @@
+// Integer reference kernels for quantized inference.
+//
+// gemm_i8 computes C = A·Bᵀ with int8 inputs and int32 accumulation —
+// the layout matches the library's dense layers (activations [M, K]
+// row-major against weights [N, K] row-major), so a quantized layer is
+// the float layer's GEMM with the fp32 multiply replaced by an int8 MAC
+// and a per-output-channel dequantization scale.  This is the arithmetic
+// an int8 edge accelerator performs, which is the deployment target the
+// paper's storage/computation argument (Sec. I) is about.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.h"
+#include "quantize/qtensor.h"
+
+namespace qdnn::quantize {
+
+// C[m, n] = Σ_k A[m, k] · B[n, k], int32 accumulation (A·Bᵀ layout — the
+// dense-layer orientation: activations [M, K] against weights [N, K]).
+void gemm_i8(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+             index_t m, index_t n, index_t k);
+
+// C[m, n] = Σ_k A[m, k] · B[k, n], int32 accumulation (A·B layout — the
+// conv orientation: weights [F, patch] against im2col columns
+// [patch, n_cols]).
+void gemm_i8_nn(const std::int8_t* a, const std::int8_t* b, std::int32_t* c,
+                index_t m, index_t n, index_t k);
+
+// Quantizes a float activation batch with a fixed (calibrated) grid.
+QTensor quantize_activations(const Tensor& t, const QuantParams& params);
+
+// Converts values already on the grid (fake-quantized floats, or im2col
+// of such) to their integer codes: q = round(x / scale).  Exact when the
+// inputs are grid multiples; zero padding maps to code 0.
+void to_codes(const float* x, index_t n, const QuantParams& params,
+              std::int8_t* codes);
+
+}  // namespace qdnn::quantize

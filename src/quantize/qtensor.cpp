@@ -1,0 +1,150 @@
+#include "quantize/qtensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdnn::quantize {
+
+namespace {
+
+// Clamp-and-round one value onto the grid.
+std::int8_t to_grid(float x, const QuantParams& p) {
+  const float qmax = static_cast<float>(p.qmax());
+  float q = std::nearbyint(x / p.scale);
+  q = std::clamp(q, -qmax, qmax);
+  return static_cast<std::int8_t>(q);
+}
+
+void check_bits(int bits) {
+  QDNN_CHECK(bits >= 2 && bits <= 8,
+             "quantization bits must be in [2, 8], got " << bits);
+}
+
+}  // namespace
+
+QuantParams choose_params_absmax(const float* data, index_t n, int bits) {
+  check_bits(bits);
+  float absmax = 0.0f;
+  for (index_t i = 0; i < n; ++i)
+    absmax = std::max(absmax, std::fabs(data[i]));
+  QuantParams p;
+  p.bits = bits;
+  p.scale = absmax > 0.0f ? absmax / static_cast<float>(p.qmax()) : 1.0f;
+  return p;
+}
+
+QuantParams choose_params_percentile(const float* data, index_t n, int bits,
+                                     double percentile) {
+  check_bits(bits);
+  QDNN_CHECK(percentile > 0.0 && percentile <= 1.0,
+             "percentile must be in (0, 1], got " << percentile);
+  if (n == 0) return QuantParams{1.0f, bits};
+  std::vector<float> mags(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) mags[static_cast<std::size_t>(i)] = std::fabs(data[i]);
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n) - 1.0,
+                       percentile * static_cast<double>(n - 1)));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(idx),
+                   mags.end());
+  const float clip = mags[idx];
+  QuantParams p;
+  p.bits = bits;
+  p.scale = clip > 0.0f ? clip / static_cast<float>(p.qmax()) : 1.0f;
+  return p;
+}
+
+index_t QTensor::storage_bytes() const {
+  // ceil(numel·bits/8) payload + one fp32 scale.
+  const index_t payload = (numel() * params.bits + 7) / 8;
+  return payload + static_cast<index_t>(sizeof(float));
+}
+
+index_t QTensorPerChannel::storage_bytes() const {
+  if (params.empty()) return 0;
+  const index_t bits = params.front().bits;
+  const index_t payload = (static_cast<index_t>(data.size()) * bits + 7) / 8;
+  return payload + rows() * static_cast<index_t>(sizeof(float));
+}
+
+QTensor quantize(const Tensor& t, int bits) {
+  return quantize(t, choose_params_absmax(t.data(), t.numel(), bits));
+}
+
+QTensor quantize(const Tensor& t, const QuantParams& params) {
+  check_bits(params.bits);
+  QTensor q;
+  q.shape = t.shape();
+  q.params = params;
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  for (index_t i = 0; i < t.numel(); ++i)
+    q.data[static_cast<std::size_t>(i)] = to_grid(t[i], params);
+  return q;
+}
+
+QTensorPerChannel quantize_per_channel(const Tensor& t, int bits) {
+  check_bits(bits);
+  QDNN_CHECK(t.rank() >= 2, "per-channel quantization needs rank >= 2, got "
+                                << t.shape());
+  const index_t rows = t.dim(0);
+  const index_t row_size = t.numel() / rows;
+  QTensorPerChannel q;
+  q.shape = t.shape();
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  q.params.reserve(static_cast<std::size_t>(rows));
+  for (index_t r = 0; r < rows; ++r) {
+    const float* row = t.data() + r * row_size;
+    const QuantParams p = choose_params_absmax(row, row_size, bits);
+    for (index_t j = 0; j < row_size; ++j)
+      q.data[static_cast<std::size_t>(r * row_size + j)] = to_grid(row[j], p);
+    q.params.push_back(p);
+  }
+  return q;
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor out(q.shape);
+  for (index_t i = 0; i < out.numel(); ++i)
+    out[i] = static_cast<float>(q.data[static_cast<std::size_t>(i)]) *
+             q.params.scale;
+  return out;
+}
+
+Tensor dequantize(const QTensorPerChannel& q) {
+  Tensor out(q.shape);
+  const index_t row_size = q.row_size();
+  for (index_t r = 0; r < q.rows(); ++r) {
+    const float s = q.params[static_cast<std::size_t>(r)].scale;
+    for (index_t j = 0; j < row_size; ++j) {
+      const index_t i = r * row_size + j;
+      out[i] = static_cast<float>(q.data[static_cast<std::size_t>(i)]) * s;
+    }
+  }
+  return out;
+}
+
+Tensor fake_quantize(const Tensor& t, int bits) {
+  return dequantize(quantize(t, bits));
+}
+
+Tensor fake_quantize_per_channel(const Tensor& t, int bits) {
+  return dequantize(quantize_per_channel(t, bits));
+}
+
+QuantError quantization_error(const Tensor& t, int bits) {
+  const QTensor q = quantize(t, bits);
+  const Tensor back = dequantize(q);
+  QuantError e;
+  e.scale = q.params.scale;
+  double sq = 0.0;
+  for (index_t i = 0; i < t.numel(); ++i) {
+    const float d = std::fabs(t[i] - back[i]);
+    e.max_abs = std::max(e.max_abs, d);
+    sq += static_cast<double>(d) * d;
+  }
+  e.rmse = t.numel() > 0
+               ? static_cast<float>(std::sqrt(sq / static_cast<double>(t.numel())))
+               : 0.0f;
+  return e;
+}
+
+}  // namespace qdnn::quantize

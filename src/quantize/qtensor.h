@@ -1,0 +1,86 @@
+// Symmetric integer quantization of tensors.
+//
+// The paper's storage analysis (Table I, Eq. 9) counts fp32 parameters.
+// This module extends that analysis to deployed bytes: weights are mapped
+// onto a symmetric signed integer grid
+//
+//   q = clamp(round(x / scale), -qmax, qmax),   qmax = 2^(bits-1) - 1,
+//
+// with one scale per tensor or one scale per output channel (per row of a
+// [out, in] weight matrix).  Symmetric quantization keeps zero exactly
+// representable, which matters for the proposed neuron: the quadratic
+// response (fᵏ)ᵀΛᵏfᵏ squares activations, so any zero-point offset in Qᵏ
+// would be amplified quadratically in y₂ᵏ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn::quantize {
+
+// Quantization grid description for one scale group.
+struct QuantParams {
+  float scale = 1.0f;  // step between adjacent grid points
+  int bits = 8;        // total bits incl. sign, 2..8
+
+  index_t qmax() const { return (index_t{1} << (bits - 1)) - 1; }
+};
+
+// Chooses the scale so the grid spans [-absmax, absmax].  A zero tensor
+// gets scale 1 (all values quantize to 0 exactly).
+QuantParams choose_params_absmax(const float* data, index_t n, int bits);
+
+// Chooses the scale from the `percentile`-quantile of |x| (e.g. 0.999),
+// clipping outliers: robust activation calibration.
+QuantParams choose_params_percentile(const float* data, index_t n, int bits,
+                                     double percentile);
+
+// A tensor stored on an integer grid with a single scale.
+struct QTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;  // values in [-qmax, qmax]
+  QuantParams params;
+
+  index_t numel() const { return static_cast<index_t>(data.size()); }
+  // Storage for the integer payload plus its one fp32 scale.
+  index_t storage_bytes() const;
+};
+
+// A rank>=2 tensor quantized with one scale per leading-dimension slice
+// (per output channel for [out, in] / [out, patch] weight matrices).
+struct QTensorPerChannel {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  std::vector<QuantParams> params;  // one per row (shape[0])
+
+  index_t rows() const { return static_cast<index_t>(params.size()); }
+  index_t row_size() const {
+    return rows() == 0 ? 0 : static_cast<index_t>(data.size()) / rows();
+  }
+  index_t storage_bytes() const;
+};
+
+QTensor quantize(const Tensor& t, int bits);
+QTensor quantize(const Tensor& t, const QuantParams& params);
+QTensorPerChannel quantize_per_channel(const Tensor& t, int bits);
+
+Tensor dequantize(const QTensor& q);
+Tensor dequantize(const QTensorPerChannel& q);
+
+// Round-trips x through the integer grid in fp32 ("fake quantization"),
+// so float modules can emulate quantized inference without an integer
+// kernel.  Returns a tensor of the same shape.
+Tensor fake_quantize(const Tensor& t, int bits);
+Tensor fake_quantize_per_channel(const Tensor& t, int bits);
+
+// Error metrics of quantizing `t` at `bits` (per-tensor absmax grid).
+struct QuantError {
+  float max_abs = 0.0f;   // worst-case |x - deq(q(x))|
+  float rmse = 0.0f;      // root-mean-square error
+  float scale = 0.0f;     // grid step used
+};
+QuantError quantization_error(const Tensor& t, int bits);
+
+}  // namespace qdnn::quantize

@@ -1,0 +1,82 @@
+#include "quantize/quantize_model.h"
+
+#include <algorithm>
+
+namespace qdnn::quantize {
+
+namespace {
+
+bool should_quantize(const nn::Parameter& p, const QuantizeConfig& cfg) {
+  if (p.numel() == 0) return false;
+  // decay == false marks biases and norm affine parameters throughout qdnn.
+  if (cfg.keep_bias_float && !p.decay) return false;
+  return true;
+}
+
+// Scale storage overhead: one fp32 per row when per-channel applies, one
+// fp32 per tensor otherwise.
+index_t quant_bytes_for(const nn::Parameter& p, int bits, bool per_channel) {
+  const index_t payload = (p.numel() * bits + 7) / 8;
+  const index_t scales =
+      (per_channel && p.value.rank() >= 2) ? p.value.dim(0) : 1;
+  return payload + scales * static_cast<index_t>(sizeof(float));
+}
+
+}  // namespace
+
+std::vector<ParamQuantRecord> quantize_parameters(nn::Module& m,
+                                                  const QuantizeConfig& cfg) {
+  std::vector<ParamQuantRecord> records;
+  for (nn::Parameter* p : m.parameters()) {
+    ParamQuantRecord rec;
+    rec.name = p->name;
+    rec.group = p->group;
+    rec.numel = p->numel();
+    if (!should_quantize(*p, cfg)) {
+      rec.bits = 32;
+      records.push_back(std::move(rec));
+      continue;
+    }
+    const int bits = cfg.bits_for_group(p->group);
+    rec.bits = bits;
+    rec.quantized = true;
+    rec.error = quantization_error(p->value, bits);
+    p->value = (cfg.per_channel && p->value.rank() >= 2)
+                   ? fake_quantize_per_channel(p->value, bits)
+                   : fake_quantize(p->value, bits);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+StorageReport storage_report(nn::Module& m, const QuantizeConfig& cfg) {
+  StorageReport report;
+  auto group_of = [&report](const std::string& g) -> GroupStorage& {
+    auto it = std::find_if(report.groups.begin(), report.groups.end(),
+                           [&g](const GroupStorage& s) { return s.group == g; });
+    if (it != report.groups.end()) return *it;
+    report.groups.push_back(GroupStorage{g, 0, 0, 0});
+    return report.groups.back();
+  };
+
+  for (nn::Parameter* p : m.parameters()) {
+    GroupStorage& gs = group_of(p->group);
+    const index_t fp32 = p->numel() * static_cast<index_t>(sizeof(float));
+    gs.numel += p->numel();
+    gs.fp32_bytes += fp32;
+    if (should_quantize(*p, cfg)) {
+      gs.quant_bytes += quant_bytes_for(*p, cfg.bits_for_group(p->group),
+                                        cfg.per_channel);
+    } else {
+      gs.quant_bytes += fp32;  // left in float
+    }
+  }
+  for (const GroupStorage& gs : report.groups) {
+    report.total_numel += gs.numel;
+    report.total_fp32_bytes += gs.fp32_bytes;
+    report.total_quant_bytes += gs.quant_bytes;
+  }
+  return report;
+}
+
+}  // namespace qdnn::quantize

@@ -1,0 +1,86 @@
+// Model-level post-training quantization.
+//
+// Two services on top of quantize/qtensor:
+//
+//  1. quantize_parameters — fake-quantizes every trainable weight of a
+//     Module in place (per-channel grids for matrices, per-tensor for
+//     vectors), so the unmodified float forward path evaluates the
+//     quantized network.  Λᵏ may use a different bit width than the rest:
+//     the eigenvalues of the proposed neuron span several orders of
+//     magnitude across layers (Fig. 7) and gate a *squared* feature, so
+//     their precision is a deployment knob of its own
+//     (bench/ablation_quantization sweeps it).
+//
+//  2. storage_report — deployed-bytes accounting per parameter group
+//     ("linear" / "quadratic_q" / "quadratic_lambda"), extending the
+//     paper's fp32 #Parameter storage analysis (Eq. 9) to int-N bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "quantize/qtensor.h"
+
+namespace qdnn::quantize {
+
+struct QuantizeConfig {
+  int weight_bits = 8;
+  // Bit width for parameters in group "quadratic_lambda"; <= 0 means "use
+  // weight_bits".
+  int lambda_bits = 0;
+  // Per-output-channel scales for rank>=2 parameters (recommended); rank-1
+  // parameters (biases, Λ rows flattened per unit) always use per-tensor.
+  bool per_channel = true;
+  // Leave biases and normalization affine parameters (decay == false) in
+  // fp32 — they are O(channels), negligible storage, and quantizing them
+  // shifts BatchNorm statistics.
+  bool keep_bias_float = true;
+
+  int bits_for_group(const std::string& group) const {
+    if (group == "quadratic_lambda" && lambda_bits > 0) return lambda_bits;
+    return weight_bits;
+  }
+};
+
+// Per-parameter record of what quantize_parameters did.
+struct ParamQuantRecord {
+  std::string name;
+  std::string group;
+  index_t numel = 0;
+  int bits = 0;           // 32 when left in float
+  bool quantized = false;
+  QuantError error;       // zero when !quantized
+};
+
+// Fake-quantizes all parameters of `m` in place per `cfg`.  Returns one
+// record per parameter (including the ones intentionally left fp32).
+std::vector<ParamQuantRecord> quantize_parameters(nn::Module& m,
+                                                  const QuantizeConfig& cfg);
+
+// Deployed-storage accounting for a module under a quantization config.
+struct GroupStorage {
+  std::string group;
+  index_t numel = 0;
+  index_t fp32_bytes = 0;
+  index_t quant_bytes = 0;  // int payload + scales (fp32 rows for vectors)
+};
+
+struct StorageReport {
+  std::vector<GroupStorage> groups;
+  index_t total_numel = 0;
+  index_t total_fp32_bytes = 0;
+  index_t total_quant_bytes = 0;
+
+  double compression() const {
+    return total_quant_bytes > 0
+               ? static_cast<double>(total_fp32_bytes) /
+                     static_cast<double>(total_quant_bytes)
+               : 0.0;
+  }
+};
+
+// Computes the report without modifying the module.
+StorageReport storage_report(nn::Module& m, const QuantizeConfig& cfg);
+
+}  // namespace qdnn::quantize

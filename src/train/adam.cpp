@@ -1,0 +1,60 @@
+#include "train/adam.h"
+
+#include <cmath>
+
+namespace qdnn::train {
+
+Adam::Adam(std::vector<nn::Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const nn::Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+double Adam::grad_norm() const {
+  double acc = 0.0;
+  for (const nn::Parameter* p : params_)
+    acc += static_cast<double>(p->grad.squared_norm());
+  return std::sqrt(acc);
+}
+
+void Adam::step() {
+  float clip_scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    const double norm = grad_norm();
+    if (!std::isfinite(norm)) return;  // skip poisoned batches (see Sgd)
+    if (norm > config_.clip_norm)
+      clip_scale = static_cast<float>(config_.clip_norm / norm);
+  }
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const float lr = config_.lr * p.lr_scale;
+    const float wd = p.decay ? config_.weight_decay : 0.0f;
+    for (index_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] * clip_scale;
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p.value[j] -= lr * (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                          wd * p.value[j]);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (nn::Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace qdnn::train

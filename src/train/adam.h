@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba) with decoupled weight decay (AdamW-style)
+// and per-parameter lr_scale — the optimizer of the paper's Transformer
+// recipe ("the same settings as [3]", which trains with Adam +
+// warmup/inverse-sqrt).  The CNN experiments keep SGD+momentum as in the
+// paper; both optimizers share the Parameter/lr_scale machinery so Λᵏ's
+// reduced learning rate works under either.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace qdnn::train {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.98f;  // Vaswani et al. use 0.98
+  float eps = 1e-9f;
+  float weight_decay = 0.0f;  // decoupled (applied to the weights directly)
+  float clip_norm = 0.0f;     // <= 0 disables
+};
+
+class Adam {
+ public:
+  Adam(std::vector<nn::Parameter*> params, AdamConfig config);
+
+  void step();
+  void zero_grad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  double grad_norm() const;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  long long step_count_ = 0;
+};
+
+}  // namespace qdnn::train

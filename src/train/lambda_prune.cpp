@@ -1,0 +1,69 @@
+#include "train/lambda_prune.h"
+
+#include <cmath>
+
+namespace qdnn::train {
+
+double effective_rank(const Tensor& lambda, double relative_threshold) {
+  QDNN_CHECK_EQ(lambda.rank(), 2, "Λ tensor must be [units, k]");
+  QDNN_CHECK(relative_threshold >= 0.0 && relative_threshold < 1.0,
+             "relative threshold in [0, 1)");
+  const index_t units = lambda.dim(0), k = lambda.dim(1);
+  double total = 0.0;
+  for (index_t u = 0; u < units; ++u) {
+    float max_mag = 0.0f;
+    for (index_t i = 0; i < k; ++i)
+      max_mag = std::max(max_mag, std::fabs(lambda.at(u, i)));
+    if (max_mag == 0.0f) continue;  // unit contributes rank 0
+    index_t live = 0;
+    for (index_t i = 0; i < k; ++i)
+      if (std::fabs(lambda.at(u, i)) >
+          relative_threshold * max_mag)
+        ++live;
+    total += static_cast<double>(live);
+  }
+  return units > 0 ? total / static_cast<double>(units) : 0.0;
+}
+
+std::vector<LambdaPruneStats> prune_lambdas(nn::Module& model,
+                                            double relative_threshold,
+                                            index_t fan_in) {
+  std::vector<LambdaPruneStats> all;
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->group != "quadratic_lambda") continue;
+    QDNN_CHECK_EQ(p->value.rank(), 2,
+                  p->name << ": Λ parameter must be [units, k]");
+    LambdaPruneStats stats;
+    stats.layer = p->name;
+    stats.units = p->value.dim(0);
+    stats.rank = p->value.dim(1);
+
+    for (index_t u = 0; u < stats.units; ++u) {
+      float max_mag = 0.0f;
+      for (index_t i = 0; i < stats.rank; ++i)
+        max_mag = std::max(max_mag, std::fabs(p->value.at(u, i)));
+      for (index_t i = 0; i < stats.rank; ++i) {
+        if (std::fabs(p->value.at(u, i)) <= relative_threshold * max_mag &&
+            p->value.at(u, i) != 0.0f) {
+          p->value.at(u, i) = 0.0f;
+          ++stats.zeroed;
+        }
+      }
+    }
+    // Freeze: pruned entries must not be revived by later steps.  Λ has
+    // its own lr group, so zeroing the whole tensor's lr is the simplest
+    // faithful freeze once pruning is final.
+    p->lr_scale = 0.0f;
+
+    stats.mean_effective_rank = effective_rank(p->value, 0.0);
+    // A zeroed λ removes itself; its fᵏ row (n weights) is removable when
+    // nothing else consumes the feature — true for sum-only layers and a
+    // conservative upper bound otherwise.
+    stats.removable_params =
+        stats.zeroed * (1 + (fan_in > 0 ? fan_in : 0));
+    all.push_back(std::move(stats));
+  }
+  return all;
+}
+
+}  // namespace qdnn::train

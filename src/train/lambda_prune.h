@@ -1,0 +1,49 @@
+// Λ-magnitude pruning: turning the Fig. 7 observation into a tool.
+//
+// After training, the paper's parameter-distribution analysis (Sec.
+// IV-C.1) shows Λᵏ is concentrated near zero in many layers — those
+// layers are effectively linear and their quadratic machinery is dead
+// weight.  This module measures that directly and can remove it:
+//
+//  * effective_rank(layer, τ): how many of a unit's k eigenvalues exceed
+//    τ·max|λ| on average — the rank the layer actually uses.
+//  * prune_lambdas(model, τ): zeroes every λ below the threshold and
+//    freezes it (lr_scale = 0), reporting per-layer statistics.  Zeroed
+//    entries make the corresponding fᵏ rows removable at export time: a
+//    pruned unit's quadratic cost drops from (k+1)n+k to (k'+1)n+k'.
+//
+// This is the natural train-time companion of rank_for_energy (which
+// selects k *before* training from a converted layer's spectrum).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace qdnn::train {
+
+struct LambdaPruneStats {
+  std::string layer;        // parameter name of the Λ tensor
+  index_t units = 0;        // rows of the Λ tensor
+  index_t rank = 0;         // k (columns)
+  index_t zeroed = 0;       // entries pruned by this call
+  double mean_effective_rank = 0.0;  // after pruning
+  // Parameters removable at export: zeroed λ entries plus their fᵏ rows
+  // (n weights each) when the row is dead across the unit.
+  index_t removable_params = 0;
+};
+
+// Mean per-unit count of |λ| > threshold·max_unit|λ| in one Λ tensor
+// [units, k].  A layer whose effective rank ≈ 0 is effectively linear.
+double effective_rank(const Tensor& lambda, double relative_threshold);
+
+// Zeroes and freezes (lr_scale = 0) every λ with |λ| <= threshold·max|λ|
+// of its unit, across all parameters in group "quadratic_lambda".
+// `fan_in_of` maps a Λ parameter name to the layer fan-in n, used for the
+// removable-parameter accounting; pass 0 to skip that column.
+std::vector<LambdaPruneStats> prune_lambdas(nn::Module& model,
+                                            double relative_threshold,
+                                            index_t fan_in = 0);
+
+}  // namespace qdnn::train

@@ -1,0 +1,21 @@
+#include "train/metrics.h"
+
+namespace qdnn::train {
+
+double accuracy(const Tensor& logits, const std::vector<index_t>& labels) {
+  QDNN_CHECK_EQ(logits.rank(), 2, "accuracy: logits must be [N, C]");
+  const index_t n = logits.dim(0), c = logits.dim(1);
+  QDNN_CHECK_EQ(static_cast<index_t>(labels.size()), n,
+                "accuracy: label count");
+  index_t correct = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    index_t best = 0;
+    for (index_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace qdnn::train

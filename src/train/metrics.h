@@ -1,0 +1,43 @@
+// Small metric helpers shared by the trainers and benches.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn::train {
+
+// Top-1 accuracy of logits [N, C] against labels.
+double accuracy(const Tensor& logits, const std::vector<index_t>& labels);
+
+// Running average.
+class Mean {
+ public:
+  void add(double v, double weight = 1.0) {
+    sum_ += v * weight;
+    weight_ += weight;
+  }
+  double value() const { return weight_ > 0.0 ? sum_ / weight_ : 0.0; }
+  void reset() { sum_ = weight_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+};
+
+// Epoch record used by the Fig. 4/5/6 benches to emit curves.
+struct EpochStats {
+  index_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_loss = 0.0;
+  double test_accuracy = 0.0;
+  // Non-finite loss/activations observed.  train_diverged aborts the run;
+  // eval_diverged alone is usually a transient of quadratic networks
+  // whose BatchNorm running stats have not settled (see trainer.cpp).
+  bool train_diverged = false;
+  bool eval_diverged = false;
+  bool diverged = false;  // train_diverged || eval_diverged
+};
+
+}  // namespace qdnn::train

@@ -1,0 +1,55 @@
+#include "train/scheduler.h"
+
+#include <cmath>
+
+namespace qdnn::train {
+
+MultiStepLr::MultiStepLr(Sgd& optimizer, float base_lr,
+                         std::vector<index_t> milestones, float gamma)
+    : optimizer_(&optimizer),
+      base_lr_(base_lr),
+      milestones_(std::move(milestones)),
+      gamma_(gamma) {}
+
+float MultiStepLr::lr_at(index_t epoch) const {
+  float lr = base_lr_;
+  for (index_t m : milestones_)
+    if (epoch >= m) lr *= gamma_;
+  return lr;
+}
+
+void MultiStepLr::set_epoch(index_t epoch) {
+  optimizer_->set_lr(lr_at(epoch));
+}
+
+WarmupInvSqrt::WarmupInvSqrt(Sgd& optimizer, float peak_lr,
+                             index_t warmup_steps)
+    : set_lr_([&optimizer](float lr) { optimizer.set_lr(lr); }),
+      peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps) {
+  QDNN_CHECK(warmup_steps > 0, "WarmupInvSqrt: warmup_steps positive");
+}
+
+WarmupInvSqrt::WarmupInvSqrt(Adam& optimizer, float peak_lr,
+                             index_t warmup_steps)
+    : set_lr_([&optimizer](float lr) { optimizer.set_lr(lr); }),
+      peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps) {
+  QDNN_CHECK(warmup_steps > 0, "WarmupInvSqrt: warmup_steps positive");
+}
+
+float WarmupInvSqrt::lr_at(index_t step) const {
+  if (step < 1) step = 1;
+  const double warm = static_cast<double>(warmup_steps_);
+  const double s = static_cast<double>(step);
+  const double factor =
+      std::min(s / warm, std::sqrt(warm) / std::sqrt(s));
+  return static_cast<float>(peak_lr_ * factor);
+}
+
+void WarmupInvSqrt::step() {
+  ++step_count_;
+  set_lr_(lr_at(step_count_));
+}
+
+}  // namespace qdnn::train

@@ -1,0 +1,49 @@
+// Learning-rate schedules.  MultiStepLr reproduces the paper's CIFAR
+// recipe (×0.1 at epochs 90 and 135 of 180) and the ImageNet recipe
+// (×0.1 at 30/60/90 of 100); WarmupInvSqrt is the Transformer schedule of
+// Vaswani et al. used for the Table II runs.
+#pragma once
+
+#include <vector>
+
+#include <functional>
+
+#include "core/shape.h"
+#include "train/adam.h"
+#include "train/sgd.h"
+
+namespace qdnn::train {
+
+class MultiStepLr {
+ public:
+  MultiStepLr(Sgd& optimizer, float base_lr, std::vector<index_t> milestones,
+              float gamma = 0.1f);
+
+  // Call once per epoch, with the 0-based epoch about to start.
+  void set_epoch(index_t epoch);
+  float lr_at(index_t epoch) const;
+
+ private:
+  Sgd* optimizer_;
+  float base_lr_;
+  std::vector<index_t> milestones_;
+  float gamma_;
+};
+
+class WarmupInvSqrt {
+ public:
+  WarmupInvSqrt(Sgd& optimizer, float peak_lr, index_t warmup_steps);
+  WarmupInvSqrt(Adam& optimizer, float peak_lr, index_t warmup_steps);
+
+  // Call once per optimization step (1-based internally).
+  void step();
+  float lr_at(index_t step) const;
+
+ private:
+  std::function<void(float)> set_lr_;
+  float peak_lr_;
+  index_t warmup_steps_;
+  index_t step_count_ = 0;
+};
+
+}  // namespace qdnn::train

@@ -1,0 +1,93 @@
+#include "train/seq2seq_trainer.h"
+
+#include <algorithm>
+
+namespace qdnn::train {
+
+Seq2SeqTrainer::Seq2SeqTrainer(models::Transformer& model,
+                               Seq2SeqConfig config)
+    : model_(&model),
+      config_(config),
+      optimizer_(model.parameters(),
+                 AdamConfig{/*lr=*/0.0f, /*beta1=*/0.9f, /*beta2=*/0.98f,
+                            /*eps=*/1e-9f, /*weight_decay=*/0.0f,
+                            config.clip_norm}),
+      scheduler_(optimizer_, config.peak_lr, config.warmup_steps),
+      rng_(config.seed),
+      loss_(config.label_smoothing, data::Vocab::kPad) {}
+
+std::vector<Seq2SeqEpoch> Seq2SeqTrainer::fit(
+    const data::TranslationCorpus& corpus) {
+  std::vector<Seq2SeqEpoch> history;
+  const index_t n = static_cast<index_t>(corpus.train.size());
+  const index_t bs = config_.batch_size;
+
+  for (index_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    model_->set_training(true);
+    Mean loss_mean, acc_mean;
+    // Shuffle example order by materializing a permuted copy view.
+    const std::vector<index_t> order = rng_.permutation(n);
+    std::vector<data::TranslationExample> shuffled;
+    shuffled.reserve(static_cast<std::size_t>(n));
+    for (index_t i : order)
+      shuffled.push_back(corpus.train[static_cast<std::size_t>(i)]);
+
+    for (index_t first = 0; first < n; first += bs) {
+      const index_t count = std::min(bs, n - first);
+      const data::Seq2SeqBatch batch =
+          data::make_batch(shuffled, first, count);
+      scheduler_.step();
+      optimizer_.zero_grad();
+      const Tensor logits =
+          model_->forward_train(batch.src, batch.tgt_in, batch.src_lengths);
+      const nn::LossResult res = loss_(logits, batch.tgt_out);
+      loss_mean.add(res.loss, static_cast<double>(res.count));
+      if (res.count > 0)
+        acc_mean.add(static_cast<double>(res.correct) / res.count,
+                     static_cast<double>(res.count));
+      model_->backward(res.grad_logits);
+      optimizer_.step();
+    }
+
+    Seq2SeqEpoch stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_mean.value();
+    stats.token_accuracy = acc_mean.value();
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+data::BleuResult Seq2SeqTrainer::evaluate_bleu(
+    const data::TranslationCorpus& corpus, const BleuSettings& settings,
+    index_t max_sentences) {
+  model_->set_training(false);
+  index_t count = static_cast<index_t>(corpus.test.size());
+  if (max_sentences > 0) count = std::min(count, max_sentences);
+
+  std::vector<std::vector<std::string>> hyps, refs;
+  const index_t bs = 16;
+  const index_t max_steps =
+      std::min<index_t>(model_->config().max_len - 1, 24);
+  for (index_t first = 0; first < count; first += bs) {
+    const index_t batch_count = std::min(bs, count - first);
+    const data::Seq2SeqBatch batch =
+        data::make_batch(corpus.test, first, batch_count);
+    const auto decoded = model_->greedy_decode(
+        batch.src, batch.src_lengths, data::Vocab::kBos, data::Vocab::kEos,
+        max_steps);
+    for (index_t i = 0; i < batch_count; ++i) {
+      const auto& ex = corpus.test[static_cast<std::size_t>(first + i)];
+      const std::string hyp_surface = data::surface_from_ids(
+          corpus.tgt_vocab, decoded[static_cast<std::size_t>(i)]);
+      hyps.push_back(data::tokenize(hyp_surface, settings.tokenizer,
+                                    settings.cased));
+      refs.push_back(data::tokenize(ex.tgt_surface, settings.tokenizer,
+                                    settings.cased));
+    }
+  }
+  return data::corpus_bleu(hyps, refs);
+}
+
+}  // namespace qdnn::train

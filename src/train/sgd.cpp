@@ -1,0 +1,52 @@
+#include "train/sgd.h"
+
+#include <cmath>
+
+namespace qdnn::train {
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const nn::Parameter* p : params_)
+    velocity_.emplace_back(p->value.shape());
+}
+
+double Sgd::grad_norm() const {
+  double acc = 0.0;
+  for (const nn::Parameter* p : params_)
+    acc += static_cast<double>(p->grad.squared_norm());
+  return std::sqrt(acc);
+}
+
+void Sgd::step() {
+  float clip_scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    const double norm = grad_norm();
+    if (!std::isfinite(norm)) {
+      // A single overflowing batch must not poison the weights (the
+      // division below would turn every parameter into NaN).  Skip the
+      // step; the caller's divergence detection still sees genuinely
+      // unstable *forward* dynamics (Fig. 6).
+      return;
+    }
+    if (norm > config_.clip_norm)
+      clip_scale = static_cast<float>(config_.clip_norm / norm);
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float lr = config_.lr * p.lr_scale;
+    const float wd = p.decay ? config_.weight_decay : 0.0f;
+    for (index_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] * clip_scale + wd * p.value[j];
+      v[j] = config_.momentum * v[j] + g;
+      p.value[j] -= lr * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (nn::Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace qdnn::train

@@ -1,0 +1,45 @@
+// SGD with momentum and decoupled-by-tag weight decay.
+//
+// Matches the paper's recipe (Sec. IV): base LR 0.1 with momentum for the
+// CNNs, and a separately (much lower) learning rate for the proposed
+// neuron's Λᵏ parameters — realized here via Parameter::lr_scale, so one
+// optimizer instance drives both groups.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace qdnn::train {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  // Gradient-norm clip; <= 0 disables.  The Transformer runs use it, and
+  // the Fig. 6 stability bench intentionally disables it to expose
+  // kervolution's divergence.
+  float clip_norm = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, SgdConfig config);
+
+  // One update from the accumulated gradients; does not zero them.
+  void step();
+  void zero_grad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+  // Global gradient L2 norm (diagnostic + clipping basis).
+  double grad_norm() const;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace qdnn::train

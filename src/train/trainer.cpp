@@ -1,0 +1,119 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+namespace qdnn::train {
+
+Trainer::Trainer(nn::Module& model, TrainerConfig config)
+    : model_(&model),
+      config_(config),
+      optimizer_(model.parameters(),
+                 SgdConfig{config.lr, config.momentum, config.weight_decay,
+                           config.clip_norm}),
+      scheduler_(optimizer_, config.lr, config.lr_milestones),
+      rng_(config.seed) {}
+
+EpochStats Trainer::evaluate(const data::ImageDataset& test) {
+  model_->set_training(false);
+  EpochStats stats;
+  Mean loss_mean, acc_mean;
+  const index_t n = test.size();
+  const index_t bs = config_.batch_size;
+  const index_t c = test.images.dim(1), h = test.images.dim(2),
+                w = test.images.dim(3);
+  const index_t plane = c * h * w;
+  for (index_t first = 0; first < n; first += bs) {
+    const index_t count = std::min(bs, n - first);
+    Tensor batch{Shape{count, c, h, w}};
+    std::vector<index_t> labels(static_cast<std::size_t>(count));
+    for (index_t i = 0; i < count; ++i) {
+      for (index_t j = 0; j < plane; ++j)
+        batch[i * plane + j] = test.images[(first + i) * plane + j];
+      labels[static_cast<std::size_t>(i)] =
+          test.labels[static_cast<std::size_t>(first + i)];
+    }
+    const Tensor logits = model_->forward(batch);
+    if (!logits.all_finite()) {
+      stats.eval_diverged = true;
+      stats.diverged = true;
+      break;
+    }
+    const nn::LossResult res = loss_(logits, labels);
+    loss_mean.add(res.loss, static_cast<double>(count));
+    acc_mean.add(accuracy(logits, labels), static_cast<double>(count));
+  }
+  stats.test_loss = loss_mean.value();
+  stats.test_accuracy = acc_mean.value();
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::fit(const data::ImageDataset& train,
+                                     const data::ImageDataset& test) {
+  std::vector<EpochStats> history;
+  const index_t n = train.size();
+  const index_t bs = config_.batch_size;
+  const index_t c = train.images.dim(1), h = train.images.dim(2),
+                w = train.images.dim(3);
+  const index_t plane = c * h * w;
+
+  for (index_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    scheduler_.set_epoch(epoch);
+    model_->set_training(true);
+    Mean loss_mean, acc_mean;
+    bool diverged = false;
+
+    const std::vector<index_t> order = rng_.permutation(n);
+    for (index_t first = 0; first < n && !diverged; first += bs) {
+      const index_t count = std::min(bs, n - first);
+      Tensor batch{Shape{count, c, h, w}};
+      std::vector<index_t> labels(static_cast<std::size_t>(count));
+      for (index_t i = 0; i < count; ++i) {
+        const index_t src = order[static_cast<std::size_t>(first + i)];
+        for (index_t j = 0; j < plane; ++j)
+          batch[i * plane + j] = train.images[src * plane + j];
+        labels[static_cast<std::size_t>(i)] =
+            train.labels[static_cast<std::size_t>(src)];
+      }
+      if (config_.augment_pad > 0)
+        batch = data::augment_batch(batch, config_.augment_pad, rng_);
+
+      optimizer_.zero_grad();
+      const Tensor logits = model_->forward(batch);
+      if (!logits.all_finite()) {
+        diverged = true;
+        break;
+      }
+      const nn::LossResult res = loss_(logits, labels);
+      if (!std::isfinite(res.loss)) {
+        diverged = true;
+        break;
+      }
+      loss_mean.add(res.loss, static_cast<double>(count));
+      acc_mean.add(accuracy(logits, labels), static_cast<double>(count));
+      model_->backward(res.grad_logits);
+      optimizer_.step();
+    }
+
+    EpochStats stats = diverged ? EpochStats{} : evaluate(test);
+    stats.epoch = epoch;
+    stats.train_loss = loss_mean.value();
+    stats.train_accuracy = acc_mean.value();
+    stats.train_diverged = diverged;
+    stats.diverged = stats.diverged || diverged;
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+    // Abort only on *training* divergence.  Eval-mode divergence early in
+    // training is transient for quadratic networks: BatchNorm running
+    // statistics lag the batch statistics, and each quadratic layer
+    // squares the residual scale mismatch, so eval activations can
+    // overflow until the running stats settle — training itself is
+    // healthy and recovers the eval pass within a few epochs.
+    if (diverged) break;
+    if (config_.target_accuracy > 0.0 &&
+        stats.test_accuracy >= config_.target_accuracy)
+      break;
+  }
+  return history;
+}
+
+}  // namespace qdnn::train

@@ -1,0 +1,58 @@
+// Classification trainer: drives a Module (ResNet or any [N,C,H,W] →
+// logits network) over an ImageDataset with the paper's augmentation and
+// schedule, recording per-epoch statistics.  Divergence (non-finite loss)
+// is detected and recorded rather than fatal — the Fig. 6 stability bench
+// depends on observing it.
+#pragma once
+
+#include <functional>
+
+#include "data/augment.h"
+#include "data/synthetic_images.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "train/metrics.h"
+#include "train/scheduler.h"
+
+namespace qdnn::train {
+
+struct TrainerConfig {
+  index_t epochs = 10;
+  index_t batch_size = 32;
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  float clip_norm = 0.0f;
+  std::vector<index_t> lr_milestones;  // epochs where lr ×= 0.1
+  index_t augment_pad = 2;             // 0 disables augmentation
+  std::uint64_t seed = 99;
+  // Stop early once test accuracy reaches this (0 disables) — lets the
+  // benches bound wall-clock without changing the comparison.
+  double target_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Module& model, TrainerConfig config);
+
+  // Runs the full schedule; returns per-epoch stats (ends early on
+  // divergence or target accuracy).
+  std::vector<EpochStats> fit(const data::ImageDataset& train,
+                              const data::ImageDataset& test);
+
+  // Single evaluation pass (model left in eval mode).
+  EpochStats evaluate(const data::ImageDataset& test);
+
+  // Optional per-epoch observer (progress printing in benches).
+  std::function<void(const EpochStats&)> on_epoch;
+
+ private:
+  nn::Module* model_;
+  TrainerConfig config_;
+  Sgd optimizer_;
+  MultiStepLr scheduler_;
+  Rng rng_;
+  nn::CrossEntropyLoss loss_;
+};
+
+}  // namespace qdnn::train

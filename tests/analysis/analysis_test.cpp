@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/counters.h"
+#include "analysis/param_stats.h"
+#include "analysis/response_map.h"
+#include "gradcheck_util.h"
+#include "nn/linear.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::analysis {
+namespace {
+
+using qdnn::testing::random_tensor;
+
+TEST(Counters, BreakdownByGroup) {
+  Rng rng(1);
+  quadratic::ProposedQuadraticDense layer(4, 2, 3, rng);
+  const ParamBreakdown b = count_parameters(layer);
+  // w: 2×4, q: 2·3×4, λ: 2×3, bias: 2.
+  EXPECT_EQ(b.by_group.at("linear"), 8 + 2);
+  EXPECT_EQ(b.by_group.at("quadratic_q"), 24);
+  EXPECT_EQ(b.by_group.at("quadratic_lambda"), 6);
+  EXPECT_EQ(b.total, 40);
+}
+
+TEST(Counters, FormatMillions) {
+  EXPECT_EQ(format_millions(15'700'000), "15.70");
+  EXPECT_EQ(format_millions(271'000, 3), "0.271");
+}
+
+TEST(ParamStats, OrderStatistics) {
+  const std::vector<float> values{5, 1, 3, 2, 4};
+  const LayerParamStats s = stats_of("layer", "linear", values);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_FLOAT_EQ(s.min, 1.0f);
+  EXPECT_FLOAT_EQ(s.max, 5.0f);
+  EXPECT_FLOAT_EQ(s.mean, 3.0f);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0f), 1e-5f);
+  EXPECT_LE(s.q05, s.q95);
+}
+
+TEST(ParamStats, EmptyBufferSafe) {
+  const LayerParamStats s = stats_of("l", "g", {});
+  EXPECT_EQ(s.count, 0);
+}
+
+TEST(ParamStats, PerLayerGroupsSeparated) {
+  Rng rng(2);
+  quadratic::ProposedQuadraticDense a(4, 1, 2, rng, 1e-3f, "layer_a");
+  nn::Linear b(4, 2, rng, true, "layer_b");
+  const auto stats = per_layer_stats({&a, &b});
+  // layer_a: linear + quadratic_q + quadratic_lambda; layer_b: linear.
+  EXPECT_EQ(stats.size(), 4u);
+  int lambda_rows = 0;
+  for (const auto& s : stats)
+    if (s.group == "quadratic_lambda") ++lambda_rows;
+  EXPECT_EQ(lambda_rows, 1);
+}
+
+TEST(ResponseMap, LinearPlusQuadraticEqualsYChannel) {
+  Rng rng(3);
+  quadratic::ProposedQuadConv2d conv(3, 2, 3, 1, 1, 4, rng);
+  const Tensor image = random_tensor(Shape{3, 8, 8}, 4);
+  const ResponsePair pair = split_responses(conv, image);
+  EXPECT_EQ(pair.linear.shape(), Shape({2, 8, 8}));
+  // Re-run the layer and confirm linear+quadratic reassembles channel y.
+  const Tensor out = conv.forward(
+      image.reshaped(Shape{1, 3, 8, 8}));
+  for (index_t f = 0; f < 2; ++f)
+    for (index_t j = 0; j < 64; ++j) {
+      const float y = out.data()[(f * 5) * 64 + j];
+      EXPECT_NEAR(pair.linear.data()[f * 64 + j] +
+                      pair.quadratic.data()[f * 64 + j],
+                  y, 1e-4f);
+    }
+}
+
+TEST(FrequencySplit, ConstantMapIsAllLow) {
+  // A smooth gradient map has most energy in block means.
+  Tensor map{Shape{8, 8}};
+  for (index_t y = 0; y < 8; ++y)
+    for (index_t x = 0; x < 8; ++x)
+      map.at(y, x) = static_cast<float>(y) * 0.5f;
+  const EnergySplit split = frequency_energy_split(map);
+  EXPECT_GT(split.low_fraction(), 0.8);
+}
+
+TEST(FrequencySplit, CheckerboardIsAllHigh) {
+  Tensor map{Shape{8, 8}};
+  for (index_t y = 0; y < 8; ++y)
+    for (index_t x = 0; x < 8; ++x)
+      map.at(y, x) = ((x + y) % 2 == 0) ? 1.0f : -1.0f;
+  const EnergySplit split = frequency_energy_split(map);
+  EXPECT_LT(split.low_fraction(), 0.2);
+}
+
+TEST(FrequencySplit, MixedSignalOrdering) {
+  // Low-frequency sinusoid vs high-frequency sinusoid.
+  auto make_wave = [](double cycles) {
+    Tensor map{Shape{16, 16}};
+    for (index_t y = 0; y < 16; ++y)
+      for (index_t x = 0; x < 16; ++x)
+        map.at(y, x) = static_cast<float>(
+            std::sin(2.0 * std::numbers::pi * cycles * x / 16.0));
+    return map;
+  };
+  const double low = frequency_energy_split(make_wave(1)).low_fraction();
+  const double high = frequency_energy_split(make_wave(7)).low_fraction();
+  EXPECT_GT(low, high);
+}
+
+TEST(FrequencySplit, RejectsTinyMaps) {
+  Tensor map{Shape{1, 4}};
+  EXPECT_THROW(frequency_energy_split(map), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::analysis

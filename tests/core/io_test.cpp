@@ -1,0 +1,102 @@
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/rng.h"
+
+namespace qdnn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("qdnn_io_" + name))
+      .string();
+}
+
+TEST(Io, CsvWritesHeaderAndRows) {
+  const std::string path = temp_path("table.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.write_row(std::vector<std::string>{"1", "x"});
+    csv.write_row(std::vector<double>{2.5, 3.5});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 4), "2.50");
+  std::remove(path.c_str());
+}
+
+TEST(Io, CsvCreatesParentDirectories) {
+  const std::string dir = temp_path("nested_dir");
+  const std::string path = dir + "/deep/file.csv";
+  {
+    CsvWriter csv(path, {"h"});
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Io, PgmRoundTripHeader) {
+  const std::string path = temp_path("img.pgm");
+  Tensor img{Shape{4, 6}};
+  for (index_t i = 0; i < img.numel(); ++i)
+    img[i] = static_cast<float>(i);
+  write_pgm(path, img);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<unsigned char> pixels(24);
+  in.read(reinterpret_cast<char*>(pixels.data()), 24);
+  EXPECT_EQ(pixels[0], 0);      // min maps to 0
+  EXPECT_EQ(pixels[23], 255);   // max maps to 255
+  std::remove(path.c_str());
+}
+
+TEST(Io, PgmRejectsWrongRank) {
+  Tensor t{Shape{2, 2, 2}};
+  EXPECT_THROW(write_pgm(temp_path("bad.pgm"), t), std::runtime_error);
+}
+
+TEST(Io, TensorSaveLoadRoundTrip) {
+  const std::string path = temp_path("tensor.bin");
+  Rng rng(3);
+  Tensor t{Shape{3, 5, 2}};
+  rng.fill_normal(t, 0.0f, 1.0f);
+  save_tensor(path, t);
+  const Tensor loaded = load_tensor(path);
+  EXPECT_EQ(loaded.shape(), t.shape());
+  EXPECT_EQ(max_abs_diff(loaded, t), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadRejectsBadMagic) {
+  const std::string path = temp_path("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a tensor";
+  }
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tensor(temp_path("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn

@@ -1,0 +1,135 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qdnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<index_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 1000 draws
+  EXPECT_THROW(rng.uniform_int(0), std::runtime_error);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(12);
+  const auto perm = rng.permutation(100);
+  std::set<index_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 99);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(13);
+  const auto perm = rng.permutation(100);
+  index_t fixed = 0;
+  for (index_t i = 0; i < 100; ++i)
+    if (perm[static_cast<std::size_t>(i)] == i) ++fixed;
+  EXPECT_LT(fixed, 10);  // expected ~1 fixed point
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng rng(15);
+  Rng child = rng.split();
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (rng.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, FillHelpers) {
+  Rng rng(16);
+  Tensor u{Shape{1000}};
+  rng.fill_uniform(u, -2.0f, 2.0f);
+  EXPECT_GE(u.min(), -2.0f);
+  EXPECT_LT(u.max(), 2.0f);
+  Tensor g{Shape{10000}};
+  rng.fill_normal(g, 1.0f, 0.5f);
+  EXPECT_NEAR(g.mean(), 1.0f, 0.05f);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(17);
+  const auto a = rng.next_u64();
+  rng.reseed(17);
+  EXPECT_EQ(rng.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace qdnn

@@ -1,0 +1,151 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace qdnn {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(Shape, EmptyShapeIsScalar) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, ZeroDimensionGivesZeroNumel) {
+  const Shape s{3, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, Strides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EqualityAndPrinting) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::runtime_error);
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t{Shape{2, 3}};
+  EXPECT_EQ(t.numel(), 6);
+  for (index_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+  t.fill(2.5f);
+  EXPECT_EQ(t.at(1, 2), 2.5f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+               std::runtime_error);
+}
+
+TEST(Tensor, MultiIndexAccessors) {
+  Tensor t{Shape{2, 3, 4, 5}};
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+  Tensor t3{Shape{2, 3, 4}};
+  t3.at(1, 0, 2) = 3.0f;
+  EXPECT_EQ(t3[(1 * 3 + 0) * 4 + 2], 3.0f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t{Shape{2, 6}};
+  t.at(1, 0) = 5.0f;
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r[6], 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{5, 5}), std::runtime_error);
+}
+
+TEST(Tensor, ArithmeticInPlace) {
+  Tensor a{Shape{3}, std::vector<float>{1, 2, 3}};
+  const Tensor b{Shape{3}, std::vector<float>{10, 20, 30}};
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[0], 2.0f);
+  a.add_scaled(b, 0.1f);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a{Shape{3}};
+  const Tensor b{Shape{4}};
+  EXPECT_THROW(a += b, std::runtime_error);
+  EXPECT_THROW(a -= b, std::runtime_error);
+  EXPECT_THROW(hadamard(a, b), std::runtime_error);
+  EXPECT_THROW(max_abs_diff(a, b), std::runtime_error);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t{Shape{4}, std::vector<float>{-1, 2, -3, 4}};
+  EXPECT_FLOAT_EQ(t.sum(), 2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.5f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.squared_norm(), 1 + 4 + 9 + 16);
+}
+
+TEST(Tensor, MapAndHadamard) {
+  const Tensor t{Shape{3}, std::vector<float>{1, -2, 3}};
+  const Tensor sq = t.map([](float v) { return v * v; });
+  EXPECT_FLOAT_EQ(sq[1], 4.0f);
+  const Tensor h = hadamard(t, t);
+  EXPECT_FLOAT_EQ(h[2], 9.0f);
+}
+
+TEST(Tensor, AllFinite) {
+  Tensor t{Shape{3}, std::vector<float>{1, 2, 3}};
+  EXPECT_TRUE(t.all_finite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.all_finite());
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a{Shape{3}, std::vector<float>{1, 2, 3}};
+  const Tensor b{Shape{3}, std::vector<float>{1, 2.5f, 2}};
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+TEST(Tensor, OutOfPlaceOperators) {
+  const Tensor a{Shape{2}, std::vector<float>{1, 2}};
+  const Tensor b{Shape{2}, std::vector<float>{3, 4}};
+  EXPECT_FLOAT_EQ((a + b)[1], 6.0f);
+  EXPECT_FLOAT_EQ((a - b)[0], -2.0f);
+  EXPECT_FLOAT_EQ((a * 3.0f)[1], 6.0f);
+}
+
+TEST(Tensor, ScalarFactory) {
+  const Tensor s = Tensor::scalar(42.0f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s[0], 42.0f);
+}
+
+}  // namespace
+}  // namespace qdnn

@@ -1,0 +1,147 @@
+#include "data/bleu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/tokenizer.h"
+
+namespace qdnn::data {
+namespace {
+
+std::vector<std::string> toks(std::initializer_list<const char*> words) {
+  std::vector<std::string> out;
+  for (const char* w : words) out.emplace_back(w);
+  return out;
+}
+
+// ------------------------------ tokenizer ---------------------------------
+
+TEST(Tokenizer, SplitsWhitespace) {
+  const auto t = tokenize("hello world", TokenizerKind::k13a, true);
+  EXPECT_EQ(t, toks({"hello", "world"}));
+}
+
+TEST(Tokenizer, ThirteenASplitsTerminalPunct) {
+  const auto t = tokenize("Hello world.", TokenizerKind::k13a, true);
+  EXPECT_EQ(t, toks({"Hello", "world", "."}));
+}
+
+TEST(Tokenizer, ThirteenAKeepsHyphens) {
+  const auto t = tokenize("word3-part1 x", TokenizerKind::k13a, true);
+  EXPECT_EQ(t, toks({"word3-part1", "x"}));
+}
+
+TEST(Tokenizer, InternationalSplitsHyphens) {
+  const auto t =
+      tokenize("word3-part1 x", TokenizerKind::kInternational, true);
+  EXPECT_EQ(t, toks({"word3", "-", "part1", "x"}));
+}
+
+TEST(Tokenizer, UncasedLowercases) {
+  const auto t = tokenize("Hello World.", TokenizerKind::k13a, false);
+  EXPECT_EQ(t, toks({"hello", "world", "."}));
+}
+
+TEST(Tokenizer, EmptyString) {
+  EXPECT_TRUE(tokenize("", TokenizerKind::k13a, true).empty());
+}
+
+TEST(Tokenizer, MultiplePunctuationMarks) {
+  const auto t = tokenize("a,b.c!", TokenizerKind::k13a, true);
+  EXPECT_EQ(t, toks({"a", ",", "b", ".", "c", "!"}));
+}
+
+// -------------------------------- BLEU ------------------------------------
+
+TEST(Bleu, PerfectMatchIs100) {
+  const auto s = toks({"the", "cat", "sat", "on", "the", "mat"});
+  const BleuResult r = corpus_bleu({s}, {s});
+  EXPECT_NEAR(r.bleu, 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.brevity_penalty, 1.0);
+}
+
+TEST(Bleu, CompletelyWrongIsNearZero) {
+  const auto hyp = toks({"a", "b", "c", "d", "e"});
+  const auto ref = toks({"v", "w", "x", "y", "z"});
+  const BleuResult r = corpus_bleu({hyp}, {ref});
+  EXPECT_LT(r.bleu, 1.0);
+}
+
+TEST(Bleu, BrevityPenaltyAppliesToShortHyp) {
+  const auto ref = toks({"a", "b", "c", "d", "e", "f", "g", "h"});
+  const auto hyp = toks({"a", "b", "c", "d"});
+  const BleuResult r = corpus_bleu({hyp}, {ref});
+  EXPECT_LT(r.brevity_penalty, 1.0);
+  EXPECT_NEAR(r.brevity_penalty, std::exp(1.0 - 8.0 / 4.0), 1e-9);
+}
+
+TEST(Bleu, NoPenaltyForLongHyp) {
+  const auto ref = toks({"a", "b", "c", "d"});
+  const auto hyp = toks({"a", "b", "c", "d", "e", "f"});
+  const BleuResult r = corpus_bleu({hyp}, {ref});
+  EXPECT_DOUBLE_EQ(r.brevity_penalty, 1.0);
+}
+
+TEST(Bleu, ClippedPrecision) {
+  // "the the the" against "the cat": unigram matches clip at ref count.
+  const auto hyp = toks({"the", "the", "the", "the"});
+  const auto ref = toks({"the", "cat", "ate", "the"});
+  const BleuResult r = corpus_bleu({hyp}, {ref});
+  EXPECT_NEAR(r.precisions[0], 50.0, 1e-6);  // 2 of 4 after clipping
+}
+
+TEST(Bleu, PartialOverlapOrdering) {
+  const auto ref = toks({"the", "quick", "brown", "fox", "jumps"});
+  const auto close = toks({"the", "quick", "brown", "fox", "runs"});
+  const auto far = toks({"the", "fox", "quick", "runs", "brown"});
+  const double b_close = corpus_bleu({close}, {ref}).bleu;
+  const double b_far = corpus_bleu({far}, {ref}).bleu;
+  EXPECT_GT(b_close, b_far);  // word order matters through n-grams
+}
+
+TEST(Bleu, CorpusAggregatesOverSentences) {
+  const auto ref1 = toks({"a", "b", "c", "d"});
+  const auto ref2 = toks({"e", "f", "g", "h"});
+  const BleuResult r = corpus_bleu({ref1, ref2}, {ref1, ref2});
+  EXPECT_NEAR(r.bleu, 100.0, 1e-6);
+  EXPECT_EQ(r.hyp_length, 8);
+}
+
+TEST(Bleu, MismatchedSizesThrow) {
+  EXPECT_THROW(corpus_bleu({toks({"a"})}, {}), std::runtime_error);
+}
+
+TEST(Bleu, CasedVsUncasedDiffer) {
+  // With case-sensitive tokens, "Word1" ≠ "word1"; uncased merges them.
+  const std::string ref_text = "Word1 stays here.";
+  const std::string hyp_text = "word1 stays here.";
+  const auto cased_hyp = tokenize(hyp_text, TokenizerKind::k13a, true);
+  const auto cased_ref = tokenize(ref_text, TokenizerKind::k13a, true);
+  const auto uncased_hyp = tokenize(hyp_text, TokenizerKind::k13a, false);
+  const auto uncased_ref = tokenize(ref_text, TokenizerKind::k13a, false);
+  EXPECT_LT(corpus_bleu({cased_hyp}, {cased_ref}).bleu,
+            corpus_bleu({uncased_hyp}, {uncased_ref}).bleu);
+}
+
+TEST(Bleu, TokenizerChangesScoreOnHyphens) {
+  // A hypothesis that gets the compound partially right scores differently
+  // under 13a (one token, no credit) vs international (splits, partial
+  // credit).
+  const std::string ref_text = "word3-part1 goes fast.";
+  const std::string hyp_text = "word3-part2 goes fast.";
+  const double b13 =
+      corpus_bleu({tokenize(hyp_text, TokenizerKind::k13a, true)},
+                  {tokenize(ref_text, TokenizerKind::k13a, true)})
+          .bleu;
+  const double bint = corpus_bleu(
+                          {tokenize(hyp_text, TokenizerKind::kInternational,
+                                    true)},
+                          {tokenize(ref_text, TokenizerKind::kInternational,
+                                    true)})
+                          .bleu;
+  EXPECT_NE(b13, bint);
+}
+
+}  // namespace
+}  // namespace qdnn::data

@@ -1,0 +1,319 @@
+// Tests for the synthetic datasets, augmentation, vocab and batching.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/augment.h"
+#include "data/synthetic_images.h"
+#include "data/translation.h"
+
+namespace qdnn::data {
+namespace {
+
+// ------------------------- synthetic images -------------------------------
+
+TEST(SyntheticImages, ShapesAndBalance) {
+  SyntheticImageConfig config;
+  config.num_classes = 5;
+  config.image_size = 12;
+  const ImageDataset ds = make_synthetic_images(config, 100, 1);
+  EXPECT_EQ(ds.images.shape(), Shape({100, 3, 12, 12}));
+  EXPECT_EQ(ds.size(), 100);
+  std::vector<int> counts(5, 0);
+  for (index_t label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 5);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);  // balanced
+}
+
+TEST(SyntheticImages, DeterministicForSeed) {
+  SyntheticImageConfig config;
+  const ImageDataset a = make_synthetic_images(config, 10, 42);
+  const ImageDataset b = make_synthetic_images(config, 10, 42);
+  EXPECT_EQ(max_abs_diff(a.images, b.images), 0.0f);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SyntheticImages, DifferentSeedsDiffer) {
+  SyntheticImageConfig config;
+  const ImageDataset a = make_synthetic_images(config, 10, 1);
+  const ImageDataset b = make_synthetic_images(config, 10, 2);
+  EXPECT_GT(max_abs_diff(a.images, b.images), 0.1f);
+}
+
+TEST(SyntheticImages, TextureIsSecondOrder) {
+  // Averaging many samples of one class must wash out the grating
+  // (random phase ⇒ zero mean) while per-sample texture energy stays
+  // high: the class cue is second-order, which is the property that makes
+  // quadratic neurons the right tool.
+  SyntheticImageConfig config;
+  config.num_classes = 2;
+  config.noise_std = 0.0f;
+  config.shape_amp = 0.0f;  // isolate the texture component
+  const index_t count = 200;
+  const ImageDataset ds = make_synthetic_images(config, count, 3);
+  const index_t plane = 3 * config.image_size * config.image_size;
+
+  Tensor mean{Shape{plane}};
+  double mean_energy = 0.0;
+  index_t n_class0 = 0;
+  for (index_t s = 0; s < count; ++s) {
+    if (ds.labels[static_cast<std::size_t>(s)] != 0) continue;
+    ++n_class0;
+    double energy = 0.0;
+    for (index_t j = 0; j < plane; ++j) {
+      const float v = ds.images[s * plane + j];
+      mean[j] += v;
+      energy += static_cast<double>(v) * v;
+    }
+    mean_energy += energy / plane;
+  }
+  mean *= 1.0f / static_cast<float>(n_class0);
+  mean_energy /= n_class0;
+  double mean_sq = 0.0;
+  for (index_t j = 0; j < plane; ++j)
+    mean_sq += static_cast<double>(mean[j]) * mean[j];
+  mean_sq /= plane;
+  // Mean image carries far less energy than individual samples.
+  EXPECT_LT(mean_sq, 0.15 * mean_energy);
+  EXPECT_GT(mean_energy, 0.05);
+}
+
+TEST(SyntheticImages, ClassesAreSeparableByEnergyProfile) {
+  // Nearest-centroid on per-row energy profiles must beat chance by a
+  // wide margin — evidence the generator encodes class structure.
+  SyntheticImageConfig config;
+  config.num_classes = 4;
+  config.noise_std = 0.15f;
+  const ImageDataset train = make_synthetic_images(config, 200, 4);
+  const ImageDataset test = make_synthetic_images(config, 100, 5);
+  const index_t hw = config.image_size;
+  const index_t plane = 3 * hw * hw;
+
+  auto profile = [&](const Tensor& images, index_t s) {
+    std::vector<double> p(static_cast<std::size_t>(hw), 0.0);
+    for (index_t j = 0; j < plane; ++j) {
+      const float v = images[s * plane + j];
+      p[static_cast<std::size_t>((j / hw) % hw)] +=
+          static_cast<double>(v) * v;
+    }
+    return p;
+  };
+  std::vector<std::vector<double>> centroids(
+      4, std::vector<double>(static_cast<std::size_t>(hw), 0.0));
+  std::vector<int> counts(4, 0);
+  for (index_t s = 0; s < train.size(); ++s) {
+    const auto p = profile(train.images, s);
+    const auto label = static_cast<std::size_t>(train.labels[s]);
+    ++counts[label];
+    for (std::size_t j = 0; j < p.size(); ++j) centroids[label][j] += p[j];
+  }
+  for (std::size_t c = 0; c < 4; ++c)
+    for (double& v : centroids[c]) v /= counts[c];
+
+  int correct = 0;
+  for (index_t s = 0; s < test.size(); ++s) {
+    const auto p = profile(test.images, s);
+    double best = 1e18;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const double diff = p[j] - centroids[c][j];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    if (static_cast<index_t>(best_c) == test.labels[s]) ++correct;
+  }
+  EXPECT_GT(correct, 40);  // chance would be 25
+}
+
+TEST(SyntheticImages, PrototypeIsCleanAndDeterministic) {
+  SyntheticImageConfig config;
+  const Tensor a = render_class_prototype(config, 3, 9);
+  const Tensor b = render_class_prototype(config, 3, 9);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  EXPECT_EQ(a.shape(), Shape({3, 20, 20}));
+}
+
+// ------------------------------ augment -----------------------------------
+
+TEST(Augment, PadCropIdentityAtCenter) {
+  Rng rng(1);
+  Tensor img{Shape{2, 4, 4}};
+  rng.fill_uniform(img, -1.0f, 1.0f);
+  const Tensor out = pad_crop(img, 2, 2, 2);  // centered crop = identity
+  EXPECT_EQ(max_abs_diff(out, img), 0.0f);
+}
+
+TEST(Augment, PadCropShiftsContent) {
+  Tensor img{Shape{1, 3, 3}};
+  img.at(0, 1, 1) = 5.0f;
+  // Crop offset (0,0) shifts content down-right by pad.
+  const Tensor out = pad_crop(img, 1, 0, 0);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 2), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);  // padding zeros enter
+}
+
+TEST(Augment, PadCropRejectsBadOffsets) {
+  Tensor img{Shape{1, 3, 3}};
+  EXPECT_THROW(pad_crop(img, 1, 3, 0), std::runtime_error);
+}
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(2);
+  Tensor img{Shape{3, 5, 7}};
+  rng.fill_uniform(img, -1.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(hflip(hflip(img)), img), 0.0f);
+}
+
+TEST(Augment, HflipMirrorsColumns) {
+  Tensor img{Shape{1, 1, 3}};
+  img[0] = 1.0f;
+  img[2] = 3.0f;
+  const Tensor out = hflip(img);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+}
+
+TEST(Augment, BatchPreservesShapeAndIsSeeded) {
+  Rng rng_data(3);
+  Tensor batch{Shape{4, 3, 8, 8}};
+  rng_data.fill_uniform(batch, -1.0f, 1.0f);
+  Rng rng_a(7), rng_b(7);
+  const Tensor a = augment_batch(batch, 2, rng_a);
+  const Tensor b = augment_batch(batch, 2, rng_b);
+  EXPECT_EQ(a.shape(), batch.shape());
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+// ------------------------------- vocab ------------------------------------
+
+TEST(Vocab, SpecialTokensFixed) {
+  Vocab v;
+  EXPECT_EQ(v.id("<pad>"), Vocab::kPad);
+  EXPECT_EQ(v.id("<bos>"), Vocab::kBos);
+  EXPECT_EQ(v.id("<eos>"), Vocab::kEos);
+  EXPECT_EQ(v.id("<unk>"), Vocab::kUnk);
+  EXPECT_EQ(v.size(), 4);
+}
+
+TEST(Vocab, AddIsIdempotent) {
+  Vocab v;
+  const index_t a = v.add("hello");
+  EXPECT_EQ(v.add("hello"), a);
+  EXPECT_EQ(v.size(), 5);
+  EXPECT_EQ(v.word(a), "hello");
+}
+
+TEST(Vocab, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.id("missing"), Vocab::kUnk);
+}
+
+TEST(Vocab, EncodeDecodeRoundTrip) {
+  Vocab v;
+  v.add("a");
+  v.add("b");
+  const auto ids = v.encode({"a", "b", "a"});
+  EXPECT_EQ(v.decode(ids), (std::vector<std::string>{"a", "b", "a"}));
+}
+
+// ----------------------------- translation --------------------------------
+
+TranslationConfig small_corpus_config() {
+  TranslationConfig config;
+  config.train_sentences = 50;
+  config.test_sentences = 10;
+  return config;
+}
+
+TEST(Translation, CorpusSizesAndDeterminism) {
+  const TranslationCorpus a = make_translation_corpus(small_corpus_config());
+  const TranslationCorpus b = make_translation_corpus(small_corpus_config());
+  EXPECT_EQ(a.train.size(), 50u);
+  EXPECT_EQ(a.test.size(), 10u);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].src_ids, b.train[i].src_ids);
+    EXPECT_EQ(a.train[i].tgt_surface, b.train[i].tgt_surface);
+  }
+}
+
+TEST(Translation, VerbIsSourceFinalTargetSecond) {
+  const TranslationCorpus corpus =
+      make_translation_corpus(small_corpus_config());
+  for (const auto& ex : corpus.train) {
+    // Source: [content..., verb, punct]; the verb's surface starts with
+    // "machen", target position 1 starts with "make".
+    const std::string& src_verb =
+        corpus.src_vocab.word(ex.src_ids[ex.src_ids.size() - 2]);
+    EXPECT_EQ(src_verb.rfind("machen", 0), 0u) << src_verb;
+    const std::string& tgt_second = corpus.tgt_vocab.word(ex.tgt_ids[1]);
+    EXPECT_EQ(tgt_second.rfind("make", 0), 0u) << tgt_second;
+  }
+}
+
+TEST(Translation, SurfaceCapitalizedAndPunctuated) {
+  const TranslationCorpus corpus =
+      make_translation_corpus(small_corpus_config());
+  for (const auto& ex : corpus.test) {
+    ASSERT_FALSE(ex.tgt_surface.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(
+        ex.tgt_surface[0])))
+        << ex.tgt_surface;
+    const char last = ex.tgt_surface.back();
+    EXPECT_TRUE(last == '.' || last == '!' || last == '?');
+    // Punctuation attached (no space before it).
+    EXPECT_NE(ex.tgt_surface[ex.tgt_surface.size() - 2], ' ');
+  }
+}
+
+TEST(Translation, BatchPaddingAndTargets) {
+  const TranslationCorpus corpus =
+      make_translation_corpus(small_corpus_config());
+  const Seq2SeqBatch batch = make_batch(corpus.train, 0, 4);
+  EXPECT_EQ(batch.src.dim(0), 4);
+  EXPECT_EQ(batch.tgt_in.dim(0), 4);
+  EXPECT_EQ(batch.src_lengths.size(), 4u);
+  // tgt_in starts with <bos> for every sample.
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(static_cast<index_t>(batch.tgt_in.at(i, 0)), Vocab::kBos);
+  // Each sample's targets end with <eos> followed by pads.
+  const index_t tt = batch.tgt_in.dim(1);
+  for (index_t i = 0; i < 4; ++i) {
+    const auto& ex = corpus.train[static_cast<std::size_t>(i)];
+    const index_t len = static_cast<index_t>(ex.tgt_ids.size());
+    EXPECT_EQ(batch.tgt_out[static_cast<std::size_t>(i * tt + len)],
+              Vocab::kEos);
+    for (index_t j = len + 1; j < tt; ++j)
+      EXPECT_EQ(batch.tgt_out[static_cast<std::size_t>(i * tt + j)],
+                Vocab::kPad);
+  }
+}
+
+TEST(Translation, BatchRangeValidated) {
+  const TranslationCorpus corpus =
+      make_translation_corpus(small_corpus_config());
+  EXPECT_THROW(make_batch(corpus.train, 48, 10), std::runtime_error);
+  EXPECT_THROW(make_batch(corpus.train, 0, 0), std::runtime_error);
+}
+
+TEST(Translation, SurfaceFromIdsRendersHypotheses) {
+  const TranslationCorpus corpus =
+      make_translation_corpus(small_corpus_config());
+  const auto& ex = corpus.test[0];
+  EXPECT_EQ(surface_from_ids(corpus.tgt_vocab, ex.tgt_ids),
+            ex.tgt_surface);
+}
+
+}  // namespace
+}  // namespace qdnn::data

@@ -1,0 +1,133 @@
+// Central-finite-difference gradient checking for Module backward
+// implementations.
+//
+// Strategy: fix a random projection r and define L = Σ r ⊙ forward(x).
+// Then dL/dx and dL/dθ from backward(r) must match the central difference
+// (L(x+εe) − L(x−εe)) / 2ε.  Float32 forward passes limit achievable
+// agreement, so comparisons use a mixed absolute/relative tolerance, and
+// large parameter tensors are spot-checked on a deterministic subset.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace qdnn::testing {
+
+struct GradcheckOptions {
+  double eps = 1e-2;
+  double rel_tol = 6e-2;
+  double abs_tol = 6e-3;
+  index_t max_checks_per_tensor = 64;  // subsample big tensors
+  std::uint64_t seed = 1234;
+  // On mismatch, retry with eps/5 (repeatedly, up to this many times).
+  // A perturbation that crosses a ReLU/max kink gives a wrong central
+  // difference at large eps but converges to the analytic value as
+  // eps → 0; a genuine backward bug does not converge.
+  int kink_retries = 2;
+};
+
+inline ::testing::AssertionResult check_close(double analytic, double fd,
+                                              const GradcheckOptions& opt,
+                                              const std::string& what) {
+  const double diff = std::fabs(analytic - fd);
+  const double scale = std::max(std::fabs(analytic), std::fabs(fd));
+  if (diff <= opt.abs_tol || diff <= opt.rel_tol * scale)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << what << ": analytic=" << analytic << " fd=" << fd
+         << " diff=" << diff;
+}
+
+// Checks dL/d(input) and dL/d(params).  The module must be stateless
+// across calls apart from its caches (set_training(false) first if it has
+// stochastic parts).
+inline ::testing::AssertionResult gradcheck_module(
+    nn::Module& module, const Tensor& input,
+    const GradcheckOptions& opt = {}) {
+  Rng rng(opt.seed);
+
+  // Projection r over the output.
+  Tensor y0 = module.forward(input);
+  Tensor r{y0.shape()};
+  rng.fill_uniform(r, -1.0f, 1.0f);
+
+  auto loss_at = [&](const Tensor& x) -> double {
+    const Tensor y = module.forward(x);
+    double acc = 0.0;
+    for (index_t i = 0; i < y.numel(); ++i)
+      acc += static_cast<double>(y[i]) * r[i];
+    return acc;
+  };
+
+  // Analytic gradients.
+  module.zero_grad();
+  (void)module.forward(input);
+  const Tensor grad_input = module.backward(r);
+
+  // Checks one coordinate: `slot` is the element being perturbed,
+  // `eval_loss` recomputes the projected loss, `analytic` is the value
+  // under test.  Retries with shrinking eps to dismiss kink crossings.
+  auto check_coordinate = [&](float& slot,
+                              const std::function<double()>& eval_loss,
+                              double analytic, const std::string& what)
+      -> ::testing::AssertionResult {
+    double eps = opt.eps;
+    ::testing::AssertionResult last = ::testing::AssertionFailure();
+    for (int attempt = 0; attempt <= opt.kink_retries; ++attempt) {
+      const float saved = slot;
+      slot = saved + static_cast<float>(eps);
+      const double lp = eval_loss();
+      slot = saved - static_cast<float>(eps);
+      const double lm = eval_loss();
+      slot = saved;
+      const double fd = (lp - lm) / (2.0 * eps);
+      last = check_close(analytic, fd, opt, what);
+      if (last) return last;
+      eps /= 5.0;
+    }
+    return last;
+  };
+
+  // Input gradient check (subsampled).
+  {
+    Tensor x = input;
+    const index_t n = x.numel();
+    const index_t checks = std::min(n, opt.max_checks_per_tensor);
+    for (index_t c = 0; c < checks; ++c) {
+      const index_t i = (checks == n) ? c : rng.uniform_int(n);
+      auto result =
+          check_coordinate(x[i], [&] { return loss_at(x); },
+                           grad_input[i], "input[" + std::to_string(i) + "]");
+      if (!result) return result;
+    }
+  }
+
+  // Parameter gradient checks (subsampled per tensor).
+  for (nn::Parameter* p : module.parameters()) {
+    const index_t n = p->value.numel();
+    const index_t checks = std::min(n, opt.max_checks_per_tensor);
+    for (index_t c = 0; c < checks; ++c) {
+      const index_t i = (checks == n) ? c : rng.uniform_int(n);
+      auto result = check_coordinate(
+          p->value[i], [&] { return loss_at(input); }, p->grad[i],
+          p->name + "[" + std::to_string(i) + "]");
+      if (!result) return result;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Random input helper.
+inline Tensor random_tensor(Shape shape, std::uint64_t seed,
+                            float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  Tensor t{std::move(shape)};
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+}  // namespace qdnn::testing

@@ -1,0 +1,128 @@
+// Cross-module integration: the full lifecycle a downstream user runs —
+//   train → checkpoint → reload into a fresh process-equivalent model →
+//   Λ-prune → quantize → evaluate —
+// exercising trainer, checkpoint (with BN buffers), lambda_prune and
+// quantize together on a real (small) quadratic ResNet.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "models/resnet.h"
+#include "nn/checkpoint.h"
+#include "quantize/quantize_model.h"
+#include "train/lambda_prune.h"
+#include "train/trainer.h"
+
+namespace qdnn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("qdnn_pipe_" + name))
+      .string();
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static constexpr index_t kClasses = 4;
+
+  models::ResNetConfig config() const {
+    models::ResNetConfig c;
+    c.depth = 8;
+    c.num_classes = kClasses;
+    c.image_size = 12;
+    c.base_width = 10;
+    c.spec = models::NeuronSpec::proposed(9, /*lambda_lr=*/0.1f);
+    c.seed = 91;
+    return c;
+  }
+
+  data::SyntheticImageConfig data_config() const {
+    data::SyntheticImageConfig d;
+    d.num_classes = kClasses;
+    d.image_size = 12;
+    d.noise_std = 0.3f;
+    return d;
+  }
+};
+
+TEST_F(PipelineTest, TrainCheckpointPruneQuantizeEvaluate) {
+  const auto train_set = data::make_synthetic_images(data_config(), 160, 71);
+  const auto test_set = data::make_synthetic_images(data_config(), 80, 72);
+
+  // --- train ---------------------------------------------------------
+  auto net = models::make_cifar_resnet(config());
+  train::TrainerConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.clip_norm = 5.0f;
+  tc.augment_pad = 1;
+  train::Trainer trainer(*net, tc);
+  const auto history = trainer.fit(train_set, test_set);
+  ASSERT_FALSE(history.empty());
+  const double acc_trained = trainer.evaluate(test_set).test_accuracy;
+  ASSERT_GT(acc_trained, 1.5 / kClasses)  // well above chance
+      << "training failed — integration test is void";
+
+  // --- checkpoint → fresh model --------------------------------------
+  const std::string path = temp_path("resnet.bin");
+  nn::save_checkpoint(*net, path);
+  auto restored = models::make_cifar_resnet(config());
+  nn::load_checkpoint(*restored, path);
+  std::remove(path.c_str());
+  train::Trainer eval0(*restored, tc);
+  EXPECT_NEAR(eval0.evaluate(test_set).test_accuracy, acc_trained, 1e-9);
+
+  // --- Λ-prune (gentle) ------------------------------------------------
+  index_t zeroed = 0;
+  for (const auto& s : train::prune_lambdas(*restored, 0.02))
+    zeroed += s.zeroed;
+  EXPECT_GT(zeroed, 0);
+  train::Trainer eval1(*restored, tc);
+  const double acc_pruned = eval1.evaluate(test_set).test_accuracy;
+  EXPECT_GT(acc_pruned, acc_trained - 0.10);
+
+  // --- int8 fake quantization -----------------------------------------
+  quantize::QuantizeConfig qc;
+  qc.weight_bits = 8;
+  quantize::quantize_parameters(*restored, qc);
+  const auto report = quantize::storage_report(*restored, qc);
+  EXPECT_GT(report.compression(), 2.0);
+  train::Trainer eval2(*restored, tc);
+  const double acc_final = eval2.evaluate(test_set).test_accuracy;
+  EXPECT_GT(acc_final, acc_pruned - 0.10);
+}
+
+TEST_F(PipelineTest, CheckpointSurvivesPrunedAndQuantizedState) {
+  // Save/load must round-trip a model AFTER pruning+quantization too —
+  // downstream users checkpoint deployment-ready weights.
+  const auto train_set = data::make_synthetic_images(data_config(), 96, 73);
+  const auto test_set = data::make_synthetic_images(data_config(), 48, 74);
+  auto net = models::make_cifar_resnet(config());
+  train::TrainerConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.lr = 0.05f;
+  tc.clip_norm = 5.0f;
+  train::Trainer trainer(*net, tc);
+  trainer.fit(train_set, test_set);
+  train::prune_lambdas(*net, 0.05);
+  quantize::quantize_parameters(*net, quantize::QuantizeConfig{});
+
+  const std::string path = temp_path("deployed.bin");
+  nn::save_checkpoint(*net, path);
+  auto restored = models::make_cifar_resnet(config());
+  nn::load_checkpoint(*restored, path);
+  std::remove(path.c_str());
+
+  net->set_training(false);
+  restored->set_training(false);
+  Tensor x{Shape{2, 3, 12, 12}};
+  Rng rng(99);
+  rng.fill_normal(x, 0.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(net->forward(x), restored->forward(x)), 0.0f);
+}
+
+}  // namespace
+}  // namespace qdnn

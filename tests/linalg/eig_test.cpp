@@ -1,0 +1,167 @@
+#include "linalg/eig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace qdnn::linalg {
+namespace {
+
+Tensor random_symmetric(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor m{Shape{n, n}};
+  rng.fill_normal(m, 0.0f, 1.0f);
+  return symmetrize(m);
+}
+
+Tensor random_matrix(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor m{Shape{n, n}};
+  rng.fill_normal(m, 0.0f, 1.0f);
+  return m;
+}
+
+// Lemma 1 of the paper: xᵀMx is invariant under symmetrization.
+TEST(Symmetrize, PreservesQuadraticForm) {
+  Rng rng(100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t n = 2 + rng.uniform_int(10);
+    const Tensor m = random_matrix(n, 200 + trial);
+    const Tensor sym = symmetrize(m);
+    Tensor x{Shape{n}};
+    rng.fill_normal(x, 0.0f, 1.0f);
+    EXPECT_NEAR(quadratic_form(m, x), quadratic_form(sym, x),
+                1e-3 * (1.0 + std::fabs(quadratic_form(m, x))))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Symmetrize, OutputIsSymmetric) {
+  const Tensor sym = symmetrize(random_matrix(8, 5));
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j)
+      EXPECT_FLOAT_EQ(sym.at(i, j), sym.at(j, i));
+}
+
+TEST(Symmetrize, IdempotentOnSymmetric) {
+  const Tensor sym = random_symmetric(6, 6);
+  EXPECT_LT(max_abs_diff(symmetrize(sym), sym), 1e-6f);
+}
+
+TEST(Eigh, DiagonalMatrix) {
+  Tensor m{Shape{3, 3}};
+  m.at(0, 0) = 1.0f;
+  m.at(1, 1) = -5.0f;
+  m.at(2, 2) = 3.0f;
+  const EigResult eig = eigh(m);
+  // Sorted by |λ| descending.
+  EXPECT_NEAR(eig.eigenvalues[0], -5.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0f, 1e-5f);
+}
+
+TEST(Eigh, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Tensor m{Shape{2, 2}, std::vector<float>{2, 1, 1, 2}};
+  const EigResult eig = eigh(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-5f);
+  // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::fabs(eig.eigenvectors.at(0, 0)), 1.0f / std::sqrt(2.0f),
+              1e-5f);
+}
+
+TEST(Eigh, RejectsAsymmetric) {
+  Tensor m{Shape{2, 2}, std::vector<float>{0, 1, -1, 0}};
+  EXPECT_THROW(eigh(m, 1e-6), std::runtime_error);
+}
+
+class EighProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EighProperty, ReconstructsMatrix) {
+  const index_t n = GetParam();
+  const Tensor m = random_symmetric(n, 300 + n);
+  const EigResult eig = eigh(m);
+  const Tensor rebuilt = reconstruct(eig.eigenvectors, eig.eigenvalues);
+  EXPECT_LT(max_abs_diff(rebuilt, m), 1e-3f) << "n=" << n;
+}
+
+TEST_P(EighProperty, EigenvectorsOrthonormal) {
+  const index_t n = GetParam();
+  const Tensor m = random_symmetric(n, 400 + n);
+  const EigResult eig = eigh(m);
+  for (index_t a = 0; a < n; ++a)
+    for (index_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (index_t i = 0; i < n; ++i)
+        dot += static_cast<double>(eig.eigenvectors.at(i, a)) *
+               eig.eigenvectors.at(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-4)
+          << "n=" << n << " pair (" << a << "," << b << ")";
+    }
+}
+
+TEST_P(EighProperty, SortedByMagnitude) {
+  const index_t n = GetParam();
+  const Tensor m = random_symmetric(n, 500 + n);
+  const EigResult eig = eigh(m);
+  for (index_t i = 0; i + 1 < n; ++i)
+    EXPECT_GE(std::fabs(eig.eigenvalues[i]) + 1e-6f,
+              std::fabs(eig.eigenvalues[i + 1]));
+}
+
+TEST_P(EighProperty, SatisfiesEigenEquation) {
+  const index_t n = GetParam();
+  const Tensor m = random_symmetric(n, 600 + n);
+  const EigResult eig = eigh(m);
+  // ‖M v − λ v‖ small for each pair.
+  for (index_t c = 0; c < n; ++c) {
+    double err = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      double mv = 0.0;
+      for (index_t j = 0; j < n; ++j)
+        mv += static_cast<double>(m.at(i, j)) * eig.eigenvectors.at(j, c);
+      const double diff = mv - static_cast<double>(eig.eigenvalues[c]) *
+                                   eig.eigenvectors.at(i, c);
+      err += diff * diff;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-3) << "n=" << n << " col=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EighProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 27, 48));
+
+TEST(Eigh, TraceEqualsEigenvalueSum) {
+  const index_t n = 12;
+  const Tensor m = random_symmetric(n, 700);
+  const EigResult eig = eigh(m);
+  double trace = 0.0, sum = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    trace += m.at(i, i);
+    sum += eig.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-3);
+}
+
+TEST(Eigh, FrobeniusEqualsEigenvalueNorm) {
+  const index_t n = 10;
+  const Tensor m = random_symmetric(n, 800);
+  const EigResult eig = eigh(m);
+  double sum2 = 0.0;
+  for (index_t i = 0; i < n; ++i)
+    sum2 += static_cast<double>(eig.eigenvalues[i]) * eig.eigenvalues[i];
+  EXPECT_NEAR(frobenius_norm(m), std::sqrt(sum2), 1e-3);
+}
+
+TEST(QuadraticForm, MatchesManual) {
+  Tensor m{Shape{2, 2}, std::vector<float>{1, 2, 3, 4}};
+  Tensor x{Shape{2}, std::vector<float>{1, 2}};
+  // xᵀMx = 1*1 + 2*2 + 3*2 + 4*4 = 1 + 4 + 6 + 16 = 27
+  EXPECT_NEAR(quadratic_form(m, x), 27.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qdnn::linalg

@@ -1,0 +1,189 @@
+#include "models/resnet.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/counters.h"
+#include "gradcheck_util.h"
+
+namespace qdnn::models {
+namespace {
+
+using qdnn::testing::random_tensor;
+using quadratic::NeuronKind;
+
+ResNetConfig tiny_config(NeuronSpec spec, index_t depth = 8) {
+  ResNetConfig config;
+  config.depth = depth;
+  config.num_classes = 4;
+  config.image_size = 8;
+  config.base_width = 4;
+  config.spec = spec;
+  return config;
+}
+
+TEST(ResNet, DepthMustBe6nPlus2) {
+  ResNetConfig config = tiny_config(NeuronSpec::linear());
+  config.depth = 21;
+  EXPECT_THROW(make_cifar_resnet(config), std::runtime_error);
+}
+
+TEST(ResNet, ForwardShapeLinear) {
+  auto net = make_cifar_resnet(tiny_config(NeuronSpec::linear()));
+  const Tensor logits =
+      net->forward(random_tensor(Shape{2, 3, 8, 8}, 1));
+  EXPECT_EQ(logits.shape(), Shape({2, 4}));
+  EXPECT_TRUE(logits.all_finite());
+}
+
+TEST(ResNet, ForwardShapeProposed) {
+  auto net = make_cifar_resnet(tiny_config(NeuronSpec::proposed(3)));
+  const Tensor logits =
+      net->forward(random_tensor(Shape{2, 3, 8, 8}, 2));
+  EXPECT_EQ(logits.shape(), Shape({2, 4}));
+  EXPECT_TRUE(logits.all_finite());
+}
+
+TEST(ResNet, ForwardEveryNeuronFamily) {
+  for (NeuronKind kind :
+       {NeuronKind::kQuad1, NeuronKind::kQuad2, NeuronKind::kBuKarpatne,
+        NeuronKind::kLowRank, NeuronKind::kKervolution}) {
+    auto net = make_cifar_resnet(tiny_config(NeuronSpec::of(kind, 3)));
+    const Tensor logits =
+        net->forward(random_tensor(Shape{1, 3, 8, 8}, 3));
+    EXPECT_EQ(logits.shape(), Shape({1, 4}))
+        << NeuronSpec::of(kind).kind_name();
+  }
+}
+
+TEST(ResNet, BackwardProducesFiniteGradients) {
+  auto net = make_cifar_resnet(tiny_config(NeuronSpec::proposed(3)));
+  const Tensor x = random_tensor(Shape{2, 3, 8, 8}, 4);
+  const Tensor logits = net->forward(x);
+  const Tensor g = random_tensor(logits.shape(), 5);
+  const Tensor gx = net->backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_TRUE(gx.all_finite());
+  for (nn::Parameter* p : net->parameters())
+    EXPECT_TRUE(p->grad.all_finite()) << p->name;
+}
+
+TEST(ResNet, DeterministicForSameSeed) {
+  auto a = make_cifar_resnet(tiny_config(NeuronSpec::linear()));
+  auto b = make_cifar_resnet(tiny_config(NeuronSpec::linear()));
+  const Tensor x = random_tensor(Shape{1, 3, 8, 8}, 6);
+  EXPECT_EQ(max_abs_diff(a->forward(x), b->forward(x)), 0.0f);
+}
+
+TEST(ResNet, DepthIncreasesParameters) {
+  const auto p8 =
+      make_cifar_resnet(tiny_config(NeuronSpec::linear(), 8))
+          ->num_parameters();
+  const auto p14 =
+      make_cifar_resnet(tiny_config(NeuronSpec::linear(), 14))
+          ->num_parameters();
+  const auto p20 =
+      make_cifar_resnet(tiny_config(NeuronSpec::linear(), 20))
+          ->num_parameters();
+  EXPECT_LT(p8, p14);
+  EXPECT_LT(p14, p20);
+}
+
+TEST(ResNet, MacCounterPositiveAndScalesWithDepth) {
+  const auto m8 =
+      make_cifar_resnet(tiny_config(NeuronSpec::linear(), 8))
+          ->macs_per_image();
+  const auto m20 =
+      make_cifar_resnet(tiny_config(NeuronSpec::linear(), 20))
+          ->macs_per_image();
+  EXPECT_GT(m8, 0);
+  EXPECT_GT(m20, 2 * m8);
+}
+
+// The Sec. III-C claim realised at the network level: the proposed
+// network's parameter count stays close to the linear baseline (same
+// depth) while each conv layer gains quadratic expressivity.
+TEST(ResNet, ProposedParamsCloseToLinearSameDepth) {
+  ResNetConfig config = tiny_config(NeuronSpec::linear(), 14);
+  config.base_width = 8;
+  config.image_size = 16;
+  const auto linear_params =
+      make_cifar_resnet(config)->num_parameters();
+  config.spec = NeuronSpec::proposed(3);
+  const auto quad_params = make_cifar_resnet(config)->num_parameters();
+  const double ratio = static_cast<double>(quad_params) /
+                       static_cast<double>(linear_params);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST(ResNet, QuadLayerLimitRestrictsDeployment) {
+  // With limit 1 only the stem is kervolution; deeper convs are linear,
+  // so the network has exactly the same parameter count as all-linear
+  // (kervolution adds no parameters) but different response.
+  ResNetConfig config = tiny_config(NeuronSpec::of(NeuronKind::kKervolution));
+  config.quad_layer_limit = 1;
+  auto limited = make_cifar_resnet(config);
+  config.spec = NeuronSpec::linear();
+  config.quad_layer_limit = -1;
+  auto linear = make_cifar_resnet(config);
+  EXPECT_EQ(limited->num_parameters(), linear->num_parameters());
+}
+
+TEST(ResNet, ParameterGroupsTagged) {
+  auto net = make_cifar_resnet(tiny_config(NeuronSpec::proposed(3)));
+  const auto breakdown = analysis::count_parameters(*net);
+  EXPECT_GT(breakdown.by_group.at("linear"), 0);
+  EXPECT_GT(breakdown.by_group.at("quadratic_q"), 0);
+  EXPECT_GT(breakdown.by_group.at("quadratic_lambda"), 0);
+  EXPECT_EQ(breakdown.total, net->num_parameters());
+}
+
+TEST(ResNet, ConvLayerListExposed) {
+  auto net = make_cifar_resnet(tiny_config(NeuronSpec::linear(), 8));
+  // stem + 3 blocks (depth 8 -> n=1 per stage).
+  EXPECT_EQ(net->conv_layers().size(), 4u);
+}
+
+TEST(ResNet18, BuildsAndRuns) {
+  ResNetConfig config;
+  config.num_classes = 5;
+  config.image_size = 16;
+  config.base_width = 4;
+  config.spec = NeuronSpec::proposed(3);
+  auto net = make_resnet18(config);
+  const Tensor logits =
+      net->forward(random_tensor(Shape{1, 3, 16, 16}, 7));
+  EXPECT_EQ(logits.shape(), Shape({1, 5}));
+  // 4 stages × 2 blocks + stem.
+  EXPECT_EQ(net->conv_layers().size(), 9u);
+}
+
+TEST(ResNet, TinyNetworkGradcheck) {
+  // End-to-end finite-difference check on a minimal quadratic ResNet —
+  // expensive but the strongest integration guarantee we have.
+  ResNetConfig config = tiny_config(NeuronSpec::proposed(2), 8);
+  config.image_size = 6;
+  config.base_width = 3;
+  auto net = make_cifar_resnet(config);
+  // Warm the running statistics, then check gradients in eval mode where
+  // BatchNorm is a fixed affine map (training-mode BN couples every pixel
+  // of a channel through the batch statistics, drowning the finite
+  // difference in noise).
+  net->set_training(true);
+  (void)net->forward(random_tensor(Shape{4, 3, 6, 6}, 80, -1.0f, 1.0f));
+  net->set_training(false);
+  // eps must be small here: at eps=1e-2 the perturbation crosses ReLU
+  // kinks somewhere in the network and the central difference is off by
+  // ~0.08 even though the analytic gradient is exact (verified by an eps
+  // sweep).  At 1e-3 the FD agrees to ~4 decimal places.
+  qdnn::testing::GradcheckOptions opt;
+  opt.max_checks_per_tensor = 8;
+  opt.eps = 1e-3;
+  opt.rel_tol = 0.1;
+  opt.abs_tol = 1e-2;
+  EXPECT_TRUE(qdnn::testing::gradcheck_module(
+      *net, random_tensor(Shape{2, 3, 6, 6}, 8), opt));
+}
+
+}  // namespace
+}  // namespace qdnn::models

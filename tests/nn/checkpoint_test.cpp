@@ -1,0 +1,173 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gradcheck_util.h"
+#include "models/resnet.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace qdnn::nn {
+namespace {
+
+using qdnn::testing::random_tensor;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("qdnn_ckpt_" + name))
+      .string();
+}
+
+TEST(Checkpoint, RoundTripsSequential) {
+  Rng rng(1);
+  Sequential net;
+  net.emplace<Linear>(4, 8, rng, true, "l1");
+  net.emplace<Linear>(8, 2, rng, true, "l2");
+  const Tensor x = random_tensor(Shape{3, 4}, 2);
+  const Tensor y_before = net.forward(x);
+
+  const std::string path = temp_path("seq.bin");
+  save_checkpoint(net, path);
+
+  // Scramble weights, then restore.
+  for (Parameter* p : net.parameters()) p->value.fill(0.123f);
+  EXPECT_GT(max_abs_diff(net.forward(x), y_before), 0.01f);
+  load_checkpoint(net, path);
+  EXPECT_EQ(max_abs_diff(net.forward(x), y_before), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RoundTripsQuadraticResNet) {
+  models::ResNetConfig config;
+  config.depth = 8;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.base_width = 4;
+  config.spec = models::NeuronSpec::proposed(3);
+  auto net = models::make_cifar_resnet(config);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{2, 3, 8, 8}, 3);
+  // Warm BN running stats so eval is meaningful, then snapshot.
+  net->set_training(true);
+  (void)net->forward(x);
+  net->set_training(false);
+  const Tensor y_before = net->forward(x);
+
+  const std::string path = temp_path("resnet.bin");
+  save_checkpoint(*net, path);
+  for (Parameter* p : net->parameters()) p->value *= 0.5f;
+  load_checkpoint(*net, path);
+  EXPECT_EQ(max_abs_diff(net->forward(x), y_before), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  Rng rng(4);
+  Sequential small;
+  small.emplace<Linear>(4, 2, rng, true, "l1");
+  const std::string path = temp_path("mismatch.bin");
+  save_checkpoint(small, path);
+
+  Sequential renamed;
+  renamed.emplace<Linear>(4, 2, rng, true, "other_name");
+  EXPECT_THROW(load_checkpoint(renamed, path), std::runtime_error);
+
+  Sequential wrong_shape;
+  wrong_shape.emplace<Linear>(5, 2, rng, true, "l1");
+  EXPECT_THROW(load_checkpoint(wrong_shape, path), std::runtime_error);
+
+  Sequential extra;
+  extra.emplace<Linear>(4, 2, rng, true, "l1");
+  extra.emplace<Linear>(2, 2, rng, true, "l2");
+  EXPECT_THROW(load_checkpoint(extra, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(5);
+  Sequential net;
+  net.emplace<Linear>(2, 2, rng, true, "l1");
+  EXPECT_THROW(load_checkpoint(net, temp_path("nope.bin")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, PersistsBatchNormRunningStats) {
+  // Restoring into a FRESH model (default running stats) must reproduce
+  // the saved model's eval output — this is the BN-buffer regression the
+  // quantization bench originally exposed.
+  models::ResNetConfig config;
+  config.depth = 8;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.base_width = 4;
+  config.seed = 77;
+  auto net = models::make_cifar_resnet(config);
+  const Tensor x = random_tensor(Shape{4, 3, 8, 8}, 6);
+  // Drive the running statistics away from their init.
+  net->set_training(true);
+  for (int i = 0; i < 5; ++i) (void)net->forward(x);
+  net->set_training(false);
+  const Tensor y_before = net->forward(x);
+
+  const std::string path = temp_path("bnstats.bin");
+  save_checkpoint(*net, path);
+
+  auto fresh = models::make_cifar_resnet(config);  // same seed, fresh stats
+  load_checkpoint(*fresh, path);
+  fresh->set_training(false);
+  EXPECT_EQ(max_abs_diff(fresh->forward(x), y_before), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BuffersEnumerateBatchNormStats) {
+  models::ResNetConfig config;
+  config.depth = 8;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.base_width = 4;
+  auto net = models::make_cifar_resnet(config);
+  const auto bufs = net->buffers();
+  // Depth-8 CIFAR ResNet: stem BN + 2 BNs per basic block (3 blocks) +
+  // projection-shortcut BNs in stages 2 and 3 = 9 BN layers, each
+  // contributing running_mean + running_var.
+  EXPECT_EQ(bufs.size(), 18u);
+  for (const auto& b : bufs) {
+    ASSERT_NE(b.tensor, nullptr);
+    EXPECT_TRUE(b.name.find("running_") != std::string::npos) << b.name;
+  }
+}
+
+TEST(CopyState, ClonesParametersAndBuffers) {
+  models::ResNetConfig config;
+  config.depth = 8;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.base_width = 4;
+  config.seed = 11;
+  auto a = models::make_cifar_resnet(config);
+  const Tensor x = random_tensor(Shape{3, 3, 8, 8}, 7);
+  a->set_training(true);
+  for (int i = 0; i < 3; ++i) (void)a->forward(x);
+  a->set_training(false);
+  const Tensor y_a = a->forward(x);
+
+  config.seed = 12;  // different init — copy_state must overwrite it all
+  auto b = models::make_cifar_resnet(config);
+  copy_state(*a, *b);
+  b->set_training(false);
+  EXPECT_EQ(max_abs_diff(b->forward(x), y_a), 0.0f);
+}
+
+TEST(CopyState, RejectsDifferentArchitectures) {
+  Rng rng(8);
+  Sequential a;
+  a.emplace<Linear>(4, 2, rng, true, "l1");
+  Sequential b;
+  b.emplace<Linear>(4, 3, rng, true, "l1");
+  EXPECT_THROW(copy_state(a, b), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::nn

@@ -1,0 +1,254 @@
+// Tests for activations, pooling, dropout, embedding, softmax and
+// Sequential composition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/softmax.h"
+#include "nn/linear.h"
+
+namespace qdnn::nn {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+// --------------------------- activations ---------------------------------
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const Tensor x{Shape{4}, std::vector<float>{-1, 0, 2, -3}};
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLU, GradientMasksNegatives) {
+  ReLU relu;
+  const Tensor x{Shape{3}, std::vector<float>{-1, 1, 2}};
+  relu.forward(x);
+  const Tensor g = relu.backward(Tensor{Shape{3}, 1.0f});
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+}
+
+TEST(GELU, KnownValues) {
+  GELU gelu;
+  const Tensor x{Shape{3}, std::vector<float>{0.0f, 100.0f, -100.0f}};
+  const Tensor y = gelu.forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[1], 100.0f, 1e-3f);   // identity for large positive
+  EXPECT_NEAR(y[2], 0.0f, 1e-3f);     // zero for large negative
+}
+
+TEST(GELU, Gradcheck) {
+  GELU gelu;
+  EXPECT_TRUE(gradcheck_module(gelu, random_tensor(Shape{4, 5}, 1)));
+}
+
+TEST(Tanh, GradcheckAndRange) {
+  Tanh tanh_layer;
+  const Tensor y = tanh_layer.forward(random_tensor(Shape{20}, 2, -5, 5));
+  EXPECT_LE(y.max(), 1.0f);
+  EXPECT_GE(y.min(), -1.0f);
+  EXPECT_TRUE(gradcheck_module(tanh_layer, random_tensor(Shape{3, 4}, 3)));
+}
+
+TEST(Sigmoid, GradcheckAndRange) {
+  Sigmoid sig;
+  const Tensor y = sig.forward(random_tensor(Shape{20}, 4, -5, 5));
+  EXPECT_LE(y.max(), 1.0f);
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_TRUE(gradcheck_module(sig, random_tensor(Shape{3, 4}, 5)));
+}
+
+// ----------------------------- pooling -----------------------------------
+
+TEST(GlobalAvgPool2d, AveragesPlane) {
+  GlobalAvgPool2d gap;
+  Tensor x{Shape{1, 2, 2, 2}};
+  for (index_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), (0 + 1 + 2 + 3) / 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), (4 + 5 + 6 + 7) / 4.0f);
+}
+
+TEST(GlobalAvgPool2d, BackwardSpreadsEvenly) {
+  GlobalAvgPool2d gap;
+  gap.forward(random_tensor(Shape{1, 1, 2, 2}, 6));
+  const Tensor g = gap.backward(Tensor{Shape{1, 1}, 4.0f});
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(MaxPool2d, SelectsMaximum) {
+  MaxPool2d pool(2, 2);
+  Tensor x{Shape{1, 1, 4, 4}};
+  for (index_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x{Shape{1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4}};
+  x = x.reshaped(Shape{1, 1, 2, 2});
+  pool.forward(x);
+  const Tensor g = pool.backward(Tensor{Shape{1, 1, 1, 1}, 5.0f});
+  EXPECT_FLOAT_EQ(g[1], 5.0f);  // position of 9
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(AvgPool2d, Averages) {
+  AvgPool2d pool(2, 2);
+  Tensor x{Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4}};
+  x = x.reshaped(Shape{1, 1, 2, 2});
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  const Tensor g = pool.backward(Tensor{Shape{1, 1, 1, 1}, 4.0f});
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(Pooling, Gradchecks) {
+  GlobalAvgPool2d gap;
+  EXPECT_TRUE(gradcheck_module(gap, random_tensor(Shape{2, 3, 4, 4}, 7)));
+  MaxPool2d maxp(2, 2);
+  EXPECT_TRUE(gradcheck_module(maxp, random_tensor(Shape{2, 2, 4, 4}, 8)));
+  AvgPool2d avgp(2, 2);
+  EXPECT_TRUE(gradcheck_module(avgp, random_tensor(Shape{2, 2, 4, 4}, 9)));
+}
+
+// ----------------------------- dropout -----------------------------------
+
+TEST(Dropout, IdentityInEvalMode) {
+  Rng rng(10);
+  Dropout drop(0.5f, rng);
+  drop.set_training(false);
+  const Tensor x = random_tensor(Shape{10}, 11);
+  EXPECT_EQ(max_abs_diff(drop.forward(x), x), 0.0f);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Rng rng(12);
+  Dropout drop(0.3f, rng);
+  drop.set_training(true);
+  const Tensor x{Shape{20000}, 1.0f};
+  const Tensor y = drop.forward(x);
+  EXPECT_NEAR(y.mean(), 1.0f, 0.03f);
+}
+
+TEST(Dropout, MaskAppliedToBackward) {
+  Rng rng(13);
+  Dropout drop(0.5f, rng);
+  drop.set_training(true);
+  const Tensor x{Shape{100}, 1.0f};
+  const Tensor y = drop.forward(x);
+  const Tensor g = drop.backward(Tensor{Shape{100}, 1.0f});
+  // Exactly the same positions must be zeroed in forward and backward.
+  for (index_t i = 0; i < 100; ++i)
+    EXPECT_EQ(y[i] == 0.0f, g[i] == 0.0f) << "i=" << i;
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  Rng rng(14);
+  EXPECT_THROW(Dropout(1.0f, rng), std::runtime_error);
+  EXPECT_THROW(Dropout(-0.1f, rng), std::runtime_error);
+}
+
+// ---------------------------- embedding ----------------------------------
+
+TEST(Embedding, LooksUpRows) {
+  Rng rng(15);
+  Embedding emb(10, 4, rng);
+  Tensor ids{Shape{2, 3}};
+  ids[0] = 1;
+  ids[5] = 9;
+  const Tensor out = emb.forward(ids);
+  EXPECT_EQ(out.shape(), Shape({2, 3, 4}));
+  for (index_t d = 0; d < 4; ++d) {
+    EXPECT_FLOAT_EQ(out[d], emb.weight().value[1 * 4 + d]);
+    EXPECT_FLOAT_EQ(out[5 * 4 + d], emb.weight().value[9 * 4 + d]);
+  }
+}
+
+TEST(Embedding, BackwardScattersIntoRows) {
+  Rng rng(16);
+  Embedding emb(5, 2, rng);
+  Tensor ids{Shape{1, 2}};
+  ids[0] = 3;
+  ids[1] = 3;  // same row twice: grads must accumulate
+  emb.forward(ids);
+  Tensor g{Shape{1, 2, 2}, 1.0f};
+  emb.backward(g);
+  EXPECT_FLOAT_EQ(emb.weight().grad[3 * 2 + 0], 2.0f);
+  EXPECT_FLOAT_EQ(emb.weight().grad[0], 0.0f);
+}
+
+TEST(Embedding, OutOfVocabThrows) {
+  Rng rng(17);
+  Embedding emb(4, 2, rng);
+  Tensor ids{Shape{1, 1}};
+  ids[0] = 7;
+  EXPECT_THROW(emb.forward(ids), std::runtime_error);
+}
+
+// ----------------------------- softmax -----------------------------------
+
+TEST(Softmax, RowsSumToOne) {
+  Softmax sm;
+  const Tensor y = sm.forward(random_tensor(Shape{5, 7}, 18, -3, 3));
+  for (index_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (index_t j = 0; j < 7; ++j) sum += y.at(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Softmax sm;
+  const Tensor x{Shape{1, 3}, std::vector<float>{1000, 1000, 999}};
+  const Tensor y = sm.forward(x);
+  EXPECT_TRUE(y.all_finite());
+  EXPECT_GT(y[0], y[2]);
+}
+
+TEST(Softmax, Gradcheck) {
+  Softmax sm;
+  EXPECT_TRUE(gradcheck_module(sm, random_tensor(Shape{3, 5}, 19)));
+}
+
+// ---------------------------- sequential ---------------------------------
+
+TEST(Sequential, ComposesForwardAndBackward) {
+  Rng rng(20);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng, true, "l1");
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 2, rng, true, "l2");
+  EXPECT_EQ(seq.size(), 3);
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  const Tensor y = seq.forward(random_tensor(Shape{3, 4}, 21));
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+  EXPECT_TRUE(gradcheck_module(seq, random_tensor(Shape{2, 4}, 22)));
+}
+
+TEST(Sequential, PropagatesTrainingMode) {
+  Rng rng(23);
+  Sequential seq;
+  auto* drop = seq.emplace<Dropout>(0.5f, rng);
+  seq.set_training(false);
+  EXPECT_FALSE(drop->training());
+  seq.set_training(true);
+  EXPECT_TRUE(drop->training());
+}
+
+}  // namespace
+}  // namespace qdnn::nn

@@ -1,0 +1,91 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+
+namespace qdnn::nn {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+TEST(Linear, OutputShape) {
+  Rng rng(1);
+  Linear layer(5, 3, rng);
+  const Tensor out = layer.forward(random_tensor(Shape{4, 5}, 2));
+  EXPECT_EQ(out.shape(), Shape({4, 3}));
+}
+
+TEST(Linear, MatchesManualComputation) {
+  Rng rng(3);
+  Linear layer(2, 2, rng);
+  // Overwrite weights with known values: W = [[1,2],[3,4]], b = [10, 20].
+  layer.weight().value = Tensor{Shape{2, 2}, std::vector<float>{1, 2, 3, 4}};
+  layer.bias().value = Tensor{Shape{2}, std::vector<float>{10, 20}};
+  const Tensor x{Shape{1, 2}, std::vector<float>{5, 6}};
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 * 5 + 2 * 6 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3 * 5 + 4 * 6 + 20);
+}
+
+TEST(Linear, NoBiasOption) {
+  Rng rng(4);
+  Linear layer(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  const Tensor zero{Shape{1, 3}};
+  const Tensor y = layer.forward(zero);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(Linear, Gradcheck) {
+  Rng rng(5);
+  Linear layer(6, 4, rng);
+  EXPECT_TRUE(gradcheck_module(layer, random_tensor(Shape{3, 6}, 6)));
+}
+
+TEST(Linear, GradcheckNoBias) {
+  Rng rng(7);
+  Linear layer(4, 5, rng, /*bias=*/false);
+  EXPECT_TRUE(gradcheck_module(layer, random_tensor(Shape{2, 4}, 8)));
+}
+
+TEST(Linear, GradAccumulatesAcrossCalls) {
+  Rng rng(9);
+  Linear layer(2, 2, rng);
+  const Tensor x = random_tensor(Shape{1, 2}, 10);
+  const Tensor g = random_tensor(Shape{1, 2}, 11);
+  layer.forward(x);
+  layer.backward(g);
+  const Tensor once = layer.weight().grad;
+  layer.forward(x);
+  layer.backward(g);
+  EXPECT_LT(max_abs_diff(layer.weight().grad, once * 2.0f), 1e-5f);
+  layer.zero_grad();
+  EXPECT_FLOAT_EQ(layer.weight().grad.abs_max(), 0.0f);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(12);
+  Linear layer(2, 2, rng);
+  EXPECT_THROW(layer.backward(random_tensor(Shape{1, 2}, 13)),
+               std::runtime_error);
+}
+
+TEST(Linear, WrongInputWidthThrows) {
+  Rng rng(14);
+  Linear layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(random_tensor(Shape{1, 4}, 15)),
+               std::runtime_error);
+}
+
+TEST(Linear, BiasExcludedFromDecay) {
+  Rng rng(16);
+  Linear layer(2, 2, rng);
+  EXPECT_TRUE(layer.weight().decay);
+  EXPECT_FALSE(layer.parameters()[1]->decay);
+}
+
+}  // namespace
+}  // namespace qdnn::nn

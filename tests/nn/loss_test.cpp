@@ -1,0 +1,135 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+
+namespace qdnn::nn {
+namespace {
+
+using qdnn::testing::random_tensor;
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  CrossEntropyLoss loss;
+  const Tensor logits{Shape{2, 4}};  // all zeros -> uniform
+  const LossResult res = loss(logits, {0, 3});
+  EXPECT_NEAR(res.loss, std::log(4.0f), 1e-5f);
+  EXPECT_EQ(res.count, 2);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+  CrossEntropyLoss loss;
+  Tensor logits{Shape{1, 3}};
+  logits[1] = 50.0f;
+  const LossResult res = loss(logits, {1});
+  EXPECT_LT(res.loss, 1e-4f);
+  EXPECT_EQ(res.correct, 1);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  CrossEntropyLoss loss;
+  const Tensor logits{Shape{1, 3}, std::vector<float>{1, 2, 3}};
+  const LossResult res = loss(logits, {2});
+  // softmax(1,2,3) ≈ (0.0900, 0.2447, 0.6652)
+  EXPECT_NEAR(res.grad_logits[0], 0.0900f, 1e-3f);
+  EXPECT_NEAR(res.grad_logits[1], 0.2447f, 1e-3f);
+  EXPECT_NEAR(res.grad_logits[2], 0.6652f - 1.0f, 1e-3f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  CrossEntropyLoss loss(0.1f);
+  Tensor logits = random_tensor(Shape{3, 5}, 1);
+  const std::vector<index_t> targets{0, 2, 4};
+  const LossResult res = loss(logits, targets);
+  const double eps = 1e-3;
+  for (index_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double lp = loss(logits, targets).loss;
+    logits[i] = saved - static_cast<float>(eps);
+    const double lm = loss(logits, targets).loss;
+    logits[i] = saved;
+    const double fd = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(res.grad_logits[i], fd, 1e-3) << "i=" << i;
+  }
+}
+
+TEST(CrossEntropy, LabelSmoothingRaisesMinimumLoss) {
+  CrossEntropyLoss plain(0.0f);
+  CrossEntropyLoss smoothed(0.2f);
+  Tensor logits{Shape{1, 4}};
+  logits[0] = 30.0f;
+  EXPECT_GT(smoothed(logits, {0}).loss, plain(logits, {0}).loss + 0.1f);
+}
+
+TEST(CrossEntropy, IgnoreIndexSkipsRows) {
+  CrossEntropyLoss loss(0.0f, /*ignore_index=*/0);
+  Tensor logits{Shape{3, 2}};
+  logits.at(1, 1) = 10.0f;  // row 1 predicts class 1
+  const LossResult res = loss(logits, {0, 1, 0});  // rows 0, 2 ignored
+  EXPECT_EQ(res.count, 1);
+  EXPECT_LT(res.loss, 1e-3f);
+  // Ignored rows contribute zero gradient.
+  EXPECT_FLOAT_EQ(res.grad_logits.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(res.grad_logits.at(2, 0), 0.0f);
+}
+
+TEST(CrossEntropy, AllIgnoredYieldsZero) {
+  CrossEntropyLoss loss(0.0f, 0);
+  const Tensor logits{Shape{2, 2}};
+  const LossResult res = loss(logits, {0, 0});
+  EXPECT_EQ(res.count, 0);
+  EXPECT_FLOAT_EQ(res.loss, 0.0f);
+}
+
+TEST(CrossEntropy, OutOfRangeTargetThrows) {
+  CrossEntropyLoss loss;
+  const Tensor logits{Shape{1, 3}};
+  EXPECT_THROW(loss(logits, {5}), std::runtime_error);
+}
+
+TEST(CrossEntropy, CountsAccuracy) {
+  CrossEntropyLoss loss;
+  Tensor logits{Shape{2, 2}};
+  logits.at(0, 0) = 1.0f;  // predicts 0
+  logits.at(1, 1) = 1.0f;  // predicts 1
+  const LossResult res = loss(logits, {0, 0});
+  EXPECT_EQ(res.correct, 1);
+}
+
+TEST(CrossEntropy, InvalidSmoothingThrows) {
+  EXPECT_THROW(CrossEntropyLoss(1.0f), std::runtime_error);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  const Tensor pred{Shape{2}, std::vector<float>{1, 3}};
+  const Tensor target{Shape{2}, std::vector<float>{0, 0}};
+  const LossResult res = mse_loss(pred, target);
+  // 0.5*(1 + 9)/2 / 2 — loss = (1/n)·Σ 0.5 d² / n? definition: 0.5/N² —
+  // validated against the gradient consistency below instead of a magic
+  // constant:
+  const double eps = 1e-3;
+  Tensor p = pred;
+  for (index_t i = 0; i < 2; ++i) {
+    const float saved = p[i];
+    p[i] = saved + static_cast<float>(eps);
+    const double lp = mse_loss(p, target).loss;
+    p[i] = saved - static_cast<float>(eps);
+    const double lm = mse_loss(p, target).loss;
+    p[i] = saved;
+    EXPECT_NEAR(res.grad_logits[i], (lp - lm) / (2 * eps), 5e-4);
+  }
+  EXPECT_GT(res.loss, 0.0f);
+}
+
+TEST(MseLoss, ZeroForPerfectPrediction) {
+  const Tensor pred{Shape{3}, std::vector<float>{1, 2, 3}};
+  const LossResult res = mse_loss(pred, pred);
+  EXPECT_FLOAT_EQ(res.loss, 0.0f);
+  EXPECT_FLOAT_EQ(res.grad_logits.abs_max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace qdnn::nn

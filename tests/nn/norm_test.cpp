@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "nn/batchnorm.h"
+#include "nn/layernorm.h"
+
+namespace qdnn::nn {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+TEST(BatchNorm2d, NormalizesPerChannel) {
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  const Tensor x = random_tensor(Shape{4, 3, 5, 5}, 1, -3.0f, 7.0f);
+  const Tensor y = bn.forward(x);
+  // With γ=1, β=0 each channel of the output has mean≈0, var≈1.
+  const index_t plane = 25;
+  for (index_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (index_t s = 0; s < 4; ++s)
+      for (index_t j = 0; j < plane; ++j)
+        mean += y.data()[(s * 3 + c) * plane + j];
+    mean /= 4 * plane;
+    for (index_t s = 0; s < 4; ++s)
+      for (index_t j = 0; j < plane; ++j) {
+        const double d = y.data()[(s * 3 + c) * plane + j] - mean;
+        var += d * d;
+      }
+    var /= 4 * plane;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, AffineParametersApplied) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->value.fill(2.0f);  // gamma
+  bn.parameters()[1]->value.fill(5.0f);  // beta
+  const Tensor x = random_tensor(Shape{2, 1, 4, 4}, 2);
+  const Tensor y = bn.forward(x);
+  double mean = 0.0;
+  for (index_t i = 0; i < y.numel(); ++i) mean += y[i];
+  EXPECT_NEAR(mean / y.numel(), 5.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(2);
+  const Tensor x = random_tensor(Shape{8, 2, 4, 4}, 3, 1.0f, 3.0f);
+  // Several training passes to populate running stats.
+  for (int i = 0; i < 20; ++i) bn.forward(x);
+  bn.set_training(false);
+  const Tensor x0{Shape{1, 2, 4, 4}, 2.0f};  // constant input
+  const Tensor y = bn.forward(x0);
+  // Output must be deterministic and finite in eval mode even for a
+  // constant batch (which would have zero variance in training mode).
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(BatchNorm2d, RunningStatsConverge) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  Tensor x{Shape{4, 1, 8, 8}, 3.0f};
+  // Add fixed spread so variance is non-zero.
+  for (index_t i = 0; i < x.numel(); i += 2) x[i] = 1.0f;
+  for (int i = 0; i < 30; ++i) bn.forward(x);
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(bn.running_var()[0], 1.0f, 0.05f);
+}
+
+TEST(BatchNorm2d, Gradcheck) {
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  EXPECT_TRUE(gradcheck_module(bn, random_tensor(Shape{3, 2, 3, 3}, 4)));
+}
+
+TEST(BatchNorm2d, GradcheckNonTrivialAffine) {
+  BatchNorm2d bn(2);
+  Rng rng(5);
+  rng.fill_uniform(bn.parameters()[0]->value, 0.5f, 1.5f);
+  rng.fill_uniform(bn.parameters()[1]->value, -0.5f, 0.5f);
+  EXPECT_TRUE(gradcheck_module(bn, random_tensor(Shape{2, 2, 4, 4}, 6)));
+}
+
+TEST(BatchNorm2d, WrongChannelsThrows) {
+  BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(random_tensor(Shape{1, 2, 2, 2}, 7)),
+               std::runtime_error);
+}
+
+TEST(LayerNorm, NormalizesPerRow) {
+  LayerNorm ln(16);
+  const Tensor x = random_tensor(Shape{5, 16}, 8, -4.0f, 10.0f);
+  const Tensor y = ln.forward(x);
+  for (index_t i = 0; i < 5; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (index_t j = 0; j < 16; ++j) mean += y.at(i, j);
+    mean /= 16;
+    for (index_t j = 0; j < 16; ++j) {
+      const double d = y.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 2e-2);
+  }
+}
+
+TEST(LayerNorm, Gradcheck) {
+  LayerNorm ln(8);
+  EXPECT_TRUE(gradcheck_module(ln, random_tensor(Shape{4, 8}, 9)));
+}
+
+TEST(LayerNorm, GradcheckWithAffine) {
+  LayerNorm ln(6);
+  Rng rng(10);
+  rng.fill_uniform(ln.parameters()[0]->value, 0.5f, 2.0f);
+  rng.fill_uniform(ln.parameters()[1]->value, -1.0f, 1.0f);
+  EXPECT_TRUE(gradcheck_module(ln, random_tensor(Shape{3, 6}, 11)));
+}
+
+TEST(LayerNorm, InvariantToRowShiftAndScale) {
+  LayerNorm ln(8);
+  Tensor x = random_tensor(Shape{1, 8}, 12);
+  const Tensor y1 = ln.forward(x);
+  for (index_t j = 0; j < 8; ++j) x[j] = 3.0f * x[j] + 5.0f;
+  const Tensor y2 = ln.forward(x);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-3f);
+}
+
+}  // namespace
+}  // namespace qdnn::nn

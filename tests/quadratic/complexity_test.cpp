@@ -1,0 +1,181 @@
+// Verifies the Table I complexity formulas against the actual parameter
+// counts of instantiated layers — the formulas are the paper's central
+// efficiency claim, so they must match the code exactly.
+#include "quadratic/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+// Counts a layer's parameters excluding biases (Table I ignores biases).
+index_t weight_params(nn::Module& layer) {
+  index_t total = 0;
+  for (const nn::Parameter* p : layer.parameters()) {
+    // Bias-like vectors are tagged decay=false AND 1-D in this library;
+    // Table I ignores them.  Λ is 2-D [units, rank] and counted.
+    const bool bias_like =
+        !p->decay && p->value.rank() == 1 &&
+        p->group == "linear";
+    if (!bias_like) total += p->numel();
+  }
+  return total;
+}
+
+TEST(TableI, LinearNeuron) {
+  const NeuronSpec spec = NeuronSpec::linear();
+  const NeuronCost c = neuron_cost(spec, 100);
+  EXPECT_EQ(c.params, 100);
+  EXPECT_EQ(c.macs, 100);
+  EXPECT_EQ(c.outputs, 1);
+}
+
+TEST(TableI, GeneralNeuronMatchesLayer) {
+  const index_t n = 7;
+  const NeuronSpec spec = NeuronSpec::of(NeuronKind::kGeneral);
+  const NeuronCost c = neuron_cost(spec, n);
+  EXPECT_EQ(c.params, n * n + n);
+  Rng rng(1);
+  GeneralQuadraticDense layer(n, 1, rng, true);
+  EXPECT_EQ(weight_params(layer), c.params);
+}
+
+TEST(TableI, PureNeuronMatchesLayer) {
+  const index_t n = 6;
+  const NeuronSpec spec = NeuronSpec::of(NeuronKind::kPure);
+  EXPECT_EQ(neuron_cost(spec, n).params, n * n);
+  Rng rng(2);
+  GeneralQuadraticDense layer(n, 1, rng, false);
+  EXPECT_EQ(weight_params(layer), n * n);
+}
+
+TEST(TableI, LowRankNeuronMatchesLayer) {
+  const index_t n = 8, k = 3;
+  const NeuronSpec spec = NeuronSpec::of(NeuronKind::kLowRank, k);
+  EXPECT_EQ(neuron_cost(spec, n).params, 2 * k * n + n);
+  Rng rng(3);
+  LowRankQuadraticDense layer(n, 1, k, rng);
+  EXPECT_EQ(weight_params(layer), 2 * k * n + n);
+}
+
+TEST(TableI, Quad1NeuronMatchesLayer) {
+  const index_t n = 9;
+  EXPECT_EQ(neuron_cost(NeuronSpec::of(NeuronKind::kQuad1), n).params,
+            3 * n);
+  Rng rng(4);
+  FactoredQuadraticDense layer(n, 1, NeuronKind::kQuad1, rng);
+  EXPECT_EQ(weight_params(layer), 3 * n);
+}
+
+TEST(TableI, Quad2NeuronMatchesLayer) {
+  const index_t n = 9;
+  EXPECT_EQ(neuron_cost(NeuronSpec::of(NeuronKind::kQuad2), n).params,
+            3 * n);
+  EXPECT_EQ(neuron_cost(NeuronSpec::of(NeuronKind::kQuad2), n).macs, 3 * n);
+  Rng rng(5);
+  FactoredQuadraticDense layer(n, 1, NeuronKind::kQuad2, rng);
+  EXPECT_EQ(weight_params(layer), 3 * n);
+}
+
+TEST(TableI, BuKarpatneMatchesLayer) {
+  const index_t n = 5;
+  EXPECT_EQ(neuron_cost(NeuronSpec::of(NeuronKind::kBuKarpatne), n).params,
+            2 * n);
+  Rng rng(6);
+  FactoredQuadraticDense layer(n, 1, NeuronKind::kBuKarpatne, rng);
+  EXPECT_EQ(weight_params(layer), 2 * n);
+}
+
+TEST(TableI, KervolutionHasLinearCost) {
+  const index_t n = 11;
+  const NeuronCost c =
+      neuron_cost(NeuronSpec::of(NeuronKind::kKervolution), n);
+  EXPECT_EQ(c.params, n);
+}
+
+// Eq. (9) and Eq. (10) of the paper.
+TEST(TableI, ProposedNeuronEq9Eq10) {
+  const index_t n = 12, k = 9;
+  const NeuronSpec spec = NeuronSpec::proposed(k);
+  const NeuronCost c = neuron_cost(spec, n);
+  EXPECT_EQ(c.params, (k + 1) * n + k);
+  EXPECT_EQ(c.macs, (k + 1) * n + 2 * k);
+  EXPECT_EQ(c.outputs, k + 1);
+  Rng rng(7);
+  ProposedQuadraticDense layer(n, 1, k, rng);
+  EXPECT_EQ(weight_params(layer), (k + 1) * n + k);
+}
+
+// Sec. III-C: averaged per-output complexity approaches the linear
+// neuron's n as n grows — the "negligible overhead" claim.
+TEST(TableI, ProposedPerOutputApproachesLinear) {
+  const NeuronSpec spec = NeuronSpec::proposed(9);
+  for (index_t n : {16, 64, 256, 1024, 4096}) {
+    const double pp = params_per_output(spec, n);
+    const double mp = macs_per_output(spec, n);
+    EXPECT_NEAR(pp, n + 9.0 / 10.0, 1e-9);
+    EXPECT_NEAR(mp, n + 18.0 / 10.0, 1e-9);
+    // Overhead relative to the linear neuron shrinks like 1/n.
+    EXPECT_LT((pp - n) / n, 0.06);
+  }
+}
+
+TEST(TableI, ProposedBeatsLowRankForEqualRank) {
+  // Same k: the proposed neuron halves the factor cost ((k+1)n vs 2kn for
+  // k > 1) thanks to the symmetric decomposition.
+  for (index_t k : {2, 3, 5, 9}) {
+    const index_t n = 128;
+    const NeuronCost ours =
+        neuron_cost(NeuronSpec::proposed(k), n);
+    const NeuronCost jiang =
+        neuron_cost(NeuronSpec::of(NeuronKind::kLowRank, k), n);
+    EXPECT_LT(ours.params, jiang.params) << "k=" << k;
+  }
+}
+
+TEST(TableI, ProposedCostDoesNotScaleLinearlyWithK) {
+  // Per-output cost is nearly flat in k (the paper's flexibility claim),
+  // while [18]'s grows linearly.
+  const index_t n = 256;
+  const double ours_k2 = params_per_output(NeuronSpec::proposed(2), n);
+  const double ours_k16 = params_per_output(NeuronSpec::proposed(16), n);
+  EXPECT_LT(ours_k16 - ours_k2, 1.0);  // sub-parameter growth per output
+  const double jiang_k2 =
+      params_per_output(NeuronSpec::of(NeuronKind::kLowRank, 2), n);
+  const double jiang_k16 =
+      params_per_output(NeuronSpec::of(NeuronKind::kLowRank, 16), n);
+  EXPECT_GT(jiang_k16 - jiang_k2, 2.0 * 13 * n * 0.9);
+}
+
+TEST(LayerCost, ConvAccounting) {
+  const NeuronSpec spec = NeuronSpec::proposed(9);
+  // 16 input channels, 3×3 kernel, 2 filters, 8×8 output positions.
+  const LayerCost cost = conv_layer_cost(spec, 16, 3, 2, 64);
+  const index_t n = 16 * 9;
+  EXPECT_EQ(cost.params, 2 * ((9 + 1) * n + 9));
+  EXPECT_EQ(cost.macs, 2 * ((9 + 1) * n + 2 * 9) * 64);
+  EXPECT_EQ(cost.out_channels, 20);
+}
+
+TEST(Formulas, AreNonEmptyForAllFamilies) {
+  for (NeuronKind kind :
+       {NeuronKind::kLinear, NeuronKind::kGeneral, NeuronKind::kPure,
+        NeuronKind::kBuKarpatne, NeuronKind::kLowRank, NeuronKind::kQuad1,
+        NeuronKind::kQuad2, NeuronKind::kKervolution,
+        NeuronKind::kProposed}) {
+    const NeuronSpec spec = NeuronSpec::of(kind);
+    EXPECT_FALSE(params_formula(spec).empty());
+    EXPECT_FALSE(macs_formula(spec).empty());
+    EXPECT_FALSE(spec.kind_name().empty());
+  }
+}
+
+TEST(NeuronCost, RejectsNonPositiveFanIn) {
+  EXPECT_THROW(neuron_cost(NeuronSpec::linear(), 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::quadratic

@@ -1,0 +1,132 @@
+#include "quadratic/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "linalg/lowrank.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+using qdnn::testing::random_tensor;
+
+Tensor random_square(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor m{Shape{n, n}};
+  rng.fill_normal(m, 0.0f, 1.0f);
+  return m;
+}
+
+TEST(ConvertMatrix, FullRankIsLossless) {
+  const index_t n = 6;
+  const Tensor m = random_square(n, 1);
+  const ConvertedNeuron conv = convert_matrix(m, n);
+  EXPECT_LT(conv.error, 1e-3);
+  EXPECT_NEAR(conv.energy_kept, 1.0, 1e-6);
+}
+
+TEST(ConvertMatrix, HandlesAsymmetricInputViaLemma1) {
+  // Asymmetric M: conversion must match the symmetrized matrix's optimal
+  // truncation (the quadratic form is what matters).
+  const index_t n = 5, k = 2;
+  const Tensor m = random_square(n, 2);
+  const ConvertedNeuron conv = convert_matrix(m, k);
+  const Tensor sym = linalg::symmetrize(m);
+  const auto f = linalg::truncate_top_k(sym, k);
+  EXPECT_NEAR(conv.error, linalg::truncation_error(sym, f), 1e-4);
+}
+
+TEST(ConvertMatrix, EnergyKeptMonotoneInK) {
+  const index_t n = 8;
+  const Tensor m = random_square(n, 3);
+  double prev = 0.0;
+  for (index_t k = 1; k <= n; ++k) {
+    const ConvertedNeuron conv = convert_matrix(m, k);
+    EXPECT_GE(conv.energy_kept + 1e-9, prev) << "k=" << k;
+    prev = conv.energy_kept;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(ConvertLayer, FullRankPreservesOutputs) {
+  Rng rng(4);
+  const index_t n = 5;
+  GeneralQuadraticDense general(n, 2, rng, true);
+  Rng rng2(5);
+  auto proposed = convert_layer(general, n, rng2);
+
+  const Tensor x = random_tensor(Shape{3, n}, 6);
+  const Tensor y_general = general.forward(x);
+  const Tensor y_proposed = proposed->forward(x);
+  // The proposed layer's y channels (stride k+1) must match the general
+  // layer's outputs.
+  for (index_t s = 0; s < 3; ++s)
+    for (index_t u = 0; u < 2; ++u)
+      EXPECT_NEAR(y_proposed.at(s, u * (n + 1)), y_general.at(s, u), 2e-3f)
+          << "s=" << s << " u=" << u;
+}
+
+TEST(ConvertLayer, TruncationErrorReported) {
+  Rng rng(7);
+  GeneralQuadraticDense general(6, 3, rng, true);
+  Rng rng2(8);
+  std::vector<double> errors;
+  auto proposed = convert_layer(general, 2, rng2, &errors);
+  ASSERT_EQ(errors.size(), 3u);
+  for (double e : errors) EXPECT_GT(e, 0.0);
+  EXPECT_EQ(proposed->rank(), 2);
+  EXPECT_EQ(proposed->out_features(), 3 * 3);
+}
+
+TEST(ConvertLayer, LowRankApproximationDegradesGracefully) {
+  // The approximation error of the layer's quadratic response must shrink
+  // as k grows.
+  Rng rng(9);
+  const index_t n = 6;
+  GeneralQuadraticDense general(n, 1, rng, true);
+  const Tensor x = random_tensor(Shape{16, n}, 10);
+  const Tensor y_ref = general.forward(x);
+
+  double prev_err = 1e18;
+  for (index_t k : {index_t{1}, index_t{3}, n}) {
+    Rng rng2(11);
+    auto proposed = convert_layer(general, k, rng2);
+    const Tensor y = proposed->forward(x);
+    double err = 0.0;
+    for (index_t s = 0; s < 16; ++s) {
+      const double d = y.at(s, 0) - y_ref.at(s, 0);
+      err += d * d;
+    }
+    EXPECT_LE(err, prev_err + 1e-6) << "k=" << k;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-4);  // full rank ≈ exact
+}
+
+TEST(ConvertLayer, RequiresLinearTerm) {
+  Rng rng(12);
+  GeneralQuadraticDense pure(4, 1, rng, /*include_linear=*/false);
+  Rng rng2(13);
+  EXPECT_THROW(convert_layer(pure, 2, rng2), std::runtime_error);
+}
+
+TEST(RankForEnergy, FindsMinimalRank) {
+  // A matrix with one dominant eigenvalue needs k=1 for most energy.
+  const index_t n = 6;
+  Tensor m{Shape{n, n}};
+  m.at(0, 0) = 100.0f;
+  for (index_t i = 1; i < n; ++i) m.at(i, i) = 0.1f;
+  EXPECT_EQ(rank_for_energy(m, 0.99), 1);
+  EXPECT_EQ(rank_for_energy(m, 1.0), n);
+}
+
+TEST(RankForEnergy, ValidatesFraction) {
+  const Tensor m = random_square(3, 14);
+  EXPECT_THROW(rank_for_energy(m, 0.0), std::runtime_error);
+  EXPECT_THROW(rank_for_energy(m, 1.5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::quadratic

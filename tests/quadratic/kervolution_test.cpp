@@ -1,0 +1,94 @@
+#include "quadratic/kervolution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "nn/linear.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+TEST(KervolutionDense, Degree1WithZeroCEqualsLinear) {
+  Rng rng_a(1), rng_b(1);
+  KervolutionDense kerv(4, 3, /*degree=*/1, /*c=*/0.0f, rng_a);
+  nn::Linear linear(4, 3, rng_b, /*bias=*/false);
+  const Tensor x = random_tensor(Shape{2, 4}, 2);
+  EXPECT_LT(max_abs_diff(kerv.forward(x), linear.forward(x)), 1e-5f);
+}
+
+TEST(KervolutionDense, MatchesPolynomialKernel) {
+  Rng rng(3);
+  KervolutionDense kerv(3, 1, /*degree=*/2, /*c=*/0.5f, rng);
+  const Tensor x = random_tensor(Shape{1, 3}, 4);
+  double pre = 0.5;
+  for (index_t j = 0; j < 3; ++j)
+    pre += kerv.parameters()[0]->value[j] * x[j];
+  EXPECT_NEAR(kerv.forward(x)[0], pre * pre, 1e-4f);
+}
+
+TEST(KervolutionDense, Gradcheck) {
+  Rng rng(5);
+  KervolutionDense kerv(4, 2, 2, 0.5f, rng);
+  EXPECT_TRUE(gradcheck_module(kerv, random_tensor(Shape{2, 4}, 6)));
+}
+
+TEST(KervolutionDense, GradcheckDegree3) {
+  Rng rng(7);
+  KervolutionDense kerv(3, 2, 3, 0.25f, rng);
+  EXPECT_TRUE(gradcheck_module(
+      kerv, random_tensor(Shape{2, 3}, 8, -0.5f, 0.5f)));
+}
+
+TEST(KervolutionDense, SameParameterCountAsLinear) {
+  Rng rng(9);
+  KervolutionDense kerv(16, 8, 2, 0.5f, rng);
+  EXPECT_EQ(kerv.num_parameters(), 16 * 8);
+}
+
+TEST(KervolutionConv2d, OutputShape) {
+  Rng rng(10);
+  KervolutionConv2d kerv(3, 4, 3, 1, 1, 2, 0.5f, rng);
+  const Tensor y = kerv.forward(random_tensor(Shape{2, 3, 5, 5}, 11));
+  EXPECT_EQ(y.shape(), Shape({2, 4, 5, 5}));
+}
+
+TEST(KervolutionConv2d, Gradcheck) {
+  Rng rng(12);
+  KervolutionConv2d kerv(2, 2, 3, 1, 1, 2, 0.5f, rng);
+  EXPECT_TRUE(gradcheck_module(kerv, random_tensor(Shape{1, 2, 4, 4}, 13)));
+}
+
+// The property Fig. 6 exploits: the polynomial kernel amplifies
+// activations multiplicatively, so stacking kervolution layers grows
+// outputs/gradients as a power of the depth while a linear stack does not.
+TEST(KervolutionConv2d, StackedAmplificationGrowsWithDepth) {
+  Rng rng(14);
+  const Tensor x = random_tensor(Shape{1, 2, 6, 6}, 15, 0.5f, 1.5f);
+  auto amplification = [&](int depth) {
+    Rng local(16);
+    Tensor h = x;
+    for (int d = 0; d < depth; ++d) {
+      KervolutionConv2d layer(2, 2, 3, 1, 1, 2, 1.0f, local);
+      h = layer.forward(h);
+    }
+    return static_cast<double>(h.abs_max());
+  };
+  const double a1 = amplification(1);
+  const double a3 = amplification(3);
+  EXPECT_GT(a3, 10.0 * a1);  // super-linear growth
+}
+
+TEST(Kervolution, RejectsDegreeZero) {
+  Rng rng(17);
+  EXPECT_THROW(KervolutionDense(3, 2, 0, 0.5f, rng), std::runtime_error);
+  EXPECT_THROW(KervolutionConv2d(2, 2, 3, 1, 1, 0, 0.5f, rng),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::quadratic

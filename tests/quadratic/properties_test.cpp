@@ -1,0 +1,183 @@
+// Cross-cutting property tests on the quadratic neuron families — the
+// algebraic identities the paper's construction relies on, checked on the
+// actual layer implementations (not just the linalg primitives).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck_util.h"
+#include "linalg/eig.h"
+#include "quadratic/convert.h"
+#include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+using qdnn::testing::random_tensor;
+
+// The quadratic part of the proposed neuron is an EVEN function: with the
+// linear part zeroed, y(x) == y(−x).
+TEST(Properties, ProposedQuadraticPartIsEven) {
+  Rng rng(1);
+  ProposedQuadraticDense layer(6, 2, 3, rng);
+  layer.w().value.zero();
+  for (nn::Parameter* p : layer.parameters())
+    if (p->name.find(".b") != std::string::npos) p->value.zero();
+  Tensor x = random_tensor(Shape{4, 6}, 2);
+  const Tensor y_pos = layer.forward(x);
+  x *= -1.0f;
+  const Tensor y_neg = layer.forward(x);
+  for (index_t s = 0; s < 4; ++s)
+    for (index_t u = 0; u < 2; ++u)
+      // y channels match; f channels flip sign.
+      EXPECT_NEAR(y_pos.at(s, u * 4), y_neg.at(s, u * 4), 1e-5f);
+}
+
+// Homogeneity: scaling the input by t scales the quadratic part by t² and
+// the linear part by t (bias zeroed).
+TEST(Properties, ProposedScalingLaw) {
+  Rng rng(3);
+  ProposedQuadraticDense layer(5, 1, 2, rng);
+  for (nn::Parameter* p : layer.parameters())
+    if (p->name.find(".b") != std::string::npos) p->value.zero();
+  const Tensor x = random_tensor(Shape{1, 5}, 4);
+
+  // Separate the parts via Λ-off runs.
+  auto y_of = [&](float t) {
+    Tensor xs = x;
+    xs *= t;
+    return layer.forward(xs)[0];
+  };
+  Tensor lambda_backup = layer.lambda().value;
+  layer.lambda().value.zero();
+  const float lin1 = y_of(1.0f), lin2 = y_of(2.0f);
+  EXPECT_NEAR(lin2, 2.0f * lin1, 1e-4f + 1e-3f * std::fabs(lin1));
+  layer.lambda().value = lambda_backup;
+  const float full1 = y_of(1.0f), full2 = y_of(2.0f);
+  const float quad1 = full1 - lin1, quad2 = full2 - lin2;
+  EXPECT_NEAR(quad2, 4.0f * quad1, 1e-3f + 1e-2f * std::fabs(quad1));
+}
+
+// Lemma 1 at the layer level: a GeneralQuadraticDense with M and with
+// symmetrize(M) computes identical outputs.
+TEST(Properties, GeneralLayerLemma1) {
+  Rng rng(5);
+  const index_t n = 5;
+  GeneralQuadraticDense layer(n, 2, rng, true);
+  const Tensor x = random_tensor(Shape{3, n}, 6);
+  const Tensor y_orig = layer.forward(x);
+  for (index_t u = 0; u < 2; ++u) {
+    Tensor m{Shape{n, n}};
+    for (index_t i = 0; i < n * n; ++i)
+      m[i] = layer.m().value[u * n * n + i];
+    const Tensor sym = linalg::symmetrize(m);
+    for (index_t i = 0; i < n * n; ++i)
+      layer.m().value[u * n * n + i] = sym[i];
+  }
+  const Tensor y_sym = layer.forward(x);
+  EXPECT_LT(max_abs_diff(y_orig, y_sym), 1e-4f);
+}
+
+// Rank sweep: the converted layer's y-channel error against the general
+// source decreases with k.  Eckart–Young guarantees strict monotonicity
+// of the MATRIX error (verified in convert_test.cpp); the error sampled
+// on a finite input batch tracks it but may wiggle a few percent, so the
+// per-step check carries a 25% slack while the end point must be exact.
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, MonotoneConversionError) {
+  const std::uint64_t seed = 100 + GetParam();
+  Rng rng(seed);
+  const index_t n = 6;
+  GeneralQuadraticDense general(n, 1, rng, true);
+  const Tensor x = random_tensor(Shape{24, n}, seed + 1);
+  const Tensor y_ref = general.forward(x);
+  double prev = 1e30;
+  for (index_t k = 1; k <= n; ++k) {
+    Rng conv_rng(seed + 2);
+    auto converted = convert_layer(general, k, conv_rng);
+    const Tensor y = converted->forward(x);
+    double err = 0.0;
+    for (index_t s = 0; s < 24; ++s) {
+      const double d = y.at(s, 0) - y_ref.at(s, 0);
+      err += d * d;
+    }
+    EXPECT_LE(err, prev * 1.25 + 1e-6) << "k=" << k << " seed=" << seed;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankSweep, ::testing::Range(0, 6));
+
+// Conv/dense agreement on genuine spatial extents: evaluating the conv
+// layer at one output position must equal the dense layer applied to the
+// extracted patch.
+TEST(Properties, ProposedConvMatchesDenseOnPatches) {
+  Rng rng_conv(7), rng_dense(7);
+  const index_t c = 2, k = 2, kernel = 3;
+  ProposedQuadConv2d conv(c, 1, kernel, 1, 0, k, rng_conv);
+  ProposedQuadraticDense dense(c * kernel * kernel, 1, k, rng_dense);
+
+  const Tensor image = random_tensor(Shape{1, c, 5, 5}, 8);
+  const Tensor out = conv.forward(image);  // [1, 3, 3, 3]
+
+  // Extract the center patch (output position (1,1)).
+  Tensor patch{Shape{1, c * kernel * kernel}};
+  index_t idx = 0;
+  for (index_t ch = 0; ch < c; ++ch)
+    for (index_t ky = 0; ky < kernel; ++ky)
+      for (index_t kx = 0; kx < kernel; ++kx)
+        patch[idx++] = image.at(0, ch, 1 + ky, 1 + kx);
+  const Tensor dense_out = dense.forward(patch);
+  for (index_t ch = 0; ch < k + 1; ++ch)
+    EXPECT_NEAR(out.at(0, ch, 1, 1), dense_out.at(0, ch), 1e-4f)
+        << "channel " << ch;
+}
+
+// Per-family determinism: same seed -> bit-identical outputs.
+TEST(Properties, AllFamiliesDeterministic) {
+  for (NeuronKind kind :
+       {NeuronKind::kGeneral, NeuronKind::kPure, NeuronKind::kBuKarpatne,
+        NeuronKind::kLowRank, NeuronKind::kQuad1, NeuronKind::kQuad2,
+        NeuronKind::kKervolution, NeuronKind::kProposed}) {
+    const NeuronSpec spec = NeuronSpec::of(kind, 3);
+    Rng rng_a(9), rng_b(9);
+    auto a = make_conv_neuron(spec, 2, 8, 3, 1, 1, rng_a, "det_a");
+    auto b = make_conv_neuron(spec, 2, 8, 3, 1, 1, rng_b, "det_b");
+    const Tensor x = random_tensor(Shape{1, 2, 5, 5}, 10);
+    EXPECT_EQ(max_abs_diff(a->forward(x), b->forward(x)), 0.0f)
+        << spec.kind_name();
+  }
+}
+
+// Gradient accumulation contract: two backward passes double the grads
+// for every family (the optimizers rely on this).
+TEST(Properties, GradientsAccumulateAcrossFamilies) {
+  for (NeuronKind kind :
+       {NeuronKind::kLowRank, NeuronKind::kQuad1, NeuronKind::kQuad2,
+        NeuronKind::kBuKarpatne, NeuronKind::kProposed}) {
+    const NeuronSpec spec = NeuronSpec::of(kind, 2);
+    Rng rng(11);
+    const index_t out = kind == NeuronKind::kProposed ? 6 : 4;
+    auto layer = make_dense_neuron(spec, 5, out, rng, "acc");
+    const Tensor x = random_tensor(Shape{2, 5}, 12);
+    const Tensor g = random_tensor(Shape{2, out}, 13);
+    layer->forward(x);
+    layer->backward(g);
+    std::vector<Tensor> once;
+    for (nn::Parameter* p : layer->parameters()) once.push_back(p->grad);
+    layer->forward(x);
+    layer->backward(g);
+    std::size_t i = 0;
+    for (nn::Parameter* p : layer->parameters()) {
+      EXPECT_LT(max_abs_diff(p->grad, once[i] * 2.0f), 1e-4f)
+          << spec.kind_name() << " " << p->name;
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qdnn::quadratic

@@ -1,0 +1,139 @@
+// The sum-only ablation variant (proposed neuron without the vectorized
+// output, Sec. III-B removed): identical quadratic form, one output per
+// neuron.  These tests pin down its contract against the full neuron.
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+#include "quadratic/complexity.h"
+#include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+TEST(SumOnlyDense, OutputWidthIsUnits) {
+  Rng rng(1);
+  ProposedQuadraticDense full(8, 3, 4, rng, 1e-3f, "full");
+  ProposedQuadraticDense sum(8, 3, 4, rng, 1e-3f, "sum", false);
+  EXPECT_EQ(full.out_features(), 3 * 5);
+  EXPECT_EQ(sum.out_features(), 3);
+}
+
+TEST(SumOnlyDense, YChannelMatchesFullNeuron) {
+  // With identical parameters, the sum-only output must equal the full
+  // neuron's y channels exactly — disabling emission must not change the
+  // quadratic computation itself.
+  Rng rng(2);
+  ProposedQuadraticDense full(8, 3, 4, rng, 1e-3f, "full");
+  Rng rng2(99);
+  ProposedQuadraticDense sum(8, 3, 4, rng2, 1e-3f, "sum", false);
+  auto src = full.parameters();
+  auto dst = sum.parameters();
+  ASSERT_EQ(src.size(), dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+
+  const Tensor x = random_tensor(Shape{5, 8}, 7);
+  const Tensor y_full = full.forward(x);
+  const Tensor y_sum = sum.forward(x);
+  for (index_t s = 0; s < 5; ++s)
+    for (index_t u = 0; u < 3; ++u)
+      EXPECT_FLOAT_EQ(y_sum.at(s, u), y_full.at(s, u * 5))
+          << "sample " << s << " unit " << u;
+}
+
+TEST(SumOnlyDense, Gradcheck) {
+  Rng rng(3);
+  ProposedQuadraticDense layer(6, 2, 3, rng, 1.0f, "sum", false);
+  EXPECT_TRUE(gradcheck_module(layer, random_tensor(Shape{4, 6}, 11)));
+}
+
+TEST(SumOnlyDense, ParamCountEqualsFullNeuron) {
+  // Disabling emission changes outputs, not parameters.
+  Rng rng(4);
+  ProposedQuadraticDense full(10, 4, 5, rng);
+  Rng rng2(5);
+  ProposedQuadraticDense sum(10, 4, 5, rng2, 1e-3f, "sum", false);
+  EXPECT_EQ(full.num_parameters(), sum.num_parameters());
+}
+
+// ---------------------------------------------------------------------------
+// Conv
+// ---------------------------------------------------------------------------
+
+TEST(SumOnlyConv, OutChannelsIsFilters) {
+  Rng rng(6);
+  ProposedQuadConv2d conv(3, 4, 3, 1, 1, 5, rng, 1e-3f, "sum", false);
+  EXPECT_EQ(conv.out_channels(), 4);
+  const Tensor x = random_tensor(Shape{2, 3, 6, 6}, 13);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 6, 6}));
+}
+
+TEST(SumOnlyConv, YChannelMatchesFullNeuron) {
+  Rng rng(7);
+  ProposedQuadConv2d full(2, 3, 3, 1, 1, 4, rng, 1e-3f, "full");
+  Rng rng2(8);
+  ProposedQuadConv2d sum(2, 3, 3, 1, 1, 4, rng2, 1e-3f, "sum", false);
+  auto src = full.parameters();
+  auto dst = sum.parameters();
+  ASSERT_EQ(src.size(), dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+
+  const Tensor x = random_tensor(Shape{2, 2, 5, 5}, 17);
+  const Tensor y_full = full.forward(x);
+  const Tensor y_sum = sum.forward(x);
+  for (index_t s = 0; s < 2; ++s)
+    for (index_t f = 0; f < 3; ++f)
+      for (index_t i = 0; i < 5; ++i)
+        for (index_t j = 0; j < 5; ++j)
+          EXPECT_FLOAT_EQ(y_sum.at(s, f, i, j), y_full.at(s, f * 5, i, j));
+}
+
+TEST(SumOnlyConv, Gradcheck) {
+  Rng rng(9);
+  ProposedQuadConv2d conv(2, 2, 3, 1, 1, 3, rng, 1.0f, "sum", false);
+  EXPECT_TRUE(gradcheck_module(conv, random_tensor(Shape{2, 2, 4, 4}, 19)));
+}
+
+// ---------------------------------------------------------------------------
+// Factory + complexity
+// ---------------------------------------------------------------------------
+
+TEST(SumOnlySpec, FactoryProducesRequestedWidths) {
+  Rng rng(10);
+  NeuronSpec spec = NeuronSpec::of(NeuronKind::kProposedSumOnly, 5);
+  EXPECT_EQ(spec.outputs_per_neuron(), 1);
+  EXPECT_EQ(conv_out_channels(spec, 16), 16);
+
+  auto dense = make_dense_neuron(spec, 8, 6, rng, "fc");
+  const Tensor x = random_tensor(Shape{2, 8}, 23);
+  EXPECT_EQ(dense->forward(x).shape(), Shape({2, 6}));
+
+  auto conv = make_conv_neuron(spec, 3, 10, 3, 1, 1, rng, "conv");
+  const Tensor img = random_tensor(Shape{1, 3, 4, 4}, 29);
+  EXPECT_EQ(conv->forward(img).dim(1), 10);
+}
+
+TEST(SumOnlySpec, PerOutputCostIsKPlus1TimesLinear) {
+  // The whole point of the ablation: same neuron cost, but ÷1 instead of
+  // ÷(k+1) per output.
+  const index_t n = 576, k = 9;
+  const NeuronSpec sum = NeuronSpec::of(NeuronKind::kProposedSumOnly, k);
+  const NeuronSpec full = NeuronSpec::of(NeuronKind::kProposed, k);
+  EXPECT_EQ(neuron_cost(sum, n).params, neuron_cost(full, n).params);
+  EXPECT_EQ(neuron_cost(sum, n).macs, neuron_cost(full, n).macs);
+  EXPECT_DOUBLE_EQ(params_per_output(sum, n),
+                   static_cast<double>((k + 1) * n + k));
+  EXPECT_DOUBLE_EQ(params_per_output(sum, n),
+                   (k + 1) * params_per_output(full, n));
+}
+
+}  // namespace
+}  // namespace qdnn::quadratic

@@ -1,0 +1,189 @@
+// Zoo-wide invariants, swept over every neuron family (and over ranks for
+// the ranked families) through the public factories.  Per-family math is
+// pinned down in quad_dense_test / quad_conv_test; this file asserts the
+// properties EVERY family must share, so adding a neuron kind without
+// satisfying them fails here first.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gradcheck_util.h"
+#include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::quadratic {
+namespace {
+
+using qdnn::testing::gradcheck_module;
+using qdnn::testing::random_tensor;
+
+using SweepParam = std::tuple<NeuronKind, index_t>;  // (family, rank)
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  NeuronSpec spec = NeuronSpec::of(std::get<0>(info.param),
+                                   std::get<1>(info.param));
+  std::string name = spec.kind_name() + "_k" +
+                     std::to_string(std::get<1>(info.param));
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+// Every family once; ranked families (low-rank, proposed, sum-only) at two
+// ranks to cover the k-dependent code paths.
+const SweepParam kSweep[] = {
+    {NeuronKind::kLinear, 1},
+    {NeuronKind::kGeneral, 1},
+    {NeuronKind::kPure, 1},
+    {NeuronKind::kBuKarpatne, 1},
+    {NeuronKind::kQuad1, 1},
+    {NeuronKind::kQuad2, 1},
+    {NeuronKind::kKervolution, 1},
+    {NeuronKind::kLowRank, 1},
+    {NeuronKind::kLowRank, 9},
+    {NeuronKind::kProposed, 1},
+    {NeuronKind::kProposed, 9},
+    {NeuronKind::kProposedSumOnly, 1},
+    {NeuronKind::kProposedSumOnly, 9},
+};
+
+class ZooSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  NeuronSpec spec() const {
+    return NeuronSpec::of(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Dense invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(ZooSweep, DenseForwardShapeAndFiniteness) {
+  Rng rng(101);
+  auto layer = make_dense_neuron(spec(), 12, 20, rng, "fc");
+  const Tensor x = random_tensor(Shape{6, 12}, 1);
+  const Tensor y = layer->forward(x);
+  EXPECT_EQ(y.shape(), Shape({6, 20}));
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST_P(ZooSweep, DenseGradcheck) {
+  Rng rng(102);
+  auto layer = make_dense_neuron(spec(), 6, 4, rng, "fc");
+  layer->set_training(false);
+  EXPECT_TRUE(gradcheck_module(*layer, random_tensor(Shape{3, 6}, 2)));
+}
+
+TEST_P(ZooSweep, DenseBatchInvariance) {
+  // Neuron layers are per-sample maps: evaluating a stacked batch must
+  // equal evaluating the samples separately.
+  Rng rng(103);
+  auto layer = make_dense_neuron(spec(), 8, 10, rng, "fc");
+  const Tensor x = random_tensor(Shape{4, 8}, 3);
+  const Tensor y_all = layer->forward(x);
+  for (index_t s = 0; s < 4; ++s) {
+    Tensor one{Shape{1, 8}};
+    for (index_t j = 0; j < 8; ++j) one.at(0, j) = x.at(s, j);
+    const Tensor y_one = layer->forward(one);
+    for (index_t j = 0; j < 10; ++j)
+      EXPECT_FLOAT_EQ(y_one.at(0, j), y_all.at(s, j))
+          << "sample " << s << " col " << j;
+  }
+}
+
+TEST_P(ZooSweep, DenseDeterministicForward) {
+  Rng rng(104);
+  auto layer = make_dense_neuron(spec(), 8, 10, rng, "fc");
+  const Tensor x = random_tensor(Shape{2, 8}, 4);
+  const Tensor y1 = layer->forward(x);
+  const Tensor y2 = layer->forward(x);
+  EXPECT_EQ(max_abs_diff(y1, y2), 0.0f);
+}
+
+TEST_P(ZooSweep, DenseGradAccumulatesAcrossBackwards) {
+  // Two identical backward passes must exactly double every parameter
+  // gradient (the optimizers rely on pure accumulation).
+  Rng rng(105);
+  auto layer = make_dense_neuron(spec(), 6, 4, rng, "fc");
+  const Tensor x = random_tensor(Shape{3, 6}, 5);
+  const Tensor g = random_tensor(Shape{3, 4}, 6);
+
+  layer->zero_grad();
+  layer->forward(x);
+  layer->backward(g);
+  std::vector<Tensor> once;
+  for (auto* p : layer->parameters()) once.push_back(p->grad);
+
+  layer->forward(x);
+  layer->backward(g);
+  auto params = layer->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& twice = params[i]->grad;
+    for (index_t j = 0; j < twice.numel(); ++j)
+      EXPECT_NEAR(twice[j], 2.0f * once[i][j],
+                  1e-4f * (1.0f + std::fabs(twice[j])))
+          << params[i]->name << "[" << j << "]";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(ZooSweep, ConvForwardShape) {
+  Rng rng(106);
+  auto conv = make_conv_neuron(spec(), 3, 10, 3, 1, 1, rng, "conv");
+  const Tensor x = random_tensor(Shape{2, 3, 7, 7}, 7);
+  const Tensor y = conv->forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), conv_out_channels(spec(), 10));
+  EXPECT_EQ(y.dim(2), 7);
+  EXPECT_EQ(y.dim(3), 7);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST_P(ZooSweep, ConvGradcheck) {
+  Rng rng(107);
+  auto conv = make_conv_neuron(spec(), 2, 4, 3, 1, 1, rng, "conv");
+  conv->set_training(false);
+  EXPECT_TRUE(gradcheck_module(*conv, random_tensor(Shape{2, 2, 4, 4}, 8)));
+}
+
+TEST_P(ZooSweep, ConvTranslationEquivariance) {
+  // All families are sliding-window neurons: shifting the input by one
+  // pixel (away from borders) shifts the interior of the output by one.
+  Rng rng(108);
+  auto conv = make_conv_neuron(spec(), 1, 4, 3, 1, 0, rng, "conv");
+  const index_t h = 9;
+  Tensor x{Shape{1, 1, h, h}};
+  Rng data_rng(9);
+  data_rng.fill_uniform(x, -1.0f, 1.0f);
+  // Shifted copy: x2[i][j] = x[i][j+1] (content moves left by one).
+  Tensor x2{Shape{1, 1, h, h}};
+  for (index_t i = 0; i < h; ++i)
+    for (index_t j = 0; j + 1 < h; ++j) x2.at(0, 0, i, j) = x.at(0, 0, i, j + 1);
+
+  const Tensor y = conv->forward(x);
+  const Tensor y2 = conv->forward(x2);
+  const index_t oh = y.dim(2);
+  for (index_t c = 0; c < y.dim(1); ++c)
+    for (index_t i = 0; i < oh; ++i)
+      for (index_t j = 0; j + 2 < oh; ++j)
+        EXPECT_NEAR(y2.at(0, c, i, j), y.at(0, c, i, j + 1), 1e-4f)
+            << "channel " << c << " (" << i << ", " << j << ")";
+}
+
+TEST_P(ZooSweep, ConvStride2HalvesExtent) {
+  Rng rng(109);
+  auto conv = make_conv_neuron(spec(), 2, 4, 3, 2, 1, rng, "conv");
+  const Tensor x = random_tensor(Shape{1, 2, 8, 8}, 10);
+  const Tensor y = conv->forward(x);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ZooSweep, ::testing::ValuesIn(kSweep),
+                         sweep_name);
+
+}  // namespace
+}  // namespace qdnn::quadratic

@@ -1,0 +1,112 @@
+// Unit tests for the integer reference kernels (quantize/int8_ops).
+#include "quantize/int8_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace qdnn::quantize {
+namespace {
+
+// Plain int64 reference for both GEMM orientations.
+void ref_gemm_abt(const std::int8_t* a, const std::int8_t* b,
+                  std::int64_t* c, index_t m, index_t n, index_t k) {
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (index_t p = 0; p < k; ++p)
+        acc += static_cast<std::int64_t>(a[i * k + p]) * b[j * k + p];
+      c[i * n + j] = acc;
+    }
+}
+
+std::vector<std::int8_t> random_codes(index_t n, Rng& rng) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v)
+    x = static_cast<std::int8_t>(rng.uniform_int(255) - 127);
+  return v;
+}
+
+TEST(GemmI8, MatchesInt64Reference) {
+  Rng rng(1);
+  const index_t m = 7, n = 5, k = 13;
+  const auto a = random_codes(m * k, rng);
+  const auto b = random_codes(n * k, rng);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  std::vector<std::int64_t> ref(static_cast<std::size_t>(m * n));
+  gemm_i8(a.data(), b.data(), c.data(), m, n, k);
+  ref_gemm_abt(a.data(), b.data(), ref.data(), m, n, k);
+  for (index_t i = 0; i < m * n; ++i)
+    EXPECT_EQ(static_cast<std::int64_t>(c[static_cast<std::size_t>(i)]),
+              ref[static_cast<std::size_t>(i)]);
+}
+
+TEST(GemmI8, TwoOrientationsAgreeOnTransposedOperand) {
+  // gemm_i8(A, B) computes A·Bᵀ; gemm_i8_nn(A, Bᵀ) must give the same.
+  Rng rng(2);
+  const index_t m = 4, n = 6, k = 9;
+  const auto a = random_codes(m * k, rng);
+  const auto b = random_codes(n * k, rng);  // [n, k]
+  std::vector<std::int8_t> bt(static_cast<std::size_t>(k * n));  // [k, n]
+  for (index_t i = 0; i < n; ++i)
+    for (index_t p = 0; p < k; ++p)
+      bt[static_cast<std::size_t>(p * n + i)] =
+          b[static_cast<std::size_t>(i * k + p)];
+
+  std::vector<std::int32_t> c1(static_cast<std::size_t>(m * n));
+  std::vector<std::int32_t> c2(static_cast<std::size_t>(m * n));
+  gemm_i8(a.data(), b.data(), c1.data(), m, n, k);
+  gemm_i8_nn(a.data(), bt.data(), c2.data(), m, n, k);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(GemmI8, WorstCaseAccumulationFitsInt32) {
+  // 127·127·k must stay below 2^31 for every fan-in this library builds
+  // (largest conv patch: 64 channels × 3×3 = 576; transformer d_model
+  // 512).  Verify the arithmetic headroom claim at the extreme.
+  const index_t k = 4096;  // far above any layer here
+  std::vector<std::int8_t> a(static_cast<std::size_t>(k), 127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k), 127);
+  std::vector<std::int32_t> c(1);
+  gemm_i8(a.data(), b.data(), c.data(), 1, 1, k);
+  EXPECT_EQ(c[0], 127 * 127 * k);
+  EXPECT_LT(static_cast<std::int64_t>(c[0]), std::int64_t{1} << 31);
+}
+
+TEST(ToCodes, ExactOnGridMultiples) {
+  QuantParams p{0.25f, 8};
+  const float xs[] = {0.0f, 0.25f, -0.5f, 31.75f, -31.75f};
+  std::int8_t codes[5];
+  to_codes(xs, 5, p, codes);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 1);
+  EXPECT_EQ(codes[2], -2);
+  EXPECT_EQ(codes[3], 127);
+  EXPECT_EQ(codes[4], -127);
+}
+
+TEST(ToCodes, ClampsOutOfRange) {
+  QuantParams p{0.1f, 8};
+  const float xs[] = {1000.0f, -1000.0f};
+  std::int8_t codes[2];
+  to_codes(xs, 2, p, codes);
+  EXPECT_EQ(codes[0], 127);
+  EXPECT_EQ(codes[1], -127);
+}
+
+TEST(ToCodes, RoundTripWithDequantIsFakeQuant) {
+  Rng rng(3);
+  Tensor t{Shape{256}};
+  rng.fill_normal(t, 0.0f, 1.0f);
+  const QuantParams p = choose_params_absmax(t.data(), t.numel(), 8);
+  std::vector<std::int8_t> codes(256);
+  to_codes(t.data(), 256, p, codes.data());
+  const Tensor fq = fake_quantize(t, 8);
+  for (index_t i = 0; i < 256; ++i)
+    EXPECT_FLOAT_EQ(static_cast<float>(codes[static_cast<std::size_t>(i)]) *
+                        p.scale,
+                    fq[i]);
+}
+
+}  // namespace
+}  // namespace qdnn::quantize

@@ -1,0 +1,173 @@
+// Unit and property tests for the quantization grid (quantize/qtensor).
+#include "quantize/qtensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace qdnn::quantize {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, float stddev = 1.0f) {
+  Tensor t(std::move(shape));
+  rng.fill_normal(t, 0.0f, stddev);
+  return t;
+}
+
+TEST(QuantParams, QmaxMatchesBitWidth) {
+  EXPECT_EQ((QuantParams{1.0f, 8}).qmax(), 127);
+  EXPECT_EQ((QuantParams{1.0f, 4}).qmax(), 7);
+  EXPECT_EQ((QuantParams{1.0f, 2}).qmax(), 1);
+}
+
+TEST(Quantize, ZeroTensorIsExact) {
+  Tensor t{Shape{4, 4}};
+  const QTensor q = quantize(t, 8);
+  for (std::int8_t v : q.data) EXPECT_EQ(v, 0);
+  EXPECT_EQ(max_abs_diff(dequantize(q), t), 0.0f);
+}
+
+TEST(Quantize, ZeroIsAlwaysOnTheGrid) {
+  // Symmetric grids represent 0 exactly regardless of the data range.
+  Rng rng(7);
+  Tensor t = random_tensor(Shape{64}, rng);
+  t[10] = 0.0f;
+  const QTensor q = quantize(t, 6);
+  EXPECT_EQ(q.data[10], 0);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(1);
+  const Tensor t = random_tensor(Shape{8, 32}, rng, 0.3f);
+  const QTensor q = quantize(t, 8);
+  const Tensor back = dequantize(q);
+  // Values inside the clip range land within half a step of the original.
+  for (index_t i = 0; i < t.numel(); ++i)
+    EXPECT_LE(std::fabs(t[i] - back[i]), 0.5f * q.params.scale + 1e-7f)
+        << "element " << i;
+}
+
+TEST(Quantize, AbsmaxValueIsRepresentedExactlyAtFullScale) {
+  Tensor t{Shape{3}, {0.5f, -2.0f, 1.0f}};
+  const QTensor q = quantize(t, 8);
+  const Tensor back = dequantize(q);
+  EXPECT_NEAR(back[1], -2.0f, 1e-6f);  // -absmax maps to -qmax exactly
+}
+
+TEST(Quantize, IdempotentOnGridValues) {
+  Rng rng(3);
+  const Tensor t = random_tensor(Shape{16, 16}, rng);
+  const Tensor once = fake_quantize(t, 6);
+  const Tensor twice = fake_quantize(once, 6);
+  EXPECT_LE(max_abs_diff(once, twice), 1e-6f);
+}
+
+TEST(Quantize, PerChannelBeatsPerTensorOnRowScaledMatrix) {
+  // Rows with wildly different magnitudes: a shared grid wastes most of
+  // its range on the large row.
+  Rng rng(11);
+  Tensor t{Shape{4, 64}};
+  const float row_scale[4] = {100.0f, 1.0f, 0.01f, 0.0001f};
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t j = 0; j < 64; ++j)
+      t.at(r, j) = row_scale[r] * static_cast<float>(rng.normal());
+
+  const Tensor per_tensor = dequantize(quantize(t, 8));
+  const Tensor per_channel = dequantize(quantize_per_channel(t, 8));
+  // Compare relative error on the small rows.
+  double pt_err = 0.0, pc_err = 0.0;
+  for (index_t r = 2; r < 4; ++r) {
+    for (index_t j = 0; j < 64; ++j) {
+      pt_err += std::fabs(per_tensor.at(r, j) - t.at(r, j));
+      pc_err += std::fabs(per_channel.at(r, j) - t.at(r, j));
+    }
+  }
+  EXPECT_LT(pc_err, 0.1 * pt_err);
+}
+
+TEST(Quantize, PercentileCalibrationClipsOutliers) {
+  Rng rng(13);
+  Tensor t = random_tensor(Shape{1024}, rng, 0.1f);
+  t[0] = 1000.0f;  // single outlier
+  const QuantParams robust =
+      choose_params_percentile(t.data(), t.numel(), 8, 0.99);
+  const QuantParams naive = choose_params_absmax(t.data(), t.numel(), 8);
+  // The robust grid should be orders of magnitude finer.
+  EXPECT_LT(robust.scale, 0.01f * naive.scale);
+}
+
+TEST(Quantize, PercentileOneEqualsAbsmax) {
+  Rng rng(17);
+  const Tensor t = random_tensor(Shape{128}, rng);
+  const QuantParams a = choose_params_percentile(t.data(), t.numel(), 8, 1.0);
+  const QuantParams b = choose_params_absmax(t.data(), t.numel(), 8);
+  EXPECT_FLOAT_EQ(a.scale, b.scale);
+}
+
+TEST(Quantize, StorageBytesArithmetic) {
+  Tensor t{Shape{10, 16}};  // 160 elements
+  const QTensor q8 = quantize(t, 8);
+  EXPECT_EQ(q8.storage_bytes(), 160 + 4);  // int8 payload + one scale
+  const QTensor q4 = quantize(t, 4);
+  EXPECT_EQ(q4.storage_bytes(), 80 + 4);  // packed nibbles
+  const QTensorPerChannel qc = quantize_per_channel(t, 8);
+  EXPECT_EQ(qc.storage_bytes(), 160 + 10 * 4);  // one scale per row
+}
+
+TEST(Quantize, RejectsBadBitWidths) {
+  Tensor t{Shape{4}};
+  EXPECT_THROW(quantize(t, 1), std::runtime_error);
+  EXPECT_THROW(quantize(t, 9), std::runtime_error);
+  EXPECT_THROW(quantize(t, 0), std::runtime_error);
+}
+
+TEST(Quantize, PerChannelRequiresMatrix) {
+  Tensor t{Shape{8}};
+  EXPECT_THROW(quantize_per_channel(t, 8), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: error scales down as bits go up, for several magnitudes.
+// ---------------------------------------------------------------------------
+
+class QuantErrorSweep : public ::testing::TestWithParam<std::tuple<int, float>> {};
+
+TEST_P(QuantErrorSweep, RmseWithinTheoreticalStep) {
+  const auto [bits, stddev] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits * 1000) +
+          static_cast<std::uint64_t>(stddev * 10));
+  const Tensor t = [&] {
+    Tensor x(Shape{2048});
+    rng.fill_normal(x, 0.0f, stddev);
+    return x;
+  }();
+  const QuantError e = quantization_error(t, bits);
+  // Uniform-quantization theory: rmse ≈ scale/sqrt(12) ≤ scale/2.
+  EXPECT_LE(e.rmse, 0.5f * e.scale);
+  EXPECT_LE(e.max_abs, 0.5f * e.scale + 1e-7f);
+  EXPECT_GT(e.scale, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndScales, QuantErrorSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(0.01f, 1.0f, 50.0f)));
+
+class QuantMonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantMonotoneSweep, MoreBitsNeverWorse) {
+  const int bits = GetParam();
+  Rng rng(42);
+  const Tensor t = random_tensor(Shape{4096}, rng);
+  const QuantError coarse = quantization_error(t, bits);
+  const QuantError fine = quantization_error(t, bits + 1);
+  EXPECT_LE(fine.rmse, coarse.rmse);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantMonotoneSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace qdnn::quantize

@@ -1,0 +1,174 @@
+// Integer convolution inference (QuantizedConv2d / QuantizedProposedConv2d)
+// must agree with the float layers within quantization error, preserve the
+// channel layout, and handle zero padding exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "quantize/quantized_modules.h"
+
+namespace qdnn::quantize {
+namespace {
+
+Tensor random_images(index_t n, index_t c, index_t hw, Rng& rng,
+                     float stddev = 1.0f) {
+  Tensor t{Shape{n, c, hw, hw}};
+  rng.fill_normal(t, 0.0f, stddev);
+  return t;
+}
+
+// Relative RMSE between two tensors.
+double rel_rmse(const Tensor& ref, const Tensor& got) {
+  double err2 = 0.0, ref2 = 0.0;
+  for (index_t i = 0; i < ref.numel(); ++i) {
+    const double d = got[i] - ref[i];
+    err2 += d * d;
+    ref2 += static_cast<double>(ref[i]) * ref[i];
+  }
+  return std::sqrt(err2 / (ref2 + 1e-30));
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedConv2d
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedConv2d, MatchesFloatWithinBound) {
+  Rng rng(21);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng, /*bias=*/true);
+  const Tensor sample = random_images(8, 3, 8, rng);
+  QuantizedConv2d qconv(conv, sample, 8);
+
+  const Tensor x = random_images(2, 3, 8, rng);
+  conv.set_training(false);
+  const Tensor y_float = conv.forward(x);
+  const Tensor y_int8 = qconv.forward(x);
+  ASSERT_EQ(y_int8.shape(), y_float.shape());
+  EXPECT_LT(rel_rmse(y_float, y_int8), 0.05);
+}
+
+TEST(QuantizedConv2d, ZeroPaddingIsExactZeroCode) {
+  // A zero input image through a bias-free conv must give exactly zero —
+  // the symmetric grid maps padding zeros to code 0.
+  Rng rng(22);
+  nn::Conv2d conv(2, 4, 3, 1, 1, rng, /*bias=*/false);
+  const Tensor sample = random_images(4, 2, 6, rng);
+  QuantizedConv2d qconv(conv, sample, 8);
+  Tensor zero{Shape{1, 2, 6, 6}};
+  const Tensor y = qconv.forward(zero);
+  for (index_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(QuantizedConv2d, StrideAndShapePropagate) {
+  Rng rng(23);
+  nn::Conv2d conv(3, 6, 3, 2, 1, rng);
+  const Tensor sample = random_images(2, 3, 8, rng);
+  QuantizedConv2d qconv(conv, sample, 8);
+  const Tensor x = random_images(1, 3, 8, rng);
+  EXPECT_EQ(qconv.forward(x).shape(), Shape({1, 6, 4, 4}));
+}
+
+TEST(QuantizedConv2d, BackwardIsCheckedError) {
+  Rng rng(24);
+  nn::Conv2d conv(1, 2, 3, 1, 1, rng);
+  const Tensor sample = random_images(1, 1, 4, rng);
+  QuantizedConv2d qconv(conv, sample, 8);
+  Tensor g{Shape{1, 2, 4, 4}};
+  EXPECT_THROW(qconv.backward(g), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedProposedConv2d
+// ---------------------------------------------------------------------------
+
+TEST(QuantizedProposedConv2d, MatchesFloatWithinBound) {
+  Rng rng(25);
+  quadratic::ProposedQuadConv2d conv(3, 2, 3, 1, 1, /*rank=*/4, rng);
+  const Tensor sample = random_images(8, 3, 8, rng);
+  QuantizedProposedConv2d qconv(conv, sample, 8);
+
+  const Tensor x = random_images(2, 3, 8, rng);
+  conv.set_training(false);
+  const Tensor y_float = conv.forward(x);
+  const Tensor y_int8 = qconv.forward(x);
+  ASSERT_EQ(y_int8.shape(), y_float.shape());
+  EXPECT_LT(rel_rmse(y_float, y_int8), 0.06);
+}
+
+TEST(QuantizedProposedConv2d, ChannelLayoutMatchesFloatLayer) {
+  // The y/f interleaving must match ProposedQuadConv2d: channel f·(k+1)
+  // is the quadratic output, the next k channels are its features.
+  Rng rng(26);
+  quadratic::ProposedQuadConv2d conv(2, 2, 3, 1, 1, 3, rng);
+  const Tensor sample = random_images(4, 2, 6, rng);
+  QuantizedProposedConv2d qconv(conv, sample, 8);
+  EXPECT_EQ(qconv.out_channels(), conv.out_channels());
+
+  const Tensor x = random_images(1, 2, 6, rng);
+  conv.set_training(false);
+  const Tensor yf = conv.forward(x);
+  const Tensor yq = qconv.forward(x);
+  // Feature channels should track closely (no squaring amplification).
+  for (index_t f = 0; f < 2; ++f)
+    for (index_t i = 1; i <= 3; ++i) {
+      const index_t ch = f * 4 + i;
+      double err = 0.0, ref = 0.0;
+      for (index_t p = 0; p < 36; ++p) {
+        const double d = yq.at(0, ch, p / 6, p % 6) -
+                         yf.at(0, ch, p / 6, p % 6);
+        err += d * d;
+        ref += static_cast<double>(yf.at(0, ch, p / 6, p % 6)) *
+               yf.at(0, ch, p / 6, p % 6);
+      }
+      EXPECT_LT(std::sqrt(err / (ref + 1e-30)), 0.05) << "channel " << ch;
+    }
+}
+
+TEST(QuantizedProposedConv2d, SumOnlyVariantSupported) {
+  Rng rng(27);
+  quadratic::ProposedQuadConv2d conv(2, 3, 3, 1, 1, 4, rng, 1e-3f, "sum",
+                                     /*emit_features=*/false);
+  const Tensor sample = random_images(4, 2, 6, rng);
+  QuantizedProposedConv2d qconv(conv, sample, 8);
+  EXPECT_EQ(qconv.out_channels(), 3);
+  const Tensor x = random_images(2, 2, 6, rng);
+  conv.set_training(false);
+  const Tensor yf = conv.forward(x);
+  const Tensor yq = qconv.forward(x);
+  ASSERT_EQ(yq.shape(), yf.shape());
+  EXPECT_LT(rel_rmse(yf, yq), 0.06);
+}
+
+TEST(QuantizedProposedConv2d, StorageBeatsFloatByNearly4x) {
+  Rng rng(28);
+  quadratic::ProposedQuadConv2d conv(8, 4, 3, 1, 1, 9, rng);
+  const Tensor sample = random_images(2, 8, 8, rng);
+  QuantizedProposedConv2d qconv(conv, sample, 8);
+  const index_t fp32 =
+      (conv.w().value.numel() + conv.q().value.numel() +
+       conv.lambda().value.numel()) * 4;
+  EXPECT_LT(static_cast<double>(qconv.weight_storage_bytes()),
+            0.30 * static_cast<double>(fp32));
+}
+
+// Bit-width sweep: int8 through int4 must degrade monotonically-ish; we
+// assert only the weak ordering rmse(8) <= rmse(4) to stay robust.
+class ConvBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvBitsSweep, ErrorBoundedPerBits) {
+  const int bits = GetParam();
+  Rng rng(29);
+  quadratic::ProposedQuadConv2d conv(2, 2, 3, 1, 1, 3, rng);
+  const Tensor sample = random_images(8, 2, 6, rng);
+  QuantizedProposedConv2d qconv(conv, sample, bits);
+  const Tensor x = random_images(2, 2, 6, rng);
+  conv.set_training(false);
+  const double err = rel_rmse(conv.forward(x), qconv.forward(x));
+  // Error scales like 2^-bits; allow generous headroom.
+  EXPECT_LT(err, 3.0 * std::pow(2.0, -bits) * 8.0) << "bits " << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, ConvBitsSweep, ::testing::Values(4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace qdnn::quantize

@@ -1,0 +1,111 @@
+// Λ pruning: effective-rank measurement and prune semantics.
+#include "train/lambda_prune.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/sequential.h"
+#include "quadratic/quad_dense.h"
+
+namespace qdnn::train {
+namespace {
+
+TEST(EffectiveRank, CountsDominantEntries) {
+  Tensor lambda{Shape{2, 4}, {1.0f, 0.5f, 0.001f, 0.0f,    // unit 0: 2 live
+                              -2.0f, 0.0f, 0.0f, 0.0f}};   // unit 1: 1 live
+  EXPECT_DOUBLE_EQ(effective_rank(lambda, 0.01), 1.5);
+}
+
+TEST(EffectiveRank, ZeroTensorHasRankZero) {
+  Tensor lambda{Shape{3, 5}};
+  EXPECT_DOUBLE_EQ(effective_rank(lambda, 0.01), 0.0);
+}
+
+TEST(EffectiveRank, ThresholdZeroCountsAllNonZero) {
+  Tensor lambda{Shape{1, 3}, {0.5f, -0.0001f, 0.0f}};
+  EXPECT_DOUBLE_EQ(effective_rank(lambda, 0.0), 2.0);
+}
+
+TEST(EffectiveRank, RejectsBadShapesAndThresholds) {
+  Tensor flat{Shape{4}};
+  EXPECT_THROW(effective_rank(flat, 0.1), std::runtime_error);
+  Tensor ok{Shape{1, 4}};
+  EXPECT_THROW(effective_rank(ok, 1.0), std::runtime_error);
+  EXPECT_THROW(effective_rank(ok, -0.1), std::runtime_error);
+}
+
+TEST(PruneLambdas, ZeroesBelowThresholdAndFreezes) {
+  Rng rng(1);
+  quadratic::ProposedQuadraticDense layer(6, 2, 3, rng);
+  // Plant a known Λ: unit 0 = {1, 0.001, 0.5}, unit 1 = {0.2, 0.0001, -1}.
+  layer.lambda().value =
+      Tensor{Shape{2, 3}, {1.0f, 0.001f, 0.5f, 0.2f, 0.0001f, -1.0f}};
+
+  const auto stats = prune_lambdas(layer, /*relative_threshold=*/0.01, 6);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].zeroed, 2);  // the 0.001 and 0.0001 entries
+  EXPECT_EQ(layer.lambda().value.at(0, 1), 0.0f);
+  EXPECT_EQ(layer.lambda().value.at(1, 1), 0.0f);
+  EXPECT_EQ(layer.lambda().value.at(0, 0), 1.0f);  // survivors untouched
+  EXPECT_EQ(layer.lambda().lr_scale, 0.0f);        // frozen
+  EXPECT_DOUBLE_EQ(stats[0].mean_effective_rank, 2.0);
+  EXPECT_EQ(stats[0].removable_params, 2 * (1 + 6));
+}
+
+TEST(PruneLambdas, IdempotentOnSecondCall) {
+  Rng rng(2);
+  quadratic::ProposedQuadraticDense layer(4, 2, 3, rng);
+  layer.lambda().value =
+      Tensor{Shape{2, 3}, {1.0f, 0.001f, 0.5f, 0.2f, 0.0001f, -1.0f}};
+  prune_lambdas(layer, 0.01);
+  const auto again = prune_lambdas(layer, 0.01);
+  EXPECT_EQ(again[0].zeroed, 0);  // already-zero entries are not recounted
+}
+
+TEST(PruneLambdas, TouchesOnlyLambdaGroup) {
+  Rng rng(3);
+  quadratic::ProposedQuadraticDense layer(5, 2, 3, rng);
+  const Tensor w_before = layer.w().value;
+  const Tensor q_before = layer.q().value;
+  prune_lambdas(layer, 0.5);
+  EXPECT_EQ(max_abs_diff(layer.w().value, w_before), 0.0f);
+  EXPECT_EQ(max_abs_diff(layer.q().value, q_before), 0.0f);
+  EXPECT_EQ(layer.w().lr_scale, 1.0f);
+}
+
+TEST(PruneLambdas, WalksWholeModel) {
+  Rng rng(4);
+  nn::Sequential net;
+  net.emplace<quadratic::ProposedQuadraticDense>(4, 2, 3, rng, 1e-3f, "a");
+  net.emplace<quadratic::ProposedQuadraticDense>(8, 2, 3, rng, 1e-3f, "b");
+  const auto stats = prune_lambdas(net, 0.01);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].layer, "a.lambda");
+  EXPECT_EQ(stats[1].layer, "b.lambda");
+}
+
+TEST(PruneLambdas, PrunedLayerStillComputesConsistently) {
+  // Zeroing λ entries must reduce the layer to the same function as a
+  // layer built with those λ explicitly zero.
+  Rng rng(5);
+  quadratic::ProposedQuadraticDense layer(6, 2, 3, rng);
+  layer.lambda().value =
+      Tensor{Shape{2, 3}, {1.0f, 0.001f, 0.5f, 0.2f, 0.0001f, -1.0f}};
+  Tensor x{Shape{3, 6}};
+  Rng data_rng(6);
+  data_rng.fill_uniform(x, -1.0f, 1.0f);
+
+  prune_lambdas(layer, 0.01);
+  const Tensor y_pruned = layer.forward(x);
+
+  Rng rng2(5);  // same init as `layer` — parameters identical
+  quadratic::ProposedQuadraticDense ref(6, 2, 3, rng2);
+  ref.w().value = layer.w().value;
+  ref.q().value = layer.q().value;
+  ref.bias().value = layer.bias().value;
+  ref.lambda().value =
+      Tensor{Shape{2, 3}, {1.0f, 0.0f, 0.5f, 0.2f, 0.0f, -1.0f}};
+  EXPECT_EQ(max_abs_diff(ref.forward(x), y_pruned), 0.0f);
+}
+
+}  // namespace
+}  // namespace qdnn::train
