@@ -1,15 +1,21 @@
 // Engineering micro-benchmarks (google-benchmark): GEMM, im2col conv,
-// eigendecomposition, and forward/backward throughput of each neuron
-// family at equal layer width — the empirical counterpart of Table I's
-// MAC counts.
+// eigendecomposition, forward/backward throughput of each neuron family
+// at equal layer width — the empirical counterpart of Table I's MAC
+// counts — and the legacy-forward vs InferenceSession serving comparison
+// (the allocation cost the v2 execution API removes).
 #include <benchmark/benchmark.h>
 
 #include "core/rng.h"
 #include "linalg/eig.h"
 #include "linalg/gemm.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
 #include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
 #include "quantize/quantized_modules.h"
+#include "runtime/inference_session.h"
 
 using namespace qdnn;
 using quadratic::NeuronKind;
@@ -143,6 +149,82 @@ void BM_QuantizedProposedConvForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuantizedProposedConvForward);
+
+// ---------------------------------------------------------------------------
+// Serving-path comparison: the same MLP through the legacy allocating
+// Module::forward chain vs a warmed-up InferenceSession.  At small batch
+// sizes the legacy path is dominated by per-layer Tensor allocation and
+// copying; the session runs the identical kernels on preallocated
+// buffers.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<nn::Sequential> make_linear_mlp(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>("linear_mlp");
+  for (int i = 0; i < 3; ++i) {
+    net->emplace<nn::Linear>(256, 256, rng, true,
+                             "fc" + std::to_string(i));
+    net->emplace<nn::ReLU>();
+  }
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> make_quad_mlp(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>("quad_mlp");
+  for (int i = 0; i < 3; ++i) {
+    // units·(rank+1) = 64·4 = 256 output channels per layer.
+    net->emplace<quadratic::ProposedQuadraticDense>(
+        256, 64, 3, rng, 1e-3f, "qfc" + std::to_string(i));
+    net->emplace<nn::ReLU>();
+  }
+  return net;
+}
+
+template <typename MakeNet>
+void mlp_legacy_bench(benchmark::State& state, MakeNet make_net) {
+  const index_t batch = state.range(0);
+  auto net = make_net(30);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{batch, 256}, 31);
+  for (auto _ : state) {
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+template <typename MakeNet>
+void mlp_session_bench(benchmark::State& state, MakeNet make_net) {
+  const index_t batch = state.range(0);
+  runtime::SessionConfig config;
+  config.sample_shape = Shape{256};
+  config.max_batch = batch;
+  runtime::InferenceSession session(make_net(30), config);
+  const Tensor x = random_tensor(Shape{batch, 256}, 31);
+  for (auto _ : state) {
+    const ConstTensorView& y = session.run(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_LinearMlpLegacyForward(benchmark::State& state) {
+  mlp_legacy_bench(state, make_linear_mlp);
+}
+void BM_LinearMlpSession(benchmark::State& state) {
+  mlp_session_bench(state, make_linear_mlp);
+}
+void BM_ProposedMlpLegacyForward(benchmark::State& state) {
+  mlp_legacy_bench(state, make_quad_mlp);
+}
+void BM_ProposedMlpSession(benchmark::State& state) {
+  mlp_session_bench(state, make_quad_mlp);
+}
+BENCHMARK(BM_LinearMlpLegacyForward)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_LinearMlpSession)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_ProposedMlpLegacyForward)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_ProposedMlpSession)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 

@@ -3,18 +3,49 @@
 //
 // Trains a linear ResNet-14 and a quadratic (proposed, k=9) ResNet-14
 // side by side, reporting per-epoch accuracy, final parameter/MAC costs,
-// and the per-group parameter breakdown.
+// and the per-group parameter breakdown — then deploys each trained
+// network behind runtime::InferenceSession and compares serving
+// throughput against the legacy Module::forward path.
 //
-// Run: ./build/examples/image_classification [epochs]
+// Run: ./build/example_image_classification [epochs]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "analysis/counters.h"
 #include "models/resnet.h"
+#include "runtime/inference_session.h"
 #include "train/trainer.h"
 
 using namespace qdnn;
 using namespace qdnn::models;
+
+namespace {
+
+// Copies rows [begin, begin+count) of a [N,C,H,W] dataset into `batch`.
+void fill_batch(const Tensor& images, index_t begin, index_t count,
+                Tensor& batch) {
+  const index_t sample = images.numel() / images.dim(0);
+  std::memcpy(batch.data(), images.data() + begin * sample,
+              static_cast<std::size_t>(count * sample) * sizeof(float));
+}
+
+index_t count_correct(const float* logits, index_t rows, index_t classes,
+                      const std::vector<index_t>& labels, index_t begin) {
+  index_t correct = 0;
+  for (index_t i = 0; i < rows; ++i) {
+    const float* row = logits + i * classes;
+    index_t best = 0;
+    for (index_t c = 1; c < classes; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == labels[static_cast<std::size_t>(begin + i)]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const index_t epochs = argc > 1 ? std::atoi(argv[1]) : 6;
@@ -66,7 +97,54 @@ int main(int argc, char** argv) {
                   e.diverged ? "  [eval diverged - BN stats settling]" : "");
     };
     trainer.fit(train_set, test_set);
-    std::printf("\n");
+
+    // --- Deployment: serve the test set through an InferenceSession ----
+    const index_t batch = 32;
+    const index_t classes = config.num_classes;
+    net->set_training(false);
+
+    using clock = std::chrono::steady_clock;
+    auto eval_pass = [&](auto&& infer) {
+      index_t correct = 0;
+      const auto t0 = clock::now();
+      for (index_t begin = 0; begin < test_set.size(); begin += batch) {
+        const index_t rows = std::min(batch, test_set.size() - begin);
+        Tensor b{Shape{rows, 3, 16, 16}};
+        fill_batch(test_set.images, begin, rows, b);
+        correct += count_correct(infer(b), rows, classes, test_set.labels,
+                                 begin);
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            clock::now() - t0)
+                            .count();
+      return std::pair{static_cast<double>(correct) / test_set.size(), ms};
+    };
+
+    Tensor legacy_out;
+    const auto [legacy_acc, legacy_ms] = eval_pass([&](const Tensor& b) {
+      legacy_out = net->forward(b);
+      return legacy_out.data();
+    });
+
+    runtime::SessionConfig sc;
+    sc.sample_shape = Shape{3, 16, 16};
+    sc.max_batch = batch;
+    runtime::InferenceSession session(std::move(net), sc);
+    const auto [served_acc, served_ms] = eval_pass(
+        [&](const Tensor& b) { return session.run(b).data(); });
+
+    // A monolithic ResNet serves as ONE legacy-adapted stage: the session
+    // adds copy-in/copy-out overhead and only pins buffers.  Per-layer
+    // allocation-free serving (and the speedup micro_ops measures for the
+    // dense MLPs) needs the model exposed as a Sequential of migrated
+    // layers — the next step for the model zoo.
+    std::printf(
+        "  deployed: legacy forward %.1f%% in %.1f ms | session %.1f%% in "
+        "%.1f ms (%lld stage%s, native: %s)\n\n",
+        100 * legacy_acc, legacy_ms, 100 * served_acc, served_ms,
+        static_cast<long long>(session.num_stages()),
+        session.num_stages() == 1 ? "" : "s",
+        session.fully_native() ? "yes" : "no — legacy adapter");
   }
   std::printf(
       "Expected: the quadratic network reaches equal-or-better accuracy\n"

@@ -1,4 +1,4 @@
-// Quickstart: the proposed efficient quadratic neuron in ~60 lines.
+// Quickstart: the proposed efficient quadratic neuron in ~80 lines.
 //
 //  1. Build a single ProposedQuadraticDense layer and inspect its output
 //     layout {y, fᵏ} (paper Sec. III-B).
@@ -6,9 +6,12 @@
 //     linear neuron's.
 //  3. Train a tiny quadratic MLP on a task a width-matched *linear* MLP
 //     cannot solve: y = sign(x₁·x₂) — a purely second-order function.
+//  4. Deploy the trained model behind runtime::InferenceSession — the
+//     allocation-free serving path — and check it reproduces the
+//     training-API outputs bit for bit.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/example_quickstart
 #include <cstdio>
 
 #include "nn/loss.h"
@@ -17,6 +20,7 @@
 #include "nn/linear.h"
 #include "quadratic/complexity.h"
 #include "quadratic/quad_dense.h"
+#include "runtime/inference_session.h"
 #include "train/sgd.h"
 
 using namespace qdnn;
@@ -69,36 +73,60 @@ int main() {
 
   auto run = [&](bool use_quadratic) {
     Rng net_rng(11);
-    nn::Sequential net(use_quadratic ? "quad_mlp" : "linear_mlp");
+    auto net = std::make_unique<nn::Sequential>(use_quadratic ? "quad_mlp"
+                                                              : "linear_mlp");
     if (use_quadratic) {
-      net.append(quadratic::make_dense_neuron(NeuronSpec::proposed(3), 2, 8,
-                                              net_rng, "q1"));
-      net.emplace<nn::ReLU>();
-      net.emplace<nn::Linear>(8, 2, net_rng, true, "head");
+      net->append(quadratic::make_dense_neuron(NeuronSpec::proposed(3), 2,
+                                               8, net_rng, "q1"));
+      net->emplace<nn::ReLU>();
+      net->emplace<nn::Linear>(8, 2, net_rng, true, "head");
     } else {
-      net.emplace<nn::Linear>(2, 8, net_rng, true, "l1");
-      net.emplace<nn::ReLU>();
-      net.emplace<nn::Linear>(8, 2, net_rng, true, "head");
+      net->emplace<nn::Linear>(2, 8, net_rng, true, "l1");
+      net->emplace<nn::ReLU>();
+      net->emplace<nn::Linear>(8, 2, net_rng, true, "head");
     }
-    train::Sgd opt(net.parameters(), {0.1f, 0.9f, 1e-4f});
+    train::Sgd opt(net->parameters(), {0.1f, 0.9f, 1e-4f});
     nn::CrossEntropyLoss loss;
     for (int epoch = 0; epoch < 60; ++epoch) {
       opt.zero_grad();
-      const nn::LossResult res = loss(net.forward(train_x), train_y);
-      net.backward(res.grad_logits);
+      const nn::LossResult res = loss(net->forward(train_x), train_y);
+      net->backward(res.grad_logits);
       opt.step();
     }
-    net.set_training(false);
-    const nn::LossResult res = loss(net.forward(test_x), test_y);
-    return static_cast<double>(res.correct) / test_y.size();
+    net->set_training(false);
+    const nn::LossResult res = loss(net->forward(test_x), test_y);
+    const double acc = static_cast<double>(res.correct) / test_y.size();
+    return std::pair{acc, std::move(net)};
   };
-  const double linear_acc = run(false);
-  const double quad_acc = run(true);
+  auto [linear_acc, linear_net] = run(false);
+  auto [quad_acc, quad_net] = run(true);
   std::printf(
       "\ntask y = sign(x1*x2):  linear MLP %.1f%%  |  quadratic MLP "
       "%.1f%%\n",
       100 * linear_acc, 100 * quad_acc);
   std::printf("(the quadratic neuron represents x1*x2 exactly; a "
               "width-matched linear-first-layer MLP struggles)\n");
+
+  // --- 4. Serving with InferenceSession --------------------------------
+  // The session owns the model, preallocates activations + workspace at
+  // construction, and serves run() with zero steady-state allocations.
+  const Tensor legacy_logits = quad_net->forward(test_x);
+  runtime::SessionConfig session_config;
+  session_config.sample_shape = Shape{2};
+  session_config.max_batch = test_x.dim(0);
+  runtime::InferenceSession session(std::move(quad_net), session_config);
+  const ConstTensorView& served_logits = session.run(test_x);
+  std::printf(
+      "\nInferenceSession: %lld stages (all allocation-free: %s), "
+      "%lld activation + %lld workspace floats preallocated\n",
+      static_cast<long long>(session.num_stages()),
+      session.fully_native() ? "yes" : "no",
+      static_cast<long long>(session.activation_floats()),
+      static_cast<long long>(session.workspace_floats()));
+  std::printf("session logits == training-API logits: %s\n",
+              view_max_abs_diff(served_logits,
+                                ConstTensorView(legacy_logits)) == 0.0f
+                  ? "bit-identical"
+                  : "MISMATCH");
   return 0;
 }

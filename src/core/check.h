@@ -34,3 +34,20 @@ namespace qdnn {
 
 #define QDNN_CHECK_EQ(a, b, msg) \
   QDNN_CHECK((a) == (b), msg << " (" << (a) << " vs " << (b) << ")")
+
+// QDNN_DCHECK guards per-element hot paths (tensor accessors, view
+// indexing) where an always-on check would dominate reference loops.  It
+// is active in debug builds; optimized builds keep it when
+// QDNN_FORCE_DCHECKS is defined (the default CMake configuration does, so
+// the test suite always exercises these checks) and drop it otherwise.
+#if !defined(NDEBUG) || defined(QDNN_FORCE_DCHECKS)
+#define QDNN_DCHECK_ENABLED 1
+#define QDNN_DCHECK(cond, msg) QDNN_CHECK(cond, msg)
+#else
+#define QDNN_DCHECK_ENABLED 0
+// sizeof keeps the condition's operands "used" without evaluating them.
+#define QDNN_DCHECK(cond, msg) \
+  do {                         \
+    (void)sizeof(cond);        \
+  } while (0)
+#endif

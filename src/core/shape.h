@@ -77,4 +77,32 @@ inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
   return os << s.to_string();
 }
 
+namespace detail {
+
+// Shared QDNN_DCHECK rank/bounds guards for the multi-index at()
+// accessors of Tensor, TensorView and ConstTensorView.  No-ops (and
+// fully inlined away) when QDNN_DCHECK is disabled.
+inline void dcheck_at(const Shape& s, index_t i, index_t j) {
+  QDNN_DCHECK(s.rank() == 2, "at(i,j) on rank-" << s.rank());
+  QDNN_DCHECK(i >= 0 && i < s[0] && j >= 0 && j < s[1],
+              "index (" << i << ", " << j << ") out of bounds for " << s);
+}
+inline void dcheck_at(const Shape& s, index_t i, index_t j, index_t k) {
+  QDNN_DCHECK(s.rank() == 3, "at(i,j,k) on rank-" << s.rank());
+  QDNN_DCHECK(i >= 0 && i < s[0] && j >= 0 && j < s[1] && k >= 0 &&
+                  k < s[2],
+              "index (" << i << ", " << j << ", " << k
+                        << ") out of bounds for " << s);
+}
+inline void dcheck_at(const Shape& s, index_t i, index_t j, index_t k,
+                      index_t l) {
+  QDNN_DCHECK(s.rank() == 4, "at(i,j,k,l) on rank-" << s.rank());
+  QDNN_DCHECK(i >= 0 && i < s[0] && j >= 0 && j < s[1] && k >= 0 &&
+                  k < s[2] && l >= 0 && l < s[3],
+              "index (" << i << ", " << j << ", " << k << ", " << l
+                        << ") out of bounds for " << s);
+}
+
+}  // namespace detail
+
 }  // namespace qdnn

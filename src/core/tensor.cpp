@@ -78,12 +78,6 @@ float Tensor::squared_norm() const {
   return static_cast<float>(acc);
 }
 
-Tensor Tensor::map(const std::function<float(float)>& f) const {
-  Tensor out = *this;
-  for (index_t i = 0; i < out.numel(); ++i) out[i] = f(out[i]);
-  return out;
-}
-
 bool Tensor::all_finite() const {
   for (float v : data_)
     if (!std::isfinite(v)) return false;

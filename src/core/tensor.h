@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstring>
-#include <functional>
 #include <vector>
 
 #include "core/shape.h"
@@ -46,26 +45,32 @@ class Tensor {
   float& operator[](index_t i) { return data_[static_cast<std::size_t>(i)]; }
   float operator[](index_t i) const { return data_[static_cast<std::size_t>(i)]; }
 
-  // Multi-dimensional accessors for the common ranks.  Bounds are checked
-  // only via QDNN_CHECK on rank; per-element bounds checks would dominate
-  // reference loops.
+  // Multi-dimensional accessors for the common ranks.  Rank and bounds are
+  // verified by QDNN_DCHECK (debug builds and the default CMake config);
+  // fully optimized builds drop the checks so reference loops stay cheap.
   float& at(index_t i, index_t j) {
+    detail::dcheck_at(shape_, i, j);
     return data_[static_cast<std::size_t>(i * shape_[1] + j)];
   }
   float at(index_t i, index_t j) const {
+    detail::dcheck_at(shape_, i, j);
     return data_[static_cast<std::size_t>(i * shape_[1] + j)];
   }
   float& at(index_t i, index_t j, index_t k) {
+    detail::dcheck_at(shape_, i, j, k);
     return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
   }
   float at(index_t i, index_t j, index_t k) const {
+    detail::dcheck_at(shape_, i, j, k);
     return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
   }
   float& at(index_t i, index_t j, index_t k, index_t l) {
+    detail::dcheck_at(shape_, i, j, k, l);
     return data_[static_cast<std::size_t>(
         ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
   }
   float at(index_t i, index_t j, index_t k, index_t l) const {
+    detail::dcheck_at(shape_, i, j, k, l);
     return data_[static_cast<std::size_t>(
         ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
   }
@@ -96,8 +101,15 @@ class Tensor {
   float abs_max() const;
   float squared_norm() const;
 
-  // Element-wise map (returns a new tensor).
-  Tensor map(const std::function<float(float)>& f) const;
+  // Element-wise map (returns a new tensor).  A header template so the
+  // functor inlines into the loop instead of paying an indirect call per
+  // element (activations apply this over whole feature maps).
+  template <typename F>
+  Tensor map(F&& f) const {
+    Tensor out = *this;
+    for (float& v : out.data_) v = f(v);
+    return out;
+  }
 
   // True iff every element is finite (no NaN/Inf) — used by the trainers'
   // divergence detection (Fig 6 reproduces training blow-ups).

@@ -1,0 +1,166 @@
+// TensorView / ConstTensorView: non-owning views over dense row-major
+// float buffers — the currency of the allocation-free execution API.
+//
+// A view is (Shape, pointer).  It never allocates for the data it refers
+// to and never frees anything; the underlying storage (a Tensor, a
+// Workspace block, or an InferenceSession activation buffer) must outlive
+// it.  Views carry the same `at()` accessors as Tensor so layer kernels
+// are written once against either type.
+//
+// Note that constructing a view copies its Shape (a small heap-backed
+// vector).  Steady-state runtime code therefore builds views once per
+// (model, batch-size) binding and re-points them at fresh data with
+// rebind() — see runtime/inference_session.cpp for the pattern.
+#pragma once
+
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace qdnn {
+
+class TensorView {
+ public:
+  TensorView() = default;
+  TensorView(Shape shape, float* data)
+      : shape_(std::move(shape)), data_(data) {
+    QDNN_CHECK(data_ != nullptr || shape_.numel() == 0,
+               "TensorView: null data for shape " << shape_);
+  }
+  // Intentionally implicit: lets Tensor-owning call sites pass straight
+  // into forward_into().
+  TensorView(Tensor& t) : shape_(t.shape()), data_(t.data()) {}
+
+  const Shape& shape() const { return shape_; }
+  index_t numel() const { return shape_.numel(); }
+  index_t rank() const { return shape_.rank(); }
+  index_t dim(index_t i) const { return shape_[i]; }
+  bool empty() const { return numel() == 0; }
+
+  float* data() const { return data_; }
+
+  // Re-point the view at a new buffer of the same shape without touching
+  // the Shape (and thus without allocating).
+  void rebind(float* data) {
+    QDNN_CHECK(data != nullptr || shape_.numel() == 0,
+               "TensorView::rebind: null data");
+    data_ = data;
+  }
+
+  float& operator[](index_t i) const {
+    QDNN_DCHECK(i >= 0 && i < numel(),
+                "view index " << i << " out of " << numel());
+    return data_[i];
+  }
+  float& at(index_t i, index_t j) const {
+    detail::dcheck_at(shape_, i, j);
+    return data_[i * shape_[1] + j];
+  }
+  float& at(index_t i, index_t j, index_t k) const {
+    detail::dcheck_at(shape_, i, j, k);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float& at(index_t i, index_t j, index_t k, index_t l) const {
+    detail::dcheck_at(shape_, i, j, k, l);
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  void fill(float v) const {
+    const index_t n = numel();
+    for (index_t i = 0; i < n; ++i) data_[i] = v;
+  }
+  void zero() const { fill(0.0f); }
+
+  // Materialize an owning copy.
+  Tensor to_tensor() const {
+    Tensor out{shape_};
+    std::memcpy(out.data(), data_,
+                static_cast<std::size_t>(numel()) * sizeof(float));
+    return out;
+  }
+
+ private:
+  Shape shape_;
+  float* data_ = nullptr;
+};
+
+class ConstTensorView {
+ public:
+  ConstTensorView() = default;
+  ConstTensorView(Shape shape, const float* data)
+      : shape_(std::move(shape)), data_(data) {
+    QDNN_CHECK(data_ != nullptr || shape_.numel() == 0,
+               "ConstTensorView: null data for shape " << shape_);
+  }
+  ConstTensorView(const Tensor& t) : shape_(t.shape()), data_(t.data()) {}
+  ConstTensorView(const TensorView& v) : shape_(v.shape()), data_(v.data()) {}
+
+  const Shape& shape() const { return shape_; }
+  index_t numel() const { return shape_.numel(); }
+  index_t rank() const { return shape_.rank(); }
+  index_t dim(index_t i) const { return shape_[i]; }
+  bool empty() const { return numel() == 0; }
+
+  const float* data() const { return data_; }
+
+  void rebind(const float* data) {
+    QDNN_CHECK(data != nullptr || shape_.numel() == 0,
+               "ConstTensorView::rebind: null data");
+    data_ = data;
+  }
+
+  float operator[](index_t i) const {
+    QDNN_DCHECK(i >= 0 && i < numel(),
+                "view index " << i << " out of " << numel());
+    return data_[i];
+  }
+  float at(index_t i, index_t j) const {
+    detail::dcheck_at(shape_, i, j);
+    return data_[i * shape_[1] + j];
+  }
+  float at(index_t i, index_t j, index_t k) const {
+    detail::dcheck_at(shape_, i, j, k);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(index_t i, index_t j, index_t k, index_t l) const {
+    detail::dcheck_at(shape_, i, j, k, l);
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  Tensor to_tensor() const {
+    Tensor out{shape_};
+    std::memcpy(out.data(), data_,
+                static_cast<std::size_t>(numel()) * sizeof(float));
+    return out;
+  }
+
+ private:
+  Shape shape_;
+  const float* data_ = nullptr;
+};
+
+// Copies src into dst; shapes must match exactly.
+inline void copy_into(const ConstTensorView& src, const TensorView& dst) {
+  QDNN_CHECK(src.shape() == dst.shape(), "copy_into: shape mismatch "
+                                             << src.shape() << " vs "
+                                             << dst.shape());
+  std::memcpy(dst.data(), src.data(),
+              static_cast<std::size_t>(src.numel()) * sizeof(float));
+}
+
+// max |a - b| over all elements; shapes must match.  NaN differences are
+// sticky (the result is NaN), so a corrupted buffer can never compare
+// equal to a clean one.
+inline float view_max_abs_diff(const ConstTensorView& a,
+                               const ConstTensorView& b) {
+  QDNN_CHECK(a.shape() == b.shape(), "view_max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (index_t i = 0; i < a.numel(); ++i) {
+    const float d = a[i] - b[i];
+    const float mag = d < 0.0f ? -d : d;  // NaN passes through
+    // Second clause promotes m to NaN; once NaN, neither fires again.
+    if (mag > m || mag != mag) m = mag;
+  }
+  return m;
+}
+
+}  // namespace qdnn

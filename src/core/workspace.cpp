@@ -1,0 +1,62 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+
+namespace qdnn {
+
+float* Workspace::alloc(index_t numel) {
+  QDNN_CHECK(numel >= 0, "Workspace::alloc: negative size " << numel);
+  in_use_ += numel;
+  watermark_ = std::max(watermark_, in_use_);
+  if (numel == 0) return nullptr;
+  const auto need = static_cast<std::size_t>(numel);
+
+  // Advance through existing blocks until one fits.
+  while (block_ < blocks_.size()) {
+    std::vector<float>& b = blocks_[block_];
+    if (b.size() - offset_ >= need) {
+      float* p = b.data() + offset_;
+      offset_ += need;
+      return p;
+    }
+    ++block_;
+    offset_ = 0;
+  }
+
+  // Chain a new block: at least double the current capacity so repeated
+  // growth is logarithmic, and large enough for this request.
+  const std::size_t cap = static_cast<std::size_t>(capacity());
+  blocks_.emplace_back(std::max({need, cap, std::size_t{1024}}));
+  ++grow_count_;
+  block_ = blocks_.size() - 1;
+  offset_ = need;
+  return blocks_[block_].data();
+}
+
+void Workspace::reset() {
+  block_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+void Workspace::consolidate() {
+  QDNN_CHECK(in_use_ == 0, "Workspace::consolidate: reset() first");
+  if (blocks_.size() <= 1) return;
+  // Any bump pattern that fit before fits in one contiguous block of the
+  // high-watermark; chained blocks may hold more (skipped tails, growth
+  // doubling), so consolidating can shrink the arena.
+  blocks_.clear();
+  block_ = 0;
+  offset_ = 0;
+  if (watermark_ == 0) return;
+  blocks_.emplace_back(static_cast<std::size_t>(watermark_));
+  ++grow_count_;
+}
+
+index_t Workspace::capacity() const {
+  index_t total = 0;
+  for (const auto& b : blocks_) total += static_cast<index_t>(b.size());
+  return total;
+}
+
+}  // namespace qdnn

@@ -1,0 +1,68 @@
+// Workspace: a bump-allocated float arena for layer scratch memory.
+//
+// Layers' forward_into() implementations draw im2col buffers, GEMM packing
+// space and intermediate features from a Workspace instead of allocating.
+// The arena grows by chaining blocks (existing pointers stay valid while a
+// pass is in flight), so the first pass through a model discovers the
+// watermark; after reset() + consolidate() the arena is one contiguous
+// block and steady-state passes perform zero heap allocations.
+//
+// Contract for forward_into() implementations: call alloc()/take() freely,
+// never reset() — the pass driver (InferenceSession, Sequential) owns the
+// reset points.  Pointers handed out stay valid until the next reset().
+#pragma once
+
+#include <vector>
+
+#include "core/tensor_view.h"
+
+namespace qdnn {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(index_t initial_floats) {
+    if (initial_floats > 0)
+      blocks_.emplace_back(static_cast<std::size_t>(initial_floats));
+  }
+
+  // Hands out `numel` floats (uninitialized).  Never invalidates earlier
+  // allocations; grows by chaining a new block when the current one is
+  // exhausted.
+  float* alloc(index_t numel);
+
+  // alloc() wrapped in a TensorView of the given shape.
+  TensorView take(const Shape& shape) {
+    return TensorView(shape, alloc(shape.numel()));
+  }
+
+  // Rewinds the arena: all previously handed-out pointers become reusable
+  // (and must no longer be dereferenced).  Keeps the memory.
+  void reset();
+
+  // Merges chained blocks into a single contiguous block sized for the
+  // high-watermark.  Only valid directly after reset() (no outstanding
+  // allocations).  Idempotent; after this, passes that stay under the
+  // watermark never allocate.
+  void consolidate();
+
+  // Floats handed out since the last reset().
+  index_t in_use() const { return in_use_; }
+  // Largest in_use() ever observed — the arena's required capacity.
+  index_t watermark() const { return watermark_; }
+  // Total floats owned across all blocks.
+  index_t capacity() const;
+  // Number of block allocations performed over the arena's lifetime —
+  // stays flat once warmed up (asserted by the zero-allocation tests).
+  int grow_count() const { return grow_count_; }
+
+ private:
+  std::vector<std::vector<float>> blocks_;
+  std::size_t block_ = 0;   // current block index
+  std::size_t offset_ = 0;  // next free float in the current block
+  index_t in_use_ = 0;
+  index_t watermark_ = 0;
+  int grow_count_ = 0;
+};
+
+}  // namespace qdnn

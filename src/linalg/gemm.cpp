@@ -34,9 +34,17 @@ void gemm_nn(index_t m, index_t n, index_t k, float alpha, const float* a,
 
 }  // namespace
 
+index_t gemm_scratch_floats(bool trans_a, bool trans_b, index_t m,
+                            index_t n, index_t k) {
+  index_t floats = 0;
+  if (trans_a) floats += m * k;
+  if (trans_b) floats += k * n;
+  return floats;
+}
+
 void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
           float alpha, const float* a, index_t lda, const float* b,
-          index_t ldb, float beta, float* c, index_t ldc) {
+          index_t ldb, float beta, float* c, index_t ldc, float* scratch) {
   // Scale / clear C first.
   if (beta == 0.0f) {
     for (index_t i = 0; i < m; ++i)
@@ -53,31 +61,40 @@ void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
   }
 
   // For transposed operands, materialize the effective row-major matrix
-  // once and reuse the fast kernel.  The packs are small relative to the
-  // O(mnk) work and keep a single well-optimized inner loop.
-  std::vector<float> pack;
+  // once into `scratch` and reuse the fast kernel.  The packs are small
+  // relative to the O(mnk) work and keep a single well-optimized inner
+  // loop.
   const float* aa = a;
   index_t alda = lda;
   if (trans_a) {
-    pack.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+    float* pack = scratch;
+    scratch += m * k;
     for (index_t p = 0; p < k; ++p)
-      for (index_t i = 0; i < m; ++i)
-        pack[static_cast<std::size_t>(i * k + p)] = a[p * lda + i];
-    aa = pack.data();
+      for (index_t i = 0; i < m; ++i) pack[i * k + p] = a[p * lda + i];
+    aa = pack;
     alda = k;
   }
-  std::vector<float> packb;
   const float* bb = b;
   index_t bldb = ldb;
   if (trans_b) {
-    packb.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(n));
+    float* pack = scratch;
     for (index_t j = 0; j < n; ++j)
-      for (index_t p = 0; p < k; ++p)
-        packb[static_cast<std::size_t>(p * n + j)] = b[j * ldb + p];
-    bb = packb.data();
+      for (index_t p = 0; p < k; ++p) pack[p * n + j] = b[j * ldb + p];
+    bb = pack;
     bldb = n;
   }
   gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+}
+
+void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc) {
+  std::vector<float> scratch(static_cast<std::size_t>(
+      (m == 0 || n == 0 || k == 0 || alpha == 0.0f)
+          ? 0
+          : gemm_scratch_floats(trans_a, trans_b, m, n, k)));
+  gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+       scratch.data());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -14,6 +14,19 @@ void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
           float alpha, const float* a, index_t lda, const float* b,
           index_t ldb, float beta, float* c, index_t ldc);
 
+// Scratch floats gemm needs to pack transposed operands for these flags
+// and sizes (0 when neither operand is transposed).
+index_t gemm_scratch_floats(bool trans_a, bool trans_b, index_t m,
+                            index_t n, index_t k);
+
+// As gemm, but packing uses the caller-provided `scratch` buffer (at
+// least gemm_scratch_floats(...) floats) instead of allocating — the
+// allocation-free path used by Module::forward_into implementations,
+// which draw scratch from a Workspace.  Bit-identical to gemm().
+void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
+          float alpha, const float* a, index_t lda, const float* b,
+          index_t ldb, float beta, float* c, index_t ldc, float* scratch);
+
 // Convenience wrappers on Tensor ([m,k] x [k,n] -> [m,n]).
 Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor matmul_tn(const Tensor& a, const Tensor& b);  // aᵀ b, a is [k,m]

@@ -16,7 +16,7 @@ using quadratic::NeuronKind;
 BasicBlock::BasicBlock(index_t in_channels, index_t target_width,
                        index_t stride, const NeuronSpec& spec1,
                        const NeuronSpec& spec2, Rng& rng, std::string name)
-    : name_(std::move(name)) {
+    : name_(std::move(name)), stride_(stride) {
   const index_t width1 = conv_out_channels(spec1, target_width);
   const index_t width2 = conv_out_channels(spec2, target_width);
   out_channels_ = width2;
@@ -39,6 +39,14 @@ BasicBlock::BasicBlock(index_t in_channels, index_t target_width,
     short_bn_ = std::make_unique<nn::BatchNorm2d>(width2, 0.1f, 1e-5f,
                                                   name_ + ".short_bn");
   }
+}
+
+Shape BasicBlock::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  // Both 3×3 convs use padding 1; only the first strides.
+  return Shape{input_shape[0], out_channels_,
+               (input_shape[2] - 1) / stride_ + 1,
+               (input_shape[3] - 1) / stride_ + 1};
 }
 
 Tensor BasicBlock::forward(const Tensor& input) {
@@ -216,6 +224,11 @@ ResNet::ResNet(const ResNetConfig& config,
   fc_ = std::make_unique<nn::Linear>(channels, config.num_classes, rng,
                                      true, name_ + ".fc");
   macs_per_image_ += channels * config.num_classes;
+}
+
+Shape ResNet::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  return Shape{input_shape[0], config_.num_classes};
 }
 
 Tensor ResNet::forward(const Tensor& input) {

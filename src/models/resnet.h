@@ -51,6 +51,7 @@ class BasicBlock : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::NamedBuffer> buffers() override;
   std::string name() const override { return name_; }
@@ -61,6 +62,7 @@ class BasicBlock : public nn::Module {
  private:
   std::string name_;
   index_t out_channels_;
+  index_t stride_ = 1;
   nn::ModulePtr conv1_;
   std::unique_ptr<nn::BatchNorm2d> bn1_;
   nn::ReLU relu1_;
@@ -90,6 +92,7 @@ class ResNet : public nn::Module {
   // input: [N, C, H, W] images; output: [N, num_classes] logits.
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::NamedBuffer> buffers() override;
   std::string name() const override { return name_; }

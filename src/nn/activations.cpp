@@ -23,6 +23,28 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 }
 
 namespace {
+// Shared boilerplate of the element-wise forward_into implementations:
+// shape check + inlined scalar kernel over raw pointers.
+template <typename F>
+void elementwise_into(const ConstTensorView& input, const TensorView& output,
+                      const std::string& name, F&& f) {
+  QDNN_CHECK(input.shape() == output.shape(),
+             name << ": forward_into shape mismatch " << input.shape()
+                  << " vs " << output.shape());
+  const float* in = input.data();
+  float* out = output.data();
+  const index_t n = input.numel();
+  for (index_t i = 0; i < n; ++i) out[i] = f(in[i]);
+}
+}  // namespace
+
+void ReLU::forward_into(const ConstTensorView& input, const TensorView& output,
+                        Workspace&) {
+  elementwise_into(input, output, name_,
+                   [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+namespace {
 // tanh-approximation GELU and its derivative.
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
@@ -55,6 +77,11 @@ Tensor GELU::backward(const Tensor& grad_output) {
   return grad;
 }
 
+void GELU::forward_into(const ConstTensorView& input, const TensorView& output,
+                        Workspace&) {
+  elementwise_into(input, output, name_, gelu_value);
+}
+
 Tensor Tanh::forward(const Tensor& input) {
   Tensor out = input;
   for (index_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(out[i]);
@@ -70,6 +97,12 @@ Tensor Tanh::backward(const Tensor& grad_output) {
     grad[i] *= 1.0f - y * y;
   }
   return grad;
+}
+
+void Tanh::forward_into(const ConstTensorView& input, const TensorView& output,
+                        Workspace&) {
+  elementwise_into(input, output, name_,
+                   [](float v) { return std::tanh(v); });
 }
 
 Tensor Sigmoid::forward(const Tensor& input) {
@@ -88,6 +121,12 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
     grad[i] *= y * (1.0f - y);
   }
   return grad;
+}
+
+void Sigmoid::forward_into(const ConstTensorView& input, const TensorView& output,
+                           Workspace&) {
+  elementwise_into(input, output, name_,
+                   [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
 }
 
 }  // namespace qdnn::nn

@@ -15,6 +15,9 @@ class ReLU : public Module {
   explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:
@@ -27,6 +30,9 @@ class GELU : public Module {
   explicit GELU(std::string name = "gelu") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:
@@ -39,6 +45,9 @@ class Tanh : public Module {
   explicit Tanh(std::string name = "tanh") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:
@@ -51,6 +60,9 @@ class Sigmoid : public Module {
   explicit Sigmoid(std::string name = "sigmoid") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:

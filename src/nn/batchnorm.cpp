@@ -4,6 +4,40 @@
 
 namespace qdnn::nn {
 
+namespace {
+
+// Eval-mode kernel shared by forward() and forward_into(): a fixed
+// per-channel affine map of the running statistics.  xhat/invstd_out are
+// optional caches (null on the inference path).
+void bn_eval_affine(const float* in, index_t n, index_t channels,
+                    index_t plane, const float* running_mean,
+                    const float* running_var, float eps, const float* gamma,
+                    const float* beta, float* out, float* xhat,
+                    float* invstd_out) {
+  for (index_t c = 0; c < channels; ++c) {
+    const float invstd = 1.0f / std::sqrt(running_var[c] + eps);
+    if (invstd_out) invstd_out[c] = invstd;
+    const float g = gamma[c], b = beta[c];
+    const float mean = running_mean[c];
+    for (index_t s = 0; s < n; ++s) {
+      const float* p = in + (s * channels + c) * plane;
+      float* o = out + (s * channels + c) * plane;
+      if (xhat) {
+        float* xh = xhat + (s * channels + c) * plane;
+        for (index_t j = 0; j < plane; ++j) {
+          xh[j] = (p[j] - mean) * invstd;
+          o[j] = g * xh[j] + b;
+        }
+      } else {
+        for (index_t j = 0; j < plane; ++j)
+          o[j] = g * ((p[j] - mean) * invstd) + b;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 BatchNorm2d::BatchNorm2d(index_t channels, float momentum, float eps,
                          std::string name)
     : channels_(channels),
@@ -70,23 +104,28 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     cached_xhat_ = Tensor{input.shape()};
     cached_invstd_ = Tensor{Shape{channels_}};
     cached_count_ = count;
-    for (index_t c = 0; c < channels_; ++c) {
-      const float invstd = 1.0f / std::sqrt(running_var_[c] + eps_);
-      cached_invstd_[c] = invstd;
-      const float g = gamma_.value[c], b = beta_.value[c];
-      const float mean = running_mean_[c];
-      for (index_t s = 0; s < n; ++s) {
-        const float* p = input.data() + (s * channels_ + c) * plane;
-        float* xh = cached_xhat_.data() + (s * channels_ + c) * plane;
-        float* o = out.data() + (s * channels_ + c) * plane;
-        for (index_t j = 0; j < plane; ++j) {
-          xh[j] = (p[j] - mean) * invstd;
-          o[j] = g * xh[j] + b;
-        }
-      }
-    }
+    bn_eval_affine(input.data(), n, channels_, plane, running_mean_.data(),
+                   running_var_.data(), eps_, gamma_.value.data(),
+                   beta_.value.data(), out.data(), cached_xhat_.data(),
+                   cached_invstd_.data());
   }
   return out;
+}
+
+void BatchNorm2d::forward_into(const ConstTensorView& input, const TensorView& output,
+                               Workspace&) {
+  QDNN_CHECK(!training_,
+             name_ << ": forward_into is an inference entry point — call "
+                      "set_training(false) first");
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input.dim(1), channels_, name_ << ": channels");
+  QDNN_CHECK(input.shape() == output.shape(),
+             name_ << ": forward_into shape mismatch " << input.shape()
+                   << " vs " << output.shape());
+  bn_eval_affine(input.data(), input.dim(0), channels_,
+                 input.dim(2) * input.dim(3), running_mean_.data(),
+                 running_var_.data(), eps_, gamma_.value.data(),
+                 beta_.value.data(), output.data(), nullptr, nullptr);
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {

@@ -18,6 +18,13 @@ class BatchNorm2d : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2 (eval mode only): the layer is a fixed per-channel affine map of
+  // the running statistics — no batch moments, no caching.
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override {
     return {{name_ + ".running_mean", &running_mean_},

@@ -6,6 +6,30 @@
 
 namespace qdnn::nn {
 
+namespace {
+
+// Per-sample im2col + GEMM + bias body shared by forward() and
+// forward_into() — one definition so training and serving cannot drift.
+// `cols` is caller-provided scratch of patch_size() * n_cols floats.
+void conv_sample_forward(const float* image, index_t h, index_t w,
+                         const ConvGeometry& g, const float* weight,
+                         const float* bias, index_t out_channels,
+                         index_t n_cols, float* cols, float* out_s) {
+  const index_t patch = g.patch_size();
+  im2col(image, h, w, g, cols);
+  linalg::gemm(false, false, out_channels, n_cols, patch, 1.0f, weight,
+               patch, cols, n_cols, 0.0f, out_s, n_cols, nullptr);
+  if (bias) {
+    for (index_t oc = 0; oc < out_channels; ++oc) {
+      const float b = bias[oc];
+      float* row = out_s + oc * n_cols;
+      for (index_t j = 0; j < n_cols; ++j) row[j] += b;
+    }
+  }
+}
+
+}  // namespace
+
 Conv2d::Conv2d(index_t in_channels, index_t out_channels, index_t kernel,
                index_t stride, index_t padding, Rng& rng, bool bias,
                std::string name)
@@ -33,22 +57,43 @@ Tensor Conv2d::forward(const Tensor& input) {
 
   Tensor out{Shape{n, out_channels_, oh, ow}};
   std::vector<float> cols(static_cast<std::size_t>(patch * n_cols));
-  for (index_t s = 0; s < n; ++s) {
-    im2col(input.data() + s * geometry_.in_channels * h * w, h, w, geometry_,
-           cols.data());
-    float* out_s = out.data() + s * out_channels_ * n_cols;
-    linalg::gemm(false, false, out_channels_, n_cols, patch, 1.0f,
-                 weight_.value.data(), patch, cols.data(), n_cols, 0.0f,
-                 out_s, n_cols);
-    if (has_bias_) {
-      for (index_t oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[oc];
-        float* row = out_s + oc * n_cols;
-        for (index_t j = 0; j < n_cols; ++j) row[j] += b;
-      }
-    }
-  }
+  for (index_t s = 0; s < n; ++s)
+    conv_sample_forward(input.data() + s * geometry_.in_channels * h * w, h,
+                        w, geometry_, weight_.value.data(),
+                        has_bias_ ? bias_.value.data() : nullptr,
+                        out_channels_, n_cols, cols.data(),
+                        out.data() + s * out_channels_ * n_cols);
   return out;
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input_shape[1], geometry_.in_channels, name_ << ": channels");
+  return Shape{input_shape[0], out_channels_,
+               geometry_.out_extent(input_shape[2]),
+               geometry_.out_extent(input_shape[3])};
+}
+
+void Conv2d::forward_into(const ConstTensorView& input, const TensorView& output,
+                          Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input.dim(1), geometry_.in_channels, name_ << ": channels");
+  const index_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const index_t oh = geometry_.out_extent(h), ow = geometry_.out_extent(w);
+  const index_t patch = geometry_.patch_size();
+  const index_t n_cols = oh * ow;
+  QDNN_CHECK(output.rank() == 4 && output.dim(0) == n &&
+                 output.dim(1) == out_channels_ && output.dim(2) == oh &&
+                 output.dim(3) == ow,
+             name_ << ": bad output view " << output.shape());
+
+  float* cols = ws.alloc(patch * n_cols);
+  for (index_t s = 0; s < n; ++s)
+    conv_sample_forward(input.data() + s * geometry_.in_channels * h * w, h,
+                        w, geometry_, weight_.value.data(),
+                        has_bias_ ? bias_.value.data() : nullptr,
+                        out_channels_, n_cols, cols,
+                        output.data() + s * out_channels_ * n_cols);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {

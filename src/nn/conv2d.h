@@ -19,6 +19,13 @@ class Conv2d : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2: im2col patches live in the workspace instead of a per-call vector.
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -27,6 +27,14 @@ Tensor Dropout::forward(const Tensor& input) {
   return out;
 }
 
+void Dropout::forward_into(const ConstTensorView& input, const TensorView& output,
+                           Workspace&) {
+  QDNN_CHECK(!training_ || p_ == 0.0f,
+             name_ << ": forward_into is an inference entry point — call "
+                      "set_training(false) first");
+  copy_into(input, output);
+}
+
 Tensor Dropout::backward(const Tensor& grad_output) {
   if (identity_) return grad_output;
   QDNN_CHECK(!cached_mask_.empty(), name_ << ": backward before forward");

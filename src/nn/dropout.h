@@ -14,6 +14,12 @@ class Dropout : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2 (eval mode only): inverted dropout is the identity at inference.
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::string name() const override { return name_; }
 
  private:

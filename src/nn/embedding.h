@@ -16,6 +16,10 @@ class Embedding : public Module {
 
   Tensor forward(const Tensor& ids) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, T] ids");
+    return Shape{input_shape[0], input_shape[1], dim_};
+  }
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -15,6 +15,39 @@ LayerNorm::LayerNorm(index_t dim, float eps, std::string name)
   beta_.decay = false;
 }
 
+namespace {
+
+// Row-normalization kernel shared by forward() and forward_into() — one
+// definition so training and serving cannot drift.  xhat/invstd_out are
+// optional caches (null on the inference path).
+void layernorm_rows(const float* in, index_t n, index_t dim, float eps,
+                    const float* gamma, const float* beta, float* out,
+                    float* xhat, float* invstd_out) {
+  for (index_t i = 0; i < n; ++i) {
+    const float* x = in + i * dim;
+    double mean = 0.0;
+    for (index_t j = 0; j < dim; ++j) mean += x[j];
+    mean /= dim;
+    double var = 0.0;
+    for (index_t j = 0; j < dim; ++j) {
+      const double d = x[j] - mean;
+      var += d * d;
+    }
+    var /= dim;
+    const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    if (invstd_out) invstd_out[i] = invstd;
+    float* o = out + i * dim;
+    const float fmean = static_cast<float>(mean);
+    for (index_t j = 0; j < dim; ++j) {
+      const float xh = (x[j] - fmean) * invstd;
+      if (xhat) xhat[i * dim + j] = xh;
+      o[j] = gamma[j] * xh + beta[j];
+    }
+  }
+}
+
+}  // namespace
+
 Tensor LayerNorm::forward(const Tensor& input) {
   QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, D]");
   QDNN_CHECK_EQ(input.dim(1), dim_, name_ << ": dim");
@@ -22,28 +55,22 @@ Tensor LayerNorm::forward(const Tensor& input) {
   Tensor out{input.shape()};
   cached_xhat_ = Tensor{input.shape()};
   cached_invstd_ = Tensor{Shape{n}};
-  for (index_t i = 0; i < n; ++i) {
-    const float* x = input.data() + i * dim_;
-    double mean = 0.0;
-    for (index_t j = 0; j < dim_; ++j) mean += x[j];
-    mean /= dim_;
-    double var = 0.0;
-    for (index_t j = 0; j < dim_; ++j) {
-      const double d = x[j] - mean;
-      var += d * d;
-    }
-    var /= dim_;
-    const float invstd = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    cached_invstd_[i] = invstd;
-    float* xh = cached_xhat_.data() + i * dim_;
-    float* o = out.data() + i * dim_;
-    const float fmean = static_cast<float>(mean);
-    for (index_t j = 0; j < dim_; ++j) {
-      xh[j] = (x[j] - fmean) * invstd;
-      o[j] = gamma_.value[j] * xh[j] + beta_.value[j];
-    }
-  }
+  layernorm_rows(input.data(), n, dim_, eps_, gamma_.value.data(),
+                 beta_.value.data(), out.data(), cached_xhat_.data(),
+                 cached_invstd_.data());
   return out;
+}
+
+void LayerNorm::forward_into(const ConstTensorView& input, const TensorView& output,
+                             Workspace&) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, D]");
+  QDNN_CHECK_EQ(input.dim(1), dim_, name_ << ": dim");
+  QDNN_CHECK(input.shape() == output.shape(),
+             name_ << ": forward_into shape mismatch " << input.shape()
+                   << " vs " << output.shape());
+  layernorm_rows(input.data(), input.dim(0), dim_, eps_,
+                 gamma_.value.data(), beta_.value.data(), output.data(),
+                 nullptr, nullptr);
 }
 
 Tensor LayerNorm::backward(const Tensor& grad_output) {

@@ -13,6 +13,9 @@ class LayerNorm : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

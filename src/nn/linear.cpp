@@ -37,6 +37,32 @@ Tensor Linear::forward(const Tensor& input) {
   return out;
 }
 
+Shape Linear::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input_shape[1], in_features_, name_ << ": in_features");
+  return Shape{input_shape[0], out_features_};
+}
+
+void Linear::forward_into(const ConstTensorView& input, const TensorView& output,
+                          Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_features_, name_ << ": in_features");
+  const index_t n = input.dim(0);
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
+                 output.dim(1) == out_features_,
+             name_ << ": bad output view " << output.shape());
+  float* scratch = ws.alloc(linalg::gemm_scratch_floats(
+      false, true, n, out_features_, in_features_));
+  linalg::gemm(false, true, n, out_features_, in_features_, 1.0f,
+               input.data(), in_features_, weight_.value.data(),
+               in_features_, 0.0f, output.data(), out_features_, scratch);
+  if (has_bias_) {
+    for (index_t i = 0; i < n; ++i)
+      linalg::axpy(out_features_, 1.0f, bias_.value.data(),
+                   output.data() + i * out_features_);
+  }
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
   QDNN_CHECK_EQ(grad_output.dim(1), out_features_, name_ << ": grad dims");

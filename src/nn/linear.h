@@ -18,6 +18,13 @@ class Linear : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2: y = x Wᵀ + b on borrowed memory; scratch only for GEMM packing.
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

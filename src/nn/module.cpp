@@ -1,5 +1,21 @@
 #include "nn/module.h"
 
-// Module is header-only today; this TU anchors the vtable so the library
-// has a single translation unit emitting Module's RTTI.
-namespace qdnn::nn {}
+namespace qdnn::nn {
+
+// Fallback adapter: route the v2 entry point through the legacy copying
+// forward().  Correct for every module (shape mismatches are caught
+// against output_shape), but pays v1 allocation costs — migrated modules
+// override this with a native workspace-backed implementation.
+void Module::forward_into(const ConstTensorView& input, const TensorView& output,
+                          Workspace& /*ws*/) {
+  Tensor in = input.to_tensor();
+  Tensor out = forward(in);
+  QDNN_CHECK(out.shape() == output.shape(),
+             name() << ": forward() produced " << out.shape()
+                    << " but forward_into output is " << output.shape()
+                    << " (override output_shape()?)");
+  std::memcpy(output.data(), out.data(),
+              static_cast<std::size_t>(out.numel()) * sizeof(float));
+}
+
+}  // namespace qdnn::nn

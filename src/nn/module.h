@@ -6,6 +6,25 @@
 // backward implementations are validated against central finite
 // differences in tests/nn/gradcheck_test.cpp.
 //
+// Two execution APIs
+// ------------------
+//  * v1 (training): `Tensor forward(const Tensor&)` — value semantics,
+//    allocates its output, caches activations for backward().
+//  * v2 (inference): `forward_into(const ConstTensorView& in, const TensorView& out,
+//    Workspace& ws)` — writes the result into caller-owned memory and
+//    draws all scratch from `ws`.  Implementations must not allocate, must
+//    not cache (backward() after forward_into() is undefined), and must
+//    not reset `ws` (the pass driver owns the reset points).  `in` and
+//    `out` never alias.  `output_shape(in_shape)` reports the result shape
+//    so drivers (runtime::InferenceSession) can preallocate buffers before
+//    any data flows.
+//
+// Every module inherits a default forward_into() adapter that routes
+// through the legacy copying forward(), so v1-only modules work inside v2
+// drivers unchanged (at v1 cost).  Migrated modules override both
+// forward_into() and supports_forward_into(); shape-changing modules must
+// also override output_shape() (the default is shape-preserving).
+//
 // Data layout conventions:
 //   dense activations   [N, D]
 //   images              [N, C, H, W]
@@ -17,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "core/tensor_view.h"
+#include "core/workspace.h"
 #include "nn/parameter.h"
 
 namespace qdnn::nn {
@@ -39,6 +60,28 @@ class Module {
   // Given dL/d(output), accumulates dL/d(params) into Parameter::grad and
   // returns dL/d(input).  Must be called after a matching forward().
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // --- v2 inference API --------------------------------------------------
+
+  // Shape of the output produced for an input of `input_shape`.  Default:
+  // shape-preserving (element-wise layers, norms, dropout).
+  virtual Shape output_shape(const Shape& input_shape) const {
+    return input_shape;
+  }
+
+  // True when forward_into() is a native implementation that performs no
+  // heap allocation and touches no shared module state (so concurrent
+  // calls on disjoint batches are safe).  False for the legacy-forward()
+  // adapter and for overrides that are native but still allocate
+  // (nested Sequential).
+  virtual bool supports_forward_into() const { return false; }
+
+  // Writes the result of the layer into `output` (whose shape must equal
+  // output_shape(input.shape())), drawing scratch from `ws`.  The default
+  // adapter materializes Tensors and calls forward() — correct for every
+  // module, allocation-free for none.
+  virtual void forward_into(const ConstTensorView& input, const TensorView& output,
+                            Workspace& ws);
 
   // All trainable parameters owned by this module (recursively).
   virtual std::vector<Parameter*> parameters() { return {}; }

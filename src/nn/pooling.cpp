@@ -22,6 +22,28 @@ Tensor GlobalAvgPool2d::forward(const Tensor& input) {
   return out;
 }
 
+Shape GlobalAvgPool2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  return Shape{input_shape[0], input_shape[1]};
+}
+
+void GlobalAvgPool2d::forward_into(const ConstTensorView& input, const TensorView& output,
+                                   Workspace&) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  const index_t n = input.dim(0), c = input.dim(1),
+                plane = input.dim(2) * input.dim(3);
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n && output.dim(1) == c,
+             name_ << ": bad output view " << output.shape());
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (index_t s = 0; s < n; ++s)
+    for (index_t ch = 0; ch < c; ++ch) {
+      const float* p = input.data() + (s * c + ch) * plane;
+      float acc = 0.0f;
+      for (index_t j = 0; j < plane; ++j) acc += p[j];
+      output.at(s, ch) = acc * inv;
+    }
+}
+
 Tensor GlobalAvgPool2d::backward(const Tensor& grad_output) {
   QDNN_CHECK(cached_shape_.rank() == 4, name_ << ": backward before forward");
   const index_t n = cached_shape_[0], c = cached_shape_[1],
@@ -42,6 +64,13 @@ MaxPool2d::MaxPool2d(index_t kernel, index_t stride, index_t padding,
     : kernel_(kernel), stride_(stride), padding_(padding),
       name_(std::move(name)) {
   QDNN_CHECK(kernel > 0 && stride > 0, "MaxPool2d: bad geometry");
+}
+
+Shape MaxPool2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  return Shape{input_shape[0], input_shape[1],
+               (input_shape[2] + 2 * padding_ - kernel_) / stride_ + 1,
+               (input_shape[3] + 2 * padding_ - kernel_) / stride_ + 1};
 }
 
 Tensor MaxPool2d::forward(const Tensor& input) {
@@ -100,6 +129,13 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
 AvgPool2d::AvgPool2d(index_t kernel, index_t stride, std::string name)
     : kernel_(kernel), stride_(stride), name_(std::move(name)) {
   QDNN_CHECK(kernel > 0 && stride > 0, "AvgPool2d: bad geometry");
+}
+
+Shape AvgPool2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  return Shape{input_shape[0], input_shape[1],
+               (input_shape[2] - kernel_) / stride_ + 1,
+               (input_shape[3] - kernel_) / stride_ + 1};
 }
 
 Tensor AvgPool2d::forward(const Tensor& input) {

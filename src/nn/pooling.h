@@ -13,6 +13,10 @@ class GlobalAvgPool2d : public Module {
   explicit GlobalAvgPool2d(std::string name = "gap") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:
@@ -26,6 +30,7 @@ class MaxPool2d : public Module {
             std::string name = "maxpool");
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::string name() const override { return name_; }
 
  private:
@@ -40,6 +45,7 @@ class AvgPool2d : public Module {
   AvgPool2d(index_t kernel, index_t stride, std::string name = "avgpool");
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::string name() const override { return name_; }
 
  private:

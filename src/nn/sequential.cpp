@@ -1,11 +1,58 @@
 #include "nn/sequential.h"
 
+#include <algorithm>
+
 namespace qdnn::nn {
 
 Tensor Sequential::forward(const Tensor& input) {
   Tensor x = input;
   for (auto& child : children_) x = child->forward(x);
   return x;
+}
+
+Shape Sequential::output_shape(const Shape& input_shape) const {
+  Shape cur = input_shape;
+  for (const auto& child : children_) cur = child->output_shape(cur);
+  return cur;
+}
+
+void Sequential::forward_into(const ConstTensorView& input, const TensorView& output,
+                              Workspace& ws) {
+  const std::size_t count = children_.size();
+  if (count == 0) {
+    copy_into(input, output);
+    return;
+  }
+  if (count == 1) {
+    children_[0]->forward_into(input, output, ws);
+    return;
+  }
+
+  // Internal boundary shapes (outputs of all children but the last, which
+  // writes straight into `output`).
+  std::vector<Shape> bounds;
+  bounds.reserve(count - 1);
+  Shape cur = input.shape();
+  index_t max_numel = 0;
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    cur = children_[i]->output_shape(cur);
+    max_numel = std::max(max_numel, cur.numel());
+    bounds.push_back(cur);
+  }
+
+  float* ping = ws.alloc(max_numel);
+  // With exactly two children only one internal boundary exists.
+  float* pong = count > 2 ? ws.alloc(max_numel) : nullptr;
+  ConstTensorView in = input;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + 1 == count) {
+      children_[i]->forward_into(in, output, ws);
+    } else {
+      TensorView out(bounds[i], i % 2 == 0 ? ping : pong);
+      children_[i]->forward_into(in, out, ws);
+      in = ConstTensorView(out);
+    }
+  }
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {

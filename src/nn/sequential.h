@@ -28,6 +28,22 @@ class Sequential : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2: chains the children over two workspace-backed ping-pong buffers.
+  // Children with native forward_into run allocation-free; v1-only
+  // children go through their legacy adapter transparently.  (The
+  // steady-state serving path — runtime::InferenceSession — flattens a
+  // top-level Sequential and drives the children itself with prebuilt
+  // views; this implementation covers nested composition.)
+  //
+  // supports_forward_into() stays false on purpose: this override avoids
+  // the adapter's whole-tensor copies but still builds per-call Shape
+  // views, so it does not meet the zero-allocation contract the flag
+  // advertises (see Module).
+  Shape output_shape(const Shape& input_shape) const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override;
   std::string name() const override { return name_; }

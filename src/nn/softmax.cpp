@@ -38,6 +38,17 @@ Tensor Softmax::forward(const Tensor& input) {
   return out;
 }
 
+void Softmax::forward_into(const ConstTensorView& input, const TensorView& output,
+                           Workspace&) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, C]");
+  QDNN_CHECK(input.shape() == output.shape(),
+             name_ << ": forward_into shape mismatch " << input.shape()
+                   << " vs " << output.shape());
+  std::memcpy(output.data(), input.data(),
+              static_cast<std::size_t>(input.numel()) * sizeof(float));
+  softmax_rows(output.data(), output.dim(0), output.dim(1));
+}
+
 Tensor Softmax::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_output_.empty(), name_ << ": backward before forward");
   Tensor grad = grad_output;

@@ -19,6 +19,9 @@ class Softmax : public Module {
   explicit Softmax(std::string name = "softmax") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
   std::string name() const override { return name_; }
 
  private:

@@ -22,6 +22,11 @@ class KervolutionDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+    QDNN_CHECK_EQ(input_shape[1], in_, name_ << ": in_features");
+    return Shape{input_shape[0], out_};
+  }
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -46,6 +51,9 @@ class KervolutionConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    return conv_.output_shape(input_shape);
+  }
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -9,6 +9,39 @@
 
 namespace qdnn::quadratic {
 
+namespace {
+
+// Per-sample output assembly shared by ProposedQuadConv2d::forward and
+// ::forward_into — one definition so training and serving cannot drift.
+// lin is [filters, n_cols], f_s is [filters*rank, n_cols]; writes the
+// channel interleave [y_f, f_1..f_k] per filter into out_s.
+void assemble_proposed_conv_sample(const float* lin, const float* f_s,
+                                   const float* lambda, const float* bias,
+                                   index_t filters, index_t rank,
+                                   index_t n_cols, bool emit_features,
+                                   float* out_s) {
+  const index_t ch_per_filter = emit_features ? rank + 1 : 1;
+  for (index_t f = 0; f < filters; ++f) {
+    const float* lam = lambda + f * rank;
+    float* y_row = out_s + f * ch_per_filter * n_cols;
+    const float* lin_row = lin + f * n_cols;
+    const float b = bias[f];
+    for (index_t j = 0; j < n_cols; ++j) y_row[j] = lin_row[j] + b;
+    for (index_t i = 0; i < rank; ++i) {
+      const float* f_row = f_s + (f * rank + i) * n_cols;
+      const float l = lam[i];
+      for (index_t j = 0; j < n_cols; ++j)
+        y_row[j] += l * f_row[j] * f_row[j];
+      if (emit_features) {
+        float* o_row = y_row + (1 + i) * n_cols;
+        for (index_t j = 0; j < n_cols; ++j) o_row[j] = f_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ProposedQuadConv2d
 // ---------------------------------------------------------------------------
@@ -65,27 +98,54 @@ Tensor ProposedQuadConv2d::forward(const Tensor& input) {
     linalg::gemm(false, false, fr, n_cols, patch, 1.0f, q_.value.data(),
                  patch, cols.data(), n_cols, 0.0f, f_s, n_cols);
 
-    float* out_s = out.data() + s * out_channels() * n_cols;
-    const index_t ch_per_filter = emit_features_ ? rank_ + 1 : 1;
-    for (index_t f = 0; f < filters_; ++f) {
-      const float* lam = lambda_.value.data() + f * rank_;
-      float* y_row = out_s + f * ch_per_filter * n_cols;
-      const float* lin_row = lin.data() + f * n_cols;
-      const float bias = b_.value[f];
-      for (index_t j = 0; j < n_cols; ++j) y_row[j] = lin_row[j] + bias;
-      for (index_t i = 0; i < rank_; ++i) {
-        const float* f_row = f_s + (f * rank_ + i) * n_cols;
-        const float l = lam[i];
-        for (index_t j = 0; j < n_cols; ++j)
-          y_row[j] += l * f_row[j] * f_row[j];
-        if (emit_features_) {
-          float* o_row = y_row + (1 + i) * n_cols;
-          for (index_t j = 0; j < n_cols; ++j) o_row[j] = f_row[j];
-        }
-      }
-    }
+    assemble_proposed_conv_sample(lin.data(), f_s, lambda_.value.data(),
+                                  b_.value.data(), filters_, rank_, n_cols,
+                                  emit_features_,
+                                  out.data() + s * out_channels() * n_cols);
   }
   return out;
+}
+
+Shape ProposedQuadConv2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input_shape[1], geometry_.in_channels,
+                name_ << ": channels");
+  return Shape{input_shape[0], out_channels(),
+               geometry_.out_extent(input_shape[2]),
+               geometry_.out_extent(input_shape[3])};
+}
+
+void ProposedQuadConv2d::forward_into(const ConstTensorView& input,
+                                      const TensorView& output, Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input.dim(1), geometry_.in_channels, name_ << ": channels");
+  const index_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const index_t oh = geometry_.out_extent(h), ow = geometry_.out_extent(w);
+  const index_t patch = geometry_.patch_size();
+  const index_t n_cols = oh * ow;
+  const index_t fr = filters_ * rank_;
+  QDNN_CHECK(output.rank() == 4 && output.dim(0) == n &&
+                 output.dim(1) == out_channels() && output.dim(2) == oh &&
+                 output.dim(3) == ow,
+             name_ << ": bad output view " << output.shape());
+
+  float* cols = ws.alloc(patch * n_cols);
+  float* lin = ws.alloc(filters_ * n_cols);
+  float* f_s = ws.alloc(fr * n_cols);
+  for (index_t s = 0; s < n; ++s) {
+    nn::im2col(input.data() + s * geometry_.in_channels * h * w, h, w,
+               geometry_, cols);
+    linalg::gemm(false, false, filters_, n_cols, patch, 1.0f,
+                 w_.value.data(), patch, cols, n_cols, 0.0f, lin, n_cols,
+                 nullptr);
+    linalg::gemm(false, false, fr, n_cols, patch, 1.0f, q_.value.data(),
+                 patch, cols, n_cols, 0.0f, f_s, n_cols, nullptr);
+
+    assemble_proposed_conv_sample(
+        lin, f_s, lambda_.value.data(), b_.value.data(), filters_, rank_,
+        n_cols, emit_features_,
+        output.data() + s * out_channels() * n_cols);
+  }
 }
 
 Tensor ProposedQuadConv2d::backward(const Tensor& grad_output) {
@@ -195,6 +255,15 @@ FactoredQuadConv2d::FactoredQuadConv2d(index_t in_channels,
   }
   c_ = nn::Parameter(name_ + ".c", Tensor{Shape{filters_}});
   c_.decay = false;
+}
+
+Shape FactoredQuadConv2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input_shape[1], geometry_.in_channels,
+                name_ << ": channels");
+  return Shape{input_shape[0], filters_,
+               geometry_.out_extent(input_shape[2]),
+               geometry_.out_extent(input_shape[3])};
 }
 
 Tensor FactoredQuadConv2d::forward(const Tensor& input) {
@@ -366,6 +435,15 @@ LowRankQuadConv2d::LowRankQuadConv2d(index_t in_channels,
   b_.decay = false;
 }
 
+Shape LowRankQuadConv2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input_shape[1], geometry_.in_channels,
+                name_ << ": channels");
+  return Shape{input_shape[0], filters_,
+               geometry_.out_extent(input_shape[2]),
+               geometry_.out_extent(input_shape[3])};
+}
+
 Tensor LowRankQuadConv2d::forward(const Tensor& input) {
   QDNN_CHECK_EQ(input.rank(), 4, name_ << ": expected [N,C,H,W]");
   QDNN_CHECK_EQ(input.dim(1), geometry_.in_channels, name_ << ": channels");
@@ -491,6 +569,15 @@ GeneralQuadConv2d::GeneralQuadConv2d(index_t in_channels,
     nn::kaiming_normal(w_.value, patch, rng);
     b_.decay = false;
   }
+}
+
+Shape GeneralQuadConv2d::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+  QDNN_CHECK_EQ(input_shape[1], geometry_.in_channels,
+                name_ << ": channels");
+  return Shape{input_shape[0], filters_,
+               geometry_.out_extent(input_shape[2]),
+               geometry_.out_extent(input_shape[3])};
 }
 
 Tensor GeneralQuadConv2d::forward(const Tensor& input) {

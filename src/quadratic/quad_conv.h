@@ -36,6 +36,14 @@ class ProposedQuadConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2: im2col patches, linear responses and fᵏ all live in the
+  // workspace — the serving path of the paper's Fig. 3 deployment.
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -77,6 +85,7 @@ class FactoredQuadConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -110,6 +119,7 @@ class LowRankQuadConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -141,6 +151,7 @@ class GeneralQuadConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

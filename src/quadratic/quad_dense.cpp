@@ -8,6 +8,38 @@
 
 namespace qdnn::quadratic {
 
+namespace {
+
+// Output assembly shared by ProposedQuadraticDense::forward and
+// ::forward_into — one definition so the training and serving paths can
+// never drift.  Writes the per-unit interleave [y_u, f_u1..f_uk] (or just
+// y_u in sum-only mode) from the linear responses `lin` [n, units] and
+// intermediate features `f` [n, units*rank].
+void assemble_proposed_dense(const float* lin, const float* f,
+                             const float* lambda, const float* bias,
+                             index_t n, index_t units, index_t rank,
+                             bool emit_features, float* out) {
+  const index_t uk = units * rank;
+  const index_t per = emit_features ? rank + 1 : 1;
+  const index_t out_w = units * per;
+  for (index_t s = 0; s < n; ++s) {
+    const float* f_row = f + s * uk;
+    float* o_row = out + s * out_w;
+    for (index_t u = 0; u < units; ++u) {
+      const float* f_u = f_row + u * rank;
+      const float* lam = lambda + u * rank;
+      float y2 = 0.0f;
+      for (index_t i = 0; i < rank; ++i) y2 += lam[i] * f_u[i] * f_u[i];
+      float* o_u = o_row + u * per;
+      o_u[0] = lin[s * units + u] + bias[u] + y2;
+      if (emit_features)
+        for (index_t i = 0; i < rank; ++i) o_u[1 + i] = f_u[i];
+    }
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ProposedQuadraticDense
 // ---------------------------------------------------------------------------
@@ -57,24 +89,45 @@ Tensor ProposedQuadraticDense::forward(const Tensor& input) {
   linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
                q_.value.data(), in_, 0.0f, cached_f_.data(), uk);
 
-  const index_t out_w = out_features();
-  const index_t per = emit_features_ ? rank_ + 1 : 1;
-  Tensor out{Shape{n, out_w}};
-  for (index_t s = 0; s < n; ++s) {
-    const float* f_row = cached_f_.data() + s * uk;
-    float* o_row = out.data() + s * out_w;
-    for (index_t u = 0; u < units_; ++u) {
-      const float* f_u = f_row + u * rank_;
-      const float* lam = lambda_.value.data() + u * rank_;
-      float y2 = 0.0f;
-      for (index_t i = 0; i < rank_; ++i) y2 += lam[i] * f_u[i] * f_u[i];
-      float* o_u = o_row + u * per;
-      o_u[0] = lin.at(s, u) + b_.value[u] + y2;
-      if (emit_features_)
-        for (index_t i = 0; i < rank_; ++i) o_u[1 + i] = f_u[i];
-    }
-  }
+  Tensor out{Shape{n, out_features()}};
+  assemble_proposed_dense(lin.data(), cached_f_.data(),
+                          lambda_.value.data(), b_.value.data(), n, units_,
+                          rank_, emit_features_, out.data());
   return out;
+}
+
+Shape ProposedQuadraticDense::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input_shape[1], in_, name_ << ": in_features");
+  return Shape{input_shape[0], out_features()};
+}
+
+void ProposedQuadraticDense::forward_into(const ConstTensorView& input,
+                                          const TensorView& output, Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_, name_ << ": in_features");
+  const index_t n = input.dim(0);
+  const index_t uk = units_ * rank_;
+  const index_t out_w = out_features();
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
+                 output.dim(1) == out_w,
+             name_ << ": bad output view " << output.shape());
+
+  // Same two GEMMs as forward(), with scratch (pack + intermediates)
+  // drawn from the workspace instead of fresh tensors.
+  float* lin = ws.alloc(n * units_);
+  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+               w_.value.data(), in_, 0.0f, lin, units_,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
+                                                    in_)));
+  float* f = ws.alloc(n * uk);
+  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+               q_.value.data(), in_, 0.0f, f, uk,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                    in_)));
+
+  assemble_proposed_dense(lin, f, lambda_.value.data(), b_.value.data(), n,
+                          units_, rank_, emit_features_, output.data());
 }
 
 Tensor ProposedQuadraticDense::backward(const Tensor& grad_output) {
@@ -177,6 +230,34 @@ Tensor GeneralQuadraticDense::forward(const Tensor& input) {
   return out;
 }
 
+Shape GeneralQuadraticDense::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input_shape[1], in_, name_ << ": in_features");
+  return Shape{input_shape[0], units_};
+}
+
+void GeneralQuadraticDense::forward_into(const ConstTensorView& input,
+                                         const TensorView& output, Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_, name_ << ": in_features");
+  const index_t n = input.dim(0);
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
+                 output.dim(1) == units_,
+             name_ << ": bad output view " << output.shape());
+  float* mx = ws.alloc(in_);
+  for (index_t s = 0; s < n; ++s) {
+    const float* x = input.data() + s * in_;
+    for (index_t u = 0; u < units_; ++u) {
+      const float* m_u = m_.value.data() + u * in_ * in_;
+      linalg::gemv(false, in_, in_, 1.0f, m_u, in_, x, 0.0f, mx);
+      float y = linalg::dot(x, mx, in_);
+      if (include_linear_)
+        y += linalg::dot(w_.value.data() + u * in_, x, in_) + b_.value[u];
+      output.at(s, u) = y;
+    }
+  }
+}
+
 Tensor GeneralQuadraticDense::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
   const index_t n = cached_input_.dim(0);
@@ -269,6 +350,44 @@ Tensor LowRankQuadraticDense::forward(const Tensor& input) {
       out.at(s, u) += linalg::dot(a, c, rank_) + b_.value[u];
     }
   return out;
+}
+
+Shape LowRankQuadraticDense::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input_shape[1], in_, name_ << ": in_features");
+  return Shape{input_shape[0], units_};
+}
+
+void LowRankQuadraticDense::forward_into(const ConstTensorView& input,
+                                         const TensorView& output, Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_, name_ << ": in_features");
+  const index_t n = input.dim(0);
+  const index_t uk = units_ * rank_;
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
+                 output.dim(1) == units_,
+             name_ << ": bad output view " << output.shape());
+
+  float* a = ws.alloc(n * uk);
+  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+               q1_.value.data(), in_, 0.0f, a, uk,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                    in_)));
+  float* c = ws.alloc(n * uk);
+  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+               q2_.value.data(), in_, 0.0f, c, uk,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                    in_)));
+  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+               w_.value.data(), in_, 0.0f, output.data(), units_,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
+                                                    in_)));
+  for (index_t s = 0; s < n; ++s)
+    for (index_t u = 0; u < units_; ++u) {
+      const float* a_u = a + s * uk + u * rank_;
+      const float* c_u = c + s * uk + u * rank_;
+      output.at(s, u) += linalg::dot(a_u, c_u, rank_) + b_.value[u];
+    }
 }
 
 Tensor LowRankQuadraticDense::backward(const Tensor& grad_output) {
@@ -393,6 +512,64 @@ Tensor FactoredQuadraticDense::forward(const Tensor& input) {
       out.at(s, u) = y;
     }
   return out;
+}
+
+Shape FactoredQuadraticDense::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input_shape[1], in_, name_ << ": in_features");
+  return Shape{input_shape[0], units_};
+}
+
+void FactoredQuadraticDense::forward_into(const ConstTensorView& input,
+                                          const TensorView& output, Workspace& ws) {
+  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
+  QDNN_CHECK_EQ(input.dim(1), in_, name_ << ": in_features");
+  const index_t n = input.dim(0);
+  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
+                 output.dim(1) == units_,
+             name_ << ": bad output view " << output.shape());
+
+  float* a = ws.alloc(n * units_);
+  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+               w1_.value.data(), in_, 0.0f, a, units_,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
+                                                    in_)));
+  float* b = ws.alloc(n * units_);
+  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+               w2_.value.data(), in_, 0.0f, b, units_,
+               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
+                                                    in_)));
+  if (has_inner_bias()) {
+    for (index_t s = 0; s < n; ++s)
+      for (index_t u = 0; u < units_; ++u) {
+        a[s * units_ + u] += b1_.value[u];
+        b[s * units_ + u] += b2_.value[u];
+      }
+  }
+
+  if (has_w3()) {
+    const float* w3_in = input.data();
+    if (squares_input()) {
+      // w₃ᵀ(x ⊙ x)
+      float* x2 = ws.alloc(n * in_);
+      for (index_t i = 0; i < n * in_; ++i)
+        x2[i] = input.data()[i] * input.data()[i];
+      w3_in = x2;
+    }
+    linalg::gemm(false, true, n, units_, in_, 1.0f, w3_in, in_,
+                 w3_.value.data(), in_, 0.0f, output.data(), units_,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                      units_, in_)));
+  } else {
+    output.zero();
+  }
+  for (index_t s = 0; s < n; ++s)
+    for (index_t u = 0; u < units_; ++u) {
+      const float av = a[s * units_ + u], bv = b[s * units_ + u];
+      float y = output.at(s, u) + av * bv + c_.value[u];
+      if (mode_ == NeuronKind::kBuKarpatne) y += av;
+      output.at(s, u) = y;
+    }
 }
 
 Tensor FactoredQuadraticDense::backward(const Tensor& grad_output) {

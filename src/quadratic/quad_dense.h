@@ -32,6 +32,13 @@ class ProposedQuadraticDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  // v2: both GEMMs and the {y, fᵏ} interleave run on borrowed memory.
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -74,6 +81,12 @@ class GeneralQuadraticDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -105,6 +118,12 @@ class LowRankQuadraticDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -135,6 +154,12 @@ class FactoredQuadraticDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

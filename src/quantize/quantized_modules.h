@@ -37,6 +37,10 @@ class QuantizedLinear : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+    return Shape{input_shape[0], out_};
+  }
   std::vector<nn::Parameter*> parameters() override { return {}; }
   std::string name() const override { return name_; }
 
@@ -61,6 +65,10 @@ class QuantizedProposedDense : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
+    return Shape{input_shape[0], out_features()};
+  }
   std::vector<nn::Parameter*> parameters() override { return {}; }
   std::string name() const override { return name_; }
 
@@ -91,6 +99,12 @@ class QuantizedConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+    return Shape{input_shape[0], out_channels_,
+                 geometry_.out_extent(input_shape[2]),
+                 geometry_.out_extent(input_shape[3])};
+  }
   std::vector<nn::Parameter*> parameters() override { return {}; }
   std::string name() const override { return name_; }
 
@@ -116,6 +130,12 @@ class QuantizedProposedConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override {
+    QDNN_CHECK_EQ(input_shape.rank(), 4, name_ << ": expected [N,C,H,W]");
+    return Shape{input_shape[0], out_channels(),
+                 geometry_.out_extent(input_shape[2]),
+                 geometry_.out_extent(input_shape[3])};
+  }
   std::vector<nn::Parameter*> parameters() override { return {}; }
   std::string name() const override { return name_; }
 

@@ -1,0 +1,301 @@
+#include "runtime/inference_session.h"
+
+#include <algorithm>
+
+#include "nn/sequential.h"
+
+namespace qdnn::runtime {
+
+InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
+    : model_(std::move(model)), config_(std::move(config)) {
+  QDNN_CHECK(model_ != nullptr, "InferenceSession: null model");
+  QDNN_CHECK(config_.max_batch > 0,
+             "InferenceSession: max_batch must be positive");
+  model_->set_training(false);
+
+  // Flatten a top-level Sequential so each layer becomes a stage with its
+  // own prebuilt views; any other module runs as a single stage.
+  if (auto* seq = dynamic_cast<nn::Sequential*>(model_.get());
+      seq != nullptr && seq->size() > 0) {
+    for (index_t i = 0; i < seq->size(); ++i)
+      stages_.push_back(&seq->child(i));
+  } else {
+    stages_.push_back(model_.get());
+  }
+  sample_numel_ = config_.sample_shape.numel();
+  QDNN_CHECK(sample_numel_ > 0, "InferenceSession: empty sample_shape");
+
+  // Walk the shape pipeline once at max_batch: validates every stage's
+  // output_shape and records per-sample boundary sizes.
+  Shape cur = batch_shape(config_.max_batch);
+  index_t max_inter_sample = 0;  // widest per-sample boundary before last
+  for (nn::Module* stage : stages_) {
+    cur = stage->output_shape(cur);
+    QDNN_CHECK(cur.rank() >= 1 && cur[0] == config_.max_batch,
+               stage->name()
+                   << ": stage output " << cur
+                   << " does not keep the batch as leading dimension");
+    stage_sample_numel_.push_back(cur.numel() / config_.max_batch);
+  }
+  for (std::size_t i = 0; i + 1 < stage_sample_numel_.size(); ++i)
+    max_inter_sample = std::max(max_inter_sample, stage_sample_numel_[i]);
+  output_buffer_ =
+      Tensor{Shape{config_.max_batch * stage_sample_numel_.back()}};
+
+  index_t threads = std::max<index_t>(1, config_.num_threads);
+  threads = std::min(threads, config_.max_batch);
+  // Sharding runs stages concurrently on disjoint batch rows.  That is
+  // only sound for native forward_into implementations; the legacy
+  // adapter calls forward(), which mutates per-module caches shared by
+  // all shards — a data race.  Reject rather than corrupt.
+  QDNN_CHECK(threads == 1 || fully_native(),
+             "InferenceSession: num_threads > 1 requires every stage to "
+             "support forward_into (a legacy-adapted stage is not "
+             "thread-safe); run this model with num_threads = 1");
+  shards_.resize(static_cast<std::size_t>(threads));
+
+  // Private ping-pong intermediates, sized for the largest row count a
+  // shard can receive (even split of max_batch) times the widest
+  // internal boundary.  Shards run stage pipelines without a barrier,
+  // so intermediates must never be shared across shards.
+  const index_t shard_rows_cap = (config_.max_batch + threads - 1) / threads;
+  const index_t shard_floats = shard_rows_cap * max_inter_sample;
+  if (stages_.size() > 1) {
+    for (Shard& shard : shards_) {
+      shard.buffers[0] = Tensor{Shape{shard_floats}};
+      shard.buffers[1] = Tensor{Shape{shard_floats}};
+    }
+  }
+
+  // Validate the view plan before spawning workers so constructor errors
+  // cannot leave threads behind.
+  bind(config_.max_batch);
+
+  for (index_t r = 1; r < threads; ++r)
+    workers_.emplace_back([this, r] { worker_loop(static_cast<int>(r)); });
+
+  if (config_.warmup) {
+    try {
+      // One dummy pass grows each shard's workspace to its watermark;
+      // consolidation then leaves a single contiguous block so real
+      // requests never allocate.
+      Tensor dummy{batch_shape(config_.max_batch)};
+      run_impl(dummy.data(), config_.max_batch);
+      for (Shard& shard : shards_) {
+        shard.ws.reset();
+        shard.ws.consolidate();
+      }
+    } catch (...) {
+      shutdown_workers();
+      throw;
+    }
+  }
+}
+
+InferenceSession::~InferenceSession() { shutdown_workers(); }
+
+void InferenceSession::worker_loop(int shard_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const float* input = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      input = job_input_;
+    }
+    try {
+      run_shard(shards_[static_cast<std::size_t>(shard_index)], input);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void InferenceSession::shutdown_workers() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+Shape InferenceSession::batch_shape(index_t n) const {
+  std::vector<index_t> dims;
+  dims.reserve(static_cast<std::size_t>(config_.sample_shape.rank()) + 1);
+  dims.push_back(n);
+  for (index_t d : config_.sample_shape.dims()) dims.push_back(d);
+  return Shape(std::move(dims));
+}
+
+Shape InferenceSession::output_shape(index_t batch_size) const {
+  Shape cur = batch_shape(batch_size);
+  for (const nn::Module* stage : stages_) cur = stage->output_shape(cur);
+  return cur;
+}
+
+bool InferenceSession::fully_native() const {
+  for (const nn::Module* stage : stages_)
+    if (!stage->supports_forward_into()) return false;
+  return true;
+}
+
+index_t InferenceSession::activation_floats() const {
+  index_t total = output_buffer_.numel();
+  for (const Shard& shard : shards_)
+    total += shard.buffers[0].numel() + shard.buffers[1].numel();
+  return total;
+}
+
+index_t InferenceSession::workspace_floats() const {
+  index_t total = 0;
+  for (const Shard& shard : shards_) total += shard.ws.capacity();
+  return total;
+}
+
+void InferenceSession::bind(index_t n) {
+  // Full boundary shapes for this batch size.
+  std::vector<Shape> stage_shapes;
+  stage_shapes.reserve(stages_.size());
+  Shape cur = batch_shape(n);
+  for (nn::Module* stage : stages_) {
+    cur = stage->output_shape(cur);
+    QDNN_CHECK(cur.rank() >= 1 && cur[0] == n,
+               stage->name() << ": stage output " << cur
+                             << " does not keep the batch dimension");
+    stage_shapes.push_back(cur);
+  }
+
+  // Rows are split as evenly as possible; shard r of T gets one of the
+  // n % T remainder rows when r < n % T.
+  const auto t = static_cast<index_t>(shards_.size());
+  const index_t base = n / t, rem = n % t;
+  index_t row = 0;
+  for (index_t r = 0; r < t; ++r) {
+    Shard& shard = shards_[static_cast<std::size_t>(r)];
+    shard.row_begin = row;
+    shard.rows = base + (r < rem ? 1 : 0);
+    row += shard.rows;
+    shard.in_views.clear();
+    shard.out_views.clear();
+    shard.in_views.reserve(stages_.size());
+    shard.out_views.reserve(stages_.size());
+
+    // Stage-0 input: shape [rows, sample...]; the data pointer is bound
+    // to the caller's batch at every run (rebind — no Shape copies on the
+    // hot path).
+    std::vector<index_t> dims{shard.rows};
+    for (index_t d : config_.sample_shape.dims()) dims.push_back(d);
+    shard.in_views.emplace_back(Shape(std::move(dims)),
+                                output_buffer_.data());
+
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      std::vector<index_t> sdims = stage_shapes[i].dims();
+      sdims[0] = shard.rows;
+      // Intermediates alternate between the shard's private buffers;
+      // only the final stage writes the shared output buffer, at this
+      // shard's row slice (disjoint across shards for one stage).
+      float* out_data =
+          i + 1 == stages_.size()
+              ? output_buffer_.data() +
+                    shard.row_begin * stage_sample_numel_[i]
+              : shard.buffers[i % 2].data();
+      shard.out_views.emplace_back(Shape(std::move(sdims)), out_data);
+      if (i + 1 < stages_.size())
+        shard.in_views.emplace_back(shard.out_views.back());
+    }
+  }
+
+  output_view_ = ConstTensorView(stage_shapes.back(),
+                                 output_buffer_.data());
+  bound_n_ = n;
+}
+
+void InferenceSession::check_input_shape(const Shape& shape) const {
+  QDNN_CHECK(shape.rank() == config_.sample_shape.rank() + 1,
+             "InferenceSession: batch rank " << shape.rank()
+                                             << " != 1 + sample rank");
+  for (index_t i = 0; i < config_.sample_shape.rank(); ++i)
+    QDNN_CHECK(shape[i + 1] == config_.sample_shape[i],
+               "InferenceSession: batch dim " << i + 1 << " is "
+                                              << shape[i + 1] << ", expected "
+                                              << config_.sample_shape[i]);
+  QDNN_CHECK(shape[0] >= 1 && shape[0] <= config_.max_batch,
+             "InferenceSession: batch size " << shape[0]
+                                             << " outside [1, "
+                                             << config_.max_batch << "]");
+}
+
+const ConstTensorView& InferenceSession::run(const Tensor& batch) {
+  check_input_shape(batch.shape());
+  return run_impl(batch.data(), batch.dim(0));
+}
+
+const ConstTensorView& InferenceSession::run(const ConstTensorView& batch) {
+  check_input_shape(batch.shape());
+  return run_impl(batch.data(), batch.dim(0));
+}
+
+const ConstTensorView& InferenceSession::run_impl(const float* data,
+                                                  index_t n) {
+  // The view run() returns aliases output_buffer_; feeding it straight
+  // back in would make stage 0 read the bytes it is overwriting (and
+  // race across shards).  Reject instead of silently corrupting.
+  const float* out_begin = output_buffer_.data();
+  const float* out_end = out_begin + output_buffer_.numel();
+  QDNN_CHECK(data + n * sample_numel_ <= out_begin || data >= out_end,
+             "InferenceSession: input batch aliases the session's output "
+             "buffer — copy the previous result (to_tensor()) before "
+             "feeding it back");
+  if (n != bound_n_) bind(n);
+  if (workers_.empty()) {
+    run_shard(shards_[0], data);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_input_ = data;
+      pending_ = static_cast<int>(workers_.size());
+      ++job_id_;
+    }
+    work_cv_.notify_all();
+    // Whatever happens on the main shard, the workers must drain before
+    // this frame unwinds: they hold the caller's batch pointer and the
+    // shared pending_/job bookkeeping.
+    std::exception_ptr main_error;
+    try {
+      run_shard(shards_[0], data);
+    } catch (...) {
+      main_error = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return pending_ == 0; });
+    std::exception_ptr worker_error = job_error_;
+    job_error_ = nullptr;
+    lk.unlock();
+    if (main_error) std::rethrow_exception(main_error);
+    if (worker_error) std::rethrow_exception(worker_error);
+  }
+  return output_view_;
+}
+
+void InferenceSession::run_shard(Shard& shard, const float* input) const {
+  if (shard.rows == 0) return;
+  shard.in_views[0].rebind(input + shard.row_begin * sample_numel_);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    // Scratch lives only within a stage; rewinding here caps the
+    // workspace at the per-stage maximum instead of the pipeline sum.
+    shard.ws.reset();
+    stages_[i]->forward_into(shard.in_views[i], shard.out_views[i],
+                             shard.ws);
+  }
+}
+
+}  // namespace qdnn::runtime

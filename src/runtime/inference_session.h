@@ -1,0 +1,136 @@
+// InferenceSession: the serving facade over a trained model.
+//
+// A session takes ownership of a built Module, switches it to eval mode,
+// and prepares everything a hot serving loop needs exactly once:
+//
+//   * a top-level Sequential is flattened into per-layer stages (any other
+//     Module runs as a single stage through its forward_into, native or
+//     legacy-adapted);
+//   * per-stage output shapes are precomputed via Module::output_shape;
+//   * each shard owns two private ping-pong activation buffers for its
+//     intermediate stage boundaries (shards run the pipeline without a
+//     stage barrier, so intermediates must not be shared), while every
+//     final-stage output lands in one shared output buffer at the
+//     shard's disjoint row slice;
+//   * each shard owns a Workspace whose watermark is discovered by a
+//     warm-up pass and then consolidated into one contiguous block.
+//
+// After warm-up, run() on a fixed batch size performs ZERO heap
+// allocations through every stage with a native forward_into (asserted by
+// tests/runtime/session_test.cpp with a counting global allocator).
+// Changing the batch size re-binds the internal views (a handful of small
+// allocations), then the new size is again allocation-free.
+//
+// num_threads > 1 shards the batch rows across a small persistent thread
+// pool.  This requires every stage to have a native forward_into (the
+// legacy adapter mutates per-module caches shared by all shards, so the
+// constructor rejects sharded sessions over unmigrated modules) and
+// relies on stages being per-sample independent at inference, which
+// holds for all qdnn layers in eval mode (BatchNorm uses running stats).
+// Results are bit-identical to the single-threaded path.
+//
+// Thread-safety: run() is synchronous and not reentrant; drive one
+// session per serving thread or serialize callers.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/workspace.h"
+#include "nn/module.h"
+
+namespace qdnn::runtime {
+
+struct SessionConfig {
+  // Per-sample input shape, without the batch dimension — e.g. {in} for
+  // dense models, {C, H, W} for image models.
+  Shape sample_shape;
+  // Largest batch run() will be asked to serve (activation buffers are
+  // sized for it).
+  index_t max_batch = 1;
+  // 1 runs inline; >1 shards batch rows across a persistent pool.
+  int num_threads = 1;
+  // Run one dummy pass at construction so the workspace watermark is
+  // discovered (and consolidated) before the first real request.
+  bool warmup = true;
+};
+
+class InferenceSession {
+ public:
+  InferenceSession(nn::ModulePtr model, SessionConfig config);
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  // Serves one batch [n, sample_shape...], n in [1, max_batch].  The
+  // returned view aliases an internal activation buffer and is valid
+  // until the next run() call (copy it out with to_tensor() to keep it).
+  // Views pass and return by reference so the steady-state path never
+  // copies a Shape.
+  const ConstTensorView& run(const Tensor& batch);
+  const ConstTensorView& run(const ConstTensorView& batch);
+
+  // Logits shape for a given batch size.
+  Shape output_shape(index_t batch_size) const;
+
+  index_t max_batch() const { return config_.max_batch; }
+  int num_threads() const { return static_cast<int>(shards_.size()); }
+  index_t num_stages() const { return static_cast<index_t>(stages_.size()); }
+  // True when every stage has a native (allocation-free) forward_into.
+  bool fully_native() const;
+  // Footprint introspection, in floats.
+  index_t activation_floats() const;
+  index_t workspace_floats() const;
+
+  const nn::Module& model() const { return *model_; }
+
+ private:
+  // One contiguous row-range of the batch, processed end-to-end by one
+  // thread.  Intermediate boundaries live in the shard's private
+  // ping-pong buffers (shards are not stage-synchronized, so sharing
+  // them would race); only the final stage writes the shared output
+  // buffer, at this shard's disjoint row slice.  The stage-0 input view
+  // is re-pointed at the caller's data every run.
+  struct Shard {
+    index_t row_begin = 0;
+    index_t rows = 0;
+    Tensor buffers[2];                       // private intermediates
+    std::vector<ConstTensorView> in_views;   // per stage
+    std::vector<TensorView> out_views;       // per stage
+    Workspace ws;
+  };
+
+  void bind(index_t n);
+  void run_shard(Shard& shard, const float* input) const;
+  const ConstTensorView& run_impl(const float* data, index_t n);
+  void check_input_shape(const Shape& shape) const;
+  Shape batch_shape(index_t n) const;
+  void worker_loop(int shard_index);
+  void shutdown_workers();
+
+  nn::ModulePtr model_;
+  SessionConfig config_;
+  std::vector<nn::Module*> stages_;
+  index_t sample_numel_ = 0;
+  // Per-sample numel at each stage output — constant across batch sizes.
+  std::vector<index_t> stage_sample_numel_;
+  Tensor output_buffer_;  // [max_batch · last-stage width], shared
+  std::vector<Shard> shards_;
+  ConstTensorView output_view_;
+  index_t bound_n_ = 0;
+
+  // Persistent worker pool (empty when num_threads == 1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_, done_cv_;
+  std::uint64_t job_id_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  const float* job_input_ = nullptr;
+  std::exception_ptr job_error_;
+};
+
+}  // namespace qdnn::runtime

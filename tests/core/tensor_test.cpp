@@ -140,6 +140,26 @@ TEST(Tensor, OutOfPlaceOperators) {
   EXPECT_FLOAT_EQ((a * 3.0f)[1], 6.0f);
 }
 
+#if QDNN_DCHECK_ENABLED
+TEST(Tensor, AccessorRankChecks) {
+  Tensor t2{Shape{2, 3}};
+  EXPECT_THROW(t2.at(0, 0, 0), std::runtime_error);     // rank 3 on rank 2
+  EXPECT_THROW(t2.at(0, 0, 0, 0), std::runtime_error);  // rank 4 on rank 2
+  Tensor t3{Shape{2, 3, 4}};
+  EXPECT_THROW(t3.at(0, 0), std::runtime_error);        // rank 2 on rank 3
+}
+
+TEST(Tensor, AccessorBoundsChecks) {
+  Tensor t{Shape{2, 3}};
+  EXPECT_THROW(t.at(2, 0), std::runtime_error);
+  EXPECT_THROW(t.at(0, 3), std::runtime_error);
+  EXPECT_THROW(t.at(-1, 0), std::runtime_error);
+  Tensor t4{Shape{2, 2, 2, 2}};
+  EXPECT_THROW(t4.at(0, 0, 0, 2), std::runtime_error);
+  EXPECT_NO_THROW(t4.at(1, 1, 1, 1));
+}
+#endif
+
 TEST(Tensor, ScalarFactory) {
   const Tensor s = Tensor::scalar(42.0f);
   EXPECT_EQ(s.rank(), 0);

@@ -1,0 +1,127 @@
+#include "core/tensor_view.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workspace.h"
+
+namespace qdnn {
+namespace {
+
+TEST(TensorView, ReadsAndWritesThroughToTensor) {
+  Tensor t{Shape{2, 3}};
+  TensorView v = t;
+  EXPECT_EQ(v.shape(), t.shape());
+  EXPECT_EQ(v.data(), t.data());
+  v.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+  v[0] = -1.0f;
+  EXPECT_FLOAT_EQ(t[0], -1.0f);
+}
+
+TEST(TensorView, ConstViewFromTensorAndView) {
+  Tensor t{Shape{4}, std::vector<float>{1, 2, 3, 4}};
+  ConstTensorView c = t;
+  EXPECT_FLOAT_EQ(c[3], 4.0f);
+  TensorView v = t;
+  ConstTensorView c2 = v;
+  EXPECT_EQ(c2.data(), t.data());
+  EXPECT_EQ(c2.shape(), t.shape());
+}
+
+TEST(TensorView, ToTensorCopies) {
+  Tensor t{Shape{3}, std::vector<float>{1, 2, 3}};
+  ConstTensorView c = t;
+  Tensor copy = c.to_tensor();
+  copy[0] = 99.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+  EXPECT_FLOAT_EQ(copy[1], 2.0f);
+}
+
+TEST(TensorView, RebindRepointsData) {
+  Tensor a{Shape{2}, std::vector<float>{1, 2}};
+  Tensor b{Shape{2}, std::vector<float>{3, 4}};
+  ConstTensorView v = a;
+  v.rebind(b.data());
+  EXPECT_FLOAT_EQ(v[0], 3.0f);
+  EXPECT_EQ(v.shape(), Shape({2}));
+}
+
+TEST(TensorView, CopyIntoChecksShape) {
+  Tensor a{Shape{2, 2}, std::vector<float>{1, 2, 3, 4}};
+  Tensor b{Shape{2, 2}};
+  copy_into(ConstTensorView(a), TensorView(b));
+  EXPECT_FLOAT_EQ(b.at(1, 1), 4.0f);
+  Tensor c{Shape{3}};
+  EXPECT_THROW(copy_into(ConstTensorView(a), TensorView(c)),
+               std::runtime_error);
+}
+
+#if QDNN_DCHECK_ENABLED
+TEST(TensorView, DebugChecksCatchBadIndexing) {
+  Tensor t{Shape{2, 3}};
+  TensorView v = t;
+  EXPECT_THROW(v.at(2, 0), std::runtime_error);     // row out of bounds
+  EXPECT_THROW(v.at(0, 0, 0), std::runtime_error);  // wrong rank
+  ConstTensorView c = t;
+  EXPECT_THROW(c.at(0, 3), std::runtime_error);
+}
+#endif
+
+TEST(Workspace, BumpAllocAndResetReusesMemory) {
+  Workspace ws;
+  float* a = ws.alloc(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(ws.in_use(), 100);
+  ws.reset();
+  EXPECT_EQ(ws.in_use(), 0);
+  float* b = ws.alloc(50);
+  EXPECT_EQ(a, b);  // same block, rewound
+  EXPECT_EQ(ws.watermark(), 100);
+}
+
+TEST(Workspace, GrowthChainingKeepsEarlierPointersValid) {
+  Workspace ws(16);
+  float* a = ws.alloc(16);
+  a[0] = 42.0f;
+  float* b = ws.alloc(100000);  // forces a new block
+  ASSERT_NE(b, nullptr);
+  b[99999] = 1.0f;
+  EXPECT_FLOAT_EQ(a[0], 42.0f);  // old block untouched
+  EXPECT_GE(ws.capacity(), 16 + 100000);
+}
+
+TEST(Workspace, ConsolidateStopsGrowth) {
+  Workspace ws;
+  // Discovery pass with a growth-hostile pattern.
+  ws.alloc(10);
+  ws.alloc(2000);
+  ws.alloc(5000);
+  ws.reset();
+  ws.consolidate();
+  const int grown = ws.grow_count();
+  for (int pass = 0; pass < 10; ++pass) {
+    ws.reset();
+    ws.alloc(10);
+    ws.alloc(2000);
+    ws.alloc(5000);
+  }
+  EXPECT_EQ(ws.grow_count(), grown);  // steady state: no new blocks
+}
+
+TEST(Workspace, TakeReturnsShapedView) {
+  Workspace ws;
+  TensorView v = ws.take(Shape{3, 4});
+  EXPECT_EQ(v.shape(), Shape({3, 4}));
+  v.fill(2.0f);
+  EXPECT_FLOAT_EQ(v.at(2, 3), 2.0f);
+  EXPECT_EQ(ws.in_use(), 12);
+}
+
+TEST(Workspace, ZeroSizedAllocIsFine) {
+  Workspace ws;
+  EXPECT_EQ(ws.alloc(0), nullptr);
+  EXPECT_EQ(ws.in_use(), 0);
+}
+
+}  // namespace
+}  // namespace qdnn

@@ -112,6 +112,84 @@ TEST(Gemm, ShapeMismatchThrows) {
   EXPECT_THROW(matmul(a, b), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate and parameter edge cases: k == 0 must act as a pure C-scale
+// for every beta, and alpha/beta semantics must hold under all four
+// transpose combinations.
+// ---------------------------------------------------------------------------
+
+TEST(Gemm, KZeroScalesCByBeta) {
+  for (float beta : {0.0f, 1.0f, 0.5f}) {
+    Tensor c{Shape{2, 3}, 4.0f};
+    // a/b pointers are irrelevant at k == 0 — they must not be read.
+    gemm(false, false, 2, 3, 0, 1.0f, nullptr, 1, nullptr, 3, beta,
+         c.data(), 3);
+    for (index_t i = 0; i < c.numel(); ++i)
+      EXPECT_FLOAT_EQ(c[i], 4.0f * beta) << "beta=" << beta;
+  }
+}
+
+TEST(Gemm, KZeroWithBetaZeroClearsNaNs) {
+  Tensor c{Shape{2, 2}, std::numeric_limits<float>::quiet_NaN()};
+  gemm(true, true, 2, 2, 0, 1.0f, nullptr, 2, nullptr, 2, 0.0f, c.data(),
+       2);
+  for (index_t i = 0; i < c.numel(); ++i) EXPECT_FLOAT_EQ(c[i], 0.0f);
+}
+
+class GemmTransposeCombos
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTransposeCombos, AlphaBetaAgainstNaive) {
+  const auto [trans_a, trans_b] = GetParam();
+  const index_t m = 4, n = 5, k = 3;
+  // Stored layouts: op(A) is [m,k], op(B) is [k,n].
+  const Tensor a = trans_a ? random_matrix(k, m, 31) : random_matrix(m, k, 31);
+  const Tensor b = trans_b ? random_matrix(n, k, 32) : random_matrix(k, n, 32);
+  Tensor at{Shape{m, k}}, bt{Shape{k, n}};
+  for (index_t i = 0; i < m; ++i)
+    for (index_t p = 0; p < k; ++p)
+      at.at(i, p) = trans_a ? a.at(p, i) : a.at(i, p);
+  for (index_t p = 0; p < k; ++p)
+    for (index_t j = 0; j < n; ++j)
+      bt.at(p, j) = trans_b ? b.at(j, p) : b.at(p, j);
+  const Tensor ref = naive_matmul(at, bt);
+
+  for (float beta : {0.0f, 1.0f, 0.5f}) {
+    Tensor c{Shape{m, n}, 2.0f};
+    gemm(trans_a, trans_b, m, n, k, 1.5f, a.data(), a.dim(1), b.data(),
+         b.dim(1), beta, c.data(), n);
+    for (index_t i = 0; i < c.numel(); ++i)
+      EXPECT_NEAR(c[i], 1.5f * ref[i] + beta * 2.0f, 1e-5f)
+          << "trans_a=" << trans_a << " trans_b=" << trans_b
+          << " beta=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GemmTransposeCombos,
+    ::testing::Values(std::tuple{false, false}, std::tuple{false, true},
+                      std::tuple{true, false}, std::tuple{true, true}));
+
+TEST(Gemm, ScratchOverloadMatchesAllocatingPath) {
+  const Tensor a = random_matrix(6, 4, 33);   // used as aᵀ
+  const Tensor b = random_matrix(5, 6, 34);   // used as bᵀ
+  Tensor c1{Shape{4, 5}}, c2{Shape{4, 5}};
+  gemm(true, true, 4, 5, 6, 1.0f, a.data(), 4, b.data(), 6, 0.0f,
+       c1.data(), 5);
+  std::vector<float> scratch(
+      static_cast<std::size_t>(gemm_scratch_floats(true, true, 4, 5, 6)));
+  gemm(true, true, 4, 5, 6, 1.0f, a.data(), 4, b.data(), 6, 0.0f,
+       c2.data(), 5, scratch.data());
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0f);  // bit-identical by construction
+}
+
+TEST(Gemm, ScratchFloatsAccounting) {
+  EXPECT_EQ(gemm_scratch_floats(false, false, 7, 8, 9), 0);
+  EXPECT_EQ(gemm_scratch_floats(true, false, 7, 8, 9), 63);
+  EXPECT_EQ(gemm_scratch_floats(false, true, 7, 8, 9), 72);
+  EXPECT_EQ(gemm_scratch_floats(true, true, 7, 8, 9), 135);
+}
+
 TEST(Gemv, MatchesMatmul) {
   const Tensor a = random_matrix(5, 7, 15);
   const Tensor x = random_matrix(7, 1, 16);

@@ -52,6 +52,14 @@ class ZooSweep : public ::testing::TestWithParam<SweepParam> {
   NeuronSpec spec() const {
     return NeuronSpec::of(std::get<0>(GetParam()), std::get<1>(GetParam()));
   }
+  // Smallest layer width ≥ `target` the family can actually produce — the
+  // proposed neuron emits rank+1 channels per unit, so its widths must be
+  // multiples of that.
+  index_t compatible_width(index_t target) const {
+    if (std::get<0>(GetParam()) != NeuronKind::kProposed) return target;
+    const index_t per = std::get<1>(GetParam()) + 1;
+    return ((target + per - 1) / per) * per;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -69,7 +77,7 @@ TEST_P(ZooSweep, DenseForwardShapeAndFiniteness) {
 
 TEST_P(ZooSweep, DenseGradcheck) {
   Rng rng(102);
-  auto layer = make_dense_neuron(spec(), 6, 4, rng, "fc");
+  auto layer = make_dense_neuron(spec(), 6, compatible_width(4), rng, "fc");
   layer->set_training(false);
   EXPECT_TRUE(gradcheck_module(*layer, random_tensor(Shape{3, 6}, 2)));
 }
@@ -104,9 +112,10 @@ TEST_P(ZooSweep, DenseGradAccumulatesAcrossBackwards) {
   // Two identical backward passes must exactly double every parameter
   // gradient (the optimizers rely on pure accumulation).
   Rng rng(105);
-  auto layer = make_dense_neuron(spec(), 6, 4, rng, "fc");
+  const index_t width = compatible_width(4);
+  auto layer = make_dense_neuron(spec(), 6, width, rng, "fc");
   const Tensor x = random_tensor(Shape{3, 6}, 5);
-  const Tensor g = random_tensor(Shape{3, 4}, 6);
+  const Tensor g = random_tensor(Shape{3, width}, 6);
 
   layer->zero_grad();
   layer->forward(x);

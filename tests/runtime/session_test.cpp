@@ -1,0 +1,319 @@
+// InferenceSession contract tests: bit-identity with the legacy
+// Module::forward path (quadratic MLP and ResNet), determinism across
+// calls, batch sharding across threads, and the headline property — zero
+// heap allocations in steady state, asserted with a counting global
+// allocator.
+#include "runtime/inference_session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "models/resnet.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/softmax.h"
+#include "quadratic/quad_conv.h"
+#include "quadratic/quad_dense.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every operator new in the process bumps a counter.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_live_allocs{0};
+}  // namespace
+
+// GCC flags malloc-backed replacement allocators as mismatched pairs even
+// though replacing all eight signatures together is well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size ? size : 1);
+  if (!p) throw std::bad_alloc();
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// C++17 aligned forms too, so over-aligned allocations (e.g. future
+// SIMD-aligned packs) cannot slip past the zero-allocation assertion.
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) /
+                                   static_cast<std::size_t>(align) *
+                                   static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+
+namespace qdnn::runtime {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t{std::move(shape)};
+  rng.fill_uniform(t, -1.0f, 1.0f);
+  return t;
+}
+
+// A quadratic MLP whose every layer has a native forward_into.
+std::unique_ptr<nn::Sequential> make_quad_mlp(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>("quad_mlp");
+  net->emplace<quadratic::ProposedQuadraticDense>(/*in=*/12, /*units=*/4,
+                                                  /*rank=*/3, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(16, 10, rng, true, "head");
+  net->emplace<nn::Softmax>();
+  return net;
+}
+
+SessionConfig dense_config(index_t in, index_t max_batch, int threads = 1) {
+  SessionConfig config;
+  config.sample_shape = Shape{in};
+  config.max_batch = max_batch;
+  config.num_threads = threads;
+  return config;
+}
+
+TEST(InferenceSession, BitIdenticalToLegacyForwardOnQuadMlp) {
+  auto net = make_quad_mlp(7);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{5, 12}, 1);
+  const Tensor ref = net->forward(x);
+
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  EXPECT_TRUE(session.fully_native());
+  EXPECT_EQ(session.num_stages(), 4);
+  const ConstTensorView& out = session.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, BitIdenticalToLegacyForwardOnResNet) {
+  models::ResNetConfig rc;
+  rc.depth = 8;
+  rc.num_classes = 4;
+  rc.image_size = 8;
+  rc.base_width = 4;
+  rc.spec = models::NeuronSpec::proposed(3);
+  rc.seed = 3;
+  auto net = models::make_cifar_resnet(rc);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{3, 3, 8, 8}, 2);
+  const Tensor ref = net->forward(x);
+
+  SessionConfig config;
+  config.sample_shape = Shape{3, 8, 8};
+  config.max_batch = 4;
+  InferenceSession session(std::move(net), config);
+  // A monolithic module runs as one legacy-adapted stage.
+  EXPECT_EQ(session.num_stages(), 1);
+  const ConstTensorView& out = session.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, BitIdenticalAcrossEveryNativeLayerKind) {
+  // One pipeline through every module with a native forward_into, so a
+  // serving kernel that drifts from its forward() twin fails here.
+  Rng rng(37);
+  auto net = std::make_unique<nn::Sequential>("zoo");
+  net->emplace<nn::Conv2d>(3, 6, 3, 1, 1, rng);
+  net->emplace<nn::BatchNorm2d>(6);
+  net->emplace<nn::GELU>();
+  net->emplace<quadratic::ProposedQuadConv2d>(6, 2, 3, 1, 1, 3, rng);
+  net->emplace<nn::GlobalAvgPool2d>();  // [N, 2·(3+1)] = [N, 8]
+  net->emplace<nn::LayerNorm>(8);
+  net->emplace<quadratic::LowRankQuadraticDense>(8, 6, 2, rng);
+  net->emplace<nn::Tanh>();
+  net->emplace<quadratic::FactoredQuadraticDense>(
+      6, 6, quadratic::NeuronKind::kQuad1, rng);
+  net->emplace<nn::Sigmoid>();
+  net->emplace<quadratic::GeneralQuadraticDense>(6, 5, rng);
+  net->emplace<nn::Dropout>(0.5f, rng);
+  net->emplace<nn::Softmax>();
+  net->set_training(false);
+
+  const Tensor x = random_tensor(Shape{3, 3, 8, 8}, 8);
+  const Tensor ref = net->forward(x);
+
+  SessionConfig config;
+  config.sample_shape = Shape{3, 8, 8};
+  config.max_batch = 4;
+  InferenceSession session(std::move(net), config);
+  EXPECT_TRUE(session.fully_native());
+  const ConstTensorView& out = session.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, NestedSequentialChainsBitIdentically) {
+  // A nested Sequential is one stage whose forward_into ping-pongs its
+  // children through the workspace (3+ children exercises both internal
+  // buffers).
+  auto build = [] {
+    Rng rng(41);
+    auto inner = std::make_unique<nn::Sequential>("inner");
+    inner->emplace<nn::Linear>(8, 12, rng, true, "a");
+    inner->emplace<nn::ReLU>();
+    inner->emplace<nn::Linear>(12, 6, rng, true, "b");
+    auto outer = std::make_unique<nn::Sequential>("outer");
+    outer->append(std::move(inner));
+    outer->emplace<nn::Linear>(6, 4, rng, true, "head");
+    return outer;
+  };
+  auto ref_net = build();
+  ref_net->set_training(false);
+  const Tensor x = random_tensor(Shape{3, 8}, 9);
+  const Tensor ref = ref_net->forward(x);
+
+  InferenceSession session(build(), dense_config(8, 4));
+  EXPECT_FALSE(session.fully_native());  // nested Sequential allocates
+  const ConstTensorView& out = session.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, DeterministicAcrossRepeatedRuns) {
+  auto net = make_quad_mlp(11);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  const Tensor x = random_tensor(Shape{8, 12}, 3);
+  const Tensor first = session.run(x).to_tensor();
+  for (int i = 0; i < 5; ++i) {
+    const ConstTensorView& again = session.run(x);
+    EXPECT_EQ(view_max_abs_diff(again, ConstTensorView(first)), 0.0f);
+  }
+}
+
+TEST(InferenceSession, ThreadShardingIsBitIdentical) {
+  const Tensor x = random_tensor(Shape{8, 12}, 4);
+  InferenceSession single(make_quad_mlp(13), dense_config(12, 8, 1));
+  InferenceSession sharded(make_quad_mlp(13), dense_config(12, 8, 3));
+  EXPECT_EQ(sharded.num_threads(), 3);
+  const Tensor ref = single.run(x).to_tensor();
+  const ConstTensorView& out = sharded.run(x);
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, RejectsShardingOverLegacyAdaptedStages) {
+  // MaxPool2d has no native forward_into; its legacy adapter mutates
+  // shared caches and must not run concurrently.
+  auto net = std::make_unique<nn::Sequential>("pool_net");
+  net->emplace<nn::MaxPool2d>(2, 2);
+  SessionConfig config;
+  config.sample_shape = Shape{1, 4, 4};
+  config.max_batch = 4;
+  config.num_threads = 2;
+  EXPECT_THROW(InferenceSession(std::move(net), config),
+               std::runtime_error);
+
+  // The same model is fine single-threaded.
+  auto net2 = std::make_unique<nn::Sequential>("pool_net");
+  net2->emplace<nn::MaxPool2d>(2, 2);
+  config.num_threads = 1;
+  InferenceSession session(std::move(net2), config);
+  EXPECT_FALSE(session.fully_native());
+  const Tensor x = random_tensor(Shape{2, 1, 4, 4}, 60);
+  EXPECT_EQ(session.run(x).shape(), Shape({2, 1, 2, 2}));
+}
+
+TEST(InferenceSession, ServesVariableBatchSizesUpToMax) {
+  auto net = make_quad_mlp(17);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  for (index_t n : {1, 3, 8, 2}) {
+    const Tensor x = random_tensor(Shape{n, 12}, 40 + n);
+    const ConstTensorView& out = session.run(x);
+    EXPECT_EQ(out.shape(), Shape({n, 10}));
+  }
+  EXPECT_EQ(session.output_shape(5), Shape({5, 10}));
+  const Tensor too_big = random_tensor(Shape{9, 12}, 50);
+  EXPECT_THROW(session.run(too_big), std::runtime_error);
+}
+
+TEST(InferenceSession, SlicedBatchMatchesFullBatchRows) {
+  // Serving rows in two requests must give the same bits as one batch —
+  // the property the thread sharding relies on.
+  auto net = make_quad_mlp(19);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  const Tensor x = random_tensor(Shape{6, 12}, 5);
+  const Tensor full = session.run(x).to_tensor();
+  Tensor head{Shape{2, 12}};
+  std::memcpy(head.data(), x.data(), 2 * 12 * sizeof(float));
+  const ConstTensorView& out = session.run(head);
+  for (index_t i = 0; i < out.numel(); ++i)
+    EXPECT_EQ(out[i], full[i]) << "row-slice mismatch at " << i;
+}
+
+TEST(InferenceSession, RejectsInputAliasingItsOutputBuffer) {
+  // Feeding the returned view straight back in would make stage 0 read
+  // the bytes it is overwriting; the session must reject the feedback.
+  Rng rng(43);
+  auto net = std::make_unique<nn::Sequential>("sq");
+  net->emplace<nn::Linear>(8, 8, rng, true, "fc");
+  InferenceSession session(std::move(net), dense_config(8, 4));
+  const Tensor x = random_tensor(Shape{2, 8}, 10);
+  const ConstTensorView& y = session.run(x);
+  EXPECT_THROW(session.run(y), std::runtime_error);
+  // A copied result is fine.
+  const Tensor y_copy = session.run(x).to_tensor();
+  EXPECT_NO_THROW(session.run(y_copy));
+}
+
+TEST(InferenceSession, ZeroHeapAllocationsInSteadyState) {
+  auto net = make_quad_mlp(23);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  ASSERT_TRUE(session.fully_native());
+  const Tensor x = random_tensor(Shape{8, 12}, 6);
+
+  // Settle: first run after construction is already warm (constructor
+  // warm-up ran at max_batch), but run twice to be safe.
+  session.run(x);
+  session.run(x);
+
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 10; ++i) session.run(x);
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "steady-state run() performed " << (after - before)
+      << " heap allocations";
+}
+
+TEST(InferenceSession, WorkspaceWatermarkIsStableAcrossRuns) {
+  auto net = make_quad_mlp(29);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  const Tensor x = random_tensor(Shape{8, 12}, 7);
+  session.run(x);
+  const index_t ws = session.workspace_floats();
+  EXPECT_GT(ws, 0);
+  for (int i = 0; i < 5; ++i) session.run(x);
+  EXPECT_EQ(session.workspace_floats(), ws);
+  EXPECT_GT(session.activation_floats(), 0);
+}
+
+}  // namespace
+}  // namespace qdnn::runtime
