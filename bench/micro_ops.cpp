@@ -195,11 +195,13 @@ void mlp_legacy_bench(benchmark::State& state, MakeNet make_net) {
 }
 
 template <typename MakeNet>
-void mlp_session_bench(benchmark::State& state, MakeNet make_net) {
+void mlp_session_bench(benchmark::State& state, MakeNet make_net,
+                       bool freeze = true) {
   const index_t batch = state.range(0);
   runtime::SessionConfig config;
   config.sample_shape = Shape{256};
   config.max_batch = batch;
+  config.freeze = freeze;
   runtime::InferenceSession session(make_net(30), config);
   const Tensor x = random_tensor(Shape{batch, 256}, 31);
   for (auto _ : state) {
@@ -225,6 +227,22 @@ BENCHMARK(BM_LinearMlpLegacyForward)->Arg(1)->Arg(8)->Arg(64);
 BENCHMARK(BM_LinearMlpSession)->Arg(1)->Arg(8)->Arg(64);
 BENCHMARK(BM_ProposedMlpLegacyForward)->Arg(1)->Arg(8)->Arg(64);
 BENCHMARK(BM_ProposedMlpSession)->Arg(1)->Arg(8)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Before the freeze-time weight prepack: the identical session pipeline
+// with freeze disabled, so constant weights are re-packed on every call
+// from workspace scratch.  The "after" numbers are BM_*MlpSession above
+// (sessions freeze at bind by default).
+// ---------------------------------------------------------------------------
+
+void BM_LinearMlpSessionUnfrozen(benchmark::State& state) {
+  mlp_session_bench(state, make_linear_mlp, /*freeze=*/false);
+}
+void BM_ProposedMlpSessionUnfrozen(benchmark::State& state) {
+  mlp_session_bench(state, make_quad_mlp, /*freeze=*/false);
+}
+BENCHMARK(BM_LinearMlpSessionUnfrozen)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_ProposedMlpSessionUnfrozen)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 

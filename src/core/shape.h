@@ -3,6 +3,13 @@
 // Row-major semantics throughout the library.  Kept deliberately simple:
 // qdnn tensors are always dense and contiguous, so a Shape fully determines
 // the memory layout.
+//
+// Storage is a fixed inline array (qdnn ranks top out at 4 — [N,C,H,W]),
+// so constructing, copying and comparing Shapes never touches the heap.
+// This is what lets serving code build TensorViews on the hot path — the
+// flattened stage pipelines of runtime::InferenceSession and the native
+// attention/Sequential forward_into implementations — while keeping the
+// zero-steady-state-allocation guarantee.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +26,17 @@ using index_t = std::int64_t;
 
 class Shape {
  public:
+  // Deep enough for every layout in the library plus headroom; a rank
+  // above this is a hard error, not a silent heap fallback.
+  static constexpr index_t kMaxRank = 6;
+
   Shape() = default;
-  Shape(std::initializer_list<index_t> dims) : dims_(dims) { validate(); }
-  explicit Shape(std::vector<index_t> dims) : dims_(std::move(dims)) {
-    validate();
+  Shape(std::initializer_list<index_t> dims) { assign(dims.begin(), dims.end()); }
+  explicit Shape(const std::vector<index_t>& dims) {
+    assign(dims.begin(), dims.end());
   }
 
-  index_t rank() const { return static_cast<index_t>(dims_.size()); }
+  index_t rank() const { return rank_; }
 
   index_t operator[](index_t i) const {
     QDNN_CHECK(i >= 0 && i < rank(), "shape index " << i << " out of rank "
@@ -36,18 +47,28 @@ class Shape {
   // Total number of elements; 1 for a rank-0 (scalar) shape.
   index_t numel() const {
     index_t n = 1;
-    for (index_t d : dims_) n *= d;
+    for (index_t i = 0; i < rank_; ++i)
+      n *= dims_[static_cast<std::size_t>(i)];
     return n;
   }
 
-  const std::vector<index_t>& dims() const { return dims_; }
+  // Iteration over the extents (rank() elements).
+  const index_t* begin() const { return dims_; }
+  const index_t* end() const { return dims_ + rank_; }
 
-  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (index_t i = 0; i < rank_; ++i)
+      if (dims_[static_cast<std::size_t>(i)] !=
+          other.dims_[static_cast<std::size_t>(i)])
+        return false;
+    return true;
+  }
   bool operator!=(const Shape& other) const { return !(*this == other); }
 
   // Row-major strides (in elements, not bytes).
   std::vector<index_t> strides() const {
-    std::vector<index_t> s(dims_.size(), 1);
+    std::vector<index_t> s(static_cast<std::size_t>(rank_), 1);
     for (index_t i = rank() - 2; i >= 0; --i) {
       s[static_cast<std::size_t>(i)] =
           s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
@@ -57,20 +78,25 @@ class Shape {
 
   std::string to_string() const {
     std::string out = "[";
-    for (std::size_t i = 0; i < dims_.size(); ++i) {
+    for (index_t i = 0; i < rank_; ++i) {
       if (i) out += ", ";
-      out += std::to_string(dims_[i]);
+      out += std::to_string(dims_[static_cast<std::size_t>(i)]);
     }
     return out + "]";
   }
 
  private:
-  void validate() const {
-    for (index_t d : dims_)
-      QDNN_CHECK(d >= 0, "negative dimension in shape " << to_string());
+  template <typename It>
+  void assign(It first, It last) {
+    for (It it = first; it != last; ++it) {
+      QDNN_CHECK(rank_ < kMaxRank, "shape rank exceeds " << kMaxRank);
+      QDNN_CHECK(*it >= 0, "negative dimension in shape");
+      dims_[static_cast<std::size_t>(rank_++)] = *it;
+    }
   }
 
-  std::vector<index_t> dims_;
+  index_t dims_[static_cast<std::size_t>(kMaxRank)] = {};
+  index_t rank_ = 0;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Shape& s) {

@@ -7,10 +7,12 @@
 // it.  Views carry the same `at()` accessors as Tensor so layer kernels
 // are written once against either type.
 //
-// Note that constructing a view copies its Shape (a small heap-backed
-// vector).  Steady-state runtime code therefore builds views once per
-// (model, batch-size) binding and re-points them at fresh data with
-// rebind() — see runtime/inference_session.cpp for the pattern.
+// Shape uses fixed inline storage, so constructing or copying a view is
+// heap-free — per-call views on serving hot paths (native attention,
+// Sequential chaining) are fine.  Steady-state drivers still build views
+// once per (model, batch-size) binding and re-point them at fresh data
+// with rebind() to skip even the copy — see runtime/inference_session.cpp
+// for the pattern.
 #pragma once
 
 #include "core/shape.h"

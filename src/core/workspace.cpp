@@ -41,10 +41,13 @@ void Workspace::reset() {
 
 void Workspace::consolidate() {
   QDNN_CHECK(in_use_ == 0, "Workspace::consolidate: reset() first");
-  if (blocks_.size() <= 1) return;
+  if (capacity() == watermark_ && blocks_.size() <= 1) return;
   // Any bump pattern that fit before fits in one contiguous block of the
-  // high-watermark; chained blocks may hold more (skipped tails, growth
-  // doubling), so consolidating can shrink the arena.
+  // high-watermark; chained blocks (and the minimum first-block size) may
+  // hold more — skipped tails, growth doubling — so consolidating shrinks
+  // the arena to exactly the watermark, making capacity() an honest
+  // footprint report (the freeze/prepack watermark regressions rely on
+  // this).
   blocks_.clear();
   block_ = 0;
   offset_ = 0;

@@ -2,9 +2,22 @@
 
 #include <vector>
 
+#include "linalg/packed_weights.h"
+
 namespace qdnn::linalg {
 
 namespace {
+
+// Shared prologue of every gemm entry point: scale/clear C by beta.
+void scale_c(index_t m, index_t n, float beta, float* c, index_t ldc) {
+  if (beta == 0.0f) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) c[i * ldc + j] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (index_t i = 0; i < m; ++i)
+      for (index_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  }
+}
 
 // Blocked kernel for the no-transpose case: C += alpha * A(m,k) * B(k,n).
 // ikj ordering keeps B rows streaming and lets the compiler vectorize the
@@ -45,14 +58,7 @@ index_t gemm_scratch_floats(bool trans_a, bool trans_b, index_t m,
 void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
           float alpha, const float* a, index_t lda, const float* b,
           index_t ldb, float beta, float* c, index_t ldc, float* scratch) {
-  // Scale / clear C first.
-  if (beta == 0.0f) {
-    for (index_t i = 0; i < m; ++i)
-      for (index_t j = 0; j < n; ++j) c[i * ldc + j] = 0.0f;
-  } else if (beta != 1.0f) {
-    for (index_t i = 0; i < m; ++i)
-      for (index_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
-  }
+  scale_c(m, n, beta, c, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
   if (!trans_a && !trans_b) {
@@ -95,6 +101,35 @@ void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
           : gemm_scratch_floats(trans_a, trans_b, m, n, k)));
   gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
        scratch.data());
+}
+
+void gemm_prepacked(bool trans_a, index_t m, index_t n, index_t k,
+                    float alpha, const float* a, index_t lda,
+                    const PackedWeights& b, float beta, float* c,
+                    index_t ldc, float* scratch) {
+  QDNN_CHECK(b.packed(), "gemm_prepacked: operand B is not packed");
+  QDNN_CHECK(b.rows() == k && b.cols() == n,
+             "gemm_prepacked: pack is [" << b.rows() << ", " << b.cols()
+                                         << "], call wants [" << k << ", "
+                                         << n << "]");
+  scale_c(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+  QDNN_CHECK(!trans_a || scratch != nullptr,
+             "gemm_prepacked: trans_a needs caller-provided scratch "
+             "(gemm_scratch_floats(true, false, m, n, k) floats)");
+
+  const float* aa = a;
+  index_t alda = lda;
+  if (trans_a) {
+    // Same per-call A pack as gemm(); only the constant B side moved to
+    // freeze time.
+    float* pack = scratch;
+    for (index_t p = 0; p < k; ++p)
+      for (index_t i = 0; i < m; ++i) pack[i * k + p] = a[p * lda + i];
+    aa = pack;
+    alda = k;
+  }
+  gemm_nn(m, n, k, alpha, aa, alda, b.data(), n, c, ldc);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

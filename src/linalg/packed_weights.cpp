@@ -1,0 +1,36 @@
+#include "linalg/packed_weights.h"
+
+namespace qdnn::linalg {
+
+void PackedWeights::pack(bool trans, index_t k, index_t n, const float* src,
+                         index_t ld) {
+  QDNN_CHECK(k >= 0 && n >= 0, "PackedWeights::pack: negative dims");
+  QDNN_CHECK(ld >= (trans ? k : n),
+             "PackedWeights::pack: leading dimension " << ld
+                                                       << " too small");
+  k_ = k;
+  n_ = n;
+  data_.resize(static_cast<std::size_t>(k * n));
+  if (trans) {
+    // Same element order as gemm()'s per-call trans_b pack, so prepacked
+    // results are bit-identical to the packing path they replace.
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p)
+        data_[static_cast<std::size_t>(p * n + j)] = src[j * ld + p];
+  } else {
+    for (index_t p = 0; p < k; ++p)
+      for (index_t j = 0; j < n; ++j)
+        data_[static_cast<std::size_t>(p * n + j)] = src[p * ld + j];
+  }
+  packed_ = true;
+}
+
+void PackedWeights::clear() {
+  k_ = 0;
+  n_ = 0;
+  packed_ = false;
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+}  // namespace qdnn::linalg

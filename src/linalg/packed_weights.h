@@ -1,0 +1,61 @@
+// PackedWeights: a constant GEMM operand materialized once, at freeze
+// time, in the exact row-major layout the gemm kernel streams.
+//
+// The serving hot path of every dense layer is C = A · op(B) where B is a
+// constant weight matrix.  gemm() handles transposed operands by packing
+// them into scratch *per call* — O(k·n) copy work and k·n floats of
+// workspace on every request.  A PackedWeights performs that pack exactly
+// once (Module::freeze), after which gemm_prepacked() consumes the cached
+// block directly: zero per-request packing, bit-identical results, and a
+// smaller workspace watermark (asserted by tests/runtime/session_test.cpp
+// and tests/linalg/gemm_prepacked_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace qdnn::linalg {
+
+class PackedWeights {
+ public:
+  PackedWeights() = default;
+
+  // Materializes op(src) as a contiguous row-major [k, n] block:
+  //   trans == false: src is [k, n] with leading dimension `ld` (>= n);
+  //   trans == true:  src is [n, k] with leading dimension `ld` (>= k),
+  //                   and the pack holds its transpose.
+  // Re-packing an already-packed object replaces the previous pack (the
+  // freeze-after-weight-update path).
+  void pack(bool trans, index_t k, index_t n, const float* src, index_t ld);
+
+  // Drops the pack and returns the object to the empty state (unfreeze).
+  void clear();
+
+  bool packed() const { return packed_; }
+  // op(B) dimensions: rows() = k (reduction), cols() = n (output).
+  index_t rows() const { return k_; }
+  index_t cols() const { return n_; }
+  // The packed block, row-major [k, n] with leading dimension n.
+  const float* data() const { return data_.data(); }
+  index_t size_floats() const { return static_cast<index_t>(data_.size()); }
+
+ private:
+  index_t k_ = 0, n_ = 0;
+  bool packed_ = false;
+  std::vector<float> data_;
+};
+
+// C(m,n) = alpha * op(A) * B + beta * C, where `b` holds op(B) packed by
+// PackedWeights::pack.  Bit-identical to the corresponding
+// gemm(trans_a, trans_b, ...) call on the source operand: the inner kernel
+// consumes the same row-major bytes, packed at freeze time instead of per
+// call.  `scratch` is needed only when trans_a
+// (gemm_scratch_floats(trans_a, false, m, n, k) floats); pass nullptr
+// otherwise.
+void gemm_prepacked(bool trans_a, index_t m, index_t n, index_t k,
+                    float alpha, const float* a, index_t lda,
+                    const PackedWeights& b, float beta, float* c,
+                    index_t ldc, float* scratch = nullptr);
+
+}  // namespace qdnn::linalg

@@ -86,6 +86,56 @@ Tensor BasicBlock::backward(const Tensor& grad_output) {
   return g_main;
 }
 
+void BasicBlock::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  // conv1 → bn1 → relu → conv2 → bn2, then the shortcut branch (identity
+  // or conv+bn read from the block-input boundary), an explicit
+  // residual-add stage (main + shortcut — the same operand order as
+  // forward()'s `main += shortcut`), and the output ReLU.
+  const auto in = static_cast<index_t>(stages.size()) - 1;
+  conv1_->flatten_into(stages);
+  bn1_->flatten_into(stages);
+  relu1_.flatten_into(stages);
+  conv2_->flatten_into(stages);
+  bn2_->flatten_into(stages);
+  const auto main_out = static_cast<index_t>(stages.size()) - 1;
+  index_t shortcut = in;
+  if (!identity_shortcut_) {
+    stages.push_back(nn::PipelineStage{short_conv_.get(), in, -1});
+    short_bn_->flatten_into(stages);
+    shortcut = static_cast<index_t>(stages.size()) - 1;
+  }
+  stages.push_back(nn::PipelineStage{nullptr, main_out, shortcut});
+  relu2_.flatten_into(stages);
+}
+
+void BasicBlock::freeze() {
+  conv1_->freeze();
+  bn1_->freeze();
+  relu1_.freeze();
+  conv2_->freeze();
+  bn2_->freeze();
+  relu2_.freeze();
+  if (!identity_shortcut_) {
+    short_conv_->freeze();
+    short_bn_->freeze();
+  }
+  Module::freeze();
+}
+
+void BasicBlock::unfreeze() {
+  conv1_->unfreeze();
+  bn1_->unfreeze();
+  relu1_.unfreeze();
+  conv2_->unfreeze();
+  bn2_->unfreeze();
+  relu2_.unfreeze();
+  if (!identity_shortcut_) {
+    short_conv_->unfreeze();
+    short_bn_->unfreeze();
+  }
+  Module::unfreeze();
+}
+
 std::vector<nn::Parameter*> BasicBlock::parameters() {
   std::vector<nn::Parameter*> params;
   auto absorb = [&params](nn::Module& m) {
@@ -248,6 +298,35 @@ Tensor ResNet::backward(const Tensor& grad_output) {
   g = stem_relu_.backward(g);
   g = stem_bn_->backward(g);
   return stem_->backward(g);
+}
+
+void ResNet::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  stem_->flatten_into(stages);
+  stem_bn_->flatten_into(stages);
+  stem_relu_.flatten_into(stages);
+  for (auto& block : blocks_) block->flatten_into(stages);
+  gap_.flatten_into(stages);
+  fc_->flatten_into(stages);
+}
+
+void ResNet::freeze() {
+  stem_->freeze();
+  stem_bn_->freeze();
+  stem_relu_.freeze();
+  for (auto& block : blocks_) block->freeze();
+  gap_.freeze();
+  fc_->freeze();
+  Module::freeze();
+}
+
+void ResNet::unfreeze() {
+  stem_->unfreeze();
+  stem_bn_->unfreeze();
+  stem_relu_.unfreeze();
+  for (auto& block : blocks_) block->unfreeze();
+  gap_.unfreeze();
+  fc_->unfreeze();
+  Module::unfreeze();
 }
 
 std::vector<nn::Parameter*> ResNet::parameters() {

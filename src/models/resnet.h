@@ -43,6 +43,11 @@ struct ResNetConfig {
 };
 
 // One pre-activation-free basic block: conv-bn-relu-conv-bn (+ skip) -relu.
+//
+// flatten_into exposes the block as primitive serving stages with an
+// explicit residual-add stage (the shortcut branch reads the block-input
+// boundary), so a flattened ResNet pipeline serves every layer with its
+// native forward_into instead of one legacy adapter.
 class BasicBlock : public nn::Module {
  public:
   BasicBlock(index_t in_channels, index_t target_width, index_t stride,
@@ -52,6 +57,9 @@ class BasicBlock : public nn::Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& input_shape) const override;
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::NamedBuffer> buffers() override;
   std::string name() const override { return name_; }
@@ -72,7 +80,6 @@ class BasicBlock : public nn::Module {
   // Projection shortcut when stride != 1 or channel mismatch.
   std::unique_ptr<nn::Conv2d> short_conv_;
   std::unique_ptr<nn::BatchNorm2d> short_bn_;
-  Tensor cached_shortcut_in_;  // needed when shortcut is identity
   bool identity_shortcut_ = true;
 };
 
@@ -93,6 +100,11 @@ class ResNet : public nn::Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& input_shape) const override;
+  // Serving: stem → blocks (each with a residual-add stage) → GAP → fc,
+  // every stage native; freeze prepacks all conv/fc weights.
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::NamedBuffer> buffers() override;
   std::string name() const override { return name_; }

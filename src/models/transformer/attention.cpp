@@ -7,6 +7,62 @@
 
 namespace qdnn::models {
 
+namespace {
+
+// Scores → masked softmax → context, shared by the training forward() and
+// the serving forward_into() — one definition so the two paths cannot
+// drift.  q [N·Tq, P], k/v [N·Tk, P]; writes softmax weights into `attn`
+// [N, H, Tq, Tk] and accumulates the per-head context into `context`
+// [N·Tq, P], which must be zeroed by the caller.  `kv_lengths` may be
+// null/empty (all Tk keys valid).
+void attention_forward(const float* q, const float* k, const float* v,
+                       index_t n, index_t n_heads, index_t tq, index_t tk,
+                       index_t proj_dim, index_t head_dim, bool causal,
+                       const std::vector<index_t>* kv_lengths, float* attn,
+                       float* context) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const bool have_lengths = kv_lengths != nullptr && !kv_lengths->empty();
+  for (index_t s = 0; s < n; ++s) {
+    const index_t valid_k =
+        have_lengths ? (*kv_lengths)[static_cast<std::size_t>(s)] : tk;
+    for (index_t h = 0; h < n_heads; ++h) {
+      float* scores = attn + ((s * n_heads + h) * tq) * tk;
+      // scores[i, j] = (q_i · k_j) * scale over this head's slice.
+      for (index_t i = 0; i < tq; ++i) {
+        const float* q_row =
+            q + (s * tq + i) * proj_dim + h * head_dim;
+        float* score_row = scores + i * tk;
+        const index_t limit = causal ? std::min(i + 1, valid_k) : valid_k;
+        for (index_t j = 0; j < tk; ++j) {
+          if (j < limit) {
+            const float* k_row =
+                k + (s * tk + j) * proj_dim + h * head_dim;
+            score_row[j] = scale * linalg::dot(q_row, k_row, head_dim);
+          } else {
+            score_row[j] = -1e30f;  // masked: pad or future position
+          }
+        }
+      }
+      nn::softmax_rows(scores, tq, tk);
+      // context = attn · V
+      for (index_t i = 0; i < tq; ++i) {
+        float* ctx_row =
+            context + (s * tq + i) * proj_dim + h * head_dim;
+        const float* score_row = scores + i * tk;
+        for (index_t j = 0; j < tk; ++j) {
+          const float a = score_row[j];
+          if (a == 0.0f) continue;
+          const float* v_row =
+              v + (s * tk + j) * proj_dim + h * head_dim;
+          linalg::axpy(head_dim, a, v_row, ctx_row);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 MultiHeadAttention::MultiHeadAttention(index_t d_model, index_t n_heads,
                                        index_t proj_dim,
                                        const quadratic::NeuronSpec& spec,
@@ -48,50 +104,14 @@ Tensor MultiHeadAttention::forward(const Tensor& q_input,
 
   attn_ = Tensor{Shape{n, n_heads_, tq, tk}};
   Tensor context{Shape{n * tq, proj_dim_}};
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-
-  for (index_t s = 0; s < n; ++s) {
-    const index_t valid_k =
-        kv_lengths.empty() ? tk : kv_lengths[static_cast<std::size_t>(s)];
-    for (index_t h = 0; h < n_heads_; ++h) {
-      float* scores = attn_.data() + ((s * n_heads_ + h) * tq) * tk;
-      // scores[i, j] = (q_i · k_j) * scale over this head's slice.
-      for (index_t i = 0; i < tq; ++i) {
-        const float* q_row =
-            q_.data() + (s * tq + i) * proj_dim_ + h * head_dim_;
-        float* score_row = scores + i * tk;
-        const index_t limit = causal ? std::min(i + 1, valid_k) : valid_k;
-        for (index_t j = 0; j < tk; ++j) {
-          if (j < limit) {
-            const float* k_row =
-                k_.data() + (s * tk + j) * proj_dim_ + h * head_dim_;
-            score_row[j] = scale * linalg::dot(q_row, k_row, head_dim_);
-          } else {
-            score_row[j] = -1e30f;  // masked: pad or future position
-          }
-        }
-      }
-      nn::softmax_rows(scores, tq, tk);
-      // context = attn · V
-      for (index_t i = 0; i < tq; ++i) {
-        float* ctx_row =
-            context.data() + (s * tq + i) * proj_dim_ + h * head_dim_;
-        const float* score_row = scores + i * tk;
-        for (index_t j = 0; j < tk; ++j) {
-          const float a = score_row[j];
-          if (a == 0.0f) continue;
-          const float* v_row =
-              v_.data() + (s * tk + j) * proj_dim_ + h * head_dim_;
-          linalg::axpy(head_dim_, a, v_row, ctx_row);
-        }
-      }
-    }
-  }
+  attention_forward(q_.data(), k_.data(), v_.data(), n, n_heads_, tq, tk,
+                    proj_dim_, head_dim_, causal, &kv_lengths, attn_.data(),
+                    context.data());
   // Keep the context for wo_'s backward via its own cache.
   return wo_->forward(context);
 }
 
-std::pair<Tensor, Tensor> MultiHeadAttention::backward(
+std::pair<Tensor, Tensor> MultiHeadAttention::backward_qkv(
     const Tensor& grad_output) {
   QDNN_CHECK(n_ > 0, name_ << ": backward before forward");
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
@@ -152,6 +172,92 @@ std::pair<Tensor, Tensor> MultiHeadAttention::backward(
   return {std::move(grad_q_input), std::move(grad_kv_input)};
 }
 
+// ---------------------------------------------------------------------------
+// Module API: full-length non-causal self-attention on [N, T, D].
+// ---------------------------------------------------------------------------
+
+Tensor MultiHeadAttention::forward(const Tensor& x) {
+  QDNN_CHECK(x.rank() == 3 && x.dim(2) == d_model_,
+             name_ << ": expected [N, T, " << d_model_ << "]");
+  const index_t n = x.dim(0), t = x.dim(1);
+  const Tensor flat = x.reshaped(Shape{n * t, d_model_});
+  return forward(flat, flat, n, t, t, /*causal=*/false, {})
+      .reshaped(Shape{n, t, d_model_});
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& grad_output) {
+  QDNN_CHECK(grad_output.rank() == 3, name_ << ": expected [N, T, D] grad");
+  const index_t n = grad_output.dim(0), t = grad_output.dim(1);
+  auto [g_q, g_kv] =
+      backward_qkv(grad_output.reshaped(Shape{n * t, d_model_}));
+  g_q += g_kv;  // q and kv came from the same input
+  return g_q.reshaped(Shape{n, t, d_model_});
+}
+
+Shape MultiHeadAttention::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 3 && input_shape[2] == d_model_,
+             name_ << ": expected [N, T, " << d_model_ << "]");
+  return input_shape;
+}
+
+bool MultiHeadAttention::supports_forward_into() const {
+  return wq_->supports_forward_into() && wk_->supports_forward_into() &&
+         wv_->supports_forward_into() && wo_->supports_forward_into();
+}
+
+void MultiHeadAttention::forward_into(const ConstTensorView& input,
+                                      const TensorView& output,
+                                      Workspace& ws) {
+  QDNN_CHECK(input.rank() == 3 && input.dim(2) == d_model_,
+             name_ << ": expected [N, T, " << d_model_ << "]");
+  QDNN_CHECK(output.shape() == input.shape(),
+             name_ << ": bad output view " << output.shape());
+  const index_t n = input.dim(0), t = input.dim(1);
+  const index_t nt = n * t;
+
+  // Projections, scores and context all live in the workspace; the
+  // training caches (q_, k_, v_, attn_) are never touched, so concurrent
+  // shard calls are safe.
+  const ConstTensorView flat_in(Shape{nt, d_model_}, input.data());
+  float* q = ws.alloc(nt * proj_dim_);
+  float* k = ws.alloc(nt * proj_dim_);
+  float* v = ws.alloc(nt * proj_dim_);
+  wq_->forward_into(flat_in, TensorView(Shape{nt, proj_dim_}, q), ws);
+  wk_->forward_into(flat_in, TensorView(Shape{nt, proj_dim_}, k), ws);
+  wv_->forward_into(flat_in, TensorView(Shape{nt, proj_dim_}, v), ws);
+
+  float* attn = ws.alloc(n * n_heads_ * t * t);
+  float* context = ws.alloc(nt * proj_dim_);
+  for (index_t i = 0; i < nt * proj_dim_; ++i) context[i] = 0.0f;
+  attention_forward(q, k, v, n, n_heads_, t, t, proj_dim_, head_dim_,
+                    /*causal=*/false, nullptr, attn, context);
+
+  wo_->forward_into(ConstTensorView(Shape{nt, proj_dim_}, context),
+                    TensorView(Shape{nt, d_model_}, output.data()), ws);
+}
+
+void MultiHeadAttention::freeze() {
+  wq_->freeze();
+  wk_->freeze();
+  wv_->freeze();
+  wo_->freeze();
+  // Stale training caches have no business under a serving process.
+  q_ = Tensor{};
+  k_ = Tensor{};
+  v_ = Tensor{};
+  attn_ = Tensor{};
+  n_ = tq_ = tk_ = 0;
+  Module::freeze();
+}
+
+void MultiHeadAttention::unfreeze() {
+  wq_->unfreeze();
+  wk_->unfreeze();
+  wv_->unfreeze();
+  wo_->unfreeze();
+  Module::unfreeze();
+}
+
 std::vector<nn::Parameter*> MultiHeadAttention::parameters() {
   std::vector<nn::Parameter*> params;
   for (nn::Module* m : {wq_.get(), wk_.get(), wv_.get(), wo_.get()})
@@ -160,6 +266,7 @@ std::vector<nn::Parameter*> MultiHeadAttention::parameters() {
 }
 
 void MultiHeadAttention::set_training(bool training) {
+  nn::Module::set_training(training);
   wq_->set_training(training);
   wk_->set_training(training);
   wv_->set_training(training);

@@ -8,9 +8,16 @@
 // quadratic neurons' higher expressivity per output is what lets the model
 // shed >20% of its parameters at equal/better BLEU.
 //
-// Shapes: activations flow flattened as [N·T, D]; batch/time dims are
-// passed explicitly.  Padding is handled with per-sample key lengths;
-// `causal` masks future positions (decoder self-attention).
+// Shapes: training activations flow flattened as [N·T, D] with batch/time
+// dims passed explicitly; padding is handled with per-sample key lengths
+// and `causal` masks future positions (decoder self-attention).
+//
+// MultiHeadAttention is also a Module: the single-input overrides treat
+// [N, T, D] input as full-length non-causal *self*-attention — the
+// encoder serving stage.  forward_into is native (projections, scores and
+// context all live in the workspace) so a flattened encoder pipeline runs
+// allocation-free; the score/softmax/context kernel is shared with the
+// training forward so the two paths cannot drift.
 #pragma once
 
 #include <memory>
@@ -20,7 +27,7 @@
 
 namespace qdnn::models {
 
-class MultiHeadAttention {
+class MultiHeadAttention : public nn::Module {
  public:
   // proj_dim: total width of the Q/K/V projections (split across heads).
   // Must be divisible by n_heads (and by rank+1 for the proposed neuron).
@@ -28,17 +35,32 @@ class MultiHeadAttention {
                      const quadratic::NeuronSpec& spec, Rng& rng,
                      std::string name);
 
+  // --- training API ------------------------------------------------------
+
   // q_input: [N·Tq, D]; kv_input: [N·Tk, D].  kv_lengths[i] = number of
   // valid (non-pad) key positions for sample i (Tk for all if empty).
   Tensor forward(const Tensor& q_input, const Tensor& kv_input, index_t n,
                  index_t tq, index_t tk, bool causal,
                  const std::vector<index_t>& kv_lengths);
 
-  // Returns {grad_q_input, grad_kv_input}.
-  std::pair<Tensor, Tensor> backward(const Tensor& grad_output);
+  // Returns {grad_q_input, grad_kv_input}.  (Named distinctly from the
+  // Module backward override, which differs only in return type.)
+  std::pair<Tensor, Tensor> backward_qkv(const Tensor& grad_output);
 
-  std::vector<nn::Parameter*> parameters();
-  void set_training(bool training);
+  // --- Module API (self-attention on [N, T, D]) --------------------------
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+  void freeze() override;
+  void unfreeze() override;
+
+  std::vector<nn::Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
 
   index_t proj_dim() const { return proj_dim_; }
 
@@ -46,7 +68,7 @@ class MultiHeadAttention {
   index_t d_model_, n_heads_, proj_dim_, head_dim_;
   std::string name_;
   nn::ModulePtr wq_, wk_, wv_, wo_;
-  // Forward caches.
+  // Forward caches (training only; forward_into never touches them).
   index_t n_ = 0, tq_ = 0, tk_ = 0;
   Tensor q_, k_, v_;     // [N·T, P]
   Tensor attn_;          // [N, H, Tq, Tk] softmax weights

@@ -16,6 +16,37 @@ Tensor FeedForward::backward(const Tensor& grad_output) {
   return fc1_.backward(relu_.backward(fc2_.backward(grad_output)));
 }
 
+Shape FeedForward::output_shape(const Shape& input_shape) const {
+  return fc2_.output_shape(relu_.output_shape(fc1_.output_shape(input_shape)));
+}
+
+void FeedForward::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  fc1_.flatten_into(stages);
+  relu_.flatten_into(stages);
+  fc2_.flatten_into(stages);
+}
+
+void FeedForward::freeze() {
+  fc1_.freeze();
+  relu_.freeze();
+  fc2_.freeze();
+  Module::freeze();
+}
+
+void FeedForward::unfreeze() {
+  fc1_.unfreeze();
+  relu_.unfreeze();
+  fc2_.unfreeze();
+  Module::unfreeze();
+}
+
+void FeedForward::set_training(bool training) {
+  Module::set_training(training);
+  fc1_.set_training(training);
+  relu_.set_training(training);
+  fc2_.set_training(training);
+}
+
 std::vector<nn::Parameter*> FeedForward::parameters() {
   std::vector<nn::Parameter*> params = fc1_.parameters();
   for (nn::Parameter* p : fc2_.parameters()) params.push_back(p);

@@ -13,6 +13,13 @@ class FeedForward : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  // The block flattens to fc1 → relu → fc2, all native, so a pipeline
+  // driver serves it layer-by-layer.
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
+  void set_training(bool training) override;
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -30,4 +30,64 @@ void PositionalEncoding::add_to(Tensor& flat, index_t n, index_t t) const {
     }
 }
 
+// ---------------------------------------------------------------------------
+// PositionalScale
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// y = x·scale + PE, the exact operation order of Transformer::encode
+// (x *= sqrt(d_model); pos.add_to(x)) so the stage is bit-identical to
+// the training path.
+void scale_add_pos(const float* in, float* out, index_t n, index_t t,
+                   index_t d, float scale, const float* table) {
+  for (index_t s = 0; s < n; ++s)
+    for (index_t pos = 0; pos < t; ++pos) {
+      const float* x = in + (s * t + pos) * d;
+      float* y = out + (s * t + pos) * d;
+      const float* pe = table + pos * d;
+      for (index_t i = 0; i < d; ++i) y[i] = x[i] * scale + pe[i];
+    }
+}
+
+}  // namespace
+
+PositionalScale::PositionalScale(const PositionalEncoding& pos,
+                                 std::string name)
+    : pos_(&pos),
+      scale_(std::sqrt(static_cast<float>(pos.d_model()))),
+      name_(std::move(name)) {}
+
+Shape PositionalScale::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 3 && input_shape[2] == pos_->d_model(),
+             name_ << ": expected [N, T, " << pos_->d_model() << "]");
+  QDNN_CHECK(input_shape[1] <= pos_->max_len(),
+             name_ << ": sequence length " << input_shape[1]
+                   << " exceeds max_len " << pos_->max_len());
+  return input_shape;
+}
+
+Tensor PositionalScale::forward(const Tensor& input) {
+  output_shape(input.shape());  // validate
+  Tensor out{input.shape()};
+  scale_add_pos(input.data(), out.data(), input.dim(0), input.dim(1),
+                pos_->d_model(), scale_, pos_->table().data());
+  return out;
+}
+
+Tensor PositionalScale::backward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": serving-only stage (train through "
+                             "Transformer::encode instead)");
+  return {};
+}
+
+void PositionalScale::forward_into(const ConstTensorView& input,
+                                   const TensorView& output, Workspace&) {
+  output_shape(input.shape());  // validate
+  QDNN_CHECK(output.shape() == input.shape(),
+             name_ << ": bad output view " << output.shape());
+  scale_add_pos(input.data(), output.data(), input.dim(0), input.dim(1),
+                pos_->d_model(), scale_, pos_->table().data());
+}
+
 }  // namespace qdnn::models

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/tensor.h"
+#include "nn/module.h"
 
 namespace qdnn::models {
 
@@ -14,10 +15,35 @@ class PositionalEncoding {
   void add_to(Tensor& flat, index_t n, index_t t) const;
 
   const Tensor& table() const { return table_; }
+  index_t max_len() const { return max_len_; }
+  index_t d_model() const { return d_model_; }
 
  private:
   index_t max_len_, d_model_;
   Tensor table_;  // [max_len, d_model]
+};
+
+// The embedding epilogue of the Transformer as a serving stage:
+// y = x · sqrt(d_model) + PE, on [N, T, D].  Non-owning view over a
+// PositionalEncoding table; shape-preserving, allocation-free and
+// stateless, so it shards safely in a flattened encoder pipeline.
+class PositionalScale : public nn::Module {
+ public:
+  explicit PositionalScale(const PositionalEncoding& pos,
+                           std::string name = "pos_scale");
+
+  Tensor forward(const Tensor& input) override;   // [N, T, D]
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+  std::string name() const override { return name_; }
+
+ private:
+  const PositionalEncoding* pos_;
+  float scale_;
+  std::string name_;
 };
 
 }  // namespace qdnn::models

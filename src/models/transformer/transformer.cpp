@@ -10,13 +10,15 @@ namespace qdnn::models {
 
 EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng& rng,
                            std::string name)
-    : self_attn_(config.d_model, config.n_heads, config.proj_dim,
-                 config.spec, rng, name + ".self"),
-      drop1_(config.dropout, rng, name + ".drop1"),
-      ln1_(config.d_model, 1e-5f, name + ".ln1"),
-      ffn_(config.d_model, config.d_ff, rng, name + ".ffn"),
-      drop2_(config.dropout, rng, name + ".drop2"),
-      ln2_(config.d_model, 1e-5f, name + ".ln2") {}
+    : name_(std::move(name)),
+      d_model_(config.d_model),
+      self_attn_(config.d_model, config.n_heads, config.proj_dim,
+                 config.spec, rng, name_ + ".self"),
+      drop1_(config.dropout, rng, name_ + ".drop1"),
+      ln1_(config.d_model, 1e-5f, name_ + ".ln1"),
+      ffn_(config.d_model, config.d_ff, rng, name_ + ".ffn"),
+      drop2_(config.dropout, rng, name_ + ".drop2"),
+      ln2_(config.d_model, 1e-5f, name_ + ".ln2") {}
 
 Tensor EncoderLayer::forward(const Tensor& x, index_t n, index_t t,
                              const std::vector<index_t>& lengths) {
@@ -30,17 +32,72 @@ Tensor EncoderLayer::forward(const Tensor& x, index_t n, index_t t,
   return ln2_.forward(f);
 }
 
+Tensor EncoderLayer::forward(const Tensor& x) {
+  QDNN_CHECK(x.rank() == 3 && x.dim(2) == d_model_,
+             name_ << ": expected [N, T, " << d_model_ << "]");
+  const index_t n = x.dim(0), t = x.dim(1);
+  return forward(x.reshaped(Shape{n * t, d_model_}), n, t, {})
+      .reshaped(Shape{n, t, d_model_});
+}
+
 Tensor EncoderLayer::backward(const Tensor& grad) {
+  if (grad.rank() == 3) {
+    const index_t n = grad.dim(0), t = grad.dim(1);
+    return backward(grad.reshaped(Shape{n * t, d_model_}))
+        .reshaped(Shape{n, t, d_model_});
+  }
   Tensor g2 = ln2_.backward(grad);
   Tensor g_f = drop2_.backward(g2);
   Tensor g_x1 = ffn_.backward(g_f);
   g_x1 += g2;  // residual branch
   Tensor g1 = ln1_.backward(g_x1);
   Tensor g_a = drop1_.backward(g1);
-  auto [gq, gkv] = self_attn_.backward(g_a);
+  auto [gq, gkv] = self_attn_.backward_qkv(g_a);
   gq += gkv;
   gq += g1;  // residual branch
   return gq;
+}
+
+Shape EncoderLayer::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 3 && input_shape[2] == d_model_,
+             name_ << ": expected [N, T, " << d_model_ << "]");
+  return input_shape;
+}
+
+void EncoderLayer::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  // Stage plan over [N, T, D] boundaries, mirroring forward() exactly
+  // (dropout stages are omitted: identity in eval mode):
+  //   attn(in) → (+in) → ln1 → fc1 → relu → fc2 → (+ln1-out) → ln2
+  const auto in = static_cast<index_t>(stages.size()) - 1;
+  self_attn_.flatten_into(stages);
+  stages.push_back(nn::PipelineStage{
+      nullptr, static_cast<index_t>(stages.size()) - 1, in});  // a + x
+  ln1_.flatten_into(stages);
+  const auto x1 = static_cast<index_t>(stages.size()) - 1;
+  ffn_.flatten_into(stages);
+  stages.push_back(nn::PipelineStage{
+      nullptr, static_cast<index_t>(stages.size()) - 1, x1});  // f + x1
+  ln2_.flatten_into(stages);
+}
+
+void EncoderLayer::freeze() {
+  self_attn_.freeze();
+  drop1_.freeze();
+  ln1_.freeze();
+  ffn_.freeze();
+  drop2_.freeze();
+  ln2_.freeze();
+  Module::freeze();
+}
+
+void EncoderLayer::unfreeze() {
+  self_attn_.unfreeze();
+  drop1_.unfreeze();
+  ln1_.unfreeze();
+  ffn_.unfreeze();
+  drop2_.unfreeze();
+  ln2_.unfreeze();
+  Module::unfreeze();
 }
 
 std::vector<nn::Parameter*> EncoderLayer::parameters() {
@@ -52,6 +109,7 @@ std::vector<nn::Parameter*> EncoderLayer::parameters() {
 }
 
 void EncoderLayer::set_training(bool training) {
+  nn::Module::set_training(training);
   self_attn_.set_training(training);
   drop1_.set_training(training);
   ln1_.set_training(training);
@@ -103,11 +161,11 @@ std::pair<Tensor, Tensor> DecoderLayer::backward(const Tensor& grad) {
   g_y2 += g3;
   Tensor g2 = ln2_.backward(g_y2);
   Tensor g_c = drop2_.backward(g2);
-  auto [gq_c, g_enc] = cross_attn_.backward(g_c);
+  auto [gq_c, g_enc] = cross_attn_.backward_qkv(g_c);
   gq_c += g2;
   Tensor g1 = ln1_.backward(gq_c);
   Tensor g_a = drop1_.backward(g1);
-  auto [gq_s, gkv_s] = self_attn_.backward(g_a);
+  auto [gq_s, gkv_s] = self_attn_.backward_qkv(g_a);
   gq_s += gkv_s;
   gq_s += g1;
   return {std::move(gq_s), std::move(g_enc)};
@@ -292,6 +350,74 @@ index_t Transformer::num_parameters() {
   index_t n = 0;
   for (nn::Parameter* p : parameters()) n += p->numel();
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// TransformerEncoder
+// ---------------------------------------------------------------------------
+
+TransformerEncoder::TransformerEncoder(Transformer& model)
+    : model_(&model), scale_pos_(model.positional(), "enc_pos_scale") {}
+
+Tensor TransformerEncoder::forward(const Tensor& src_ids) {
+  QDNN_CHECK_EQ(src_ids.rank(), 2, name() << ": expected [N, T] ids");
+  const index_t n = src_ids.dim(0), t = src_ids.dim(1);
+  // The exact training path with full-length (unpadded) sequences.
+  return model_->encode(src_ids, {})
+      .reshaped(Shape{n, t, model_->config().d_model});
+}
+
+Tensor TransformerEncoder::backward(const Tensor&) {
+  QDNN_CHECK(false, name() << ": serving facade — train through "
+                              "Transformer::forward_train/backward");
+  return {};
+}
+
+Shape TransformerEncoder::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK_EQ(input_shape.rank(), 2, name() << ": expected [N, T] ids");
+  QDNN_CHECK(input_shape[1] <= model_->config().max_len,
+             name() << ": sequence length " << input_shape[1]
+                    << " exceeds max_len " << model_->config().max_len);
+  return Shape{input_shape[0], input_shape[1], model_->config().d_model};
+}
+
+void TransformerEncoder::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  model_->src_embedding().flatten_into(stages);
+  scale_pos_.flatten_into(stages);
+  for (index_t l = 0; l < model_->num_encoder_layers(); ++l)
+    model_->encoder_layer(l).flatten_into(stages);
+}
+
+void TransformerEncoder::freeze() {
+  model_->src_embedding().freeze();
+  scale_pos_.freeze();
+  for (index_t l = 0; l < model_->num_encoder_layers(); ++l)
+    model_->encoder_layer(l).freeze();
+  Module::freeze();
+}
+
+void TransformerEncoder::unfreeze() {
+  model_->src_embedding().unfreeze();
+  scale_pos_.unfreeze();
+  for (index_t l = 0; l < model_->num_encoder_layers(); ++l)
+    model_->encoder_layer(l).unfreeze();
+  Module::unfreeze();
+}
+
+std::vector<nn::Parameter*> TransformerEncoder::parameters() {
+  std::vector<nn::Parameter*> params =
+      model_->src_embedding().parameters();
+  for (index_t l = 0; l < model_->num_encoder_layers(); ++l)
+    for (nn::Parameter* p : model_->encoder_layer(l).parameters())
+      params.push_back(p);
+  return params;
+}
+
+void TransformerEncoder::set_training(bool training) {
+  nn::Module::set_training(training);
+  model_->src_embedding().set_training(training);
+  for (index_t l = 0; l < model_->num_encoder_layers(); ++l)
+    model_->encoder_layer(l).set_training(training);
 }
 
 }  // namespace qdnn::models

@@ -37,17 +37,37 @@ struct TransformerConfig {
   std::uint64_t seed = 1;
 };
 
-class EncoderLayer {
+// One pre-norm-free encoder block: self-attn (+res, LN), FFN (+res, LN).
+//
+// Also a Module: the single-Tensor overrides run the block on [N, T, D]
+// with full-length (unpadded) attention — the serving layout — and
+// flatten_into exposes the block as primitive stages (attention,
+// residual-add, LayerNorm, FFN sublayers) so runtime::InferenceSession
+// serves the encoder layer-by-layer with native kernels.  Dropout is
+// skipped in the flattened pipeline: it is exactly identity in eval mode.
+class EncoderLayer : public nn::Module {
  public:
   EncoderLayer(const TransformerConfig& config, Rng& rng, std::string name);
 
+  // Training entry: flattened [N·T, D] activations with padding lengths.
   Tensor forward(const Tensor& x, index_t n, index_t t,
                  const std::vector<index_t>& lengths);
-  Tensor backward(const Tensor& grad);
-  std::vector<nn::Parameter*> parameters();
-  void set_training(bool training);
+
+  // Module API.  forward accepts [N, T, D] (serving) or the gradient
+  // layout matching the last forward for backward.
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
+  std::vector<nn::Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
 
  private:
+  std::string name_;
+  index_t d_model_;
   MultiHeadAttention self_attn_;
   nn::Dropout drop1_;
   nn::LayerNorm ln1_;
@@ -105,9 +125,23 @@ class Transformer {
 
   const TransformerConfig& config() const { return config_; }
 
- private:
+  // Encoder forward on token ids — public so the serving facade
+  // (TransformerEncoder) and equivalence tests share the training path.
+  // Returns flattened [N·Ts, D].
   Tensor encode(const Tensor& src_ids,
                 const std::vector<index_t>& src_lengths);
+
+  // Serving access for TransformerEncoder.
+  nn::Embedding& src_embedding() { return *src_embed_; }
+  const PositionalEncoding& positional() const { return pos_; }
+  index_t num_encoder_layers() const {
+    return static_cast<index_t>(encoder_.size());
+  }
+  EncoderLayer& encoder_layer(index_t i) {
+    return *encoder_[static_cast<std::size_t>(i)];
+  }
+
+ private:
   Tensor decode(const Tensor& tgt_in_ids, const Tensor& enc_out, index_t ts,
                 const std::vector<index_t>& src_lengths);
 
@@ -122,6 +156,33 @@ class Transformer {
   // Forward caches for backward.
   index_t n_ = 0, ts_ = 0, tt_ = 0;
   std::vector<index_t> src_lengths_;
+};
+
+// Serving facade over the encoder stack of a Transformer: one Module
+// mapping src ids [N, T] → encoder output [N, T, D], whose flatten_into
+// yields the native stage pipeline
+//   embed → scale+positional → (attention, +res, LN, FFN, +res, LN)ᴸ
+// so an InferenceSession serves the encoder layer-by-layer,
+// allocation-free, bit-identical to Transformer::encode with full-length
+// (unpadded) sequences.  Non-owning: the Transformer must outlive the
+// facade and any session holding it.
+class TransformerEncoder : public nn::Module {
+ public:
+  explicit TransformerEncoder(Transformer& model);
+
+  Tensor forward(const Tensor& src_ids) override;  // [N, T] → [N, T, D]
+  Tensor backward(const Tensor& grad_output) override;  // checked error
+  Shape output_shape(const Shape& input_shape) const override;
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
+  std::vector<nn::Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "transformer_encoder"; }
+
+ private:
+  Transformer* model_;
+  PositionalScale scale_pos_;
 };
 
 }  // namespace qdnn::models

@@ -18,6 +18,10 @@ class ReLU : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_mask_ = Tensor{};
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:
@@ -33,6 +37,10 @@ class GELU : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_input_ = Tensor{};
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:
@@ -48,6 +56,10 @@ class Tanh : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_output_ = Tensor{};
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:
@@ -63,6 +75,10 @@ class Sigmoid : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_output_ = Tensor{};
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:

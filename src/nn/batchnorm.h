@@ -25,6 +25,11 @@ class BatchNorm2d : public Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  void freeze() override {
+    cached_xhat_ = Tensor{};
+    cached_invstd_ = Tensor{};
+    Module::freeze();
+  }
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override {
     return {{name_ + ".running_mean", &running_mean_},

@@ -96,6 +96,11 @@ void Conv2d::forward_into(const ConstTensorView& input, const TensorView& output
                         output.data() + s * out_channels_ * n_cols);
 }
 
+void Conv2d::freeze() {
+  cached_input_ = Tensor{};
+  Module::freeze();
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
   const Tensor& input = cached_input_;

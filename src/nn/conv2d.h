@@ -26,6 +26,12 @@ class Conv2d : public Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  // The weight side of the im2col GEMM is consumed untransposed — the
+  // [out, patch] parameter already IS the packed operand layout — so
+  // freeze has no pack to materialize (and deliberately does not copy the
+  // weights); it only drops the training cache.
+  void freeze() override;
+
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

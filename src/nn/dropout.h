@@ -19,6 +19,10 @@ class Dropout : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_mask_ = Tensor{};
+    Module::freeze();
+  }
 
   std::string name() const override { return name_; }
 

@@ -33,6 +33,24 @@ Tensor Embedding::forward(const Tensor& ids) {
   return out;
 }
 
+void Embedding::forward_into(const ConstTensorView& ids, const TensorView& output,
+                             Workspace&) {
+  QDNN_CHECK_EQ(ids.rank(), 2, name_ << ": expected [N, T]");
+  const index_t n = ids.dim(0), t = ids.dim(1);
+  QDNN_CHECK(output.rank() == 3 && output.dim(0) == n &&
+                 output.dim(1) == t && output.dim(2) == dim_,
+             name_ << ": bad output view " << output.shape());
+  for (index_t i = 0; i < n * t; ++i) {
+    const index_t id = static_cast<index_t>(ids[i]);
+    QDNN_CHECK(id >= 0 && id < vocab_size_,
+               name_ << ": token id " << id << " out of vocab "
+                     << vocab_size_);
+    const float* src = weight_.value.data() + id * dim_;
+    float* dst = output.data() + i * dim_;
+    for (index_t d = 0; d < dim_; ++d) dst[d] = src[d];
+  }
+}
+
 Tensor Embedding::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_ids_.empty(), name_ << ": backward before forward");
   const index_t n = cached_ids_.dim(0), t = cached_ids_.dim(1);

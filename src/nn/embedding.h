@@ -20,6 +20,14 @@ class Embedding : public Module {
     QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, T] ids");
     return Shape{input_shape[0], input_shape[1], dim_};
   }
+  // v2: pure gather — allocation-free and shard-safe.
+  bool supports_forward_into() const override { return true; }
+  void forward_into(const ConstTensorView& ids, const TensorView& output,
+                    Workspace& ws) override;
+  void freeze() override {
+    cached_ids_ = Tensor{};
+    Module::freeze();
+  }
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

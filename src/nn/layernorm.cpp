@@ -63,12 +63,16 @@ Tensor LayerNorm::forward(const Tensor& input) {
 
 void LayerNorm::forward_into(const ConstTensorView& input, const TensorView& output,
                              Workspace&) {
-  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, D]");
-  QDNN_CHECK_EQ(input.dim(1), dim_, name_ << ": dim");
+  // Accepts [N, D] or [N, T, D] (the Transformer stage-pipeline layout) —
+  // normalization is over the last dim either way.
+  const index_t rank = input.rank();
+  QDNN_CHECK(rank == 2 || rank == 3,
+             name_ << ": expected [N, D] or [N, T, D]");
+  QDNN_CHECK_EQ(input.dim(rank - 1), dim_, name_ << ": dim");
   QDNN_CHECK(input.shape() == output.shape(),
              name_ << ": forward_into shape mismatch " << input.shape()
                    << " vs " << output.shape());
-  layernorm_rows(input.data(), input.dim(0), dim_, eps_,
+  layernorm_rows(input.data(), input.numel() / dim_, dim_, eps_,
                  gamma_.value.data(), beta_.value.data(), output.data(),
                  nullptr, nullptr);
 }

@@ -16,6 +16,11 @@ class LayerNorm : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_xhat_ = Tensor{};
+    cached_invstd_ = Tensor{};
+    Module::freeze();
+  }
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -38,29 +38,53 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Shape Linear::output_shape(const Shape& input_shape) const {
-  QDNN_CHECK_EQ(input_shape.rank(), 2, name_ << ": expected [N, in]");
-  QDNN_CHECK_EQ(input_shape[1], in_features_, name_ << ": in_features");
-  return Shape{input_shape[0], out_features_};
+  const index_t rank = input_shape.rank();
+  QDNN_CHECK(rank == 2 || rank == 3,
+             name_ << ": expected [N, in] or [N, T, in]");
+  QDNN_CHECK_EQ(input_shape[rank - 1], in_features_,
+                name_ << ": in_features");
+  if (rank == 2) return Shape{input_shape[0], out_features_};
+  return Shape{input_shape[0], input_shape[1], out_features_};
 }
 
 void Linear::forward_into(const ConstTensorView& input, const TensorView& output,
                           Workspace& ws) {
-  QDNN_CHECK_EQ(input.rank(), 2, name_ << ": expected [N, in]");
-  QDNN_CHECK_EQ(input.dim(1), in_features_, name_ << ": in_features");
-  const index_t n = input.dim(0);
-  QDNN_CHECK(output.rank() == 2 && output.dim(0) == n &&
-                 output.dim(1) == out_features_,
+  const index_t rank = input.rank();
+  QDNN_CHECK(rank == 2 || rank == 3,
+             name_ << ": expected [N, in] or [N, T, in]");
+  QDNN_CHECK_EQ(input.dim(rank - 1), in_features_, name_ << ": in_features");
+  // Leading dims flatten into rows: [N, T, in] runs as [N·T, in].
+  const index_t n = input.numel() / in_features_;
+  QDNN_CHECK(output.shape() == output_shape(input.shape()),
              name_ << ": bad output view " << output.shape());
-  float* scratch = ws.alloc(linalg::gemm_scratch_floats(
-      false, true, n, out_features_, in_features_));
-  linalg::gemm(false, true, n, out_features_, in_features_, 1.0f,
-               input.data(), in_features_, weight_.value.data(),
-               in_features_, 0.0f, output.data(), out_features_, scratch);
+  if (packed_w_.packed()) {
+    linalg::gemm_prepacked(false, n, out_features_, in_features_, 1.0f,
+                           input.data(), in_features_, packed_w_, 0.0f,
+                           output.data(), out_features_);
+  } else {
+    float* scratch = ws.alloc(linalg::gemm_scratch_floats(
+        false, true, n, out_features_, in_features_));
+    linalg::gemm(false, true, n, out_features_, in_features_, 1.0f,
+                 input.data(), in_features_, weight_.value.data(),
+                 in_features_, 0.0f, output.data(), out_features_, scratch);
+  }
   if (has_bias_) {
     for (index_t i = 0; i < n; ++i)
       linalg::axpy(out_features_, 1.0f, bias_.value.data(),
                    output.data() + i * out_features_);
   }
+}
+
+void Linear::freeze() {
+  packed_w_.pack(/*trans=*/true, in_features_, out_features_,
+                 weight_.value.data(), in_features_);
+  cached_input_ = Tensor{};
+  Module::freeze();
+}
+
+void Linear::unfreeze() {
+  packed_w_.clear();
+  Module::unfreeze();
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {

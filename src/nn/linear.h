@@ -6,6 +6,7 @@
 // quadratic ones.
 #pragma once
 
+#include "linalg/packed_weights.h"
 #include "nn/init.h"
 #include "nn/module.h"
 
@@ -19,11 +20,18 @@ class Linear : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
 
-  // v2: y = x Wᵀ + b on borrowed memory; scratch only for GEMM packing.
+  // v2: y = x Wᵀ + b on borrowed memory; scratch only for GEMM packing
+  // (none once frozen).  Accepts [N, in] or [N, T, in] (the Transformer
+  // stage-pipeline layout; leading dims are flattened into rows).
   Shape output_shape(const Shape& input_shape) const override;
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+
+  // Freeze caches Wᵀ as a PackedWeights, removing the per-call gemm
+  // trans_b pack (O(in·out) copies + scratch) from the serving path.
+  void freeze() override;
+  void unfreeze() override;
 
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
@@ -43,6 +51,7 @@ class Linear : public Module {
   Parameter weight_;  // [out, in]
   Parameter bias_;    // [out]
   Tensor cached_input_;
+  linalg::PackedWeights packed_w_;  // Wᵀ, cached by freeze()
 };
 
 }  // namespace qdnn::nn

@@ -50,6 +50,27 @@ struct NamedBuffer {
   Tensor* tensor = nullptr;
 };
 
+class Module;
+
+// One stage of a flattened serving pipeline (Module::flatten_into).
+//
+// A pipeline is a list of stages over numbered activation boundaries:
+// boundary -1 is the pipeline input and boundary i is the output of stage
+// i.  A stage either runs a module (`module != nullptr`) on boundary
+// `input`, or — when `module` is null — is a residual-add stage writing
+// boundary[input] + boundary[addend] element-wise.  Referencing arbitrary
+// earlier boundaries is what lets residual blocks (ResNet BasicBlock,
+// Transformer encoder layers) flatten into primitive per-layer stages
+// instead of serving as one monolithic adapter; the pipeline driver
+// (runtime::InferenceSession) plans boundary buffers by liveness.
+struct PipelineStage {
+  Module* module = nullptr;
+  index_t input = -1;   // boundary consumed (stage position - 1 by default)
+  index_t addend = -1;  // second operand of a residual-add stage
+
+  bool is_add() const { return module == nullptr; }
+};
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -83,6 +104,51 @@ class Module {
   virtual void forward_into(const ConstTensorView& input, const TensorView& output,
                             Workspace& ws);
 
+  // --- freeze: one-time serving preparation ------------------------------
+  //
+  // freeze() is the bind step of the serving lifecycle
+  // (build → bind/freeze → run): modules whose forward_into re-packs a
+  // constant weight matrix per call (the gemm trans_b pack of Linear and
+  // the quadratic dense families) materialize the pack now — a
+  // linalg::PackedWeights — so steady-state requests perform no packing
+  // and need no packing scratch.  freeze() also drops training-only caches
+  // (saved activations) that would otherwise sit stale under a serving
+  // process.  Composite modules must propagate both calls recursively.
+  //
+  // Frozen forward_into results are bit-identical to unfrozen ones.
+  // Mutating parameters after freeze() leaves the packs stale: call
+  // unfreeze() (or freeze() again) after any weight update.  forward()
+  // itself never reads the packs, so training correctness is unaffected
+  // either way.
+  //
+  // Overrides must invoke the base implementation so frozen() stays
+  // truthful (modules with nothing to pack report frozen after freeze()
+  // too — composites AND their lifecycle over all children).
+  virtual void freeze() { frozen_ = true; }
+  virtual void unfreeze() { frozen_ = false; }
+  virtual bool frozen() const { return frozen_; }
+
+  // --- flatten: serving stage pipelines ----------------------------------
+  //
+  // Appends this module's serving stages to `stages` in execution order.
+  // The default is one stage (this module) consuming the previous
+  // boundary.  Composite modules (Sequential, ResNet, the Transformer
+  // encoder) override this so pipeline drivers serve them layer-by-layer
+  // with per-stage buffers and native kernels — including residual-add
+  // stages referencing earlier boundaries.  Overrides must compute
+  // boundary ids from the current stages.size() so flattening composes.
+  virtual void flatten_into(std::vector<PipelineStage>& stages) {
+    stages.push_back(
+        PipelineStage{this, static_cast<index_t>(stages.size()) - 1, -1});
+  }
+
+  // Convenience: the flattened pipeline of this module alone.
+  std::vector<PipelineStage> stages() {
+    std::vector<PipelineStage> out;
+    flatten_into(out);
+    return out;
+  }
+
   // All trainable parameters owned by this module (recursively).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
@@ -108,6 +174,7 @@ class Module {
 
  protected:
   bool training_ = true;
+  bool frozen_ = false;
 };
 
 using ModulePtr = std::unique_ptr<Module>;

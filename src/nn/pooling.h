@@ -31,6 +31,11 @@ class MaxPool2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& input_shape) const override;
+  void freeze() override {
+    argmax_.clear();
+    argmax_.shrink_to_fit();
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:

@@ -16,6 +16,12 @@ Shape Sequential::output_shape(const Shape& input_shape) const {
   return cur;
 }
 
+bool Sequential::supports_forward_into() const {
+  for (const auto& child : children_)
+    if (!child->supports_forward_into()) return false;
+  return true;
+}
+
 void Sequential::forward_into(const ConstTensorView& input, const TensorView& output,
                               Workspace& ws) {
   const std::size_t count = children_.size();
@@ -28,16 +34,15 @@ void Sequential::forward_into(const ConstTensorView& input, const TensorView& ou
     return;
   }
 
-  // Internal boundary shapes (outputs of all children but the last, which
-  // writes straight into `output`).
-  std::vector<Shape> bounds;
-  bounds.reserve(count - 1);
+  // Widest internal boundary (outputs of all children but the last, which
+  // writes straight into `output`).  The chain is walked twice instead of
+  // storing the boundary shapes — Shape construction is heap-free, so this
+  // keeps the whole pass allocation-free when the children are native.
   Shape cur = input.shape();
   index_t max_numel = 0;
   for (std::size_t i = 0; i + 1 < count; ++i) {
     cur = children_[i]->output_shape(cur);
     max_numel = std::max(max_numel, cur.numel());
-    bounds.push_back(cur);
   }
 
   float* ping = ws.alloc(max_numel);
@@ -48,11 +53,30 @@ void Sequential::forward_into(const ConstTensorView& input, const TensorView& ou
     if (i + 1 == count) {
       children_[i]->forward_into(in, output, ws);
     } else {
-      TensorView out(bounds[i], i % 2 == 0 ? ping : pong);
+      TensorView out(children_[i]->output_shape(in.shape()),
+                     i % 2 == 0 ? ping : pong);
       children_[i]->forward_into(in, out, ws);
       in = ConstTensorView(out);
     }
   }
+}
+
+void Sequential::flatten_into(std::vector<PipelineStage>& stages) {
+  for (auto& child : children_) child->flatten_into(stages);
+}
+
+void Sequential::freeze() {
+  for (auto& child : children_) child->freeze();
+}
+
+void Sequential::unfreeze() {
+  for (auto& child : children_) child->unfreeze();
+}
+
+bool Sequential::frozen() const {
+  for (const auto& child : children_)
+    if (!child->frozen()) return false;
+  return !children_.empty();
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {

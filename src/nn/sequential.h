@@ -30,19 +30,24 @@ class Sequential : public Module {
   Tensor backward(const Tensor& grad_output) override;
 
   // v2: chains the children over two workspace-backed ping-pong buffers.
-  // Children with native forward_into run allocation-free; v1-only
-  // children go through their legacy adapter transparently.  (The
-  // steady-state serving path — runtime::InferenceSession — flattens a
-  // top-level Sequential and drives the children itself with prebuilt
-  // views; this implementation covers nested composition.)
-  //
-  // supports_forward_into() stays false on purpose: this override avoids
-  // the adapter's whole-tensor copies but still builds per-call Shape
-  // views, so it does not meet the zero-allocation contract the flag
-  // advertises (see Module).
+  // Children with native forward_into run allocation-free (Shape's inline
+  // storage makes the per-boundary views heap-free); v1-only children go
+  // through their legacy adapter transparently.  (The steady-state serving
+  // path — runtime::InferenceSession — flattens a Sequential via
+  // flatten_into and drives the children itself with prebuilt views; this
+  // implementation covers ad-hoc nested composition.)
   Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+
+  // Serving hooks propagate through the chain: the pipeline is the
+  // concatenation of the children's pipelines, and freeze/unfreeze reach
+  // every descendant.
+  void flatten_into(std::vector<PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
+  bool frozen() const override;
 
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override;

@@ -22,6 +22,10 @@ class Softmax : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+  void freeze() override {
+    cached_output_ = Tensor{};
+    Module::freeze();
+  }
   std::string name() const override { return name_; }
 
  private:

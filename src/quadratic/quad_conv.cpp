@@ -148,6 +148,12 @@ void ProposedQuadConv2d::forward_into(const ConstTensorView& input,
   }
 }
 
+void ProposedQuadConv2d::freeze() {
+  cached_input_ = Tensor{};
+  cached_f_ = Tensor{};
+  Module::freeze();
+}
+
 Tensor ProposedQuadConv2d::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
   const Tensor& input = cached_input_;

@@ -44,6 +44,10 @@ class ProposedQuadConv2d : public nn::Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  // W and Q are consumed untransposed by the im2col GEMMs (already the
+  // packed operand layout), so freeze only drops the training caches.
+  void freeze() override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 

@@ -113,21 +113,43 @@ void ProposedQuadraticDense::forward_into(const ConstTensorView& input,
                  output.dim(1) == out_w,
              name_ << ": bad output view " << output.shape());
 
-  // Same two GEMMs as forward(), with scratch (pack + intermediates)
-  // drawn from the workspace instead of fresh tensors.
+  // Same two GEMMs as forward(), with scratch (intermediates, plus weight
+  // packs unless frozen) drawn from the workspace instead of fresh
+  // tensors.
   float* lin = ws.alloc(n * units_);
-  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
-               w_.value.data(), in_, 0.0f, lin, units_,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
-                                                    in_)));
   float* f = ws.alloc(n * uk);
-  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
-               q_.value.data(), in_, 0.0f, f, uk,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
-                                                    in_)));
+  if (packed_w_.packed()) {
+    linalg::gemm_prepacked(false, n, units_, in_, 1.0f, input.data(), in_,
+                           packed_w_, 0.0f, lin, units_);
+    linalg::gemm_prepacked(false, n, uk, in_, 1.0f, input.data(), in_,
+                           packed_q_, 0.0f, f, uk);
+  } else {
+    linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+                 w_.value.data(), in_, 0.0f, lin, units_,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                      units_, in_)));
+    linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+                 q_.value.data(), in_, 0.0f, f, uk,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                      in_)));
+  }
 
   assemble_proposed_dense(lin, f, lambda_.value.data(), b_.value.data(), n,
                           units_, rank_, emit_features_, output.data());
+}
+
+void ProposedQuadraticDense::freeze() {
+  packed_w_.pack(/*trans=*/true, in_, units_, w_.value.data(), in_);
+  packed_q_.pack(/*trans=*/true, in_, units_ * rank_, q_.value.data(), in_);
+  cached_input_ = Tensor{};
+  cached_f_ = Tensor{};
+  Module::freeze();
+}
+
+void ProposedQuadraticDense::unfreeze() {
+  packed_w_.clear();
+  packed_q_.clear();
+  Module::unfreeze();
 }
 
 Tensor ProposedQuadraticDense::backward(const Tensor& grad_output) {
@@ -258,6 +280,11 @@ void GeneralQuadraticDense::forward_into(const ConstTensorView& input,
   }
 }
 
+void GeneralQuadraticDense::freeze() {
+  cached_input_ = Tensor{};
+  Module::freeze();
+}
+
 Tensor GeneralQuadraticDense::backward(const Tensor& grad_output) {
   QDNN_CHECK(!cached_input_.empty(), name_ << ": backward before forward");
   const index_t n = cached_input_.dim(0);
@@ -369,25 +396,52 @@ void LowRankQuadraticDense::forward_into(const ConstTensorView& input,
              name_ << ": bad output view " << output.shape());
 
   float* a = ws.alloc(n * uk);
-  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
-               q1_.value.data(), in_, 0.0f, a, uk,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
-                                                    in_)));
   float* c = ws.alloc(n * uk);
-  linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
-               q2_.value.data(), in_, 0.0f, c, uk,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
-                                                    in_)));
-  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
-               w_.value.data(), in_, 0.0f, output.data(), units_,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
-                                                    in_)));
+  if (packed_w_.packed()) {
+    linalg::gemm_prepacked(false, n, uk, in_, 1.0f, input.data(), in_,
+                           packed_q1_, 0.0f, a, uk);
+    linalg::gemm_prepacked(false, n, uk, in_, 1.0f, input.data(), in_,
+                           packed_q2_, 0.0f, c, uk);
+    linalg::gemm_prepacked(false, n, units_, in_, 1.0f, input.data(), in_,
+                           packed_w_, 0.0f, output.data(), units_);
+  } else {
+    linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+                 q1_.value.data(), in_, 0.0f, a, uk,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                      in_)));
+    linalg::gemm(false, true, n, uk, in_, 1.0f, input.data(), in_,
+                 q2_.value.data(), in_, 0.0f, c, uk,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n, uk,
+                                                      in_)));
+    linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+                 w_.value.data(), in_, 0.0f, output.data(), units_,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                      units_, in_)));
+  }
   for (index_t s = 0; s < n; ++s)
     for (index_t u = 0; u < units_; ++u) {
       const float* a_u = a + s * uk + u * rank_;
       const float* c_u = c + s * uk + u * rank_;
       output.at(s, u) += linalg::dot(a_u, c_u, rank_) + b_.value[u];
     }
+}
+
+void LowRankQuadraticDense::freeze() {
+  const index_t uk = units_ * rank_;
+  packed_q1_.pack(/*trans=*/true, in_, uk, q1_.value.data(), in_);
+  packed_q2_.pack(/*trans=*/true, in_, uk, q2_.value.data(), in_);
+  packed_w_.pack(/*trans=*/true, in_, units_, w_.value.data(), in_);
+  cached_input_ = Tensor{};
+  cached_a_ = Tensor{};
+  cached_c_ = Tensor{};
+  Module::freeze();
+}
+
+void LowRankQuadraticDense::unfreeze() {
+  packed_q1_.clear();
+  packed_q2_.clear();
+  packed_w_.clear();
+  Module::unfreeze();
 }
 
 Tensor LowRankQuadraticDense::backward(const Tensor& grad_output) {
@@ -529,16 +583,27 @@ void FactoredQuadraticDense::forward_into(const ConstTensorView& input,
                  output.dim(1) == units_,
              name_ << ": bad output view " << output.shape());
 
+  const bool pre = packed_w1_.packed();
   float* a = ws.alloc(n * units_);
-  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
-               w1_.value.data(), in_, 0.0f, a, units_,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
-                                                    in_)));
+  if (pre) {
+    linalg::gemm_prepacked(false, n, units_, in_, 1.0f, input.data(), in_,
+                           packed_w1_, 0.0f, a, units_);
+  } else {
+    linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+                 w1_.value.data(), in_, 0.0f, a, units_,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                      units_, in_)));
+  }
   float* b = ws.alloc(n * units_);
-  linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
-               w2_.value.data(), in_, 0.0f, b, units_,
-               ws.alloc(linalg::gemm_scratch_floats(false, true, n, units_,
-                                                    in_)));
+  if (pre) {
+    linalg::gemm_prepacked(false, n, units_, in_, 1.0f, input.data(), in_,
+                           packed_w2_, 0.0f, b, units_);
+  } else {
+    linalg::gemm(false, true, n, units_, in_, 1.0f, input.data(), in_,
+                 w2_.value.data(), in_, 0.0f, b, units_,
+                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                      units_, in_)));
+  }
   if (has_inner_bias()) {
     for (index_t s = 0; s < n; ++s)
       for (index_t u = 0; u < units_; ++u) {
@@ -556,10 +621,15 @@ void FactoredQuadraticDense::forward_into(const ConstTensorView& input,
         x2[i] = input.data()[i] * input.data()[i];
       w3_in = x2;
     }
-    linalg::gemm(false, true, n, units_, in_, 1.0f, w3_in, in_,
-                 w3_.value.data(), in_, 0.0f, output.data(), units_,
-                 ws.alloc(linalg::gemm_scratch_floats(false, true, n,
-                                                      units_, in_)));
+    if (pre) {
+      linalg::gemm_prepacked(false, n, units_, in_, 1.0f, w3_in, in_,
+                             packed_w3_, 0.0f, output.data(), units_);
+    } else {
+      linalg::gemm(false, true, n, units_, in_, 1.0f, w3_in, in_,
+                   w3_.value.data(), in_, 0.0f, output.data(), units_,
+                   ws.alloc(linalg::gemm_scratch_floats(false, true, n,
+                                                        units_, in_)));
+    }
   } else {
     output.zero();
   }
@@ -570,6 +640,24 @@ void FactoredQuadraticDense::forward_into(const ConstTensorView& input,
       if (mode_ == NeuronKind::kBuKarpatne) y += av;
       output.at(s, u) = y;
     }
+}
+
+void FactoredQuadraticDense::freeze() {
+  packed_w1_.pack(/*trans=*/true, in_, units_, w1_.value.data(), in_);
+  packed_w2_.pack(/*trans=*/true, in_, units_, w2_.value.data(), in_);
+  if (has_w3())
+    packed_w3_.pack(/*trans=*/true, in_, units_, w3_.value.data(), in_);
+  cached_input_ = Tensor{};
+  cached_a_ = Tensor{};
+  cached_b_ = Tensor{};
+  Module::freeze();
+}
+
+void FactoredQuadraticDense::unfreeze() {
+  packed_w1_.clear();
+  packed_w2_.clear();
+  packed_w3_.clear();
+  Module::unfreeze();
 }
 
 Tensor FactoredQuadraticDense::backward(const Tensor& grad_output) {

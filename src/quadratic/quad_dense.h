@@ -12,6 +12,7 @@
 //   column u·(k+1)+1+i  : (fᵏ_u)_i,  i = 0…k−1
 #pragma once
 
+#include "linalg/packed_weights.h"
 #include "nn/init.h"
 #include "nn/module.h"
 #include "quadratic/neuron_spec.h"
@@ -39,6 +40,10 @@ class ProposedQuadraticDense : public nn::Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  // Freeze caches Wᵀ and Qᵀ as PackedWeights — no per-call trans_b pack.
+  void freeze() override;
+  void unfreeze() override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -65,6 +70,8 @@ class ProposedQuadraticDense : public nn::Module {
   nn::Parameter b_;       // [units]
   Tensor cached_input_;   // [N, in]
   Tensor cached_f_;       // [N, units*rank]
+  linalg::PackedWeights packed_w_;  // Wᵀ, cached by freeze()
+  linalg::PackedWeights packed_q_;  // Qᵀ, cached by freeze()
 };
 
 // ---------------------------------------------------------------------------
@@ -86,6 +93,10 @@ class GeneralQuadraticDense : public nn::Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+
+  // The dense-M forward is gemv-driven (no per-call weight pack), so
+  // freeze only releases training caches.
+  void freeze() override;
 
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
@@ -124,6 +135,10 @@ class LowRankQuadraticDense : public nn::Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  // Freeze caches Q₁ᵀ, Q₂ᵀ and Wᵀ as PackedWeights.
+  void freeze() override;
+  void unfreeze() override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -139,6 +154,7 @@ class LowRankQuadraticDense : public nn::Module {
   Tensor cached_input_;
   Tensor cached_a_;   // Q₁ᵀx per unit: [N, units*rank]
   Tensor cached_c_;   // Q₂ᵀx per unit: [N, units*rank]
+  linalg::PackedWeights packed_q1_, packed_q2_, packed_w_;
 };
 
 // ---------------------------------------------------------------------------
@@ -160,6 +176,10 @@ class FactoredQuadraticDense : public nn::Module {
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
 
+  // Freeze caches W₁ᵀ, W₂ᵀ (and W₃ᵀ when present) as PackedWeights.
+  void freeze() override;
+  void unfreeze() override;
+
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
 
@@ -178,6 +198,7 @@ class FactoredQuadraticDense : public nn::Module {
   Tensor cached_input_;
   Tensor cached_a_;  // w₁ᵀx (+b₁): [N, units]
   Tensor cached_b_;  // w₂ᵀx (+b₂): [N, units]
+  linalg::PackedWeights packed_w1_, packed_w2_, packed_w3_;
 };
 
 // Factory: builds a dense layer of `spec.kind` producing exactly

@@ -22,6 +22,12 @@ QuantizedLinear::QuantizedLinear(nn::Linear& trained, const Tensor& sample,
   QDNN_CHECK_EQ(sample.rank(), 2, name_ << ": sample must be [N, in]");
   QDNN_CHECK_EQ(sample.dim(1), in_, name_ << ": sample width");
   if (trained.has_bias()) bias_ = trained.bias().value;
+  // Fold the per-request constant input_scale · weight_scale[channel]
+  // once — both factors are fixed for the module's lifetime.
+  dequant_scales_.resize(static_cast<std::size_t>(out_));
+  for (index_t j = 0; j < out_; ++j)
+    dequant_scales_[static_cast<std::size_t>(j)] =
+        input_params_.scale * weight_.params[static_cast<std::size_t>(j)].scale;
 }
 
 Tensor QuantizedLinear::forward(const Tensor& input) {
@@ -36,9 +42,9 @@ Tensor QuantizedLinear::forward(const Tensor& input) {
   Tensor out{Shape{n, out_}};
   for (index_t s = 0; s < n; ++s) {
     for (index_t j = 0; j < out_; ++j) {
-      const float s_w = weight_.params[static_cast<std::size_t>(j)].scale;
-      float y = static_cast<float>(acc[static_cast<std::size_t>(s * out_ + j)]) *
-                input_params_.scale * s_w;
+      float y =
+          static_cast<float>(acc[static_cast<std::size_t>(s * out_ + j)]) *
+          dequant_scales_[static_cast<std::size_t>(j)];
       if (!bias_.empty()) y += bias_[j];
       out.at(s, j) = y;
     }
@@ -71,6 +77,15 @@ QuantizedProposedDense::QuantizedProposedDense(
   QDNN_CHECK_EQ(sample.rank(), 2, name_ << ": sample must be [N, in]");
   QDNN_CHECK_EQ(sample.dim(1), in_, name_ << ": sample width");
   QDNN_CHECK(rank_ <= 64, name_ << ": rank too large for epilogue buffer");
+  const index_t uk = units_ * rank_;
+  w_scales_.resize(static_cast<std::size_t>(units_));
+  q_scales_.resize(static_cast<std::size_t>(uk));
+  for (index_t u = 0; u < units_; ++u)
+    w_scales_[static_cast<std::size_t>(u)] =
+        input_params_.scale * w_.params[static_cast<std::size_t>(u)].scale;
+  for (index_t r = 0; r < uk; ++r)
+    q_scales_[static_cast<std::size_t>(r)] =
+        input_params_.scale * q_.params[static_cast<std::size_t>(r)].scale;
 }
 
 Tensor QuantizedProposedDense::forward(const Tensor& input) {
@@ -96,15 +111,14 @@ Tensor QuantizedProposedDense::forward(const Tensor& input) {
       float f[64];  // rank is small (paper uses k = 9); checked in ctor
       for (index_t i = 0; i < rank_; ++i) {
         const index_t row = u * rank_ + i;
-        const float s_q = q_.params[static_cast<std::size_t>(row)].scale;
         f[i] = static_cast<float>(
                    acc_q[static_cast<std::size_t>(s * uk + row)]) *
-               input_params_.scale * s_q;
+               q_scales_[static_cast<std::size_t>(row)];
       }
-      const float s_w = w_.params[static_cast<std::size_t>(u)].scale;
+      const float s_w = w_scales_[static_cast<std::size_t>(u)];
       const float y1 =
           static_cast<float>(acc_w[static_cast<std::size_t>(s * units_ + u)]) *
-          input_params_.scale * s_w;
+          s_w;
       const float* lam = lambda_.data() + u * rank_;
       float y2 = 0.0f;
       for (index_t i = 0; i < rank_; ++i) y2 += lam[i] * f[i] * f[i];
@@ -169,6 +183,10 @@ QuantizedConv2d::QuantizedConv2d(nn::Conv2d& trained, const Tensor& sample,
   QDNN_CHECK_EQ(sample.rank(), 4, name_ << ": sample must be [N,C,H,W]");
   QDNN_CHECK_EQ(sample.dim(1), geometry_.in_channels, name_ << ": channels");
   if (trained.has_bias()) bias_ = trained.bias().value;
+  dequant_scales_.resize(static_cast<std::size_t>(out_channels_));
+  for (index_t f = 0; f < out_channels_; ++f)
+    dequant_scales_[static_cast<std::size_t>(f)] =
+        input_params_.scale * weight_.params[static_cast<std::size_t>(f)].scale;
 }
 
 Tensor QuantizedConv2d::forward(const Tensor& input) {
@@ -190,8 +208,7 @@ Tensor QuantizedConv2d::forward(const Tensor& input) {
                n_cols, patch);
     float* out_s = out.data() + s * out_channels_ * n_cols;
     for (index_t f = 0; f < out_channels_; ++f) {
-      const float scale =
-          input_params_.scale * weight_.params[static_cast<std::size_t>(f)].scale;
+      const float scale = dequant_scales_[static_cast<std::size_t>(f)];
       const float b = bias_.empty() ? 0.0f : bias_[f];
       const std::int32_t* acc_row = acc.data() + f * n_cols;
       float* o_row = out_s + f * n_cols;
@@ -227,6 +244,15 @@ QuantizedProposedConv2d::QuantizedProposedConv2d(
                                              bits, percentile)) {
   QDNN_CHECK_EQ(sample.rank(), 4, name_ << ": sample must be [N,C,H,W]");
   QDNN_CHECK_EQ(sample.dim(1), geometry_.in_channels, name_ << ": channels");
+  const index_t fr = filters_ * rank_;
+  w_scales_.resize(static_cast<std::size_t>(filters_));
+  q_scales_.resize(static_cast<std::size_t>(fr));
+  for (index_t f = 0; f < filters_; ++f)
+    w_scales_[static_cast<std::size_t>(f)] =
+        input_params_.scale * w_.params[static_cast<std::size_t>(f)].scale;
+  for (index_t r = 0; r < fr; ++r)
+    q_scales_[static_cast<std::size_t>(r)] =
+        input_params_.scale * q_.params[static_cast<std::size_t>(r)].scale;
 }
 
 Tensor QuantizedProposedConv2d::forward(const Tensor& input) {
@@ -256,8 +282,7 @@ Tensor QuantizedProposedConv2d::forward(const Tensor& input) {
 
     float* out_s = out.data() + s * out_channels() * n_cols;
     for (index_t f = 0; f < filters_; ++f) {
-      const float s_w =
-          input_params_.scale * w_.params[static_cast<std::size_t>(f)].scale;
+      const float s_w = w_scales_[static_cast<std::size_t>(f)];
       const float* lam = lambda_.data() + f * rank_;
       float* y_row = out_s + f * ch_per_filter * n_cols;
       const std::int32_t* accw_row = acc_w.data() + f * n_cols;
@@ -266,8 +291,7 @@ Tensor QuantizedProposedConv2d::forward(const Tensor& input) {
         y_row[j] = static_cast<float>(accw_row[j]) * s_w + b;
       for (index_t i = 0; i < rank_; ++i) {
         const index_t row = f * rank_ + i;
-        const float s_q =
-            input_params_.scale * q_.params[static_cast<std::size_t>(row)].scale;
+        const float s_q = q_scales_[static_cast<std::size_t>(row)];
         const std::int32_t* accq_row = acc_q.data() + row * n_cols;
         const float l = lam[i];
         float* o_row = emit_features_ ? y_row + (1 + i) * n_cols : nullptr;

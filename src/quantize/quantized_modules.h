@@ -53,6 +53,9 @@ class QuantizedLinear : public nn::Module {
   QTensorPerChannel weight_;  // [out, in] int8, one scale per row
   Tensor bias_;               // [out] fp32 (empty if the source had none)
   QuantParams input_params_;
+  // input_scale · weight_scale per channel, folded once at construction
+  // (both factors are immutable after the ctor).
+  std::vector<float> dequant_scales_;  // [out]
 };
 
 // Integer proposed neuron: one fused int8 GEMM for [w; Qᵏ], fp32 epilogue
@@ -86,6 +89,7 @@ class QuantizedProposedDense : public nn::Module {
   Tensor lambda_;        // [units, rank] fp32 — k values/unit, negligible
   Tensor bias_;          // [units] fp32
   QuantParams input_params_;
+  std::vector<float> w_scales_, q_scales_;  // folded at construction
 };
 
 // Integer standard convolution: per-filter int8 weights, calibrated
@@ -117,6 +121,7 @@ class QuantizedConv2d : public nn::Module {
   QTensorPerChannel weight_;  // [out, patch]
   Tensor bias_;               // [out] fp32 (empty if source had none)
   QuantParams input_params_;
+  std::vector<float> dequant_scales_;  // [out], folded at construction
 };
 
 // Integer proposed quadratic convolution: the same fused [w; Qᵏ] integer
@@ -157,6 +162,7 @@ class QuantizedProposedConv2d : public nn::Module {
   Tensor lambda_;        // [filters, rank] fp32
   Tensor bias_;          // [filters] fp32
   QuantParams input_params_;
+  std::vector<float> w_scales_, q_scales_;  // folded at construction
 };
 
 }  // namespace qdnn::quantize

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "nn/sequential.h"
-
 namespace qdnn::runtime {
 
 InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
@@ -13,34 +11,48 @@ InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
              "InferenceSession: max_batch must be positive");
   model_->set_training(false);
 
-  // Flatten a top-level Sequential so each layer becomes a stage with its
-  // own prebuilt views; any other module runs as a single stage.
-  if (auto* seq = dynamic_cast<nn::Sequential*>(model_.get());
-      seq != nullptr && seq->size() > 0) {
-    for (index_t i = 0; i < seq->size(); ++i)
-      stages_.push_back(&seq->child(i));
-  } else {
-    stages_.push_back(model_.get());
+  // Flatten the model into per-layer stages.  Composite modules expand
+  // recursively; leaves become single stages consuming the previous
+  // boundary.
+  model_->flatten_into(stages_);
+  QDNN_CHECK(!stages_.empty(), "InferenceSession: empty pipeline");
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    QDNN_CHECK(st.input >= -1 && st.input < static_cast<index_t>(i),
+               "InferenceSession: stage " << i << " reads boundary "
+                                          << st.input
+                                          << " which is not yet produced");
+    if (st.is_add()) {
+      QDNN_CHECK(st.addend >= -1 && st.addend < static_cast<index_t>(i),
+                 "InferenceSession: add stage " << i << " reads boundary "
+                                                << st.addend
+                                                << " which is not yet "
+                                                   "produced");
+    } else {
+      QDNN_CHECK(st.addend == -1,
+                 "InferenceSession: module stage " << i
+                                                   << " has an addend");
+    }
   }
   sample_numel_ = config_.sample_shape.numel();
   QDNN_CHECK(sample_numel_ > 0, "InferenceSession: empty sample_shape");
 
+  // Bind step: prepack constant weights and drop training caches before
+  // the warm-up pass, so the workspace watermark never includes packing
+  // scratch.
+  if (config_.freeze) model_->freeze();
+
   // Walk the shape pipeline once at max_batch: validates every stage's
   // output_shape and records per-sample boundary sizes.
-  Shape cur = batch_shape(config_.max_batch);
-  index_t max_inter_sample = 0;  // widest per-sample boundary before last
-  for (nn::Module* stage : stages_) {
-    cur = stage->output_shape(cur);
-    QDNN_CHECK(cur.rank() >= 1 && cur[0] == config_.max_batch,
-               stage->name()
-                   << ": stage output " << cur
-                   << " does not keep the batch as leading dimension");
-    stage_sample_numel_.push_back(cur.numel() / config_.max_batch);
-  }
-  for (std::size_t i = 0; i + 1 < stage_sample_numel_.size(); ++i)
-    max_inter_sample = std::max(max_inter_sample, stage_sample_numel_[i]);
+  const std::vector<Shape> shapes = boundary_shapes(config_.max_batch);
+  stage_sample_numel_.reserve(shapes.size());
+  for (const Shape& s : shapes)
+    stage_sample_numel_.push_back(s.numel() / config_.max_batch);
   output_buffer_ =
       Tensor{Shape{config_.max_batch * stage_sample_numel_.back()}};
+
+  // Liveness-planned boundary buffer slots.
+  plan_buffers();
 
   index_t threads = std::max<index_t>(1, config_.num_threads);
   threads = std::min(threads, config_.max_batch);
@@ -54,17 +66,15 @@ InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
              "thread-safe); run this model with num_threads = 1");
   shards_.resize(static_cast<std::size_t>(threads));
 
-  // Private ping-pong intermediates, sized for the largest row count a
-  // shard can receive (even split of max_batch) times the widest
-  // internal boundary.  Shards run stage pipelines without a barrier,
-  // so intermediates must never be shared across shards.
+  // Private boundary buffers, sized for the largest row count a shard can
+  // receive (even split of max_batch) times each slot's widest boundary.
+  // Shards run stage pipelines without a barrier, so intermediates must
+  // never be shared across shards.
   const index_t shard_rows_cap = (config_.max_batch + threads - 1) / threads;
-  const index_t shard_floats = shard_rows_cap * max_inter_sample;
-  if (stages_.size() > 1) {
-    for (Shard& shard : shards_) {
-      shard.buffers[0] = Tensor{Shape{shard_floats}};
-      shard.buffers[1] = Tensor{Shape{shard_floats}};
-    }
+  for (Shard& shard : shards_) {
+    shard.buffers.reserve(slot_sample_numel_.size());
+    for (index_t slot_numel : slot_sample_numel_)
+      shard.buffers.emplace_back(Shape{shard_rows_cap * slot_numel});
   }
 
   // Validate the view plan before spawning workers so constructor errors
@@ -132,26 +142,124 @@ Shape InferenceSession::batch_shape(index_t n) const {
   std::vector<index_t> dims;
   dims.reserve(static_cast<std::size_t>(config_.sample_shape.rank()) + 1);
   dims.push_back(n);
-  for (index_t d : config_.sample_shape.dims()) dims.push_back(d);
-  return Shape(std::move(dims));
+  for (index_t d : config_.sample_shape) dims.push_back(d);
+  return Shape(dims);
+}
+
+std::vector<Shape> InferenceSession::boundary_shapes(index_t n) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(stages_.size());
+  const Shape input_shape = batch_shape(n);
+  auto shape_of = [&](index_t b) -> const Shape& {
+    return b < 0 ? input_shape : shapes[static_cast<std::size_t>(b)];
+  };
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    Shape out;
+    if (st.is_add()) {
+      QDNN_CHECK(shape_of(st.input) == shape_of(st.addend),
+                 "InferenceSession: residual-add stage "
+                     << i << " operand shapes " << shape_of(st.input)
+                     << " vs " << shape_of(st.addend));
+      out = shape_of(st.input);
+    } else {
+      out = st.module->output_shape(shape_of(st.input));
+      QDNN_CHECK(out.rank() >= 1 && out[0] == n,
+                 st.module->name()
+                     << ": stage output " << out
+                     << " does not keep the batch as leading dimension");
+    }
+    shapes.push_back(std::move(out));
+  }
+  return shapes;
+}
+
+void InferenceSession::plan_buffers() {
+  // last_use[b]: last stage reading boundary b; a boundary nobody reads is
+  // released right after its producer.  The final boundary lives in the
+  // shared output buffer and never takes a slot.
+  const auto s_count = static_cast<index_t>(stages_.size());
+  std::vector<index_t> last_use(static_cast<std::size_t>(s_count));
+  for (index_t b = 0; b < s_count; ++b)
+    last_use[static_cast<std::size_t>(b)] = b;
+  for (index_t i = 0; i < s_count; ++i) {
+    const nn::PipelineStage& st = stages_[static_cast<std::size_t>(i)];
+    if (st.input >= 0)
+      last_use[static_cast<std::size_t>(st.input)] =
+          std::max(last_use[static_cast<std::size_t>(st.input)], i);
+    if (st.addend >= 0)
+      last_use[static_cast<std::size_t>(st.addend)] =
+          std::max(last_use[static_cast<std::size_t>(st.addend)], i);
+  }
+
+  // Greedy linear scan: allocate a slot for each boundary while the
+  // stage's inputs are still held (forward_into forbids in/out aliasing),
+  // then release every boundary whose last reader has run.  A pure chain
+  // degenerates to the classic two ping-pong buffers; residual pipelines
+  // hold a boundary exactly until its residual-add.
+  boundary_slot_.assign(static_cast<std::size_t>(s_count), -1);
+  slot_sample_numel_.clear();
+  std::vector<bool> slot_free;
+  for (index_t i = 0; i < s_count; ++i) {
+    if (i + 1 < s_count) {
+      index_t slot = -1;
+      for (std::size_t s = 0; s < slot_free.size(); ++s)
+        if (slot_free[s]) {
+          slot = static_cast<index_t>(s);
+          break;
+        }
+      if (slot < 0) {
+        slot = static_cast<index_t>(slot_free.size());
+        slot_free.push_back(false);
+        slot_sample_numel_.push_back(0);
+      }
+      slot_free[static_cast<std::size_t>(slot)] = false;
+      boundary_slot_[static_cast<std::size_t>(i)] = slot;
+      slot_sample_numel_[static_cast<std::size_t>(slot)] =
+          std::max(slot_sample_numel_[static_cast<std::size_t>(slot)],
+                   stage_sample_numel_[static_cast<std::size_t>(i)]);
+    }
+    for (index_t b = 0; b <= i; ++b) {
+      if (last_use[static_cast<std::size_t>(b)] == i &&
+          boundary_slot_[static_cast<std::size_t>(b)] >= 0)
+        slot_free[static_cast<std::size_t>(
+            boundary_slot_[static_cast<std::size_t>(b)])] = true;
+    }
+  }
+
+  input_bound_stages_.clear();
+  input_bound_addends_.clear();
+  for (index_t i = 0; i < s_count; ++i) {
+    if (stages_[static_cast<std::size_t>(i)].input == -1)
+      input_bound_stages_.push_back(i);
+    if (stages_[static_cast<std::size_t>(i)].is_add() &&
+        stages_[static_cast<std::size_t>(i)].addend == -1)
+      input_bound_addends_.push_back(i);
+  }
 }
 
 Shape InferenceSession::output_shape(index_t batch_size) const {
-  Shape cur = batch_shape(batch_size);
-  for (const nn::Module* stage : stages_) cur = stage->output_shape(cur);
-  return cur;
+  return boundary_shapes(batch_size).back();
+}
+
+Shape InferenceSession::stage_output_shape(index_t stage,
+                                           index_t batch_size) const {
+  QDNN_CHECK(stage >= 0 && stage < num_stages(),
+             "InferenceSession: stage " << stage << " out of "
+                                        << num_stages());
+  return boundary_shapes(batch_size)[static_cast<std::size_t>(stage)];
 }
 
 bool InferenceSession::fully_native() const {
-  for (const nn::Module* stage : stages_)
-    if (!stage->supports_forward_into()) return false;
+  for (const nn::PipelineStage& st : stages_)
+    if (!st.is_add() && !st.module->supports_forward_into()) return false;
   return true;
 }
 
 index_t InferenceSession::activation_floats() const {
   index_t total = output_buffer_.numel();
   for (const Shard& shard : shards_)
-    total += shard.buffers[0].numel() + shard.buffers[1].numel();
+    for (const Tensor& buf : shard.buffers) total += buf.numel();
   return total;
 }
 
@@ -163,16 +271,7 @@ index_t InferenceSession::workspace_floats() const {
 
 void InferenceSession::bind(index_t n) {
   // Full boundary shapes for this batch size.
-  std::vector<Shape> stage_shapes;
-  stage_shapes.reserve(stages_.size());
-  Shape cur = batch_shape(n);
-  for (nn::Module* stage : stages_) {
-    cur = stage->output_shape(cur);
-    QDNN_CHECK(cur.rank() >= 1 && cur[0] == n,
-               stage->name() << ": stage output " << cur
-                             << " does not keep the batch dimension");
-    stage_shapes.push_back(cur);
-  }
+  const std::vector<Shape> stage_shapes = boundary_shapes(n);
 
   // Rows are split as evenly as possible; shard r of T gets one of the
   // n % T remainder rows when r < n % T.
@@ -185,32 +284,53 @@ void InferenceSession::bind(index_t n) {
     shard.rows = base + (r < rem ? 1 : 0);
     row += shard.rows;
     shard.in_views.clear();
+    shard.add_views.clear();
     shard.out_views.clear();
     shard.in_views.reserve(stages_.size());
+    shard.add_views.reserve(stages_.size());
     shard.out_views.reserve(stages_.size());
 
-    // Stage-0 input: shape [rows, sample...]; the data pointer is bound
-    // to the caller's batch at every run (rebind — no Shape copies on the
-    // hot path).
-    std::vector<index_t> dims{shard.rows};
-    for (index_t d : config_.sample_shape.dims()) dims.push_back(d);
-    shard.in_views.emplace_back(Shape(std::move(dims)),
-                                output_buffer_.data());
+    // The pipeline-input view shape: [rows, sample...].  The data pointer
+    // is bound to the caller's batch at every run (rebind — no Shape
+    // copies on the hot path); output_buffer_ is a placeholder with
+    // enough room for the QDNN_CHECKs in the view constructor.
+    std::vector<index_t> in_dims{shard.rows};
+    for (index_t d : config_.sample_shape) in_dims.push_back(d);
+    const Shape input_shape{in_dims};
+
+    // Boundary data for this shard: slot buffer, or the shared output
+    // buffer slice for the final boundary.
+    auto boundary_data = [&](index_t b) -> float* {
+      if (b + 1 == static_cast<index_t>(stages_.size()))
+        return output_buffer_.data() +
+               shard.row_begin * stage_sample_numel_.back();
+      return shard.buffers[static_cast<std::size_t>(
+                               boundary_slot_[static_cast<std::size_t>(b)])]
+          .data();
+    };
+    auto shard_shape = [&](index_t b) {
+      std::vector<index_t> dims;
+      if (b < 0) return input_shape;
+      for (index_t d : stage_shapes[static_cast<std::size_t>(b)])
+        dims.push_back(d);
+      dims[0] = shard.rows;
+      return Shape{dims};
+    };
 
     for (std::size_t i = 0; i < stages_.size(); ++i) {
-      std::vector<index_t> sdims = stage_shapes[i].dims();
-      sdims[0] = shard.rows;
-      // Intermediates alternate between the shard's private buffers;
-      // only the final stage writes the shared output buffer, at this
-      // shard's row slice (disjoint across shards for one stage).
-      float* out_data =
-          i + 1 == stages_.size()
-              ? output_buffer_.data() +
-                    shard.row_begin * stage_sample_numel_[i]
-              : shard.buffers[i % 2].data();
-      shard.out_views.emplace_back(Shape(std::move(sdims)), out_data);
-      if (i + 1 < stages_.size())
-        shard.in_views.emplace_back(shard.out_views.back());
+      const nn::PipelineStage& st = stages_[i];
+      const float* in_data = st.input < 0 ? output_buffer_.data()
+                                          : boundary_data(st.input);
+      shard.in_views.emplace_back(shard_shape(st.input), in_data);
+      if (st.is_add()) {
+        const float* add_data = st.addend < 0 ? output_buffer_.data()
+                                              : boundary_data(st.addend);
+        shard.add_views.emplace_back(shard_shape(st.addend), add_data);
+      } else {
+        shard.add_views.emplace_back();
+      }
+      shard.out_views.emplace_back(shard_shape(static_cast<index_t>(i)),
+                                   boundary_data(static_cast<index_t>(i)));
     }
   }
 
@@ -288,13 +408,28 @@ const ConstTensorView& InferenceSession::run_impl(const float* data,
 
 void InferenceSession::run_shard(Shard& shard, const float* input) const {
   if (shard.rows == 0) return;
-  shard.in_views[0].rebind(input + shard.row_begin * sample_numel_);
+  const float* shard_input = input + shard.row_begin * sample_numel_;
+  for (index_t i : input_bound_stages_)
+    shard.in_views[static_cast<std::size_t>(i)].rebind(shard_input);
+  for (index_t i : input_bound_addends_)
+    shard.add_views[static_cast<std::size_t>(i)].rebind(shard_input);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    if (st.is_add()) {
+      // Residual-add stage: out = in + addend, the exact operand order of
+      // the training path's `main += shortcut`.
+      const float* a = shard.in_views[i].data();
+      const float* b = shard.add_views[i].data();
+      float* o = shard.out_views[i].data();
+      const index_t count = shard.out_views[i].numel();
+      for (index_t j = 0; j < count; ++j) o[j] = a[j] + b[j];
+      continue;
+    }
     // Scratch lives only within a stage; rewinding here caps the
     // workspace at the per-stage maximum instead of the pipeline sum.
     shard.ws.reset();
-    stages_[i]->forward_into(shard.in_views[i], shard.out_views[i],
-                             shard.ws);
+    st.module->forward_into(shard.in_views[i], shard.out_views[i],
+                            shard.ws);
   }
 }
 

@@ -1,17 +1,28 @@
 // InferenceSession: the serving facade over a trained model.
 //
-// A session takes ownership of a built Module, switches it to eval mode,
-// and prepares everything a hot serving loop needs exactly once:
+// A session takes ownership of a built Module and prepares everything a
+// hot serving loop needs exactly once — the build → bind/freeze → run
+// lifecycle:
 //
-//   * a top-level Sequential is flattened into per-layer stages (any other
-//     Module runs as a single stage through its forward_into, native or
-//     legacy-adapted);
-//   * per-stage output shapes are precomputed via Module::output_shape;
-//   * each shard owns two private ping-pong activation buffers for its
-//     intermediate stage boundaries (shards run the pipeline without a
-//     stage barrier, so intermediates must not be shared), while every
-//     final-stage output lands in one shared output buffer at the
-//     shard's disjoint row slice;
+//   * the model is switched to eval mode and flattened into per-layer
+//     stages via Module::flatten_into.  Composite modules (Sequential,
+//     ResNet, the Transformer encoder) expand into primitive native
+//     stages, including explicit residual-add stages that reference
+//     earlier activation boundaries; any other module runs as a single
+//     stage through its forward_into (native or legacy-adapted);
+//   * unless config.freeze is off, Module::freeze runs once: constant
+//     weight matrices are prepacked (linalg::PackedWeights), so requests
+//     perform no per-call gemm packing and the packing scratch drops out
+//     of the workspace watermark (asserted by
+//     tests/runtime/session_test.cpp);
+//   * per-stage output shapes are precomputed via Module::output_shape,
+//     and boundary buffers are planned by liveness — a pure chain gets the
+//     classic two ping-pong buffers, residual pipelines hold a boundary
+//     alive exactly until its last reader;
+//   * each shard owns private boundary buffers for its row range (shards
+//     run the pipeline without a stage barrier, so intermediates must not
+//     be shared), while every final-stage output lands in one shared
+//     output buffer at the shard's disjoint row slice;
 //   * each shard owns a Workspace whose watermark is discovered by a
 //     warm-up pass and then consolidated into one contiguous block.
 //
@@ -22,9 +33,9 @@
 // allocations), then the new size is again allocation-free.
 //
 // num_threads > 1 shards the batch rows across a small persistent thread
-// pool.  This requires every stage to have a native forward_into (the
-// legacy adapter mutates per-module caches shared by all shards, so the
-// constructor rejects sharded sessions over unmigrated modules) and
+// pool.  This requires every module stage to have a native forward_into
+// (the legacy adapter mutates per-module caches shared by all shards, so
+// the constructor rejects sharded sessions over unmigrated modules) and
 // relies on stages being per-sample independent at inference, which
 // holds for all qdnn layers in eval mode (BatchNorm uses running stats).
 // Results are bit-identical to the single-threaded path.
@@ -45,7 +56,7 @@ namespace qdnn::runtime {
 
 struct SessionConfig {
   // Per-sample input shape, without the batch dimension — e.g. {in} for
-  // dense models, {C, H, W} for image models.
+  // dense models, {C, H, W} for image models, {T} for token-id models.
   Shape sample_shape;
   // Largest batch run() will be asked to serve (activation buffers are
   // sized for it).
@@ -55,6 +66,10 @@ struct SessionConfig {
   // Run one dummy pass at construction so the workspace watermark is
   // discovered (and consolidated) before the first real request.
   bool warmup = true;
+  // Invoke Module::freeze at bind time: prepack constant weights and drop
+  // training caches.  Off only for A/B measurement (bench/micro_ops) —
+  // results are bit-identical either way.
+  bool freeze = true;
 };
 
 class InferenceSession {
@@ -79,8 +94,15 @@ class InferenceSession {
   index_t max_batch() const { return config_.max_batch; }
   int num_threads() const { return static_cast<int>(shards_.size()); }
   index_t num_stages() const { return static_cast<index_t>(stages_.size()); }
-  // True when every stage has a native (allocation-free) forward_into.
+  // The flattened stage plan (residual-add stages have a null module).
+  const std::vector<nn::PipelineStage>& pipeline() const { return stages_; }
+  // Output shape of one stage's boundary for a given batch size.
+  Shape stage_output_shape(index_t stage, index_t batch_size) const;
+  // True when every module stage has a native (allocation-free)
+  // forward_into (residual-add stages are native by construction).
   bool fully_native() const;
+  // True when the model was frozen at bind time.
+  bool frozen() const { return config_.freeze; }
   // Footprint introspection, in floats.
   index_t activation_floats() const;
   index_t workspace_floats() const;
@@ -90,19 +112,22 @@ class InferenceSession {
  private:
   // One contiguous row-range of the batch, processed end-to-end by one
   // thread.  Intermediate boundaries live in the shard's private
-  // ping-pong buffers (shards are not stage-synchronized, so sharing
-  // them would race); only the final stage writes the shared output
-  // buffer, at this shard's disjoint row slice.  The stage-0 input view
-  // is re-pointed at the caller's data every run.
+  // liveness-planned buffers (shards are not stage-synchronized, so
+  // sharing them would race); only the final stage writes the shared
+  // output buffer, at this shard's disjoint row slice.  Views over the
+  // pipeline input are re-pointed at the caller's data every run.
   struct Shard {
     index_t row_begin = 0;
     index_t rows = 0;
-    Tensor buffers[2];                       // private intermediates
+    std::vector<Tensor> buffers;             // one per planned slot
     std::vector<ConstTensorView> in_views;   // per stage
+    std::vector<ConstTensorView> add_views;  // per stage (add stages only)
     std::vector<TensorView> out_views;       // per stage
     Workspace ws;
   };
 
+  void plan_buffers();
+  std::vector<Shape> boundary_shapes(index_t n) const;
   void bind(index_t n);
   void run_shard(Shard& shard, const float* input) const;
   const ConstTensorView& run_impl(const float* data, index_t n);
@@ -113,10 +138,20 @@ class InferenceSession {
 
   nn::ModulePtr model_;
   SessionConfig config_;
-  std::vector<nn::Module*> stages_;
+  std::vector<nn::PipelineStage> stages_;
   index_t sample_numel_ = 0;
-  // Per-sample numel at each stage output — constant across batch sizes.
+  // Per-sample numel at each stage's output boundary — constant across
+  // batch sizes.
   std::vector<index_t> stage_sample_numel_;
+  // Liveness plan: boundary_slot_[i] is the buffer slot of stage i's
+  // output (-1 for the final boundary, which lands in output_buffer_);
+  // slot_sample_numel_[s] is slot s's per-sample capacity.
+  std::vector<index_t> boundary_slot_;
+  std::vector<index_t> slot_sample_numel_;
+  // Stages whose input (or addend) is the pipeline input and must be
+  // re-pointed at the caller's batch every run.
+  std::vector<index_t> input_bound_stages_;
+  std::vector<index_t> input_bound_addends_;
   Tensor output_buffer_;  // [max_batch · last-stage width], shared
   std::vector<Shard> shards_;
   ConstTensorView output_view_;

@@ -1,0 +1,213 @@
+// Session-vs-training-path equivalence for the two models the paper
+// benchmarks, served as flattened native stage pipelines:
+//
+//  * ResNet — stem, per-block stages with explicit residual-adds, GAP,
+//    fc; final logits must be bit-identical to Module::forward.
+//  * Transformer encoder — embed, scale+positional, and per-layer
+//    attention / residual-add / LayerNorm / FFN stages; final hidden
+//    states must be bit-identical to Transformer::encode.
+//
+// Per-stage output shapes are validated against the pipeline plan so a
+// flatten_into regression (wrong boundary wiring) fails loudly here.
+#include <gtest/gtest.h>
+
+#include "models/resnet.h"
+#include "models/transformer/transformer.h"
+#include "runtime/inference_session.h"
+
+namespace qdnn::models {
+namespace {
+
+using runtime::InferenceSession;
+using runtime::SessionConfig;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t{std::move(shape)};
+  rng.fill_uniform(t, -1.0f, 1.0f);
+  return t;
+}
+
+Tensor random_ids(index_t n, index_t t, index_t vocab, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor ids{Shape{n, t}};
+  for (index_t i = 0; i < ids.numel(); ++i)
+    ids[i] = static_cast<float>(rng.uniform_int(vocab));
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// ResNet
+// ---------------------------------------------------------------------------
+
+TEST(ServingPipeline, ResNetStagesAndLogitsMatchTrainingPath) {
+  for (bool quadratic : {false, true}) {
+    models::ResNetConfig rc;
+    rc.depth = 8;
+    rc.num_classes = 5;
+    rc.image_size = 8;
+    rc.base_width = 4;
+    rc.spec = quadratic ? NeuronSpec::proposed(3) : NeuronSpec::linear();
+    rc.seed = 21;
+    auto net = make_cifar_resnet(rc);
+    net->set_training(false);
+    const Tensor x = random_tensor(Shape{3, 3, 8, 8}, 22);
+    const Tensor ref = net->forward(x);
+
+    // The flattened plan mirrors the architecture: 3 stem stages, 3
+    // blocks of (5 main + shortcut? + add + relu), GAP, fc.
+    SessionConfig config;
+    config.sample_shape = Shape{3, 8, 8};
+    config.max_batch = 4;
+    InferenceSession session(std::move(net), config);
+    EXPECT_TRUE(session.fully_native());
+    EXPECT_GT(session.num_stages(), 10);
+
+    // Per-stage shapes: every boundary keeps the batch dimension, and
+    // residual-add stages preserve their operand shape.
+    const auto& plan = session.pipeline();
+    index_t adds = 0;
+    for (index_t i = 0; i < session.num_stages(); ++i) {
+      const Shape s = session.stage_output_shape(i, 3);
+      EXPECT_EQ(s[0], 3) << "stage " << i;
+      if (plan[static_cast<std::size_t>(i)].is_add()) {
+        ++adds;
+        const index_t in =
+            plan[static_cast<std::size_t>(i)].input;
+        EXPECT_EQ(s, session.stage_output_shape(in, 3)) << "stage " << i;
+      }
+    }
+    EXPECT_EQ(adds, 3);  // one residual-add per basic block (depth 8 = 3)
+    EXPECT_EQ(session.stage_output_shape(session.num_stages() - 1, 3),
+              Shape({3, 5}));
+
+    const ConstTensorView& out = session.run(x);
+    ASSERT_EQ(out.shape(), ref.shape());
+    EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f)
+        << (quadratic ? "proposed" : "linear");
+  }
+}
+
+TEST(ServingPipeline, ResNetProjectionShortcutStagesMatch) {
+  // depth 14 with width multipliers introduces strided blocks whose
+  // projection shortcut becomes its own conv+bn stage pair reading the
+  // block-input boundary.
+  models::ResNetConfig rc;
+  rc.depth = 14;
+  rc.num_classes = 3;
+  rc.image_size = 8;
+  rc.base_width = 4;
+  rc.spec = NeuronSpec::proposed(3);
+  rc.seed = 23;
+  auto net = make_cifar_resnet(rc);
+  net->set_training(false);
+  const Tensor x = random_tensor(Shape{2, 3, 8, 8}, 24);
+  const Tensor ref = net->forward(x);
+
+  SessionConfig config;
+  config.sample_shape = Shape{3, 8, 8};
+  config.max_batch = 2;
+  InferenceSession session(std::move(net), config);
+  EXPECT_TRUE(session.fully_native());
+  const ConstTensorView& out = session.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Transformer encoder
+// ---------------------------------------------------------------------------
+
+TransformerConfig small_config(const quadratic::NeuronSpec& spec) {
+  TransformerConfig config;
+  config.src_vocab = 31;
+  config.tgt_vocab = 29;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 24;
+  config.proj_dim =
+      spec.kind == quadratic::NeuronKind::kProposed ? 8 : 16;
+  config.max_len = 12;
+  config.dropout = 0.1f;  // exercised off through eval mode
+  config.spec = spec;
+  config.seed = 5;
+  return config;
+}
+
+void expect_encoder_pipeline_matches(const quadratic::NeuronSpec& spec,
+                                     std::uint64_t seed) {
+  Transformer model(small_config(spec));
+  model.set_training(false);
+  const index_t n = 3, t = 7;
+  const Tensor ids = random_ids(n, t, model.config().src_vocab, seed);
+  const Tensor ref = model.encode(ids, {}).reshaped(
+      Shape{n, t, model.config().d_model});
+
+  SessionConfig config;
+  config.sample_shape = Shape{t};
+  config.max_batch = 4;
+  InferenceSession session(
+      std::make_unique<TransformerEncoder>(model), config);
+  EXPECT_TRUE(session.fully_native());
+  // embed + scale/pos + per layer: attn, add, ln1, fc1, relu, fc2, add,
+  // ln2 → 2 + 8·n_layers stages.
+  EXPECT_EQ(session.num_stages(), 2 + 8 * model.config().n_layers);
+
+  // Every boundary is [n, T, width] with width = d_model, except the FFN
+  // hidden boundaries (fc1 out and its ReLU) at d_ff.
+  for (index_t i = 0; i < session.num_stages(); ++i) {
+    const Shape s = session.stage_output_shape(i, n);
+    ASSERT_EQ(s.rank(), 3) << "stage " << i;
+    EXPECT_EQ(s[0], n) << "stage " << i;
+    EXPECT_EQ(s[1], t) << "stage " << i;
+    EXPECT_TRUE(s[2] == model.config().d_model ||
+                s[2] == model.config().d_ff)
+        << "stage " << i << " width " << s[2];
+  }
+  EXPECT_EQ(session.stage_output_shape(session.num_stages() - 1, n),
+            Shape({n, t, model.config().d_model}));
+
+  const ConstTensorView& out = session.run(ids);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+
+  // Varying batch sizes re-bind and stay bit-identical per row.
+  const Tensor ids_small = random_ids(1, t, model.config().src_vocab,
+                                      seed + 1);
+  const Tensor ref_small = model.encode(ids_small, {}).reshaped(
+      Shape{1, t, model.config().d_model});
+  EXPECT_EQ(view_max_abs_diff(session.run(ids_small),
+                              ConstTensorView(ref_small)),
+            0.0f);
+}
+
+TEST(ServingPipeline, TransformerEncoderLinearProjectionsMatch) {
+  expect_encoder_pipeline_matches(NeuronSpec::linear(), 31);
+}
+
+TEST(ServingPipeline, TransformerEncoderProposedProjectionsMatch) {
+  expect_encoder_pipeline_matches(NeuronSpec::proposed(3), 37);
+}
+
+TEST(ServingPipeline, TransformerEncoderShardsBitIdentically) {
+  Transformer model(small_config(NeuronSpec::linear()));
+  model.set_training(false);
+  const index_t t = 6;
+  const Tensor ids = random_ids(4, t, model.config().src_vocab, 41);
+
+  SessionConfig config;
+  config.sample_shape = Shape{t};
+  config.max_batch = 4;
+  InferenceSession single(std::make_unique<TransformerEncoder>(model),
+                          config);
+  config.num_threads = 2;
+  InferenceSession sharded(std::make_unique<TransformerEncoder>(model),
+                           config);
+  const Tensor ref = single.run(ids).to_tensor();
+  EXPECT_EQ(view_max_abs_diff(sharded.run(ids), ConstTensorView(ref)),
+            0.0f);
+}
+
+}  // namespace
+}  // namespace qdnn::models

@@ -131,8 +131,10 @@ TEST(InferenceSession, BitIdenticalToLegacyForwardOnResNet) {
   config.sample_shape = Shape{3, 8, 8};
   config.max_batch = 4;
   InferenceSession session(std::move(net), config);
-  // A monolithic module runs as one legacy-adapted stage.
-  EXPECT_EQ(session.num_stages(), 1);
+  // ResNet flattens into a native stage pipeline (stem, blocks with
+  // residual-add stages, GAP, fc) instead of one legacy-adapted stage.
+  EXPECT_GT(session.num_stages(), 10);
+  EXPECT_TRUE(session.fully_native());
   const ConstTensorView& out = session.run(x);
   ASSERT_EQ(out.shape(), ref.shape());
   EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
@@ -172,10 +174,9 @@ TEST(InferenceSession, BitIdenticalAcrossEveryNativeLayerKind) {
   EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
 }
 
-TEST(InferenceSession, NestedSequentialChainsBitIdentically) {
-  // A nested Sequential is one stage whose forward_into ping-pongs its
-  // children through the workspace (3+ children exercises both internal
-  // buffers).
+TEST(InferenceSession, NestedSequentialFlattensToNativeStages) {
+  // A nested Sequential flattens recursively: the session serves the
+  // inner chain's children as first-class native stages.
   auto build = [] {
     Rng rng(41);
     auto inner = std::make_unique<nn::Sequential>("inner");
@@ -193,7 +194,8 @@ TEST(InferenceSession, NestedSequentialChainsBitIdentically) {
   const Tensor ref = ref_net->forward(x);
 
   InferenceSession session(build(), dense_config(8, 4));
-  EXPECT_FALSE(session.fully_native());  // nested Sequential allocates
+  EXPECT_EQ(session.num_stages(), 4);
+  EXPECT_TRUE(session.fully_native());
   const ConstTensorView& out = session.run(x);
   ASSERT_EQ(out.shape(), ref.shape());
   EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
@@ -313,6 +315,132 @@ TEST(InferenceSession, WorkspaceWatermarkIsStableAcrossRuns) {
   for (int i = 0; i < 5; ++i) session.run(x);
   EXPECT_EQ(session.workspace_floats(), ws);
   EXPECT_GT(session.activation_floats(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Freeze / prepack regressions.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceSession, FreezeShrinksWorkspaceWatermarkBitIdentically) {
+  // The same model served frozen (default) and unfrozen: identical bits,
+  // but the frozen session's workspace watermark must have dropped the
+  // per-request gemm trans_b packing scratch.
+  const Tensor x = random_tensor(Shape{8, 12}, 11);
+
+  SessionConfig frozen_cfg = dense_config(12, 8);
+  InferenceSession frozen(make_quad_mlp(31), frozen_cfg);
+  EXPECT_TRUE(frozen.frozen());
+  EXPECT_TRUE(frozen.model().frozen());
+
+  SessionConfig unfrozen_cfg = dense_config(12, 8);
+  unfrozen_cfg.freeze = false;
+  InferenceSession unfrozen(make_quad_mlp(31), unfrozen_cfg);
+  EXPECT_FALSE(unfrozen.frozen());
+  EXPECT_FALSE(unfrozen.model().frozen());
+
+  const Tensor ref = unfrozen.run(x).to_tensor();
+  const ConstTensorView& out = frozen.run(x);
+  ASSERT_EQ(out.shape(), ref.shape());
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+
+  EXPECT_LT(frozen.workspace_floats(), unfrozen.workspace_floats())
+      << "frozen watermark " << frozen.workspace_floats()
+      << " should exclude packing scratch (unfrozen "
+      << unfrozen.workspace_floats() << ")";
+}
+
+TEST(InferenceSession, FrozenSessionZeroHeapAllocationsInSteadyState) {
+  // The headline regression of the freeze subsystem: a frozen session —
+  // prepacked weights, flattened pipeline — performs no steady-state heap
+  // allocations at all, counted by the global allocator.
+  auto net = make_quad_mlp(33);
+  InferenceSession session(std::move(net), dense_config(12, 8));
+  ASSERT_TRUE(session.frozen());
+  ASSERT_TRUE(session.fully_native());
+  const Tensor x = random_tensor(Shape{8, 12}, 12);
+  session.run(x);
+  session.run(x);
+
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 10; ++i) session.run(x);
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "frozen steady-state run() performed " << (after - before)
+      << " heap allocations";
+}
+
+TEST(InferenceSession, FrozenResNetPipelineZeroAllocAndShardable) {
+  // ResNet now serves as an all-native flattened pipeline (residual-add
+  // stages included), so it must run allocation-free and shard across
+  // threads bit-identically.
+  models::ResNetConfig rc;
+  rc.depth = 8;
+  rc.num_classes = 4;
+  rc.image_size = 8;
+  rc.base_width = 4;
+  rc.spec = models::NeuronSpec::proposed(3);
+  rc.seed = 13;
+  SessionConfig config;
+  config.sample_shape = Shape{3, 8, 8};
+  config.max_batch = 4;
+
+  InferenceSession session(models::make_cifar_resnet(rc), config);
+  ASSERT_TRUE(session.fully_native());
+  const Tensor x = random_tensor(Shape{4, 3, 8, 8}, 14);
+  session.run(x);
+  session.run(x);
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 5; ++i) session.run(x);
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "frozen ResNet run() performed " << (after - before)
+      << " heap allocations";
+
+  config.num_threads = 2;
+  InferenceSession sharded(models::make_cifar_resnet(rc), config);
+  EXPECT_EQ(sharded.num_threads(), 2);
+  const Tensor ref = session.run(x).to_tensor();
+  const ConstTensorView& out = sharded.run(x);
+  EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+TEST(InferenceSession, UnfreezeAfterWeightUpdateRestoresCorrectness) {
+  // Mutating weights after freeze leaves the packs stale by contract;
+  // re-freezing re-packs.  The serving results must track the re-pack.
+  Rng rng(47);
+  auto net = std::make_unique<nn::Sequential>("sq");
+  auto* fc = net->emplace<nn::Linear>(6, 3, rng, true, "fc");
+  net->set_training(false);
+
+  net->freeze();
+  const Tensor x = random_tensor(Shape{2, 6}, 15);
+  Workspace ws;
+  Tensor before{Shape{2, 3}};
+  net->forward_into(ConstTensorView(x), TensorView(before), ws);
+
+  // Perturb the weights; the frozen pack must still serve the OLD bits
+  // (stale by contract), and freeze() again must pick up the new ones.
+  fc->weight().value *= 2.0f;
+  ws.reset();
+  Tensor stale{Shape{2, 3}};
+  net->forward_into(ConstTensorView(x), TensorView(stale), ws);
+  EXPECT_EQ(max_abs_diff(stale, before), 0.0f);
+
+  net->freeze();
+  ws.reset();
+  Tensor fresh{Shape{2, 3}};
+  net->forward_into(ConstTensorView(x), TensorView(fresh), ws);
+  const Tensor ref = fc->forward(x);
+  EXPECT_EQ(max_abs_diff(fresh, ref), 0.0f);
+  EXPECT_GT(max_abs_diff(fresh, before), 0.0f);
+
+  // unfreeze() drops the packs entirely: serving reads live weights.
+  net->unfreeze();
+  EXPECT_FALSE(net->frozen());
+  ws.reset();
+  Tensor live{Shape{2, 3}};
+  net->forward_into(ConstTensorView(x), TensorView(live), ws);
+  EXPECT_EQ(max_abs_diff(live, ref), 0.0f);
 }
 
 }  // namespace
