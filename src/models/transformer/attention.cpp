@@ -1,6 +1,7 @@
 #include "models/transformer/attention.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "linalg/gemm.h"
 #include "nn/softmax.h"
@@ -9,15 +10,19 @@ namespace qdnn::models {
 
 namespace {
 
-// Scores → masked softmax → context, shared by the training forward() and
-// the serving forward_into() — one definition so the two paths cannot
-// drift.  q [N·Tq, P], k/v [N·Tk, P]; writes softmax weights into `attn`
-// [N, H, Tq, Tk] and accumulates the per-head context into `context`
-// [N·Tq, P], which must be zeroed by the caller.  `kv_lengths` may be
-// null/empty (all Tk keys valid).
+// Scores → masked softmax → context, shared by the training forward(),
+// the serving forward_into() and the KV-cached step kernels — one
+// definition so the paths cannot drift.  q [N·Tq, P], k/v hold
+// `kv_stride` rows per sample of which the first Tk are attended (a
+// dense [N·Tk, P] buffer passes kv_stride = Tk; a KV cache ring passes
+// its capacity); writes softmax weights into `attn` [N, H, Tq, Tk] and
+// accumulates the per-head context into `context` [N·Tq, P], which must
+// be zeroed by the caller.  `kv_lengths` may be null/empty (all Tk keys
+// valid).
 void attention_forward(const float* q, const float* k, const float* v,
                        index_t n, index_t n_heads, index_t tq, index_t tk,
-                       index_t proj_dim, index_t head_dim, bool causal,
+                       index_t kv_stride, index_t proj_dim,
+                       index_t head_dim, bool causal,
                        const std::vector<index_t>* kv_lengths, float* attn,
                        float* context) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
@@ -36,7 +41,7 @@ void attention_forward(const float* q, const float* k, const float* v,
         for (index_t j = 0; j < tk; ++j) {
           if (j < limit) {
             const float* k_row =
-                k + (s * tk + j) * proj_dim + h * head_dim;
+                k + (s * kv_stride + j) * proj_dim + h * head_dim;
             score_row[j] = scale * linalg::dot(q_row, k_row, head_dim);
           } else {
             score_row[j] = -1e30f;  // masked: pad or future position
@@ -53,7 +58,7 @@ void attention_forward(const float* q, const float* k, const float* v,
           const float a = score_row[j];
           if (a == 0.0f) continue;
           const float* v_row =
-              v + (s * tk + j) * proj_dim + h * head_dim;
+              v + (s * kv_stride + j) * proj_dim + h * head_dim;
           linalg::axpy(head_dim, a, v_row, ctx_row);
         }
       }
@@ -105,8 +110,8 @@ Tensor MultiHeadAttention::forward(const Tensor& q_input,
   attn_ = Tensor{Shape{n, n_heads_, tq, tk}};
   Tensor context{Shape{n * tq, proj_dim_}};
   attention_forward(q_.data(), k_.data(), v_.data(), n, n_heads_, tq, tk,
-                    proj_dim_, head_dim_, causal, &kv_lengths, attn_.data(),
-                    context.data());
+                    /*kv_stride=*/tk, proj_dim_, head_dim_, causal,
+                    &kv_lengths, attn_.data(), context.data());
   // Keep the context for wo_'s backward via its own cache.
   return wo_->forward(context);
 }
@@ -229,11 +234,122 @@ void MultiHeadAttention::forward_into(const ConstTensorView& input,
   float* attn = ws.alloc(n * n_heads_ * t * t);
   float* context = ws.alloc(nt * proj_dim_);
   for (index_t i = 0; i < nt * proj_dim_; ++i) context[i] = 0.0f;
-  attention_forward(q, k, v, n, n_heads_, t, t, proj_dim_, head_dim_,
-                    /*causal=*/false, nullptr, attn, context);
+  attention_forward(q, k, v, n, n_heads_, t, t, /*kv_stride=*/t, proj_dim_,
+                    head_dim_, /*causal=*/false, nullptr, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{nt, proj_dim_}, context),
                     TensorView(Shape{nt, d_model_}, output.data()), ws);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (KV-cached) decoding API.
+// ---------------------------------------------------------------------------
+
+void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
+                                          const TensorView& out,
+                                          const TensorView& k_cache,
+                                          const TensorView& v_cache,
+                                          index_t step, Workspace& ws) {
+  QDNN_CHECK(x.rank() == 2 && x.dim(1) == d_model_,
+             name_ << ": step input must be [N, " << d_model_ << "]");
+  const index_t n = x.dim(0);
+  QDNN_CHECK(k_cache.rank() == 3 && k_cache.dim(0) == n &&
+                 k_cache.dim(2) == proj_dim_ &&
+                 k_cache.shape() == v_cache.shape(),
+             name_ << ": KV cache must be [N, S, " << proj_dim_ << "], got "
+                   << k_cache.shape() << " / " << v_cache.shape());
+  const index_t capacity = k_cache.dim(1);
+  QDNN_CHECK(step >= 0 && step < capacity,
+             name_ << ": step " << step << " outside cache capacity "
+                   << capacity);
+  QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
+             name_ << ": bad step output view " << out.shape());
+
+  // Project the new token; scatter its K/V into the cache rings.
+  float* q = ws.alloc(n * proj_dim_);
+  float* k_new = ws.alloc(n * proj_dim_);
+  float* v_new = ws.alloc(n * proj_dim_);
+  wq_->forward_into(x, TensorView(Shape{n, proj_dim_}, q), ws);
+  wk_->forward_into(x, TensorView(Shape{n, proj_dim_}, k_new), ws);
+  wv_->forward_into(x, TensorView(Shape{n, proj_dim_}, v_new), ws);
+  for (index_t s = 0; s < n; ++s) {
+    float* k_dst = k_cache.data() + (s * capacity + step) * proj_dim_;
+    float* v_dst = v_cache.data() + (s * capacity + step) * proj_dim_;
+    std::memcpy(k_dst, k_new + s * proj_dim_,
+                static_cast<std::size_t>(proj_dim_) * sizeof(float));
+    std::memcpy(v_dst, v_new + s * proj_dim_,
+                static_cast<std::size_t>(proj_dim_) * sizeof(float));
+  }
+
+  // Attend over the cached prefix [0, step] — exactly the last row of a
+  // causal full-prefix pass (whose masked tail contributes exact zeros).
+  const index_t tk = step + 1;
+  float* attn = ws.alloc(n * n_heads_ * tk);
+  float* context = ws.alloc(n * proj_dim_);
+  for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
+  attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
+                    /*tq=*/1, tk, /*kv_stride=*/capacity, proj_dim_,
+                    head_dim_, /*causal=*/false, nullptr, attn, context);
+
+  wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
+                    TensorView(Shape{n, d_model_}, out.data()), ws);
+}
+
+void MultiHeadAttention::project_kv(const ConstTensorView& enc_flat,
+                                    index_t n, index_t tk,
+                                    const TensorView& k_cache,
+                                    const TensorView& v_cache,
+                                    Workspace& ws) {
+  QDNN_CHECK(enc_flat.rank() == 2 && enc_flat.dim(0) == n * tk &&
+                 enc_flat.dim(1) == d_model_,
+             name_ << ": encoder rows must be [N·Tk, " << d_model_
+                   << "], got " << enc_flat.shape());
+  const Shape cache_shape{n, tk, proj_dim_};
+  QDNN_CHECK(k_cache.shape() == cache_shape &&
+                 v_cache.shape() == cache_shape,
+             name_ << ": KV cache must be " << cache_shape << ", got "
+                   << k_cache.shape() << " / " << v_cache.shape());
+  // [N, Tk, P] is contiguous [N·Tk, P]: project straight into the cache.
+  wk_->forward_into(enc_flat,
+                    TensorView(Shape{n * tk, proj_dim_}, k_cache.data()),
+                    ws);
+  wv_->forward_into(enc_flat,
+                    TensorView(Shape{n * tk, proj_dim_}, v_cache.data()),
+                    ws);
+}
+
+void MultiHeadAttention::cross_attend_step(
+    const ConstTensorView& x, const TensorView& out,
+    const ConstTensorView& k_cache, const ConstTensorView& v_cache,
+    const std::vector<index_t>& kv_lengths, Workspace& ws) {
+  QDNN_CHECK(x.rank() == 2 && x.dim(1) == d_model_,
+             name_ << ": step input must be [N, " << d_model_ << "]");
+  const index_t n = x.dim(0);
+  QDNN_CHECK(k_cache.rank() == 3 && k_cache.dim(0) == n &&
+                 k_cache.dim(2) == proj_dim_ &&
+                 k_cache.shape() == v_cache.shape(),
+             name_ << ": KV cache must be [N, Tk, " << proj_dim_
+                   << "], got " << k_cache.shape() << " / "
+                   << v_cache.shape());
+  QDNN_CHECK(kv_lengths.empty() ||
+                 static_cast<index_t>(kv_lengths.size()) == n,
+             name_ << ": kv_lengths size");
+  QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
+             name_ << ": bad step output view " << out.shape());
+  const index_t tk = k_cache.dim(1);
+
+  float* q = ws.alloc(n * proj_dim_);
+  wq_->forward_into(x, TensorView(Shape{n, proj_dim_}, q), ws);
+
+  float* attn = ws.alloc(n * n_heads_ * tk);
+  float* context = ws.alloc(n * proj_dim_);
+  for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
+  attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
+                    /*tq=*/1, tk, /*kv_stride=*/tk, proj_dim_, head_dim_,
+                    /*causal=*/false, &kv_lengths, attn, context);
+
+  wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
+                    TensorView(Shape{n, d_model_}, out.data()), ws);
 }
 
 void MultiHeadAttention::freeze() {
@@ -271,6 +387,115 @@ void MultiHeadAttention::set_training(bool training) {
   wk_->set_training(training);
   wv_->set_training(training);
   wo_->set_training(training);
+}
+
+// ---------------------------------------------------------------------------
+// SelfAttentionStep
+// ---------------------------------------------------------------------------
+
+SelfAttentionStep::SelfAttentionStep(MultiHeadAttention& attn,
+                                     std::string name)
+    : attn_(&attn), name_(std::move(name)) {}
+
+void SelfAttentionStep::bind(TensorView k_cache, TensorView v_cache,
+                             const index_t* step) {
+  QDNN_CHECK(step != nullptr, name_ << ": null step counter");
+  QDNN_CHECK(step_ == nullptr || step_ == step,
+             name_ << ": decoder already bound by another DecodeSession — "
+                      "destroy it before binding a new one");
+  k_ = k_cache;
+  v_ = v_cache;
+  step_ = step;
+}
+
+void SelfAttentionStep::unbind() {
+  k_ = TensorView{};
+  v_ = TensorView{};
+  step_ = nullptr;
+}
+
+Tensor SelfAttentionStep::forward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": serving-only stage — train through "
+                             "DecoderLayer::forward");
+  return {};
+}
+
+Tensor SelfAttentionStep::backward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": serving-only stage has no backward");
+  return {};
+}
+
+Shape SelfAttentionStep::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 2,
+             name_ << ": expected [N, D] step input");
+  return input_shape;
+}
+
+bool SelfAttentionStep::supports_forward_into() const {
+  return attn_->supports_forward_into();
+}
+
+void SelfAttentionStep::forward_into(const ConstTensorView& input,
+                                     const TensorView& output,
+                                     Workspace& ws) {
+  QDNN_CHECK(bound(), name_ << ": KV cache not bound (prime a "
+                               "DecodeSession first)");
+  attn_->self_attend_step(input, output, k_, v_, *step_, ws);
+}
+
+// ---------------------------------------------------------------------------
+// CrossAttentionStep
+// ---------------------------------------------------------------------------
+
+CrossAttentionStep::CrossAttentionStep(MultiHeadAttention& attn,
+                                       std::string name)
+    : attn_(&attn), name_(std::move(name)) {}
+
+void CrossAttentionStep::bind(ConstTensorView k_cache,
+                              ConstTensorView v_cache,
+                              const std::vector<index_t>* kv_lengths) {
+  QDNN_CHECK(kv_lengths != nullptr, name_ << ": null kv_lengths");
+  QDNN_CHECK(kv_lengths_ == nullptr || kv_lengths_ == kv_lengths,
+             name_ << ": decoder already bound by another DecodeSession — "
+                      "destroy it before binding a new one");
+  k_ = k_cache;
+  v_ = v_cache;
+  kv_lengths_ = kv_lengths;
+}
+
+void CrossAttentionStep::unbind() {
+  k_ = ConstTensorView{};
+  v_ = ConstTensorView{};
+  kv_lengths_ = nullptr;
+}
+
+Tensor CrossAttentionStep::forward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": serving-only stage — train through "
+                             "DecoderLayer::forward");
+  return {};
+}
+
+Tensor CrossAttentionStep::backward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": serving-only stage has no backward");
+  return {};
+}
+
+Shape CrossAttentionStep::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 2,
+             name_ << ": expected [N, D] step input");
+  return input_shape;
+}
+
+bool CrossAttentionStep::supports_forward_into() const {
+  return attn_->supports_forward_into();
+}
+
+void CrossAttentionStep::forward_into(const ConstTensorView& input,
+                                      const TensorView& output,
+                                      Workspace& ws) {
+  QDNN_CHECK(bound(), name_ << ": encoder K/V not bound (prime a "
+                               "DecodeSession first)");
+  attn_->cross_attend_step(input, output, k_, v_, *kv_lengths_, ws);
 }
 
 }  // namespace qdnn::models

@@ -18,6 +18,15 @@
 // context all live in the workspace) so a flattened encoder pipeline runs
 // allocation-free; the score/softmax/context kernel is shared with the
 // training forward so the two paths cannot drift.
+//
+// The incremental (KV-cached) decoding API serves autoregressive steps:
+// self_attend_step projects one new token per sample, appends its K/V
+// into a caller-owned cache and attends over the cached prefix (causal
+// masking is implicit in the cache length); project_kv materializes the
+// encoder-side K/V once so cross_attend_step reuses them every step.
+// Both step kernels run through the same score/softmax/context code as
+// the training forward and are bit-identical to the matching row of a
+// full-prefix pass.
 #pragma once
 
 #include <memory>
@@ -58,6 +67,36 @@ class MultiHeadAttention : public nn::Module {
   void freeze() override;
   void unfreeze() override;
 
+  // --- incremental (KV-cached) decoding API ------------------------------
+  //
+  // All three entry points are allocation-free (scratch from `ws` only),
+  // never touch the training caches, and are bit-identical to the
+  // corresponding rows of the teacher-forced forward().
+
+  // Decoder self-attention for one new token per sample.  x: [N, D], the
+  // step's activation.  k_cache/v_cache: [N, S, P] rings (S = step
+  // capacity); the new token's K/V are written at ring row `step` and
+  // attention runs over rows [0, step] — the causal mask is implicit in
+  // the cache length.  out: [N, D].
+  void self_attend_step(const ConstTensorView& x, const TensorView& out,
+                        const TensorView& k_cache, const TensorView& v_cache,
+                        index_t step, Workspace& ws);
+
+  // Cross-attention bind: projects encoder output rows [N·Tk, D] into
+  // k_cache/v_cache [N, Tk, P] once; every subsequent step reuses them.
+  void project_kv(const ConstTensorView& enc_flat, index_t n, index_t tk,
+                  const TensorView& k_cache, const TensorView& v_cache,
+                  Workspace& ws);
+
+  // Cross-attention for one new token per sample against K/V prebound by
+  // project_kv.  kv_lengths masks padded source positions per sample
+  // (empty = all Tk valid), exactly as the training forward.
+  void cross_attend_step(const ConstTensorView& x, const TensorView& out,
+                         const ConstTensorView& k_cache,
+                         const ConstTensorView& v_cache,
+                         const std::vector<index_t>& kv_lengths,
+                         Workspace& ws);
+
   std::vector<nn::Parameter*> parameters() override;
   void set_training(bool training) override;
   std::string name() const override { return name_; }
@@ -72,6 +111,73 @@ class MultiHeadAttention : public nn::Module {
   index_t n_ = 0, tq_ = 0, tk_ = 0;
   Tensor q_, k_, v_;     // [N·T, P]
   Tensor attn_;          // [N, H, Tq, Tk] softmax weights
+};
+
+// ---------------------------------------------------------------------------
+// Decode-step pipeline stages.
+//
+// A decoder layer flattens into per-sublayer stages (attention, residual
+// add, LayerNorm, FFN) just like an encoder layer, but its attention
+// sublayers carry per-session state — KV cache rings, the current step,
+// the encoder K/V and source lengths.  These adapters make the attention
+// steps expressible as ordinary [N, D] -> [N, D] PipelineStage modules: a
+// non-owning view over the MultiHeadAttention plus cache bindings that a
+// runtime::DecodeSession installs at bind/prime time.  One session may
+// bind a decoder at a time (bind() rejects double-binding); the adapters
+// own no parameters — freeze/parameters flow through the wrapped
+// attention via DecoderLayer.
+// ---------------------------------------------------------------------------
+
+class SelfAttentionStep : public nn::Module {
+ public:
+  SelfAttentionStep(MultiHeadAttention& attn, std::string name);
+
+  // k/v: [N, S, P] cache rings; `step` points at the session's step
+  // counter (row written and attended this call).
+  void bind(TensorView k_cache, TensorView v_cache, const index_t* step);
+  void unbind();
+  bool bound() const { return step_ != nullptr; }
+
+  Tensor forward(const Tensor&) override;   // checked error (serving-only)
+  Tensor backward(const Tensor&) override;  // checked error
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+  std::string name() const override { return name_; }
+
+ private:
+  MultiHeadAttention* attn_;
+  std::string name_;
+  TensorView k_, v_;
+  const index_t* step_ = nullptr;
+};
+
+class CrossAttentionStep : public nn::Module {
+ public:
+  CrossAttentionStep(MultiHeadAttention& attn, std::string name);
+
+  // k/v: [N, Tk, P] encoder-side caches filled by project_kv;
+  // `kv_lengths` points at the session's source-length vector (empty =
+  // all Tk positions valid).
+  void bind(ConstTensorView k_cache, ConstTensorView v_cache,
+            const std::vector<index_t>* kv_lengths);
+  void unbind();
+  bool bound() const { return kv_lengths_ != nullptr; }
+
+  Tensor forward(const Tensor&) override;   // checked error (serving-only)
+  Tensor backward(const Tensor&) override;  // checked error
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+  std::string name() const override { return name_; }
+
+ private:
+  MultiHeadAttention* attn_;
+  std::string name_;
+  ConstTensorView k_, v_;
+  const std::vector<index_t>* kv_lengths_ = nullptr;
 };
 
 }  // namespace qdnn::models

@@ -1,6 +1,9 @@
 #include "models/transformer/transformer.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "runtime/decode_session.h"
 
 namespace qdnn::models {
 
@@ -124,17 +127,21 @@ void EncoderLayer::set_training(bool training) {
 
 DecoderLayer::DecoderLayer(const TransformerConfig& config, Rng& rng,
                            std::string name)
-    : self_attn_(config.d_model, config.n_heads, config.proj_dim,
-                 config.spec, rng, name + ".self"),
-      drop1_(config.dropout, rng, name + ".drop1"),
-      ln1_(config.d_model, 1e-5f, name + ".ln1"),
+    : name_(std::move(name)),
+      d_model_(config.d_model),
+      self_attn_(config.d_model, config.n_heads, config.proj_dim,
+                 config.spec, rng, name_ + ".self"),
+      drop1_(config.dropout, rng, name_ + ".drop1"),
+      ln1_(config.d_model, 1e-5f, name_ + ".ln1"),
       cross_attn_(config.d_model, config.n_heads, config.proj_dim,
-                  config.spec, rng, name + ".cross"),
-      drop2_(config.dropout, rng, name + ".drop2"),
-      ln2_(config.d_model, 1e-5f, name + ".ln2"),
-      ffn_(config.d_model, config.d_ff, rng, name + ".ffn"),
-      drop3_(config.dropout, rng, name + ".drop3"),
-      ln3_(config.d_model, 1e-5f, name + ".ln3") {}
+                  config.spec, rng, name_ + ".cross"),
+      drop2_(config.dropout, rng, name_ + ".drop2"),
+      ln2_(config.d_model, 1e-5f, name_ + ".ln2"),
+      ffn_(config.d_model, config.d_ff, rng, name_ + ".ffn"),
+      drop3_(config.dropout, rng, name_ + ".drop3"),
+      ln3_(config.d_model, 1e-5f, name_ + ".ln3"),
+      self_step_(self_attn_, name_ + ".self_step"),
+      cross_step_(cross_attn_, name_ + ".cross_step") {}
 
 Tensor DecoderLayer::forward(const Tensor& y, const Tensor& enc_out,
                              index_t n, index_t tt, index_t ts,
@@ -154,7 +161,7 @@ Tensor DecoderLayer::forward(const Tensor& y, const Tensor& enc_out,
   return ln3_.forward(f);
 }
 
-std::pair<Tensor, Tensor> DecoderLayer::backward(const Tensor& grad) {
+std::pair<Tensor, Tensor> DecoderLayer::backward_dual(const Tensor& grad) {
   Tensor g3 = ln3_.backward(grad);
   Tensor g_f = drop3_.backward(g3);
   Tensor g_y2 = ffn_.backward(g_f);
@@ -171,6 +178,116 @@ std::pair<Tensor, Tensor> DecoderLayer::backward(const Tensor& grad) {
   return {std::move(gq_s), std::move(g_enc)};
 }
 
+Tensor DecoderLayer::forward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": a decoder layer needs the encoder context "
+                             "— use forward(y, enc_out, ...) for training "
+                             "or a runtime::DecodeSession for serving");
+  return {};
+}
+
+Tensor DecoderLayer::backward(const Tensor&) {
+  QDNN_CHECK(false, name_ << ": use backward_dual (returns {grad_y, "
+                             "grad_enc_out})");
+  return {};
+}
+
+Shape DecoderLayer::output_shape(const Shape& input_shape) const {
+  QDNN_CHECK(input_shape.rank() == 2 && input_shape[1] == d_model_,
+             name_ << ": expected [N, " << d_model_ << "] step input");
+  return input_shape;
+}
+
+bool DecoderLayer::supports_forward_into() const {
+  return self_attn_.supports_forward_into() &&
+         cross_attn_.supports_forward_into() &&
+         ffn_.supports_forward_into();
+}
+
+void DecoderLayer::forward_into(const ConstTensorView& input,
+                                const TensorView& output, Workspace& ws) {
+  // One KV-cached decode step on [N, D] — the monolithic twin of the
+  // flatten_into stage plan (same kernels, same operation order as the
+  // teacher-forced forward; dropout is identity in eval mode).
+  QDNN_CHECK(input.rank() == 2 && input.dim(1) == d_model_,
+             name_ << ": expected [N, " << d_model_ << "] step input");
+  QDNN_CHECK(output.shape() == input.shape(),
+             name_ << ": bad output view " << output.shape());
+  const index_t n = input.dim(0);
+  const Shape row_shape{n, d_model_};
+  const index_t count = n * d_model_;
+
+  const TensorView a = ws.take(row_shape);
+  self_step_.forward_into(input, a, ws);
+  const TensorView r1 = ws.take(row_shape);
+  for (index_t i = 0; i < count; ++i) r1[i] = a[i] + input[i];
+  const TensorView y1 = ws.take(row_shape);
+  ln1_.forward_into(r1, y1, ws);
+
+  const TensorView c = ws.take(row_shape);
+  cross_step_.forward_into(y1, c, ws);
+  const TensorView r2 = ws.take(row_shape);
+  for (index_t i = 0; i < count; ++i) r2[i] = c[i] + y1[i];
+  const TensorView y2 = ws.take(row_shape);
+  ln2_.forward_into(r2, y2, ws);
+
+  const TensorView f = ws.take(row_shape);
+  ffn_.forward_into(y2, f, ws);
+  const TensorView r3 = ws.take(row_shape);
+  for (index_t i = 0; i < count; ++i) r3[i] = f[i] + y2[i];
+  ln3_.forward_into(r3, output, ws);
+}
+
+void DecoderLayer::flatten_into(std::vector<nn::PipelineStage>& stages) {
+  // Step-stage plan over [N, D] boundaries, mirroring forward() exactly
+  // (dropout stages are omitted: identity in eval mode):
+  //   self_step(in) → (+in) → ln1 → cross_step → (+y1) → ln2
+  //   → fc1 → relu → fc2 → (+y2) → ln3
+  const auto in = static_cast<index_t>(stages.size()) - 1;
+  self_step_.flatten_into(stages);
+  stages.push_back(nn::PipelineStage{
+      nullptr, static_cast<index_t>(stages.size()) - 1, in});  // a + y
+  ln1_.flatten_into(stages);
+  const auto y1 = static_cast<index_t>(stages.size()) - 1;
+  cross_step_.flatten_into(stages);
+  stages.push_back(nn::PipelineStage{
+      nullptr, static_cast<index_t>(stages.size()) - 1, y1});  // c + y1
+  ln2_.flatten_into(stages);
+  const auto y2 = static_cast<index_t>(stages.size()) - 1;
+  ffn_.flatten_into(stages);
+  stages.push_back(nn::PipelineStage{
+      nullptr, static_cast<index_t>(stages.size()) - 1, y2});  // f + y2
+  ln3_.flatten_into(stages);
+}
+
+void DecoderLayer::freeze() {
+  // Mirrors the encoder-layer audit: every child packs its constant GEMM
+  // operands and releases training caches, so no stale scratch survives
+  // under a serving process.
+  self_attn_.freeze();
+  drop1_.freeze();
+  ln1_.freeze();
+  cross_attn_.freeze();
+  drop2_.freeze();
+  ln2_.freeze();
+  ffn_.freeze();
+  drop3_.freeze();
+  ln3_.freeze();
+  Module::freeze();
+}
+
+void DecoderLayer::unfreeze() {
+  self_attn_.unfreeze();
+  drop1_.unfreeze();
+  ln1_.unfreeze();
+  cross_attn_.unfreeze();
+  drop2_.unfreeze();
+  ln2_.unfreeze();
+  ffn_.unfreeze();
+  drop3_.unfreeze();
+  ln3_.unfreeze();
+  Module::unfreeze();
+}
+
 std::vector<nn::Parameter*> DecoderLayer::parameters() {
   std::vector<nn::Parameter*> params = self_attn_.parameters();
   for (nn::Parameter* p : ln1_.parameters()) params.push_back(p);
@@ -182,6 +299,7 @@ std::vector<nn::Parameter*> DecoderLayer::parameters() {
 }
 
 void DecoderLayer::set_training(bool training) {
+  nn::Module::set_training(training);
   self_attn_.set_training(training);
   drop1_.set_training(training);
   ln1_.set_training(training);
@@ -262,7 +380,7 @@ void Transformer::backward(const Tensor& grad_logits) {
   // decoder layers' cross-attention.
   Tensor g_enc{Shape{n_ * ts_, config_.d_model}};
   for (auto it = decoder_.rbegin(); it != decoder_.rend(); ++it) {
-    auto [g_y_next, g_enc_layer] = (*it)->backward(g_y);
+    auto [g_y_next, g_enc_layer] = (*it)->backward_dual(g_y);
     g_y = std::move(g_y_next);
     g_enc += g_enc_layer;
   }
@@ -281,48 +399,101 @@ void Transformer::backward(const Tensor& grad_logits) {
 std::vector<std::vector<index_t>> Transformer::greedy_decode(
     const Tensor& src_ids, const std::vector<index_t>& src_lengths,
     index_t bos, index_t eos, index_t max_steps) {
+  // Serve through a KV-cached session: O(T) decoder work per emitted
+  // token instead of re-running the whole prefix.  freeze is off so this
+  // convenience wrapper never mutates the model's packing state (results
+  // are bit-identical either way); warm-up is skipped because the session
+  // lives for exactly one batch.
+  if (max_steps == 0)  // degenerate budget: n empty sequences, no work
+    return std::vector<std::vector<index_t>>(
+        static_cast<std::size_t>(src_ids.dim(0)));
+  set_training(false);
+  runtime::DecodeSessionConfig sc;
+  sc.max_batch = src_ids.dim(0);
+  sc.max_steps = max_steps;
+  sc.max_src = src_ids.dim(1);  // caches sized for exactly this batch
+  sc.freeze = false;
+  sc.warmup = false;
+  runtime::DecodeSession session(*this, sc);
+  session.prime(src_ids, src_lengths);
+  return session.generate(bos, eos);
+}
+
+std::vector<std::vector<index_t>> Transformer::greedy_decode_reference(
+    const Tensor& src_ids, const std::vector<index_t>& src_lengths,
+    index_t bos, index_t eos, index_t max_steps) {
   const index_t n = src_ids.dim(0);
   const index_t ts = src_ids.dim(1);
-  QDNN_CHECK(max_steps <= config_.max_len, "greedy_decode: max_steps");
+  // bos fills position 0, so step s embeds target position s: the deepest
+  // step embeds position max_steps − 1 and max_steps may equal max_len
+  // exactly (the implicit-bos slot does not cost a position).
+  QDNN_CHECK(max_steps >= 0 && max_steps <= config_.max_len,
+             "greedy_decode: max_steps " << max_steps << " outside [0, "
+                                         << config_.max_len
+                                         << "] (max_len)");
+  if (max_steps == 0)  // degenerate budget: n empty sequences, no work
+    return std::vector<std::vector<index_t>>(static_cast<std::size_t>(n));
+  set_training(false);
   const Tensor enc_out = encode(src_ids, src_lengths);
 
   std::vector<std::vector<index_t>> outputs(static_cast<std::size_t>(n));
-  std::vector<bool> done(static_cast<std::size_t>(n), false);
-  // Growing teacher sequence, re-decoded each step (O(T²) but inference
-  // batches in the benches are small).
+  // Growing teacher prefixes, re-decoded each step (O(T²) per sequence).
+  // Rows that emitted eos are compacted out of the batch — finished rows
+  // pay nothing, and the step cost tracks the *active* rows only.  The
+  // gathered encoder rows / lengths are rebuilt only when the active set
+  // actually shrinks (and not at all while every row is live).
   std::vector<std::vector<index_t>> prefix(static_cast<std::size_t>(n),
                                            {bos});
-  for (index_t step = 0; step < max_steps; ++step) {
+  std::vector<index_t> active(static_cast<std::size_t>(n));
+  for (index_t s = 0; s < n; ++s) active[static_cast<std::size_t>(s)] = s;
+  Tensor enc_act;
+  std::vector<index_t> lens_act;
+  bool gather_stale = true;
+
+  for (index_t step = 0; step < max_steps && !active.empty(); ++step) {
     const index_t tt = step + 1;
-    Tensor tgt{Shape{n, tt}};
-    for (index_t s = 0; s < n; ++s)
+    const auto na = static_cast<index_t>(active.size());
+    Tensor tgt{Shape{na, tt}};
+    for (index_t i = 0; i < na; ++i) {
+      const index_t s = active[static_cast<std::size_t>(i)];
       for (index_t j = 0; j < tt; ++j)
-        tgt.at(s, j) =
+        tgt.at(i, j) =
             static_cast<float>(prefix[static_cast<std::size_t>(s)]
                                [static_cast<std::size_t>(j)]);
-    Tensor logits = decode(tgt, enc_out, ts, src_lengths);
-    bool all_done = true;
-    for (index_t s = 0; s < n; ++s) {
-      if (done[static_cast<std::size_t>(s)]) {
-        // Keep finished rows the same length as the rest of the batch so
-        // the next step's tgt tensor stays rectangular.
-        prefix[static_cast<std::size_t>(s)].push_back(eos);
-        continue;
+    }
+    const bool all_live = na == n;
+    if (!all_live && gather_stale) {
+      enc_act = Tensor{Shape{na * ts, config_.d_model}};
+      lens_act.clear();
+      for (index_t i = 0; i < na; ++i) {
+        const index_t s = active[static_cast<std::size_t>(i)];
+        std::memcpy(enc_act.data() + i * ts * config_.d_model,
+                    enc_out.data() + s * ts * config_.d_model,
+                    static_cast<std::size_t>(ts * config_.d_model) *
+                        sizeof(float));
+        if (!src_lengths.empty())
+          lens_act.push_back(src_lengths[static_cast<std::size_t>(s)]);
       }
+      gather_stale = false;
+    }
+    const Tensor logits = decode(tgt, all_live ? enc_out : enc_act, ts,
+                                 all_live ? src_lengths : lens_act);
+    std::vector<index_t> still_active;
+    still_active.reserve(active.size());
+    for (index_t i = 0; i < na; ++i) {
+      const index_t s = active[static_cast<std::size_t>(i)];
       const float* row =
-          logits.data() + ((s * tt) + (tt - 1)) * config_.tgt_vocab;
+          logits.data() + ((i * tt) + (tt - 1)) * config_.tgt_vocab;
       index_t best = 0;
       for (index_t v = 1; v < config_.tgt_vocab; ++v)
         if (row[v] > row[best]) best = v;
+      if (best == eos) continue;  // finished: drops out of the batch
+      outputs[static_cast<std::size_t>(s)].push_back(best);
       prefix[static_cast<std::size_t>(s)].push_back(best);
-      if (best == eos) {
-        done[static_cast<std::size_t>(s)] = true;
-      } else {
-        outputs[static_cast<std::size_t>(s)].push_back(best);
-        all_done = false;
-      }
+      still_active.push_back(s);
     }
-    if (all_done) break;
+    if (still_active.size() != active.size()) gather_stale = true;
+    active.swap(still_active);
   }
   return outputs;
 }
@@ -344,6 +515,22 @@ void Transformer::set_training(bool training) {
   for (auto& layer : encoder_) layer->set_training(training);
   for (auto& layer : decoder_) layer->set_training(training);
   out_proj_->set_training(training);
+}
+
+void Transformer::freeze() {
+  src_embed_->freeze();
+  tgt_embed_->freeze();
+  for (auto& layer : encoder_) layer->freeze();
+  for (auto& layer : decoder_) layer->freeze();
+  out_proj_->freeze();
+}
+
+void Transformer::unfreeze() {
+  src_embed_->unfreeze();
+  tgt_embed_->unfreeze();
+  for (auto& layer : encoder_) layer->unfreeze();
+  for (auto& layer : decoder_) layer->unfreeze();
+  out_proj_->unfreeze();
 }
 
 index_t Transformer::num_parameters() {

@@ -76,19 +76,54 @@ class EncoderLayer : public nn::Module {
   nn::LayerNorm ln2_;
 };
 
-class DecoderLayer {
+// One decoder block: causal self-attn (+res, LN), cross-attn over the
+// encoder output (+res, LN), FFN (+res, LN).
+//
+// Also a Module — the serving face of the block is the *decode step*:
+// forward_into maps the new token's activations [N, D] through the whole
+// block against session-bound KV caches (causal masking is implicit in
+// the self-attention cache length), and flatten_into exposes the step as
+// primitive stages (attention steps, residual-adds, LayerNorms, FFN
+// sublayers) so runtime::DecodeSession drives it with the PR 2 stage
+// kernels.  The single-Tensor forward is a checked error (the block needs
+// the encoder context); training flows through the multi-arg overloads.
+class DecoderLayer : public nn::Module {
  public:
   DecoderLayer(const TransformerConfig& config, Rng& rng, std::string name);
 
+  // Training entry: flattened [N·Tt, D] activations.
   Tensor forward(const Tensor& y, const Tensor& enc_out, index_t n,
                  index_t tt, index_t ts,
                  const std::vector<index_t>& src_lengths);
-  // Returns {grad_y, grad_enc_out}.
-  std::pair<Tensor, Tensor> backward(const Tensor& grad);
-  std::vector<nn::Parameter*> parameters();
-  void set_training(bool training);
+  // Returns {grad_y, grad_enc_out}.  (Named distinctly from the Module
+  // backward override, which differs only in return type.)
+  std::pair<Tensor, Tensor> backward_dual(const Tensor& grad);
+
+  // Module API.  forward/backward are checked errors (two-input layer);
+  // forward_into runs one KV-cached decode step on [N, D] and requires
+  // the attention steps to be bound by a DecodeSession.
+  Tensor forward(const Tensor&) override;
+  Tensor backward(const Tensor&) override;
+  Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+  void flatten_into(std::vector<nn::PipelineStage>& stages) override;
+  void freeze() override;
+  void unfreeze() override;
+  std::vector<nn::Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string name() const override { return name_; }
+
+  // Session bind points.
+  MultiHeadAttention& self_attention() { return self_attn_; }
+  MultiHeadAttention& cross_attention() { return cross_attn_; }
+  SelfAttentionStep& self_step() { return self_step_; }
+  CrossAttentionStep& cross_step() { return cross_step_; }
 
  private:
+  std::string name_;
+  index_t d_model_;
   MultiHeadAttention self_attn_;
   nn::Dropout drop1_;
   nn::LayerNorm ln1_;
@@ -98,6 +133,8 @@ class DecoderLayer {
   FeedForward ffn_;
   nn::Dropout drop3_;
   nn::LayerNorm ln3_;
+  SelfAttentionStep self_step_;
+  CrossAttentionStep cross_step_;
 };
 
 class Transformer {
@@ -114,13 +151,35 @@ class Transformer {
   void backward(const Tensor& grad_logits);
 
   // Greedy autoregressive decoding (inference).  Returns one id sequence
-  // per sample, each ending at eos or max_steps.
+  // per sample, each ending at eos or max_steps.  Served through a
+  // KV-cached runtime::DecodeSession (O(T) per emitted token) and
+  // bit-identical to greedy_decode_reference; switches the model to eval
+  // mode (decoding through train-mode dropout was never meaningful).
+  // max_steps counts emitted tokens: the implicit bos occupies position 0
+  // and step s embeds position s, so max_steps may equal max_len exactly;
+  // max_steps == 0 returns empty sequences without touching the model.
   std::vector<std::vector<index_t>> greedy_decode(
+      const Tensor& src_ids, const std::vector<index_t>& src_lengths,
+      index_t bos, index_t eos, index_t max_steps);
+
+  // The legacy teacher-forced decoder: re-runs every decoder layer over
+  // the growing prefix each step (O(T²) per sequence) — kept as the
+  // regression oracle for the KV-cached path and as the uncached side of
+  // bench/table2_transformer.  Rows that emitted eos are compacted out of
+  // the batch instead of being re-decoded.
+  std::vector<std::vector<index_t>> greedy_decode_reference(
       const Tensor& src_ids, const std::vector<index_t>& src_lengths,
       index_t bos, index_t eos, index_t max_steps);
 
   std::vector<nn::Parameter*> parameters();
   void set_training(bool training);
+  // Serving bind/unbind over the whole model (both embeddings, encoder
+  // and decoder stacks, output projection): prepack constant GEMM
+  // operands and drop training caches.  Mutating parameters afterwards
+  // leaves the packs stale — unfreeze() (or freeze() again) after any
+  // weight update.
+  void freeze();
+  void unfreeze();
   index_t num_parameters();
 
   const TransformerConfig& config() const { return config_; }
@@ -140,6 +199,16 @@ class Transformer {
   EncoderLayer& encoder_layer(index_t i) {
     return *encoder_[static_cast<std::size_t>(i)];
   }
+
+  // Serving access for runtime::DecodeSession.
+  nn::Embedding& tgt_embedding() { return *tgt_embed_; }
+  index_t num_decoder_layers() const {
+    return static_cast<index_t>(decoder_.size());
+  }
+  DecoderLayer& decoder_layer(index_t i) {
+    return *decoder_[static_cast<std::size_t>(i)];
+  }
+  nn::Linear& output_projection() { return *out_proj_; }
 
  private:
   Tensor decode(const Tensor& tgt_in_ids, const Tensor& enc_out, index_t ts,

@@ -24,6 +24,10 @@ class Embedding : public Module {
   bool supports_forward_into() const override { return true; }
   void forward_into(const ConstTensorView& ids, const TensorView& output,
                     Workspace& ws) override;
+  // Freeze is a packing no-op: the gather reads weight rows directly, so
+  // there is no constant GEMM operand to materialize (and nothing goes
+  // stale on unfreeze).  Only the training id cache is released, per the
+  // stale-scratch audit of the serving lifecycle.
   void freeze() override {
     cached_ids_ = Tensor{};
     Module::freeze();

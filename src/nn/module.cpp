@@ -18,4 +18,23 @@ void Module::forward_into(const ConstTensorView& input, const TensorView& output
               static_cast<std::size_t>(out.numel()) * sizeof(float));
 }
 
+void validate_pipeline(const std::vector<PipelineStage>& stages,
+                       const char* driver) {
+  QDNN_CHECK(!stages.empty(), driver << ": empty pipeline");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const PipelineStage& st = stages[i];
+    QDNN_CHECK(st.input >= -1 && st.input < static_cast<index_t>(i),
+               driver << ": stage " << i << " reads boundary " << st.input
+                      << " which is not yet produced");
+    if (st.is_add()) {
+      QDNN_CHECK(st.addend >= -1 && st.addend < static_cast<index_t>(i),
+                 driver << ": add stage " << i << " reads boundary "
+                        << st.addend << " which is not yet produced");
+    } else {
+      QDNN_CHECK(st.addend == -1,
+                 driver << ": module stage " << i << " has an addend");
+    }
+  }
+}
+
 }  // namespace qdnn::nn

@@ -71,6 +71,15 @@ struct PipelineStage {
   bool is_add() const { return module == nullptr; }
 };
 
+// Checks the boundary wiring of a flattened stage plan: every stage may
+// only read boundaries already produced, and only residual-add stages
+// carry an addend.  Shared by the pipeline drivers
+// (runtime::InferenceSession, runtime::DecodeSession) so a flatten_into
+// regression fails identically under either.  `driver` names the caller
+// in error messages.
+void validate_pipeline(const std::vector<PipelineStage>& stages,
+                       const char* driver);
+
 class Module {
  public:
   virtual ~Module() = default;

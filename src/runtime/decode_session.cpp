@@ -1,0 +1,346 @@
+#include "runtime/decode_session.h"
+
+#include <cmath>
+
+namespace qdnn::runtime {
+
+DecodeSession::DecodeSession(models::Transformer& model,
+                             DecodeSessionConfig config)
+    : model_(&model), config_(config) {
+  const models::TransformerConfig& mc = model_->config();
+  QDNN_CHECK(config_.max_batch > 0,
+             "DecodeSession: max_batch must be positive");
+  // bos fills ring row 0 and step s embeds position s, so the deepest
+  // step uses position max_steps − 1: max_steps == max_len is the exact
+  // upper bound (the implicit-bos slot does not cost an extra position).
+  QDNN_CHECK(config_.max_steps >= 1 && config_.max_steps <= mc.max_len,
+             "DecodeSession: max_steps " << config_.max_steps
+                                         << " outside [1, " << mc.max_len
+                                         << "] (max_len)");
+  d_model_ = mc.d_model;
+  proj_dim_ = mc.proj_dim;
+  vocab_ = mc.tgt_vocab;
+  max_src_ = config_.max_src > 0 ? config_.max_src : mc.max_len;
+  QDNN_CHECK(max_src_ <= mc.max_len,
+             "DecodeSession: max_src " << max_src_ << " exceeds max_len "
+                                       << mc.max_len);
+
+  // Exclusivity first, before ANY model mutation: a rejected second
+  // session must not flip the model to eval mode or freeze it.
+  const index_t layers = model_->num_decoder_layers();
+  QDNN_CHECK(layers > 0, "DecodeSession: model has no decoder layers");
+  for (index_t l = 0; l < layers; ++l)
+    QDNN_CHECK(!model_->decoder_layer(l).self_step().bound() &&
+                   !model_->decoder_layer(l).cross_step().bound(),
+               "DecodeSession: decoder already bound by another "
+               "DecodeSession — destroy it before binding a new one");
+  model_->set_training(false);
+
+  // Flatten the decode-step pipeline: every decoder layer's stages, then
+  // the output projection as the final stage.
+  for (index_t l = 0; l < layers; ++l)
+    model_->decoder_layer(l).flatten_into(stages_);
+  model_->output_projection().flatten_into(stages_);
+  nn::validate_pipeline(stages_, "DecodeSession");
+
+  // Per-boundary row widths via the shape pipeline at batch 1 (widths are
+  // batch-independent; every boundary keeps the batch leading).
+  stage_width_.reserve(stages_.size());
+  {
+    auto width_of = [&](index_t b) {
+      return b < 0 ? d_model_
+                   : stage_width_[static_cast<std::size_t>(b)];
+    };
+    for (const nn::PipelineStage& st : stages_) {
+      if (st.is_add()) {
+        QDNN_CHECK(width_of(st.input) == width_of(st.addend),
+                   "DecodeSession: residual-add operand widths "
+                       << width_of(st.input) << " vs "
+                       << width_of(st.addend));
+        stage_width_.push_back(width_of(st.input));
+      } else {
+        const Shape out =
+            st.module->output_shape(Shape{1, width_of(st.input)});
+        QDNN_CHECK(out.rank() == 2 && out[0] == 1,
+                   st.module->name() << ": step stage output " << out
+                                     << " is not [N, W]");
+        stage_width_.push_back(out[1]);
+      }
+    }
+  }
+  QDNN_CHECK(stage_width_.back() == vocab_,
+             "DecodeSession: final stage width " << stage_width_.back()
+                                                 << " != tgt_vocab "
+                                                 << vocab_);
+
+  // Bind step: prepack the decode-side weights and drop training caches
+  // before warm-up, so the watermark never includes packing scratch.
+  if (config_.freeze) {
+    model_->tgt_embedding().freeze();
+    for (index_t l = 0; l < layers; ++l) model_->decoder_layer(l).freeze();
+    model_->output_projection().freeze();
+  }
+
+  // KV caches and activation buffers, sized once for (max_batch,
+  // max_steps / max_len).  Zero-filled so the warm-up step at the deepest
+  // ring position reads defined values.
+  const index_t self_floats = config_.max_batch * config_.max_steps *
+                              proj_dim_;
+  const index_t cross_floats = config_.max_batch * max_src_ * proj_dim_;
+  for (index_t l = 0; l < layers; ++l) {
+    self_k_.emplace_back(Shape{self_floats});
+    self_v_.emplace_back(Shape{self_floats});
+    cross_k_.emplace_back(Shape{cross_floats});
+    cross_v_.emplace_back(Shape{cross_floats});
+  }
+  embed_buf_ = Tensor{Shape{config_.max_batch * d_model_}};
+  buffers_.reserve(stages_.size());
+  for (index_t w : stage_width_)
+    buffers_.emplace_back(Shape{config_.max_batch * w});
+  next_tokens_.reserve(static_cast<std::size_t>(config_.max_batch));
+  feed_tokens_.reserve(static_cast<std::size_t>(config_.max_batch));
+  done_.reserve(static_cast<std::size_t>(config_.max_batch));
+  in_views_.resize(stages_.size());
+  add_views_.resize(stages_.size());
+  out_views_.resize(stages_.size());
+
+  // From the first bind on, an exception must not leave the model's
+  // adapters pointing into this half-constructed (about-to-unwind)
+  // session: unbind before rethrowing (the destructor will not run).
+  try {
+    bind_views(config_.max_batch, max_src_);
+
+    if (config_.warmup) {
+      // Project dummy encoder K/V (covers prime's projection scratch)
+      // and run one step at the deepest ring position (the widest score
+      // buffers), then consolidate the workspace to the exact watermark.
+      Tensor dummy_enc{Shape{config_.max_batch * max_src_, d_model_}};
+      const ConstTensorView enc_view(dummy_enc.shape(), dummy_enc.data());
+      for (index_t l = 0; l < layers; ++l) {
+        ws_.reset();
+        model_->decoder_layer(l).cross_attention().project_kv(
+            enc_view, config_.max_batch, max_src_,
+            TensorView(Shape{config_.max_batch, max_src_, proj_dim_},
+                       cross_k_[static_cast<std::size_t>(l)].data()),
+            TensorView(Shape{config_.max_batch, max_src_, proj_dim_},
+                       cross_v_[static_cast<std::size_t>(l)].data()),
+            ws_);
+      }
+      primed_ = true;
+      cur_step_ = config_.max_steps - 1;
+      feed_tokens_.assign(static_cast<std::size_t>(config_.max_batch), 0);
+      run_step(feed_tokens_);
+      primed_ = false;
+      cur_step_ = 0;
+      ws_.reset();
+      ws_.consolidate();
+    }
+  } catch (...) {
+    unbind_all();
+    throw;
+  }
+}
+
+DecodeSession::~DecodeSession() { unbind_all(); }
+
+void DecodeSession::unbind_all() {
+  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
+    model_->decoder_layer(l).self_step().unbind();
+    model_->decoder_layer(l).cross_step().unbind();
+  }
+}
+
+bool DecodeSession::fully_native() const {
+  for (const nn::PipelineStage& st : stages_)
+    if (!st.is_add() && !st.module->supports_forward_into()) return false;
+  return true;
+}
+
+index_t DecodeSession::kv_cache_floats() const {
+  index_t total = 0;
+  for (const Tensor& t : self_k_) total += t.numel();
+  for (const Tensor& t : self_v_) total += t.numel();
+  for (const Tensor& t : cross_k_) total += t.numel();
+  for (const Tensor& t : cross_v_) total += t.numel();
+  return total;
+}
+
+void DecodeSession::bind_views(index_t n, index_t ts) {
+  // Rebuild the per-stage views and the adapter cache bindings for this
+  // (batch, source-length) pair.  Shapes are inline, so this never
+  // touches the heap; it runs at construction and when prime() changes
+  // the binding.
+  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
+    models::DecoderLayer& layer = model_->decoder_layer(l);
+    layer.self_step().bind(
+        TensorView(Shape{n, config_.max_steps, proj_dim_},
+                   self_k_[static_cast<std::size_t>(l)].data()),
+        TensorView(Shape{n, config_.max_steps, proj_dim_},
+                   self_v_[static_cast<std::size_t>(l)].data()),
+        &cur_step_);
+    layer.cross_step().bind(
+        ConstTensorView(Shape{n, ts, proj_dim_},
+                        cross_k_[static_cast<std::size_t>(l)].data()),
+        ConstTensorView(Shape{n, ts, proj_dim_},
+                        cross_v_[static_cast<std::size_t>(l)].data()),
+        &src_lengths_);
+  }
+
+  auto boundary_data = [&](index_t b) -> float* {
+    return b < 0 ? embed_buf_.data()
+                 : buffers_[static_cast<std::size_t>(b)].data();
+  };
+  auto boundary_width = [&](index_t b) {
+    return b < 0 ? d_model_ : stage_width_[static_cast<std::size_t>(b)];
+  };
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    in_views_[i] = ConstTensorView(Shape{n, boundary_width(st.input)},
+                                   boundary_data(st.input));
+    add_views_[i] =
+        st.is_add() ? ConstTensorView(Shape{n, boundary_width(st.addend)},
+                                      boundary_data(st.addend))
+                    : ConstTensorView{};
+    out_views_[i] = TensorView(
+        Shape{n, stage_width_[i]}, boundary_data(static_cast<index_t>(i)));
+  }
+  logits_view_ =
+      ConstTensorView(Shape{n, vocab_}, buffers_.back().data());
+  bound_n_ = n;
+  bound_ts_ = ts;
+}
+
+void DecodeSession::prime(const Tensor& src_ids,
+                          const std::vector<index_t>& src_lengths) {
+  QDNN_CHECK(src_ids.rank() == 2, "DecodeSession: src_ids must be [N, T]");
+  const index_t n = src_ids.dim(0), ts = src_ids.dim(1);
+  QDNN_CHECK(n >= 1 && n <= config_.max_batch,
+             "DecodeSession: batch size " << n << " outside [1, "
+                                          << config_.max_batch << "]");
+  QDNN_CHECK(ts >= 1 && ts <= max_src_,
+             "DecodeSession: source length " << ts << " outside [1, "
+                                             << max_src_ << "]");
+  QDNN_CHECK(src_lengths.empty() ||
+                 static_cast<index_t>(src_lengths.size()) == n,
+             "DecodeSession: src_lengths size");
+
+  // The exact training-path encoder, so ragged sources mask identically
+  // to greedy_decode_reference.
+  const Tensor enc_out = model_->encode(src_ids, src_lengths);
+  src_lengths_ = src_lengths;
+  if (n != bound_n_ || ts != bound_ts_) bind_views(n, ts);
+
+  const ConstTensorView enc_view(Shape{n * ts, d_model_}, enc_out.data());
+  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
+    ws_.reset();
+    model_->decoder_layer(l).cross_attention().project_kv(
+        enc_view, n, ts,
+        TensorView(Shape{n, ts, proj_dim_},
+                   cross_k_[static_cast<std::size_t>(l)].data()),
+        TensorView(Shape{n, ts, proj_dim_},
+                   cross_v_[static_cast<std::size_t>(l)].data()),
+        ws_);
+  }
+  cur_step_ = 0;
+  primed_ = true;
+}
+
+void DecodeSession::run_step(const std::vector<index_t>& tokens) {
+  const index_t n = bound_n_;
+  // Embed the new token at position cur_step_: y = E[id]·sqrt(d) + PE[p],
+  // the exact operation order of the training path.
+  const Tensor& table = model_->positional().table();
+  const float* weights = model_->tgt_embedding().weight().value.data();
+  const float scale = std::sqrt(static_cast<float>(d_model_));
+  const float* pe = table.data() + cur_step_ * d_model_;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t id = tokens[static_cast<std::size_t>(r)];
+    QDNN_CHECK(id >= 0 && id < vocab_,
+               "DecodeSession: token id " << id << " out of vocab "
+                                          << vocab_);
+    const float* e = weights + id * d_model_;
+    float* y = embed_buf_.data() + r * d_model_;
+    for (index_t d = 0; d < d_model_; ++d) y[d] = e[d] * scale + pe[d];
+  }
+
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    if (st.is_add()) {
+      // Residual-add stage: out = in + addend, the exact operand order of
+      // the training path's `main += residual`.
+      const float* a = in_views_[i].data();
+      const float* b = add_views_[i].data();
+      float* o = out_views_[i].data();
+      const index_t count = out_views_[i].numel();
+      for (index_t j = 0; j < count; ++j) o[j] = a[j] + b[j];
+      continue;
+    }
+    // Scratch lives only within a stage; rewinding here caps the
+    // workspace at the per-stage maximum instead of the pipeline sum.
+    ws_.reset();
+    st.module->forward_into(in_views_[i], out_views_[i], ws_);
+  }
+
+  // Greedy head: first-maximum argmax, matching greedy_decode_reference.
+  next_tokens_.resize(static_cast<std::size_t>(n));
+  const float* logits = buffers_.back().data();
+  for (index_t r = 0; r < n; ++r) {
+    const float* row = logits + r * vocab_;
+    index_t best = 0;
+    for (index_t v = 1; v < vocab_; ++v)
+      if (row[v] > row[best]) best = v;
+    next_tokens_[static_cast<std::size_t>(r)] = best;
+  }
+  ++cur_step_;
+}
+
+const std::vector<index_t>& DecodeSession::step(
+    const std::vector<index_t>& tokens) {
+  QDNN_CHECK(primed_, "DecodeSession: step() before prime()");
+  QDNN_CHECK(cur_step_ < config_.max_steps,
+             "DecodeSession: ring exhausted after " << config_.max_steps
+                                                    << " steps — prime() "
+                                                       "again");
+  QDNN_CHECK(static_cast<index_t>(tokens.size()) == bound_n_,
+             "DecodeSession: " << tokens.size() << " tokens for batch "
+                               << bound_n_);
+  run_step(tokens);
+  return next_tokens_;
+}
+
+std::vector<std::vector<index_t>> DecodeSession::generate(index_t bos,
+                                                          index_t eos) {
+  QDNN_CHECK(primed_, "DecodeSession: generate() before prime()");
+  QDNN_CHECK(cur_step_ == 0,
+             "DecodeSession: generate() needs a fresh prime()");
+  const index_t n = bound_n_;
+  std::vector<std::vector<index_t>> outputs(static_cast<std::size_t>(n));
+  feed_tokens_.assign(static_cast<std::size_t>(n), bos);
+  done_.assign(static_cast<std::size_t>(n), 0);
+
+  for (index_t s = 0; s < config_.max_steps; ++s) {
+    step(feed_tokens_);
+    bool any_active = false;
+    for (index_t r = 0; r < n; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (done_[ri]) {
+        // Finished rows keep riding the batch (their cache rows are
+        // computed but ignored), fed eos like the reference's pad slot.
+        feed_tokens_[ri] = eos;
+        continue;
+      }
+      const index_t best = next_tokens_[ri];
+      feed_tokens_[ri] = best;
+      if (best == eos) {
+        done_[ri] = 1;
+      } else {
+        outputs[ri].push_back(best);
+        any_active = true;
+      }
+    }
+    if (!any_active) break;
+  }
+  return outputs;
+}
+
+}  // namespace qdnn::runtime

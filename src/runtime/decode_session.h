@@ -1,0 +1,158 @@
+// DecodeSession: the autoregressive serving facade over a Transformer
+// decoder — the decode-side sibling of InferenceSession, following the
+// same build → bind/freeze → run lifecycle:
+//
+//   * bind (construction): the decoder stack is flattened into per-step
+//     stages (DecoderLayer::flatten_into — attention steps, residual-add,
+//     LayerNorm and FFN stages over [N, D] boundaries) plus the output
+//     projection; per-layer KV cache rings, boundary buffers, the logits
+//     buffer and the argmax scratch are preallocated for
+//     (max_batch, max_steps); unless config.freeze is off, the decode-side
+//     modules (target embedding, decoder layers, output projection) are
+//     frozen — constant GEMM operands prepacked, training caches dropped;
+//     a warm-up step at the deepest ring position discovers the workspace
+//     watermark, which is then consolidated into one contiguous block.
+//   * prime(src): runs the encoder (the exact training path, so ragged
+//     src_lengths are honored), projects each layer's cross-attention K/V
+//     once into the encoder-side caches, and rewinds the step counter.
+//     Priming allocates (the encoder pass); it is the per-request setup.
+//   * step()/generate(): every step embeds ONE new token per row
+//     (position = step, so causal masking is implicit in the self-attention
+//     cache length), runs all decoder stages, projects logits and takes
+//     the argmax.  Steady-state step() performs ZERO heap allocations
+//     (asserted with a counting global allocator in
+//     tests/runtime/session_test.cpp) and O(T) attention work per token —
+//     versus the O(T²) full-prefix re-decode of
+//     Transformer::greedy_decode_reference, which remains the bit-exact
+//     regression oracle (tests/models/decode_session_test.cpp).
+//
+// KV cache memory (floats): self-attention rings hold
+//   layers × 2 × max_batch × max_steps × proj_dim
+// and the encoder-side caches add
+//   layers × 2 × max_batch × max_src × proj_dim
+// (max_src defaults to the model's max_len; proj_dim == d_model for the
+// baseline configuration).
+//
+// The session binds the model's decoder step adapters; one DecodeSession
+// may bind a given Transformer at a time (the destructor unbinds).  With
+// config.freeze the borrowed model stays frozen after the session is
+// destroyed — call Transformer::unfreeze() (or freeze() again) after any
+// weight update, as with every frozen module.
+//
+// Thread-safety: prime/step/generate are synchronous and not reentrant;
+// drive one session per serving thread or serialize callers.
+#pragma once
+
+#include <vector>
+
+#include "core/workspace.h"
+#include "models/transformer/transformer.h"
+
+namespace qdnn::runtime {
+
+struct DecodeSessionConfig {
+  // Largest batch prime() will be asked to serve.
+  index_t max_batch = 1;
+  // Step capacity of the self-attention KV rings == the most tokens
+  // generate() can emit per row.  The implicit bos occupies position 0
+  // and step s embeds position s, so max_steps may equal the model's
+  // max_len exactly.
+  index_t max_steps = 1;
+  // Longest source prime() will be asked to serve — sizes the
+  // encoder-side K/V caches and the warm-up projection.  0 (default)
+  // means the model's max_len; set it when sources are known to be short
+  // to shrink the caches and bind-time work proportionally.
+  index_t max_src = 0;
+  // Freeze the decode-side modules at bind time (prepack constant
+  // weights, drop training caches).  Off only for A/B measurement and
+  // non-invasive wrappers — results are bit-identical either way.
+  bool freeze = true;
+  // Run one dummy step at the deepest ring position at construction so
+  // the workspace watermark is discovered (and consolidated) before the
+  // first real request.
+  bool warmup = true;
+};
+
+class DecodeSession {
+ public:
+  DecodeSession(models::Transformer& model, DecodeSessionConfig config);
+  ~DecodeSession();
+
+  DecodeSession(const DecodeSession&) = delete;
+  DecodeSession& operator=(const DecodeSession&) = delete;
+
+  // Encodes src_ids [n, Ts] (n ≤ max_batch, Ts ≤ the configured max_src,
+  // which defaults to the model's max_len), projects the encoder-side K/V
+  // of every decoder layer, and rewinds the step counter.  Allocates (the
+  // encoder pass); per-request setup.
+  void prime(const Tensor& src_ids, const std::vector<index_t>& src_lengths);
+
+  // One decoder step: embeds `tokens` ([n] ids — bos on the first step,
+  // the previous emission after) at position step(), runs every decoder
+  // stage and the output projection, and returns the per-row argmax.
+  // Steady state: zero heap allocations.  The returned reference is
+  // valid until the next step()/prime().
+  const std::vector<index_t>& step(const std::vector<index_t>& tokens);
+
+  // Greedy loop: seeds bos, steps until every row emitted eos or
+  // max_steps is reached, and returns the emissions per row (bos/eos
+  // excluded) — exactly greedy_decode_reference's contract, bit-identical
+  // output.  Allocates only the returned vectors.
+  std::vector<std::vector<index_t>> generate(index_t bos, index_t eos);
+
+  // Logits [n, tgt_vocab] of the last step; aliases an internal buffer.
+  const ConstTensorView& logits() const { return logits_view_; }
+
+  index_t max_batch() const { return config_.max_batch; }
+  index_t max_steps() const { return config_.max_steps; }
+  // Rows bound by the last prime() (0 before the first).
+  index_t batch() const { return primed_ ? bound_n_ : 0; }
+  // Steps taken since the last prime().
+  index_t steps_taken() const { return cur_step_; }
+  bool frozen() const { return config_.freeze; }
+  // True when every module stage has a native (allocation-free)
+  // forward_into — all stock projection families qualify.
+  bool fully_native() const;
+  index_t num_stages() const { return static_cast<index_t>(stages_.size()); }
+  // Footprint introspection, in floats.
+  index_t kv_cache_floats() const;
+  index_t workspace_floats() const { return ws_.capacity(); }
+
+ private:
+  void bind_views(index_t n, index_t ts);
+  void unbind_all();
+  void run_step(const std::vector<index_t>& tokens);
+
+  models::Transformer* model_;
+  DecodeSessionConfig config_;
+  index_t d_model_ = 0, proj_dim_ = 0, vocab_ = 0, max_src_ = 0;
+
+  // Step-stage plan: boundary -1 is the embedded token row [N, D];
+  // residual-add stages have a null module; the final stage is the output
+  // projection onto [N, tgt_vocab].
+  std::vector<nn::PipelineStage> stages_;
+  std::vector<index_t> stage_width_;  // per-boundary row width
+
+  // Per-layer KV caches.  Self rings: [max_batch, max_steps, P]; cross
+  // caches: [max_batch, max_len, P], bound as [n, Ts, P] per prime.
+  std::vector<Tensor> self_k_, self_v_, cross_k_, cross_v_;
+
+  Tensor embed_buf_;               // [max_batch · d_model], boundary -1
+  std::vector<Tensor> buffers_;    // per-stage boundary buffers
+  std::vector<ConstTensorView> in_views_;
+  std::vector<ConstTensorView> add_views_;
+  std::vector<TensorView> out_views_;
+  ConstTensorView logits_view_;
+
+  std::vector<index_t> next_tokens_;  // argmax per row, step() result
+  std::vector<index_t> feed_tokens_;  // generate() feedback scratch
+  std::vector<char> done_;            // generate() per-row eos flags
+  std::vector<index_t> src_lengths_;  // bound by prime(); adapters point here
+
+  Workspace ws_;
+  index_t bound_n_ = 0, bound_ts_ = 0;
+  index_t cur_step_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace qdnn::runtime

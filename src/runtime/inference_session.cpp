@@ -15,25 +15,7 @@ InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
   // recursively; leaves become single stages consuming the previous
   // boundary.
   model_->flatten_into(stages_);
-  QDNN_CHECK(!stages_.empty(), "InferenceSession: empty pipeline");
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    const nn::PipelineStage& st = stages_[i];
-    QDNN_CHECK(st.input >= -1 && st.input < static_cast<index_t>(i),
-               "InferenceSession: stage " << i << " reads boundary "
-                                          << st.input
-                                          << " which is not yet produced");
-    if (st.is_add()) {
-      QDNN_CHECK(st.addend >= -1 && st.addend < static_cast<index_t>(i),
-                 "InferenceSession: add stage " << i << " reads boundary "
-                                                << st.addend
-                                                << " which is not yet "
-                                                   "produced");
-    } else {
-      QDNN_CHECK(st.addend == -1,
-                 "InferenceSession: module stage " << i
-                                                   << " has an addend");
-    }
-  }
+  nn::validate_pipeline(stages_, "InferenceSession");
   sample_numel_ = config_.sample_shape.numel();
   QDNN_CHECK(sample_numel_ > 0, "InferenceSession: empty sample_shape");
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/decode_session.h"
+
 namespace qdnn::train {
 
 Seq2SeqTrainer::Seq2SeqTrainer(models::Transformer& model,
@@ -70,13 +72,22 @@ data::BleuResult Seq2SeqTrainer::evaluate_bleu(
   const index_t bs = 16;
   const index_t max_steps =
       std::min<index_t>(model_->config().max_len - 1, 24);
+  // One KV-cached session for the whole evaluation: bind (stage plan, KV
+  // rings, warm-up) is paid once, each batch only primes and generates.
+  // freeze is off so a mid-training evaluation never leaves stale packs
+  // behind — results are bit-identical either way.
+  runtime::DecodeSessionConfig sc;
+  sc.max_batch = bs;
+  sc.max_steps = max_steps;
+  sc.freeze = false;
+  runtime::DecodeSession session(*model_, sc);
   for (index_t first = 0; first < count; first += bs) {
     const index_t batch_count = std::min(bs, count - first);
     const data::Seq2SeqBatch batch =
         data::make_batch(corpus.test, first, batch_count);
-    const auto decoded = model_->greedy_decode(
-        batch.src, batch.src_lengths, data::Vocab::kBos, data::Vocab::kEos,
-        max_steps);
+    session.prime(batch.src, batch.src_lengths);
+    const auto decoded = session.generate(data::Vocab::kBos,
+                                          data::Vocab::kEos);
     for (index_t i = 0; i < batch_count; ++i) {
       const auto& ex = corpus.test[static_cast<std::size_t>(first + i)];
       const std::string hyp_surface = data::surface_from_ids(

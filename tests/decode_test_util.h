@@ -1,0 +1,37 @@
+// Shared fixtures for the Transformer decode test suites: one tiny model
+// configuration and one random-source generator, so the equivalence
+// oracle tests (tests/models), the zero-alloc regressions (tests/runtime)
+// and the model unit tests cannot drift apart.
+#pragma once
+
+#include "models/transformer/transformer.h"
+
+namespace qdnn::testing {
+
+inline models::TransformerConfig tiny_transformer_config(
+    quadratic::NeuronSpec spec = quadratic::NeuronSpec::linear()) {
+  models::TransformerConfig config;
+  config.src_vocab = 20;
+  config.tgt_vocab = 24;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 32;
+  config.proj_dim = 16;
+  config.max_len = 16;
+  config.dropout = 0.0f;  // determinism for the tests
+  config.spec = spec;
+  return config;
+}
+
+// Random non-special token ids (>= 3, below `vocab`), shaped [n, t].
+inline Tensor random_src_ids(index_t n, index_t t, index_t vocab,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor out{Shape{n, t}};
+  for (index_t i = 0; i < out.numel(); ++i)
+    out[i] = static_cast<float>(3 + rng.uniform_int(vocab - 3));
+  return out;
+}
+
+}  // namespace qdnn::testing

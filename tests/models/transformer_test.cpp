@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "decode_test_util.h"
 #include "gradcheck_util.h"
 
 namespace qdnn::models {
@@ -11,18 +12,7 @@ using qdnn::testing::random_tensor;
 
 TransformerConfig tiny_config(quadratic::NeuronSpec spec =
                                   quadratic::NeuronSpec::linear()) {
-  TransformerConfig config;
-  config.src_vocab = 20;
-  config.tgt_vocab = 24;
-  config.d_model = 16;
-  config.n_heads = 2;
-  config.n_layers = 2;
-  config.d_ff = 32;
-  config.proj_dim = 16;
-  config.max_len = 16;
-  config.dropout = 0.0f;  // determinism for the tests
-  config.spec = spec;
-  return config;
+  return qdnn::testing::tiny_transformer_config(spec);
 }
 
 Tensor ids(std::vector<std::vector<index_t>> rows) {

@@ -11,7 +11,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "decode_test_util.h"
 #include "models/resnet.h"
+#include "models/transformer/transformer.h"
+#include "runtime/decode_session.h"
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
@@ -402,6 +405,93 @@ TEST(InferenceSession, FrozenResNetPipelineZeroAllocAndShardable) {
   const Tensor ref = session.run(x).to_tensor();
   const ConstTensorView& out = sharded.run(x);
   EXPECT_EQ(view_max_abs_diff(out, ConstTensorView(ref)), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// KV-cached decode regressions.
+// ---------------------------------------------------------------------------
+
+using qdnn::testing::random_src_ids;
+using qdnn::testing::tiny_transformer_config;
+
+TEST(DecodeSession, FrozenStepZeroHeapAllocationsInSteadyState) {
+  // The headline decode regression: after warm-up and prime, every
+  // step() — embed, all KV-cached decoder stages, output projection,
+  // argmax — performs no heap allocation at all, counted by the global
+  // allocator.
+  models::Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  DecodeSessionConfig sc;
+  sc.max_batch = 4;
+  sc.max_steps = 12;
+  DecodeSession session(model, sc);
+  ASSERT_TRUE(session.frozen());
+  ASSERT_TRUE(session.fully_native());
+
+  const Tensor src = random_src_ids(4, 6, 20, 51);
+  session.prime(src, {});
+  std::vector<index_t> feed(4, 1);
+  // Settle: two steps after prime (the constructor warm-up already ran at
+  // the deepest ring position, so the watermark is final).
+  session.step(feed);
+  feed = session.step(feed);
+
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 8; ++i) feed = session.step(feed);
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "steady-state step() performed " << (after - before)
+      << " heap allocations";
+}
+
+TEST(DecodeSession, FreezeShrinksDecodeWatermarkBitIdentically) {
+  // Frozen vs unfrozen decode sessions: identical token sequences, but
+  // the frozen watermark must have dropped the per-step gemm trans_b
+  // packing scratch of the Q/K/V/output projections.
+  const Tensor src = random_src_ids(3, 5, 20, 52);
+
+  models::Transformer frozen_model(tiny_transformer_config());
+  frozen_model.set_training(false);
+  DecodeSessionConfig sc;
+  sc.max_batch = 3;
+  sc.max_steps = 10;
+  DecodeSession frozen(frozen_model, sc);
+  frozen.prime(src, {});
+  const auto frozen_out = frozen.generate(1, 2);
+
+  models::Transformer unfrozen_model(tiny_transformer_config());
+  unfrozen_model.set_training(false);
+  sc.freeze = false;
+  DecodeSession unfrozen(unfrozen_model, sc);
+  unfrozen.prime(src, {});
+  const auto unfrozen_out = unfrozen.generate(1, 2);
+
+  for (std::size_t r = 0; r < frozen_out.size(); ++r)
+    EXPECT_EQ(frozen_out[r], unfrozen_out[r]) << "row " << r;
+  EXPECT_LT(frozen.workspace_floats(), unfrozen.workspace_floats())
+      << "frozen decode watermark " << frozen.workspace_floats()
+      << " should exclude packing scratch (unfrozen "
+      << unfrozen.workspace_floats() << ")";
+}
+
+TEST(DecodeSession, WatermarkStableAcrossPrimesAndSteps) {
+  models::Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  DecodeSessionConfig sc;
+  sc.max_batch = 3;
+  sc.max_steps = 12;
+  DecodeSession session(model, sc);
+
+  session.prime(random_src_ids(3, 6, 20, 53), {});
+  session.generate(1, 2);
+  const index_t ws = session.workspace_floats();
+  EXPECT_GT(ws, 0);
+  for (std::uint64_t seed : {54u, 55u}) {
+    session.prime(random_src_ids(2, 4, 20, seed), {});
+    session.generate(1, 2);
+    EXPECT_EQ(session.workspace_floats(), ws);
+  }
+  EXPECT_GT(session.kv_cache_floats(), 0);
 }
 
 TEST(InferenceSession, UnfreezeAfterWeightUpdateRestoresCorrectness) {
