@@ -17,19 +17,22 @@ namespace {
 // dense [N·Tk, P] buffer passes kv_stride = Tk; a KV cache ring passes
 // its capacity); writes softmax weights into `attn` [N, H, Tq, Tk] and
 // accumulates the per-head context into `context` [N·Tq, P], which must
-// be zeroed by the caller.  `kv_lengths` may be null/empty (all Tk keys
-// valid).
+// be zeroed by the caller.  `kv_lengths` is a per-sample key-count array
+// (or null: all Tk keys valid); `kv_len_bias` is added to every entry —
+// the self-attention step passes its per-row ring positions with bias 1.
+// Masked tails score -1e30, which softmax maps to exact 0.0f weights, so
+// a row with valid_k < Tk is bit-identical to the same row run at
+// Tk = valid_k — the property continuous batching rests on.
 void attention_forward(const float* q, const float* k, const float* v,
                        index_t n, index_t n_heads, index_t tq, index_t tk,
                        index_t kv_stride, index_t proj_dim,
                        index_t head_dim, bool causal,
-                       const std::vector<index_t>* kv_lengths, float* attn,
-                       float* context) {
+                       const index_t* kv_lengths, index_t kv_len_bias,
+                       float* attn, float* context) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  const bool have_lengths = kv_lengths != nullptr && !kv_lengths->empty();
   for (index_t s = 0; s < n; ++s) {
     const index_t valid_k =
-        have_lengths ? (*kv_lengths)[static_cast<std::size_t>(s)] : tk;
+        kv_lengths != nullptr ? kv_lengths[s] + kv_len_bias : tk;
     for (index_t h = 0; h < n_heads; ++h) {
       float* scores = attn + ((s * n_heads + h) * tq) * tk;
       // scores[i, j] = (q_i · k_j) * scale over this head's slice.
@@ -111,7 +114,8 @@ Tensor MultiHeadAttention::forward(const Tensor& q_input,
   Tensor context{Shape{n * tq, proj_dim_}};
   attention_forward(q_.data(), k_.data(), v_.data(), n, n_heads_, tq, tk,
                     /*kv_stride=*/tk, proj_dim_, head_dim_, causal,
-                    &kv_lengths, attn_.data(), context.data());
+                    kv_lengths.empty() ? nullptr : kv_lengths.data(),
+                    /*kv_len_bias=*/0, attn_.data(), context.data());
   // Keep the context for wo_'s backward via its own cache.
   return wo_->forward(context);
 }
@@ -235,7 +239,7 @@ void MultiHeadAttention::forward_into(const ConstTensorView& input,
   float* context = ws.alloc(nt * proj_dim_);
   for (index_t i = 0; i < nt * proj_dim_; ++i) context[i] = 0.0f;
   attention_forward(q, k, v, n, n_heads_, t, t, /*kv_stride=*/t, proj_dim_,
-                    head_dim_, /*causal=*/false, nullptr, attn, context);
+                    head_dim_, /*causal=*/false, nullptr, 0, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{nt, proj_dim_}, context),
                     TensorView(Shape{nt, d_model_}, output.data()), ws);
@@ -249,7 +253,8 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
                                           const TensorView& out,
                                           const TensorView& k_cache,
                                           const TensorView& v_cache,
-                                          index_t step, Workspace& ws) {
+                                          const index_t* row_steps,
+                                          Workspace& ws) {
   QDNN_CHECK(x.rank() == 2 && x.dim(1) == d_model_,
              name_ << ": step input must be [N, " << d_model_ << "]");
   const index_t n = x.dim(0);
@@ -258,14 +263,20 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
                  k_cache.shape() == v_cache.shape(),
              name_ << ": KV cache must be [N, S, " << proj_dim_ << "], got "
                    << k_cache.shape() << " / " << v_cache.shape());
+  QDNN_CHECK(row_steps != nullptr, name_ << ": null row_steps");
   const index_t capacity = k_cache.dim(1);
-  QDNN_CHECK(step >= 0 && step < capacity,
-             name_ << ": step " << step << " outside cache capacity "
-                   << capacity);
+  index_t max_step = 0;
+  for (index_t s = 0; s < n; ++s) {
+    QDNN_CHECK(row_steps[s] >= 0 && row_steps[s] < capacity,
+               name_ << ": row " << s << " step " << row_steps[s]
+                     << " outside cache capacity " << capacity);
+    max_step = std::max(max_step, row_steps[s]);
+  }
   QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
              name_ << ": bad step output view " << out.shape());
 
-  // Project the new token; scatter its K/V into the cache rings.
+  // Project the new tokens in one batch gemm; scatter each row's K/V at
+  // its own ring position.
   float* q = ws.alloc(n * proj_dim_);
   float* k_new = ws.alloc(n * proj_dim_);
   float* v_new = ws.alloc(n * proj_dim_);
@@ -273,23 +284,28 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
   wk_->forward_into(x, TensorView(Shape{n, proj_dim_}, k_new), ws);
   wv_->forward_into(x, TensorView(Shape{n, proj_dim_}, v_new), ws);
   for (index_t s = 0; s < n; ++s) {
-    float* k_dst = k_cache.data() + (s * capacity + step) * proj_dim_;
-    float* v_dst = v_cache.data() + (s * capacity + step) * proj_dim_;
+    float* k_dst =
+        k_cache.data() + (s * capacity + row_steps[s]) * proj_dim_;
+    float* v_dst =
+        v_cache.data() + (s * capacity + row_steps[s]) * proj_dim_;
     std::memcpy(k_dst, k_new + s * proj_dim_,
                 static_cast<std::size_t>(proj_dim_) * sizeof(float));
     std::memcpy(v_dst, v_new + s * proj_dim_,
                 static_cast<std::size_t>(proj_dim_) * sizeof(float));
   }
 
-  // Attend over the cached prefix [0, step] — exactly the last row of a
-  // causal full-prefix pass (whose masked tail contributes exact zeros).
-  const index_t tk = step + 1;
+  // Row s attends over its cached prefix [0, row_steps[s]] — exactly the
+  // last row of a causal full-prefix pass over that row alone.  Rows
+  // behind the batch-deepest position mask the tail (exact-zero softmax
+  // weights), so mixed ring positions share one kernel call.
+  const index_t tk = max_step + 1;
   float* attn = ws.alloc(n * n_heads_ * tk);
   float* context = ws.alloc(n * proj_dim_);
   for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
   attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
                     /*tq=*/1, tk, /*kv_stride=*/capacity, proj_dim_,
-                    head_dim_, /*causal=*/false, nullptr, attn, context);
+                    head_dim_, /*causal=*/false, row_steps,
+                    /*kv_len_bias=*/1, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
                     TensorView(Shape{n, d_model_}, out.data()), ws);
@@ -331,9 +347,12 @@ void MultiHeadAttention::cross_attend_step(
              name_ << ": KV cache must be [N, Tk, " << proj_dim_
                    << "], got " << k_cache.shape() << " / "
                    << v_cache.shape());
+  // At least one length per sample: a session bound below its max_batch
+  // width keeps the full-width per-row state (tail entries unused).
   QDNN_CHECK(kv_lengths.empty() ||
-                 static_cast<index_t>(kv_lengths.size()) == n,
-             name_ << ": kv_lengths size");
+                 static_cast<index_t>(kv_lengths.size()) >= n,
+             name_ << ": " << kv_lengths.size()
+                   << " kv_lengths for batch " << n);
   QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
              name_ << ": bad step output view " << out.shape());
   const index_t tk = k_cache.dim(1);
@@ -346,7 +365,9 @@ void MultiHeadAttention::cross_attend_step(
   for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
   attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
                     /*tq=*/1, tk, /*kv_stride=*/tk, proj_dim_, head_dim_,
-                    /*causal=*/false, &kv_lengths, attn, context);
+                    /*causal=*/false,
+                    kv_lengths.empty() ? nullptr : kv_lengths.data(),
+                    /*kv_len_bias=*/0, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
                     TensorView(Shape{n, d_model_}, out.data()), ws);
@@ -398,20 +419,20 @@ SelfAttentionStep::SelfAttentionStep(MultiHeadAttention& attn,
     : attn_(&attn), name_(std::move(name)) {}
 
 void SelfAttentionStep::bind(TensorView k_cache, TensorView v_cache,
-                             const index_t* step) {
-  QDNN_CHECK(step != nullptr, name_ << ": null step counter");
-  QDNN_CHECK(step_ == nullptr || step_ == step,
+                             const std::vector<index_t>* row_steps) {
+  QDNN_CHECK(row_steps != nullptr, name_ << ": null row_steps counters");
+  QDNN_CHECK(row_steps_ == nullptr || row_steps_ == row_steps,
              name_ << ": decoder already bound by another DecodeSession — "
                       "destroy it before binding a new one");
   k_ = k_cache;
   v_ = v_cache;
-  step_ = step;
+  row_steps_ = row_steps;
 }
 
 void SelfAttentionStep::unbind() {
   k_ = TensorView{};
   v_ = TensorView{};
-  step_ = nullptr;
+  row_steps_ = nullptr;
 }
 
 Tensor SelfAttentionStep::forward(const Tensor&) {
@@ -440,7 +461,10 @@ void SelfAttentionStep::forward_into(const ConstTensorView& input,
                                      Workspace& ws) {
   QDNN_CHECK(bound(), name_ << ": KV cache not bound (prime a "
                                "DecodeSession first)");
-  attn_->self_attend_step(input, output, k_, v_, *step_, ws);
+  QDNN_CHECK(static_cast<index_t>(row_steps_->size()) >= input.dim(0),
+             name_ << ": " << row_steps_->size()
+                   << " row step counters for batch " << input.dim(0));
+  attn_->self_attend_step(input, output, k_, v_, row_steps_->data(), ws);
 }
 
 // ---------------------------------------------------------------------------

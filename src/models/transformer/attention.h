@@ -24,9 +24,14 @@
 // into a caller-owned cache and attends over the cached prefix (causal
 // masking is implicit in the cache length); project_kv materializes the
 // encoder-side K/V once so cross_attend_step reuses them every step.
-// Both step kernels run through the same score/softmax/context code as
-// the training forward and are bit-identical to the matching row of a
-// full-prefix pass.
+// Both step kernels take PER-ROW cache lengths — each sample carries its
+// own ring position (self) / source length (cross), so rows admitted at
+// different times coexist in one gemm-backed batch step (continuous
+// batching).  Rows behind the batch maximum mask the tail with -1e30
+// scores, which softmax turns into exact zeros — so every row is
+// bit-identical to a solo pass of just that row.  Both step kernels run
+// through the same score/softmax/context code as the training forward
+// and are bit-identical to the matching row of a full-prefix pass.
 #pragma once
 
 #include <memory>
@@ -75,12 +80,13 @@ class MultiHeadAttention : public nn::Module {
 
   // Decoder self-attention for one new token per sample.  x: [N, D], the
   // step's activation.  k_cache/v_cache: [N, S, P] rings (S = step
-  // capacity); the new token's K/V are written at ring row `step` and
-  // attention runs over rows [0, step] — the causal mask is implicit in
-  // the cache length.  out: [N, D].
+  // capacity); row s's new K/V are written at ring row row_steps[s] and
+  // its attention runs over rows [0, row_steps[s]] — the causal mask is
+  // implicit in the per-row cache length, and rows at different ring
+  // positions share one batch step.  row_steps: N entries.  out: [N, D].
   void self_attend_step(const ConstTensorView& x, const TensorView& out,
                         const TensorView& k_cache, const TensorView& v_cache,
-                        index_t step, Workspace& ws);
+                        const index_t* row_steps, Workspace& ws);
 
   // Cross-attention bind: projects encoder output rows [N·Tk, D] into
   // k_cache/v_cache [N, Tk, P] once; every subsequent step reuses them.
@@ -90,7 +96,8 @@ class MultiHeadAttention : public nn::Module {
 
   // Cross-attention for one new token per sample against K/V prebound by
   // project_kv.  kv_lengths masks padded source positions per sample
-  // (empty = all Tk valid), exactly as the training forward.
+  // (empty = all Tk valid; may hold more than N entries when the session
+  // keeps full-width per-row state), exactly as the training forward.
   void cross_attend_step(const ConstTensorView& x, const TensorView& out,
                          const ConstTensorView& k_cache,
                          const ConstTensorView& v_cache,
@@ -118,8 +125,8 @@ class MultiHeadAttention : public nn::Module {
 //
 // A decoder layer flattens into per-sublayer stages (attention, residual
 // add, LayerNorm, FFN) just like an encoder layer, but its attention
-// sublayers carry per-session state — KV cache rings, the current step,
-// the encoder K/V and source lengths.  These adapters make the attention
+// sublayers carry per-session state — KV cache rings, the per-row step
+// counters, the encoder K/V and source lengths.  These adapters make the attention
 // steps expressible as ordinary [N, D] -> [N, D] PipelineStage modules: a
 // non-owning view over the MultiHeadAttention plus cache bindings that a
 // runtime::DecodeSession installs at bind/prime time.  One session may
@@ -132,11 +139,13 @@ class SelfAttentionStep : public nn::Module {
  public:
   SelfAttentionStep(MultiHeadAttention& attn, std::string name);
 
-  // k/v: [N, S, P] cache rings; `step` points at the session's step
-  // counter (row written and attended this call).
-  void bind(TensorView k_cache, TensorView v_cache, const index_t* step);
+  // k/v: [N, S, P] cache rings; `row_steps` points at the session's
+  // per-row step counters (entry s = ring row written and attended for
+  // sample s this call; the vector must hold at least N entries).
+  void bind(TensorView k_cache, TensorView v_cache,
+            const std::vector<index_t>* row_steps);
   void unbind();
-  bool bound() const { return step_ != nullptr; }
+  bool bound() const { return row_steps_ != nullptr; }
 
   Tensor forward(const Tensor&) override;   // checked error (serving-only)
   Tensor backward(const Tensor&) override;  // checked error
@@ -150,7 +159,7 @@ class SelfAttentionStep : public nn::Module {
   MultiHeadAttention* attn_;
   std::string name_;
   TensorView k_, v_;
-  const index_t* step_ = nullptr;
+  const std::vector<index_t>* row_steps_ = nullptr;
 };
 
 class CrossAttentionStep : public nn::Module {

@@ -1,5 +1,6 @@
 #include "runtime/decode_session.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace qdnn::runtime {
@@ -8,8 +9,12 @@ DecodeSession::DecodeSession(models::Transformer& model,
                              DecodeSessionConfig config)
     : model_(&model), config_(config) {
   const models::TransformerConfig& mc = model_->config();
+  // Validate the full ring geometry here, with messages naming the
+  // config field — not via QDNN_DCHECKs deep inside the attention
+  // kernels once a bad bound finally overruns a cache.
   QDNN_CHECK(config_.max_batch > 0,
-             "DecodeSession: max_batch must be positive");
+             "DecodeSession: max_batch must be positive, got "
+                 << config_.max_batch);
   // bos fills ring row 0 and step s embeds position s, so the deepest
   // step uses position max_steps − 1: max_steps == max_len is the exact
   // upper bound (the implicit-bos slot does not cost an extra position).
@@ -17,6 +22,10 @@ DecodeSession::DecodeSession(models::Transformer& model,
              "DecodeSession: max_steps " << config_.max_steps
                                          << " outside [1, " << mc.max_len
                                          << "] (max_len)");
+  QDNN_CHECK(config_.max_src >= 0,
+             "DecodeSession: max_src must be non-negative (0 = the "
+             "model's max_len), got "
+                 << config_.max_src);
   d_model_ = mc.d_model;
   proj_dim_ = mc.proj_dim;
   vocab_ = mc.tgt_vocab;
@@ -82,7 +91,7 @@ DecodeSession::DecodeSession(models::Transformer& model,
   }
 
   // KV caches and activation buffers, sized once for (max_batch,
-  // max_steps / max_len).  Zero-filled so the warm-up step at the deepest
+  // max_steps / max_src).  Zero-filled so the warm-up step at the deepest
   // ring position reads defined values.
   const index_t self_floats = config_.max_batch * config_.max_steps *
                               proj_dim_;
@@ -100,6 +109,11 @@ DecodeSession::DecodeSession(models::Transformer& model,
   next_tokens_.reserve(static_cast<std::size_t>(config_.max_batch));
   feed_tokens_.reserve(static_cast<std::size_t>(config_.max_batch));
   done_.reserve(static_cast<std::size_t>(config_.max_batch));
+  // Per-row state at full width from the start: the step adapters hold
+  // pointers into these across rebinds, and prime_row/reset_row must
+  // never grow them.
+  row_steps_.assign(static_cast<std::size_t>(config_.max_batch), 0);
+  src_lengths_.assign(static_cast<std::size_t>(config_.max_batch), 0);
   in_views_.resize(stages_.size());
   add_views_.resize(stages_.size());
   out_views_.resize(stages_.size());
@@ -108,30 +122,26 @@ DecodeSession::DecodeSession(models::Transformer& model,
   // adapters pointing into this half-constructed (about-to-unwind)
   // session: unbind before rethrowing (the destructor will not run).
   try {
-    bind_views(config_.max_batch, max_src_);
+    bind_views(config_.max_batch);
 
     if (config_.warmup) {
       // Project dummy encoder K/V (covers prime's projection scratch)
       // and run one step at the deepest ring position (the widest score
       // buffers), then consolidate the workspace to the exact watermark.
       Tensor dummy_enc{Shape{config_.max_batch * max_src_, d_model_}};
-      const ConstTensorView enc_view(dummy_enc.shape(), dummy_enc.data());
-      for (index_t l = 0; l < layers; ++l) {
-        ws_.reset();
-        model_->decoder_layer(l).cross_attention().project_kv(
-            enc_view, config_.max_batch, max_src_,
-            TensorView(Shape{config_.max_batch, max_src_, proj_dim_},
-                       cross_k_[static_cast<std::size_t>(l)].data()),
-            TensorView(Shape{config_.max_batch, max_src_, proj_dim_},
-                       cross_v_[static_cast<std::size_t>(l)].data()),
-            ws_);
-      }
+      for (index_t r = 0; r < config_.max_batch; ++r)
+        project_cross_row(r, dummy_enc.data() + r * max_src_ * d_model_,
+                          max_src_);
       primed_ = true;
-      cur_step_ = config_.max_steps - 1;
+      row_steps_.assign(static_cast<std::size_t>(config_.max_batch),
+                        config_.max_steps - 1);
+      src_lengths_.assign(static_cast<std::size_t>(config_.max_batch),
+                          max_src_);
       feed_tokens_.assign(static_cast<std::size_t>(config_.max_batch), 0);
       run_step(feed_tokens_);
       primed_ = false;
-      cur_step_ = 0;
+      row_steps_.assign(static_cast<std::size_t>(config_.max_batch), 0);
+      src_lengths_.assign(static_cast<std::size_t>(config_.max_batch), 0);
       ws_.reset();
       ws_.consolidate();
     }
@@ -165,11 +175,20 @@ index_t DecodeSession::kv_cache_floats() const {
   return total;
 }
 
-void DecodeSession::bind_views(index_t n, index_t ts) {
+index_t DecodeSession::row_steps(index_t row) const {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  return row_steps_[static_cast<std::size_t>(row)];
+}
+
+void DecodeSession::bind_views(index_t n) {
   // Rebuild the per-stage views and the adapter cache bindings for this
-  // (batch, source-length) pair.  Shapes are inline, so this never
-  // touches the heap; it runs at construction and when prime() changes
-  // the binding.
+  // batch width.  The cross caches keep the full max_src row stride in
+  // every binding (per-row source lengths mask the tail), so a row's
+  // cache slice never moves and prime_row can fill it in place.  Shapes
+  // are inline, so this never touches the heap; it runs at construction
+  // and when prime() changes the batch width.
   for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
     models::DecoderLayer& layer = model_->decoder_layer(l);
     layer.self_step().bind(
@@ -177,11 +196,11 @@ void DecodeSession::bind_views(index_t n, index_t ts) {
                    self_k_[static_cast<std::size_t>(l)].data()),
         TensorView(Shape{n, config_.max_steps, proj_dim_},
                    self_v_[static_cast<std::size_t>(l)].data()),
-        &cur_step_);
+        &row_steps_);
     layer.cross_step().bind(
-        ConstTensorView(Shape{n, ts, proj_dim_},
+        ConstTensorView(Shape{n, max_src_, proj_dim_},
                         cross_k_[static_cast<std::size_t>(l)].data()),
-        ConstTensorView(Shape{n, ts, proj_dim_},
+        ConstTensorView(Shape{n, max_src_, proj_dim_},
                         cross_v_[static_cast<std::size_t>(l)].data()),
         &src_lengths_);
   }
@@ -207,7 +226,26 @@ void DecodeSession::bind_views(index_t n, index_t ts) {
   logits_view_ =
       ConstTensorView(Shape{n, vocab_}, buffers_.back().data());
   bound_n_ = n;
-  bound_ts_ = ts;
+}
+
+void DecodeSession::project_cross_row(index_t row, const float* enc_row,
+                                      index_t ts) {
+  // Project one request's encoder rows [ts, D] into row `row`'s slice of
+  // every layer's cross caches.  The slice is contiguous ([ts, P] at
+  // offset row · max_src · P), so this is the exact n = 1 projection a
+  // solo session would run — per-row and batch priming are bit-identical.
+  const ConstTensorView enc_view(Shape{ts, d_model_}, enc_row);
+  const index_t offset = row * max_src_ * proj_dim_;
+  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
+    ws_.reset();
+    model_->decoder_layer(l).cross_attention().project_kv(
+        enc_view, 1, ts,
+        TensorView(Shape{1, ts, proj_dim_},
+                   cross_k_[static_cast<std::size_t>(l)].data() + offset),
+        TensorView(Shape{1, ts, proj_dim_},
+                   cross_v_[static_cast<std::size_t>(l)].data() + offset),
+        ws_);
+  }
 }
 
 void DecodeSession::prime(const Tensor& src_ids,
@@ -222,42 +260,85 @@ void DecodeSession::prime(const Tensor& src_ids,
                                              << max_src_ << "]");
   QDNN_CHECK(src_lengths.empty() ||
                  static_cast<index_t>(src_lengths.size()) == n,
-             "DecodeSession: src_lengths size");
+             "DecodeSession: src_lengths holds "
+                 << src_lengths.size() << " entries for batch " << n);
+  for (std::size_t i = 0; i < src_lengths.size(); ++i)
+    QDNN_CHECK(src_lengths[i] >= 1 && src_lengths[i] <= ts,
+               "DecodeSession: src_lengths[" << i << "] = "
+                                             << src_lengths[i]
+                                             << " outside [1, " << ts
+                                             << "]");
 
   // The exact training-path encoder, so ragged sources mask identically
   // to greedy_decode_reference.
   const Tensor enc_out = model_->encode(src_ids, src_lengths);
-  src_lengths_ = src_lengths;
-  if (n != bound_n_ || ts != bound_ts_) bind_views(n, ts);
-
-  const ConstTensorView enc_view(Shape{n * ts, d_model_}, enc_out.data());
-  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
-    ws_.reset();
-    model_->decoder_layer(l).cross_attention().project_kv(
-        enc_view, n, ts,
-        TensorView(Shape{n, ts, proj_dim_},
-                   cross_k_[static_cast<std::size_t>(l)].data()),
-        TensorView(Shape{n, ts, proj_dim_},
-                   cross_v_[static_cast<std::size_t>(l)].data()),
-        ws_);
+  if (n != bound_n_) bind_views(n);
+  for (index_t r = 0; r < n; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    src_lengths_[ri] = src_lengths.empty() ? ts : src_lengths[ri];
+    row_steps_[ri] = 0;
+    project_cross_row(r, enc_out.data() + r * ts * d_model_, ts);
   }
-  cur_step_ = 0;
   primed_ = true;
+}
+
+void DecodeSession::prime_row(index_t row, const Tensor& src_ids,
+                              index_t src_length) {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  QDNN_CHECK(src_ids.rank() == 1 ||
+                 (src_ids.rank() == 2 && src_ids.dim(0) == 1),
+             "DecodeSession: prime_row src_ids must be [Ts] or [1, Ts], "
+             "got "
+                 << src_ids.shape());
+  const index_t ts = src_ids.dim(src_ids.rank() - 1);
+  QDNN_CHECK(ts >= 1 && ts <= max_src_,
+             "DecodeSession: source length " << ts << " outside [1, "
+                                             << max_src_ << "]");
+  QDNN_CHECK(src_length >= 0 && src_length <= ts,
+             "DecodeSession: src_length " << src_length << " outside [0, "
+                                          << ts << "] (0 = all valid)");
+  const index_t len = src_length > 0 ? src_length : ts;
+
+  // Continuous mode runs at the full max_batch width so every row slot
+  // is addressable; rows never primed just ride the batch masked-out.
+  if (bound_n_ != config_.max_batch) bind_views(config_.max_batch);
+
+  // Only the rank-1 form needs a reshaped copy; [1, Ts] encodes as-is.
+  const Tensor enc_out =
+      src_ids.rank() == 2
+          ? model_->encode(src_ids, {len})
+          : model_->encode(src_ids.reshaped(Shape{1, ts}), {len});
+  project_cross_row(row, enc_out.data(), ts);
+  src_lengths_[static_cast<std::size_t>(row)] = len;
+  row_steps_[static_cast<std::size_t>(row)] = 0;
+  primed_ = true;
+}
+
+void DecodeSession::reset_row(index_t row) {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  row_steps_[static_cast<std::size_t>(row)] = 0;
 }
 
 void DecodeSession::run_step(const std::vector<index_t>& tokens) {
   const index_t n = bound_n_;
-  // Embed the new token at position cur_step_: y = E[id]·sqrt(d) + PE[p],
-  // the exact operation order of the training path.
+  // Embed each row's new token at that row's ring position:
+  // y = E[id]·sqrt(d) + PE[row_step], the exact operation order of the
+  // training path.  Rows at different positions read different PE rows —
+  // the continuous-batching case.
   const Tensor& table = model_->positional().table();
   const float* weights = model_->tgt_embedding().weight().value.data();
   const float scale = std::sqrt(static_cast<float>(d_model_));
-  const float* pe = table.data() + cur_step_ * d_model_;
   for (index_t r = 0; r < n; ++r) {
     const index_t id = tokens[static_cast<std::size_t>(r)];
     QDNN_CHECK(id >= 0 && id < vocab_,
                "DecodeSession: token id " << id << " out of vocab "
                                           << vocab_);
+    const float* pe =
+        table.data() + row_steps_[static_cast<std::size_t>(r)] * d_model_;
     const float* e = weights + id * d_model_;
     float* y = embed_buf_.data() + r * d_model_;
     for (index_t d = 0; d < d_model_; ++d) y[d] = e[d] * scale + pe[d];
@@ -291,16 +372,17 @@ void DecodeSession::run_step(const std::vector<index_t>& tokens) {
       if (row[v] > row[best]) best = v;
     next_tokens_[static_cast<std::size_t>(r)] = best;
   }
-  ++cur_step_;
+  for (index_t r = 0; r < n; ++r) ++row_steps_[static_cast<std::size_t>(r)];
 }
 
 const std::vector<index_t>& DecodeSession::step(
     const std::vector<index_t>& tokens) {
   QDNN_CHECK(primed_, "DecodeSession: step() before prime()");
-  QDNN_CHECK(cur_step_ < config_.max_steps,
-             "DecodeSession: ring exhausted after " << config_.max_steps
-                                                    << " steps — prime() "
-                                                       "again");
+  for (index_t r = 0; r < bound_n_; ++r)
+    QDNN_CHECK(row_steps_[static_cast<std::size_t>(r)] < config_.max_steps,
+               "DecodeSession: row " << r << " ring exhausted after "
+                                     << config_.max_steps
+                                     << " steps — prime or reset the row");
   QDNN_CHECK(static_cast<index_t>(tokens.size()) == bound_n_,
              "DecodeSession: " << tokens.size() << " tokens for batch "
                                << bound_n_);
@@ -308,10 +390,18 @@ const std::vector<index_t>& DecodeSession::step(
   return next_tokens_;
 }
 
+index_t DecodeSession::steps_taken() const {
+  index_t deepest = 0;
+  for (index_t r = 0; r < bound_n_; ++r)
+    deepest =
+        std::max(deepest, row_steps_[static_cast<std::size_t>(r)]);
+  return deepest;
+}
+
 std::vector<std::vector<index_t>> DecodeSession::generate(index_t bos,
                                                           index_t eos) {
   QDNN_CHECK(primed_, "DecodeSession: generate() before prime()");
-  QDNN_CHECK(cur_step_ == 0,
+  QDNN_CHECK(steps_taken() == 0,
              "DecodeSession: generate() needs a fresh prime()");
   const index_t n = bound_n_;
   std::vector<std::vector<index_t>> outputs(static_cast<std::size_t>(n));

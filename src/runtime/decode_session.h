@@ -14,8 +14,16 @@
 //     watermark, which is then consolidated into one contiguous block.
 //   * prime(src): runs the encoder (the exact training path, so ragged
 //     src_lengths are honored), projects each layer's cross-attention K/V
-//     once into the encoder-side caches, and rewinds the step counter.
+//     once into the encoder-side caches, and rewinds the step counters.
 //     Priming allocates (the encoder pass); it is the per-request setup.
+//   * prime_row(row, src)/reset_row(row): the per-row face of the same
+//     lifecycle, for continuous batching (serve::BatchScheduler).  Every
+//     row carries its own step counter, source length and cache slices,
+//     so one request can be admitted into a free row — encoded and
+//     cross-projected into just that row — while the other rows keep
+//     decoding mid-flight at different ring positions.  The per-row
+//     attention masks make each row bit-identical to a solo session
+//     serving only that request.
 //   * step()/generate(): every step embeds ONE new token per row
 //     (position = step, so causal masking is implicit in the self-attention
 //     cache length), runs all decoder stages, projects logits and takes
@@ -83,9 +91,24 @@ class DecodeSession {
 
   // Encodes src_ids [n, Ts] (n ≤ max_batch, Ts ≤ the configured max_src,
   // which defaults to the model's max_len), projects the encoder-side K/V
-  // of every decoder layer, and rewinds the step counter.  Allocates (the
-  // encoder pass); per-request setup.
+  // of every decoder layer, and rewinds every row's step counter.
+  // Allocates (the encoder pass); per-request setup.
   void prime(const Tensor& src_ids, const std::vector<index_t>& src_lengths);
+
+  // Continuous-batching admission: encodes ONE source ([Ts] or [1, Ts]
+  // ids, src_length valid positions, 0 = all Ts) into row `row`'s
+  // encoder-side caches and rewinds that row's step counter — no other
+  // row's caches, counters or in-flight decode are touched.  The first
+  // prime_row (re)binds the session to the full max_batch width; batch
+  // prime() and prime_row() may be interleaved, but prime() resets every
+  // row.  Allocates (the encoder pass).
+  void prime_row(index_t row, const Tensor& src_ids, index_t src_length);
+
+  // Rewinds row `row`'s step counter to ring position 0 without touching
+  // any other row: the continuous-batching retire/park operation (a
+  // parked row keeps riding the batch gemm, its output ignored and its
+  // ring never exhausted).  Zero-alloc.
+  void reset_row(index_t row);
 
   // One decoder step: embeds `tokens` ([n] ids — bos on the first step,
   // the previous emission after) at position step(), runs every decoder
@@ -105,10 +128,16 @@ class DecodeSession {
 
   index_t max_batch() const { return config_.max_batch; }
   index_t max_steps() const { return config_.max_steps; }
-  // Rows bound by the last prime() (0 before the first).
+  // Source capacity of the encoder-side caches (config.max_src, or the
+  // model's max_len when unset).
+  index_t max_src() const { return max_src_; }
+  // Rows bound by the last prime()/prime_row() (0 before the first).
   index_t batch() const { return primed_ ? bound_n_ : 0; }
-  // Steps taken since the last prime().
-  index_t steps_taken() const { return cur_step_; }
+  // Steps taken by the deepest bound row since its prime/reset — the
+  // batch-lockstep step count after a plain prime().
+  index_t steps_taken() const;
+  // Steps taken by one row since its last prime/prime_row/reset_row.
+  index_t row_steps(index_t row) const;
   bool frozen() const { return config_.freeze; }
   // True when every module stage has a native (allocation-free)
   // forward_into — all stock projection families qualify.
@@ -119,8 +148,9 @@ class DecodeSession {
   index_t workspace_floats() const { return ws_.capacity(); }
 
  private:
-  void bind_views(index_t n, index_t ts);
+  void bind_views(index_t n);
   void unbind_all();
+  void project_cross_row(index_t row, const float* enc_row, index_t ts);
   void run_step(const std::vector<index_t>& tokens);
 
   models::Transformer* model_;
@@ -134,7 +164,9 @@ class DecodeSession {
   std::vector<index_t> stage_width_;  // per-boundary row width
 
   // Per-layer KV caches.  Self rings: [max_batch, max_steps, P]; cross
-  // caches: [max_batch, max_len, P], bound as [n, Ts, P] per prime.
+  // caches: [max_batch, max_src, P], always bound at the full max_src
+  // row stride so per-row prime can fill one row's slice in place —
+  // per-row source lengths mask the unused tail bit-exactly.
   std::vector<Tensor> self_k_, self_v_, cross_k_, cross_v_;
 
   Tensor embed_buf_;               // [max_batch · d_model], boundary -1
@@ -147,11 +179,14 @@ class DecodeSession {
   std::vector<index_t> next_tokens_;  // argmax per row, step() result
   std::vector<index_t> feed_tokens_;  // generate() feedback scratch
   std::vector<char> done_;            // generate() per-row eos flags
-  std::vector<index_t> src_lengths_;  // bound by prime(); adapters point here
+  // Per-row session state the step adapters point into: ring positions
+  // and valid source lengths, one entry per bound row.  Preallocated at
+  // bind (capacity max_batch) so prime_row/reset_row never allocate.
+  std::vector<index_t> row_steps_;
+  std::vector<index_t> src_lengths_;
 
   Workspace ws_;
-  index_t bound_n_ = 0, bound_ts_ = 0;
-  index_t cur_step_ = 0;
+  index_t bound_n_ = 0;
   bool primed_ = false;
 };
 

@@ -1,0 +1,48 @@
+// Request/result types for the continuous-batching serving layer.
+//
+// A Request is one decode job: a source row plus decode policy (step
+// budget, sampling head).  The scheduler assigns ids at submit() and
+// returns RequestResults after retirement; tick counters let callers
+// derive queueing delay (admit − submit), decode time (finish − admit)
+// and end-to-end latency (finish − submit) in batch-step units.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "serve/sampling.h"
+
+namespace qdnn::serve {
+
+struct Request {
+  // Source token ids, [Ts] or [1, Ts]; Ts must fit the session's
+  // configured max_src.
+  Tensor src_ids;
+  // Valid (non-pad) source positions; 0 = all Ts valid.
+  index_t src_length = 0;
+  // Most tokens to emit; 0 = the scheduler's max_steps.  Must not exceed
+  // max_steps (the self-attention ring capacity).
+  index_t max_new_tokens = 0;
+  // Per-request sampling head; greedy by default.
+  SamplingConfig sampling;
+};
+
+enum class FinishReason {
+  kEos,     // the model emitted eos
+  kLength,  // the step budget ran out
+};
+
+struct RequestResult {
+  index_t id = -1;
+  // Emitted token ids, bos/eos excluded — for a greedy request, exactly
+  // Transformer::greedy_decode of that source alone.
+  std::vector<index_t> tokens;
+  FinishReason reason = FinishReason::kLength;
+  // Batch ticks this request spent decoding (== steps consumed).
+  index_t decode_steps = 0;
+  index_t submit_tick = 0;  // scheduler tick count at submit()
+  index_t admit_tick = 0;   // tick at admission into a batch row
+  index_t finish_tick = 0;  // tick at retirement
+};
+
+}  // namespace qdnn::serve

@@ -1,0 +1,104 @@
+#include "serve/sampling.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace qdnn::serve {
+
+namespace {
+
+// First-maximum argmax — the exact tie-breaking of DecodeSession's greedy
+// head and greedy_decode_reference, so a greedy-sampled scheduler row is
+// bit-identical to a solo generate() of the same request.
+index_t argmax(const float* logits, index_t vocab) {
+  index_t best = 0;
+  for (index_t v = 1; v < vocab; ++v)
+    if (logits[v] > logits[best]) best = v;
+  return best;
+}
+
+// Inverse-CDF draw over `count` candidates whose unnormalized softmax
+// weights sit in probs (sum > 0).  The accumulation order is fixed
+// (candidate order), so a given (logits, u) pair always picks the same
+// candidate — determinism without normalizing first.
+index_t pick(const float* probs, index_t count, double total, double u) {
+  double cum = 0.0;
+  for (index_t i = 0; i < count; ++i) {
+    cum += probs[i];
+    if (u * total < cum) return i;
+  }
+  return count - 1;  // float round-off tail
+}
+
+}  // namespace
+
+void validate(const SamplingConfig& config, index_t vocab) {
+  QDNN_CHECK(vocab > 0, "sampling: vocab must be positive");
+  switch (config.kind) {
+    case SamplingConfig::Kind::kGreedy:
+      return;
+    case SamplingConfig::Kind::kTemperature:
+      QDNN_CHECK(config.temperature > 0.0f,
+                 "sampling: temperature must be positive, got "
+                     << config.temperature);
+      return;
+    case SamplingConfig::Kind::kTopK:
+      QDNN_CHECK(config.temperature > 0.0f,
+                 "sampling: temperature must be positive, got "
+                     << config.temperature);
+      QDNN_CHECK(config.top_k >= 1 && config.top_k <= vocab,
+                 "sampling: top_k " << config.top_k << " outside [1, "
+                                    << vocab << "] (vocab)");
+      return;
+  }
+  QDNN_CHECK(false, "sampling: unknown head kind");
+}
+
+index_t sample_token(const SamplingConfig& config, const float* logits,
+                     index_t vocab, Rng& rng, float* prob_scratch,
+                     index_t* idx_scratch) {
+  switch (config.kind) {
+    case SamplingConfig::Kind::kGreedy:
+      return argmax(logits, vocab);
+
+    case SamplingConfig::Kind::kTemperature: {
+      // softmax(logits / T) via max-shift; one uniform draw per token.
+      const float mx = logits[argmax(logits, vocab)];
+      double total = 0.0;
+      for (index_t v = 0; v < vocab; ++v) {
+        prob_scratch[v] =
+            std::exp((logits[v] - mx) / config.temperature);
+        total += prob_scratch[v];
+      }
+      return pick(prob_scratch, vocab, total, rng.uniform());
+    }
+
+    case SamplingConfig::Kind::kTopK: {
+      // Deterministic k-largest selection: repeated first-maximum scans
+      // over a working copy (ties resolve to the lowest id, independent
+      // of any library sort), then a temperature softmax over the
+      // candidates.
+      const index_t k = config.top_k;
+      for (index_t v = 0; v < vocab; ++v) prob_scratch[v] = logits[v];
+      for (index_t j = 0; j < k; ++j) {
+        const index_t best = argmax(prob_scratch, vocab);
+        idx_scratch[j] = best;
+        prob_scratch[best] = -std::numeric_limits<float>::infinity();
+      }
+      const float mx = logits[idx_scratch[0]];  // overall maximum
+      double total = 0.0;
+      for (index_t j = 0; j < k; ++j) {
+        prob_scratch[j] = std::exp(
+            (logits[idx_scratch[j]] - mx) / config.temperature);
+        total += prob_scratch[j];
+      }
+      return idx_scratch[pick(prob_scratch, k, total, rng.uniform())];
+    }
+  }
+  QDNN_CHECK(false, "sampling: unknown head kind");
+  return 0;
+}
+
+}  // namespace qdnn::serve

@@ -1,0 +1,65 @@
+// Pluggable sampling heads over one row of decode-step logits.
+//
+// The serving layer picks each request's next token from the logits row
+// the DecodeSession produced for that request's batch row.  Three heads:
+//
+//   * greedy      — first-maximum argmax, bit-identical to the session's
+//                   built-in head and to Transformer::greedy_decode.
+//   * temperature — softmax(logits / T) sampled by inverse CDF.
+//   * top-k       — the k highest logits renormalized (with temperature)
+//                   and sampled; k = 1 degenerates to greedy.
+//
+// Determinism: every stochastic head draws from a caller-owned core Rng
+// seeded per request, so a request's token sequence depends only on its
+// own seed and logits — never on admission order, batch composition, or
+// what other requests sample (the scheduler-reproducibility contract,
+// asserted in tests/serve/scheduler_test.cpp).  sample_token is
+// allocation-free: selection and CDF scratch come from the caller.
+#pragma once
+
+#include "core/rng.h"
+
+namespace qdnn::serve {
+
+struct SamplingConfig {
+  enum class Kind { kGreedy, kTemperature, kTopK };
+  Kind kind = Kind::kGreedy;
+  // Softmax sharpening for kTemperature/kTopK; must be positive.
+  float temperature = 1.0f;
+  // Candidate-set size for kTopK; must be in [1, vocab].
+  index_t top_k = 0;
+  // Per-request Rng stream for the stochastic heads.
+  std::uint64_t seed = 0;
+
+  static SamplingConfig greedy() { return {}; }
+  static SamplingConfig with_temperature(float t, std::uint64_t seed) {
+    SamplingConfig c;
+    c.kind = Kind::kTemperature;
+    c.temperature = t;
+    c.seed = seed;
+    return c;
+  }
+  static SamplingConfig with_top_k(index_t k, float t, std::uint64_t seed) {
+    SamplingConfig c;
+    c.kind = Kind::kTopK;
+    c.top_k = k;
+    c.temperature = t;
+    c.seed = seed;
+    return c;
+  }
+};
+
+// Rejects out-of-range parameters (non-positive temperature, top_k
+// outside [1, vocab]) with a message naming the field — called at the
+// serving edge (BatchScheduler::submit) so a bad request never reaches
+// the step loop.
+void validate(const SamplingConfig& config, index_t vocab);
+
+// Samples one token id from logits [vocab].  `rng` is the request's
+// stream (untouched by greedy).  prob_scratch: >= vocab floats;
+// idx_scratch: >= vocab entries (only top-k uses it).  Never allocates.
+index_t sample_token(const SamplingConfig& config, const float* logits,
+                     index_t vocab, Rng& rng, float* prob_scratch,
+                     index_t* idx_scratch);
+
+}  // namespace qdnn::serve

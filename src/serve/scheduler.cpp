@@ -1,0 +1,172 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+namespace qdnn::serve {
+
+BatchScheduler::BatchScheduler(models::Transformer& model,
+                               BatchSchedulerConfig config)
+    : config_(config),
+      vocab_(model.config().tgt_vocab),
+      session_(model, config.session) {
+  QDNN_CHECK(config_.bos >= 0 && config_.bos < vocab_,
+             "BatchScheduler: bos " << config_.bos << " outside vocab "
+                                    << vocab_);
+  QDNN_CHECK(config_.eos >= 0 && config_.eos < vocab_,
+             "BatchScheduler: eos " << config_.eos << " outside vocab "
+                                    << vocab_);
+
+  const index_t rows = session_.max_batch();
+  slots_.resize(static_cast<std::size_t>(rows));
+  for (Slot& slot : slots_)
+    slot.tokens.reserve(static_cast<std::size_t>(session_.max_steps()));
+  feed_.assign(static_cast<std::size_t>(rows), config_.bos);
+  // Stack of free rows, highest first, so back() hands out row 0 first.
+  free_rows_.reserve(static_cast<std::size_t>(rows));
+  for (index_t r = rows - 1; r >= 0; --r) free_rows_.push_back(r);
+  prob_scratch_ = Tensor{Shape{vocab_}};
+  idx_scratch_.resize(static_cast<std::size_t>(vocab_));
+}
+
+index_t BatchScheduler::submit(Request request) {
+  QDNN_CHECK(request.src_ids.rank() == 1 ||
+                 (request.src_ids.rank() == 2 &&
+                  request.src_ids.dim(0) == 1),
+             "BatchScheduler: src_ids must be [Ts] or [1, Ts], got "
+                 << request.src_ids.shape());
+  const index_t ts = request.src_ids.dim(request.src_ids.rank() - 1);
+  QDNN_CHECK(ts >= 1 && ts <= session_.max_src(),
+             "BatchScheduler: source length " << ts << " outside [1, "
+                                              << session_.max_src()
+                                              << "] (max_src)");
+  QDNN_CHECK(request.src_length >= 0 && request.src_length <= ts,
+             "BatchScheduler: src_length " << request.src_length
+                                           << " outside [0, " << ts
+                                           << "] (0 = all valid)");
+  QDNN_CHECK(request.max_new_tokens >= 0 &&
+                 request.max_new_tokens <= session_.max_steps(),
+             "BatchScheduler: max_new_tokens "
+                 << request.max_new_tokens << " outside [0, "
+                 << session_.max_steps() << "] (max_steps)");
+  validate(request.sampling, vocab_);
+
+  const index_t id = next_id_++;
+  queue_.push_back(Pending{id, ticks_, std::move(request)});
+  return id;
+}
+
+void BatchScheduler::admit_into(index_t row) {
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  const Request& req = pending.request;
+
+  // Per-row prime: encode this request's source into row `row` only —
+  // the rows mid-decode are untouched.
+  session_.prime_row(row, req.src_ids, req.src_length);
+
+  Slot& slot = slots_[static_cast<std::size_t>(row)];
+  slot.live = true;
+  slot.id = pending.id;
+  slot.budget = req.max_new_tokens > 0 ? req.max_new_tokens
+                                       : session_.max_steps();
+  slot.sampling = req.sampling;
+  slot.rng.reseed(req.sampling.seed);
+  slot.tokens.clear();
+  slot.tokens.reserve(static_cast<std::size_t>(slot.budget));
+  slot.submit_tick = pending.submit_tick;
+  slot.admit_tick = ticks_;
+  feed_[static_cast<std::size_t>(row)] = config_.bos;
+  ++live_rows_;
+}
+
+void BatchScheduler::retire(index_t row, FinishReason reason) {
+  Slot& slot = slots_[static_cast<std::size_t>(row)];
+  RequestResult result;
+  result.id = slot.id;
+  result.tokens = std::move(slot.tokens);
+  result.reason = reason;
+  result.decode_steps = session_.row_steps(row);
+  result.submit_tick = slot.submit_tick;
+  result.admit_tick = slot.admit_tick;
+  result.finish_tick = ticks_;
+  completed_.push_back(std::move(result));
+
+  slot.live = false;
+  slot.id = -1;
+  slot.tokens = std::vector<index_t>();  // moved-from; re-reserved at admit
+  free_rows_.push_back(row);
+  --live_rows_;
+}
+
+index_t BatchScheduler::step() {
+  // Admission first, so a row freed on the previous tick never idles: a
+  // retirement's slot is serving the next queued request one tick later.
+  while (!queue_.empty() && !free_rows_.empty()) {
+    const index_t row = free_rows_.back();
+    free_rows_.pop_back();
+    admit_into(row);
+  }
+
+  if (live_rows_ == 0) {
+    ++ticks_;  // idle tick: time passes for arrival traces
+    return 0;
+  }
+
+  // Park free rows at ring position 0 with a bos feed: they ride the
+  // batch gemm (output ignored) and their ring can never exhaust.
+  for (const index_t row : free_rows_) {
+    session_.reset_row(row);
+    feed_[static_cast<std::size_t>(row)] = config_.bos;
+  }
+
+  const index_t stepped = live_rows_;
+  const std::vector<index_t>& greedy = session_.step(feed_);
+  const ConstTensorView& logits = session_.logits();
+  ++ticks_;
+  ++stepped_ticks_;
+  occupancy_sum_ += stepped;
+
+  for (index_t row = 0;
+       row < static_cast<index_t>(slots_.size()); ++row) {
+    Slot& slot = slots_[static_cast<std::size_t>(row)];
+    if (!slot.live) continue;
+    // Greedy rides the session's built-in argmax (identical first-max
+    // tie-breaking); stochastic heads sample from the row's logits with
+    // the request's own stream.
+    const index_t token =
+        slot.sampling.kind == SamplingConfig::Kind::kGreedy
+            ? greedy[static_cast<std::size_t>(row)]
+            : sample_token(slot.sampling, logits.data() + row * vocab_,
+                           vocab_, slot.rng, prob_scratch_.data(),
+                           idx_scratch_.data());
+    if (token == config_.eos) {
+      retire(row, FinishReason::kEos);
+      continue;
+    }
+    slot.tokens.push_back(token);
+    ++total_tokens_;
+    feed_[static_cast<std::size_t>(row)] = token;
+    if (static_cast<index_t>(slot.tokens.size()) >= slot.budget)
+      retire(row, FinishReason::kLength);
+  }
+  return stepped;
+}
+
+void BatchScheduler::run() {
+  while (!idle()) step();
+}
+
+std::vector<RequestResult> BatchScheduler::take_results() {
+  std::vector<RequestResult> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+double BatchScheduler::mean_occupancy() const {
+  return stepped_ticks_ == 0
+             ? 0.0
+             : static_cast<double>(occupancy_sum_) /
+                   static_cast<double>(stepped_ticks_);
+}
+
+}  // namespace qdnn::serve

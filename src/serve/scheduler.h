@@ -1,0 +1,133 @@
+// BatchScheduler: continuous batching over one bound DecodeSession.
+//
+// PR 3's DecodeSession serves one fixed batch per prime: every request
+// must start together and the batch occupies its KV rings until the
+// slowest row finishes.  The scheduler removes that coupling — it owns a
+// request queue plus one session bound at full max_batch width, and each
+// tick it:
+//
+//   1. admits queued requests into free batch rows (per-row prime: the
+//      request's source is encoded and cross-projected into just its
+//      row's caches while the other rows keep decoding mid-flight),
+//   2. steps the WHOLE batch once — one gemm-backed pass over all rows,
+//      every live row at its own ring position (per-row cache lengths in
+//      the attention step kernels),
+//   3. samples one token per live row through its request's head
+//      (greedy / temperature / top-k, per-request seeded Rng),
+//   4. retires rows that emitted eos or exhausted their budget, so the
+//      freed slot is refilled at the very next tick.
+//
+// Throughput therefore tracks occupancy instead of the slowest request
+// (bench/serve_bench.cpp measures continuous vs static batching under
+// Poisson arrivals).
+//
+// Contracts:
+//   * Equivalence — a greedy request's tokens are bit-identical to a solo
+//     DecodeSession::generate / greedy_decode_reference of that request,
+//     for ANY admission/retirement interleaving (per-row masked attention
+//     is exact; fuzzed in tests/serve/scheduler_test.cpp).
+//   * Determinism — stochastic requests draw from their own seeded Rng,
+//     so results are reproducible regardless of admission order.
+//   * Zero-alloc steady state — all per-row bookkeeping (slots, token
+//     buffers, sampling scratch) is preallocated at bind; a tick that
+//     neither admits nor retires performs no heap allocation (asserted
+//     in tests/runtime/session_test.cpp).  Admission allocates — it runs
+//     the encoder — and retirement hands the finished token buffer off.
+//
+// Synchronous and single-threaded, like the session it drives: callers
+// pump step() (or run()) and drain take_results().
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "runtime/decode_session.h"
+#include "serve/request.h"
+
+namespace qdnn::serve {
+
+struct BatchSchedulerConfig {
+  // Ring geometry and freeze/warm-up policy for the owned session.
+  // max_batch is the continuous-batch width; max_steps bounds every
+  // request's budget.
+  runtime::DecodeSessionConfig session;
+  index_t bos = 1;
+  index_t eos = 2;
+};
+
+class BatchScheduler {
+ public:
+  // Binds the model (exclusively, like any DecodeSession) and
+  // preallocates every slot.  Validates bos/eos against the target
+  // vocabulary; the session constructor validates the ring geometry.
+  BatchScheduler(models::Transformer& model, BatchSchedulerConfig config);
+
+  // Enqueues a request, validating it at the edge (source length vs
+  // max_src, budget vs max_steps, sampling parameters) so a malformed
+  // request fails here with a clear message, not steps later inside a
+  // kernel.  Returns the request id.  Allocates (queue growth).
+  index_t submit(Request request);
+
+  // One tick: admit → batch-step → sample → retire (see file comment).
+  // Returns the number of live rows that were stepped (0 = nothing to
+  // do; the tick still counts, so arrival traces keyed on ticks work).
+  index_t step();
+
+  // Ticks until every submitted request has retired.
+  void run();
+
+  bool idle() const { return live_rows_ == 0 && queue_.empty(); }
+  // Moves out the results finished since the last call (retirement
+  // order).
+  std::vector<RequestResult> take_results();
+
+  index_t queued() const { return static_cast<index_t>(queue_.size()); }
+  index_t live_rows() const { return live_rows_; }
+  index_t ticks() const { return ticks_; }
+  index_t total_tokens() const { return total_tokens_; }
+  // Mean live rows per stepped tick — the occupancy continuous batching
+  // keeps high and static batching lets decay.
+  double mean_occupancy() const;
+  const runtime::DecodeSession& session() const { return session_; }
+
+ private:
+  struct Slot {
+    bool live = false;
+    index_t id = -1;
+    index_t budget = 0;
+    SamplingConfig sampling;
+    Rng rng{0};
+    std::vector<index_t> tokens;  // capacity reserved at construction
+    index_t submit_tick = 0;
+    index_t admit_tick = 0;
+  };
+  struct Pending {
+    index_t id;
+    index_t submit_tick;
+    Request request;
+  };
+
+  void admit_into(index_t row);
+  void retire(index_t row, FinishReason reason);
+
+  BatchSchedulerConfig config_;
+  index_t vocab_ = 0;
+  runtime::DecodeSession session_;
+
+  std::deque<Pending> queue_;
+  std::vector<Slot> slots_;
+  std::vector<index_t> feed_;       // next input token per row
+  std::vector<index_t> free_rows_;  // stack; lowest row admitted first
+  std::vector<RequestResult> completed_;
+  Tensor prob_scratch_;                // [vocab], sampling CDF scratch
+  std::vector<index_t> idx_scratch_;  // [vocab], top-k selection scratch
+
+  index_t next_id_ = 0;
+  index_t ticks_ = 0;
+  index_t live_rows_ = 0;
+  index_t total_tokens_ = 0;
+  index_t stepped_ticks_ = 0;
+  index_t occupancy_sum_ = 0;
+};
+
+}  // namespace qdnn::serve

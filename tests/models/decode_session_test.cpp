@@ -339,7 +339,9 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
   const index_t P = config.proj_dim, D = config.d_model;
   const index_t layers = manual_model.num_decoder_layers();
   std::vector<Tensor> k_self, v_self, k_cross, v_cross;
-  index_t cur = 0;
+  // The adapters take per-row ring positions; this lockstep driver keeps
+  // all rows at one shared position.
+  std::vector<index_t> cur_rows(static_cast<std::size_t>(n), 0);
   const std::vector<index_t> no_lengths;
   Workspace ws;
   const Tensor enc = manual_model.encode(src, {});
@@ -354,7 +356,7 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
         ConstTensorView(Shape{n * ts, D}, enc.data()), n, ts,
         TensorView(k_cross.back()), TensorView(v_cross.back()), ws);
     layer.self_step().bind(TensorView(k_self.back()),
-                           TensorView(v_self.back()), &cur);
+                           TensorView(v_self.back()), &cur_rows);
     layer.cross_step().bind(ConstTensorView(k_cross.back()),
                             ConstTensorView(v_cross.back()), &no_lengths);
   }
@@ -369,7 +371,8 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
     for (index_t r = 0; r < n; ++r) {
       const float* e = manual_model.tgt_embedding().weight().value.data() +
                        feed[static_cast<std::size_t>(r)] * D;
-      const float* pe = manual_model.positional().table().data() + cur * D;
+      const float* pe = manual_model.positional().table().data() +
+                        cur_rows[static_cast<std::size_t>(r)] * D;
       for (index_t d = 0; d < D; ++d)
         x.data()[r * D + d] = e[d] * scale + pe[d];
     }
@@ -383,7 +386,7 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
     ws.reset();
     manual_model.output_projection().forward_into(ConstTensorView(x),
                                                   TensorView(logits), ws);
-    ++cur;
+    for (index_t& c : cur_rows) ++c;
     ASSERT_EQ(session.logits().shape(), logits.shape());
     EXPECT_EQ(view_max_abs_diff(session.logits(), ConstTensorView(logits)),
               0.0f)
@@ -407,6 +410,93 @@ TEST(DecodeSession, StagePlanAndFootprintIntrospection) {
       config.n_layers * 2 * (2 * 8 + 2 * config.max_len) * config.proj_dim;
   EXPECT_EQ(session.kv_cache_floats(), expected);
   EXPECT_GT(session.workspace_floats(), 0);
+}
+
+TEST(DecodeSession, PrimeRowAdmitsMidFlightBitIdentically) {
+  // The continuous-batching primitive, exercised at session level: row 0
+  // decodes alone for a few steps, then row 1 is primed mid-flight at a
+  // different ring position.  Both rows' greedy streams must match solo
+  // references exactly — per-row step counters, per-row source lengths
+  // and the masked attention tails at work.
+  Transformer model(tiny_config());
+  model.set_training(false);
+  const Tensor src_a = random_src(1, 5, 20, 41);
+  const Tensor src_b = random_src(1, 3, 20, 42);
+  const index_t steps_a = 9, steps_b = 5, stagger = 4;
+  const auto ref_a =
+      model.greedy_decode_reference(src_a, {}, 1, 2, steps_a)[0];
+  const auto ref_b =
+      model.greedy_decode_reference(src_b, {}, 1, 2, steps_b)[0];
+  // Untrained tiny model: neither reference hits eos inside its budget,
+  // so the streams below never need eos handling.
+  ASSERT_EQ(static_cast<index_t>(ref_a.size()), steps_a);
+  ASSERT_EQ(static_cast<index_t>(ref_b.size()), steps_b);
+
+  DecodeSession session(model, session_config(2, 10));
+  session.prime_row(0, src_a, 0);
+  std::vector<index_t> feed{1, 1};  // bos; row 1 parked on bos
+  std::vector<index_t> got_a, got_b;
+  for (index_t s = 0; s < steps_a; ++s) {
+    if (s < stagger) {
+      session.reset_row(1);  // park: ring position pinned at 0
+    } else if (s == stagger) {
+      session.prime_row(1, src_b, 0);  // admit mid-flight
+      feed[1] = 1;                     // bos for the new request
+    }
+    const std::vector<index_t>& next = session.step(feed);
+    got_a.push_back(next[0]);
+    feed[0] = next[0];
+    if (s >= stagger &&
+        static_cast<index_t>(got_b.size()) < steps_b) {
+      got_b.push_back(next[1]);
+      feed[1] = next[1];
+    }
+    EXPECT_EQ(session.row_steps(0), s + 1);
+  }
+  EXPECT_EQ(got_a, ref_a);
+  EXPECT_EQ(got_b, ref_b);
+}
+
+TEST(DecodeSession, ResetRowRewindsOneRowOnly) {
+  Transformer model(tiny_config());
+  model.set_training(false);
+  DecodeSession session(model, session_config(2, 8));
+  session.prime_row(0, random_src(1, 4, 20, 43), 0);
+  session.prime_row(1, random_src(1, 4, 20, 44), 0);
+  std::vector<index_t> feed{1, 1};
+  feed = session.step(feed);
+  feed = session.step(feed);
+  EXPECT_EQ(session.row_steps(0), 2);
+  EXPECT_EQ(session.row_steps(1), 2);
+  session.reset_row(0);
+  EXPECT_EQ(session.row_steps(0), 0);
+  EXPECT_EQ(session.row_steps(1), 2) << "reset must not touch row 1";
+  EXPECT_THROW(session.reset_row(2), std::runtime_error);
+  EXPECT_THROW(session.prime_row(2, random_src(1, 4, 20, 45), 0),
+               std::runtime_error);
+}
+
+TEST(DecodeSession, ConfigValidationNamesTheField) {
+  Transformer model(tiny_config());
+  model.set_training(false);
+  auto message_of = [&](DecodeSessionConfig sc) -> std::string {
+    try {
+      DecodeSession session(model, sc);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  DecodeSessionConfig sc = session_config(0, 8);
+  EXPECT_NE(message_of(sc).find("max_batch"), std::string::npos);
+  sc = session_config(2, 0);
+  EXPECT_NE(message_of(sc).find("max_steps"), std::string::npos);
+  sc = session_config(2, 8);
+  sc.max_src = -3;
+  EXPECT_NE(message_of(sc).find("max_src"), std::string::npos);
+  sc = session_config(2, 8);
+  sc.max_src = model.config().max_len + 1;
+  EXPECT_NE(message_of(sc).find("max_src"), std::string::npos);
 }
 
 TEST(DecodeSession, MaxSrcShrinksCrossCachesAndBoundsPrime) {

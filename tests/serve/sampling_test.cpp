@@ -1,0 +1,123 @@
+// Sampling-head contracts: greedy is the session's first-maximum argmax,
+// stochastic heads are deterministic per seed and independent across
+// streams, top-k restricts support (k = 1 degenerates to greedy), and
+// malformed configs are rejected at validate() with clear errors.
+#include "serve/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace qdnn::serve {
+namespace {
+
+constexpr index_t kVocab = 8;
+
+struct Scratch {
+  std::vector<float> probs = std::vector<float>(kVocab);
+  std::vector<index_t> idx = std::vector<index_t>(kVocab);
+};
+
+index_t draw(const SamplingConfig& config, const float* logits, Rng& rng,
+             Scratch& s) {
+  return sample_token(config, logits, kVocab, rng, s.probs.data(),
+                      s.idx.data());
+}
+
+TEST(Sampling, GreedyIsFirstMaximumArgmax) {
+  Scratch s;
+  Rng rng(1);
+  const float logits[kVocab] = {0.f, 3.f, 1.f, 3.f, -2.f, 0.5f, 2.f, 3.f};
+  // Ties at ids 1, 3, 7 — the first maximum wins, exactly like
+  // DecodeSession's greedy head.
+  EXPECT_EQ(draw(SamplingConfig::greedy(), logits, rng, s), 1);
+}
+
+TEST(Sampling, TemperatureIsDeterministicPerSeed) {
+  Scratch s;
+  const float logits[kVocab] = {0.1f, 1.f, 0.3f, 2.f, 0.f, 1.5f, 0.2f,
+                                0.9f};
+  const SamplingConfig config = SamplingConfig::with_temperature(1.0f, 7);
+  std::vector<index_t> first, second;
+  for (int run = 0; run < 2; ++run) {
+    Rng rng(config.seed);
+    auto& out = run == 0 ? first : second;
+    for (int i = 0; i < 32; ++i)
+      out.push_back(draw(config, logits, rng, s));
+  }
+  EXPECT_EQ(first, second) << "same seed must reproduce the stream";
+
+  // A different seed diverges somewhere in 32 draws over spread logits.
+  Rng other(config.seed + 1);
+  std::vector<index_t> diverged;
+  for (int i = 0; i < 32; ++i)
+    diverged.push_back(draw(config, logits, other, s));
+  EXPECT_NE(first, diverged);
+}
+
+TEST(Sampling, TemperatureCoversSupportAndSharpens) {
+  Scratch s;
+  const float logits[kVocab] = {0.f, 4.f, 0.f, 3.5f, 0.f, 0.f, 0.f, 0.f};
+  // Hot: multiple ids appear across draws.
+  Rng hot_rng(11);
+  std::set<index_t> hot_ids;
+  for (int i = 0; i < 200; ++i)
+    hot_ids.insert(
+        draw(SamplingConfig::with_temperature(2.0f, 11), logits, hot_rng,
+             s));
+  EXPECT_GT(hot_ids.size(), 1u);
+  // Near-zero temperature concentrates all mass on the argmax.
+  Rng cold_rng(13);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(draw(SamplingConfig::with_temperature(1e-3f, 13), logits,
+                   cold_rng, s),
+              1);
+}
+
+TEST(Sampling, TopKRestrictsSupportToKLargest) {
+  Scratch s;
+  const float logits[kVocab] = {0.f, 5.f, 1.f, 4.f, 2.f, -1.f, 3.f, 0.5f};
+  Rng rng(17);
+  const SamplingConfig config = SamplingConfig::with_top_k(3, 1.5f, 17);
+  std::set<index_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(draw(config, logits, rng, s));
+  // k = 3 → only ids 1, 3, 6 (the three largest logits) are reachable.
+  for (const index_t id : seen)
+    EXPECT_TRUE(id == 1 || id == 3 || id == 6) << "id " << id;
+  EXPECT_EQ(seen.size(), 3u) << "hot temperature should reach all three";
+}
+
+TEST(Sampling, TopKOneIsGreedyRegardlessOfSeed) {
+  Scratch s;
+  const float logits[kVocab] = {0.f, 1.f, 5.f, 4.f, 2.f, 3.f, 1.f, 0.f};
+  for (std::uint64_t seed : {1u, 2u, 99u}) {
+    Rng rng(seed);
+    EXPECT_EQ(draw(SamplingConfig::with_top_k(1, 0.7f, seed), logits, rng,
+                   s),
+              2);
+  }
+}
+
+TEST(Sampling, ValidateRejectsMalformedConfigs) {
+  EXPECT_NO_THROW(validate(SamplingConfig::greedy(), kVocab));
+  EXPECT_NO_THROW(validate(SamplingConfig::with_temperature(0.5f, 1),
+                           kVocab));
+  EXPECT_NO_THROW(validate(SamplingConfig::with_top_k(kVocab, 1.0f, 1),
+                           kVocab));
+  EXPECT_THROW(validate(SamplingConfig::with_temperature(0.0f, 1), kVocab),
+               std::runtime_error);
+  EXPECT_THROW(validate(SamplingConfig::with_temperature(-1.0f, 1),
+                        kVocab),
+               std::runtime_error);
+  EXPECT_THROW(validate(SamplingConfig::with_top_k(0, 1.0f, 1), kVocab),
+               std::runtime_error);
+  EXPECT_THROW(validate(SamplingConfig::with_top_k(kVocab + 1, 1.0f, 1),
+                        kVocab),
+               std::runtime_error);
+  EXPECT_THROW(validate(SamplingConfig::with_top_k(2, 0.0f, 1), kVocab),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qdnn::serve

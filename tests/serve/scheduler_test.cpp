@@ -1,0 +1,380 @@
+// Continuous-batching equivalence and lifecycle contracts for
+// serve::BatchScheduler.
+//
+// The headline property: for ANY admission/retirement interleaving —
+// fuzzed over batch widths, submission orders and arrival delays — every
+// greedy request's token sequence is bit-identical to a solo decode of
+// that request alone (greedy_decode_reference, the O(T²) oracle that
+// never binds the decoder).  Stochastic requests must be reproducible
+// across admission orders from their per-request seeds.
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "decode_test_util.h"
+
+namespace qdnn::serve {
+namespace {
+
+using models::Transformer;
+using qdnn::testing::random_src_ids;
+using qdnn::testing::tiny_transformer_config;
+
+constexpr index_t kBos = 1, kEos = 2;
+
+BatchSchedulerConfig scheduler_config(index_t max_batch,
+                                      index_t max_steps) {
+  BatchSchedulerConfig config;
+  config.session.max_batch = max_batch;
+  config.session.max_steps = max_steps;
+  config.bos = kBos;
+  config.eos = kEos;
+  return config;
+}
+
+struct TestRequest {
+  Tensor src;
+  index_t src_length;
+  index_t budget;
+  SamplingConfig sampling = SamplingConfig::greedy();
+  std::vector<index_t> reference;  // solo greedy tokens (greedy requests)
+};
+
+// A mixed-shape request set: ragged sources, mixed budgets.
+std::vector<TestRequest> make_requests(Transformer& model, index_t count,
+                                       index_t max_steps,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TestRequest> requests;
+  for (index_t i = 0; i < count; ++i) {
+    TestRequest r;
+    const index_t ts = 3 + rng.uniform_int(4);       // 3..6
+    const index_t len = 1 + rng.uniform_int(ts);     // 1..ts (ragged)
+    r.src = random_src_ids(1, ts, 20, seed * 100 + i);
+    r.src_length = len;
+    r.budget = 2 + rng.uniform_int(max_steps - 2);   // 2..max_steps-1
+    r.reference = model.greedy_decode_reference(r.src, {len}, kBos, kEos,
+                                                r.budget)[0];
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Drives a scheduler over `requests` with per-request arrival ticks and a
+// submission order; returns results keyed by request index.
+std::map<index_t, RequestResult> drive(
+    Transformer& model, const std::vector<TestRequest>& requests,
+    const std::vector<index_t>& order,
+    const std::vector<index_t>& arrival_ticks, index_t max_batch,
+    index_t max_steps) {
+  BatchScheduler scheduler(model, scheduler_config(max_batch, max_steps));
+  std::map<index_t, index_t> id_to_index;  // scheduler id -> request idx
+  std::map<index_t, RequestResult> results;
+  std::size_t next = 0;
+  while (next < order.size() || !scheduler.idle()) {
+    while (next < order.size() &&
+           arrival_ticks[next] <= scheduler.ticks()) {
+      const index_t idx = order[next];
+      const TestRequest& r = requests[static_cast<std::size_t>(idx)];
+      Request req;
+      req.src_ids = r.src;
+      req.src_length = r.src_length;
+      req.max_new_tokens = r.budget;
+      req.sampling = r.sampling;
+      id_to_index[scheduler.submit(std::move(req))] = idx;
+      ++next;
+    }
+    scheduler.step();
+    for (RequestResult& result : scheduler.take_results())
+      results[id_to_index.at(result.id)] = std::move(result);
+  }
+  return results;
+}
+
+TEST(BatchScheduler, FuzzedAdmissionOrdersMatchSoloGreedyBitExactly) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  const index_t max_steps = 12;
+  const auto requests = make_requests(model, 10, max_steps, 5);
+
+  for (const std::uint64_t fuzz_seed : {101u, 202u, 303u}) {
+    Rng rng(fuzz_seed);
+    const index_t max_batch = 1 + rng.uniform_int(3);  // 1..3
+    // Random submission order; arrivals drip in so admissions interleave
+    // with mid-flight rows at many different ring positions.
+    std::vector<index_t> order = rng.permutation(
+        static_cast<index_t>(requests.size()));
+    std::vector<index_t> arrivals;
+    index_t tick = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      arrivals.push_back(tick);
+      tick += rng.uniform_int(5);  // 0..4 ticks between arrivals
+    }
+
+    const auto results = drive(model, requests, order, arrivals,
+                               max_batch, max_steps);
+    ASSERT_EQ(results.size(), requests.size())
+        << "fuzz seed " << fuzz_seed;
+    for (const auto& [idx, result] : results) {
+      const TestRequest& r = requests[static_cast<std::size_t>(idx)];
+      EXPECT_EQ(result.tokens, r.reference)
+          << "request " << idx << " fuzz seed " << fuzz_seed
+          << " max_batch " << max_batch;
+      // eos iff the solo reference stopped short of its budget.
+      const bool ref_hit_eos =
+          static_cast<index_t>(r.reference.size()) < r.budget;
+      EXPECT_EQ(result.reason == FinishReason::kEos, ref_hit_eos)
+          << "request " << idx;
+    }
+  }
+}
+
+TEST(BatchScheduler, StochasticRequestsReproducibleAcrossAdmissionOrders) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  const index_t max_steps = 10;
+  auto requests = make_requests(model, 6, max_steps, 9);
+  // Half temperature, half top-k, each with its own seed; sampled tokens
+  // must depend only on the request's own stream, never on neighbors.
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    requests[i].sampling =
+        i % 2 == 0 ? SamplingConfig::with_temperature(
+                         1.2f, 1000 + static_cast<std::uint64_t>(i))
+                   : SamplingConfig::with_top_k(
+                         4, 0.9f, 2000 + static_cast<std::uint64_t>(i));
+
+  const auto n = static_cast<index_t>(requests.size());
+  std::vector<index_t> forward(static_cast<std::size_t>(n)),
+      reverse(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    forward[static_cast<std::size_t>(i)] = i;
+    reverse[static_cast<std::size_t>(i)] = n - 1 - i;
+  }
+  const std::vector<index_t> no_delay(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> dripped;
+  for (index_t i = 0; i < n; ++i) dripped.push_back(i * 3);
+
+  const auto a = drive(model, requests, forward, no_delay, 3, max_steps);
+  const auto b = drive(model, requests, reverse, no_delay, 2, max_steps);
+  const auto c = drive(model, requests, forward, dripped, 1, max_steps);
+  ASSERT_EQ(a.size(), requests.size());
+  for (const auto& [idx, result] : a) {
+    EXPECT_EQ(result.tokens, b.at(idx).tokens)
+        << "request " << idx << ": admission order changed the sample";
+    EXPECT_EQ(result.tokens, c.at(idx).tokens)
+        << "request " << idx << ": batch width changed the sample";
+  }
+}
+
+TEST(BatchScheduler, GreedyRowUnaffectedByStochasticNeighbors) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  const index_t max_steps = 10;
+  auto requests = make_requests(model, 4, max_steps, 13);
+  // Requests 1..3 sample; request 0 stays greedy and must still match
+  // its solo reference exactly.
+  for (std::size_t i = 1; i < requests.size(); ++i)
+    requests[i].sampling = SamplingConfig::with_temperature(
+        1.5f, 50 + static_cast<std::uint64_t>(i));
+
+  std::vector<index_t> order{0, 1, 2, 3};
+  const std::vector<index_t> no_delay(4, 0);
+  const auto results = drive(model, requests, order, no_delay, 4,
+                             max_steps);
+  EXPECT_EQ(results.at(0).tokens, requests[0].reference);
+}
+
+TEST(BatchScheduler, BudgetRetiresOnLengthAndEosRetiresEarly) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+
+  // eos = the probe source's first greedy token, so the eos request
+  // retires immediately; computed before any scheduler binds the model.
+  const Tensor probe_src = random_src_ids(1, 5, 20, 78);
+  const auto probe =
+      model.greedy_decode_reference(probe_src, {}, kBos, kEos, 12);
+  ASSERT_FALSE(probe[0].empty());
+  BatchSchedulerConfig eos_config = scheduler_config(2, 12);
+  eos_config.eos = probe[0][0];
+
+  {
+    // Budget 3 on an untrained model: eos (id 2) is effectively never
+    // the greedy pick, so the request must retire on length, 3 tokens.
+    BatchScheduler scheduler(model, scheduler_config(2, 12));
+    Request capped;
+    capped.src_ids = random_src_ids(1, 5, 20, 77);
+    capped.max_new_tokens = 3;
+    const index_t capped_id = scheduler.submit(std::move(capped));
+    scheduler.run();
+    auto results = scheduler.take_results();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].id, capped_id);
+    EXPECT_EQ(results[0].tokens.size(), 3u);
+    EXPECT_EQ(results[0].reason, FinishReason::kLength);
+    EXPECT_EQ(results[0].decode_steps, 3);
+  }
+
+  // Fresh scheduler (the first unbound at destruction).
+  BatchScheduler eos_scheduler(model, eos_config);
+  Request eos_req;
+  eos_req.src_ids = probe_src;
+  eos_scheduler.submit(std::move(eos_req));
+  eos_scheduler.run();
+  auto eos_results = eos_scheduler.take_results();
+  ASSERT_EQ(eos_results.size(), 1u);
+  EXPECT_TRUE(eos_results[0].tokens.empty());
+  EXPECT_EQ(eos_results[0].reason, FinishReason::kEos);
+}
+
+TEST(BatchScheduler, ResultsStreamOutWhileOthersKeepDecoding) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 14));
+
+  Request quick;
+  quick.src_ids = random_src_ids(1, 4, 20, 81);
+  quick.max_new_tokens = 2;
+  const index_t quick_id = scheduler.submit(std::move(quick));
+  Request slow;
+  slow.src_ids = random_src_ids(1, 4, 20, 82);
+  slow.max_new_tokens = 14;
+  const index_t slow_id = scheduler.submit(std::move(slow));
+
+  // After 3 ticks the quick request has retired and its slot is free
+  // again, while the slow one is still mid-decode.
+  for (int i = 0; i < 3; ++i) scheduler.step();
+  auto early = scheduler.take_results();
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].id, quick_id);
+  EXPECT_EQ(scheduler.live_rows(), 1);
+  EXPECT_FALSE(scheduler.idle());
+
+  // A third request admitted into the freed slot mid-flight.
+  Request refill;
+  refill.src_ids = random_src_ids(1, 4, 20, 83);
+  refill.max_new_tokens = 3;
+  const index_t refill_id = scheduler.submit(std::move(refill));
+  scheduler.run();
+  auto rest = scheduler.take_results();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_TRUE((rest[0].id == slow_id && rest[1].id == refill_id) ||
+              (rest[0].id == refill_id && rest[1].id == slow_id));
+  EXPECT_TRUE(scheduler.idle());
+  std::size_t emitted = early[0].tokens.size();
+  for (const RequestResult& r : rest) emitted += r.tokens.size();
+  EXPECT_EQ(scheduler.total_tokens(),
+            static_cast<index_t>(emitted));
+  EXPECT_GT(scheduler.mean_occupancy(), 1.0);
+}
+
+TEST(BatchScheduler, LatencyTicksAreConsistent) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(1, 8));
+  // With one row, the second request queues until the first retires.
+  for (int i = 0; i < 2; ++i) {
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20, 90 + i);
+    req.max_new_tokens = 4;
+    scheduler.submit(std::move(req));
+  }
+  scheduler.run();
+  const auto results = scheduler.take_results();
+  ASSERT_EQ(results.size(), 2u);
+  for (const RequestResult& r : results) {
+    EXPECT_EQ(r.submit_tick, 0);
+    EXPECT_LE(r.admit_tick, r.finish_tick);
+    EXPECT_EQ(r.finish_tick - r.admit_tick, r.decode_steps);
+  }
+  EXPECT_EQ(results[0].admit_tick, 0);
+  EXPECT_GT(results[1].admit_tick, 0) << "row 0 was occupied at submit";
+}
+
+TEST(BatchScheduler, SubmitValidatesAtTheEdge) {
+  models::TransformerConfig mc = tiny_transformer_config();
+  Transformer model(mc);
+  model.set_training(false);
+  BatchSchedulerConfig config = scheduler_config(2, 8);
+  config.session.max_src = 6;
+  {
+    BatchScheduler scheduler(model, config);
+
+    Request too_long;
+    too_long.src_ids = random_src_ids(1, 7, 20, 91);  // > max_src
+    EXPECT_THROW(scheduler.submit(std::move(too_long)),
+                 std::runtime_error);
+
+    Request bad_budget;
+    bad_budget.src_ids = random_src_ids(1, 4, 20, 92);
+    bad_budget.max_new_tokens = 9;  // > max_steps
+    EXPECT_THROW(scheduler.submit(std::move(bad_budget)),
+                 std::runtime_error);
+
+    Request bad_length;
+    bad_length.src_ids = random_src_ids(1, 4, 20, 93);
+    bad_length.src_length = 5;  // > Ts
+    EXPECT_THROW(scheduler.submit(std::move(bad_length)),
+                 std::runtime_error);
+
+    Request bad_sampling;
+    bad_sampling.src_ids = random_src_ids(1, 4, 20, 94);
+    bad_sampling.sampling = SamplingConfig::with_temperature(0.0f, 1);
+    EXPECT_THROW(scheduler.submit(std::move(bad_sampling)),
+                 std::runtime_error);
+
+    Request bad_shape;
+    bad_shape.src_ids = random_src_ids(2, 4, 20, 95);  // [2, Ts]
+    EXPECT_THROW(scheduler.submit(std::move(bad_shape)),
+                 std::runtime_error);
+  }
+
+  // Constructor-level validation (the model is unbound again): bos/eos
+  // must be inside the target vocabulary, and the ring-geometry errors
+  // carry the config field names.
+  {
+    BatchSchedulerConfig bad = scheduler_config(2, 8);
+    bad.eos = mc.tgt_vocab;
+    EXPECT_THROW(BatchScheduler(model, bad), std::runtime_error);
+  }
+  {
+    BatchSchedulerConfig bad = scheduler_config(0, 8);
+    EXPECT_THROW(BatchScheduler(model, bad), std::runtime_error);
+  }
+  {
+    BatchSchedulerConfig bad = scheduler_config(2, 8);
+    bad.session.max_src = -1;
+    EXPECT_THROW(BatchScheduler(model, bad), std::runtime_error);
+  }
+  // And after all the rejections the model still serves normally.
+  BatchScheduler ok(model, scheduler_config(2, 8));
+  Request fine;
+  fine.src_ids = random_src_ids(1, 4, 20, 97);
+  fine.max_new_tokens = 2;
+  ok.submit(std::move(fine));
+  ok.run();
+  EXPECT_EQ(ok.take_results().size(), 1u);
+}
+
+TEST(BatchScheduler, BindsTheDecoderExclusively) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 8));
+  // The scheduler's session holds the decoder: a second session (and
+  // greedy_decode, which binds one internally) must be rejected while
+  // the reference path keeps working.
+  runtime::DecodeSessionConfig sc;
+  sc.max_batch = 1;
+  sc.max_steps = 4;
+  EXPECT_THROW(runtime::DecodeSession(model, sc), std::runtime_error);
+  const Tensor src = random_src_ids(1, 4, 20, 96);
+  EXPECT_THROW(model.greedy_decode(src, {}, kBos, kEos, 4),
+               std::runtime_error);
+  EXPECT_NO_THROW(model.greedy_decode_reference(src, {}, kBos, kEos, 4));
+}
+
+}  // namespace
+}  // namespace qdnn::serve
