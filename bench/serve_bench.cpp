@@ -1,7 +1,8 @@
-// Continuous vs static batching under Poisson load.
+// Continuous vs static batching under Poisson load, and synchronous vs
+// asynchronous (prefill/decode-split) admission under prefill-heavy load.
 //
-// A trace of decode requests (Poisson arrivals, mixed source lengths,
-// mixed step budgets) is served two ways over the same model:
+// Workload 1 — a trace of decode requests (Poisson arrivals, mixed source
+// lengths, mixed step budgets) served two ways over the same model:
 //
 //   * static     — the PR 3 pattern: gangs of up to max_batch requests
 //                  prime together and the whole batch occupies its KV
@@ -12,11 +13,24 @@
 //                  the whole batch at per-row ring positions, retired
 //                  rows refill immediately.
 //
-// Both modes emit bit-identical greedy tokens per request (asserted), so
-// the comparison is pure scheduling: tokens/sec tracks row occupancy,
-// and per-request latency (p50/p99, in ticks = batch steps and in ms via
-// the measured step cost) shows the queueing effect of gang scheduling.
-// `--smoke` runs a small trace end-to-end — the CI serve-regression gate.
+// Workload 2 — a prefill-heavy trace (LONG sources, SHORT decode budgets:
+// admission cost dominates) served by the continuous scheduler with
+//
+//   * sync admission  — the encoder runs on the serving thread inside the
+//                       tick (prefill_workers = 0), so every admission
+//                       stretches that tick for all live rows, and
+//   * async admission — a PrefillPool worker computes the encoder off-
+//                       thread and the tick only commits finished K/V
+//                       (prefill_workers = 1),
+//
+// measuring per-tick wall time: p99 tick latency is the jitter a long
+// prefill inflicts on every in-flight decode.
+//
+// All mode pairs emit bit-identical greedy tokens per request (asserted),
+// so both comparisons are pure scheduling.  `--smoke` runs small traces
+// end-to-end — the CI serve-regression gate; `--json` additionally writes
+// a machine-readable summary to BENCH_serve.json (tokens/sec, p99 tick
+// latency, mean occupancy per mode) for cross-PR perf tracking.
 #include <cstdio>
 #include <cstring>
 
@@ -48,6 +62,9 @@ struct Measured {
   double tokens_per_sec = 0.0;
   double p50_ticks = 0.0, p99_ticks = 0.0;
   double p50_ms = 0.0, p99_ms = 0.0;
+  // Per-tick wall time over stepped ticks (admissions included): the
+  // jitter metric of the prefill/decode split.
+  double tick_mean_ms = 0.0, tick_p99_ms = 0.0;
   double occupancy = 0.0;
   index_t total_tokens = 0;
   std::map<index_t, std::vector<index_t>> outputs;  // trace idx → tokens
@@ -69,10 +86,13 @@ models::TransformerConfig model_config() {
 }
 
 // Poisson arrivals (exponential inter-arrival at `rate` requests per
-// tick), ragged sources, mixed budgets — the mixed-length traffic where
-// gang scheduling leaves rows idle.
+// tick) with sources in [ts_lo, ts_hi] and budgets in [b_lo, b_hi].
+// Mixed-length traffic (wide ranges) is where gang scheduling leaves
+// rows idle; long-source/short-budget traffic (prefill-heavy) is where
+// synchronous admission jitters every tick.
 std::vector<TraceRequest> make_trace(index_t count, double rate,
-                                     index_t max_src, index_t max_steps,
+                                     index_t ts_lo, index_t ts_hi,
+                                     index_t b_lo, index_t b_hi,
                                      std::uint64_t seed) {
   Rng rng(seed);
   std::vector<TraceRequest> trace;
@@ -80,12 +100,12 @@ std::vector<TraceRequest> make_trace(index_t count, double rate,
   for (index_t i = 0; i < count; ++i) {
     arrival += -std::log(1.0 - rng.uniform()) / rate;
     TraceRequest r;
-    const index_t ts = 4 + rng.uniform_int(max_src - 4 + 1);
+    const index_t ts = ts_lo + rng.uniform_int(ts_hi - ts_lo + 1);
     r.src = Tensor{Shape{1, ts}};
     for (index_t j = 0; j < ts; ++j)
       r.src[j] = static_cast<float>(3 + rng.uniform_int(253));
     r.src_length = ts;
-    r.budget = 4 + rng.uniform_int(max_steps - 4 + 1);
+    r.budget = b_lo + rng.uniform_int(b_hi - b_lo + 1);
     r.arrival_tick = static_cast<index_t>(arrival);
     trace.push_back(std::move(r));
   }
@@ -106,23 +126,37 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Folds the measured per-tick durations into Measured and converts the
+// tick-denominated request latencies to ms with the SAME mean, so
+// tick_mean_ms and p50_ms/p50_ticks stay consistent in the JSON.
+void finish_tick_stats(Measured& m, const std::vector<double>& tick_ms) {
+  double sum = 0.0;
+  for (const double t : tick_ms) sum += t;
+  m.tick_mean_ms =
+      tick_ms.empty() ? 0.0 : sum / static_cast<double>(tick_ms.size());
+  m.tick_p99_ms = percentile(tick_ms, 0.99);
+  m.p50_ms = m.p50_ticks * m.tick_mean_ms;
+  m.p99_ms = m.p99_ticks * m.tick_mean_ms;
+}
+
 constexpr index_t kBos = 1, kEos = 2;
 
 Measured run_continuous(models::Transformer& model,
                         const std::vector<TraceRequest>& trace,
-                        index_t max_batch, index_t max_steps) {
+                        index_t max_batch, index_t max_steps,
+                        index_t prefill_workers = 0) {
   serve::BatchSchedulerConfig config;
   config.session.max_batch = max_batch;
   config.session.max_steps = max_steps;
   config.bos = kBos;
   config.eos = kEos;
+  config.prefill_workers = prefill_workers;
   serve::BatchScheduler scheduler(model, config);
 
   std::map<index_t, index_t> id_to_index;
-  std::vector<double> latency_ticks;
+  std::vector<double> latency_ticks, tick_ms;
   Measured m;
   std::size_t next = 0, done = 0;
-  index_t stepped_ticks = 0;
   const auto t0 = std::chrono::steady_clock::now();
   while (done < trace.size()) {
     while (next < trace.size() &&
@@ -135,7 +169,15 @@ Measured run_continuous(models::Transformer& model,
           static_cast<index_t>(next);
       ++next;
     }
-    if (scheduler.step() > 0) ++stepped_ticks;
+    // Async: block for an in-flight prefill instead of free-running
+    // idle ticks (sync mode never waits: the prefill elapses inside the
+    // admission tick).
+    if (scheduler.wait_for_prefill()) continue;
+    // Time each stepped tick (admissions included): with sync admission
+    // a long prefill lands inside the tick; with async it does not.
+    const auto tick0 = std::chrono::steady_clock::now();
+    const index_t stepped = scheduler.step();
+    if (stepped > 0) tick_ms.push_back(1e3 * seconds_since(tick0));
     for (serve::RequestResult& r : scheduler.take_results()) {
       latency_ticks.push_back(
           static_cast<double>(r.finish_tick - r.submit_tick));
@@ -144,14 +186,11 @@ Measured run_continuous(models::Transformer& model,
     }
   }
   const double elapsed = seconds_since(t0);
-  const double step_ms =
-      stepped_ticks > 0 ? 1e3 * elapsed / stepped_ticks : 0.0;
   m.total_tokens = scheduler.total_tokens();
   m.tokens_per_sec = m.total_tokens / elapsed;
   m.p50_ticks = percentile(latency_ticks, 0.50);
   m.p99_ticks = percentile(latency_ticks, 0.99);
-  m.p50_ms = m.p50_ticks * step_ms;
-  m.p99_ms = m.p99_ticks * step_ms;
+  finish_tick_stats(m, tick_ms);
   m.occupancy = scheduler.mean_occupancy();
   return m;
 }
@@ -164,7 +203,7 @@ Measured run_static(models::Transformer& model,
   sc.max_steps = max_steps;
   runtime::DecodeSession session(model, sc);
 
-  std::vector<double> latency_ticks;
+  std::vector<double> latency_ticks, tick_ms;
   Measured m;
   index_t tick = 0, stepped_ticks = 0, occupancy_sum = 0;
   std::size_t next = 0;
@@ -192,6 +231,10 @@ Measured run_static(models::Transformer& model,
       for (index_t j = 0; j < len; ++j) src.at(r, j) = req.src[j];
       lengths.push_back(req.src_length);
     }
+    // The gang prime lands inside the first tick's wall time — the exact
+    // accounting of the continuous scheduler's synchronous admission, so
+    // tick_p99_ms is comparable across all modes.
+    auto tick0 = std::chrono::steady_clock::now();
     session.prime(src, lengths);
 
     std::vector<index_t> feed(static_cast<std::size_t>(n), kBos);
@@ -199,6 +242,8 @@ Measured run_static(models::Transformer& model,
     index_t live = n;
     while (live > 0) {
       const std::vector<index_t>& out = session.step(feed);
+      tick_ms.push_back(1e3 * seconds_since(tick0));
+      tick0 = std::chrono::steady_clock::now();
       ++tick;
       ++stepped_ticks;
       occupancy_sum += live;
@@ -230,13 +275,10 @@ Measured run_static(models::Transformer& model,
     }
   }
   const double elapsed = seconds_since(t0);
-  const double step_ms =
-      stepped_ticks > 0 ? 1e3 * elapsed / stepped_ticks : 0.0;
   m.tokens_per_sec = m.total_tokens / elapsed;
   m.p50_ticks = percentile(latency_ticks, 0.50);
   m.p99_ticks = percentile(latency_ticks, 0.99);
-  m.p50_ms = m.p50_ticks * step_ms;
-  m.p99_ms = m.p99_ticks * step_ms;
+  finish_tick_stats(m, tick_ms);
   m.occupancy = stepped_ticks > 0
                     ? static_cast<double>(occupancy_sum) / stepped_ticks
                     : 0.0;
@@ -254,15 +296,72 @@ void report(const char* label, index_t batch, const Measured& m,
       fmt(m.p99_ticks, 0), fmt(m.p50_ms, 2), fmt(m.p99_ms, 2)});
 }
 
+// Per-request greedy output must never depend on scheduling; every mode
+// pair is asserted bit-identical, request by request.
+void check_identical(const Measured& a, const Measured& b,
+                     std::size_t expected, const char* what) {
+  QDNN_CHECK(a.outputs.size() == expected && b.outputs.size() == expected,
+             "serve bench: dropped requests in " << what << " (got "
+                 << a.outputs.size() << " / " << b.outputs.size()
+                 << " of " << expected << ")");
+  for (const auto& [idx, tokens] : b.outputs)
+    QDNN_CHECK(a.outputs.at(idx) == tokens,
+               "serve bench: request " << idx << " diverged between "
+                                       << what << " modes");
+  QDNN_CHECK(a.total_tokens == b.total_tokens,
+             "serve bench: token counts diverged between " << what
+                                                           << " modes");
+}
+
+void write_json_mode(std::FILE* f, const char* name, const Measured& m,
+                     bool last) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\"tokens_per_sec\": %.2f, \"mean_occupancy\": %.4f, "
+      "\"p50_latency_ticks\": %.1f, \"p99_latency_ticks\": %.1f, "
+      "\"tick_mean_ms\": %.4f, \"tick_p99_ms\": %.4f}%s\n",
+      name, m.tokens_per_sec, m.occupancy, m.p50_ticks, m.p99_ticks,
+      m.tick_mean_ms, m.tick_p99_ms, last ? "" : ",");
+}
+
+// Machine-readable summary for cross-PR perf tracking (uploaded as a CI
+// artifact): tokens/sec, p99 tick latency and mean occupancy per mode.
+void write_json(const char* path, bool smoke, index_t requests,
+                index_t prefill_requests, index_t batch,
+                const Measured& st, const Measured& ct,
+                const Measured& sync_m, const Measured& async_m) {
+  std::FILE* f = std::fopen(path, "w");
+  QDNN_CHECK(f != nullptr, "serve bench: cannot open " << path);
+  std::fprintf(f, "{\n  \"bench\": \"serve_bench\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n  \"batch\": %lld,\n",
+               smoke ? "true" : "false", static_cast<long long>(batch));
+  std::fprintf(f, "  \"poisson\": {\n    \"requests\": %lld,\n",
+               static_cast<long long>(requests));
+  write_json_mode(f, "static", st, false);
+  write_json_mode(f, "continuous", ct, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"prefill_heavy\": {\n    \"requests\": %lld,\n",
+               static_cast<long long>(prefill_requests));
+  write_json_mode(f, "sync", sync_m, false);
+  write_json_mode(f, "async", async_m, true);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false, json = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[a], "--json") == 0) json = true;
+  }
   const int scale = smoke ? 1 : qdnn::bench::bench_scale();
   const index_t requests = smoke ? 10 : 48 * scale;
   const index_t max_batch = smoke ? 2 : 8;
   const index_t max_steps = smoke ? 10 : 32;
   const double rate = smoke ? 1.0 : 0.6;  // arrivals per batch step
+  const index_t max_src = model_config().max_len - 4;
 
   models::Transformer model(model_config());
   model.set_training(false);
@@ -275,9 +374,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(max_batch),
               static_cast<long long>(max_steps), rate);
 
-  const auto trace =
-      make_trace(requests, rate, model_config().max_len - 4, max_steps,
-                 /*seed=*/97);
+  const auto trace = make_trace(requests, rate, 4, max_src, 4, max_steps,
+                                /*seed=*/97);
 
   CsvWriter csv(qdnn::bench::results_dir() + "/serve_bench.csv",
                 {"mode", "requests", "batch", "tokens_s", "occupancy",
@@ -291,21 +389,7 @@ int main(int argc, char** argv) {
   report("static", max_batch, st, csv, requests);
   report("continuous", max_batch, ct, csv, requests);
   print_rule();
-
-  // Both modes are greedy and solo-equivalent, so the outputs must be
-  // bit-identical request by request — scheduling must never change
-  // what a request decodes.
-  QDNN_CHECK(st.outputs.size() == trace.size() &&
-                 ct.outputs.size() == trace.size(),
-             "serve bench: dropped requests (static "
-                 << st.outputs.size() << ", continuous "
-                 << ct.outputs.size() << " of " << trace.size() << ")");
-  for (const auto& [idx, tokens] : ct.outputs)
-    QDNN_CHECK(st.outputs.at(idx) == tokens,
-               "serve bench: request " << idx
-                                       << " diverged between modes");
-  QDNN_CHECK(st.total_tokens == ct.total_tokens,
-             "serve bench: token counts diverged");
+  check_identical(st, ct, trace.size(), "static/continuous");
 
   std::printf(
       "Identical per-request tokens in both modes (%lld total).\n"
@@ -314,5 +398,54 @@ int main(int argc, char** argv) {
       "width while static gangs decay to the slowest row; request\n"
       "latency drops because nothing waits for a whole gang to finish.\n",
       static_cast<long long>(ct.total_tokens));
+
+  // -------------------------------------------------------------------
+  // Prefill-heavy workload: long sources, short decodes — admission
+  // dominates, so sync admission stretches ticks (jitter) and the
+  // prefill/decode split should flatten them.
+  // -------------------------------------------------------------------
+  const index_t pf_requests = smoke ? 8 : 40 * scale;
+  const double pf_rate = smoke ? 0.8 : 0.5;
+  print_header("Sync vs async admission (prefill-heavy: long sources, "
+               "short decodes)");
+  std::printf("requests %lld, batch %lld, sources %lld..%lld, budgets "
+              "2..5, arrival rate %.2f/step\n\n",
+              static_cast<long long>(pf_requests),
+              static_cast<long long>(max_batch),
+              static_cast<long long>(max_src - 6),
+              static_cast<long long>(max_src), pf_rate);
+
+  const auto pf_trace = make_trace(pf_requests, pf_rate, max_src - 6,
+                                   max_src, 2, 5, /*seed=*/131);
+  const Measured sync_m =
+      run_continuous(model, pf_trace, max_batch, max_steps,
+                     /*prefill_workers=*/0);
+  const Measured async_m =
+      run_continuous(model, pf_trace, max_batch, max_steps,
+                     /*prefill_workers=*/1);
+
+  print_row({"admission", "tokens/s", "occupancy", "tick mean ms",
+             "tick p99 ms"});
+  print_rule();
+  print_row({"sync", fmt(sync_m.tokens_per_sec, 0),
+             fmt(sync_m.occupancy, 2), fmt(sync_m.tick_mean_ms, 3),
+             fmt(sync_m.tick_p99_ms, 3)});
+  print_row({"async", fmt(async_m.tokens_per_sec, 0),
+             fmt(async_m.occupancy, 2), fmt(async_m.tick_mean_ms, 3),
+             fmt(async_m.tick_p99_ms, 3)});
+  print_rule();
+  check_identical(sync_m, async_m, pf_trace.size(), "sync/async");
+
+  std::printf(
+      "Identical per-request tokens in both admission modes (%lld "
+      "total).\nExpected shape: synchronous admission runs the encoder "
+      "inside the\ntick, so p99 tick latency tracks source length; the "
+      "prefill pool\nmoves that off-thread and admission becomes one K/V "
+      "copy — p99\ntick jitter drops toward the pure decode-step cost.\n",
+      static_cast<long long>(async_m.total_tokens));
+
+  if (json)
+    write_json("BENCH_serve.json", smoke, requests, pf_requests,
+               max_batch, st, ct, sync_m, async_m);
   return 0;
 }

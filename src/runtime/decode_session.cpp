@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace qdnn::runtime {
 
@@ -114,6 +115,9 @@ DecodeSession::DecodeSession(models::Transformer& model,
   // never grow them.
   row_steps_.assign(static_cast<std::size_t>(config_.max_batch), 0);
   src_lengths_.assign(static_cast<std::size_t>(config_.max_batch), 0);
+  // Every row starts parked (pinned at ring position 0) until its first
+  // prime: unprimed rows ride the batch gemm without ever advancing.
+  parked_.assign(static_cast<std::size_t>(config_.max_batch), 1);
   in_views_.resize(stages_.size());
   add_views_.resize(stages_.size());
   out_views_.resize(stages_.size());
@@ -180,6 +184,13 @@ index_t DecodeSession::row_steps(index_t row) const {
              "DecodeSession: row " << row << " outside [0, "
                                    << config_.max_batch << ")");
   return row_steps_[static_cast<std::size_t>(row)];
+}
+
+bool DecodeSession::row_parked(index_t row) const {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  return parked_[static_cast<std::size_t>(row)] != 0;
 }
 
 void DecodeSession::bind_views(index_t n) {
@@ -270,13 +281,21 @@ void DecodeSession::prime(const Tensor& src_ids,
                                              << "]");
 
   // The exact training-path encoder, so ragged sources mask identically
-  // to greedy_decode_reference.
-  const Tensor enc_out = model_->encode(src_ids, src_lengths);
+  // to greedy_decode_reference.  Locked like prime_compute's encode: a
+  // caller-driven batch prime must not interleave with a prefill worker
+  // (bind exclusivity already guarantees no OTHER session can reach this
+  // model's encoder).
+  Tensor enc_out;
+  {
+    std::lock_guard<std::mutex> lock(encode_mu_);
+    enc_out = model_->encode(src_ids, src_lengths);
+  }
   if (n != bound_n_) bind_views(n);
   for (index_t r = 0; r < n; ++r) {
     const auto ri = static_cast<std::size_t>(r);
     src_lengths_[ri] = src_lengths.empty() ? ts : src_lengths[ri];
     row_steps_[ri] = 0;
+    parked_[ri] = 0;
     project_cross_row(r, enc_out.data() + r * ts * d_model_, ts);
   }
   primed_ = true;
@@ -287,10 +306,27 @@ void DecodeSession::prime_row(index_t row, const Tensor& src_ids,
   QDNN_CHECK(row >= 0 && row < config_.max_batch,
              "DecodeSession: row " << row << " outside [0, "
                                    << config_.max_batch << ")");
+  // prime_row IS prime_compute + commit_row over a private staging slot:
+  // the synchronous and pool-fed admission paths share one code path, so
+  // they cannot drift (bit-identical by construction).
+  init_staging(solo_staging_);
+  prime_compute(src_ids, src_length, solo_staging_);
+  commit_row(row, solo_staging_);
+}
+
+void DecodeSession::init_staging(PrefillStaging& staging) const {
+  const index_t floats =
+      model_->num_decoder_layers() * max_src_ * proj_dim_;
+  if (staging.k.numel() != floats) staging.k = Tensor{Shape{floats}};
+  if (staging.v.numel() != floats) staging.v = Tensor{Shape{floats}};
+}
+
+void DecodeSession::prime_compute(const Tensor& src_ids,
+                                  index_t src_length,
+                                  PrefillStaging& staging) const {
   QDNN_CHECK(src_ids.rank() == 1 ||
                  (src_ids.rank() == 2 && src_ids.dim(0) == 1),
-             "DecodeSession: prime_row src_ids must be [Ts] or [1, Ts], "
-             "got "
+             "DecodeSession: prime src_ids must be [Ts] or [1, Ts], got "
                  << src_ids.shape());
   const index_t ts = src_ids.dim(src_ids.rank() - 1);
   QDNN_CHECK(ts >= 1 && ts <= max_src_,
@@ -299,20 +335,70 @@ void DecodeSession::prime_row(index_t row, const Tensor& src_ids,
   QDNN_CHECK(src_length >= 0 && src_length <= ts,
              "DecodeSession: src_length " << src_length << " outside [0, "
                                           << ts << "] (0 = all valid)");
+  const index_t layers = model_->num_decoder_layers();
+  QDNN_CHECK(staging.k.numel() == layers * max_src_ * proj_dim_ &&
+                 staging.v.numel() == staging.k.numel(),
+             "DecodeSession: staging not sized for this session — call "
+             "init_staging first");
   const index_t len = src_length > 0 ? src_length : ts;
+
+  // The training-path encoder honors ragged lengths but caches per-module
+  // activations, so concurrent encodes must not interleave; the cross
+  // projections below are stateless native kernels and run unserialized.
+  // Only the rank-1 form needs a reshaped copy; [1, Ts] encodes as-is.
+  Tensor enc_out;
+  {
+    std::lock_guard<std::mutex> lock(encode_mu_);
+    enc_out = src_ids.rank() == 2
+                  ? model_->encode(src_ids, {len})
+                  : model_->encode(src_ids.reshaped(Shape{1, ts}), {len});
+  }
+  const ConstTensorView enc_view(Shape{ts, d_model_}, enc_out.data());
+  for (index_t l = 0; l < layers; ++l) {
+    staging.ws.reset();
+    const index_t offset = l * max_src_ * proj_dim_;
+    model_->decoder_layer(l).cross_attention().project_kv(
+        enc_view, 1, ts,
+        TensorView(Shape{1, ts, proj_dim_}, staging.k.data() + offset),
+        TensorView(Shape{1, ts, proj_dim_}, staging.v.data() + offset),
+        staging.ws);
+  }
+  staging.ts = ts;
+  staging.len = len;
+}
+
+void DecodeSession::commit_row(index_t row, const PrefillStaging& staging) {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  const index_t layers = model_->num_decoder_layers();
+  QDNN_CHECK(staging.ts >= 1 && staging.ts <= max_src_ &&
+                 staging.len >= 1 && staging.len <= staging.ts,
+             "DecodeSession: commit_row on empty staging — run "
+             "prime_compute first");
+  QDNN_CHECK(staging.k.numel() == layers * max_src_ * proj_dim_ &&
+                 staging.v.numel() == staging.k.numel(),
+             "DecodeSession: staging sized for a different session");
 
   // Continuous mode runs at the full max_batch width so every row slot
   // is addressable; rows never primed just ride the batch masked-out.
+  // bind_views is heap-free (inline shapes), so the whole commit is too.
   if (bound_n_ != config_.max_batch) bind_views(config_.max_batch);
 
-  // Only the rank-1 form needs a reshaped copy; [1, Ts] encodes as-is.
-  const Tensor enc_out =
-      src_ids.rank() == 2
-          ? model_->encode(src_ids, {len})
-          : model_->encode(src_ids.reshaped(Shape{1, ts}), {len});
-  project_cross_row(row, enc_out.data(), ts);
-  src_lengths_[static_cast<std::size_t>(row)] = len;
+  const std::size_t bytes =
+      static_cast<std::size_t>(staging.ts * proj_dim_) * sizeof(float);
+  const index_t row_offset = row * max_src_ * proj_dim_;
+  for (index_t l = 0; l < layers; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    const index_t src_offset = l * max_src_ * proj_dim_;
+    std::memcpy(cross_k_[li].data() + row_offset,
+                staging.k.data() + src_offset, bytes);
+    std::memcpy(cross_v_[li].data() + row_offset,
+                staging.v.data() + src_offset, bytes);
+  }
+  src_lengths_[static_cast<std::size_t>(row)] = staging.len;
   row_steps_[static_cast<std::size_t>(row)] = 0;
+  parked_[static_cast<std::size_t>(row)] = 0;
   primed_ = true;
 }
 
@@ -321,6 +407,7 @@ void DecodeSession::reset_row(index_t row) {
              "DecodeSession: row " << row << " outside [0, "
                                    << config_.max_batch << ")");
   row_steps_[static_cast<std::size_t>(row)] = 0;
+  parked_[static_cast<std::size_t>(row)] = 1;
 }
 
 void DecodeSession::run_step(const std::vector<index_t>& tokens) {
@@ -372,7 +459,12 @@ void DecodeSession::run_step(const std::vector<index_t>& tokens) {
       if (row[v] > row[best]) best = v;
     next_tokens_[static_cast<std::size_t>(r)] = best;
   }
-  for (index_t r = 0; r < n; ++r) ++row_steps_[static_cast<std::size_t>(r)];
+  // Parked rows stay pinned at ring position 0: they rode the gemm (their
+  // output is ignored) but never advance, so an idle row's ring cannot
+  // exhaust no matter how many ticks pass.
+  for (index_t r = 0; r < n; ++r)
+    if (!parked_[static_cast<std::size_t>(r)])
+      ++row_steps_[static_cast<std::size_t>(r)];
 }
 
 const std::vector<index_t>& DecodeSession::step(

@@ -24,6 +24,19 @@
 //     decoding mid-flight at different ring positions.  The per-row
 //     attention masks make each row bit-identical to a solo session
 //     serving only that request.
+//   * prime_compute(src, staging)/commit_row(row, staging): prime_row
+//     split at the prefill/decode boundary.  prime_compute is the
+//     expensive half — the encoder pass plus every layer's cross-K/V
+//     projection, written into a caller-owned PrefillStaging — and
+//     mutates NO session state, so serve::PrefillPool runs it on worker
+//     threads concurrently with step() on the serving thread (concurrent
+//     prime_compute calls serialize the encoder pass internally: the
+//     training-path encoder mutates per-module caches).  commit_row is
+//     the cheap half: copy the staged K/V into the row's cache slices and
+//     rewind the row — O(K/V copy), zero heap allocations, serving-thread
+//     only.  prime_row(row, src) ≡ prime_compute + commit_row (it is
+//     implemented that way), so sync and async admission are
+//     bit-identical by construction.
 //   * step()/generate(): every step embeds ONE new token per row
 //     (position = step, so causal masking is implicit in the self-attention
 //     cache length), runs all decoder stages, projects logits and takes
@@ -51,12 +64,27 @@
 // drive one session per serving thread or serialize callers.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "core/workspace.h"
 #include "models/transformer/transformer.h"
 
 namespace qdnn::runtime {
+
+// Staging area for one prefill: every decoder layer's cross-attention K/V
+// for one request, computed off the serving thread by prime_compute and
+// copied into a batch row by commit_row.  Sized by
+// DecodeSession::init_staging (layers × max_src × proj_dim floats per
+// tensor, layer-major); the workspace holds the projection scratch so a
+// worker never touches the session's own arena.  A staging slot is
+// reusable: each prime_compute overwrites the previous request.
+struct PrefillStaging {
+  Tensor k, v;     // [layers · max_src · P], layer-major slices
+  index_t ts = 0;  // source rows projected ([1, max_src])
+  index_t len = 0; // valid (non-pad) positions ([1, ts])
+  Workspace ws;    // projection scratch, owned by the slot
+};
 
 struct DecodeSessionConfig {
   // Largest batch prime() will be asked to serve.
@@ -104,10 +132,36 @@ class DecodeSession {
   // row.  Allocates (the encoder pass).
   void prime_row(index_t row, const Tensor& src_ids, index_t src_length);
 
-  // Rewinds row `row`'s step counter to ring position 0 without touching
-  // any other row: the continuous-batching retire/park operation (a
-  // parked row keeps riding the batch gemm, its output ignored and its
-  // ring never exhausted).  Zero-alloc.
+  // Sizes `staging` for this session's geometry (layers × max_src ×
+  // proj_dim per tensor).  Idempotent; allocates (staging setup).
+  void init_staging(PrefillStaging& staging) const;
+
+  // The thread-safe compute half of prime_row: encodes ONE source ([Ts]
+  // or [1, Ts] ids, src_length valid positions, 0 = all Ts) and projects
+  // every layer's cross-attention K/V into `staging` — no session state
+  // is touched, so this may run on a prefill worker thread concurrently
+  // with step()/commit_row on the serving thread.  Concurrent
+  // prime_compute/prime calls through THIS session are safe with each
+  // other (the encoder pass is serialized on the session mutex; the
+  // projections overlap), and bind exclusivity guarantees no other
+  // session can reach this model's encoder — but the borrowed model
+  // itself must not be driven directly (encode/forward_train/
+  // greedy_decode_reference) from another thread while prefill workers
+  // are live.  Allocates (the encoder pass).
+  void prime_compute(const Tensor& src_ids, index_t src_length,
+                     PrefillStaging& staging) const;
+
+  // The commit half: copies the staged K/V into row `row`'s cache slices
+  // and rewinds that row's step counter — no other row is touched, and no
+  // heap allocation is performed (the continuous-batching admission cost
+  // is exactly this O(layers · Ts · P) copy).  Serving-thread only.
+  void commit_row(index_t row, const PrefillStaging& staging);
+
+  // Parks row `row`: rewinds its step counter to ring position 0 and pins
+  // it there — a parked row keeps riding the batch gemm (output ignored)
+  // with its counter never advancing, so its ring can never exhaust and
+  // no per-tick re-reset is needed.  The continuous-batching retire
+  // operation; prime/prime_row/commit_row unpark.  Zero-alloc.
   void reset_row(index_t row);
 
   // One decoder step: embeds `tokens` ([n] ids — bos on the first step,
@@ -138,6 +192,9 @@ class DecodeSession {
   index_t steps_taken() const;
   // Steps taken by one row since its last prime/prime_row/reset_row.
   index_t row_steps(index_t row) const;
+  // True while row `row` is parked (reset_row since its last prime):
+  // its ring position is pinned at 0 across ticks.
+  bool row_parked(index_t row) const;
   bool frozen() const { return config_.freeze; }
   // True when every module stage has a native (allocation-free)
   // forward_into — all stock projection families qualify.
@@ -184,8 +241,17 @@ class DecodeSession {
   // bind (capacity max_batch) so prime_row/reset_row never allocate.
   std::vector<index_t> row_steps_;
   std::vector<index_t> src_lengths_;
+  // Parked rows (reset_row since last prime): counter pinned at ring 0,
+  // run_step never advances them.  All rows start parked.
+  std::vector<char> parked_;
 
   Workspace ws_;
+  // Serializes the training-path encoder inside prime_compute (its
+  // forward caches are per-module); the projections run unserialized.
+  mutable std::mutex encode_mu_;
+  // Lazily-initialized staging for the synchronous prime_row face, so
+  // prime_row and commit_row share one code path.
+  PrefillStaging solo_staging_;
   index_t bound_n_ = 0;
   bool primed_ = false;
 };

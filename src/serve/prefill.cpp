@@ -1,0 +1,129 @@
+#include "serve/prefill.h"
+
+namespace qdnn::serve {
+
+PrefillPool::PrefillPool(runtime::DecodeSession& session, index_t workers,
+                         index_t slots)
+    : session_(&session) {
+  QDNN_CHECK(workers >= 1,
+             "PrefillPool: workers must be >= 1, got " << workers);
+  QDNN_CHECK(slots >= 1, "PrefillPool: slots must be >= 1, got " << slots);
+  staging_.resize(static_cast<std::size_t>(slots));
+  for (runtime::PrefillStaging& s : staging_) session_->init_staging(s);
+  free_slots_.reserve(static_cast<std::size_t>(slots));
+  for (index_t s = slots - 1; s >= 0; --s) free_slots_.push_back(s);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (index_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+PrefillPool::~PrefillPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void PrefillPool::worker_loop() {
+  for (;;) {
+    PrefillJob job;
+    index_t slot = -1;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (!queue_.empty() && !free_slots_.empty());
+      });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Finished fin;
+    fin.slot = slot;
+    try {
+      // The expensive half, off the serving thread: encoder pass (pool
+      // workers serialize it inside prime_compute) + cross-K/V
+      // projections into this worker's claimed staging slot.
+      session_->prime_compute(job.request.src_ids, job.request.src_length,
+                              staging_[static_cast<std::size_t>(slot)]);
+    } catch (...) {
+      fin.error = std::current_exception();
+    }
+    fin.job = std::move(job);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_.push_back(std::move(fin));
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void PrefillPool::submit(PrefillJob job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool PrefillPool::try_take(Finished& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (finished_.empty()) return false;
+  out = std::move(finished_.front());
+  finished_.pop_front();
+  --pending_;
+  return true;
+}
+
+bool PrefillPool::try_take_error(Finished& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = finished_.begin(); it != finished_.end(); ++it) {
+    if (!it->error) continue;
+    out = std::move(*it);
+    finished_.erase(it);
+    --pending_;
+    return true;
+  }
+  return false;
+}
+
+void PrefillPool::wait_ready() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  // pending_ == 0 guards a caller that races a take on another thread;
+  // the single-consumer scheduler only waits while something is queued.
+  done_cv_.wait(lk, [&] { return !finished_.empty() || pending_ == 0; });
+}
+
+const runtime::PrefillStaging& PrefillPool::staging(index_t slot) const {
+  QDNN_CHECK(slot >= 0 && slot < slots(),
+             "PrefillPool: slot " << slot << " outside [0, " << slots()
+                                  << ")");
+  return staging_[static_cast<std::size_t>(slot)];
+}
+
+void PrefillPool::release(index_t slot) {
+  QDNN_CHECK(slot >= 0 && slot < slots(),
+             "PrefillPool: slot " << slot << " outside [0, " << slots()
+                                  << ")");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_slots_.push_back(slot);
+  }
+  work_cv_.notify_one();
+}
+
+index_t PrefillPool::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_;
+}
+
+index_t PrefillPool::ready() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<index_t>(finished_.size());
+}
+
+}  // namespace qdnn::serve

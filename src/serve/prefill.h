@@ -1,0 +1,150 @@
+// PrefillPool: the prefill half of the prefill/decode split.
+//
+// PR 4's scheduler admitted synchronously — BatchScheduler::admit_into
+// ran the whole encoder (prime_row) on the serving thread, so one long
+// prefill stalled every live decode row and tick time jittered with
+// source length.  The pool moves that work off the serving thread:
+//
+//   * submit() enqueues a prefill job (the request plus its scheduler
+//     bookkeeping, including the warm token buffer reserved at submit).
+//   * Worker threads — the same persistent mutex/condvar pool idiom as
+//     runtime::InferenceSession's batch sharding — pop jobs, claim a
+//     preallocated runtime::PrefillStaging slot, and run the expensive
+//     half, DecodeSession::prime_compute: the encoder pass plus every
+//     layer's cross-K/V projection, written into the staging slot.
+//     prime_compute mutates no session state and serializes the encoder
+//     pass internally, so workers run concurrently with the serving
+//     thread's step()/commit_row and with each other.
+//   * The serving thread drains finished prefills each tick (try_take,
+//     completion order), commits the staged K/V into a free batch row
+//     (DecodeSession::commit_row — O(K/V copy), zero heap allocations)
+//     and releases the slot for the next job.
+//
+// Admission therefore costs the scheduler tick exactly one K/V copy, and
+// tick-time jitter no longer tracks source length (bench/serve_bench.cpp
+// measures sync vs async p99 tick latency under a prefill-heavy trace).
+//
+// Determinism: prefill computes the same bits on any thread (the encoder
+// is deterministic and per-request), and per-request decode output is
+// independent of admission interleaving (the PR 4 masked-attention
+// contract) — so async admission is bit-identical to the synchronous
+// scheduler per request, fuzzed in tests/serve/prefill_test.cpp.  A
+// worker-thread failure is captured into Finished::error and handed to
+// the serving thread at the next try_take, which NEVER throws — the
+// scheduler resolves the failed id with a FinishReason::kError result,
+// so every submitted request is accounted for.
+//
+// Thread-safety: submit/try_take/release/pending are safe from the
+// serving thread; the pool owns its workers and joins them on
+// destruction.  The pool must be destroyed before the session it feeds.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/decode_session.h"
+#include "serve/request.h"
+
+namespace qdnn::serve {
+
+// One queued admission: the request plus the scheduler bookkeeping that
+// must survive until the row retires.  `tokens` is the request's warm
+// output buffer, reserved to its step budget at submit() — it is swapped
+// into the batch slot at admission and handed off inside the
+// RequestResult at retirement, so the retire→admit slot cycle on the
+// serving thread never heap-allocates.
+struct PrefillJob {
+  index_t id = -1;
+  index_t submit_tick = 0;
+  // Effective step budget (max_new_tokens, or the session's max_steps
+  // when unset), resolved ONCE at submit: `tokens` is reserved to
+  // exactly this, and the slot decodes to exactly this, so the warm
+  // buffer can never fall short of the budget mid-tick.
+  index_t budget = 0;
+  Request request;
+  std::vector<index_t> tokens;  // reserved at submit, empty until decode
+};
+
+class PrefillPool {
+ public:
+  // A finished prefill: the job plus the staging slot holding its
+  // projected K/V.  `error` is set instead when the worker threw — the
+  // job (and its id) is preserved so the caller can resolve it.
+  struct Finished {
+    PrefillJob job;
+    index_t slot = -1;
+    std::exception_ptr error;
+  };
+
+  // `workers` >= 1 threads compute over `slots` >= 1 preallocated staging
+  // slots (a job waits queued until a slot frees).  The session reference
+  // must outlive the pool.
+  PrefillPool(runtime::DecodeSession& session, index_t workers,
+              index_t slots);
+  ~PrefillPool();
+
+  PrefillPool(const PrefillPool&) = delete;
+  PrefillPool& operator=(const PrefillPool&) = delete;
+
+  // Enqueues a job (allocates: queue growth — the submit edge allocates
+  // by contract, like BatchScheduler::submit).
+  void submit(PrefillJob job);
+
+  // Non-blocking: moves the oldest finished prefill into `out` and
+  // returns true, or returns false when none is ready.  Never throws;
+  // a worker failure arrives in out.error with the job intact.  Performs
+  // no heap allocation.  The caller must release(out.slot) once the
+  // staging has been committed (or the error handled).
+  bool try_take(Finished& out);
+
+  // Non-blocking: takes the oldest ERRORED prefill (any position in the
+  // finished queue) or returns false.  Resolving an error needs no batch
+  // row, so callers drain these unconditionally before gating successful
+  // prefills on free rows — an errored job must never sit on a staging
+  // slot waiting for a row it will not use.
+  bool try_take_error(Finished& out);
+
+  // Blocks until a finished prefill is ready for try_take (returns
+  // immediately when one already is, or when nothing is pending at all).
+  // The alternative — spinning ticks or yield loops while the only
+  // outstanding work is prefill compute — burns the serving core the
+  // workers need.
+  void wait_ready() const;
+
+  // Staged K/V of a slot returned by try_take (valid until release).
+  const runtime::PrefillStaging& staging(index_t slot) const;
+
+  // Returns a slot to the free list so the next queued job can compute.
+  // Performs no heap allocation.
+  void release(index_t slot);
+
+  // Jobs submitted and not yet taken (queued + computing + finished):
+  // the scheduler's idle() drains this to zero.
+  index_t pending() const;
+  // Finished prefills awaiting try_take.
+  index_t ready() const;
+  index_t workers() const { return static_cast<index_t>(workers_.size()); }
+  index_t slots() const { return static_cast<index_t>(staging_.size()); }
+
+ private:
+  void worker_loop();
+
+  runtime::DecodeSession* session_;
+  std::vector<runtime::PrefillStaging> staging_;
+  std::vector<index_t> free_slots_;  // stack, capacity = slots
+  std::deque<PrefillJob> queue_;
+  std::deque<Finished> finished_;
+  index_t pending_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  mutable std::condition_variable done_cv_;  // signaled per finished job
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qdnn::serve

@@ -5,8 +5,16 @@
 // returns RequestResults after retirement; tick counters let callers
 // derive queueing delay (admit − submit), decode time (finish − admit)
 // and end-to-end latency (finish − submit) in batch-step units.
+//
+// Lifecycle: submit → prefill (encoder pass + cross-K/V projection; on
+// the serving thread in synchronous mode, on a PrefillPool worker in
+// async mode) → commit into a free batch row → step until eos/budget →
+// retire.  The result's token buffer is reserved at submit and travels
+// with the request through admission, so the scheduler's admit/retire
+// ticks never heap-allocate (see serve/prefill.h and serve/scheduler.h).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/tensor.h"
@@ -30,6 +38,7 @@ struct Request {
 enum class FinishReason {
   kEos,     // the model emitted eos
   kLength,  // the step budget ran out
+  kError,   // async prefill failed — tokens empty, error holds the cause
 };
 
 struct RequestResult {
@@ -38,6 +47,10 @@ struct RequestResult {
   // Transformer::greedy_decode of that source alone.
   std::vector<index_t> tokens;
   FinishReason reason = FinishReason::kLength;
+  // Failure description for kError (empty otherwise): a submitted id is
+  // ALWAYS resolved by exactly one result, even when its prefill failed
+  // on a pool worker.
+  std::string error;
   // Batch ticks this request spent decoding (== steps consumed).
   index_t decode_steps = 0;
   index_t submit_tick = 0;  // scheduler tick count at submit()

@@ -65,13 +65,20 @@ index_t sample_token(const SamplingConfig& config, const float* logits,
 
     case SamplingConfig::Kind::kTemperature: {
       // softmax(logits / T) via max-shift; one uniform draw per token.
-      const float mx = logits[argmax(logits, vocab)];
+      const index_t best = argmax(logits, vocab);
+      const float mx = logits[best];
       double total = 0.0;
       for (index_t v = 0; v < vocab; ++v) {
         prob_scratch[v] =
             std::exp((logits[v] - mx) / config.temperature);
         total += prob_scratch[v];
       }
+      // Degenerate distribution (every weight underflowed to zero, or
+      // non-finite logits poisoned the sum): pick's round-off tail would
+      // return the LAST candidate — the worst vocab id — instead of the
+      // mode.  Fall back to the first-max argmax, the greedy head's
+      // exact tie-breaking.
+      if (!(total > 0.0) || !std::isfinite(total)) return best;
       return pick(prob_scratch, vocab, total, rng.uniform());
     }
 
@@ -94,6 +101,10 @@ index_t sample_token(const SamplingConfig& config, const float* logits,
             (logits[idx_scratch[j]] - mx) / config.temperature);
         total += prob_scratch[j];
       }
+      // Degenerate candidate distribution: pick's tail would return the
+      // WORST of the k candidates; degrade to the first-max argmax
+      // (candidate 0) instead.
+      if (!(total > 0.0) || !std::isfinite(total)) return idx_scratch[0];
       return idx_scratch[pick(prob_scratch, k, total, rng.uniform())];
     }
   }

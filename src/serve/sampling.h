@@ -15,6 +15,12 @@
 // what other requests sample (the scheduler-reproducibility contract,
 // asserted in tests/serve/scheduler_test.cpp).  sample_token is
 // allocation-free: selection and CDF scratch come from the caller.
+//
+// Degenerate distributions: when every softmax weight underflows to zero
+// or non-finite logits poison the normalizer, the stochastic heads
+// degrade to the first-max argmax (the greedy head's exact tie-breaking)
+// instead of letting the inverse-CDF round-off tail emit the worst
+// candidate.  No Rng draw is consumed on that path.
 #pragma once
 
 #include "core/rng.h"

@@ -15,17 +15,33 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
   QDNN_CHECK(config_.eos >= 0 && config_.eos < vocab_,
              "BatchScheduler: eos " << config_.eos << " outside vocab "
                                     << vocab_);
+  QDNN_CHECK(config_.prefill_workers >= 0,
+             "BatchScheduler: prefill_workers must be non-negative, got "
+                 << config_.prefill_workers);
+  QDNN_CHECK(config_.prefill_slots >= 0,
+             "BatchScheduler: prefill_slots must be non-negative (0 = "
+             "max_batch), got "
+                 << config_.prefill_slots);
 
   const index_t rows = session_.max_batch();
   slots_.resize(static_cast<std::size_t>(rows));
-  for (Slot& slot : slots_)
-    slot.tokens.reserve(static_cast<std::size_t>(session_.max_steps()));
   feed_.assign(static_cast<std::size_t>(rows), config_.bos);
   // Stack of free rows, highest first, so back() hands out row 0 first.
+  // Rows start parked at ring position 0 (the session parks every row at
+  // bind), so free rows need no per-tick maintenance.
   free_rows_.reserve(static_cast<std::size_t>(rows));
   for (index_t r = rows - 1; r >= 0; --r) free_rows_.push_back(r);
+  completed_.reserve(static_cast<std::size_t>(rows));
   prob_scratch_ = Tensor{Shape{vocab_}};
   idx_scratch_.resize(static_cast<std::size_t>(vocab_));
+
+  if (config_.prefill_workers > 0) {
+    const index_t slots = config_.prefill_slots > 0
+                              ? config_.prefill_slots
+                              : rows;
+    prefill_ = std::make_unique<PrefillPool>(
+        session_, config_.prefill_workers, slots);
+  }
 }
 
 index_t BatchScheduler::submit(Request request) {
@@ -50,39 +66,121 @@ index_t BatchScheduler::submit(Request request) {
                  << session_.max_steps() << "] (max_steps)");
   validate(request.sampling, vocab_);
 
-  const index_t id = next_id_++;
-  queue_.push_back(Pending{id, ticks_, std::move(request)});
+  PrefillJob job;
+  job.id = next_id_++;
+  job.submit_tick = ticks_;
+  // The request's warm token buffer travels with it: reserved here (the
+  // submit edge allocates by contract), swapped into the batch slot at
+  // admission and handed off inside the RequestResult at retirement — so
+  // the admit and retire ticks themselves never heap-allocate.
+  job.budget = request.max_new_tokens > 0 ? request.max_new_tokens
+                                          : session_.max_steps();
+  job.tokens.reserve(static_cast<std::size_t>(job.budget));
+  job.request = std::move(request);
+  const index_t id = job.id;
+  if (prefill_)
+    prefill_->submit(std::move(job));
+  else
+    queue_.push_back(std::move(job));
   return id;
 }
 
-void BatchScheduler::admit_into(index_t row) {
-  Pending pending = std::move(queue_.front());
-  queue_.pop_front();
-  const Request& req = pending.request;
-
-  // Per-row prime: encode this request's source into row `row` only —
-  // the rows mid-decode are untouched.
-  session_.prime_row(row, req.src_ids, req.src_length);
-
+void BatchScheduler::install(index_t row, PrefillJob&& job) {
   Slot& slot = slots_[static_cast<std::size_t>(row)];
   slot.live = true;
-  slot.id = pending.id;
-  slot.budget = req.max_new_tokens > 0 ? req.max_new_tokens
-                                       : session_.max_steps();
-  slot.sampling = req.sampling;
-  slot.rng.reseed(req.sampling.seed);
-  slot.tokens.clear();
-  slot.tokens.reserve(static_cast<std::size_t>(slot.budget));
-  slot.submit_tick = pending.submit_tick;
+  slot.id = job.id;
+  slot.budget = job.budget;  // resolved at submit, matches the reserve
+  slot.sampling = job.request.sampling;
+  slot.rng.reseed(job.request.sampling.seed);
+  slot.tokens = std::move(job.tokens);  // warm, empty, reserved at submit
+  slot.submit_tick = job.submit_tick;
   slot.admit_tick = ticks_;
   feed_[static_cast<std::size_t>(row)] = config_.bos;
   ++live_rows_;
+}
+
+void BatchScheduler::admit_sync() {
+  // Synchronous admission runs the prefill on the serving thread:
+  // prime_row = prime_compute + commit_row, the same code path the async
+  // pool splits across threads.
+  while (!queue_.empty() && !free_rows_.empty()) {
+    const index_t row = free_rows_.back();
+    PrefillJob job = std::move(queue_.front());
+    queue_.pop_front();
+    try {
+      session_.prime_row(row, job.request.src_ids, job.request.src_length);
+    } catch (...) {
+      // A prefill failure that slipped past submit (e.g. a source id
+      // outside the encoder vocabulary) resolves exactly like the async
+      // path: a kError result, never a dropped id.  prime_row throws
+      // before any session mutation, and the row was only peeked — not
+      // popped — so no batch capacity leaks either.
+      resolve_failed(std::move(job), std::current_exception());
+      continue;
+    }
+    free_rows_.pop_back();
+    install(row, std::move(job));
+  }
+}
+
+void BatchScheduler::resolve_failed(PrefillJob&& job,
+                                    std::exception_ptr error) {
+  // A prefill failure must still resolve the submitted id: emit a kError
+  // result instead of dropping the request on the floor.  No batch row
+  // is consumed.  Allocates (the message) — error path.
+  RequestResult failed;
+  failed.id = job.id;
+  failed.tokens = std::move(job.tokens);  // empty
+  failed.reason = FinishReason::kError;
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    failed.error = e.what();
+  } catch (...) {
+    failed.error = "unknown prefill error";
+  }
+  failed.submit_tick = job.submit_tick;
+  failed.admit_tick = ticks_;
+  failed.finish_tick = ticks_;
+  completed_.push_back(std::move(failed));
+}
+
+void BatchScheduler::admit_async() {
+  PrefillPool::Finished fin;
+  // Errored prefills resolve unconditionally — they need no batch row,
+  // so they must not queue behind the free-row gate below (a fully live
+  // batch would otherwise hold the error result AND its staging slot
+  // hostage for up to max_steps ticks).
+  while (prefill_->try_take_error(fin)) {
+    prefill_->release(fin.slot);  // a failed job must never hold a slot
+    resolve_failed(std::move(fin.job), fin.error);
+  }
+
+  // Drain successful prefills into free rows: each admission is one
+  // commit_row K/V copy plus slot bookkeeping — no heap allocation, no
+  // waiting (a prefill still computing is simply not ready this tick).
+  while (!free_rows_.empty() && prefill_->try_take(fin)) {
+    if (fin.error) {  // finished after the sweep above — same path
+      prefill_->release(fin.slot);
+      resolve_failed(std::move(fin.job), fin.error);
+      continue;
+    }
+    const index_t row = free_rows_.back();
+    free_rows_.pop_back();
+    session_.commit_row(row, prefill_->staging(fin.slot));
+    prefill_->release(fin.slot);
+    install(row, std::move(fin.job));
+  }
 }
 
 void BatchScheduler::retire(index_t row, FinishReason reason) {
   Slot& slot = slots_[static_cast<std::size_t>(row)];
   RequestResult result;
   result.id = slot.id;
+  // Hand the slot's buffer off inside the result; the slot's next warm
+  // buffer arrives with the next admitted request (see submit), so no
+  // fresh vector is created here and the retire→admit cycle stays
+  // allocation-free.
   result.tokens = std::move(slot.tokens);
   result.reason = reason;
   result.decode_steps = session_.row_steps(row);
@@ -93,7 +191,11 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
 
   slot.live = false;
   slot.id = -1;
-  slot.tokens = std::vector<index_t>();  // moved-from; re-reserved at admit
+  // Park exactly once: the freed row rides the batch gemm pinned at ring
+  // position 0 (output ignored) until its next admission — no per-tick
+  // reset needed, and its ring can never exhaust.
+  session_.reset_row(row);
+  feed_[static_cast<std::size_t>(row)] = config_.bos;
   free_rows_.push_back(row);
   --live_rows_;
 }
@@ -101,22 +203,14 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
 index_t BatchScheduler::step() {
   // Admission first, so a row freed on the previous tick never idles: a
   // retirement's slot is serving the next queued request one tick later.
-  while (!queue_.empty() && !free_rows_.empty()) {
-    const index_t row = free_rows_.back();
-    free_rows_.pop_back();
-    admit_into(row);
-  }
+  if (prefill_)
+    admit_async();
+  else
+    admit_sync();
 
   if (live_rows_ == 0) {
     ++ticks_;  // idle tick: time passes for arrival traces
     return 0;
-  }
-
-  // Park free rows at ring position 0 with a bos feed: they ride the
-  // batch gemm (output ignored) and their ring can never exhaust.
-  for (const index_t row : free_rows_) {
-    session_.reset_row(row);
-    feed_[static_cast<std::size_t>(row)] = config_.bos;
   }
 
   const index_t stepped = live_rows_;
@@ -152,13 +246,29 @@ index_t BatchScheduler::step() {
   return stepped;
 }
 
+bool BatchScheduler::wait_for_prefill() const {
+  if (!prefill_ || live_rows_ > 0 || !queue_.empty() ||
+      prefill_->pending() == 0 || prefill_->ready() > 0)
+    return false;
+  prefill_->wait_ready();
+  return true;
+}
+
 void BatchScheduler::run() {
-  while (!idle()) step();
+  while (!idle()) {
+    if (wait_for_prefill()) continue;
+    step();
+  }
 }
 
 std::vector<RequestResult> BatchScheduler::take_results() {
   std::vector<RequestResult> out = std::move(completed_);
-  completed_.clear();
+  completed_ = std::vector<RequestResult>();
+  // Re-reserve off the tick path, so the next retires stay warm (the
+  // reserve only covers max_batch retirements per drain; run() without
+  // draining grows the buffer, which is allowed — retirement hands
+  // results off, the tick contract is on the slot cycle).
+  completed_.reserve(slots_.size());
   return out;
 }
 

@@ -21,27 +21,51 @@
 // (bench/serve_bench.cpp measures continuous vs static batching under
 // Poisson arrivals).
 //
+// Admission comes in two modes, selected by config.prefill_workers:
+//
+//   * synchronous (0, default) — the prefill (encoder pass + cross-K/V
+//     projection) runs on the serving thread at admission, exactly the
+//     PR 4 behavior: single-threaded, deterministic tick-for-tick.
+//   * asynchronous (>= 1) — a serve::PrefillPool runs the prefill on
+//     worker threads into preallocated staging buffers; submit hands the
+//     job to the pool and each tick drains finished prefills into free
+//     rows with DecodeSession::commit_row, so admission costs the tick
+//     exactly one O(K/V) copy and a long prefill never stalls the live
+//     decode rows.  Both modes run the same compute (prime_row is
+//     implemented as prime_compute + commit_row), so per-request outputs
+//     are bit-identical across modes and to solo decodes — only the
+//     admission *timing* can differ (fuzzed in
+//     tests/serve/prefill_test.cpp).
+//
 // Contracts:
 //   * Equivalence — a greedy request's tokens are bit-identical to a solo
 //     DecodeSession::generate / greedy_decode_reference of that request,
-//     for ANY admission/retirement interleaving (per-row masked attention
-//     is exact; fuzzed in tests/serve/scheduler_test.cpp).
+//     for ANY admission/retirement interleaving and either admission mode
+//     (per-row masked attention is exact; fuzzed in
+//     tests/serve/scheduler_test.cpp and tests/serve/prefill_test.cpp).
 //   * Determinism — stochastic requests draw from their own seeded Rng,
 //     so results are reproducible regardless of admission order.
-//   * Zero-alloc steady state — all per-row bookkeeping (slots, token
-//     buffers, sampling scratch) is preallocated at bind; a tick that
-//     neither admits nor retires performs no heap allocation (asserted
-//     in tests/runtime/session_test.cpp).  Admission allocates — it runs
-//     the encoder — and retirement hands the finished token buffer off.
+//   * Zero-alloc steady state — all per-row bookkeeping (slots, sampling
+//     scratch) is preallocated at bind, and each request carries its own
+//     warm token buffer (reserved at submit, swapped into the slot at
+//     admission, handed off inside the RequestResult at retirement), so
+//     steady-state ticks — including the retire→admit slot cycle, and
+//     including async admission itself (an O(K/V) commit copy) — perform
+//     no heap allocation (asserted in tests/runtime/session_test.cpp).
+//     Synchronous admission allocates — it runs the encoder; submit and
+//     take_results allocate (queue growth / result hand-off).
 //
-// Synchronous and single-threaded, like the session it drives: callers
-// pump step() (or run()) and drain take_results().
+// The serving loop stays single-threaded: callers pump step() (or run())
+// and drain take_results() from one thread; only the prefill compute
+// moves to the pool.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "runtime/decode_session.h"
+#include "serve/prefill.h"
 #include "serve/request.h"
 
 namespace qdnn::serve {
@@ -53,6 +77,13 @@ struct BatchSchedulerConfig {
   runtime::DecodeSessionConfig session;
   index_t bos = 1;
   index_t eos = 2;
+  // 0 = synchronous admission (prefill on the serving thread — the
+  // deterministic single-threaded mode); >= 1 = asynchronous admission
+  // through a PrefillPool with this many worker threads.
+  index_t prefill_workers = 0;
+  // Staging slots for the async pool (finished prefills awaiting a free
+  // row); 0 = max_batch.  Ignored in synchronous mode.
+  index_t prefill_slots = 0;
 };
 
 class BatchScheduler {
@@ -65,23 +96,48 @@ class BatchScheduler {
   // Enqueues a request, validating it at the edge (source length vs
   // max_src, budget vs max_steps, sampling parameters) so a malformed
   // request fails here with a clear message, not steps later inside a
-  // kernel.  Returns the request id.  Allocates (queue growth).
+  // kernel.  Also reserves the request's warm token buffer here, so the
+  // later admit/retire ticks never allocate.  In async mode the job goes
+  // straight to the prefill pool.  Returns the request id.  Allocates
+  // (queue growth + buffer reserve).
   index_t submit(Request request);
 
   // One tick: admit → batch-step → sample → retire (see file comment).
   // Returns the number of live rows that were stepped (0 = nothing to
   // do; the tick still counts, so arrival traces keyed on ticks work).
+  // Async mode: admission drains finished prefills only — a tick never
+  // waits on the pool.
   index_t step();
 
-  // Ticks until every submitted request has retired.
+  // Async tick-driver helper: when the ONLY outstanding work is a
+  // prefill still computing (no live rows, nothing admissible), blocks
+  // until the pool finishes one and returns true — callers `continue`
+  // instead of stepping, so the tick clock never free-runs orders of
+  // magnitude faster than real batch steps (which would collapse
+  // arrival schedules and inflate tick-denominated latencies) and the
+  // serving core is not stolen from the workers.  Returns false (without
+  // blocking) whenever a step would do real work; always false in sync
+  // mode.  run() uses it; external drivers pumping step() should too.
+  bool wait_for_prefill() const;
+
+  // Ticks until every submitted request has retired (in async mode,
+  // yielding while prefills are still in flight).
   void run();
 
-  bool idle() const { return live_rows_ == 0 && queue_.empty(); }
+  bool idle() const {
+    return live_rows_ == 0 && queue_.empty() &&
+           (!prefill_ || prefill_->pending() == 0);
+  }
   // Moves out the results finished since the last call (retirement
-  // order).
+  // order).  Allocates (the moved-out vector is replaced by a freshly
+  // reserved one, off the tick path).
   std::vector<RequestResult> take_results();
 
-  index_t queued() const { return static_cast<index_t>(queue_.size()); }
+  // Requests submitted and not yet admitted (sync queue + async pool).
+  index_t queued() const {
+    return static_cast<index_t>(queue_.size()) +
+           (prefill_ ? prefill_->pending() : 0);
+  }
   index_t live_rows() const { return live_rows_; }
   index_t ticks() const { return ticks_; }
   index_t total_tokens() const { return total_tokens_; }
@@ -89,6 +145,8 @@ class BatchScheduler {
   // keeps high and static batching lets decay.
   double mean_occupancy() const;
   const runtime::DecodeSession& session() const { return session_; }
+  // The async admission pool (null in synchronous mode).
+  const PrefillPool* prefill_pool() const { return prefill_.get(); }
 
  private:
   struct Slot {
@@ -97,28 +155,26 @@ class BatchScheduler {
     index_t budget = 0;
     SamplingConfig sampling;
     Rng rng{0};
-    std::vector<index_t> tokens;  // capacity reserved at construction
+    std::vector<index_t> tokens;  // the request's warm buffer (admission)
     index_t submit_tick = 0;
     index_t admit_tick = 0;
   };
-  struct Pending {
-    index_t id;
-    index_t submit_tick;
-    Request request;
-  };
 
-  void admit_into(index_t row);
+  void admit_sync();
+  void admit_async();
+  void resolve_failed(PrefillJob&& job, std::exception_ptr error);
+  void install(index_t row, PrefillJob&& job);
   void retire(index_t row, FinishReason reason);
 
   BatchSchedulerConfig config_;
   index_t vocab_ = 0;
   runtime::DecodeSession session_;
 
-  std::deque<Pending> queue_;
+  std::deque<PrefillJob> queue_;  // sync mode only
   std::vector<Slot> slots_;
   std::vector<index_t> feed_;       // next input token per row
   std::vector<index_t> free_rows_;  // stack; lowest row admitted first
-  std::vector<RequestResult> completed_;
+  std::vector<RequestResult> completed_;  // reserved for max_batch results
   Tensor prob_scratch_;                // [vocab], sampling CDF scratch
   std::vector<index_t> idx_scratch_;  // [vocab], top-k selection scratch
 
@@ -128,6 +184,10 @@ class BatchScheduler {
   index_t total_tokens_ = 0;
   index_t stepped_ticks_ = 0;
   index_t occupancy_sum_ = 0;
+
+  // Declared after session_ so it joins its workers (which touch the
+  // session's staging API) before the session unbinds.
+  std::unique_ptr<PrefillPool> prefill_;
 };
 
 }  // namespace qdnn::serve

@@ -457,6 +457,86 @@ TEST(DecodeSession, PrimeRowAdmitsMidFlightBitIdentically) {
   EXPECT_EQ(got_b, ref_b);
 }
 
+TEST(DecodeSession, PrimeComputeCommitRowMatchesPrimeRowBitExactly) {
+  // The prefill/decode split at session level: prime_compute into a
+  // caller-owned staging buffer + commit_row into a batch row must serve
+  // the exact bits of the fused prime_row (which IS compute + commit over
+  // a private staging — but assert through the public halves so the
+  // contract outlives the implementation).  The same staging commits into
+  // two rows: both must decode identical streams.
+  Transformer model(tiny_config());
+  model.set_training(false);
+  const Tensor src = random_src(1, 5, 20, 61);
+  const auto ref = model.greedy_decode_reference(src, {}, 1, 2, 8)[0];
+  // Untrained tiny model: the reference never hits eos inside the budget.
+  ASSERT_EQ(ref.size(), 8u);
+
+  DecodeSession session(model, session_config(2, 8));
+  runtime::PrefillStaging staging;
+  session.init_staging(staging);
+  session.prime_compute(src, 0, staging);
+  EXPECT_EQ(staging.ts, 5);
+  EXPECT_EQ(staging.len, 5);
+  session.commit_row(0, staging);
+  session.commit_row(1, staging);  // staging is reusable until overwritten
+  EXPECT_FALSE(session.row_parked(0));
+  EXPECT_FALSE(session.row_parked(1));
+
+  std::vector<index_t> feed{1, 1};
+  std::vector<index_t> got0, got1;
+  for (index_t s = 0; s < 8; ++s) {
+    feed = session.step(feed);
+    got0.push_back(feed[0]);
+    got1.push_back(feed[1]);
+  }
+  EXPECT_EQ(got0, ref);
+  EXPECT_EQ(got1, ref);
+
+  // Misuse is rejected with field-named errors: unsized staging, a commit
+  // before any compute, and an out-of-range row.
+  runtime::PrefillStaging unsized;
+  EXPECT_THROW(session.prime_compute(src, 0, unsized), std::runtime_error);
+  runtime::PrefillStaging empty;
+  session.init_staging(empty);
+  EXPECT_THROW(session.commit_row(0, empty), std::runtime_error);
+  EXPECT_THROW(session.commit_row(2, staging), std::runtime_error);
+}
+
+TEST(DecodeSession, ParkedRowsStayAtRingZeroWithoutPerTickResets) {
+  // reset_row parks: the freed row rides every subsequent batch step with
+  // its ring position pinned at 0 — no per-tick re-reset, and the ring
+  // can never exhaust no matter how many ticks pass.
+  Transformer model(tiny_config());
+  model.set_training(false);
+  DecodeSession session(model, session_config(2, 4));  // tiny ring
+  // Unprimed rows start parked.
+  EXPECT_TRUE(session.row_parked(0));
+  EXPECT_TRUE(session.row_parked(1));
+
+  session.prime_row(0, random_src(1, 4, 20, 62), 0);
+  EXPECT_FALSE(session.row_parked(0));
+  std::vector<index_t> feed{1, 1};
+  // More ticks than the ring holds: row 1 (parked) must stay at 0 and
+  // never trip the ring-exhaustion check; row 0 decodes normally.
+  for (index_t s = 0; s < 3; ++s) {
+    feed = session.step(feed);
+    EXPECT_EQ(session.row_steps(0), s + 1);
+    EXPECT_EQ(session.row_steps(1), 0) << "parked row advanced";
+    EXPECT_TRUE(session.row_parked(1));
+  }
+  // Retire row 0 (park once) and keep ticking past the ring capacity:
+  // both rows now pinned at 0, so step() would throw for a non-parked
+  // row after 4 steps — it must not.
+  session.reset_row(0);
+  EXPECT_TRUE(session.row_parked(0));
+  feed.assign(2, 1);
+  for (index_t s = 0; s < 6; ++s) {
+    session.step(feed);
+    EXPECT_EQ(session.row_steps(0), 0);
+    EXPECT_EQ(session.row_steps(1), 0);
+  }
+}
+
 TEST(DecodeSession, ResetRowRewindsOneRowOnly) {
   Transformer model(tiny_config());
   model.set_training(false);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -97,6 +99,46 @@ TEST(Sampling, TopKOneIsGreedyRegardlessOfSeed) {
                    s),
               2);
   }
+}
+
+TEST(Sampling, DegenerateDistributionsFallBackToFirstMaxArgmax) {
+  // Regression: when the softmax normalizer degenerates (total == 0 or
+  // non-finite — all-(-inf)/NaN logits, inf spreads), pick()'s round-off
+  // tail used to return the LAST candidate: the temperature head emitted
+  // the last vocab id and top-k the WORST of its k candidates.  Both
+  // heads must degrade to the first-max argmax instead, for any seed.
+  Scratch s;
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  const float all_neg_inf[kVocab] = {-kInf, -kInf, -kInf, -kInf,
+                                     -kInf, -kInf, -kInf, -kInf};
+  const float all_nan[kVocab] = {NAN, NAN, NAN, NAN, NAN, NAN, NAN, NAN};
+  // mx = +inf poisons every weight ((x − inf) → −inf or NaN): the sum is
+  // not a distribution, but the argmax is still well-defined at id 5.
+  const float inf_spike[kVocab] = {0.f, 1.f, 0.f, 2.f, 0.f, kInf, 0.f,
+                                   1.f};
+
+  for (const std::uint64_t seed : {1u, 9u, 777u}) {
+    Rng rng(seed);
+    const auto temp = SamplingConfig::with_temperature(0.5f, seed);
+    const auto topk = SamplingConfig::with_top_k(3, 0.5f, seed);
+    EXPECT_EQ(draw(temp, all_neg_inf, rng, s), 0) << "seed " << seed;
+    EXPECT_EQ(draw(topk, all_neg_inf, rng, s), 0) << "seed " << seed;
+    EXPECT_EQ(draw(temp, all_nan, rng, s), 0) << "seed " << seed;
+    EXPECT_EQ(draw(topk, all_nan, rng, s), 0) << "seed " << seed;
+    EXPECT_EQ(draw(temp, inf_spike, rng, s), 5) << "seed " << seed;
+    EXPECT_EQ(draw(topk, inf_spike, rng, s), 5) << "seed " << seed;
+  }
+
+  // A healthy extreme spread (finite logits) is NOT degenerate: the
+  // max-shifted weight of the argmax is exp(0) = 1, so the guard must
+  // not fire and sharp temperatures still concentrate on the mode.
+  const float spread[kVocab] = {-1e30f, 400.f, -1e30f, -1e30f,
+                                -1e30f, -1e30f, -1e30f, -1e30f};
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(draw(SamplingConfig::with_temperature(1e-4f, 3), spread, rng,
+                   s),
+              1);
 }
 
 TEST(Sampling, ValidateRejectsMalformedConfigs) {

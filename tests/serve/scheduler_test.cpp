@@ -230,6 +230,101 @@ TEST(BatchScheduler, BudgetRetiresOnLengthAndEosRetiresEarly) {
   EXPECT_EQ(eos_results[0].reason, FinishReason::kEos);
 }
 
+TEST(BatchScheduler, EosOnFirstStepAndSingleTokenBudgets) {
+  // Boundary coverage in both admission modes: a request whose very
+  // first greedy pick is eos retires with EMPTY tokens after exactly one
+  // decode step, and max_new_tokens == 1 emits exactly one token.
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+
+  // eos = the probe source's first greedy token, computed before any
+  // scheduler binds the model.
+  const Tensor probe_src = random_src_ids(1, 5, 20, 178);
+  const auto probe =
+      model.greedy_decode_reference(probe_src, {}, kBos, kEos, 12);
+  ASSERT_FALSE(probe[0].empty());
+  // A second source whose first greedy token differs from the probe's,
+  // so only the probe request sees the redefined eos on step one.
+  Tensor other_src;
+  for (std::uint64_t seed = 179;; ++seed) {
+    other_src = random_src_ids(1, 4, 20, seed);
+    const auto first =
+        model.greedy_decode_reference(other_src, {}, kBos, kEos, 1);
+    if (!first[0].empty() && first[0][0] != probe[0][0]) break;
+  }
+
+  for (const index_t workers : {0, 1}) {
+    BatchSchedulerConfig config = scheduler_config(2, 12);
+    config.eos = probe[0][0];
+    config.prefill_workers = workers;
+    BatchScheduler scheduler(model, config);
+
+    Request eos_first;
+    eos_first.src_ids = probe_src;
+    const index_t eos_id = scheduler.submit(std::move(eos_first));
+    Request one_token;
+    one_token.src_ids = other_src;
+    one_token.max_new_tokens = 1;
+    const index_t one_id = scheduler.submit(std::move(one_token));
+    scheduler.run();
+
+    auto results = scheduler.take_results();
+    ASSERT_EQ(results.size(), 2u) << "workers " << workers;
+    for (const RequestResult& r : results) {
+      if (r.id == eos_id) {
+        EXPECT_TRUE(r.tokens.empty()) << "workers " << workers;
+        EXPECT_EQ(r.reason, FinishReason::kEos);
+        EXPECT_EQ(r.decode_steps, 1) << "eos costs exactly one step";
+      } else {
+        EXPECT_EQ(r.id, one_id);
+        EXPECT_EQ(r.tokens.size(), 1u) << "workers " << workers;
+        EXPECT_EQ(r.reason, FinishReason::kLength);
+        EXPECT_EQ(r.decode_steps, 1);
+      }
+    }
+  }
+}
+
+TEST(BatchScheduler, FreedRowsParkOnceAndStayAtRingZero) {
+  // The redundant-parking fix: a freed (or never-admitted) row is parked
+  // exactly once and its ring position stays pinned at 0 across idle
+  // ticks — no per-tick reset_row calls behind the scenes.
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 10));
+
+  Request req;
+  req.src_ids = random_src_ids(1, 4, 20, 181);
+  req.max_new_tokens = 3;
+  scheduler.submit(std::move(req));
+  // Row 1 is never admitted: parked from bind, pinned at 0 while row 0
+  // decodes.
+  for (int i = 0; i < 3; ++i) {
+    scheduler.step();
+    EXPECT_TRUE(scheduler.session().row_parked(1));
+    EXPECT_EQ(scheduler.session().row_steps(1), 0);
+  }
+  // Row 0 retired on its budget: parked once.
+  EXPECT_EQ(scheduler.take_results().size(), 1u);
+  EXPECT_TRUE(scheduler.session().row_parked(0));
+  EXPECT_EQ(scheduler.session().row_steps(0), 0);
+
+  // A second request re-occupies row 0 for MORE live ticks than the ring
+  // holds: row 1 must ride every one of those batch steps pinned at ring
+  // position 0 without exhausting (the old per-tick reset masked this;
+  // park-once must not rely on it).
+  Request longer;
+  longer.src_ids = random_src_ids(1, 4, 20, 182);
+  longer.max_new_tokens = 10;  // == max_steps > remaining ring headroom
+  scheduler.submit(std::move(longer));
+  while (!scheduler.idle()) {
+    scheduler.step();
+    EXPECT_TRUE(scheduler.session().row_parked(1));
+    EXPECT_EQ(scheduler.session().row_steps(1), 0);
+  }
+  EXPECT_EQ(scheduler.take_results().size(), 1u);
+}
+
 TEST(BatchScheduler, ResultsStreamOutWhileOthersKeepDecoding) {
   Transformer model(tiny_transformer_config());
   model.set_training(false);
