@@ -26,11 +26,28 @@
 // measuring per-tick wall time: p99 tick latency is the jitter a long
 // prefill inflicts on every in-flight decode.
 //
+// Workload 3 — multi-shard scaling: the same trace through serve::Server
+// at 1 shard and at 4 shards (one identically-seeded replica per shard,
+// join-shortest-queue routing).  Aggregate tokens/sec should scale
+// near-linearly with shards ON A MULTI-CORE RUNNER; the JSON reports the
+// measured speedup next to hardware_threads so a single-core container
+// is not mistaken for a scaling regression.  Per-request streams are
+// asserted bit-identical across 1-shard, 4-shard and the single
+// scheduler — the shard-invariance contract.
+//
+// Workload 4 — adversarial burst: giant sources amid small ones slam two
+// tightly bounded shards (max_queue load-shedding) and a cancel storm
+// follows.  Asserted: every submitted id resolves exactly once (no
+// leaked rows, no deadlock — the run would hang), the burst sheds,
+// every accepted cancel resolves kCancelled, completed streams match the
+// solo reference and cancelled/expired streams are prefixes of it.
+//
 // All mode pairs emit bit-identical greedy tokens per request (asserted),
 // so both comparisons are pure scheduling.  `--smoke` runs small traces
 // end-to-end — the CI serve-regression gate; `--json` additionally writes
 // a machine-readable summary to BENCH_serve.json (tokens/sec, p99 tick
-// latency, mean occupancy per mode) for cross-PR perf tracking.
+// latency, mean occupancy, queue-wait/TTFT percentiles per mode, the
+// sharding speedup and the adversarial counts) for cross-PR tracking.
 #include <cstdio>
 #include <cstring>
 
@@ -38,10 +55,13 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
-#include "serve/scheduler.h"
+#include "serve/server.h"
 
 using namespace qdnn;
 using qdnn::bench::fmt;
@@ -66,9 +86,21 @@ struct Measured {
   // jitter metric of the prefill/decode split.
   double tick_mean_ms = 0.0, tick_p99_ms = 0.0;
   double occupancy = 0.0;
+  // Scheduler-side queue-wait and time-to-first-token percentiles
+  // (tick-denominated, normal class — the SchedulerStats snapshot).
+  // Zero for the static gang driver, which has no scheduler.
+  double queue_wait_p50 = 0.0, queue_wait_p99 = 0.0;
+  double ttft_p50 = 0.0, ttft_p99 = 0.0;
   index_t total_tokens = 0;
   std::map<index_t, std::vector<index_t>> outputs;  // trace idx → tokens
 };
+
+void fill_class_stats(Measured& m, const serve::SchedulerClassStats& cls) {
+  m.queue_wait_p50 = cls.queue_wait_p50;
+  m.queue_wait_p99 = cls.queue_wait_p99;
+  m.ttft_p50 = cls.ttft_p50;
+  m.ttft_p99 = cls.ttft_p99;
+}
 
 models::TransformerConfig model_config() {
   models::TransformerConfig config;
@@ -192,6 +224,9 @@ Measured run_continuous(models::Transformer& model,
   m.p99_ticks = percentile(latency_ticks, 0.99);
   finish_tick_stats(m, tick_ms);
   m.occupancy = scheduler.mean_occupancy();
+  const serve::SchedulerStats stats = scheduler.stats();
+  fill_class_stats(m, stats.per_class[static_cast<std::size_t>(
+                       serve::Priority::kNormal)]);
   return m;
 }
 
@@ -285,6 +320,192 @@ Measured run_static(models::Transformer& model,
   return m;
 }
 
+// Workload 3: the trace through serve::Server at `shards` shards, one
+// identically-seeded replica per shard, everything submitted up front (a
+// saturating burst — the scaling measurement, not an arrival study).
+Measured run_sharded(const std::vector<TraceRequest>& trace,
+                     index_t shards, index_t max_batch,
+                     index_t max_steps) {
+  std::vector<std::unique_ptr<models::Transformer>> replicas;
+  std::vector<models::Transformer*> raw;
+  for (index_t i = 0; i < shards; ++i) {
+    replicas.push_back(
+        std::make_unique<models::Transformer>(model_config()));
+    replicas.back()->set_training(false);
+    raw.push_back(replicas.back().get());
+  }
+  serve::ServerConfig config;
+  config.shard.session.max_batch = max_batch;
+  config.shard.session.max_steps = max_steps;
+  config.shard.bos = kBos;
+  config.shard.eos = kEos;
+  serve::Server server(raw, config);
+
+  std::map<index_t, index_t> id_to_index;
+  Measured m;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    serve::Request req;
+    req.src_ids = trace[i].src;
+    req.src_length = trace[i].src_length;
+    req.max_new_tokens = trace[i].budget;
+    id_to_index[server.submit(std::move(req))] = static_cast<index_t>(i);
+  }
+  server.wait_idle();
+  const double elapsed = seconds_since(t0);
+  for (serve::RequestResult& r : server.take_results())
+    m.outputs[id_to_index.at(r.id)] = std::move(r.tokens);
+  const serve::ServerStats stats = server.stats();
+  m.total_tokens = stats.totals.total_tokens;
+  m.tokens_per_sec = m.total_tokens / elapsed;
+  m.occupancy = stats.totals.mean_occupancy;
+  fill_class_stats(m, stats.totals.per_class[static_cast<std::size_t>(
+                       serve::Priority::kNormal)]);
+  return m;
+}
+
+// Workload 4: the adversarial burst.  Returns the per-reason resolution
+// counts for the JSON; every lifecycle invariant is QDNN_CHECKed right
+// here so the CI smoke fails loudly, not quietly.
+struct AdversarialCounts {
+  index_t requests = 0, sheds = 0, cancel_hits = 0, cancelled = 0,
+          expired = 0, completed = 0, errored = 0;
+};
+
+AdversarialCounts run_adversarial(bool smoke, index_t max_steps,
+                                  index_t max_src) {
+  const index_t count = smoke ? 24 : 64;
+  const index_t max_batch = 2, shards = 2, max_queue = 3;
+  Rng rng(211);
+
+  struct Entry {
+    Tensor src;
+    index_t budget = 0;
+    serve::Priority priority = serve::Priority::kNormal;
+    index_t deadline_tick = 0;
+    std::vector<index_t> reference;
+  };
+  std::vector<std::unique_ptr<models::Transformer>> replicas;
+  std::vector<models::Transformer*> raw;
+  for (index_t i = 0; i < shards; ++i) {
+    replicas.push_back(
+        std::make_unique<models::Transformer>(model_config()));
+    replicas.back()->set_training(false);
+    raw.push_back(replicas.back().get());
+  }
+
+  std::vector<Entry> entries;
+  for (index_t i = 0; i < count; ++i) {
+    Entry e;
+    // Every 4th source is GIANT (a full-max_src prefill amid 4-token
+    // ones) — the head-of-line blocker the bounded queue must shed
+    // around, in both shards' prefill pools.
+    const index_t ts = i % 4 == 0 ? max_src : 4;
+    e.src = Tensor{Shape{1, ts}};
+    for (index_t j = 0; j < ts; ++j)
+      e.src[j] = static_cast<float>(3 + rng.uniform_int(253));
+    e.budget = 4 + rng.uniform_int(std::min<index_t>(5, max_steps - 4));
+    e.priority = static_cast<serve::Priority>(rng.uniform_int(3));
+    if (i % 7 == 3) e.deadline_tick = 2 + rng.uniform_int(4);
+    // The solo-decode oracle (never binds the decoder, so it works
+    // alongside the Server below).
+    e.reference = replicas[0]->greedy_decode_reference(
+        e.src, {}, kBos, kEos, e.budget)[0];
+    entries.push_back(std::move(e));
+  }
+
+  serve::ServerConfig config;
+  config.shard.session.max_batch = max_batch;
+  config.shard.session.max_steps = max_steps;
+  config.shard.bos = kBos;
+  config.shard.eos = kEos;
+  config.shard.max_queue = max_queue;
+  config.shard.prefill_workers = 1;  // giants compute on the pool
+  serve::Server server(raw, config);
+
+  std::map<index_t, index_t> id_to_index;
+  std::vector<index_t> ids;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    serve::Request req;
+    req.src_ids = entries[i].src;
+    req.max_new_tokens = entries[i].budget;
+    req.priority = entries[i].priority;
+    req.deadline_tick = entries[i].deadline_tick;
+    const index_t id = server.submit(std::move(req));
+    id_to_index[id] = static_cast<index_t>(i);
+    ids.push_back(id);
+  }
+  // The cancel storm: every third id, plus an immediate double-cancel
+  // that must always be a no-op.
+  AdversarialCounts counts;
+  counts.requests = count;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (server.cancel(ids[i])) {
+      ++counts.cancel_hits;
+      QDNN_CHECK(!server.cancel(ids[i]),
+                 "serve bench: double-cancel of id " << ids[i]
+                                                     << " reported a hit");
+    }
+  }
+  server.wait_idle();  // a deadlock or leaked row hangs right here
+
+  auto results = server.take_results();
+  QDNN_CHECK(results.size() == ids.size(),
+             "serve bench: adversarial run resolved "
+                 << results.size() << " results for " << ids.size()
+                 << " submits — leaked or duplicated requests");
+  std::set<index_t> seen;
+  for (const serve::RequestResult& r : results) {
+    QDNN_CHECK(seen.insert(r.id).second,
+               "serve bench: id " << r.id << " resolved twice");
+    const Entry& e =
+        entries[static_cast<std::size_t>(id_to_index.at(r.id))];
+    switch (r.reason) {
+      case serve::FinishReason::kShed:
+        ++counts.sheds;
+        QDNN_CHECK(r.tokens.empty(),
+                   "serve bench: shed id " << r.id << " carries tokens");
+        break;
+      case serve::FinishReason::kCancelled:
+      case serve::FinishReason::kDeadline: {
+        r.reason == serve::FinishReason::kCancelled ? ++counts.cancelled
+                                                    : ++counts.expired;
+        QDNN_CHECK(r.tokens.size() <= e.reference.size() &&
+                       std::equal(r.tokens.begin(), r.tokens.end(),
+                                  e.reference.begin()),
+                   "serve bench: id "
+                       << r.id
+                       << " cut short but NOT a prefix of its solo "
+                          "decode");
+        break;
+      }
+      case serve::FinishReason::kEos:
+      case serve::FinishReason::kLength:
+        ++counts.completed;
+        QDNN_CHECK(r.tokens == e.reference,
+                   "serve bench: completed id "
+                       << r.id << " diverged from its solo decode");
+        break;
+      case serve::FinishReason::kError:
+        ++counts.errored;
+        break;
+    }
+  }
+  QDNN_CHECK(counts.sheds > 0,
+             "serve bench: a " << count << "-request burst into "
+                               << shards << "x max_queue=" << max_queue
+                               << " shards did not shed");
+  QDNN_CHECK(counts.cancelled == counts.cancel_hits,
+             "serve bench: " << counts.cancel_hits
+                             << " accepted cancels but "
+                             << counts.cancelled
+                             << " kCancelled results");
+  QDNN_CHECK(counts.errored == 0,
+             "serve bench: unexpected kError results in the adversarial "
+             "run");
+  return counts;
+}
+
 void report(const char* label, index_t batch, const Measured& m,
             CsvWriter& csv, index_t requests) {
   print_row({label, fmt(m.tokens_per_sec, 0), fmt(m.occupancy, 2),
@@ -319,17 +540,25 @@ void write_json_mode(std::FILE* f, const char* name, const Measured& m,
       f,
       "    \"%s\": {\"tokens_per_sec\": %.2f, \"mean_occupancy\": %.4f, "
       "\"p50_latency_ticks\": %.1f, \"p99_latency_ticks\": %.1f, "
-      "\"tick_mean_ms\": %.4f, \"tick_p99_ms\": %.4f}%s\n",
+      "\"tick_mean_ms\": %.4f, \"tick_p99_ms\": %.4f, "
+      "\"queue_wait_p50_ticks\": %.1f, \"queue_wait_p99_ticks\": %.1f, "
+      "\"ttft_p50_ticks\": %.1f, \"ttft_p99_ticks\": %.1f}%s\n",
       name, m.tokens_per_sec, m.occupancy, m.p50_ticks, m.p99_ticks,
-      m.tick_mean_ms, m.tick_p99_ms, last ? "" : ",");
+      m.tick_mean_ms, m.tick_p99_ms, m.queue_wait_p50, m.queue_wait_p99,
+      m.ttft_p50, m.ttft_p99, last ? "" : ",");
 }
 
 // Machine-readable summary for cross-PR perf tracking (uploaded as a CI
-// artifact): tokens/sec, p99 tick latency and mean occupancy per mode.
+// artifact): tokens/sec, p99 tick latency, mean occupancy and the
+// scheduler's queue-wait/TTFT percentiles per mode, the multi-shard
+// speedup (next to hardware_threads — a 1-core runner reads ~1x) and the
+// adversarial-burst resolution counts.
 void write_json(const char* path, bool smoke, index_t requests,
                 index_t prefill_requests, index_t batch,
                 const Measured& st, const Measured& ct,
-                const Measured& sync_m, const Measured& async_m) {
+                const Measured& sync_m, const Measured& async_m,
+                const Measured& shard1, const Measured& shard4,
+                index_t scaled_shards, const AdversarialCounts& adv) {
   std::FILE* f = std::fopen(path, "w");
   QDNN_CHECK(f != nullptr, "serve bench: cannot open " << path);
   std::fprintf(f, "{\n  \"bench\": \"serve_bench\",\n");
@@ -344,7 +573,36 @@ void write_json(const char* path, bool smoke, index_t requests,
                static_cast<long long>(prefill_requests));
   write_json_mode(f, "sync", sync_m, false);
   write_json_mode(f, "async", async_m, true);
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(
+      f,
+      "  \"sharding\": {\"requests\": %lld, \"hardware_threads\": %u,\n",
+      static_cast<long long>(requests),
+      std::thread::hardware_concurrency());
+  write_json_mode(f, "1_shard", shard1, false);
+  std::fprintf(f, "    \"%lld_shards\": ",
+               static_cast<long long>(scaled_shards));
+  std::fprintf(
+      f,
+      "{\"tokens_per_sec\": %.2f, \"mean_occupancy\": %.4f},\n"
+      "    \"speedup\": %.3f, \"bit_identical\": true\n  },\n",
+      shard4.tokens_per_sec, shard4.occupancy,
+      shard1.tokens_per_sec > 0.0
+          ? shard4.tokens_per_sec / shard1.tokens_per_sec
+          : 0.0);
+  std::fprintf(
+      f,
+      "  \"adversarial\": {\"requests\": %lld, \"sheds\": %lld, "
+      "\"cancel_hits\": %lld, \"cancelled\": %lld, "
+      "\"deadline_expired\": %lld, \"completed\": %lld, "
+      "\"errored\": %lld}\n}\n",
+      static_cast<long long>(adv.requests),
+      static_cast<long long>(adv.sheds),
+      static_cast<long long>(adv.cancel_hits),
+      static_cast<long long>(adv.cancelled),
+      static_cast<long long>(adv.expired),
+      static_cast<long long>(adv.completed),
+      static_cast<long long>(adv.errored));
   std::fclose(f);
 }
 
@@ -444,8 +702,72 @@ int main(int argc, char** argv) {
       "copy — p99\ntick jitter drops toward the pure decode-step cost.\n",
       static_cast<long long>(async_m.total_tokens));
 
+  // -------------------------------------------------------------------
+  // Multi-shard scaling: the Poisson trace as a saturating burst through
+  // serve::Server at 1 shard vs 4 shards (4 identically-seeded
+  // replicas).  Streams must be bit-identical to the single scheduler.
+  // -------------------------------------------------------------------
+  const index_t scaled_shards = 4;
+  print_header("Multi-shard Server scaling (join-shortest-queue, one "
+               "replica per shard)");
+  std::printf("requests %lld, per-shard batch %lld, hardware threads "
+              "%u\n\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(max_batch),
+              std::thread::hardware_concurrency());
+
+  const Measured shard1 = run_sharded(trace, 1, max_batch, max_steps);
+  const Measured shard4 =
+      run_sharded(trace, scaled_shards, max_batch, max_steps);
+  print_row({"shards", "tokens/s", "occupancy"});
+  print_rule();
+  print_row({"1", fmt(shard1.tokens_per_sec, 0), fmt(shard1.occupancy, 2)});
+  print_row({"4", fmt(shard4.tokens_per_sec, 0), fmt(shard4.occupancy, 2)});
+  print_rule();
+  check_identical(ct, shard1, trace.size(), "scheduler/1-shard");
+  check_identical(shard1, shard4, trace.size(), "1-shard/4-shard");
+  const double speedup = shard1.tokens_per_sec > 0.0
+                             ? shard4.tokens_per_sec / shard1.tokens_per_sec
+                             : 0.0;
+  std::printf(
+      "Identical per-request tokens at 1 and 4 shards (shard-invariance).\n"
+      "Measured 4-shard speedup: %.2fx on %u hardware threads — expect\n"
+      "near-linear on >=4 cores, ~1x on a single-core runner (the workers\n"
+      "time-slice one core; the contract there is correctness, not "
+      "speed).\n",
+      speedup, std::thread::hardware_concurrency());
+
+  // -------------------------------------------------------------------
+  // Adversarial burst: giant sources amid small ones into two tightly
+  // bounded shards, then a cancel storm.  All lifecycle invariants are
+  // QDNN_CHECKed inside run_adversarial.
+  // -------------------------------------------------------------------
+  print_header("Adversarial burst (bounded queues, giant sources, cancel "
+               "storm)");
+  const AdversarialCounts adv =
+      run_adversarial(smoke, max_steps, max_src);
+  print_row({"requests", "sheds", "cancel hits", "cancelled", "deadline",
+             "completed"});
+  print_rule();
+  print_row({fmt(static_cast<double>(adv.requests), 0),
+             fmt(static_cast<double>(adv.sheds), 0),
+             fmt(static_cast<double>(adv.cancel_hits), 0),
+             fmt(static_cast<double>(adv.cancelled), 0),
+             fmt(static_cast<double>(adv.expired), 0),
+             fmt(static_cast<double>(adv.completed), 0)});
+  print_rule();
+  std::printf(
+      "Every submitted id resolved exactly once: %lld shed at the "
+      "admission\nbound, %lld cancelled mid-storm, %lld expired on "
+      "deadline, %lld\ncompleted bit-identical to their solo decodes.\n",
+      static_cast<long long>(adv.sheds),
+      static_cast<long long>(adv.cancelled),
+      static_cast<long long>(adv.expired),
+      static_cast<long long>(adv.completed));
+
   if (json)
     write_json("BENCH_serve.json", smoke, requests, pf_requests,
-               max_batch, st, ct, sync_m, async_m);
+               max_batch, st, ct, sync_m, async_m, shard1, shard4,
+               scaled_shards, adv);
   return 0;
 }

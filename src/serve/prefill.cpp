@@ -79,18 +79,6 @@ bool PrefillPool::try_take(Finished& out) {
   return true;
 }
 
-bool PrefillPool::try_take_error(Finished& out) {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto it = finished_.begin(); it != finished_.end(); ++it) {
-    if (!it->error) continue;
-    out = std::move(*it);
-    finished_.erase(it);
-    --pending_;
-    return true;
-  }
-  return false;
-}
-
 void PrefillPool::wait_ready() const {
   std::unique_lock<std::mutex> lk(mu_);
   // pending_ == 0 guards a caller that races a take on another thread;

@@ -7,6 +7,9 @@
 //
 //   * submit() enqueues a prefill job (the request plus its scheduler
 //     bookkeeping, including the warm token buffer reserved at submit).
+//     The scheduler feeds the pool in priority/aging order and keeps at
+//     most `slots` jobs inside it, so a later high-priority submit can
+//     still overtake everything waiting in the scheduler's own queue.
 //   * Worker threads — the same persistent mutex/condvar pool idiom as
 //     runtime::InferenceSession's batch sharding — pop jobs, claim a
 //     preallocated runtime::PrefillStaging slot, and run the expensive
@@ -106,7 +109,30 @@ class PrefillPool {
   // row, so callers drain these unconditionally before gating successful
   // prefills on free rows — an errored job must never sit on a staging
   // slot waiting for a row it will not use.
-  bool try_take_error(Finished& out);
+  bool try_take_error(Finished& out) {
+    return try_take_if(
+        [](const Finished& f) { return static_cast<bool>(f.error); }, out);
+  }
+
+  // Non-blocking: takes the oldest finished prefill matching `pred` (any
+  // position in the finished queue) or returns false.  The scheduler
+  // uses this to drain doomed prefills — errored, cancelled mid-compute,
+  // or past their deadline — unconditionally: resolving them needs no
+  // batch row, so they must not queue behind the free-row gate holding
+  // their staging slot hostage.  `pred` runs under the pool lock; keep
+  // it trivial and never call back into the pool.
+  template <class Pred>
+  bool try_take_if(Pred&& pred, Finished& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = finished_.begin(); it != finished_.end(); ++it) {
+      if (!pred(static_cast<const Finished&>(*it))) continue;
+      out = std::move(*it);
+      finished_.erase(it);
+      --pending_;
+      return true;
+    }
+    return false;
+  }
 
   // Blocks until a finished prefill is ready for try_take (returns
   // immediately when one already is, or when nothing is pending at all).

@@ -4,6 +4,19 @@
 
 namespace qdnn::serve {
 
+namespace {
+
+double ring_percentile(const std::vector<double>& ring, double q) {
+  if (ring.empty()) return 0.0;
+  std::vector<double> sorted(ring);
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[idx];
+}
+
+}  // namespace
+
 BatchScheduler::BatchScheduler(models::Transformer& model,
                                BatchSchedulerConfig config)
     : config_(config),
@@ -22,6 +35,18 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
              "BatchScheduler: prefill_slots must be non-negative (0 = "
              "max_batch), got "
                  << config_.prefill_slots);
+  QDNN_CHECK(config_.max_queue >= 0,
+             "BatchScheduler: max_queue must be non-negative (0 = "
+             "unbounded), got "
+                 << config_.max_queue);
+  QDNN_CHECK(config_.age_ticks >= 0,
+             "BatchScheduler: age_ticks must be non-negative (0 = no "
+             "aging), got "
+                 << config_.age_ticks);
+  QDNN_CHECK(config_.stats_window >= 0,
+             "BatchScheduler: stats_window must be non-negative (0 = "
+             "counts only), got "
+                 << config_.stats_window);
 
   const index_t rows = session_.max_batch();
   slots_.resize(static_cast<std::size_t>(rows));
@@ -34,6 +59,12 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
   completed_.reserve(static_cast<std::size_t>(rows));
   prob_scratch_ = Tensor{Shape{vocab_}};
   idx_scratch_.resize(static_cast<std::size_t>(vocab_));
+  for (index_t c = 0; c < kPriorityClasses; ++c) {
+    queue_wait_ring_[static_cast<std::size_t>(c)].buf.reserve(
+        static_cast<std::size_t>(config_.stats_window));
+    ttft_ring_[static_cast<std::size_t>(c)].buf.reserve(
+        static_cast<std::size_t>(config_.stats_window));
+  }
 
   if (config_.prefill_workers > 0) {
     const index_t slots = config_.prefill_slots > 0
@@ -65,9 +96,53 @@ index_t BatchScheduler::submit(Request request) {
                  << request.max_new_tokens << " outside [0, "
                  << session_.max_steps() << "] (max_steps)");
   validate(request.sampling, vocab_);
+  const auto cls = static_cast<index_t>(request.priority);
+  QDNN_CHECK(cls >= 0 && cls < kPriorityClasses,
+             "BatchScheduler: priority class " << cls << " outside [0, "
+                                               << kPriorityClasses << ")");
+  QDNN_CHECK(request.deadline_tick >= 0,
+             "BatchScheduler: deadline_tick must be non-negative (0 = "
+             "none), got "
+                 << request.deadline_tick);
+  QDNN_CHECK(request.id >= -1,
+             "BatchScheduler: id must be >= 0 (or -1 = assign), got "
+                 << request.id);
+  if (request.id >= 0) {
+    // Explicit-id uniqueness: a duplicate of an UNRESOLVED id would
+    // silently produce two results with the same id — reject it at the
+    // edge like every other malformed field.  Resolved ids may be
+    // reused.
+    QDNN_CHECK(inflight_ids_.count(request.id) == 0,
+               "BatchScheduler: id " << request.id
+                                     << " is already in flight (ids must "
+                                        "be unique among unresolved "
+                                        "requests)");
+  } else {
+    while (inflight_ids_.count(next_id_) != 0) ++next_id_;
+    request.id = next_id_++;
+  }
+  const index_t id = request.id;
+  ++class_stats_[static_cast<std::size_t>(cls)].submitted;
+
+  if (config_.max_queue > 0 && queued() >= config_.max_queue) {
+    // Backpressure: the bounded queue is full, so this submit load-sheds
+    // instead of growing it — the id still resolves, with exactly one
+    // kShed result, and the caller can retry or route elsewhere.
+    RequestResult shed;
+    shed.id = id;
+    shed.reason = FinishReason::kShed;
+    shed.error = "admission queue full (max_queue)";
+    shed.priority = request.priority;
+    shed.submit_tick = ticks_;
+    shed.admit_tick = ticks_;
+    shed.finish_tick = ticks_;
+    completed_.push_back(std::move(shed));
+    ++class_stats_[static_cast<std::size_t>(cls)].shed;
+    return id;
+  }
 
   PrefillJob job;
-  job.id = next_id_++;
+  job.id = id;
   job.submit_tick = ticks_;
   // The request's warm token buffer travels with it: reserved here (the
   // submit edge allocates by contract), swapped into the batch slot at
@@ -77,12 +152,119 @@ index_t BatchScheduler::submit(Request request) {
                                           : session_.max_steps();
   job.tokens.reserve(static_cast<std::size_t>(job.budget));
   job.request = std::move(request);
-  const index_t id = job.id;
-  if (prefill_)
-    prefill_->submit(std::move(job));
-  else
-    queue_.push_back(std::move(job));
+  inflight_ids_.insert(id);
+  queue_.push_back(std::move(job));
+  if (prefill_) pump_pool();
   return id;
+}
+
+index_t BatchScheduler::effective_class(const PrefillJob& job) const {
+  index_t cls = static_cast<index_t>(job.request.priority);
+  if (config_.age_ticks > 0)
+    cls -= (ticks_ - job.submit_tick) / config_.age_ticks;
+  return std::max<index_t>(cls, 0);
+}
+
+std::deque<PrefillJob>::iterator BatchScheduler::pick_queued() {
+  // Best effective class wins; the queue is in submit order, so keeping
+  // the FIRST hit of the best class gives FIFO within a class (and an
+  // aged request beats any same-class request submitted after it).
+  auto best = queue_.begin();
+  index_t best_cls = effective_class(*best);
+  for (auto it = std::next(best); it != queue_.end(); ++it) {
+    const index_t cls = effective_class(*it);
+    if (cls < best_cls) {
+      best = it;
+      best_cls = cls;
+    }
+  }
+  return best;
+}
+
+void BatchScheduler::resolve_unadmitted(PrefillJob&& job,
+                                        FinishReason reason) {
+  // A request resolved before ever holding a batch row: cancelled or
+  // past its deadline while queued / in the prefill pipeline.  Exactly
+  // one result, empty tokens, no batch capacity touched.
+  const auto cls = static_cast<std::size_t>(job.request.priority);
+  RequestResult result;
+  result.id = job.id;
+  result.tokens = std::move(job.tokens);  // empty
+  result.reason = reason;
+  result.priority = job.request.priority;
+  result.submit_tick = job.submit_tick;
+  result.admit_tick = ticks_;
+  result.finish_tick = ticks_;
+  completed_.push_back(std::move(result));
+  inflight_ids_.erase(job.id);
+  if (reason == FinishReason::kCancelled)
+    ++class_stats_[cls].cancelled;
+  else
+    ++class_stats_[cls].expired;
+}
+
+bool BatchScheduler::cancel(index_t id) {
+  if (inflight_ids_.count(id) == 0) return false;
+  if (pool_cancelled_.count(id) != 0) return false;  // double-cancel
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) continue;
+    PrefillJob job = std::move(*it);
+    queue_.erase(it);
+    resolve_unadmitted(std::move(job), FinishReason::kCancelled);
+    return true;
+  }
+  for (index_t row = 0; row < static_cast<index_t>(slots_.size());
+       ++row) {
+    Slot& slot = slots_[static_cast<std::size_t>(row)];
+    if (!slot.live || slot.id != id) continue;
+    // Mid-flight: retire right here with the tokens decoded so far; the
+    // freed row admits the next request on the following tick.
+    retire(row, FinishReason::kCancelled);
+    return true;
+  }
+  // In flight but neither queued nor live: its prefill is inside the
+  // pool (computing or finished).  The compute cannot be interrupted —
+  // flag the id and the next tick's drain resolves it without ever
+  // committing a row.
+  if (!prefill_) return false;  // unreachable: sync in-flight = queue∪rows
+  pool_cancelled_.insert(id);
+  return true;
+}
+
+void BatchScheduler::expire_deadlines() {
+  // Queued requests past their deadline shed before admission could
+  // waste a prefill on them...
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->request.deadline_tick > 0 &&
+        ticks_ >= it->request.deadline_tick) {
+      PrefillJob job = std::move(*it);
+      it = queue_.erase(it);
+      resolve_unadmitted(std::move(job), FinishReason::kDeadline);
+    } else {
+      ++it;
+    }
+  }
+  // ...and live rows past it retire mid-flight, freeing the KV slot this
+  // very tick.
+  for (index_t row = 0; row < static_cast<index_t>(slots_.size());
+       ++row) {
+    Slot& slot = slots_[static_cast<std::size_t>(row)];
+    if (slot.live && slot.deadline_tick > 0 &&
+        ticks_ >= slot.deadline_tick)
+      retire(row, FinishReason::kDeadline);
+  }
+}
+
+void BatchScheduler::pump_pool() {
+  // Feed the pool in priority order, keeping at most `slots` jobs inside
+  // it: the pool computes in feed order, so a later high-priority submit
+  // can still overtake everything waiting here in the scheduler queue.
+  while (!queue_.empty() && prefill_->pending() < prefill_->slots()) {
+    auto it = pick_queued();
+    PrefillJob job = std::move(*it);
+    queue_.erase(it);
+    prefill_->submit(std::move(job));
+  }
 }
 
 void BatchScheduler::install(index_t row, PrefillJob&& job) {
@@ -95,18 +277,26 @@ void BatchScheduler::install(index_t row, PrefillJob&& job) {
   slot.tokens = std::move(job.tokens);  // warm, empty, reserved at submit
   slot.submit_tick = job.submit_tick;
   slot.admit_tick = ticks_;
+  slot.priority = job.request.priority;
+  slot.deadline_tick = job.request.deadline_tick;
+  slot.first_token_tick = -1;
+  slot.on_token = std::move(job.request.on_token);
   feed_[static_cast<std::size_t>(row)] = config_.bos;
   ++live_rows_;
+  queue_wait_ring_[static_cast<std::size_t>(
+                       static_cast<index_t>(slot.priority))]
+      .record(static_cast<double>(ticks_ - slot.submit_tick));
 }
 
 void BatchScheduler::admit_sync() {
   // Synchronous admission runs the prefill on the serving thread:
   // prime_row = prime_compute + commit_row, the same code path the async
-  // pool splits across threads.
+  // pool splits across threads.  The queue is drained best-class-first.
   while (!queue_.empty() && !free_rows_.empty()) {
     const index_t row = free_rows_.back();
-    PrefillJob job = std::move(queue_.front());
-    queue_.pop_front();
+    auto it = pick_queued();
+    PrefillJob job = std::move(*it);
+    queue_.erase(it);
     try {
       session_.prime_row(row, job.request.src_ids, job.request.src_length);
     } catch (...) {
@@ -128,10 +318,12 @@ void BatchScheduler::resolve_failed(PrefillJob&& job,
   // A prefill failure must still resolve the submitted id: emit a kError
   // result instead of dropping the request on the floor.  No batch row
   // is consumed.  Allocates (the message) — error path.
+  const auto cls = static_cast<std::size_t>(job.request.priority);
   RequestResult failed;
   failed.id = job.id;
   failed.tokens = std::move(job.tokens);  // empty
   failed.reason = FinishReason::kError;
+  failed.priority = job.request.priority;
   try {
     std::rethrow_exception(error);
   } catch (const std::exception& e) {
@@ -143,26 +335,42 @@ void BatchScheduler::resolve_failed(PrefillJob&& job,
   failed.admit_tick = ticks_;
   failed.finish_tick = ticks_;
   completed_.push_back(std::move(failed));
+  inflight_ids_.erase(failed.id);
+  ++class_stats_[cls].errored;
 }
 
 void BatchScheduler::admit_async() {
+  pump_pool();
   PrefillPool::Finished fin;
-  // Errored prefills resolve unconditionally — they need no batch row,
-  // so they must not queue behind the free-row gate below (a fully live
-  // batch would otherwise hold the error result AND its staging slot
-  // hostage for up to max_steps ticks).
-  while (prefill_->try_take_error(fin)) {
-    prefill_->release(fin.slot);  // a failed job must never hold a slot
-    resolve_failed(std::move(fin.job), fin.error);
-  }
+  // Doomed prefills — errored, cancelled mid-compute, or past deadline —
+  // resolve unconditionally: they need no batch row, so they must not
+  // queue behind the free-row gate below (a fully live batch would
+  // otherwise hold the result AND its staging slot hostage for up to
+  // max_steps ticks).
+  const auto doomed = [this](const PrefillPool::Finished& f) {
+    return static_cast<bool>(f.error) ||
+           pool_cancelled_.count(f.job.id) != 0 ||
+           (f.job.request.deadline_tick > 0 &&
+            ticks_ >= f.job.request.deadline_tick);
+  };
+  const auto resolve_doomed = [this](PrefillPool::Finished&& f) {
+    prefill_->release(f.slot);  // a doomed job must never hold a slot
+    if (pool_cancelled_.erase(f.job.id) > 0)
+      resolve_unadmitted(std::move(f.job), FinishReason::kCancelled);
+    else if (f.error)
+      resolve_failed(std::move(f.job), f.error);
+    else
+      resolve_unadmitted(std::move(f.job), FinishReason::kDeadline);
+    pump_pool();  // the freed staging slot can start the next prefill
+  };
+  while (prefill_->try_take_if(doomed, fin)) resolve_doomed(std::move(fin));
 
   // Drain successful prefills into free rows: each admission is one
   // commit_row K/V copy plus slot bookkeeping — no heap allocation, no
   // waiting (a prefill still computing is simply not ready this tick).
   while (!free_rows_.empty() && prefill_->try_take(fin)) {
-    if (fin.error) {  // finished after the sweep above — same path
-      prefill_->release(fin.slot);
-      resolve_failed(std::move(fin.job), fin.error);
+    if (doomed(fin)) {  // finished after the sweep above — same path
+      resolve_doomed(std::move(fin));
       continue;
     }
     const index_t row = free_rows_.back();
@@ -170,11 +378,13 @@ void BatchScheduler::admit_async() {
     session_.commit_row(row, prefill_->staging(fin.slot));
     prefill_->release(fin.slot);
     install(row, std::move(fin.job));
+    pump_pool();
   }
 }
 
 void BatchScheduler::retire(index_t row, FinishReason reason) {
   Slot& slot = slots_[static_cast<std::size_t>(row)];
+  const auto cls = static_cast<std::size_t>(slot.priority);
   RequestResult result;
   result.id = slot.id;
   // Hand the slot's buffer off inside the result; the slot's next warm
@@ -183,14 +393,23 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   // allocation-free.
   result.tokens = std::move(slot.tokens);
   result.reason = reason;
+  result.priority = slot.priority;
   result.decode_steps = session_.row_steps(row);
   result.submit_tick = slot.submit_tick;
   result.admit_tick = slot.admit_tick;
   result.finish_tick = ticks_;
+  result.first_token_tick = slot.first_token_tick;
   completed_.push_back(std::move(result));
+  inflight_ids_.erase(slot.id);
+  switch (reason) {
+    case FinishReason::kCancelled: ++class_stats_[cls].cancelled; break;
+    case FinishReason::kDeadline: ++class_stats_[cls].expired; break;
+    default: ++class_stats_[cls].completed; break;
+  }
 
   slot.live = false;
   slot.id = -1;
+  slot.on_token = nullptr;
   // Park exactly once: the freed row rides the batch gemm pinned at ring
   // position 0 (output ignored) until its next admission — no per-tick
   // reset needed, and its ring can never exhaust.
@@ -201,8 +420,10 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
 }
 
 index_t BatchScheduler::step() {
-  // Admission first, so a row freed on the previous tick never idles: a
+  // Deadlines first (a due request must not be admitted or stepped),
+  // then admission, so a row freed on the previous tick never idles: a
   // retirement's slot is serving the next queued request one tick later.
+  expire_deadlines();
   if (prefill_)
     admit_async();
   else
@@ -240,6 +461,22 @@ index_t BatchScheduler::step() {
     slot.tokens.push_back(token);
     ++total_tokens_;
     feed_[static_cast<std::size_t>(row)] = token;
+    if (slot.first_token_tick < 0) {
+      slot.first_token_tick = ticks_;
+      ttft_ring_[static_cast<std::size_t>(
+                     static_cast<index_t>(slot.priority))]
+          .record(static_cast<double>(ticks_ - slot.submit_tick));
+    }
+    if (slot.on_token) {
+      // Streamed the moment it exists — not at retirement.  The callback
+      // owns its own cost; the contract is "fast and non-blocking".
+      StreamEvent event;
+      event.id = slot.id;
+      event.token = token;
+      event.index = static_cast<index_t>(slot.tokens.size()) - 1;
+      event.tick = ticks_;
+      slot.on_token(event);
+    }
     if (static_cast<index_t>(slot.tokens.size()) >= slot.budget)
       retire(row, FinishReason::kLength);
   }
@@ -247,9 +484,17 @@ index_t BatchScheduler::step() {
 }
 
 bool BatchScheduler::wait_for_prefill() const {
-  if (!prefill_ || live_rows_ > 0 || !queue_.empty() ||
-      prefill_->pending() == 0 || prefill_->ready() > 0)
+  if (!prefill_ || live_rows_ > 0 || prefill_->pending() == 0 ||
+      prefill_->ready() > 0)
     return false;
+  // A queued job the pool has room for would be fed by the next step();
+  // a queued job already past its deadline would be resolved by it.
+  if (!queue_.empty() && prefill_->pending() < prefill_->slots())
+    return false;
+  for (const PrefillJob& job : queue_)
+    if (job.request.deadline_tick > 0 &&
+        ticks_ >= job.request.deadline_tick)
+      return false;
   prefill_->wait_ready();
   return true;
 }
@@ -277,6 +522,27 @@ double BatchScheduler::mean_occupancy() const {
              ? 0.0
              : static_cast<double>(occupancy_sum_) /
                    static_cast<double>(stepped_ticks_);
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  SchedulerStats s;
+  s.ticks = ticks_;
+  s.stepped_ticks = stepped_ticks_;
+  s.total_tokens = total_tokens_;
+  s.mean_occupancy = mean_occupancy();
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kPriorityClasses);
+       ++c) {
+    SchedulerClassStats cls = class_stats_[c];
+    cls.queue_wait_samples =
+        static_cast<index_t>(queue_wait_ring_[c].buf.size());
+    cls.ttft_samples = static_cast<index_t>(ttft_ring_[c].buf.size());
+    cls.queue_wait_p50 = ring_percentile(queue_wait_ring_[c].buf, 0.50);
+    cls.queue_wait_p99 = ring_percentile(queue_wait_ring_[c].buf, 0.99);
+    cls.ttft_p50 = ring_percentile(ttft_ring_[c].buf, 0.50);
+    cls.ttft_p99 = ring_percentile(ttft_ring_[c].buf, 0.99);
+    s.per_class[c] = cls;
+  }
+  return s;
 }
 
 }  // namespace qdnn::serve

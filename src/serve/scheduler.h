@@ -6,20 +6,45 @@
 // request queue plus one session bound at full max_batch width, and each
 // tick it:
 //
-//   1. admits queued requests into free batch rows (per-row prime: the
-//      request's source is encoded and cross-projected into just its
-//      row's caches while the other rows keep decoding mid-flight),
-//   2. steps the WHOLE batch once — one gemm-backed pass over all rows,
+//   1. expires deadlines (queued requests past deadline_tick are shed,
+//      live rows past it retire mid-flight with FinishReason::kDeadline),
+//   2. admits queued requests into free batch rows in priority order
+//      (per-row prime: the request's source is encoded and
+//      cross-projected into just its row's caches while the other rows
+//      keep decoding mid-flight),
+//   3. steps the WHOLE batch once — one gemm-backed pass over all rows,
 //      every live row at its own ring position (per-row cache lengths in
 //      the attention step kernels),
-//   3. samples one token per live row through its request's head
-//      (greedy / temperature / top-k, per-request seeded Rng),
-//   4. retires rows that emitted eos or exhausted their budget, so the
+//   4. samples one token per live row through its request's head
+//      (greedy / temperature / top-k, per-request seeded Rng), streaming
+//      it to the request's on_token callback the moment it exists,
+//   5. retires rows that emitted eos or exhausted their budget, so the
 //      freed slot is refilled at the very next tick.
 //
 // Throughput therefore tracks occupancy instead of the slowest request
 // (bench/serve_bench.cpp measures continuous vs static batching under
 // Poisson arrivals).
+//
+// Front-end behaviors (the multi-tenant contract, per request):
+//
+//   * priorities + aging — the admission queue orders by Priority class;
+//     a waiting request's effective class rises one level every
+//     config.age_ticks ticks (FIFO within a class), so low priority
+//     cannot starve.  Priority changes WHEN a request admits, never its
+//     tokens.
+//   * backpressure — with config.max_queue > 0, a submit that finds
+//     queued() at the bound load-sheds: the request resolves immediately
+//     with FinishReason::kShed instead of growing the queue unboundedly.
+//   * cancellation — cancel(id) resolves a request wherever it is:
+//     removed from the queue, flagged while its prefill is in flight on
+//     the pool (resolved at the next drain), or retired mid-flight with
+//     the tokens decoded so far, freeing the KV row for the next admit.
+//   * deadlines — deadline_tick is the absolute tick bound; see step 1.
+//   * streaming — on_token fires on the serving thread as each token is
+//     sampled; RequestResult::first_token_tick records TTFT.
+//
+// Every submitted id resolves with EXACTLY one RequestResult — shed,
+// errored, cancelled, expired, or decoded to completion.
 //
 // Admission comes in two modes, selected by config.prefill_workers:
 //
@@ -27,41 +52,49 @@
 //     projection) runs on the serving thread at admission, exactly the
 //     PR 4 behavior: single-threaded, deterministic tick-for-tick.
 //   * asynchronous (>= 1) — a serve::PrefillPool runs the prefill on
-//     worker threads into preallocated staging buffers; submit hands the
-//     job to the pool and each tick drains finished prefills into free
-//     rows with DecodeSession::commit_row, so admission costs the tick
-//     exactly one O(K/V) copy and a long prefill never stalls the live
-//     decode rows.  Both modes run the same compute (prime_row is
-//     implemented as prime_compute + commit_row), so per-request outputs
-//     are bit-identical across modes and to solo decodes — only the
+//     worker threads into preallocated staging buffers; the scheduler
+//     feeds the pool from its priority queue (keeping at most
+//     prefill_slots jobs inside it, so priorities still bite) and each
+//     tick drains finished prefills into free rows with
+//     DecodeSession::commit_row, so admission costs the tick exactly one
+//     O(K/V) copy and a long prefill never stalls the live decode rows.
+//     Both modes run the same compute (prime_row is implemented as
+//     prime_compute + commit_row), so per-request outputs are
+//     bit-identical across modes and to solo decodes — only the
 //     admission *timing* can differ (fuzzed in
 //     tests/serve/prefill_test.cpp).
 //
 // Contracts:
 //   * Equivalence — a greedy request's tokens are bit-identical to a solo
 //     DecodeSession::generate / greedy_decode_reference of that request,
-//     for ANY admission/retirement interleaving and either admission mode
-//     (per-row masked attention is exact; fuzzed in
-//     tests/serve/scheduler_test.cpp and tests/serve/prefill_test.cpp).
+//     for ANY admission/retirement interleaving, either admission mode,
+//     and any priority/cancellation activity around it (per-row masked
+//     attention is exact; fuzzed in tests/serve/scheduler_test.cpp and
+//     tests/serve/prefill_test.cpp).
 //   * Determinism — stochastic requests draw from their own seeded Rng,
 //     so results are reproducible regardless of admission order.
 //   * Zero-alloc steady state — all per-row bookkeeping (slots, sampling
-//     scratch) is preallocated at bind, and each request carries its own
-//     warm token buffer (reserved at submit, swapped into the slot at
-//     admission, handed off inside the RequestResult at retirement), so
-//     steady-state ticks — including the retire→admit slot cycle, and
-//     including async admission itself (an O(K/V) commit copy) — perform
-//     no heap allocation (asserted in tests/runtime/session_test.cpp).
-//     Synchronous admission allocates — it runs the encoder; submit and
-//     take_results allocate (queue growth / result hand-off).
+//     scratch, stats sample rings) is preallocated at bind, and each
+//     request carries its own warm token buffer (reserved at submit,
+//     swapped into the slot at admission, handed off inside the
+//     RequestResult at retirement), so steady-state ticks — including the
+//     retire→admit slot cycle, and including async admission itself (an
+//     O(K/V) commit copy) — perform no heap allocation (asserted in
+//     tests/runtime/session_test.cpp).  Synchronous admission allocates —
+//     it runs the encoder; submit and take_results allocate (queue
+//     growth / result hand-off), and so do the resolution paths for
+//     shed/cancelled/errored requests (error strings).
 //
-// The serving loop stays single-threaded: callers pump step() (or run())
+// The serving loop stays single-threaded: callers pump step()/cancel()
 // and drain take_results() from one thread; only the prefill compute
-// moves to the pool.
+// moves to the pool.  serve::Server (serve/server.h) wraps N schedulers
+// on worker threads behind one thread-safe front end.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/decode_session.h"
@@ -84,6 +117,45 @@ struct BatchSchedulerConfig {
   // Staging slots for the async pool (finished prefills awaiting a free
   // row); 0 = max_batch.  Ignored in synchronous mode.
   index_t prefill_slots = 0;
+  // Bounded admission: the most requests allowed to wait for a batch row
+  // (sync queue + async prefill pipeline, i.e. queued()).  A submit that
+  // finds the bound reached is load-shed — it resolves immediately with
+  // FinishReason::kShed instead of growing the queue.  0 = unbounded.
+  index_t max_queue = 0;
+  // Priority aging: a waiting request's effective class drops one level
+  // (toward kHigh) every age_ticks ticks, so low priority cannot starve
+  // behind a steady high-priority stream.  0 disables aging.
+  index_t age_ticks = 32;
+  // Per-class sample window for the queue-wait and time-to-first-token
+  // percentiles in SchedulerStats (a preallocated ring; the newest
+  // samples win).  0 disables percentile tracking (counts remain).
+  index_t stats_window = 2048;
+};
+
+// Per-priority-class counters and latency percentiles (batch-tick
+// denominated), over the most recent config.stats_window samples.
+struct SchedulerClassStats {
+  index_t submitted = 0;  // includes shed
+  index_t completed = 0;  // kEos + kLength
+  index_t cancelled = 0;
+  index_t expired = 0;    // kDeadline
+  index_t shed = 0;
+  index_t errored = 0;
+  index_t queue_wait_samples = 0;
+  index_t ttft_samples = 0;
+  double queue_wait_p50 = 0.0, queue_wait_p99 = 0.0;  // admit − submit
+  double ttft_p50 = 0.0, ttft_p99 = 0.0;  // first token − submit
+};
+
+// Snapshot of the scheduler's counters — cheap to take off the tick
+// path (the percentile sort allocates; call it from a stats poller, not
+// per tick).
+struct SchedulerStats {
+  index_t ticks = 0;
+  index_t stepped_ticks = 0;
+  index_t total_tokens = 0;
+  double mean_occupancy = 0.0;
+  std::array<SchedulerClassStats, kPriorityClasses> per_class;
 };
 
 class BatchScheduler {
@@ -94,30 +166,45 @@ class BatchScheduler {
   BatchScheduler(models::Transformer& model, BatchSchedulerConfig config);
 
   // Enqueues a request, validating it at the edge (source length vs
-  // max_src, budget vs max_steps, sampling parameters) so a malformed
-  // request fails here with a clear message, not steps later inside a
-  // kernel.  Also reserves the request's warm token buffer here, so the
-  // later admit/retire ticks never allocate.  In async mode the job goes
-  // straight to the prefill pool.  Returns the request id.  Allocates
-  // (queue growth + buffer reserve).
+  // max_src, budget vs max_steps, sampling parameters, explicit-id
+  // uniqueness among in-flight requests) so a malformed request fails
+  // here with a clear message, not steps later inside a kernel.  Also
+  // reserves the request's warm token buffer here, so the later
+  // admit/retire ticks never allocate.  With config.max_queue > 0 a full
+  // queue load-sheds: the returned id resolves immediately with a kShed
+  // result.  In async mode the job is fed to the prefill pool as soon as
+  // a staging slot is open.  Returns the request id.  Allocates (queue
+  // growth + buffer reserve).
   index_t submit(Request request);
 
-  // One tick: admit → batch-step → sample → retire (see file comment).
-  // Returns the number of live rows that were stepped (0 = nothing to
-  // do; the tick still counts, so arrival traces keyed on ticks work).
-  // Async mode: admission drains finished prefills only — a tick never
-  // waits on the pool.
+  // Resolves the in-flight request `id` with FinishReason::kCancelled:
+  // removed from the admission queue (empty tokens), flagged while its
+  // prefill is in flight on the pool (resolved at the next tick's
+  // drain), or retired mid-flight right here with the tokens decoded so
+  // far — the freed KV row admits the next request on the following
+  // tick.  Returns false (and does nothing) when `id` is unknown,
+  // already resolved, or already cancelled — a submitted id always
+  // resolves with exactly ONE result, however many times it is
+  // cancelled.
+  bool cancel(index_t id);
+
+  // One tick: expire deadlines → admit → batch-step → sample/stream →
+  // retire (see file comment).  Returns the number of live rows that
+  // were stepped (0 = nothing to do; the tick still counts, so arrival
+  // traces keyed on ticks work).  Async mode: admission drains finished
+  // prefills only — a tick never waits on the pool.
   index_t step();
 
   // Async tick-driver helper: when the ONLY outstanding work is a
-  // prefill still computing (no live rows, nothing admissible), blocks
-  // until the pool finishes one and returns true — callers `continue`
-  // instead of stepping, so the tick clock never free-runs orders of
-  // magnitude faster than real batch steps (which would collapse
-  // arrival schedules and inflate tick-denominated latencies) and the
-  // serving core is not stolen from the workers.  Returns false (without
-  // blocking) whenever a step would do real work; always false in sync
-  // mode.  run() uses it; external drivers pumping step() should too.
+  // prefill still computing (no live rows, nothing admissible, no due
+  // deadline), blocks until the pool finishes one and returns true —
+  // callers `continue` instead of stepping, so the tick clock never
+  // free-runs orders of magnitude faster than real batch steps (which
+  // would collapse arrival schedules and inflate tick-denominated
+  // latencies) and the serving core is not stolen from the workers.
+  // Returns false (without blocking) whenever a step would do real work;
+  // always false in sync mode.  run() uses it; external drivers pumping
+  // step() should too.
   bool wait_for_prefill() const;
 
   // Ticks until every submitted request has retired (in async mode,
@@ -127,6 +214,11 @@ class BatchScheduler {
   bool idle() const {
     return live_rows_ == 0 && queue_.empty() &&
            (!prefill_ || prefill_->pending() == 0);
+  }
+  // Results finished and not yet taken — a cheap guard so drivers can
+  // skip the take_results() allocation when there is nothing to drain.
+  index_t results_ready() const {
+    return static_cast<index_t>(completed_.size());
   }
   // Moves out the results finished since the last call (retirement
   // order).  Allocates (the moved-out vector is replaced by a freshly
@@ -144,6 +236,9 @@ class BatchScheduler {
   // Mean live rows per stepped tick — the occupancy continuous batching
   // keeps high and static batching lets decay.
   double mean_occupancy() const;
+  // Counter/percentile snapshot (see SchedulerStats).  Allocates (the
+  // percentile sort) — call off the tick path.
+  SchedulerStats stats() const;
   const runtime::DecodeSession& session() const { return session_; }
   // The async admission pool (null in synchronous mode).
   const PrefillPool* prefill_pool() const { return prefill_.get(); }
@@ -158,10 +253,36 @@ class BatchScheduler {
     std::vector<index_t> tokens;  // the request's warm buffer (admission)
     index_t submit_tick = 0;
     index_t admit_tick = 0;
+    Priority priority = Priority::kNormal;
+    index_t deadline_tick = 0;
+    index_t first_token_tick = -1;
+    std::function<void(const StreamEvent&)> on_token;
   };
 
+  // Fixed-capacity sample window: push_back stays inside the reserved
+  // capacity, then the ring overwrites the oldest — record() never
+  // allocates on the tick path.
+  struct SampleRing {
+    std::vector<double> buf;
+    std::size_t next = 0;
+    void record(double v) {
+      if (buf.capacity() == 0) return;
+      if (buf.size() < buf.capacity()) {
+        buf.push_back(v);
+      } else {
+        buf[next] = v;
+        next = (next + 1) % buf.size();
+      }
+    }
+  };
+
+  index_t effective_class(const PrefillJob& job) const;
+  std::deque<PrefillJob>::iterator pick_queued();
+  void expire_deadlines();
+  void pump_pool();
   void admit_sync();
   void admit_async();
+  void resolve_unadmitted(PrefillJob&& job, FinishReason reason);
   void resolve_failed(PrefillJob&& job, std::exception_ptr error);
   void install(index_t row, PrefillJob&& job);
   void retire(index_t row, FinishReason reason);
@@ -170,13 +291,27 @@ class BatchScheduler {
   index_t vocab_ = 0;
   runtime::DecodeSession session_;
 
-  std::deque<PrefillJob> queue_;  // sync mode only
+  // Admission queue, both modes: submit appends (FIFO), admission picks
+  // by effective priority class.  In async mode pump_pool() moves the
+  // best-class jobs into the PrefillPool as staging slots open.
+  std::deque<PrefillJob> queue_;
   std::vector<Slot> slots_;
   std::vector<index_t> feed_;       // next input token per row
   std::vector<index_t> free_rows_;  // stack; lowest row admitted first
   std::vector<RequestResult> completed_;  // reserved for max_batch results
   Tensor prob_scratch_;                // [vocab], sampling CDF scratch
   std::vector<index_t> idx_scratch_;  // [vocab], top-k selection scratch
+
+  // Ids of every unresolved request (queued, in the pool, or live) — the
+  // explicit-id uniqueness check and the cancel() routing table.
+  std::unordered_set<index_t> inflight_ids_;
+  // Cancelled while their prefill was in flight on the pool; resolved
+  // (and erased) when the pool hands the job back.
+  std::unordered_set<index_t> pool_cancelled_;
+
+  std::array<SchedulerClassStats, kPriorityClasses> class_stats_;
+  std::array<SampleRing, kPriorityClasses> queue_wait_ring_;
+  std::array<SampleRing, kPriorityClasses> ttft_ring_;
 
   index_t next_id_ = 0;
   index_t ticks_ = 0;

@@ -454,6 +454,317 @@ TEST(BatchScheduler, SubmitValidatesAtTheEdge) {
   EXPECT_EQ(ok.take_results().size(), 1u);
 }
 
+TEST(BatchScheduler, PriorityClassesControlAdmissionOrder) {
+  // With one batch row occupied, three queued requests must admit
+  // high → normal → low regardless of submission order (aging off so the
+  // classes stay fixed).
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchSchedulerConfig config = scheduler_config(1, 8);
+  config.age_ticks = 0;
+  BatchScheduler scheduler(model, config);
+
+  Request filler;
+  filler.src_ids = random_src_ids(1, 4, 20, 301);
+  filler.max_new_tokens = 4;
+  scheduler.submit(std::move(filler));
+  scheduler.step();  // filler occupies the only row
+
+  std::map<index_t, Priority> expected;
+  for (const Priority p : {Priority::kLow, Priority::kNormal,
+                           Priority::kHigh}) {
+    Request req;
+    req.src_ids = random_src_ids(
+        1, 4, 20, 310 + static_cast<std::uint64_t>(p));
+    req.max_new_tokens = 2;
+    req.priority = p;
+    expected[scheduler.submit(std::move(req))] = p;
+  }
+  scheduler.run();
+
+  std::map<Priority, index_t> admit_tick;
+  for (const RequestResult& r : scheduler.take_results()) {
+    if (expected.count(r.id) == 0) continue;  // the filler
+    EXPECT_EQ(r.priority, expected.at(r.id));
+    admit_tick[r.priority] = r.admit_tick;
+  }
+  ASSERT_EQ(admit_tick.size(), 3u);
+  EXPECT_LT(admit_tick.at(Priority::kHigh),
+            admit_tick.at(Priority::kNormal));
+  EXPECT_LT(admit_tick.at(Priority::kNormal),
+            admit_tick.at(Priority::kLow));
+}
+
+TEST(BatchScheduler, AgingPromotesLowPriorityOverLaterHigh) {
+  // A low-priority request that has waited age_ticks * 2 ticks reaches
+  // effective class 0; FIFO within a class then puts it AHEAD of a
+  // high-priority request submitted later.  With aging disabled the same
+  // schedule admits the high request first — starvation.
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  for (const index_t age_ticks : {1, 0}) {
+    BatchSchedulerConfig config = scheduler_config(1, 8);
+    config.age_ticks = age_ticks;
+    BatchScheduler scheduler(model, config);
+
+    Request filler;
+    filler.src_ids = random_src_ids(1, 4, 20, 321);
+    filler.max_new_tokens = 6;
+    scheduler.submit(std::move(filler));
+    scheduler.step();  // tick 1: filler live
+
+    Request low;
+    low.src_ids = random_src_ids(1, 4, 20, 322);
+    low.max_new_tokens = 2;
+    low.priority = Priority::kLow;
+    const index_t low_id = scheduler.submit(std::move(low));
+    scheduler.step();
+    scheduler.step();  // low has now waited 2 ticks
+
+    Request high;
+    high.src_ids = random_src_ids(1, 4, 20, 323);
+    high.max_new_tokens = 2;
+    high.priority = Priority::kHigh;
+    const index_t high_id = scheduler.submit(std::move(high));
+    scheduler.run();
+
+    std::map<index_t, index_t> admit;
+    for (const RequestResult& r : scheduler.take_results())
+      admit[r.id] = r.admit_tick;
+    if (age_ticks > 0) {
+      EXPECT_LT(admit.at(low_id), admit.at(high_id))
+          << "aged low priority must not starve behind a later high";
+    } else {
+      EXPECT_LT(admit.at(high_id), admit.at(low_id))
+          << "with aging off, class order is absolute";
+    }
+  }
+}
+
+TEST(BatchScheduler, BoundedQueueLoadShedsAtSubmit) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchSchedulerConfig config = scheduler_config(1, 8);
+  config.max_queue = 1;
+  BatchScheduler scheduler(model, config);
+
+  Request first;
+  first.src_ids = random_src_ids(1, 4, 20, 331);
+  first.max_new_tokens = 3;
+  const index_t first_id = scheduler.submit(std::move(first));
+  scheduler.step();  // admit it, emptying the queue
+
+  Request second;
+  second.src_ids = random_src_ids(1, 4, 20, 332);
+  second.max_new_tokens = 3;
+  const index_t second_id = scheduler.submit(std::move(second));
+
+  Request third;  // queue is at max_queue: shed, resolved immediately
+  third.src_ids = random_src_ids(1, 4, 20, 333);
+  third.max_new_tokens = 3;
+  const index_t third_id = scheduler.submit(std::move(third));
+  EXPECT_EQ(scheduler.results_ready(), 1);
+  auto shed = scheduler.take_results();
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].id, third_id);
+  EXPECT_EQ(shed[0].reason, FinishReason::kShed);
+  EXPECT_TRUE(shed[0].tokens.empty());
+  EXPECT_NE(shed[0].error.find("max_queue"), std::string::npos);
+
+  // Shedding never throws: while the queue is still full (a tick has not
+  // admitted `second` yet), another submit sheds the same way.
+  Request overflow;
+  overflow.src_ids = random_src_ids(1, 4, 20, 334);
+  overflow.max_new_tokens = 3;
+  const index_t overflow_id = scheduler.submit(std::move(overflow));
+  auto shed_again = scheduler.take_results();
+  ASSERT_EQ(shed_again.size(), 1u);
+  EXPECT_EQ(shed_again[0].id, overflow_id);
+  EXPECT_EQ(shed_again[0].reason, FinishReason::kShed);
+  scheduler.run();
+  auto rest = scheduler.take_results();
+  std::vector<index_t> ids;
+  for (const RequestResult& r : rest) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::count(ids.begin(), ids.end(), first_id) == 1);
+  EXPECT_TRUE(std::count(ids.begin(), ids.end(), second_id) == 1);
+
+  const SchedulerStats stats = scheduler.stats();
+  const auto& normal =
+      stats.per_class[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.shed, 2);
+  EXPECT_EQ(normal.completed, 2);
+}
+
+TEST(BatchScheduler, ExplicitIdsMustBeUniqueAmongInFlight) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 8));
+
+  Request a;
+  a.src_ids = random_src_ids(1, 4, 20, 341);
+  a.max_new_tokens = 2;
+  a.id = 7;
+  EXPECT_EQ(scheduler.submit(std::move(a)), 7);
+
+  Request dup;  // same id while 7 is unresolved: rejected at the edge
+  dup.src_ids = random_src_ids(1, 4, 20, 342);
+  dup.max_new_tokens = 2;
+  dup.id = 7;
+  EXPECT_THROW(scheduler.submit(std::move(dup)), std::runtime_error);
+
+  Request negative;
+  negative.src_ids = random_src_ids(1, 4, 20, 343);
+  negative.id = -5;
+  EXPECT_THROW(scheduler.submit(std::move(negative)), std::runtime_error);
+
+  // Auto-assignment skips ids claimed explicitly.
+  Request zero;
+  zero.src_ids = random_src_ids(1, 4, 20, 344);
+  zero.max_new_tokens = 2;
+  zero.id = 0;
+  EXPECT_EQ(scheduler.submit(std::move(zero)), 0);
+
+  // While 0 is still in flight, auto-assignment must skip it.
+  Request barely;
+  barely.src_ids = random_src_ids(1, 4, 20, 345);
+  barely.max_new_tokens = 2;
+  EXPECT_NE(scheduler.submit(std::move(barely)), 0)
+      << "auto ids must skip explicitly claimed in-flight ones";
+  scheduler.run();
+  EXPECT_EQ(scheduler.take_results().size(), 3u);
+
+  // A RESOLVED id may be reused.
+  Request again;
+  again.src_ids = random_src_ids(1, 4, 20, 346);
+  again.max_new_tokens = 2;
+  again.id = 7;
+  EXPECT_EQ(scheduler.submit(std::move(again)), 7);
+  scheduler.run();
+  EXPECT_EQ(scheduler.take_results().size(), 1u);
+}
+
+TEST(BatchScheduler, StreamingCallbacksMatchTheResultExactly) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 10));
+
+  std::vector<StreamEvent> events;
+  Request streamed;
+  streamed.src_ids = random_src_ids(1, 4, 20, 351);
+  streamed.max_new_tokens = 5;
+  streamed.on_token = [&](const StreamEvent& e) { events.push_back(e); };
+  const index_t id = scheduler.submit(std::move(streamed));
+  scheduler.run();
+
+  auto results = scheduler.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  const RequestResult& r = results[0];
+  ASSERT_EQ(events.size(), r.tokens.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, id);
+    EXPECT_EQ(events[i].token, r.tokens[i]) << "stream diverged at " << i;
+    EXPECT_EQ(events[i].index, static_cast<index_t>(i));
+    if (i > 0) EXPECT_GT(events[i].tick, events[i - 1].tick);
+  }
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().tick, r.first_token_tick)
+      << "TTFT must be the first streamed tick";
+  EXPECT_GT(r.first_token_tick, r.submit_tick);
+}
+
+TEST(BatchScheduler, EosIsNeverStreamedAndEmptyResultHasNoTtft) {
+  // A request whose very first greedy pick is eos produces zero stream
+  // events and first_token_tick == -1 (no token ever existed).
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  const Tensor probe_src = random_src_ids(1, 5, 20, 352);
+  const auto probe =
+      model.greedy_decode_reference(probe_src, {}, kBos, kEos, 12);
+  ASSERT_FALSE(probe[0].empty());
+  BatchSchedulerConfig config = scheduler_config(1, 12);
+  config.eos = probe[0][0];
+  BatchScheduler scheduler(model, config);
+
+  index_t calls = 0;
+  Request req;
+  req.src_ids = probe_src;
+  req.on_token = [&](const StreamEvent&) { ++calls; };
+  scheduler.submit(std::move(req));
+  scheduler.run();
+  auto results = scheduler.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].reason, FinishReason::kEos);
+  EXPECT_TRUE(results[0].tokens.empty());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(results[0].first_token_tick, -1);
+
+  const SchedulerStats stats = scheduler.stats();
+  const auto& normal =
+      stats.per_class[static_cast<std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(normal.ttft_samples, 0) << "no first token, no TTFT sample";
+  EXPECT_EQ(normal.queue_wait_samples, 1) << "it WAS admitted";
+}
+
+TEST(BatchScheduler, StatsSnapshotTracksClassesAndPercentiles) {
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  {
+    BatchScheduler scheduler(model, scheduler_config(1, 8));
+    // One row: the second request queues behind the first's 3 decode
+    // ticks, so its queue wait is strictly positive.
+    for (int i = 0; i < 2; ++i) {
+      Request req;
+      req.src_ids = random_src_ids(1, 4, 20, 361 + i);
+      req.max_new_tokens = 3;
+      scheduler.submit(std::move(req));
+    }
+    scheduler.run();
+    scheduler.take_results();
+
+    const SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.ticks, scheduler.ticks());
+    EXPECT_GT(stats.stepped_ticks, 0);
+    EXPECT_EQ(stats.total_tokens, scheduler.total_tokens());
+    EXPECT_DOUBLE_EQ(stats.mean_occupancy, scheduler.mean_occupancy());
+    const auto& normal =
+        stats.per_class[static_cast<std::size_t>(Priority::kNormal)];
+    EXPECT_EQ(normal.submitted, 2);
+    EXPECT_EQ(normal.completed, 2);
+    EXPECT_EQ(normal.cancelled + normal.expired + normal.shed +
+                  normal.errored,
+              0);
+    EXPECT_EQ(normal.queue_wait_samples, 2);
+    EXPECT_EQ(normal.ttft_samples, 2);
+    EXPECT_GE(normal.queue_wait_p99, 3.0)
+        << "the queued request waited out the first's full budget";
+    EXPECT_LE(normal.queue_wait_p50, normal.queue_wait_p99);
+    EXPECT_GE(normal.ttft_p50, 1.0);
+    EXPECT_LE(normal.ttft_p50, normal.ttft_p99);
+    for (const Priority other : {Priority::kHigh, Priority::kLow}) {
+      const auto& cls = stats.per_class[static_cast<std::size_t>(other)];
+      EXPECT_EQ(cls.submitted, 0);
+      EXPECT_EQ(cls.queue_wait_samples, 0);
+    }
+  }  // unbind before the next scheduler takes the model
+
+  // stats_window == 0 keeps the counters but disables sampling.
+  BatchSchedulerConfig no_window = scheduler_config(1, 8);
+  no_window.stats_window = 0;
+  BatchScheduler bare(model, no_window);
+  Request req;
+  req.src_ids = random_src_ids(1, 4, 20, 363);
+  req.max_new_tokens = 2;
+  bare.submit(std::move(req));
+  bare.run();
+  const SchedulerStats bare_stats = bare.stats();
+  const auto& bare_normal = bare_stats.per_class[static_cast<
+      std::size_t>(Priority::kNormal)];
+  EXPECT_EQ(bare_normal.completed, 1);
+  EXPECT_EQ(bare_normal.queue_wait_samples, 0);
+  EXPECT_EQ(bare_normal.ttft_samples, 0);
+}
+
 TEST(BatchScheduler, BindsTheDecoderExclusively) {
   Transformer model(tiny_transformer_config());
   model.set_training(false);

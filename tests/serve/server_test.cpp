@@ -1,0 +1,350 @@
+// serve::Server — the multi-shard, multi-threaded front end.
+//
+// The headline contracts: (1) shard-invariance — a request's tokens are
+// bit-identical to its solo decode whichever shard JSQ routes it to,
+// because every shard serves an identically-constructed replica; (2)
+// exactly-once resolution — every submitted id lands in exactly one
+// RequestResult, fuzzed with concurrent submitters, a canceller, and a
+// drainer racing the shard workers' own retirement drains.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "decode_test_util.h"
+
+namespace qdnn::serve {
+namespace {
+
+using models::Transformer;
+using qdnn::testing::random_src_ids;
+using qdnn::testing::tiny_transformer_config;
+
+constexpr index_t kBos = 1, kEos = 2;
+
+ServerConfig server_config(index_t max_batch, index_t max_steps) {
+  ServerConfig config;
+  config.shard.session.max_batch = max_batch;
+  config.shard.session.max_steps = max_steps;
+  config.shard.bos = kBos;
+  config.shard.eos = kEos;
+  return config;
+}
+
+// N identically-constructed replicas: same config (including the init
+// seed), so every shard holds the same weights.
+std::vector<std::unique_ptr<Transformer>> make_replicas(index_t n) {
+  std::vector<std::unique_ptr<Transformer>> replicas;
+  for (index_t i = 0; i < n; ++i) {
+    auto m = std::make_unique<Transformer>(tiny_transformer_config());
+    m->set_training(false);
+    replicas.push_back(std::move(m));
+  }
+  return replicas;
+}
+
+std::vector<Transformer*> raw(
+    const std::vector<std::unique_ptr<Transformer>>& replicas) {
+  std::vector<Transformer*> out;
+  for (const auto& m : replicas) out.push_back(m.get());
+  return out;
+}
+
+struct Case {
+  Tensor src;
+  index_t budget = 0;
+  std::vector<index_t> reference;
+};
+
+std::vector<Case> make_cases(Transformer& model, index_t count,
+                             index_t max_steps, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Case> cases;
+  for (index_t i = 0; i < count; ++i) {
+    Case c;
+    c.src = random_src_ids(1, 3 + rng.uniform_int(3), 20,
+                           seed * 100 + static_cast<std::uint64_t>(i));
+    c.budget = 2 + rng.uniform_int(max_steps - 2);
+    c.reference = model.greedy_decode_reference(c.src, {}, kBos, kEos,
+                                                c.budget)[0];
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(Server, SingleShardMatchesSoloReferences) {
+  auto replicas = make_replicas(1);
+  const auto cases = make_cases(*replicas[0], 6, 10, 7);
+  Server server(raw(replicas), server_config(2, 10));
+  EXPECT_EQ(server.shards(), 1);
+
+  std::map<index_t, std::size_t> id_to_case;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    Request req;
+    req.src_ids = cases[i].src;
+    req.max_new_tokens = cases[i].budget;
+    id_to_case[server.submit(std::move(req))] = i;
+  }
+  server.wait_idle();
+  EXPECT_EQ(server.pending(), 0);
+
+  auto results = server.take_results();
+  ASSERT_EQ(results.size(), cases.size());
+  for (const RequestResult& r : results)
+    EXPECT_EQ(r.tokens, cases[id_to_case.at(r.id)].reference)
+        << "id " << r.id;
+}
+
+TEST(Server, MultiShardStreamsAreBitIdenticalToSolo) {
+  // 4 shards over 4 identically-seeded replicas: whatever shard JSQ
+  // picks, every request's tokens match its solo reference — and the
+  // globally unique ids actually spread over more than one shard.
+  auto replicas = make_replicas(4);
+  const auto cases = make_cases(*replicas[0], 12, 10, 9);
+  Server server(raw(replicas), server_config(2, 10));
+  EXPECT_EQ(server.shards(), 4);
+
+  std::map<index_t, std::size_t> id_to_case;
+  std::set<index_t> shards_used;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    Request req;
+    req.src_ids = cases[i].src;
+    req.max_new_tokens = cases[i].budget;
+    const index_t id = server.submit(std::move(req));
+    EXPECT_EQ(id_to_case.count(id), 0u) << "ids must be globally unique";
+    id_to_case[id] = i;
+    shards_used.insert(id % server.shards());
+  }
+  server.wait_idle();
+
+  auto results = server.take_results();
+  ASSERT_EQ(results.size(), cases.size());
+  for (const RequestResult& r : results) {
+    EXPECT_EQ(r.tokens, cases[id_to_case.at(r.id)].reference)
+        << "id " << r.id << " (shard " << r.id % server.shards() << ")";
+    EXPECT_TRUE(r.reason == FinishReason::kEos ||
+                r.reason == FinishReason::kLength);
+  }
+  EXPECT_GT(shards_used.size(), 1u)
+      << "join-shortest-queue left every request on one shard";
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  index_t submitted = 0;
+  for (const auto& cls : stats.totals.per_class) submitted += cls.submitted;
+  EXPECT_EQ(submitted, static_cast<index_t>(cases.size()));
+}
+
+TEST(Server, OwnsIdAssignment) {
+  auto replicas = make_replicas(1);
+  Server server(raw(replicas), server_config(2, 8));
+  Request req;
+  req.src_ids = random_src_ids(1, 4, 20, 501);
+  req.id = 5;  // the Server assigns globally unique ids itself
+  EXPECT_THROW(server.submit(std::move(req)), std::runtime_error);
+  // A rejected submit leaves nothing behind.
+  EXPECT_EQ(server.pending(), 0);
+  server.wait_idle();
+  EXPECT_TRUE(server.take_results().empty());
+}
+
+TEST(Server, ConstructorValidatesTheReplicaSet) {
+  auto replicas = make_replicas(2);
+  const ServerConfig config = server_config(2, 8);
+
+  EXPECT_THROW(Server({}, config), std::runtime_error) << "no replicas";
+  {
+    std::vector<Transformer*> nulled = raw(replicas);
+    nulled[1] = nullptr;
+    EXPECT_THROW(Server(nulled, config), std::runtime_error);
+  }
+  {
+    std::vector<Transformer*> dup{replicas[0].get(), replicas[0].get()};
+    EXPECT_THROW(Server(dup, config), std::runtime_error)
+        << "one replica cannot back two shards (bind exclusivity)";
+  }
+  {
+    ServerConfig mismatched = config;
+    mismatched.shards = 3;  // != models.size()
+    EXPECT_THROW(Server(raw(replicas), mismatched), std::runtime_error);
+  }
+  {
+    // A replica built from a different init seed has different weights:
+    // shard-invariant outputs would silently break, so it is rejected.
+    models::TransformerConfig other = tiny_transformer_config();
+    other.seed += 1;
+    Transformer drifted(other);
+    std::vector<Transformer*> mixed{replicas[0].get(), &drifted};
+    EXPECT_THROW(Server(mixed, config), std::runtime_error);
+  }
+  // After every rejection the replicas are still unbound and serve.
+  Server ok(raw(replicas), config);
+  Request req;
+  req.src_ids = random_src_ids(1, 4, 20, 502);
+  req.max_new_tokens = 2;
+  ok.submit(std::move(req));
+  ok.wait_idle();
+  EXPECT_EQ(ok.take_results().size(), 1u);
+}
+
+TEST(Server, StreamsTokensFromTheShardWorker) {
+  auto replicas = make_replicas(1);
+  const auto cases = make_cases(*replicas[0], 1, 8, 11);
+  Server server(raw(replicas), server_config(2, 8));
+
+  std::vector<index_t> streamed;
+  Request req;
+  req.src_ids = cases[0].src;
+  req.max_new_tokens = cases[0].budget;
+  req.on_token = [&](const StreamEvent& e) { streamed.push_back(e.token); };
+  const index_t id = server.submit(std::move(req));
+  // wait_idle() synchronizes with the worker's retirement drain, so
+  // reading `streamed` here is race-free.
+  server.wait_idle();
+
+  auto results = server.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, id);
+  EXPECT_EQ(streamed, results[0].tokens);
+  EXPECT_EQ(streamed, cases[0].reference);
+  if (!results[0].tokens.empty())
+    EXPECT_GT(results[0].first_token_tick, results[0].submit_tick);
+}
+
+TEST(Server, ShedsAndCancelsResolveExactlyOnce) {
+  // A burst into one tightly bounded shard: submits outrun the worker's
+  // ticks by orders of magnitude, so most of the burst load-sheds; a few
+  // survivors get cancelled.  Every id must still resolve exactly once.
+  auto replicas = make_replicas(1);
+  ServerConfig config = server_config(1, 8);
+  config.shard.max_queue = 1;
+  Server server(raw(replicas), config);
+
+  std::vector<index_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20,
+                                 520 + static_cast<std::uint64_t>(i));
+    req.max_new_tokens = 6;
+    ids.push_back(server.submit(std::move(req)));
+  }
+  server.cancel(ids[0]);  // whatever state it is in — queued, live, shed
+  server.cancel(ids[1]);
+  server.wait_idle();
+
+  auto results = server.take_results();
+  ASSERT_EQ(results.size(), ids.size());
+  std::set<index_t> seen;
+  index_t sheds = 0;
+  for (const RequestResult& r : results) {
+    EXPECT_TRUE(seen.insert(r.id).second)
+        << "id " << r.id << " resolved twice";
+    if (r.reason == FinishReason::kShed) ++sheds;
+  }
+  for (const index_t id : ids) EXPECT_EQ(seen.count(id), 1u);
+  EXPECT_GT(sheds, 0) << "a 16-submit burst into max_queue=1 must shed";
+  EXPECT_FALSE(server.cancel(ids[0])) << "everything already resolved";
+}
+
+TEST(Server, MultiThreadedFuzzEveryIdResolvesExactlyOnce) {
+  // Satellite (f): two submitter threads, a canceller, and a drainer all
+  // race the shard workers.  Afterwards: every id has exactly one
+  // result; completed streams are bit-exact against the solo reference;
+  // cancelled streams are bit-exact prefixes.
+  auto replicas = make_replicas(2);
+  const index_t max_steps = 10;
+  const auto cases = make_cases(*replicas[0], 8, max_steps, 13);
+  ServerConfig config = server_config(2, max_steps);
+  config.shard.prefill_workers = 1;  // cover the async pool under threads
+  Server server(raw(replicas), config);
+
+  constexpr int kPerSubmitter = 20;
+  std::mutex mu;
+  std::map<index_t, std::size_t> id_to_case;  // guarded by mu
+  std::vector<index_t> ids;                   // guarded by mu
+  std::vector<RequestResult> drained;         // guarded by mu
+  std::atomic<bool> done{false};
+
+  auto submitter = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < kPerSubmitter; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<index_t>(cases.size())));
+      Request req;
+      req.src_ids = cases[pick].src;
+      req.max_new_tokens = cases[pick].budget;
+      req.priority = static_cast<Priority>(rng.uniform_int(3));
+      const index_t id = server.submit(std::move(req));
+      std::lock_guard<std::mutex> lk(mu);
+      id_to_case[id] = pick;
+      ids.push_back(id);
+    }
+  };
+  std::thread submit_a(submitter, 1001);
+  std::thread submit_b(submitter, 2002);
+  std::thread canceller([&] {
+    Rng rng(3003);
+    for (int i = 0; i < 2 * kPerSubmitter; ++i) {
+      index_t target = -1;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!ids.empty())
+          target = ids[static_cast<std::size_t>(rng.uniform_int(
+              static_cast<index_t>(ids.size())))];
+      }
+      if (target >= 0) server.cancel(target);  // may already be resolved
+      std::this_thread::yield();
+    }
+  });
+  std::thread drainer([&] {
+    while (!done.load()) {
+      auto batch = server.take_results();
+      if (!batch.empty()) {
+        std::lock_guard<std::mutex> lk(mu);
+        for (RequestResult& r : batch) drained.push_back(std::move(r));
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  submit_a.join();
+  submit_b.join();
+  canceller.join();
+  server.wait_idle();
+  done.store(true);
+  drainer.join();
+  for (RequestResult& r : server.take_results())
+    drained.push_back(std::move(r));  // whatever the drainer missed
+
+  ASSERT_EQ(drained.size(), static_cast<std::size_t>(2 * kPerSubmitter));
+  std::set<index_t> seen;
+  for (const RequestResult& r : drained) {
+    ASSERT_TRUE(seen.insert(r.id).second)
+        << "id " << r.id << " resolved twice";
+    const auto& reference = cases[id_to_case.at(r.id)].reference;
+    if (r.reason == FinishReason::kEos ||
+        r.reason == FinishReason::kLength) {
+      EXPECT_EQ(r.tokens, reference)
+          << "id " << r.id << ": shard/interleaving changed the stream";
+    } else {
+      ASSERT_EQ(r.reason, FinishReason::kCancelled) << "id " << r.id;
+      ASSERT_LE(r.tokens.size(), reference.size()) << "id " << r.id;
+      EXPECT_TRUE(std::equal(r.tokens.begin(), r.tokens.end(),
+                             reference.begin()))
+          << "id " << r.id << ": not a prefix of the solo decode";
+    }
+  }
+  for (const index_t id : ids) EXPECT_EQ(seen.count(id), 1u);
+  EXPECT_EQ(server.pending(), 0);
+}
+
+}  // namespace
+}  // namespace qdnn::serve
