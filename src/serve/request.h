@@ -107,7 +107,11 @@ struct RequestResult {
   // Batch ticks this request spent decoding (== steps consumed).
   index_t decode_steps = 0;
   index_t submit_tick = 0;  // scheduler tick count at submit()
-  index_t admit_tick = 0;   // tick at admission into a batch row
+  // Tick at admission into a batch row, or -1 if the request never held
+  // one (shed at submit, prefill error, cancelled or expired while
+  // queued / in the pool) — mirrors first_token_tick, so queue wait
+  // (admit_tick - submit_tick) is only computed for admitted requests.
+  index_t admit_tick = -1;
   index_t finish_tick = 0;  // tick at retirement
   // Tick that sampled the request's first token, or -1 if none was
   // (error/shed/eos-first/cancelled-before-decode).  Time-to-first-token

@@ -60,10 +60,13 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
   prob_scratch_ = Tensor{Shape{vocab_}};
   idx_scratch_.resize(static_cast<std::size_t>(vocab_));
   for (index_t c = 0; c < kPriorityClasses; ++c) {
-    queue_wait_ring_[static_cast<std::size_t>(c)].buf.reserve(
-        static_cast<std::size_t>(config_.stats_window));
-    ttft_ring_[static_cast<std::size_t>(c)].buf.reserve(
-        static_cast<std::size_t>(config_.stats_window));
+    const auto window = static_cast<std::size_t>(config_.stats_window);
+    SampleRing& qw = queue_wait_ring_[static_cast<std::size_t>(c)];
+    SampleRing& tt = ttft_ring_[static_cast<std::size_t>(c)];
+    qw.window = window;
+    qw.buf.reserve(window);
+    tt.window = window;
+    tt.buf.reserve(window);
   }
 
   if (config_.prefill_workers > 0) {
@@ -134,8 +137,7 @@ index_t BatchScheduler::submit(Request request) {
     shed.error = "admission queue full (max_queue)";
     shed.priority = request.priority;
     shed.submit_tick = ticks_;
-    shed.admit_tick = ticks_;
-    shed.finish_tick = ticks_;
+    shed.finish_tick = ticks_;  // admit_tick stays -1: never admitted
     completed_.push_back(std::move(shed));
     ++class_stats_[static_cast<std::size_t>(cls)].shed;
     return id;
@@ -193,8 +195,7 @@ void BatchScheduler::resolve_unadmitted(PrefillJob&& job,
   result.reason = reason;
   result.priority = job.request.priority;
   result.submit_tick = job.submit_tick;
-  result.admit_tick = ticks_;
-  result.finish_tick = ticks_;
+  result.finish_tick = ticks_;  // admit_tick stays -1: never admitted
   completed_.push_back(std::move(result));
   inflight_ids_.erase(job.id);
   if (reason == FinishReason::kCancelled)
@@ -332,8 +333,7 @@ void BatchScheduler::resolve_failed(PrefillJob&& job,
     failed.error = "unknown prefill error";
   }
   failed.submit_tick = job.submit_tick;
-  failed.admit_tick = ticks_;
-  failed.finish_tick = ticks_;
+  failed.finish_tick = ticks_;  // admit_tick stays -1: never admitted
   completed_.push_back(std::move(failed));
   inflight_ids_.erase(failed.id);
   ++class_stats_[cls].errored;

@@ -261,17 +261,20 @@ class BatchScheduler {
 
   // Fixed-capacity sample window: push_back stays inside the reserved
   // capacity, then the ring overwrites the oldest — record() never
-  // allocates on the tick path.
+  // allocates on the tick path.  The bound is the configured window, NOT
+  // buf.capacity(): reserve() may round up, and the window must stay
+  // exactly config.stats_window.
   struct SampleRing {
     std::vector<double> buf;
+    std::size_t window = 0;  // configured sample bound
     std::size_t next = 0;
     void record(double v) {
-      if (buf.capacity() == 0) return;
-      if (buf.size() < buf.capacity()) {
+      if (window == 0) return;
+      if (buf.size() < window) {
         buf.push_back(v);
       } else {
         buf[next] = v;
-        next = (next + 1) % buf.size();
+        next = (next + 1) % window;
       }
     }
   };

@@ -92,14 +92,28 @@ void Server::drain_locked(Shard& shard) {
   idle_cv_.notify_all();
 }
 
-void Server::shard_loop(Shard& shard) {
+std::unique_lock<std::mutex> Server::lock_front(const Shard& shard) {
+  shard.waiters.fetch_add(1);
   std::unique_lock<std::mutex> lk(shard.mu);
+  shard.waiters.fetch_sub(1);
+  return lk;
+}
+
+void Server::shard_loop(Shard& shard) {
+  // The lock is scoped to ONE tick: acquired at the top of each
+  // iteration, released at the bottom.  A busy shard therefore yields
+  // shard.mu between steps, so submit / cancel / take_results / stats
+  // interleave at tick granularity — an arrival joins the running batch
+  // on the next tick (continuous batching survives the front end) and a
+  // mid-decode cancel takes effect at the next tick boundary instead of
+  // blocking until the shard drains.
   for (;;) {
-    shard.cv.wait(lk, [&] {
-      return stop_.load() || !shard.scheduler->idle();
-    });
-    if (stop_.load()) return;
-    while (!stop_.load() && !shard.scheduler->idle()) {
+    {
+      std::unique_lock<std::mutex> lk(shard.mu);
+      shard.cv.wait(lk, [&] {
+        return stop_.load() || !shard.scheduler->idle();
+      });
+      if (stop_.load()) return;
       const index_t stepped = shard.scheduler->step();
       drain_locked(shard);
       if (stepped == 0 && !shard.scheduler->idle()) {
@@ -109,6 +123,13 @@ void Server::shard_loop(Shard& shard) {
         shard.cv.wait_for(lk, std::chrono::microseconds(200));
       }
     }
+    // Releasing the mutex does not hand it over: this loop would win the
+    // re-lock against a woken waiter essentially every time (barging),
+    // which is the busy-period lockout again in practice.  So between
+    // ticks the worker yields until every registered front-end caller
+    // (lock_front) has gotten through.
+    while (shard.waiters.load() > 0 && !stop_.load())
+      std::this_thread::yield();
   }
 }
 
@@ -134,7 +155,7 @@ index_t Server::submit(Request request) {
   const index_t id = next_seq_.fetch_add(1) * shards() + best;
   request.id = id;
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto lk = lock_front(shard);
     shard.scheduler->submit(std::move(request));  // throws = nothing taken
     shard.outstanding.fetch_add(1);
     {
@@ -155,7 +176,7 @@ bool Server::cancel(index_t id) {
   Shard& shard = *shards_[static_cast<std::size_t>(id % shards())];
   bool hit;
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto lk = lock_front(shard);
     hit = shard.scheduler->cancel(id);
     // A queued or mid-decode cancel resolves immediately — mailbox it
     // under the same lock hold.  (A cancel caught mid-prefill resolves
@@ -170,7 +191,7 @@ std::vector<RequestResult> Server::take_results() {
   std::vector<RequestResult> out;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto lk = lock_front(shard);
     drain_locked(shard);
     for (RequestResult& r : shard.mailbox) out.push_back(std::move(r));
     shard.mailbox.clear();
@@ -189,7 +210,7 @@ ServerStats Server::stats() const {
   double occupancy_weighted = 0.0;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lk(shard.mu);
+    const auto lk = lock_front(shard);
     s.per_shard.push_back(shard.scheduler->stats());
   }
   for (const SchedulerStats& ps : s.per_shard) {

@@ -33,7 +33,12 @@
 //
 // Thread-safety contract: submit / cancel / take_results / stats /
 // wait_idle are safe from any thread, concurrently with each other and
-// with the shard workers.  Retired results land in a per-shard mailbox
+// with the shard workers.  A worker holds its shard's lock only for the
+// duration of ONE scheduler tick and releases it between ticks, so
+// front-end calls on a busy shard wait at most one batch step — an
+// arrival admits into the running batch and a cancel lands at the next
+// tick boundary, never after the whole busy period drains.  Retired
+// results land in a per-shard mailbox
 // drained under that shard's lock (never racing worker-thread
 // retirement); every submitted id resolves into exactly one result
 // (fuzzed multi-threaded in tests/serve/server_test.cpp).  Request
@@ -119,8 +124,17 @@ class Server {
     std::condition_variable cv;       // work signal for the worker
     std::vector<RequestResult> mailbox;
     std::atomic<index_t> outstanding{0};  // JSQ load, lock-free reads
+    // Front-end calls currently blocked on mu.  The worker re-locks
+    // every tick and would otherwise barge past them indefinitely; it
+    // yields between ticks while this is nonzero (see shard_loop).
+    mutable std::atomic<index_t> waiters{0};
     std::thread worker;
   };
+
+  // Acquires shard.mu for a front-end call, registering the caller in
+  // shard.waiters first so a busy worker hands the lock over at the
+  // next tick boundary instead of barging.
+  static std::unique_lock<std::mutex> lock_front(const Shard& shard);
 
   void shard_loop(Shard& shard);
   // Moves freshly retired results from the shard's scheduler into its

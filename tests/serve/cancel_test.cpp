@@ -60,6 +60,8 @@ TEST(Cancel, WhileQueuedResolvesImmediatelyWithEmptyTokens) {
   EXPECT_EQ(cancelled[0].id, victim_id);
   EXPECT_EQ(cancelled[0].reason, FinishReason::kCancelled);
   EXPECT_TRUE(cancelled[0].tokens.empty());
+  EXPECT_EQ(cancelled[0].admit_tick, -1)
+      << "never-admitted results keep the admit_tick sentinel";
 
   EXPECT_FALSE(scheduler.cancel(victim_id)) << "double-cancel is a no-op";
   scheduler.run();
@@ -96,6 +98,7 @@ TEST(Cancel, MidFlightReturnsDecodedPrefixAndFreesTheRow) {
                          results[0].tokens.end(), reference.begin()))
       << "a cancelled stream is a bit-exact prefix of the solo decode";
   EXPECT_EQ(results[0].decode_steps, 3);
+  EXPECT_GE(results[0].admit_tick, 0) << "it held a row, so it admitted";
   EXPECT_FALSE(scheduler.cancel(id));
 
   // The freed row serves the next request normally.

@@ -570,6 +570,8 @@ TEST(BatchScheduler, BoundedQueueLoadShedsAtSubmit) {
   EXPECT_EQ(shed[0].reason, FinishReason::kShed);
   EXPECT_TRUE(shed[0].tokens.empty());
   EXPECT_NE(shed[0].error.find("max_queue"), std::string::npos);
+  EXPECT_EQ(shed[0].admit_tick, -1)
+      << "a shed request never admitted — admit_tick keeps the sentinel";
 
   // Shedding never throws: while the queue is still full (a tick has not
   // admitted `second` yet), another submit sheds the same way.
@@ -749,20 +751,42 @@ TEST(BatchScheduler, StatsSnapshotTracksClassesAndPercentiles) {
   }  // unbind before the next scheduler takes the model
 
   // stats_window == 0 keeps the counters but disables sampling.
-  BatchSchedulerConfig no_window = scheduler_config(1, 8);
-  no_window.stats_window = 0;
-  BatchScheduler bare(model, no_window);
-  Request req;
-  req.src_ids = random_src_ids(1, 4, 20, 363);
-  req.max_new_tokens = 2;
-  bare.submit(std::move(req));
-  bare.run();
-  const SchedulerStats bare_stats = bare.stats();
-  const auto& bare_normal = bare_stats.per_class[static_cast<
+  {
+    BatchSchedulerConfig no_window = scheduler_config(1, 8);
+    no_window.stats_window = 0;
+    BatchScheduler bare(model, no_window);
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20, 363);
+    req.max_new_tokens = 2;
+    bare.submit(std::move(req));
+    bare.run();
+    const SchedulerStats bare_stats = bare.stats();
+    const auto& bare_normal = bare_stats.per_class[static_cast<
+        std::size_t>(Priority::kNormal)];
+    EXPECT_EQ(bare_normal.completed, 1);
+    EXPECT_EQ(bare_normal.queue_wait_samples, 0);
+    EXPECT_EQ(bare_normal.ttft_samples, 0);
+  }
+
+  // The sample window is EXACTLY stats_window, not whatever
+  // vector::reserve rounded the ring's capacity up to.
+  BatchSchedulerConfig tight = scheduler_config(1, 8);
+  tight.stats_window = 1;
+  BatchScheduler windowed(model, tight);
+  for (int i = 0; i < 3; ++i) {
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20, 365 + i);
+    req.max_new_tokens = 2;
+    windowed.submit(std::move(req));
+    windowed.run();
+  }
+  const SchedulerStats tight_stats = windowed.stats();
+  const auto& tight_normal = tight_stats.per_class[static_cast<
       std::size_t>(Priority::kNormal)];
-  EXPECT_EQ(bare_normal.completed, 1);
-  EXPECT_EQ(bare_normal.queue_wait_samples, 0);
-  EXPECT_EQ(bare_normal.ttft_samples, 0);
+  EXPECT_EQ(tight_normal.completed, 3);
+  EXPECT_EQ(tight_normal.queue_wait_samples, 1)
+      << "the ring must hold stats_window samples, no more";
+  EXPECT_EQ(tight_normal.ttft_samples, 1);
 }
 
 TEST(BatchScheduler, BindsTheDecoderExclusively) {

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -252,6 +253,56 @@ TEST(Server, ShedsAndCancelsResolveExactlyOnce) {
   for (const index_t id : ids) EXPECT_EQ(seen.count(id), 1u);
   EXPECT_GT(sheds, 0) << "a 16-submit burst into max_queue=1 must shed";
   EXPECT_FALSE(server.cancel(ids[0])) << "everything already resolved";
+}
+
+TEST(Server, CancelLandsMidDecodeOnABusyShard) {
+  // Regression: the shard worker must release the shard lock between
+  // ticks.  Holding it across the whole busy period made cancel() block
+  // until the request resolved on its own (and then return false) and
+  // kept arrivals out of the running batch.  Here a long decode is
+  // cancelled right after its first streamed token: the cancel must land
+  // mid-flight, cutting the stream short with kCancelled.
+  auto replicas = make_replicas(1);
+  const index_t budget = 12;  // the tiny model's max_len caps max_steps
+  // Pick a source whose solo greedy decode runs long (no early eos), so
+  // the cancel has many ticks of runway before natural retirement.
+  Tensor src;
+  std::size_t solo_len = 0;
+  for (std::uint64_t seed = 600; seed < 700 && solo_len < 12; ++seed) {
+    Tensor candidate = random_src_ids(1, 5, 20, seed);
+    const auto ref = replicas[0]->greedy_decode_reference(
+        candidate, {}, kBos, kEos, budget)[0];
+    if (ref.size() > solo_len) {
+      solo_len = ref.size();
+      src = std::move(candidate);
+    }
+  }
+  ASSERT_GE(solo_len, 8u) << "no long-running decode found";
+
+  Server server(raw(replicas), server_config(1, budget));
+  std::atomic<index_t> tokens_seen{0};
+  Request req;
+  req.src_ids = std::move(src);
+  req.max_new_tokens = static_cast<index_t>(solo_len);
+  req.on_token = [&](const StreamEvent&) {
+    tokens_seen.fetch_add(1);
+    // The tiny model decodes a token in under a microsecond — faster
+    // than this thread can wake and call cancel().  Stretch each tick so
+    // the cancel provably lands inside the busy period.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  const index_t id = server.submit(std::move(req));
+  while (tokens_seen.load() == 0) std::this_thread::yield();
+  EXPECT_TRUE(server.cancel(id))
+      << "cancel() must interleave with a busy shard, not wait for it";
+  server.wait_idle();
+
+  auto results = server.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, id);
+  EXPECT_EQ(results[0].reason, FinishReason::kCancelled);
+  EXPECT_LT(results[0].tokens.size(), solo_len)
+      << "the stream ran to completion — the cancel never interleaved";
 }
 
 TEST(Server, MultiThreadedFuzzEveryIdResolvesExactlyOnce) {
