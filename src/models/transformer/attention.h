@@ -69,6 +69,18 @@ class MultiHeadAttention : public nn::Module {
   bool supports_forward_into() const override;
   void forward_into(const ConstTensorView& input, const TensorView& output,
                     Workspace& ws) override;
+
+  // Key-padding-masked native self-attention on [N, T, D].
+  // kv_lengths[s] = number of valid (non-pad) key positions for sample s,
+  // each in [1, T] (null: all T valid).  Masked tails score -1e30 →
+  // exact-zero softmax weights, so each row is bit-identical to the
+  // training forward() on the same ragged batch.  Runs entirely from `ws`
+  // (never touches the training caches), so concurrent calls against one
+  // module are safe.  forward_into delegates here with kv_lengths = null.
+  void self_forward_into(const ConstTensorView& input,
+                         const TensorView& output,
+                         const index_t* kv_lengths, Workspace& ws);
+
   void freeze() override;
   void unfreeze() override;
 

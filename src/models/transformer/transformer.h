@@ -58,6 +58,21 @@ class EncoderLayer : public nn::Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad) override;
   Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
+  // Key-padding-masked native block on [N, T, D] — the monolithic twin of
+  // the flatten_into stage plan plus per-sample masking: masked self-attn
+  // (+res, LN), FFN (+res, LN), same operation order as the training
+  // forward (dropout is identity in eval mode), bit-identical to it on
+  // the same ragged batch.  lengths[s] ∈ [1, T] counts sample s's valid
+  // source positions (null: all T valid).  All scratch comes from `ws`
+  // and no member state is written, so concurrent calls are safe.
+  void forward_masked_into(const ConstTensorView& input,
+                           const TensorView& output, const index_t* lengths,
+                           Workspace& ws);
+
   void flatten_into(std::vector<nn::PipelineStage>& stages) override;
   void freeze() override;
   void unfreeze() override;
@@ -242,6 +257,25 @@ class TransformerEncoder : public nn::Module {
   Tensor forward(const Tensor& src_ids) override;  // [N, T] → [N, T, D]
   Tensor backward(const Tensor& grad_output) override;  // checked error
   Shape output_shape(const Shape& input_shape) const override;
+  bool supports_forward_into() const override;
+  void forward_into(const ConstTensorView& input, const TensorView& output,
+                    Workspace& ws) override;
+
+  // Masked native encoder pass: src ids [N, T] → encoder output
+  // [N, T, D], entirely through forward_into stages (embed →
+  // scale+positional → masked block per layer) against the caller's
+  // workspace — no Tensor allocations, no module caches, no shared
+  // mutable state, so concurrent calls against one Transformer are safe
+  // (each caller brings its own `ws`).  src_lengths[s] ∈ [1, T] counts
+  // sample s's valid source positions (null: all T valid); masked key
+  // tails get exact-zero softmax weights, making the result bit-identical
+  // to Transformer::encode on the same ragged batch.  Never resets `ws`
+  // (the caller owns reset points), so the whole pass stacks in one
+  // workspace frame — warm the workspace once at the maximum shape and
+  // every later call is zero-alloc.
+  void encode_into(const ConstTensorView& src_ids, const TensorView& output,
+                   const index_t* src_lengths, Workspace& ws);
+
   void flatten_into(std::vector<nn::PipelineStage>& stages) override;
   void freeze() override;
   void unfreeze() override;

@@ -8,7 +8,7 @@ namespace qdnn::runtime {
 
 DecodeSession::DecodeSession(models::Transformer& model,
                              DecodeSessionConfig config)
-    : model_(&model), config_(config) {
+    : model_(&model), config_(config), encoder_(model) {
   const models::TransformerConfig& mc = model_->config();
   // Validate the full ring geometry here, with messages naming the
   // config field — not via QDNN_DCHECKs deep inside the attention
@@ -274,29 +274,30 @@ void DecodeSession::prime(const Tensor& src_ids,
              "DecodeSession: src_lengths holds "
                  << src_lengths.size() << " entries for batch " << n);
   for (std::size_t i = 0; i < src_lengths.size(); ++i)
-    QDNN_CHECK(src_lengths[i] >= 1 && src_lengths[i] <= ts,
+    QDNN_CHECK(src_lengths[i] >= 0 && src_lengths[i] <= ts,
                "DecodeSession: src_lengths[" << i << "] = "
                                              << src_lengths[i]
-                                             << " outside [1, " << ts
-                                             << "]");
+                                             << " outside [0, " << ts
+                                             << "] (0 = all valid)");
 
-  // The exact training-path encoder, so ragged sources mask identically
-  // to greedy_decode_reference.  Locked like prime_compute's encode: a
-  // caller-driven batch prime must not interleave with a prefill worker
-  // (bind exclusivity already guarantees no OTHER session can reach this
-  // model's encoder).
-  Tensor enc_out;
-  {
-    std::lock_guard<std::mutex> lock(encode_mu_);
-    enc_out = model_->encode(src_ids, src_lengths);
-  }
+  // Row by row through the masked native encoder — the same kernels and
+  // per-row masking as prime_row/prime_compute, so all three admission
+  // paths stay bit-identical (and bit-identical to the training-path
+  // encoder, hence to greedy_decode_reference).
+  init_staging(solo_staging_);
   if (n != bound_n_) bind_views(n);
   for (index_t r = 0; r < n; ++r) {
     const auto ri = static_cast<std::size_t>(r);
-    src_lengths_[ri] = src_lengths.empty() ? ts : src_lengths[ri];
+    const index_t len =
+        src_lengths.empty() || src_lengths[ri] == 0 ? ts : src_lengths[ri];
+    const ConstTensorView enc =
+        encode_source(src_ids.data() + r * ts, ts, len, solo_staging_);
+    src_lengths_[ri] = len;
     row_steps_[ri] = 0;
     parked_[ri] = 0;
-    project_cross_row(r, enc_out.data() + r * ts * d_model_, ts);
+    // project_cross_row scratches from the session arena (ws_), not the
+    // staging frame holding `enc`, so the view stays valid throughout.
+    project_cross_row(r, enc.data(), ts);
   }
   primed_ = true;
 }
@@ -317,8 +318,37 @@ void DecodeSession::prime_row(index_t row, const Tensor& src_ids,
 void DecodeSession::init_staging(PrefillStaging& staging) const {
   const index_t floats =
       model_->num_decoder_layers() * max_src_ * proj_dim_;
-  if (staging.k.numel() != floats) staging.k = Tensor{Shape{floats}};
-  if (staging.v.numel() != floats) staging.v = Tensor{Shape{floats}};
+  const bool fresh = staging.k.numel() != floats;
+  if (fresh) {
+    staging.k = Tensor{Shape{floats}};
+    staging.v = Tensor{Shape{floats}};
+  }
+  if (fresh && config_.warmup) {
+    // One dummy prefill at the deepest geometry discovers the slot's
+    // workspace watermark (encoder activations + projection scratch), so
+    // every later prime_compute through the slot is zero-alloc.  Rewind
+    // the slot afterwards: committing it before a real prefill must still
+    // be the "empty staging" error.
+    Tensor ids{Shape{max_src_}};  // zero-filled: token id 0
+    prime_compute(ids, /*src_length=*/0, staging);
+    staging.ts = 0;
+    staging.len = 0;
+    staging.ws.reset();
+    staging.ws.consolidate();
+  }
+}
+
+ConstTensorView DecodeSession::encode_source(const float* ids, index_t ts,
+                                             index_t len,
+                                             PrefillStaging& staging) const {
+  // One workspace frame for the whole prefill: the reset here is the
+  // slot's only reset point, so the encoder activations and everything
+  // the caller stacks after them (the cross projections) coexist.
+  staging.ws.reset();
+  const ConstTensorView ids_view(Shape{1, ts}, ids);
+  const TensorView enc = staging.ws.take(Shape{1, ts, d_model_});
+  encoder_.encode_into(ids_view, enc, &len, staging.ws);
+  return ConstTensorView(Shape{ts, d_model_}, enc.data());
 }
 
 void DecodeSession::prime_compute(const Tensor& src_ids,
@@ -342,20 +372,14 @@ void DecodeSession::prime_compute(const Tensor& src_ids,
              "init_staging first");
   const index_t len = src_length > 0 ? src_length : ts;
 
-  // The training-path encoder honors ragged lengths but caches per-module
-  // activations, so concurrent encodes must not interleave; the cross
-  // projections below are stateless native kernels and run unserialized.
-  // Only the rank-1 form needs a reshaped copy; [1, Ts] encodes as-is.
-  Tensor enc_out;
-  {
-    std::lock_guard<std::mutex> lock(encode_mu_);
-    enc_out = src_ids.rank() == 2
-                  ? model_->encode(src_ids, {len})
-                  : model_->encode(src_ids.reshaped(Shape{1, ts}), {len});
-  }
-  const ConstTensorView enc_view(Shape{ts, d_model_}, enc_out.data());
+  // Masked native encoder + cross projections, all from staging.ws —
+  // stateless kernels over frozen weights, so concurrent calls (each
+  // with a private staging) never touch shared mutable state.  The
+  // projections stack in the same frame as the encoder activation:
+  // encode_source owns the slot's single reset point.
+  const ConstTensorView enc_view = encode_source(src_ids.data(), ts, len,
+                                                 staging);
   for (index_t l = 0; l < layers; ++l) {
-    staging.ws.reset();
     const index_t offset = l * max_src_ * proj_dim_;
     model_->decoder_layer(l).cross_attention().project_kv(
         enc_view, 1, ts,

@@ -12,10 +12,12 @@
 //     frozen — constant GEMM operands prepacked, training caches dropped;
 //     a warm-up step at the deepest ring position discovers the workspace
 //     watermark, which is then consolidated into one contiguous block.
-//   * prime(src): runs the encoder (the exact training path, so ragged
-//     src_lengths are honored), projects each layer's cross-attention K/V
-//     once into the encoder-side caches, and rewinds the step counters.
-//     Priming allocates (the encoder pass); it is the per-request setup.
+//   * prime(src): runs the masked native encoder
+//     (TransformerEncoder::encode_into — ragged src_lengths mask key
+//     tails to exact-zero softmax weights, bit-identical to the training
+//     path), projects each layer's cross-attention K/V once into the
+//     encoder-side caches, and rewinds the step counters.  The per-request
+//     setup; zero-alloc once the solo staging slot is warm.
 //   * prime_row(row, src)/reset_row(row): the per-row face of the same
 //     lifecycle, for continuous batching (serve::BatchScheduler).  Every
 //     row carries its own step counter, source length and cache slices,
@@ -26,17 +28,19 @@
 //     serving only that request.
 //   * prime_compute(src, staging)/commit_row(row, staging): prime_row
 //     split at the prefill/decode boundary.  prime_compute is the
-//     expensive half — the encoder pass plus every layer's cross-K/V
-//     projection, written into a caller-owned PrefillStaging — and
-//     mutates NO session state, so serve::PrefillPool runs it on worker
-//     threads concurrently with step() on the serving thread (concurrent
-//     prime_compute calls serialize the encoder pass internally: the
-//     training-path encoder mutates per-module caches).  commit_row is
-//     the cheap half: copy the staged K/V into the row's cache slices and
-//     rewind the row — O(K/V copy), zero heap allocations, serving-thread
-//     only.  prime_row(row, src) ≡ prime_compute + commit_row (it is
-//     implemented that way), so sync and async admission are
-//     bit-identical by construction.
+//     expensive half — the masked native encoder pass plus every layer's
+//     cross-K/V projection, all written into / scratched from the
+//     caller-owned PrefillStaging — and touches NO session or model
+//     mutable state (stateless kernels reading frozen weights), so
+//     serve::PrefillPool workers run it fully concurrently with each
+//     other and with step()/commit_row on the serving thread: no mutex,
+//     no serialization, and zero heap allocations once the staging slot
+//     is warm (init_staging warms it).  commit_row is the cheap half:
+//     copy the staged K/V into the row's cache slices and rewind the row
+//     — O(K/V copy), zero heap allocations, serving-thread only.
+//     prime_row(row, src) ≡ prime_compute + commit_row (it is implemented
+//     that way), so sync and async admission are bit-identical by
+//     construction.
 //   * step()/generate(): every step embeds ONE new token per row
 //     (position = step, so causal masking is implicit in the self-attention
 //     cache length), runs all decoder stages, projects logits and takes
@@ -60,11 +64,15 @@
 // destroyed — call Transformer::unfreeze() (or freeze() again) after any
 // weight update, as with every frozen module.
 //
-// Thread-safety: prime/step/generate are synchronous and not reentrant;
+// Thread-safety: prime/step/generate are synchronous and not reentrant —
 // drive one session per serving thread or serialize callers.
+// prime_compute is the exception: it is safe from any number of threads
+// concurrently (each caller brings its own PrefillStaging), because the
+// whole prefill runs through stateless native kernels that only READ the
+// model.  Do not mutate the model (training, freeze/unfreeze, weight
+// updates) while prefill workers are live.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "core/workspace.h"
@@ -76,9 +84,13 @@ namespace qdnn::runtime {
 // for one request, computed off the serving thread by prime_compute and
 // copied into a batch row by commit_row.  Sized by
 // DecodeSession::init_staging (layers × max_src × proj_dim floats per
-// tensor, layer-major); the workspace holds the projection scratch so a
-// worker never touches the session's own arena.  A staging slot is
-// reusable: each prime_compute overwrites the previous request.
+// tensor, layer-major); the workspace is the worker's private arena for
+// the WHOLE prefill — encoder activations and projection scratch — so a
+// worker never touches the session's own arena or any other worker's.
+// Ownership contract: one thread drives a slot at a time (PrefillPool
+// checks slots out exclusively); the slot is reusable — each
+// prime_compute overwrites the previous request — and after init_staging
+// warms it, a prefill at any geometry up to max_src is zero-alloc.
 struct PrefillStaging {
   Tensor k, v;     // [layers · max_src · P], layer-major slices
   index_t ts = 0;  // source rows projected ([1, max_src])
@@ -105,7 +117,8 @@ struct DecodeSessionConfig {
   bool freeze = true;
   // Run one dummy step at the deepest ring position at construction so
   // the workspace watermark is discovered (and consolidated) before the
-  // first real request.
+  // first real request.  Also gates init_staging's dummy prefill, which
+  // warms each staging slot's workspace the same way.
   bool warmup = true;
 };
 
@@ -120,34 +133,43 @@ class DecodeSession {
   // Encodes src_ids [n, Ts] (n ≤ max_batch, Ts ≤ the configured max_src,
   // which defaults to the model's max_len), projects the encoder-side K/V
   // of every decoder layer, and rewinds every row's step counter.
-  // Allocates (the encoder pass); per-request setup.
+  // src_lengths[i] ∈ [0, Ts] counts row i's valid positions, 0 (or an
+  // empty vector) meaning "all Ts valid" — the same sentinel as
+  // prime_row/prime_compute.  Per-request setup; the first call warms the
+  // session's solo staging slot, later calls are zero-alloc.
   void prime(const Tensor& src_ids, const std::vector<index_t>& src_lengths);
 
   // Continuous-batching admission: encodes ONE source ([Ts] or [1, Ts]
-  // ids, src_length valid positions, 0 = all Ts) into row `row`'s
-  // encoder-side caches and rewinds that row's step counter — no other
-  // row's caches, counters or in-flight decode are touched.  The first
-  // prime_row (re)binds the session to the full max_batch width; batch
-  // prime() and prime_row() may be interleaved, but prime() resets every
-  // row.  Allocates (the encoder pass).
+  // ids, src_length ∈ [0, Ts] valid positions, 0 = all Ts) into row
+  // `row`'s encoder-side caches and rewinds that row's step counter — no
+  // other row's caches, counters or in-flight decode are touched.  The
+  // first prime_row (re)binds the session to the full max_batch width;
+  // batch prime() and prime_row() may be interleaved, but prime() resets
+  // every row.  Zero-alloc once the solo staging slot is warm.
   void prime_row(index_t row, const Tensor& src_ids, index_t src_length);
 
   // Sizes `staging` for this session's geometry (layers × max_src ×
-  // proj_dim per tensor).  Idempotent; allocates (staging setup).
+  // proj_dim per tensor) and — unless config.warmup is off — warms its
+  // workspace with one dummy prefill at the deepest geometry, so every
+  // later prime_compute through the slot is zero-alloc.  The slot is left
+  // rewound (committing it before a real prime_compute still errors).
+  // Idempotent; allocates only on first use.
   void init_staging(PrefillStaging& staging) const;
 
-  // The thread-safe compute half of prime_row: encodes ONE source ([Ts]
-  // or [1, Ts] ids, src_length valid positions, 0 = all Ts) and projects
-  // every layer's cross-attention K/V into `staging` — no session state
-  // is touched, so this may run on a prefill worker thread concurrently
-  // with step()/commit_row on the serving thread.  Concurrent
-  // prime_compute/prime calls through THIS session are safe with each
-  // other (the encoder pass is serialized on the session mutex; the
-  // projections overlap), and bind exclusivity guarantees no other
-  // session can reach this model's encoder — but the borrowed model
-  // itself must not be driven directly (encode/forward_train/
-  // greedy_decode_reference) from another thread while prefill workers
-  // are live.  Allocates (the encoder pass).
+  // The lock-free compute half of prime_row: encodes ONE source ([Ts] or
+  // [1, Ts] ids, src_length ∈ [0, Ts] valid positions, 0 = all Ts)
+  // through the masked native encoder and projects every layer's
+  // cross-attention K/V into `staging`.  The whole pass — embed,
+  // positional scale, masked attention, FFN, LayerNorm, projections —
+  // runs via stateless forward_into kernels from staging.ws, reading
+  // frozen weights and writing nothing shared: no session or model state
+  // is touched, so any number of prime_compute calls run fully
+  // concurrently with each other and with step()/commit_row on the
+  // serving thread (race-checked under ThreadSanitizer in CI), and the
+  // result is bit-identical to the training-path encoder on the same
+  // ragged source.  Zero heap allocations once `staging` is warm.  Do
+  // not mutate the model (training, freeze/unfreeze, weight updates)
+  // while prefill workers are live.
   void prime_compute(const Tensor& src_ids, index_t src_length,
                      PrefillStaging& staging) const;
 
@@ -207,6 +229,13 @@ class DecodeSession {
  private:
   void bind_views(index_t n);
   void unbind_all();
+  // Runs the masked native encoder over one source ([ts] ids at `ids`,
+  // `len` valid positions) inside `staging.ws` — resetting the slot's
+  // workspace first, so the returned [ts, D] view and everything a caller
+  // stacks after it (the cross projections) live in one frame.  The only
+  // writes are to `staging`; safe from any thread with a private slot.
+  ConstTensorView encode_source(const float* ids, index_t ts, index_t len,
+                                PrefillStaging& staging) const;
   void project_cross_row(index_t row, const float* enc_row, index_t ts);
   void run_step(const std::vector<index_t>& tokens);
 
@@ -246,11 +275,13 @@ class DecodeSession {
   std::vector<char> parked_;
 
   Workspace ws_;
-  // Serializes the training-path encoder inside prime_compute (its
-  // forward caches are per-module); the projections run unserialized.
-  mutable std::mutex encode_mu_;
-  // Lazily-initialized staging for the synchronous prime_row face, so
-  // prime_row and commit_row share one code path.
+  // The masked native encoder facade prime/prime_compute run through —
+  // stateless (all scratch comes from the caller's staging workspace),
+  // so no mutex guards it.  mutable: prime_compute is const and the
+  // facade holds no mutable state of its own.
+  mutable models::TransformerEncoder encoder_;
+  // Lazily-initialized staging for the synchronous prime/prime_row face,
+  // so all three admission paths share one code path.
   PrefillStaging solo_staging_;
   index_t bound_n_ = 0;
   bool primed_ = false;

@@ -13,11 +13,15 @@
 //   * Worker threads — the same persistent mutex/condvar pool idiom as
 //     runtime::InferenceSession's batch sharding — pop jobs, claim a
 //     preallocated runtime::PrefillStaging slot, and run the expensive
-//     half, DecodeSession::prime_compute: the encoder pass plus every
-//     layer's cross-K/V projection, written into the staging slot.
-//     prime_compute mutates no session state and serializes the encoder
-//     pass internally, so workers run concurrently with the serving
-//     thread's step()/commit_row and with each other.
+//     half, DecodeSession::prime_compute: the masked native encoder pass
+//     plus every layer's cross-K/V projection, all computed from and
+//     written into the worker's exclusively-held staging slot.
+//     prime_compute touches no session or model mutable state (stateless
+//     kernels over frozen weights), so N workers scale the prefill
+//     throughput across N cores — no mutex, no serialization — while the
+//     serving thread's step()/commit_row runs undisturbed.  Each slot's
+//     workspace is warmed at pool construction (init_staging), so
+//     steady-state prefill is zero-alloc end to end.
 //   * The serving thread drains finished prefills each tick (try_take,
 //     completion order), commits the staged K/V into a free batch row
 //     (DecodeSession::commit_row — O(K/V copy), zero heap allocations)

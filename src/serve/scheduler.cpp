@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace qdnn::serve {
 
@@ -68,6 +69,10 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
     tt.window = window;
     tt.buf.reserve(window);
   }
+  latency_ring_.window = static_cast<std::size_t>(config_.stats_window);
+  latency_ring_.buf.reserve(latency_ring_.window);
+  tick_ring_.window = static_cast<std::size_t>(config_.stats_window);
+  tick_ring_.buf.reserve(tick_ring_.window);
 
   if (config_.prefill_workers > 0) {
     const index_t slots = config_.prefill_slots > 0
@@ -399,6 +404,7 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   result.admit_tick = slot.admit_tick;
   result.finish_tick = ticks_;
   result.first_token_tick = slot.first_token_tick;
+  latency_ring_.record(static_cast<double>(ticks_ - slot.submit_tick));
   completed_.push_back(std::move(result));
   inflight_ids_.erase(slot.id);
   switch (reason) {
@@ -435,6 +441,7 @@ index_t BatchScheduler::step() {
   }
 
   const index_t stepped = live_rows_;
+  const auto tick_start = std::chrono::steady_clock::now();
   const std::vector<index_t>& greedy = session_.step(feed_);
   const ConstTensorView& logits = session_.logits();
   ++ticks_;
@@ -480,6 +487,15 @@ index_t BatchScheduler::step() {
     if (static_cast<index_t>(slot.tokens.size()) >= slot.budget)
       retire(row, FinishReason::kLength);
   }
+  // Sample the stepped tick's wall time (batch step + sampling +
+  // retirement): the per-shard jitter signal ServerStats rolls up.
+  const double tick_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - tick_start)
+          .count();
+  tick_ms_sum_ += tick_ms;
+  ++tick_ms_count_;
+  tick_ring_.record(tick_ms);
   return stepped;
 }
 
@@ -530,6 +546,14 @@ SchedulerStats BatchScheduler::stats() const {
   s.stepped_ticks = stepped_ticks_;
   s.total_tokens = total_tokens_;
   s.mean_occupancy = mean_occupancy();
+  s.latency_samples = static_cast<index_t>(latency_ring_.buf.size());
+  s.latency_p50 = ring_percentile(latency_ring_.buf, 0.50);
+  s.latency_p99 = ring_percentile(latency_ring_.buf, 0.99);
+  s.tick_samples = static_cast<index_t>(tick_ring_.buf.size());
+  s.tick_mean_ms = tick_ms_count_ == 0
+                       ? 0.0
+                       : tick_ms_sum_ / static_cast<double>(tick_ms_count_);
+  s.tick_p99_ms = ring_percentile(tick_ring_.buf, 0.99);
   for (std::size_t c = 0; c < static_cast<std::size_t>(kPriorityClasses);
        ++c) {
     SchedulerClassStats cls = class_stats_[c];

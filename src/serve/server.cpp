@@ -213,12 +213,23 @@ ServerStats Server::stats() const {
     const auto lk = lock_front(shard);
     s.per_shard.push_back(shard.scheduler->stats());
   }
+  double tick_ms_weighted = 0.0;
   for (const SchedulerStats& ps : s.per_shard) {
     s.totals.ticks += ps.ticks;
     s.totals.stepped_ticks += ps.stepped_ticks;
     s.totals.total_tokens += ps.total_tokens;
     occupancy_weighted +=
         ps.mean_occupancy * static_cast<double>(ps.stepped_ticks);
+    // Latency/tick percentiles roll up as worst-shard (the conservative
+    // tail — per-shard tick clocks advance independently); the tick-time
+    // mean is stepped-tick weighted like occupancy.
+    s.totals.latency_samples += ps.latency_samples;
+    s.totals.latency_p50 = std::max(s.totals.latency_p50, ps.latency_p50);
+    s.totals.latency_p99 = std::max(s.totals.latency_p99, ps.latency_p99);
+    s.totals.tick_samples += ps.tick_samples;
+    tick_ms_weighted +=
+        ps.tick_mean_ms * static_cast<double>(ps.stepped_ticks);
+    s.totals.tick_p99_ms = std::max(s.totals.tick_p99_ms, ps.tick_p99_ms);
     for (std::size_t c = 0;
          c < static_cast<std::size_t>(kPriorityClasses); ++c) {
       SchedulerClassStats& tot = s.totals.per_class[c];
@@ -241,6 +252,10 @@ ServerStats Server::stats() const {
       s.totals.stepped_ticks > 0
           ? occupancy_weighted /
                 static_cast<double>(s.totals.stepped_ticks)
+          : 0.0;
+  s.totals.tick_mean_ms =
+      s.totals.stepped_ticks > 0
+          ? tick_ms_weighted / static_cast<double>(s.totals.stepped_ticks)
           : 0.0;
   return s;
 }

@@ -68,11 +68,12 @@ struct ServerConfig {
   index_t shards = 0;
 };
 
-// Per-shard scheduler snapshots plus a cross-shard roll-up: counters are
-// summed, mean_occupancy is stepped-tick weighted, and the percentile
-// fields report the WORST shard (a conservative tail; per-shard tick
-// clocks advance independently, so mixing their samples would be
-// meaningless).
+// Per-shard scheduler snapshots plus a cross-shard roll-up: counters and
+// sample counts are summed, mean_occupancy and tick_mean_ms are
+// stepped-tick weighted, and every percentile field (queue wait, TTFT,
+// latency, tick p99) reports the WORST shard — a conservative tail;
+// per-shard tick clocks advance independently, so mixing their samples
+// would be meaningless.
 struct ServerStats {
   std::vector<SchedulerStats> per_shard;
   SchedulerStats totals;

@@ -190,6 +190,61 @@ TEST(ServingPipeline, TransformerEncoderProposedProjectionsMatch) {
   expect_encoder_pipeline_matches(NeuronSpec::proposed(3), 37);
 }
 
+TEST(ServingPipeline, MaskedNativeEncoderMatchesTrainingPath) {
+  // The serving prefill path (TransformerEncoder::encode_into — the
+  // allocation-free masked pipeline DecodeSession::prime_compute runs)
+  // must be bit-identical to Transformer::encode on the same RAGGED
+  // batch, for both projection families: key-padding masks give padded
+  // tails exact-zero softmax weights, so raggedness never leaks across
+  // samples.
+  for (const bool quadratic : {false, true}) {
+    Transformer model(small_config(quadratic ? NeuronSpec::proposed(3)
+                                             : NeuronSpec::linear()));
+    model.set_training(false);
+    const index_t n = 3, t = 7, d = model.config().d_model;
+    const Tensor ids = random_ids(n, t, model.config().src_vocab,
+                                  quadratic ? 53 : 47);
+    const std::vector<index_t> lengths{t, 3, 1};  // full, ragged, minimal
+    const Tensor ref =
+        model.encode(ids, lengths).reshaped(Shape{n, t, d});
+
+    TransformerEncoder encoder(model);
+    ASSERT_TRUE(encoder.supports_forward_into());
+    Workspace ws;
+    Tensor out{Shape{n, t, d}};
+    encoder.encode_into(ConstTensorView(ids), TensorView(out),
+                        lengths.data(), ws);
+    EXPECT_EQ(view_max_abs_diff(ConstTensorView(out), ConstTensorView(ref)),
+              0.0f)
+        << (quadratic ? "proposed" : "linear");
+
+    // Warm-then-steady contract: after one pass at this shape (and a
+    // reset + consolidate), a second pass grows the arena by nothing and
+    // reproduces the same bytes.
+    ws.reset();
+    ws.consolidate();
+    const index_t warm_capacity = ws.capacity();
+    Tensor again{Shape{n, t, d}};
+    encoder.encode_into(ConstTensorView(ids), TensorView(again),
+                        lengths.data(), ws);
+    EXPECT_EQ(ws.capacity(), warm_capacity)
+        << "steady-state encode_into allocated";
+    EXPECT_EQ(view_max_abs_diff(ConstTensorView(again), ConstTensorView(ref)),
+              0.0f);
+
+    // A null lengths pointer means every position is valid — the dense
+    // case must match the training path with no lengths too.
+    const Tensor dense_ref = model.encode(ids, {}).reshaped(Shape{n, t, d});
+    ws.reset();
+    Tensor dense{Shape{n, t, d}};
+    encoder.encode_into(ConstTensorView(ids), TensorView(dense), nullptr,
+                        ws);
+    EXPECT_EQ(
+        view_max_abs_diff(ConstTensorView(dense), ConstTensorView(dense_ref)),
+        0.0f);
+  }
+}
+
 TEST(ServingPipeline, TransformerEncoderShardsBitIdentically) {
   Transformer model(small_config(NeuronSpec::linear()));
   model.set_training(false);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <thread>
 #include <vector>
@@ -137,6 +138,109 @@ TEST(PrefillPool, AsyncAdmissionBitIdenticalToSyncForFuzzedTraces) {
                 sync.at(idx).reason == FinishReason::kEos)
           << "request " << idx;
     }
+  }
+}
+
+TEST(PrefillPool, ConcurrentPrimeComputeBitIdenticalToSequential) {
+  // The lock-free contract head on: N threads hammering prime_compute on
+  // ONE session — each with a private warmed staging slot, claiming
+  // ragged sources off a shared counter — must stage exactly the bytes a
+  // sequential pass stages, and the committed rows must decode exactly
+  // the solo reference streams.  Any shared mutable state in the encoder
+  // path (the old per-module training caches) shows up here as a flaky
+  // byte diff; under TSan (CI) it shows up as a reported race.
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  runtime::DecodeSessionConfig sc;
+  sc.max_batch = 2;
+  sc.max_steps = 6;
+  runtime::DecodeSession session(model, sc);
+
+  constexpr index_t kThreads = 4;
+  constexpr index_t kRequests = 12;
+  struct Source {
+    Tensor ids;
+    index_t ts, len;
+    std::vector<index_t> reference;
+  };
+  Rng rng(91);
+  std::vector<Source> sources;
+  for (index_t i = 0; i < kRequests; ++i) {
+    Source s;
+    s.ts = 3 + rng.uniform_int(4);     // 3..6
+    s.len = 1 + rng.uniform_int(s.ts); // 1..ts (ragged)
+    s.ids = random_src_ids(1, s.ts, 20, 400 + static_cast<std::uint64_t>(i));
+    s.reference = model.greedy_decode_reference(s.ids, {s.len}, kBos, kEos,
+                                                sc.max_steps)[0];
+    // Untrained tiny model: no eos inside the budget, so generate() below
+    // emits exactly max_steps tokens to compare against.
+    EXPECT_EQ(s.reference.size(), static_cast<std::size_t>(sc.max_steps));
+    sources.push_back(std::move(s));
+  }
+
+  // Only the first ts rows of each layer's staged slice are meaningful
+  // (the tail holds whatever the warm-up left behind).
+  const index_t layers = model.config().n_layers;
+  const index_t proj = model.config().proj_dim;
+  const index_t max_src = session.max_src();
+  const auto valid_bytes = [&](const runtime::PrefillStaging& st,
+                               index_t ts) {
+    std::vector<float> out;
+    for (index_t l = 0; l < layers; ++l) {
+      const index_t off = l * max_src * proj;
+      out.insert(out.end(), st.k.data() + off, st.k.data() + off + ts * proj);
+      out.insert(out.end(), st.v.data() + off, st.v.data() + off + ts * proj);
+    }
+    return out;
+  };
+
+  runtime::PrefillStaging seq;
+  session.init_staging(seq);
+  std::vector<std::vector<float>> baseline;
+  for (const Source& s : sources) {
+    session.prime_compute(s.ids, s.len, seq);
+    baseline.push_back(valid_bytes(seq, s.ts));
+  }
+
+  std::atomic<index_t> next{0};
+  std::atomic<index_t> first_mismatch{-1};
+  std::vector<std::thread> threads;
+  for (index_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      runtime::PrefillStaging mine;
+      session.init_staging(mine);
+      for (;;) {
+        const index_t i = next.fetch_add(1);
+        if (i >= kRequests) break;
+        const Source& s = sources[static_cast<std::size_t>(i)];
+        session.prime_compute(s.ids, s.len, mine);
+        if (valid_bytes(mine, s.ts) != baseline[static_cast<std::size_t>(i)]) {
+          index_t expected = -1;
+          first_mismatch.compare_exchange_strong(expected, i);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(first_mismatch.load(), -1)
+      << "concurrent prime_compute staged different bytes than sequential "
+         "for request "
+      << first_mismatch.load();
+
+  // The staged results commit and decode bit-identically to the solo
+  // references, two rows at a time.
+  for (index_t i = 0; i + 1 < kRequests; i += 2) {
+    for (index_t r = 0; r < 2; ++r) {
+      const Source& s = sources[static_cast<std::size_t>(i + r)];
+      session.prime_compute(s.ids, s.len, seq);
+      session.commit_row(r, seq);
+    }
+    const auto streams = session.generate(kBos, kEos);
+    for (index_t r = 0; r < 2; ++r)
+      EXPECT_EQ(streams[static_cast<std::size_t>(r)],
+                sources[static_cast<std::size_t>(i + r)].reference)
+          << "committed row " << r << " of pair " << i
+          << " diverged from its solo decode";
   }
 }
 
