@@ -8,6 +8,8 @@
 #include "core/rng.h"
 #include "linalg/eig.h"
 #include "linalg/gemm.h"
+#include "linalg/gemm_backend.h"
+#include "linalg/packed_weights.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -43,6 +45,47 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Gemm backend section: the three serving shapes every decode tick is
+// built from, prepacked (the frozen-session path), per dispatch backend.
+// Arg0 picks the shape, Arg1 the backend (GemmBackend enum value);
+// combinations the build/CPU can't run are skipped.
+void BM_GemmBackend(benchmark::State& state) {
+  struct ServeShape {
+    const char* name;
+    index_t m, n, k;
+  };
+  // decode step [batch x P][P x P]; prefill [N*T x D][D x D]; logit
+  // projection [batch x vocab] — dims from bench/serve_bench's model.
+  static constexpr ServeShape kShapes[] = {
+      {"decode", 8, 48, 48},
+      {"prefill", 224, 48, 48},
+      {"logits", 8, 256, 48},
+  };
+  const ServeShape& s = kShapes[state.range(0)];
+  const auto backend = static_cast<linalg::GemmBackend>(state.range(1));
+  if (!linalg::gemm_backend_supported(backend)) {
+    state.SkipWithError("backend not supported on this build/CPU");
+    return;
+  }
+  const linalg::GemmBackend prev = linalg::active_gemm_backend();
+  linalg::set_gemm_backend(backend);
+  const Tensor a = random_tensor(Shape{s.m, s.k}, 1);
+  const Tensor b = random_tensor(Shape{s.k, s.n}, 2);
+  linalg::PackedWeights pw;
+  pw.pack(false, s.k, s.n, b.data(), s.n);
+  Tensor c{Shape{s.m, s.n}};
+  for (auto _ : state) {
+    linalg::gemm_prepacked(false, s.m, s.n, s.k, 1.0f, a.data(), s.k, pw,
+                           0.0f, c.data(), s.n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.n * s.k);
+  state.SetLabel(std::string(s.name) + "/" +
+                 linalg::gemm_backend_name(backend));
+  linalg::set_gemm_backend(prev);
+}
+BENCHMARK(BM_GemmBackend)->ArgsProduct({{0, 1, 2}, {0, 1, 2}});
 
 void BM_Eigh(benchmark::State& state) {
   const index_t n = state.range(0);

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "linalg/gemm_backend.h"
+#include "linalg/gemm_kernels.h"
 #include "linalg/packed_weights.h"
 
 namespace qdnn::linalg {
@@ -16,32 +18,6 @@ void scale_c(index_t m, index_t n, float beta, float* c, index_t ldc) {
   } else if (beta != 1.0f) {
     for (index_t i = 0; i < m; ++i)
       for (index_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
-  }
-}
-
-// Blocked kernel for the no-transpose case: C += alpha * A(m,k) * B(k,n).
-// ikj ordering keeps B rows streaming and lets the compiler vectorize the
-// inner j loop.
-void gemm_nn(index_t m, index_t n, index_t k, float alpha, const float* a,
-             index_t lda, const float* b, index_t ldb, float* c,
-             index_t ldc) {
-  constexpr index_t kBlockI = 64;
-  constexpr index_t kBlockK = 256;
-  for (index_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const index_t i1 = std::min(i0 + kBlockI, m);
-    for (index_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const index_t p1 = std::min(p0 + kBlockK, k);
-      for (index_t i = i0; i < i1; ++i) {
-        float* ci = c + i * ldc;
-        const float* ai = a + i * lda;
-        for (index_t p = p0; p < p1; ++p) {
-          const float av = alpha * ai[p];
-          if (av == 0.0f) continue;
-          const float* bp = b + p * ldb;
-          for (index_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-        }
-      }
-    }
   }
 }
 
@@ -61,15 +37,10 @@ void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
   scale_c(m, n, beta, c, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  if (!trans_a && !trans_b) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-
   // For transposed operands, materialize the effective row-major matrix
-  // once into `scratch` and reuse the fast kernel.  The packs are small
-  // relative to the O(mnk) work and keep a single well-optimized inner
-  // loop.
+  // once into `scratch` and reuse the selected backend's row-major
+  // kernel.  The packs are small relative to the O(mnk) work and keep a
+  // single well-optimized inner kernel per backend.
   const float* aa = a;
   index_t alda = lda;
   if (trans_a) {
@@ -89,12 +60,14 @@ void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
     bb = pack;
     bldb = n;
   }
-  gemm_nn(m, n, k, alpha, aa, alda, bb, bldb, c, ldc);
+  detail::run_gemm(active_gemm_backend(), m, n, k, alpha, aa, alda,
+                   detail::BDesc{bb, bldb, /*panel=*/false}, c, ldc);
 }
 
 void gemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
           float alpha, const float* a, index_t lda, const float* b,
           index_t ldb, float beta, float* c, index_t ldc) {
+  detail::note_heap_pack_call();
   std::vector<float> scratch(static_cast<std::size_t>(
       (m == 0 || n == 0 || k == 0 || alpha == 0.0f)
           ? 0
@@ -129,7 +102,15 @@ void gemm_prepacked(bool trans_a, index_t m, index_t n, index_t k,
     aa = pack;
     alda = k;
   }
-  gemm_nn(m, n, k, alpha, aa, alda, b.data(), n, c, ldc);
+  // Dispatch on the backend that laid the pack out, not the globally
+  // active one: the pack bytes and the kernel that streams them are one
+  // unit (a backend switched after freeze still consumes old packs
+  // correctly; re-freeze migrates them).
+  detail::run_gemm(
+      b.backend(), m, n, k, alpha, aa, alda,
+      detail::BDesc{b.data(), n,
+                    /*panel=*/b.layout() == PackLayout::kTilePanel},
+      c, ldc);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -177,27 +158,42 @@ void gemv(bool trans_a, index_t m, index_t n, float alpha, const float* a,
     for (index_t i = 0; i < m; ++i) {
       const float xv = alpha * x[i];
       if (xv == 0.0f) continue;
-      const float* ai = a + i * lda;
-      for (index_t j = 0; j < n; ++j) y[j] += xv * ai[j];
+      axpy(n, xv, a + i * lda, y);
     }
   }
 }
 
 float dot(const float* a, const float* b, index_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  index_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
+  switch (active_gemm_backend()) {
+#if defined(QDNN_SIMD_AVX2)
+    case GemmBackend::kAvx2:
+      return detail::dot_avx2(a, b, n);
+#endif
+#if defined(QDNN_SIMD_NEON)
+    case GemmBackend::kNeon:
+      return detail::dot_neon(a, b, n);
+#endif
+    default:
+      return detail::dot_generic(a, b, n);
   }
-  for (; i < n; ++i) acc0 += a[i] * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 void axpy(index_t n, float alpha, const float* x, float* y) {
-  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  switch (active_gemm_backend()) {
+#if defined(QDNN_SIMD_AVX2)
+    case GemmBackend::kAvx2:
+      detail::axpy_avx2(n, alpha, x, y);
+      return;
+#endif
+#if defined(QDNN_SIMD_NEON)
+    case GemmBackend::kNeon:
+      detail::axpy_neon(n, alpha, x, y);
+      return;
+#endif
+    default:
+      detail::axpy_generic(n, alpha, x, y);
+      return;
+  }
 }
 
 }  // namespace qdnn::linalg

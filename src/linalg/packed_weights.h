@@ -1,5 +1,5 @@
 // PackedWeights: a constant GEMM operand materialized once, at freeze
-// time, in the exact row-major layout the gemm kernel streams.
+// time, in the exact layout the selected gemm backend streams.
 //
 // The serving hot path of every dense layer is C = A · op(B) where B is a
 // constant weight matrix.  gemm() handles transposed operands by packing
@@ -9,24 +9,38 @@
 // block directly: zero per-request packing, bit-identical results, and a
 // smaller workspace watermark (asserted by tests/runtime/session_test.cpp
 // and tests/linalg/gemm_prepacked_test.cpp).
+//
+// The layout tracks the backend active at pack time:
+//   * generic — plain row-major [k, n] (the layout the blocked scalar
+//     kernel streams), exactly as the per-call pack would produce;
+//   * SIMD (avx2/neon) — tile-panel: ceil(n/16) panels of k x 16 floats,
+//     tail panel zero-padded, so each microkernel step reads one
+//     contiguous 16-float panel row with zero per-call repacking.
+// Each pack carries the backend that laid it out; gemm_prepacked
+// dispatches on that tag, so a pack made under one backend stays
+// consumable even if the active backend is later overridden (re-freeze
+// migrates packs to the new layout).
 #pragma once
 
 #include <vector>
 
 #include "core/tensor.h"
+#include "linalg/gemm_backend.h"
 
 namespace qdnn::linalg {
+
+enum class PackLayout { kRowMajor, kTilePanel };
 
 class PackedWeights {
  public:
   PackedWeights() = default;
 
-  // Materializes op(src) as a contiguous row-major [k, n] block:
+  // Materializes op(src) in the active backend's layout:
   //   trans == false: src is [k, n] with leading dimension `ld` (>= n);
   //   trans == true:  src is [n, k] with leading dimension `ld` (>= k),
   //                   and the pack holds its transpose.
   // Re-packing an already-packed object replaces the previous pack (the
-  // freeze-after-weight-update path).
+  // freeze-after-weight-update path) and re-reads the active backend.
   void pack(bool trans, index_t k, index_t n, const float* src, index_t ld);
 
   // Drops the pack and returns the object to the empty state (unfreeze).
@@ -36,21 +50,30 @@ class PackedWeights {
   // op(B) dimensions: rows() = k (reduction), cols() = n (output).
   index_t rows() const { return k_; }
   index_t cols() const { return n_; }
-  // The packed block, row-major [k, n] with leading dimension n.
+  PackLayout layout() const { return layout_; }
+  // The backend whose kernel streams this pack's layout.
+  GemmBackend backend() const { return backend_; }
+  // The packed block.  kRowMajor: row-major [k, n] with leading
+  // dimension n.  kTilePanel: ceil(n/16) panels of k*16 floats each
+  // (element (p, j) of panel jp at data()[jp*k*16 + p*16 + j]); either
+  // way data()[0] is op(B)(0, 0).
   const float* data() const { return data_.data(); }
   index_t size_floats() const { return static_cast<index_t>(data_.size()); }
 
  private:
   index_t k_ = 0, n_ = 0;
   bool packed_ = false;
+  PackLayout layout_ = PackLayout::kRowMajor;
+  GemmBackend backend_ = GemmBackend::kGeneric;
   std::vector<float> data_;
 };
 
 // C(m,n) = alpha * op(A) * B + beta * C, where `b` holds op(B) packed by
 // PackedWeights::pack.  Bit-identical to the corresponding
-// gemm(trans_a, trans_b, ...) call on the source operand: the inner kernel
-// consumes the same row-major bytes, packed at freeze time instead of per
-// call.  `scratch` is needed only when trans_a
+// gemm(trans_a, trans_b, ...) call on the source operand whenever the
+// active backend matches the pack's: the kernel consumes the same
+// operand values in the same per-row FMA order, packed at freeze time
+// instead of per call.  `scratch` is needed only when trans_a
 // (gemm_scratch_floats(trans_a, false, m, n, k) floats); pass nullptr
 // otherwise.
 void gemm_prepacked(bool trans_a, index_t m, index_t n, index_t k,

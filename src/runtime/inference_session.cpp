@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "linalg/gemm_backend.h"
+
 namespace qdnn::runtime {
 
 InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
@@ -87,6 +89,10 @@ InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
 InferenceSession::~InferenceSession() { shutdown_workers(); }
 
 void InferenceSession::worker_loop(int shard_index) {
+  // Shard workers already saturate the batch dimension; nesting the
+  // row-sharded gemm pool under them would oversubscribe cores and
+  // perturb the N-shard-vs-solo bit-identity ordering guarantees.
+  linalg::GemmSerialScope serial_gemm;
   std::uint64_t seen = 0;
   for (;;) {
     const float* input = nullptr;

@@ -1,5 +1,7 @@
 #include "serve/prefill.h"
 
+#include "linalg/gemm_backend.h"
+
 namespace qdnn::serve {
 
 PrefillPool::PrefillPool(runtime::DecodeSession& session, index_t workers,
@@ -27,6 +29,10 @@ PrefillPool::~PrefillPool() {
 }
 
 void PrefillPool::worker_loop() {
+  // Prefill workers are the parallelism at this layer — keep the
+  // row-sharded gemm pool out of their inner gemms (oversubscription
+  // plus the async-vs-sync bit-identity contract).
+  linalg::GemmSerialScope serial_gemm;
   for (;;) {
     PrefillJob job;
     index_t slot = -1;

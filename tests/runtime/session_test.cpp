@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "decode_test_util.h"
+#include "linalg/gemm_backend.h"
 #include "models/resnet.h"
 #include "models/transformer/transformer.h"
 #include "runtime/decode_session.h"
@@ -303,11 +304,15 @@ TEST(InferenceSession, ZeroHeapAllocationsInSteadyState) {
   session.run(x);
 
   const long long before = g_live_allocs.load();
+  const long long packs_before = linalg::gemm_heap_pack_calls();
   for (int i = 0; i < 10; ++i) session.run(x);
   const long long after = g_live_allocs.load();
   EXPECT_EQ(after - before, 0)
       << "steady-state run() performed " << (after - before)
       << " heap allocations";
+  // No steady-state path may fall back to the scratch-allocating gemm
+  // convenience overload.
+  EXPECT_EQ(linalg::gemm_heap_pack_calls(), packs_before);
 }
 
 TEST(InferenceSession, WorkspaceWatermarkIsStableAcrossRuns) {
@@ -439,11 +444,15 @@ TEST(DecodeSession, FrozenStepZeroHeapAllocationsInSteadyState) {
   feed = session.step(feed);
 
   const long long before = g_live_allocs.load();
+  const long long packs_before = linalg::gemm_heap_pack_calls();
   for (int i = 0; i < 8; ++i) feed = session.step(feed);
   const long long after = g_live_allocs.load();
   EXPECT_EQ(after - before, 0)
       << "steady-state step() performed " << (after - before)
       << " heap allocations";
+  // Decode steps must route every gemm through prepacked weights or
+  // caller-provided scratch — never the allocating overload.
+  EXPECT_EQ(linalg::gemm_heap_pack_calls(), packs_before);
 }
 
 TEST(DecodeSession, FreezeShrinksDecodeWatermarkBitIdentically) {
