@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "linalg/gemm_kernels.h"
+#include "obs/metrics.h"
 
 namespace qdnn::linalg {
 
@@ -39,8 +40,15 @@ constexpr int kMaxGemmThreads = 64;
 std::atomic<int> g_backend{-1};  // -1 = unresolved
 std::atomic<int> g_threads{1};
 std::atomic<long long> g_min_work{2'000'000};
-std::atomic<long long> g_heap_pack_calls{0};
-std::atomic<long long> g_threaded_dispatches{0};
+// Introspection counters live in the global metrics registry so they
+// export alongside the serving instruments.  Registered eagerly at
+// static init (global() is a Meyers singleton, so order is safe): no
+// first-use registration can allocate inside a counted steady-state
+// loop, and the per-call record stays one relaxed fetch_add.
+obs::Counter& g_heap_pack_calls =
+    obs::MetricsRegistry::global().counter("gemm.heap_pack_calls");
+obs::Counter& g_threaded_dispatches =
+    obs::MetricsRegistry::global().counter("gemm.threaded_dispatches");
 thread_local int t_serial_depth = 0;
 
 bool cpu_has_avx2_fma() {
@@ -323,19 +331,15 @@ void set_gemm_thread_min_work(long long flops) {
 GemmSerialScope::GemmSerialScope() { ++t_serial_depth; }
 GemmSerialScope::~GemmSerialScope() { --t_serial_depth; }
 
-long long gemm_heap_pack_calls() {
-  return g_heap_pack_calls.load(std::memory_order_relaxed);
-}
+long long gemm_heap_pack_calls() { return g_heap_pack_calls.value(); }
 
 long long gemm_threaded_dispatches() {
-  return g_threaded_dispatches.load(std::memory_order_relaxed);
+  return g_threaded_dispatches.value();
 }
 
 namespace detail {
 
-void note_heap_pack_call() {
-  g_heap_pack_calls.fetch_add(1, std::memory_order_relaxed);
-}
+void note_heap_pack_call() { g_heap_pack_calls.inc(); }
 
 void run_gemm(GemmBackend backend, index_t m, index_t n, index_t k,
               float alpha, const float* a, index_t lda, const BDesc& b,
@@ -347,7 +351,7 @@ void run_gemm(GemmBackend backend, index_t m, index_t n, index_t k,
         static_cast<int>(std::min<index_t>(threads, m));
     GemmJob job{backend, m, n, k, alpha, a, lda, b, c, ldc};
     if (parts > 1 && GemmPool::instance().try_run(job, parts)) {
-      g_threaded_dispatches.fetch_add(1, std::memory_order_relaxed);
+      g_threaded_dispatches.inc();
       return;
     }
   }

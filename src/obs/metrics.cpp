@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "core/check.h"
+
+namespace qdnn::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  bool segment_start = true;
+  for (char c : name) {
+    if (c == '.') {
+      if (segment_start) return false;  // empty segment
+      segment_start = true;
+      continue;
+    }
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (segment_start && !alpha && c != '_') return false;
+    if (!alpha && !digit && c != '_') return false;
+    segment_start = false;
+  }
+  return !segment_start;  // no trailing dot
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  // Metric names are validated identifiers, so this only has to survive
+  // the characters valid_metric_name admits — no escapes needed, but keep
+  // the seam explicit for future label support.
+  return s;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<long long> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    QDNN_CHECK(bounds_[i - 1] < bounds_[i],
+               "histogram bounds must be strictly increasing: bounds["
+                   << (i - 1) << "]=" << bounds_[i - 1] << " vs bounds[" << i
+                   << "]=" << bounds_[i]);
+  }
+}
+
+void MetricsRegistry::claim_name(const std::string& name, Kind kind) {
+  QDNN_CHECK(valid_metric_name(name),
+             "invalid metric name '"
+                 << name
+                 << "': want dot-separated [A-Za-z_][A-Za-z0-9_]* segments");
+  auto it = kinds_.find(name);
+  if (it == kinds_.end()) {
+    kinds_.emplace(name, kind);
+    return;
+  }
+  QDNN_CHECK(it->second == kind, "metric '" << name
+                                            << "' already registered as a "
+                                               "different instrument kind");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kCounter);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *it->second;
+  // Instruments hold atomics (immovable) — construct in place.
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  Counter* c = &counters_.back().second;
+  counter_index_.emplace(name, c);
+  return *c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kGauge);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return *it->second;
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  Gauge* g = &gauges_.back().second;
+  gauge_index_.emplace(name, g);
+  return *g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<long long>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kHistogram);
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) {
+    QDNN_CHECK(it->second->bounds() == bounds,
+               "histogram '" << name
+                             << "' re-registered with different bounds");
+    return *it->second;
+  }
+  QDNN_CHECK(!bounds.empty(),
+             "histogram '" << name << "' needs at least one bucket bound");
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple(bounds));
+  Histogram* h = &histograms_.back().second;
+  histogram_index_.emplace(name, h);
+  return *h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.bounds = h.bounds();
+    hv.buckets.resize(hv.bounds.size() + 1);
+    for (std::size_t i = 0; i < hv.buckets.size(); ++i) {
+      hv.buckets[i] = h.bucket_count(i);
+    }
+    hv.sum = h.sum();
+    hv.count = h.count();
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& c : counters) {
+    const std::string n = prom_name(c.name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string n = prom_name(g.name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string n = prom_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    long long cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << "\n";
+    }
+    cumulative += h.buckets.back();
+    os << n << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(counters[i].name)
+       << "\": " << counters[i].value;
+  }
+  os << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(gauges[i].name)
+       << "\": " << gauges[i].value;
+  }
+  os << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    os << (i ? ",\n    " : "") << "\"" << json_escape(h.name)
+       << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      os << (b ? ", " : "") << h.bounds[b];
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << h.buckets[b];
+    }
+    os << "], \"sum\": " << h.sum << ", \"count\": " << h.count << "}";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace qdnn::obs

@@ -1,0 +1,152 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms
+// for the serving stack.
+//
+// The contract that makes this usable from the serving hot paths:
+//
+//   * **Registration allocates, recording never does.**  Instruments are
+//     created (get-or-create by name) at bind/construction time under a
+//     mutex; the returned handle is a stable pointer for the registry's
+//     lifetime (instruments live in deques, never reallocated).  Every
+//     record call — Counter::add, Gauge::set, Histogram::observe — is a
+//     handful of relaxed atomic RMWs: zero heap allocations, wait-free,
+//     safe from any number of threads concurrently with snapshot().
+//   * **Snapshots are read-side only.**  snapshot() copies current values
+//     under the registration mutex (so the instrument list is stable) but
+//     never blocks writers — writers don't take the mutex.  Counter and
+//     histogram totals are exact once writers quiesce; a snapshot taken
+//     mid-write sees each instrument at some recent value.
+//   * Histograms are integer-valued with fixed upper bounds chosen at
+//     registration (cumulative export à la Prometheus: a value lands in
+//     the first bucket whose bound it does not exceed, else +Inf).
+//
+// Exporters: MetricsSnapshot::to_prometheus() (text exposition format,
+// '.' in names mapped to '_') and to_json().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qdnn::obs {
+
+class Counter {
+ public:
+  void add(long long delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  // `bounds` are the strictly-increasing inclusive upper bounds; one
+  // overflow (+Inf) bucket is appended.  Set once at registration.
+  explicit Histogram(std::vector<long long> bounds);
+
+  void observe(long long v) {
+    const std::size_t n = bounds_.size();
+    std::size_t i = 0;
+    while (i < n && v > bounds_[i]) ++i;  // few fixed buckets: linear scan
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<long long>& bounds() const { return bounds_; }
+  long long bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  long long sum() const { return sum_.load(std::memory_order_relaxed); }
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<long long> bounds_;
+  std::vector<std::atomic<long long>> buckets_;  // bounds_.size() + 1
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> count_{0};
+};
+
+// Point-in-time copy of every registered instrument, in registration
+// order (deterministic export).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    long long value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<long long> bounds;
+    std::vector<long long> buckets;  // bounds.size() + 1, last is +Inf
+    long long sum = 0;
+    long long count = 0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  // Prometheus text exposition format ('.' → '_', `# TYPE` comments,
+  // cumulative `_bucket{le="..."}` series plus `_sum`/`_count`).
+  std::string to_prometheus() const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name.  Names are dot-separated identifiers
+  // ([A-Za-z_][A-Za-z0-9_]* segments); a name registered as one kind may
+  // not be re-registered as another, and a histogram re-registered with
+  // different bounds is an error — both throw via QDNN_CHECK.  The
+  // returned references stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<long long>& bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  // Process-wide registry for subsystems without an owner to thread one
+  // through (the gemm dispatch counters live here).
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void claim_name(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Kind> kinds_;
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace qdnn::obs

@@ -1,0 +1,21 @@
+// Stage-level profiling surface shared by the pipeline drivers.
+//
+// InferenceSession and DecodeSession accumulate per-stage wall time into
+// preallocated plain arrays on their step paths (only while
+// obs::trace_enabled() — the tracing-off path pays one relaxed load per
+// call) and materialize this view on demand.  stage_profile() allocates
+// (names) and is meant for bench/export paths, not hot loops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qdnn::obs {
+
+struct StageTiming {
+  std::string name;     // module name, or "residual_add" / pseudo-stage
+  long long calls = 0;  // timed invocations
+  long long total_ns = 0;
+};
+
+}  // namespace qdnn::obs

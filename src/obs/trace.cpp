@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace qdnn::obs {
+
+namespace detail {
+
+namespace {
+bool trace_env_enabled() {
+  const char* env = std::getenv("QDNN_TRACE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_trace_enabled{trace_env_enabled()};
+
+}  // namespace detail
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kSubmit:
+      return "submit";
+    case TraceEvent::kQueueAdmit:
+      return "queue_admit";
+    case TraceEvent::kPrefillStart:
+      return "prefill_start";
+    case TraceEvent::kPrefillEnd:
+      return "prefill_end";
+    case TraceEvent::kCommit:
+      return "commit";
+    case TraceEvent::kFirstToken:
+      return "first_token";
+    case TraceEvent::kStep:
+      return "step";
+    case TraceEvent::kRetire:
+      return "retire";
+    case TraceEvent::kCancel:
+      return "cancel";
+    case TraceEvent::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceRing::TraceRing(index_t capacity) : capacity_(capacity) {
+  QDNN_CHECK(capacity > 0, "TraceRing capacity must be positive, got "
+                               << capacity);
+  slots_.reset(new Slot[static_cast<std::size_t>(capacity)]);
+}
+
+void TraceRing::record_always(index_t id, TraceEvent event, index_t arg) {
+  const long long ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(ticket % capacity_)];
+  slot.seq.store(-(ticket + 1), std::memory_order_relaxed);
+  slot.t_ns.store(now_ns(), std::memory_order_relaxed);
+  slot.id.store(static_cast<long long>(id), std::memory_order_relaxed);
+  slot.event.store(static_cast<std::int32_t>(event),
+                   std::memory_order_relaxed);
+  slot.arg.store(static_cast<long long>(arg), std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(capacity_));
+  for (index_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const long long before = slot.seq.load(std::memory_order_acquire);
+    if (before <= 0) continue;  // never written, or write in progress
+    TraceRecord rec;
+    rec.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    rec.id = static_cast<index_t>(slot.id.load(std::memory_order_relaxed));
+    rec.event =
+        static_cast<TraceEvent>(slot.event.load(std::memory_order_relaxed));
+    rec.arg = static_cast<index_t>(slot.arg.load(std::memory_order_relaxed));
+    const long long after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while reading: torn
+    rec.seq = before - 1;
+    out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace qdnn::obs

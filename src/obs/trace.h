@@ -1,0 +1,116 @@
+// Per-request trace timelines: a preallocated ring of timestamped
+// lifecycle events, recorded wait-free from any thread.
+//
+// The gate.  Tracing is off by default; `QDNN_TRACE=1` (or any value
+// other than "0"/"") turns it on at process start, and
+// set_trace_enabled() flips it at runtime.  The disabled path of
+// TraceRing::record() is one relaxed atomic load and a predicted branch —
+// no timestamp, no ring write — and compiles away entirely when
+// QDNN_OBS_NO_TRACE is defined.  Every recording site in the stack also
+// keys its clock reads off trace_enabled(), so the tracing-off serving
+// paths stay byte-for-byte on the PR-1..8 hot loops.
+//
+// The ring.  TraceRing is a fixed-capacity seqlock ring: a writer claims
+// a global ticket (one relaxed fetch_add), marks the slot in-progress
+// (negative seq), stores the fields (all atomics — concurrent recording
+// is race-free by construction, TSan-clean), then publishes the ticket
+// with a release store.  snapshot() walks the slots, re-checking each
+// slot's seq around the field reads and skipping torn slots — readers
+// never block writers.  Once the ring wraps, the oldest records are
+// overwritten: the timeline is best-effort history, sized by the owner
+// (BatchScheduler) at bind time.  Recording is zero-heap-alloc and
+// wait-free; snapshot() allocates and is for test/export paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace qdnn::obs {
+
+enum class TraceEvent : std::int32_t {
+  kSubmit = 0,    // request validated and queued (arg: priority class)
+  kQueueAdmit,    // picked from the admission queue (arg: effective class)
+  kPrefillStart,  // prime compute begins (sync path or pool worker)
+  kPrefillEnd,    // prime compute done
+  kCommit,        // staged K/V committed into a batch row (arg: row)
+  kFirstToken,    // first sampled token (arg: token id)
+  kStep,          // one sampled token (arg: token index in the output)
+  kRetire,        // resolved: eos / budget / deadline / error
+  kCancel,        // resolved: cancelled
+  kShed,          // resolved at submit: queue full
+};
+
+const char* trace_event_name(TraceEvent e);
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;  // initialized from QDNN_TRACE
+}
+
+inline bool trace_enabled() {
+#if defined(QDNN_OBS_NO_TRACE)
+  return false;
+#else
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+void set_trace_enabled(bool on);
+
+// Monotonic (steady_clock) nanoseconds; allocation-free.
+long long now_ns();
+
+struct TraceRecord {
+  long long seq = 0;  // global claim order across all recording threads
+  long long t_ns = 0;
+  index_t id = -1;
+  TraceEvent event = TraceEvent::kSubmit;
+  index_t arg = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(index_t capacity);
+
+  // Hot path: no-op unless tracing is enabled.
+  void record(index_t id, TraceEvent event, index_t arg = 0) {
+#if !defined(QDNN_OBS_NO_TRACE)
+    if (trace_enabled()) record_always(id, event, arg);
+#else
+    (void)id;
+    (void)event;
+    (void)arg;
+#endif
+  }
+
+  // Unconditional write, for sites that hoist the enabled check.
+  void record_always(index_t id, TraceEvent event, index_t arg = 0);
+
+  // Valid (untorn) records, oldest first.  Allocates — export path only.
+  std::vector<TraceRecord> snapshot() const;
+
+  index_t capacity() const { return capacity_; }
+  // Total records ever claimed (≥ what the ring still holds).
+  long long recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    // 0 = never written; -(ticket+1) = write in progress; ticket+1 = done.
+    std::atomic<long long> seq{0};
+    std::atomic<long long> t_ns{0};
+    std::atomic<long long> id{0};
+    std::atomic<std::int32_t> event{0};
+    std::atomic<long long> arg{0};
+  };
+
+  index_t capacity_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<long long> head_{0};
+};
+
+}  // namespace qdnn::obs

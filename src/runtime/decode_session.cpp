@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace qdnn::runtime {
 
 DecodeSession::DecodeSession(models::Transformer& model,
@@ -121,6 +123,9 @@ DecodeSession::DecodeSession(models::Transformer& model,
   in_views_.resize(stages_.size());
   add_views_.resize(stages_.size());
   out_views_.resize(stages_.size());
+  // Profiling slots: embed + every stage + argmax (see stage_profile()).
+  stage_ns_.assign(stages_.size() + 2, 0);
+  stage_calls_.assign(stages_.size() + 2, 0);
 
   // From the first bind on, an exception must not leave the model's
   // adapters pointing into this half-constructed (about-to-unwind)
@@ -436,6 +441,16 @@ void DecodeSession::reset_row(index_t row) {
 
 void DecodeSession::run_step(const std::vector<index_t>& tokens) {
   const index_t n = bound_n_;
+  // Stage profiling piggybacks on the trace gate: two clock reads per
+  // stage while tracing, nothing at all (one relaxed load) when off.
+  const bool profiling = obs::trace_enabled();
+  long long t_prev = profiling ? obs::now_ns() : 0;
+  const auto mark = [&](std::size_t slot) {
+    const long long t_now = obs::now_ns();
+    stage_ns_[slot] += t_now - t_prev;
+    ++stage_calls_[slot];
+    t_prev = t_now;
+  };
   // Embed each row's new token at that row's ring position:
   // y = E[id]·sqrt(d) + PE[row_step], the exact operation order of the
   // training path.  Rows at different positions read different PE rows —
@@ -454,6 +469,7 @@ void DecodeSession::run_step(const std::vector<index_t>& tokens) {
     float* y = embed_buf_.data() + r * d_model_;
     for (index_t d = 0; d < d_model_; ++d) y[d] = e[d] * scale + pe[d];
   }
+  if (profiling) mark(0);
 
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const nn::PipelineStage& st = stages_[i];
@@ -465,12 +481,14 @@ void DecodeSession::run_step(const std::vector<index_t>& tokens) {
       float* o = out_views_[i].data();
       const index_t count = out_views_[i].numel();
       for (index_t j = 0; j < count; ++j) o[j] = a[j] + b[j];
+      if (profiling) mark(i + 1);
       continue;
     }
     // Scratch lives only within a stage; rewinding here caps the
     // workspace at the per-stage maximum instead of the pipeline sum.
     ws_.reset();
     st.module->forward_into(in_views_[i], out_views_[i], ws_);
+    if (profiling) mark(i + 1);
   }
 
   // Greedy head: first-maximum argmax, matching greedy_decode_reference.
@@ -483,12 +501,33 @@ void DecodeSession::run_step(const std::vector<index_t>& tokens) {
       if (row[v] > row[best]) best = v;
     next_tokens_[static_cast<std::size_t>(r)] = best;
   }
+  if (profiling) mark(stages_.size() + 1);
   // Parked rows stay pinned at ring position 0: they rode the gemm (their
   // output is ignored) but never advance, so an idle row's ring cannot
   // exhaust no matter how many ticks pass.
   for (index_t r = 0; r < n; ++r)
     if (!parked_[static_cast<std::size_t>(r)])
       ++row_steps_[static_cast<std::size_t>(r)];
+}
+
+std::vector<obs::StageTiming> DecodeSession::stage_profile() const {
+  std::vector<obs::StageTiming> out;
+  out.reserve(stage_ns_.size());
+  for (std::size_t i = 0; i < stage_ns_.size(); ++i) {
+    obs::StageTiming t;
+    if (i == 0) {
+      t.name = "embed";
+    } else if (i == stage_ns_.size() - 1) {
+      t.name = "argmax";
+    } else {
+      const nn::PipelineStage& st = stages_[i - 1];
+      t.name = st.is_add() ? "residual_add" : st.module->name();
+    }
+    t.calls = stage_calls_[i];
+    t.total_ns = stage_ns_[i];
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 const std::vector<index_t>& DecodeSession::step(

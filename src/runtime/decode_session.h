@@ -77,6 +77,7 @@
 
 #include "core/workspace.h"
 #include "models/transformer/transformer.h"
+#include "obs/profile.h"
 
 namespace qdnn::runtime {
 
@@ -226,6 +227,15 @@ class DecodeSession {
   index_t kv_cache_floats() const;
   index_t workspace_floats() const { return ws_.capacity(); }
 
+  // Per-stage wall-time accumulated by run_step while tracing is enabled
+  // (obs::trace_enabled()): one entry per pipeline stage, bracketed by an
+  // "embed" pseudo-stage in front and "argmax" at the back.  Accumulation
+  // is two clock reads per stage per step, entirely skipped when tracing
+  // is off (the zero-overhead disabled path).  Buffers are preallocated
+  // at bind; the accessor allocates only the returned vector.  Not
+  // thread-safe with a concurrent step() — read between ticks.
+  std::vector<obs::StageTiming> stage_profile() const;
+
  private:
   void bind_views(index_t n);
   void unbind_all();
@@ -273,6 +283,13 @@ class DecodeSession {
   // Parked rows (reset_row since last prime): counter pinned at ring 0,
   // run_step never advances them.  All rows start parked.
   std::vector<char> parked_;
+
+  // Stage profiling accumulators (stage_profile()): slot 0 is the embed
+  // pseudo-stage, 1..stages are the pipeline stages, the last slot is the
+  // argmax head.  Sized at bind, written by run_step only while tracing
+  // is enabled.
+  std::vector<long long> stage_ns_;
+  std::vector<long long> stage_calls_;
 
   Workspace ws_;
   // The masked native encoder facade prime/prime_compute run through —

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/gemm_backend.h"
+#include "obs/trace.h"
 
 namespace qdnn::runtime {
 
@@ -59,6 +60,8 @@ InferenceSession::InferenceSession(nn::ModulePtr model, SessionConfig config)
     shard.buffers.reserve(slot_sample_numel_.size());
     for (index_t slot_numel : slot_sample_numel_)
       shard.buffers.emplace_back(Shape{shard_rows_cap * slot_numel});
+    shard.stage_ns.assign(stages_.size(), 0);
+    shard.stage_calls.assign(stages_.size(), 0);
   }
 
   // Validate the view plan before spawning workers so constructor errors
@@ -401,6 +404,11 @@ void InferenceSession::run_shard(Shard& shard, const float* input) const {
     shard.in_views[static_cast<std::size_t>(i)].rebind(shard_input);
   for (index_t i : input_bound_addends_)
     shard.add_views[static_cast<std::size_t>(i)].rebind(shard_input);
+  // Stage profiling piggybacks on the trace gate: two clock reads per
+  // stage while tracing, nothing at all (one relaxed load) when off.
+  // Each shard writes only its own accumulators — no cross-thread writes.
+  const bool profiling = obs::trace_enabled();
+  long long t_prev = profiling ? obs::now_ns() : 0;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const nn::PipelineStage& st = stages_[i];
     if (st.is_add()) {
@@ -411,14 +419,36 @@ void InferenceSession::run_shard(Shard& shard, const float* input) const {
       float* o = shard.out_views[i].data();
       const index_t count = shard.out_views[i].numel();
       for (index_t j = 0; j < count; ++j) o[j] = a[j] + b[j];
-      continue;
+    } else {
+      // Scratch lives only within a stage; rewinding here caps the
+      // workspace at the per-stage maximum instead of the pipeline sum.
+      shard.ws.reset();
+      st.module->forward_into(shard.in_views[i], shard.out_views[i],
+                              shard.ws);
     }
-    // Scratch lives only within a stage; rewinding here caps the
-    // workspace at the per-stage maximum instead of the pipeline sum.
-    shard.ws.reset();
-    st.module->forward_into(shard.in_views[i], shard.out_views[i],
-                            shard.ws);
+    if (profiling) {
+      const long long t_now = obs::now_ns();
+      shard.stage_ns[i] += t_now - t_prev;
+      ++shard.stage_calls[i];
+      t_prev = t_now;
+    }
   }
+}
+
+std::vector<obs::StageTiming> InferenceSession::stage_profile() const {
+  std::vector<obs::StageTiming> out;
+  out.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const nn::PipelineStage& st = stages_[i];
+    obs::StageTiming t;
+    t.name = st.is_add() ? "residual_add" : st.module->name();
+    for (const Shard& shard : shards_) {
+      t.calls += shard.stage_calls[i];
+      t.total_ns += shard.stage_ns[i];
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 }  // namespace qdnn::runtime

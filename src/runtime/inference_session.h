@@ -51,6 +51,7 @@
 
 #include "core/workspace.h"
 #include "nn/module.h"
+#include "obs/profile.h"
 
 namespace qdnn::runtime {
 
@@ -107,6 +108,14 @@ class InferenceSession {
   index_t activation_floats() const;
   index_t workspace_floats() const;
 
+  // Per-stage wall-time accumulated by run() while tracing is enabled
+  // (obs::trace_enabled()): one entry per pipeline stage, shard
+  // accumulators summed (each shard times its own row range — no shared
+  // writes).  Two clock reads per stage per shard pass while tracing,
+  // nothing when off.  Allocates only the returned vector.  Not
+  // thread-safe with a concurrent run() — read between requests.
+  std::vector<obs::StageTiming> stage_profile() const;
+
   const nn::Module& model() const { return *model_; }
 
  private:
@@ -124,6 +133,10 @@ class InferenceSession {
     std::vector<ConstTensorView> add_views;  // per stage (add stages only)
     std::vector<TensorView> out_views;       // per stage
     Workspace ws;
+    // Stage profiling accumulators, one per stage, written only by this
+    // shard's thread while tracing is enabled (stage_profile() sums them).
+    std::vector<long long> stage_ns;
+    std::vector<long long> stage_calls;
   };
 
   void plan_buffers();

@@ -5,8 +5,8 @@
 namespace qdnn::serve {
 
 PrefillPool::PrefillPool(runtime::DecodeSession& session, index_t workers,
-                         index_t slots)
-    : session_(&session) {
+                         index_t slots, obs::TraceRing* trace)
+    : session_(&session), trace_(trace) {
   QDNN_CHECK(workers >= 1,
              "PrefillPool: workers must be >= 1, got " << workers);
   QDNN_CHECK(slots >= 1, "PrefillPool: slots must be >= 1, got " << slots);
@@ -49,6 +49,15 @@ void PrefillPool::worker_loop() {
     }
     Finished fin;
     fin.slot = slot;
+    // One gate read per job: the timestamps and the two ring writes are
+    // all-or-nothing, so a mid-prefill toggle cannot leave a half-stamped
+    // window.  Recording is wait-free and allocation-free.
+    const bool tracing = obs::trace_enabled();
+    if (tracing) {
+      job.prefill_start_ns = obs::now_ns();
+      if (trace_ != nullptr)
+        trace_->record_always(job.id, obs::TraceEvent::kPrefillStart);
+    }
     try {
       // The expensive half, off the serving thread: encoder pass (pool
       // workers serialize it inside prime_compute) + cross-K/V
@@ -57,6 +66,11 @@ void PrefillPool::worker_loop() {
                               staging_[static_cast<std::size_t>(slot)]);
     } catch (...) {
       fin.error = std::current_exception();
+    }
+    if (tracing) {
+      job.prefill_end_ns = obs::now_ns();
+      if (trace_ != nullptr)
+        trace_->record_always(job.id, obs::TraceEvent::kPrefillEnd);
     }
     fin.job = std::move(job);
     {

@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/decode_session.h"
 #include "serve/request.h"
 
@@ -74,6 +75,13 @@ struct PrefillJob {
   index_t budget = 0;
   Request request;
   std::vector<index_t> tokens;  // reserved at submit, empty until decode
+  // Observability timestamps (obs::now_ns; 0 = tracing was off at that
+  // edge).  submit_ns is stamped by the scheduler; the prefill window is
+  // stamped by whichever thread runs prime_compute — a pool worker in
+  // async mode, the serving thread in sync mode.
+  long long submit_ns = 0;
+  long long prefill_start_ns = 0;
+  long long prefill_end_ns = 0;
 };
 
 class PrefillPool {
@@ -89,9 +97,12 @@ class PrefillPool {
 
   // `workers` >= 1 threads compute over `slots` >= 1 preallocated staging
   // slots (a job waits queued until a slot frees).  The session reference
-  // must outlive the pool.
+  // must outlive the pool.  `trace` (optional, must outlive the pool) is
+  // where workers record prefill_start/prefill_end events; the scheduler
+  // passes its own per-shard ring so pool events interleave with the
+  // serving thread's timeline.
   PrefillPool(runtime::DecodeSession& session, index_t workers,
-              index_t slots);
+              index_t slots, obs::TraceRing* trace = nullptr);
   ~PrefillPool();
 
   PrefillPool(const PrefillPool&) = delete;
@@ -164,6 +175,7 @@ class PrefillPool {
   void worker_loop();
 
   runtime::DecodeSession* session_;
+  obs::TraceRing* trace_ = nullptr;  // not owned; may be null
   std::vector<runtime::PrefillStaging> staging_;
   std::vector<index_t> free_slots_;  // stack, capacity = slots
   std::deque<PrefillJob> queue_;

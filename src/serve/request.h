@@ -91,6 +91,20 @@ enum class FinishReason {
   kShed,       // the bounded admission queue was full at submit
 };
 
+// Wall-clock phase breakdown of one request's lifecycle, derived from
+// the scheduler's trace timestamps (steady-clock nanoseconds).  All
+// fields are 0 when tracing (obs::trace_enabled()) was off when the
+// request was submitted — the tick counters on RequestResult remain the
+// always-on accounting.  For requests that never held a batch row
+// (shed/error/cancelled-while-queued) only total_ns is populated.
+struct RequestPhases {
+  long long queue_ns = 0;        // submit → admission into a batch row
+  long long prefill_ns = 0;      // the prime_compute window
+  long long first_token_ns = 0;  // submit → first sampled token (0 = none)
+  long long decode_ns = 0;       // admission → retirement
+  long long total_ns = 0;        // submit → retirement
+};
+
 struct RequestResult {
   index_t id = -1;
   // Emitted token ids, bos/eos excluded — for a greedy request that ran
@@ -117,6 +131,8 @@ struct RequestResult {
   // (error/shed/eos-first/cancelled-before-decode).  Time-to-first-token
   // in batch-step units is first_token_tick - submit_tick.
   index_t first_token_tick = -1;
+  // Wall-clock phase durations (all zero unless tracing was enabled).
+  RequestPhases phases;
 };
 
 }  // namespace qdnn::serve

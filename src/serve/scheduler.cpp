@@ -22,7 +22,8 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
                                BatchSchedulerConfig config)
     : config_(config),
       vocab_(model.config().tgt_vocab),
-      session_(model, config.session) {
+      session_(model, config.session),
+      trace_(config.trace_events) {
   QDNN_CHECK(config_.bos >= 0 && config_.bos < vocab_,
              "BatchScheduler: bos " << config_.bos << " outside vocab "
                                     << vocab_);
@@ -73,13 +74,59 @@ BatchScheduler::BatchScheduler(models::Transformer& model,
   latency_ring_.buf.reserve(latency_ring_.window);
   tick_ring_.window = static_cast<std::size_t>(config_.stats_window);
   tick_ring_.buf.reserve(tick_ring_.window);
+  register_metrics();
 
   if (config_.prefill_workers > 0) {
     const index_t slots = config_.prefill_slots > 0
                               ? config_.prefill_slots
                               : rows;
     prefill_ = std::make_unique<PrefillPool>(
-        session_, config_.prefill_workers, slots);
+        session_, config_.prefill_workers, slots, &trace_);
+  }
+}
+
+void BatchScheduler::register_metrics() {
+  // Every instrument the tick path records into is created HERE, at
+  // bind: the hot paths only ever dereference these preallocated handles
+  // (relaxed atomic ops), never the registry's name map — which is what
+  // keeps steady-state ticks zero-heap-alloc with tracing on or off.
+  registry_ = config_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const std::string p = config_.metrics_prefix + ".";
+  ticks_counter_ = &registry_->counter(p + "ticks");
+  stepped_ticks_counter_ = &registry_->counter(p + "stepped_ticks");
+  tokens_counter_ = &registry_->counter(p + "tokens");
+  occupancy_sum_counter_ = &registry_->counter(p + "occupancy_sum");
+  live_rows_gauge_ = &registry_->gauge(p + "live_rows");
+  queue_depth_gauge_ = &registry_->gauge(p + "queue_depth");
+  // Tick-denominated latency buckets (queue wait / TTFT / end-to-end):
+  // powers of two up to half a K of batch steps; µs buckets for the
+  // stepped-tick wall time.  Fixed at registration per the histogram
+  // contract; SchedulerStats' exact percentiles come from the rings.
+  const std::vector<long long> tick_bounds{1,  2,  4,   8,   16,
+                                           32, 64, 128, 256, 512};
+  const std::vector<long long> us_bounds{50,   100,  200,   500,   1000,
+                                         2000, 5000, 10000, 20000, 50000};
+  queue_wait_hist_ = &registry_->histogram(p + "queue_wait_ticks",
+                                           tick_bounds);
+  ttft_hist_ = &registry_->histogram(p + "ttft_ticks", tick_bounds);
+  latency_hist_ = &registry_->histogram(p + "latency_ticks", tick_bounds);
+  tick_us_hist_ = &registry_->histogram(p + "tick_us", us_bounds);
+  static const char* kClassNames[kPriorityClasses] = {"high", "normal",
+                                                      "low"};
+  for (std::size_t c = 0; c < static_cast<std::size_t>(kPriorityClasses);
+       ++c) {
+    const std::string cp = p + kClassNames[c] + ".";
+    ClassCounters& cc = class_counters_[c];
+    cc.submitted = &registry_->counter(cp + "submitted");
+    cc.completed = &registry_->counter(cp + "completed");
+    cc.cancelled = &registry_->counter(cp + "cancelled");
+    cc.expired = &registry_->counter(cp + "expired");
+    cc.shed = &registry_->counter(cp + "shed");
+    cc.errored = &registry_->counter(cp + "errored");
   }
 }
 
@@ -130,7 +177,7 @@ index_t BatchScheduler::submit(Request request) {
     request.id = next_id_++;
   }
   const index_t id = request.id;
-  ++class_stats_[static_cast<std::size_t>(cls)].submitted;
+  class_counters_[static_cast<std::size_t>(cls)].submitted->inc();
 
   if (config_.max_queue > 0 && queued() >= config_.max_queue) {
     // Backpressure: the bounded queue is full, so this submit load-sheds
@@ -144,13 +191,18 @@ index_t BatchScheduler::submit(Request request) {
     shed.submit_tick = ticks_;
     shed.finish_tick = ticks_;  // admit_tick stays -1: never admitted
     completed_.push_back(std::move(shed));
-    ++class_stats_[static_cast<std::size_t>(cls)].shed;
+    class_counters_[static_cast<std::size_t>(cls)].shed->inc();
+    trace_.record(id, obs::TraceEvent::kShed, cls);
     return id;
   }
 
   PrefillJob job;
   job.id = id;
   job.submit_tick = ticks_;
+  if (obs::trace_enabled()) {
+    job.submit_ns = obs::now_ns();
+    trace_.record_always(id, obs::TraceEvent::kSubmit, cls);
+  }
   // The request's warm token buffer travels with it: reserved here (the
   // submit edge allocates by contract), swapped into the batch slot at
   // admission and handed off inside the RequestResult at retirement — so
@@ -162,6 +214,7 @@ index_t BatchScheduler::submit(Request request) {
   inflight_ids_.insert(id);
   queue_.push_back(std::move(job));
   if (prefill_) pump_pool();
+  queue_depth_gauge_->set(static_cast<double>(queued()));
   return id;
 }
 
@@ -201,12 +254,17 @@ void BatchScheduler::resolve_unadmitted(PrefillJob&& job,
   result.priority = job.request.priority;
   result.submit_tick = job.submit_tick;
   result.finish_tick = ticks_;  // admit_tick stays -1: never admitted
+  if (job.submit_ns > 0)
+    result.phases.total_ns = obs::now_ns() - job.submit_ns;
   completed_.push_back(std::move(result));
   inflight_ids_.erase(job.id);
-  if (reason == FinishReason::kCancelled)
-    ++class_stats_[cls].cancelled;
-  else
-    ++class_stats_[cls].expired;
+  if (reason == FinishReason::kCancelled) {
+    class_counters_[cls].cancelled->inc();
+    trace_.record(job.id, obs::TraceEvent::kCancel);
+  } else {
+    class_counters_[cls].expired->inc();
+    trace_.record(job.id, obs::TraceEvent::kRetire);
+  }
 }
 
 bool BatchScheduler::cancel(index_t id) {
@@ -267,6 +325,8 @@ void BatchScheduler::pump_pool() {
   // can still overtake everything waiting here in the scheduler queue.
   while (!queue_.empty() && prefill_->pending() < prefill_->slots()) {
     auto it = pick_queued();
+    trace_.record(it->id, obs::TraceEvent::kQueueAdmit,
+                  effective_class(*it));
     PrefillJob job = std::move(*it);
     queue_.erase(it);
     prefill_->submit(std::move(job));
@@ -287,11 +347,20 @@ void BatchScheduler::install(index_t row, PrefillJob&& job) {
   slot.deadline_tick = job.request.deadline_tick;
   slot.first_token_tick = -1;
   slot.on_token = std::move(job.request.on_token);
+  slot.submit_ns = job.submit_ns;
+  slot.admit_ns = obs::trace_enabled() ? obs::now_ns() : 0;
+  slot.prefill_ns = (job.prefill_start_ns > 0 && job.prefill_end_ns > 0)
+                        ? job.prefill_end_ns - job.prefill_start_ns
+                        : 0;
+  slot.first_token_ns = 0;
+  trace_.record(slot.id, obs::TraceEvent::kCommit, row);
   feed_[static_cast<std::size_t>(row)] = config_.bos;
   ++live_rows_;
+  live_rows_gauge_->set(static_cast<double>(live_rows_));
   queue_wait_ring_[static_cast<std::size_t>(
                        static_cast<index_t>(slot.priority))]
       .record(static_cast<double>(ticks_ - slot.submit_tick));
+  queue_wait_hist_->observe(ticks_ - slot.submit_tick);
 }
 
 void BatchScheduler::admit_sync() {
@@ -301,8 +370,16 @@ void BatchScheduler::admit_sync() {
   while (!queue_.empty() && !free_rows_.empty()) {
     const index_t row = free_rows_.back();
     auto it = pick_queued();
+    trace_.record(it->id, obs::TraceEvent::kQueueAdmit,
+                  effective_class(*it));
     PrefillJob job = std::move(*it);
     queue_.erase(it);
+    const bool tracing = obs::trace_enabled();
+    if (tracing) {
+      job.prefill_start_ns = obs::now_ns();
+      trace_.record_always(job.id, obs::TraceEvent::kPrefillStart);
+    }
+    std::exception_ptr error;
     try {
       session_.prime_row(row, job.request.src_ids, job.request.src_length);
     } catch (...) {
@@ -311,7 +388,14 @@ void BatchScheduler::admit_sync() {
       // path: a kError result, never a dropped id.  prime_row throws
       // before any session mutation, and the row was only peeked — not
       // popped — so no batch capacity leaks either.
-      resolve_failed(std::move(job), std::current_exception());
+      error = std::current_exception();
+    }
+    if (tracing) {
+      job.prefill_end_ns = obs::now_ns();
+      trace_.record_always(job.id, obs::TraceEvent::kPrefillEnd);
+    }
+    if (error) {
+      resolve_failed(std::move(job), error);
       continue;
     }
     free_rows_.pop_back();
@@ -339,9 +423,13 @@ void BatchScheduler::resolve_failed(PrefillJob&& job,
   }
   failed.submit_tick = job.submit_tick;
   failed.finish_tick = ticks_;  // admit_tick stays -1: never admitted
+  if (job.submit_ns > 0)
+    failed.phases.total_ns = obs::now_ns() - job.submit_ns;
+  const index_t failed_id = failed.id;
   completed_.push_back(std::move(failed));
-  inflight_ids_.erase(failed.id);
-  ++class_stats_[cls].errored;
+  inflight_ids_.erase(failed_id);
+  class_counters_[cls].errored->inc();
+  trace_.record(failed_id, obs::TraceEvent::kRetire);
 }
 
 void BatchScheduler::admit_async() {
@@ -404,13 +492,36 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   result.admit_tick = slot.admit_tick;
   result.finish_tick = ticks_;
   result.first_token_tick = slot.first_token_tick;
+  if (slot.submit_ns > 0) {
+    // Phase durations from the trace timestamps (tracing was on at
+    // submit).  One clock read; arithmetic only — no allocation.
+    const long long end_ns = obs::now_ns();
+    result.phases.total_ns = end_ns - slot.submit_ns;
+    result.phases.prefill_ns = slot.prefill_ns;
+    if (slot.admit_ns > 0) {
+      result.phases.queue_ns = slot.admit_ns - slot.submit_ns;
+      result.phases.decode_ns = end_ns - slot.admit_ns;
+    }
+    if (slot.first_token_ns > 0)
+      result.phases.first_token_ns = slot.first_token_ns - slot.submit_ns;
+  }
   latency_ring_.record(static_cast<double>(ticks_ - slot.submit_tick));
+  latency_hist_->observe(ticks_ - slot.submit_tick);
   completed_.push_back(std::move(result));
   inflight_ids_.erase(slot.id);
   switch (reason) {
-    case FinishReason::kCancelled: ++class_stats_[cls].cancelled; break;
-    case FinishReason::kDeadline: ++class_stats_[cls].expired; break;
-    default: ++class_stats_[cls].completed; break;
+    case FinishReason::kCancelled:
+      class_counters_[cls].cancelled->inc();
+      trace_.record(slot.id, obs::TraceEvent::kCancel, row);
+      break;
+    case FinishReason::kDeadline:
+      class_counters_[cls].expired->inc();
+      trace_.record(slot.id, obs::TraceEvent::kRetire, row);
+      break;
+    default:
+      class_counters_[cls].completed->inc();
+      trace_.record(slot.id, obs::TraceEvent::kRetire, row);
+      break;
   }
 
   slot.live = false;
@@ -423,6 +534,7 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   feed_[static_cast<std::size_t>(row)] = config_.bos;
   free_rows_.push_back(row);
   --live_rows_;
+  live_rows_gauge_->set(static_cast<double>(live_rows_));
 }
 
 index_t BatchScheduler::step() {
@@ -437,6 +549,8 @@ index_t BatchScheduler::step() {
 
   if (live_rows_ == 0) {
     ++ticks_;  // idle tick: time passes for arrival traces
+    ticks_counter_->inc();
+    queue_depth_gauge_->set(static_cast<double>(queued()));
     return 0;
   }
 
@@ -445,8 +559,10 @@ index_t BatchScheduler::step() {
   const std::vector<index_t>& greedy = session_.step(feed_);
   const ConstTensorView& logits = session_.logits();
   ++ticks_;
-  ++stepped_ticks_;
-  occupancy_sum_ += stepped;
+  ticks_counter_->inc();
+  stepped_ticks_counter_->inc();
+  occupancy_sum_counter_->add(stepped);
+  const bool tracing = obs::trace_enabled();
 
   for (index_t row = 0;
        row < static_cast<index_t>(slots_.size()); ++row) {
@@ -466,13 +582,23 @@ index_t BatchScheduler::step() {
       continue;
     }
     slot.tokens.push_back(token);
-    ++total_tokens_;
+    tokens_counter_->inc();
     feed_[static_cast<std::size_t>(row)] = token;
     if (slot.first_token_tick < 0) {
       slot.first_token_tick = ticks_;
+      if (tracing) {
+        slot.first_token_ns = obs::now_ns();
+        trace_.record_always(slot.id, obs::TraceEvent::kFirstToken, token);
+      }
       ttft_ring_[static_cast<std::size_t>(
                      static_cast<index_t>(slot.priority))]
           .record(static_cast<double>(ticks_ - slot.submit_tick));
+      ttft_hist_->observe(ticks_ - slot.submit_tick);
+    } else if (tracing) {
+      // Per-token step mark: arg is the token's 0-based output index.
+      trace_.record_always(
+          slot.id, obs::TraceEvent::kStep,
+          static_cast<index_t>(slot.tokens.size()) - 1);
     }
     if (slot.on_token) {
       // Streamed the moment it exists — not at retirement.  The callback
@@ -496,6 +622,8 @@ index_t BatchScheduler::step() {
   tick_ms_sum_ += tick_ms;
   ++tick_ms_count_;
   tick_ring_.record(tick_ms);
+  tick_us_hist_->observe(static_cast<long long>(tick_ms * 1000.0));
+  queue_depth_gauge_->set(static_cast<double>(queued()));
   return stepped;
 }
 
@@ -534,17 +662,20 @@ std::vector<RequestResult> BatchScheduler::take_results() {
 }
 
 double BatchScheduler::mean_occupancy() const {
-  return stepped_ticks_ == 0
+  const long long stepped = stepped_ticks_counter_->value();
+  return stepped == 0
              ? 0.0
-             : static_cast<double>(occupancy_sum_) /
-                   static_cast<double>(stepped_ticks_);
+             : static_cast<double>(occupancy_sum_counter_->value()) /
+                   static_cast<double>(stepped);
 }
 
 SchedulerStats BatchScheduler::stats() const {
+  // A view over the registry counters plus the exact-percentile sample
+  // rings — the PR 1–8 surface, now backed by exportable instruments.
   SchedulerStats s;
   s.ticks = ticks_;
-  s.stepped_ticks = stepped_ticks_;
-  s.total_tokens = total_tokens_;
+  s.stepped_ticks = static_cast<index_t>(stepped_ticks_counter_->value());
+  s.total_tokens = static_cast<index_t>(tokens_counter_->value());
   s.mean_occupancy = mean_occupancy();
   s.latency_samples = static_cast<index_t>(latency_ring_.buf.size());
   s.latency_p50 = ring_percentile(latency_ring_.buf, 0.50);
@@ -556,7 +687,14 @@ SchedulerStats BatchScheduler::stats() const {
   s.tick_p99_ms = ring_percentile(tick_ring_.buf, 0.99);
   for (std::size_t c = 0; c < static_cast<std::size_t>(kPriorityClasses);
        ++c) {
-    SchedulerClassStats cls = class_stats_[c];
+    const ClassCounters& cc = class_counters_[c];
+    SchedulerClassStats cls;
+    cls.submitted = static_cast<index_t>(cc.submitted->value());
+    cls.completed = static_cast<index_t>(cc.completed->value());
+    cls.cancelled = static_cast<index_t>(cc.cancelled->value());
+    cls.expired = static_cast<index_t>(cc.expired->value());
+    cls.shed = static_cast<index_t>(cc.shed->value());
+    cls.errored = static_cast<index_t>(cc.errored->value());
     cls.queue_wait_samples =
         static_cast<index_t>(queue_wait_ring_[c].buf.size());
     cls.ttft_samples = static_cast<index_t>(ttft_ring_[c].buf.size());

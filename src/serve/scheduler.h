@@ -94,9 +94,12 @@
 #include <array>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/decode_session.h"
 #include "serve/prefill.h"
 #include "serve/request.h"
@@ -130,6 +133,18 @@ struct BatchSchedulerConfig {
   // percentiles in SchedulerStats (a preallocated ring; the newest
   // samples win).  0 disables percentile tracking (counts remain).
   index_t stats_window = 2048;
+  // Metrics sink.  Every counter/gauge/histogram the scheduler records
+  // is registered here at construction under `metrics_prefix` (so the
+  // tick path only ever touches preallocated instruments — recording is
+  // zero-heap-alloc and wait-free).  Null = the scheduler owns a private
+  // registry; serve::Server passes its own so shards share one snapshot.
+  // The registry must outlive the scheduler.
+  obs::MetricsRegistry* registry = nullptr;
+  std::string metrics_prefix = "scheduler";
+  // Capacity of the per-scheduler trace ring (timestamped request
+  // lifecycle events, recorded only while obs::trace_enabled(); oldest
+  // overwritten on wrap).  Must be >= 1.
+  index_t trace_events = 4096;
 };
 
 // Per-priority-class counters and latency percentiles (batch-tick
@@ -243,13 +258,23 @@ class BatchScheduler {
   }
   index_t live_rows() const { return live_rows_; }
   index_t ticks() const { return ticks_; }
-  index_t total_tokens() const { return total_tokens_; }
+  index_t total_tokens() const {
+    return static_cast<index_t>(tokens_counter_->value());
+  }
   // Mean live rows per stepped tick — the occupancy continuous batching
   // keeps high and static batching lets decay.
   double mean_occupancy() const;
-  // Counter/percentile snapshot (see SchedulerStats).  Allocates (the
-  // percentile sort) — call off the tick path.
+  // Counter/percentile snapshot (see SchedulerStats).  Since PR 9 this
+  // is a view over the metrics registry (counts) plus the sample rings
+  // (exact percentiles).  Allocates (the percentile sort) — call off the
+  // tick path.
   SchedulerStats stats() const;
+  // The registry holding this scheduler's instruments (the configured
+  // one, or the privately owned default).  snapshot()/exporters are safe
+  // from any thread.
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+  // The per-scheduler trace ring (empty unless obs::trace_enabled()).
+  const obs::TraceRing& trace() const { return trace_; }
   const runtime::DecodeSession& session() const { return session_; }
   // The async admission pool (null in synchronous mode).
   const PrefillPool* prefill_pool() const { return prefill_.get(); }
@@ -268,6 +293,12 @@ class BatchScheduler {
     index_t deadline_tick = 0;
     index_t first_token_tick = -1;
     std::function<void(const StreamEvent&)> on_token;
+    // Wall-clock trace timestamps (0 = tracing off at that edge); turned
+    // into RequestResult::phases at retirement.
+    long long submit_ns = 0;
+    long long admit_ns = 0;
+    long long prefill_ns = 0;  // duration, stamped by the prefill thread
+    long long first_token_ns = 0;
   };
 
   // Fixed-capacity sample window: push_back stays inside the reserved
@@ -291,6 +322,7 @@ class BatchScheduler {
   };
 
   index_t effective_class(const PrefillJob& job) const;
+  void register_metrics();
   std::deque<PrefillJob>::iterator pick_queued();
   void expire_deadlines();
   void pump_pool();
@@ -323,7 +355,6 @@ class BatchScheduler {
   // (and erased) when the pool hands the job back.
   std::unordered_set<index_t> pool_cancelled_;
 
-  std::array<SchedulerClassStats, kPriorityClasses> class_stats_;
   std::array<SampleRing, kPriorityClasses> queue_wait_ring_;
   std::array<SampleRing, kPriorityClasses> ttft_ring_;
   SampleRing latency_ring_;  // finish − submit ticks, all classes pooled
@@ -331,12 +362,38 @@ class BatchScheduler {
   double tick_ms_sum_ = 0.0;
   index_t tick_ms_count_ = 0;
 
+  // --- observability (PR 9) ---
+  // The scheduler's counts live in registry instruments, registered once
+  // in the constructor (register_metrics) so every record on the tick
+  // path is a preallocated relaxed atomic op.  SchedulerStats is a view
+  // over these plus the sample rings above.  `ticks_`/`live_rows_` keep
+  // plain mirrors because control flow reads them constantly.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;  // config's or owned
+  obs::TraceRing trace_;
+  struct ClassCounters {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* errored = nullptr;
+  };
+  std::array<ClassCounters, kPriorityClasses> class_counters_{};
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::Counter* stepped_ticks_counter_ = nullptr;
+  obs::Counter* tokens_counter_ = nullptr;
+  obs::Counter* occupancy_sum_counter_ = nullptr;
+  obs::Gauge* live_rows_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;  // ticks, classes pooled
+  obs::Histogram* ttft_hist_ = nullptr;        // ticks, classes pooled
+  obs::Histogram* latency_hist_ = nullptr;     // ticks
+  obs::Histogram* tick_us_hist_ = nullptr;     // stepped-tick wall µs
+
   index_t next_id_ = 0;
   index_t ticks_ = 0;
   index_t live_rows_ = 0;
-  index_t total_tokens_ = 0;
-  index_t stepped_ticks_ = 0;
-  index_t occupancy_sum_ = 0;
 
   // Declared after session_ so it joins its workers (which touch the
   // session's staging API) before the session unbinds.

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
 
 namespace qdnn::serve {
+
+namespace {
+
+// Cheap divergence guard: FNV-1a 64 over every parameter's float bits,
+// folded to 52 bits so a double-valued Gauge holds it exactly (doubles
+// represent integers up to 2^53 losslessly).  Order-sensitive — the
+// replicas' parameters() traversals are structural, so identically-built
+// replicas hash identically and any drifted weight changes the value.
+double weight_checksum_of(models::Transformer& model) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const nn::Parameter* p : model.parameters()) {
+    const float* data = p->value.data();
+    const index_t n = p->value.numel();
+    for (index_t i = 0; i < n; ++i) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &data[i], sizeof(bits));
+      for (int b = 0; b < 4; ++b) {
+        h ^= (bits >> (8 * b)) & 0xffu;
+        h *= 1099511628211ULL;  // FNV prime
+      }
+    }
+  }
+  return static_cast<double>(h & ((1ULL << 52) - 1));
+}
+
+}  // namespace
 
 Server::Server(const std::vector<models::Transformer*>& models,
                ServerConfig config) {
@@ -51,14 +80,39 @@ Server::Server(const std::vector<models::Transformer*>& models,
 #undef QDNN_SERVE_SAME
   }
 
+  // The config check above cannot see post-construction weight drift
+  // (training one replica and not the others): checksum every replica's
+  // weights, reject divergence at the edge, and export the values as
+  // gauges so drift stays visible in snapshots.
+  weight_checksums_.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double sum =
+        weight_checksum_of(*models[static_cast<std::size_t>(i)]);
+    QDNN_CHECK(weight_checksums_.empty() || sum == weight_checksums_[0],
+               "Server: models[" << i << "] weight checksum (" << sum
+                                 << ") differs from models[0] ("
+                                 << weight_checksums_[0]
+                                 << ") — shards must serve identical "
+                                    "replica weights");
+    weight_checksums_.push_back(sum);
+    registry_
+        .gauge("server.shard" + std::to_string(i) + ".weight_checksum")
+        .set(sum);
+  }
+
   // Bind every shard's scheduler before starting any worker, so a
   // construction failure (bind exclusivity, ring geometry) never leaves
-  // threads running over half-built state.
+  // threads running over half-built state.  Every shard records into the
+  // server's registry under its own prefix, so one snapshot sees the
+  // whole fleet.
   shards_.reserve(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
+    BatchSchedulerConfig shard_config = config.shard;
+    shard_config.registry = &registry_;
+    shard_config.metrics_prefix = "shard" + std::to_string(i);
     shard->scheduler = std::make_unique<BatchScheduler>(
-        *models[static_cast<std::size_t>(i)], config.shard);
+        *models[static_cast<std::size_t>(i)], shard_config);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_)
@@ -202,6 +256,22 @@ std::vector<RequestResult> Server::take_results() {
 void Server::wait_idle() {
   std::unique_lock<std::mutex> lk(idle_mu_);
   idle_cv_.wait(lk, [&] { return unresolved_.load() == 0; });
+}
+
+SchedulerStats Server::shard_stats(index_t shard) const {
+  QDNN_CHECK(shard >= 0 && shard < shards(),
+             "Server: shard " << shard << " outside [0, " << shards()
+                              << ")");
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  const auto lk = lock_front(s);
+  return s.scheduler->stats();
+}
+
+double Server::weight_checksum(index_t shard) const {
+  QDNN_CHECK(shard >= 0 && shard < shards(),
+             "Server: shard " << shard << " outside [0, " << shards()
+                              << ")");
+  return weight_checksums_[static_cast<std::size_t>(shard)];
 }
 
 ServerStats Server::stats() const {

@@ -118,6 +118,24 @@ class Server {
   index_t shards() const { return static_cast<index_t>(shards_.size()); }
   ServerStats stats() const;
 
+  // One shard's scheduler snapshot (not the worst-shard roll-up) —
+  // instruments registered under "shard<i>." in metrics().  Thread-safe;
+  // waits at most one tick on the shard's worker.
+  SchedulerStats shard_stats(index_t shard) const;
+
+  // The server-owned registry every shard records into: per-shard
+  // scheduler instruments ("shard<i>.*") plus the per-replica weight
+  // checksums ("server.shard<i>.weight_checksum").  snapshot() and the
+  // exporters are safe from any thread, concurrently with the workers.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  // The replica weight checksum computed for `shard` at construction
+  // (FNV-1a over every parameter's float bits, folded to 52 bits so the
+  // gauge holds it exactly).  Equal across shards by construction — the
+  // constructor rejects diverged replicas; re-exported as a gauge so
+  // post-construction drift is visible in snapshots after a hot-swap.
+  double weight_checksum(index_t shard) const;
+
  private:
   struct Shard {
     std::unique_ptr<BatchScheduler> scheduler;
@@ -142,6 +160,10 @@ class Server {
   // mailbox and updates the idle accounting.  Caller holds shard.mu.
   void drain_locked(Shard& shard);
 
+  // Declared before shards_ so it outlives every scheduler recording
+  // into it (members destroy in reverse declaration order).
+  obs::MetricsRegistry registry_;
+  std::vector<double> weight_checksums_;  // one per shard, at construction
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<index_t> next_seq_{0};    // id = seq * shards + shard
   std::atomic<index_t> unresolved_{0};  // submitted − mailboxed

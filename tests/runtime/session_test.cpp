@@ -15,6 +15,7 @@
 #include "decode_test_util.h"
 #include "linalg/gemm_backend.h"
 #include "models/resnet.h"
+#include "obs/trace.h"
 #include "models/transformer/transformer.h"
 #include "runtime/decode_session.h"
 #include "serve/scheduler.h"
@@ -455,6 +456,68 @@ TEST(DecodeSession, FrozenStepZeroHeapAllocationsInSteadyState) {
   EXPECT_EQ(linalg::gemm_heap_pack_calls(), packs_before);
 }
 
+// Restores the process-wide tracing flag on scope exit, so these tests
+// behave identically whether CI exported QDNN_TRACE or not.
+struct TraceFlagGuard {
+  bool saved = obs::trace_enabled();
+  ~TraceFlagGuard() { obs::set_trace_enabled(saved); }
+};
+
+TEST(DecodeSession, StepZeroHeapAllocationsWithTracingEnabled) {
+  // The observability contract: tracing ON must not cost allocations
+  // either — stage timing writes into bind-time buffers and trace/metric
+  // recording into preallocated instruments.
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(true);
+  models::Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  DecodeSessionConfig sc;
+  sc.max_batch = 4;
+  sc.max_steps = 12;
+  DecodeSession session(model, sc);
+
+  const Tensor src = random_src_ids(4, 6, 20, 51);
+  session.prime(src, {});
+  std::vector<index_t> feed(4, 1);
+  session.step(feed);
+  feed = session.step(feed);
+
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 8; ++i) feed = session.step(feed);
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "traced steady-state step() performed " << (after - before)
+      << " heap allocations";
+  // The profile must actually have accumulated: embed + stages + argmax,
+  // every slot stepped once per step().
+  const auto profile = session.stage_profile();
+  ASSERT_EQ(static_cast<index_t>(profile.size()),
+            session.num_stages() + 2);
+  EXPECT_EQ(profile.front().name, "embed");
+  EXPECT_EQ(profile.back().name, "argmax");
+  for (const obs::StageTiming& st : profile) {
+    EXPECT_GE(st.calls, 10) << st.name;
+    EXPECT_GT(st.total_ns, 0) << st.name;
+  }
+}
+
+TEST(DecodeSession, TracingOffRecordsNoStageProfile) {
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(false);
+  models::Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  DecodeSessionConfig sc;
+  sc.max_batch = 2;
+  sc.max_steps = 8;
+  DecodeSession session(model, sc);
+  session.prime(random_src_ids(2, 4, 20, 61), {});
+  session.generate(1, 2);
+  for (const obs::StageTiming& st : session.stage_profile()) {
+    EXPECT_EQ(st.calls, 0) << st.name;
+    EXPECT_EQ(st.total_ns, 0) << st.name;
+  }
+}
+
 TEST(DecodeSession, FreezeShrinksDecodeWatermarkBitIdentically) {
   // Frozen vs unfrozen decode sessions: identical token sequences, but
   // the frozen watermark must have dropped the per-step gemm trans_b
@@ -543,6 +606,42 @@ TEST(BatchScheduler, SteadyStateTickZeroHeapAllocations) {
   EXPECT_EQ(after - before, 0)
       << "steady-state scheduler tick performed " << (after - before)
       << " heap allocations";
+  scheduler.run();
+  EXPECT_EQ(scheduler.take_results().size(), 3u);
+}
+
+TEST(BatchScheduler, SteadyStateTickZeroHeapAllocationsWithTracing) {
+  // Same window as SteadyStateTickZeroHeapAllocations, but with the
+  // telemetry fully live: per-token trace records, first-token stamps,
+  // histogram observes and stage timing all land in preallocated storage.
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(true);
+  models::Transformer model(qdnn::testing::tiny_transformer_config());
+  model.set_training(false);
+  serve::BatchSchedulerConfig config;
+  config.session.max_batch = 3;
+  config.session.max_steps = 16;
+  serve::BatchScheduler scheduler(model, config);
+
+  for (index_t i = 0; i < 3; ++i) {
+    serve::Request req;
+    req.src_ids = random_src_ids(1, 5, 20, 120 + i);
+    req.max_new_tokens = 16;
+    scheduler.submit(std::move(req));
+  }
+  scheduler.step();
+  scheduler.step();
+  ASSERT_EQ(scheduler.live_rows(), 3);
+
+  const long long traced_before = scheduler.trace().recorded();
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 8; ++i) scheduler.step();
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "traced steady-state scheduler tick performed "
+      << (after - before) << " heap allocations";
+  // The measured ticks DID trace: 3 rows × 8 ticks of step events.
+  EXPECT_GE(scheduler.trace().recorded() - traced_before, 24);
   scheduler.run();
   EXPECT_EQ(scheduler.take_results().size(), 3u);
 }
