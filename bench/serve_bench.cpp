@@ -101,6 +101,11 @@ struct Measured {
   // Per-shard mean occupancy (run_sharded only) — the load-balance view
   // join-shortest-queue routing is supposed to keep flat.
   std::vector<double> shard_occupancy;
+  // Paged-KV counters (PR 10): prefix-cache traffic and page-pressure
+  // preemptions over the run.
+  long long prefix_hits = 0;
+  long long prefix_misses = 0;
+  index_t preemptions = 0;
 };
 
 void fill_class_stats(Measured& m, const serve::SchedulerClassStats& cls) {
@@ -152,6 +157,36 @@ std::vector<TraceRequest> make_trace(index_t count, double rate,
   return trace;
 }
 
+// Prefix-reuse traffic: every request opens with one of `n_prompts`
+// shared "system prompts" (full-length sources drawn once), Poisson
+// arrivals, mixed short budgets — the workload the content-hashed
+// prefix cache exists for.
+std::vector<TraceRequest> make_prefix_trace(index_t count, double rate,
+                                            index_t n_prompts, index_t ts,
+                                            index_t b_lo, index_t b_hi,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> prompts;
+  for (index_t p = 0; p < n_prompts; ++p) {
+    Tensor src{Shape{1, ts}};
+    for (index_t j = 0; j < ts; ++j)
+      src[j] = static_cast<float>(3 + rng.uniform_int(253));
+    prompts.push_back(std::move(src));
+  }
+  std::vector<TraceRequest> trace;
+  double arrival = 0.0;
+  for (index_t i = 0; i < count; ++i) {
+    arrival += -std::log(1.0 - rng.uniform()) / rate;
+    TraceRequest r;
+    r.src = prompts[static_cast<std::size_t>(i % n_prompts)];
+    r.src_length = ts;
+    r.budget = b_lo + rng.uniform_int(b_hi - b_lo + 1);
+    r.arrival_tick = static_cast<index_t>(arrival);
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
@@ -184,10 +219,15 @@ constexpr index_t kBos = 1, kEos = 2;
 Measured run_continuous(models::Transformer& model,
                         const std::vector<TraceRequest>& trace,
                         index_t max_batch, index_t max_steps,
-                        index_t prefill_workers = 0) {
+                        index_t prefill_workers = 0,
+                        index_t pool_pages = 0,
+                        index_t prefix_entries = -1) {
   serve::BatchSchedulerConfig config;
   config.session.max_batch = max_batch;
   config.session.max_steps = max_steps;
+  config.session.pool_pages = pool_pages;
+  if (prefix_entries >= 0)
+    config.session.prefix_cache_entries = prefix_entries;
   config.bos = kBos;
   config.eos = kEos;
   config.prefill_workers = prefill_workers;
@@ -235,6 +275,9 @@ Measured run_continuous(models::Transformer& model,
   const serve::SchedulerStats stats = scheduler.stats();
   fill_class_stats(m, stats.per_class[static_cast<std::size_t>(
                        serve::Priority::kNormal)]);
+  m.prefix_hits = stats.prefix_hits;
+  m.prefix_misses = stats.prefix_misses;
+  m.preemptions = stats.preemptions;
   return m;
 }
 
@@ -755,7 +798,9 @@ void write_json(const char* path, bool smoke, index_t requests,
                 const Measured& shard4, index_t scaled_shards,
                 const AdversarialCounts& adv,
                 const GemmBackendBench& gb,
-                const ObservabilityResult& ob) {
+                const ObservabilityResult& ob, index_t px_requests,
+                const Measured& px_dense, const Measured& px_tight,
+                const Measured& px_reuse, double px_hit_rate) {
   std::FILE* f = std::fopen(path, "w");
   QDNN_CHECK(f != nullptr, "serve bench: cannot open " << path);
   std::fprintf(f, "{\n  \"bench\": \"serve_bench\",\n");
@@ -862,7 +907,7 @@ void write_json(const char* path, bool smoke, index_t requests,
       "  \"adversarial\": {\"requests\": %lld, \"sheds\": %lld, "
       "\"cancel_hits\": %lld, \"cancelled\": %lld, "
       "\"deadline_expired\": %lld, \"completed\": %lld, "
-      "\"errored\": %lld}\n}\n",
+      "\"errored\": %lld},\n",
       static_cast<long long>(adv.requests),
       static_cast<long long>(adv.sheds),
       static_cast<long long>(adv.cancel_hits),
@@ -870,6 +915,18 @@ void write_json(const char* path, bool smoke, index_t requests,
       static_cast<long long>(adv.expired),
       static_cast<long long>(adv.completed),
       static_cast<long long>(adv.errored));
+  std::fprintf(f, "  \"prefix_reuse\": {\"requests\": %lld,\n",
+               static_cast<long long>(px_requests));
+  write_json_mode(f, "dense_pool", px_dense, false);
+  write_json_mode(f, "tight_pool", px_tight, false);
+  write_json_mode(f, "tight_pool_prefix_cache", px_reuse, false);
+  std::fprintf(
+      f,
+      "    \"hit_rate\": %.4f, \"prefix_hits\": %lld, "
+      "\"prefix_misses\": %lld, \"preemptions\": %lld, "
+      "\"bit_identical\": true\n  }\n}\n",
+      px_hit_rate, px_reuse.prefix_hits, px_reuse.prefix_misses,
+      static_cast<long long>(px_reuse.preemptions));
   std::fclose(f);
 }
 
@@ -1115,10 +1172,96 @@ int main(int argc, char** argv) {
                   top[i].calls);
   }
 
+  // -------------------------------------------------------------------
+  // Prefix reuse: repeated system-prompt traffic through the paged KV
+  // pool at three operating points — the dense baseline (cache off,
+  // worst-case pool), the same tight pool without the cache, and the
+  // tight pool with the content-hashed prefix cache.  The cache shares
+  // committed cross-K/V pages between requests, so under a tight page
+  // budget it restores the admitted concurrency (and tokens/sec) the
+  // tight pool took away.  All three emit bit-identical tokens.
+  // -------------------------------------------------------------------
+  const index_t px_requests = smoke ? 12 : 48 * scale;
+  const index_t n_prompts = smoke ? 2 : 3;
+  const index_t prompt_ts = max_src;  // full-length shared prompts
+  const index_t pt = runtime::DecodeSessionConfig{}.page_tokens;
+  const index_t self_pp = (max_steps + pt - 1) / pt;
+  const index_t cross_pp = (prompt_ts + pt - 1) / pt;
+  const index_t row_pages = self_pp + cross_pp;
+  const index_t dense_pages = max_batch * row_pages;
+  // The shared-prefix working set: every prompt's cross pages ONCE
+  // (pinned by the cache) plus every row's self pages, with one spare.
+  // With the cache on this pool holds max_batch fully-deep rows; with
+  // it off every row pays its own cross pages, so concurrency drops —
+  // and the pool must never be so tight that a prompt's cache entry is
+  // evicted before the prompt recurs (a thrashing cache never hits).
+  const index_t tight_pages =
+      n_prompts * cross_pp + max_batch * self_pp + 1;
+  print_header("Prefix reuse (shared system prompts, paged KV pool)");
+  std::printf("requests %lld over %lld shared prompts (%lld tokens "
+              "each), batch %lld\npool: dense %lld pages, tight %lld "
+              "pages (%lld floats/page)\n\n",
+              static_cast<long long>(px_requests),
+              static_cast<long long>(n_prompts),
+              static_cast<long long>(prompt_ts),
+              static_cast<long long>(max_batch),
+              static_cast<long long>(dense_pages),
+              static_cast<long long>(tight_pages),
+              static_cast<long long>(
+                  model_config().n_layers * 2 * pt *
+                  model_config().proj_dim));
+
+  const auto px_trace = make_prefix_trace(px_requests, smoke ? 1.0 : 1.5,
+                                          n_prompts, prompt_ts, 3,
+                                          smoke ? 8 : 12, /*seed=*/173);
+  const Measured px_dense =
+      run_continuous(model, px_trace, max_batch, max_steps,
+                     /*prefill_workers=*/0, /*pool_pages=*/0,
+                     /*prefix_entries=*/0);
+  const Measured px_tight =
+      run_continuous(model, px_trace, max_batch, max_steps,
+                     /*prefill_workers=*/0, tight_pages,
+                     /*prefix_entries=*/0);
+  const Measured px_reuse =
+      run_continuous(model, px_trace, max_batch, max_steps,
+                     /*prefill_workers=*/0, tight_pages,
+                     /*prefix_entries=*/8);
+  print_row({"pool", "tokens/s", "rows (mean)", "hit rate",
+             "preemptions"});
+  print_rule();
+  const double px_hit_rate =
+      px_reuse.prefix_hits + px_reuse.prefix_misses > 0
+          ? static_cast<double>(px_reuse.prefix_hits) /
+                static_cast<double>(px_reuse.prefix_hits +
+                                    px_reuse.prefix_misses)
+          : 0.0;
+  print_row({"dense", fmt(px_dense.tokens_per_sec, 0),
+             fmt(px_dense.occupancy, 2), "off",
+             fmt(static_cast<double>(px_dense.preemptions), 0)});
+  print_row({"tight", fmt(px_tight.tokens_per_sec, 0),
+             fmt(px_tight.occupancy, 2), "off",
+             fmt(static_cast<double>(px_tight.preemptions), 0)});
+  print_row({"tight+prefix", fmt(px_reuse.tokens_per_sec, 0),
+             fmt(px_reuse.occupancy, 2), fmt(px_hit_rate, 2),
+             fmt(static_cast<double>(px_reuse.preemptions), 0)});
+  print_rule();
+  check_identical(px_dense, px_tight, px_trace.size(), "dense/tight");
+  check_identical(px_dense, px_reuse, px_trace.size(), "dense/reuse");
+  QDNN_CHECK(px_reuse.prefix_hits > 0,
+             "serve bench: repeated prompts produced no prefix hits");
+  std::printf(
+      "Identical per-request tokens at all three operating points "
+      "(%lld\ntotal).  Expected shape: the tight pool caps admitted "
+      "concurrency\n(mean rows drop vs dense); the prefix cache shares "
+      "each prompt's\ncross-K/V pages across its requests, so admissions "
+      "stop paying\nthe prompt's page cost and concurrency recovers.\n",
+      static_cast<long long>(px_reuse.total_tokens));
+
   if (json) {
     write_json("BENCH_serve.json", smoke, requests, pf_requests,
                max_batch, st, ct, sync_m, async_m, async2_m, shard1,
-               shard4, scaled_shards, adv, gb, ob);
+               shard4, scaled_shards, adv, gb, ob, px_requests,
+               px_dense, px_tight, px_reuse, px_hit_rate);
     // The traced run's registry as Prometheus text — the scrape-format
     // artifact CI uploads next to the JSON.
     std::FILE* pf = std::fopen("BENCH_serve.prom", "w");

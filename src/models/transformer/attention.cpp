@@ -10,25 +10,80 @@ namespace qdnn::models {
 
 namespace {
 
+// Key/value address resolvers for the shared attention kernel: both
+// expose `row(s, j)` — the base of sample s's key (or value) row at
+// token position j.  DenseKvAddr strides a contiguous [N·stride, P]
+// buffer (the training forward, the serving encoder, the staging
+// buffers); PagedKvAddr chases the per-row page table of a
+// runtime::KvPagePool (the decode-step KV caches).  The kernel body is
+// identical either way, so the addressing scheme can never change the
+// reduction order — dense and paged attention are bit-identical.
+struct DenseKvAddr {
+  const float* base;
+  index_t stride;  // rows per sample
+  index_t proj;
+  const float* row(index_t s, index_t j) const {
+    return base + (s * stride + j) * proj;
+  }
+};
+
+struct PagedKvAddr {
+  const float* pool;
+  const index_t* table;
+  index_t page_floats;
+  index_t pages_per_row;
+  index_t shift;  // log2(page_tokens)
+  index_t mask;   // page_tokens - 1
+  index_t slice_offset;
+  index_t proj;
+  const float* row(index_t s, index_t j) const {
+    const index_t page = table[s * pages_per_row + (j >> shift)];
+    return pool + page * page_floats + slice_offset + (j & mask) * proj;
+  }
+};
+
+// Builds the resolver from a view, validating the paged geometry: the
+// deepest attended position (tk - 1) must land inside the table, and
+// page_tokens must be a power of two (shift/mask addressing).
+PagedKvAddr make_paged_addr(const PagedKvView& view, index_t tk,
+                            index_t proj, const char* who) {
+  QDNN_CHECK(view.valid(), who << ": paged KV view not bound");
+  QDNN_CHECK(view.page_tokens >= 1 &&
+                 (view.page_tokens & (view.page_tokens - 1)) == 0,
+             who << ": page_tokens " << view.page_tokens
+                 << " is not a power of two");
+  index_t shift = 0;
+  while ((static_cast<index_t>(1) << shift) < view.page_tokens) ++shift;
+  QDNN_CHECK(((tk - 1) >> shift) < view.pages_per_row,
+             who << ": " << tk << " attended positions exceed "
+                 << view.pages_per_row << " pages of " << view.page_tokens
+                 << " tokens");
+  return PagedKvAddr{view.pool,          view.table,
+                     view.page_floats,   view.pages_per_row,
+                     shift,              view.page_tokens - 1,
+                     view.slice_offset,  proj};
+}
+
 // Scores → masked softmax → context, shared by the training forward(),
 // the serving forward_into() and the KV-cached step kernels — one
-// definition so the paths cannot drift.  q [N·Tq, P], k/v hold
-// `kv_stride` rows per sample of which the first Tk are attended (a
-// dense [N·Tk, P] buffer passes kv_stride = Tk; a KV cache ring passes
-// its capacity); writes softmax weights into `attn` [N, H, Tq, Tk] and
+// definition so the paths cannot drift.  q [N·Tq, P]; k_src/v_src
+// resolve each sample's first Tk key/value rows (see the resolvers
+// above); writes softmax weights into `attn` [N, H, Tq, Tk] and
 // accumulates the per-head context into `context` [N·Tq, P], which must
 // be zeroed by the caller.  `kv_lengths` is a per-sample key-count array
 // (or null: all Tk keys valid); `kv_len_bias` is added to every entry —
 // the self-attention step passes its per-row ring positions with bias 1.
 // Masked tails score -1e30, which softmax maps to exact 0.0f weights, so
 // a row with valid_k < Tk is bit-identical to the same row run at
-// Tk = valid_k — the property continuous batching rests on.
-void attention_forward(const float* q, const float* k, const float* v,
-                       index_t n, index_t n_heads, index_t tq, index_t tk,
-                       index_t kv_stride, index_t proj_dim,
-                       index_t head_dim, bool causal,
-                       const index_t* kv_lengths, index_t kv_len_bias,
-                       float* attn, float* context) {
+// Tk = valid_k — the property continuous batching (and paged storage:
+// positions past valid_k are never dereferenced) rests on.
+template <class KvAddr>
+void attention_forward_impl(const float* q, const KvAddr& k_src,
+                            const KvAddr& v_src, index_t n, index_t n_heads,
+                            index_t tq, index_t tk, index_t proj_dim,
+                            index_t head_dim, bool causal,
+                            const index_t* kv_lengths, index_t kv_len_bias,
+                            float* attn, float* context) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
   for (index_t s = 0; s < n; ++s) {
     const index_t valid_k =
@@ -43,8 +98,7 @@ void attention_forward(const float* q, const float* k, const float* v,
         const index_t limit = causal ? std::min(i + 1, valid_k) : valid_k;
         for (index_t j = 0; j < tk; ++j) {
           if (j < limit) {
-            const float* k_row =
-                k + (s * kv_stride + j) * proj_dim + h * head_dim;
+            const float* k_row = k_src.row(s, j) + h * head_dim;
             score_row[j] = scale * linalg::dot(q_row, k_row, head_dim);
           } else {
             score_row[j] = -1e30f;  // masked: pad or future position
@@ -60,13 +114,26 @@ void attention_forward(const float* q, const float* k, const float* v,
         for (index_t j = 0; j < tk; ++j) {
           const float a = score_row[j];
           if (a == 0.0f) continue;
-          const float* v_row =
-              v + (s * kv_stride + j) * proj_dim + h * head_dim;
+          const float* v_row = v_src.row(s, j) + h * head_dim;
           linalg::axpy(head_dim, a, v_row, ctx_row);
         }
       }
     }
   }
+}
+
+// Dense entry point (training forward, serving encoder): k/v hold
+// `kv_stride` rows per sample of which the first Tk are attended.
+void attention_forward(const float* q, const float* k, const float* v,
+                       index_t n, index_t n_heads, index_t tq, index_t tk,
+                       index_t kv_stride, index_t proj_dim,
+                       index_t head_dim, bool causal,
+                       const index_t* kv_lengths, index_t kv_len_bias,
+                       float* attn, float* context) {
+  attention_forward_impl(q, DenseKvAddr{k, kv_stride, proj_dim},
+                         DenseKvAddr{v, kv_stride, proj_dim}, n, n_heads,
+                         tq, tk, proj_dim, head_dim, causal, kv_lengths,
+                         kv_len_bias, attn, context);
 }
 
 }  // namespace
@@ -264,20 +331,15 @@ void MultiHeadAttention::self_forward_into(const ConstTensorView& input,
 
 void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
                                           const TensorView& out,
-                                          const TensorView& k_cache,
-                                          const TensorView& v_cache,
+                                          const PagedKvView& k_cache,
+                                          const PagedKvView& v_cache,
+                                          index_t capacity,
                                           const index_t* row_steps,
                                           Workspace& ws) {
   QDNN_CHECK(x.rank() == 2 && x.dim(1) == d_model_,
              name_ << ": step input must be [N, " << d_model_ << "]");
   const index_t n = x.dim(0);
-  QDNN_CHECK(k_cache.rank() == 3 && k_cache.dim(0) == n &&
-                 k_cache.dim(2) == proj_dim_ &&
-                 k_cache.shape() == v_cache.shape(),
-             name_ << ": KV cache must be [N, S, " << proj_dim_ << "], got "
-                   << k_cache.shape() << " / " << v_cache.shape());
   QDNN_CHECK(row_steps != nullptr, name_ << ": null row_steps");
-  const index_t capacity = k_cache.dim(1);
   index_t max_step = 0;
   for (index_t s = 0; s < n; ++s) {
     QDNN_CHECK(row_steps[s] >= 0 && row_steps[s] < capacity,
@@ -287,9 +349,13 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
   }
   QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
              name_ << ": bad step output view " << out.shape());
+  const index_t tk = max_step + 1;
+  const PagedKvAddr k_addr = make_paged_addr(k_cache, tk, proj_dim_, "self");
+  const PagedKvAddr v_addr = make_paged_addr(v_cache, tk, proj_dim_, "self");
 
   // Project the new tokens in one batch gemm; scatter each row's K/V at
-  // its own ring position.
+  // its own paged ring position (parked rows' table entries point at the
+  // pool's sentinel page, so their writes are harmless).
   float* q = ws.alloc(n * proj_dim_);
   float* k_new = ws.alloc(n * proj_dim_);
   float* v_new = ws.alloc(n * proj_dim_);
@@ -297,10 +363,8 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
   wk_->forward_into(x, TensorView(Shape{n, proj_dim_}, k_new), ws);
   wv_->forward_into(x, TensorView(Shape{n, proj_dim_}, v_new), ws);
   for (index_t s = 0; s < n; ++s) {
-    float* k_dst =
-        k_cache.data() + (s * capacity + row_steps[s]) * proj_dim_;
-    float* v_dst =
-        v_cache.data() + (s * capacity + row_steps[s]) * proj_dim_;
+    float* k_dst = const_cast<float*>(k_addr.row(s, row_steps[s]));
+    float* v_dst = const_cast<float*>(v_addr.row(s, row_steps[s]));
     std::memcpy(k_dst, k_new + s * proj_dim_,
                 static_cast<std::size_t>(proj_dim_) * sizeof(float));
     std::memcpy(v_dst, v_new + s * proj_dim_,
@@ -310,15 +374,15 @@ void MultiHeadAttention::self_attend_step(const ConstTensorView& x,
   // Row s attends over its cached prefix [0, row_steps[s]] — exactly the
   // last row of a causal full-prefix pass over that row alone.  Rows
   // behind the batch-deepest position mask the tail (exact-zero softmax
-  // weights), so mixed ring positions share one kernel call.
-  const index_t tk = max_step + 1;
+  // weights, positions past it never dereferenced), so mixed ring
+  // positions share one kernel call.
   float* attn = ws.alloc(n * n_heads_ * tk);
   float* context = ws.alloc(n * proj_dim_);
   for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
-  attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
-                    /*tq=*/1, tk, /*kv_stride=*/capacity, proj_dim_,
-                    head_dim_, /*causal=*/false, row_steps,
-                    /*kv_len_bias=*/1, attn, context);
+  attention_forward_impl(q, k_addr, v_addr, n, n_heads_,
+                         /*tq=*/1, tk, proj_dim_, head_dim_,
+                         /*causal=*/false, row_steps,
+                         /*kv_len_bias=*/1, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
                     TensorView(Shape{n, d_model_}, out.data()), ws);
@@ -349,17 +413,12 @@ void MultiHeadAttention::project_kv(const ConstTensorView& enc_flat,
 
 void MultiHeadAttention::cross_attend_step(
     const ConstTensorView& x, const TensorView& out,
-    const ConstTensorView& k_cache, const ConstTensorView& v_cache,
+    const PagedKvView& k_cache, const PagedKvView& v_cache, index_t tk,
     const std::vector<index_t>& kv_lengths, Workspace& ws) {
   QDNN_CHECK(x.rank() == 2 && x.dim(1) == d_model_,
              name_ << ": step input must be [N, " << d_model_ << "]");
   const index_t n = x.dim(0);
-  QDNN_CHECK(k_cache.rank() == 3 && k_cache.dim(0) == n &&
-                 k_cache.dim(2) == proj_dim_ &&
-                 k_cache.shape() == v_cache.shape(),
-             name_ << ": KV cache must be [N, Tk, " << proj_dim_
-                   << "], got " << k_cache.shape() << " / "
-                   << v_cache.shape());
+  QDNN_CHECK(tk >= 1, name_ << ": cross capacity must be >= 1, got " << tk);
   // At least one length per sample: a session bound below its max_batch
   // width keeps the full-width per-row state (tail entries unused).
   QDNN_CHECK(kv_lengths.empty() ||
@@ -368,7 +427,10 @@ void MultiHeadAttention::cross_attend_step(
                    << " kv_lengths for batch " << n);
   QDNN_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == d_model_,
              name_ << ": bad step output view " << out.shape());
-  const index_t tk = k_cache.dim(1);
+  const PagedKvAddr k_addr = make_paged_addr(k_cache, tk, proj_dim_,
+                                             "cross");
+  const PagedKvAddr v_addr = make_paged_addr(v_cache, tk, proj_dim_,
+                                             "cross");
 
   float* q = ws.alloc(n * proj_dim_);
   wq_->forward_into(x, TensorView(Shape{n, proj_dim_}, q), ws);
@@ -376,11 +438,11 @@ void MultiHeadAttention::cross_attend_step(
   float* attn = ws.alloc(n * n_heads_ * tk);
   float* context = ws.alloc(n * proj_dim_);
   for (index_t i = 0; i < n * proj_dim_; ++i) context[i] = 0.0f;
-  attention_forward(q, k_cache.data(), v_cache.data(), n, n_heads_,
-                    /*tq=*/1, tk, /*kv_stride=*/tk, proj_dim_, head_dim_,
-                    /*causal=*/false,
-                    kv_lengths.empty() ? nullptr : kv_lengths.data(),
-                    /*kv_len_bias=*/0, attn, context);
+  attention_forward_impl(q, k_addr, v_addr, n, n_heads_,
+                         /*tq=*/1, tk, proj_dim_, head_dim_,
+                         /*causal=*/false,
+                         kv_lengths.empty() ? nullptr : kv_lengths.data(),
+                         /*kv_len_bias=*/0, attn, context);
 
   wo_->forward_into(ConstTensorView(Shape{n, proj_dim_}, context),
                     TensorView(Shape{n, d_model_}, out.data()), ws);
@@ -431,20 +493,27 @@ SelfAttentionStep::SelfAttentionStep(MultiHeadAttention& attn,
                                      std::string name)
     : attn_(&attn), name_(std::move(name)) {}
 
-void SelfAttentionStep::bind(TensorView k_cache, TensorView v_cache,
+void SelfAttentionStep::bind(const PagedKvView& k_cache,
+                             const PagedKvView& v_cache, index_t capacity,
                              const std::vector<index_t>* row_steps) {
   QDNN_CHECK(row_steps != nullptr, name_ << ": null row_steps counters");
+  QDNN_CHECK(k_cache.valid() && v_cache.valid(),
+             name_ << ": invalid paged KV view");
+  QDNN_CHECK(capacity >= 1,
+             name_ << ": capacity must be >= 1, got " << capacity);
   QDNN_CHECK(row_steps_ == nullptr || row_steps_ == row_steps,
              name_ << ": decoder already bound by another DecodeSession — "
                       "destroy it before binding a new one");
   k_ = k_cache;
   v_ = v_cache;
+  capacity_ = capacity;
   row_steps_ = row_steps;
 }
 
 void SelfAttentionStep::unbind() {
-  k_ = TensorView{};
-  v_ = TensorView{};
+  k_ = PagedKvView{};
+  v_ = PagedKvView{};
+  capacity_ = 0;
   row_steps_ = nullptr;
 }
 
@@ -477,7 +546,8 @@ void SelfAttentionStep::forward_into(const ConstTensorView& input,
   QDNN_CHECK(static_cast<index_t>(row_steps_->size()) >= input.dim(0),
              name_ << ": " << row_steps_->size()
                    << " row step counters for batch " << input.dim(0));
-  attn_->self_attend_step(input, output, k_, v_, row_steps_->data(), ws);
+  attn_->self_attend_step(input, output, k_, v_, capacity_,
+                          row_steps_->data(), ws);
 }
 
 // ---------------------------------------------------------------------------
@@ -488,21 +558,26 @@ CrossAttentionStep::CrossAttentionStep(MultiHeadAttention& attn,
                                        std::string name)
     : attn_(&attn), name_(std::move(name)) {}
 
-void CrossAttentionStep::bind(ConstTensorView k_cache,
-                              ConstTensorView v_cache,
+void CrossAttentionStep::bind(const PagedKvView& k_cache,
+                              const PagedKvView& v_cache, index_t tk,
                               const std::vector<index_t>* kv_lengths) {
   QDNN_CHECK(kv_lengths != nullptr, name_ << ": null kv_lengths");
+  QDNN_CHECK(k_cache.valid() && v_cache.valid(),
+             name_ << ": invalid paged KV view");
+  QDNN_CHECK(tk >= 1, name_ << ": tk must be >= 1, got " << tk);
   QDNN_CHECK(kv_lengths_ == nullptr || kv_lengths_ == kv_lengths,
              name_ << ": decoder already bound by another DecodeSession — "
                       "destroy it before binding a new one");
   k_ = k_cache;
   v_ = v_cache;
+  tk_ = tk;
   kv_lengths_ = kv_lengths;
 }
 
 void CrossAttentionStep::unbind() {
-  k_ = ConstTensorView{};
-  v_ = ConstTensorView{};
+  k_ = PagedKvView{};
+  v_ = PagedKvView{};
+  tk_ = 0;
   kv_lengths_ = nullptr;
 }
 
@@ -532,7 +607,7 @@ void CrossAttentionStep::forward_into(const ConstTensorView& input,
                                       Workspace& ws) {
   QDNN_CHECK(bound(), name_ << ": encoder K/V not bound (prime a "
                                "DecodeSession first)");
-  attn_->cross_attend_step(input, output, k_, v_, *kv_lengths_, ws);
+  attn_->cross_attend_step(input, output, k_, v_, tk_, *kv_lengths_, ws);
 }
 
 }  // namespace qdnn::models

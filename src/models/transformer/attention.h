@@ -41,6 +41,28 @@
 
 namespace qdnn::models {
 
+// Paged KV addressing for the step kernels (PR 10): token position j of
+// sample s lives at
+//   pool + table[s·pages_per_row + j/page_tokens]·page_floats
+//        + slice_offset + (j mod page_tokens)·proj_dim
+// where `table` is the session's per-row page table over a
+// runtime::KvPagePool and `slice_offset` selects this tensor's K-or-V
+// slice of one layer inside the page.  page_tokens must be a power of
+// two (the kernels resolve j with shift/mask, never a divide).  Unmapped
+// table entries point at the pool's sentinel page; the masked-score /
+// zero-weight contract guarantees live rows never read past what they
+// mapped, so the indirection changes ADDRESSES only — the reduction
+// order (and therefore every bit) is identical to the dense layout.
+struct PagedKvView {
+  float* pool = nullptr;           // pool storage base (page 0 = sentinel)
+  const index_t* table = nullptr;  // [N, pages_per_row] page ids
+  index_t page_floats = 0;         // floats per page
+  index_t pages_per_row = 0;       // table entries per sample
+  index_t page_tokens = 0;         // token rows per page (power of two)
+  index_t slice_offset = 0;        // this K-or-V slice within a page
+  bool valid() const { return pool != nullptr && table != nullptr; }
+};
+
 class MultiHeadAttention : public nn::Module {
  public:
   // proj_dim: total width of the Q/K/V projections (split across heads).
@@ -91,13 +113,15 @@ class MultiHeadAttention : public nn::Module {
   // corresponding rows of the teacher-forced forward().
 
   // Decoder self-attention for one new token per sample.  x: [N, D], the
-  // step's activation.  k_cache/v_cache: [N, S, P] rings (S = step
-  // capacity); row s's new K/V are written at ring row row_steps[s] and
-  // its attention runs over rows [0, row_steps[s]] — the causal mask is
-  // implicit in the per-row cache length, and rows at different ring
-  // positions share one batch step.  row_steps: N entries.  out: [N, D].
+  // step's activation.  k_cache/v_cache: paged views over the session's
+  // KV page pool (capacity = ring step bound); row s's new K/V are
+  // written at paged position row_steps[s] and its attention runs over
+  // positions [0, row_steps[s]] — the causal mask is implicit in the
+  // per-row cache length, and rows at different ring positions share one
+  // batch step.  row_steps: N entries.  out: [N, D].
   void self_attend_step(const ConstTensorView& x, const TensorView& out,
-                        const TensorView& k_cache, const TensorView& v_cache,
+                        const PagedKvView& k_cache,
+                        const PagedKvView& v_cache, index_t capacity,
                         const index_t* row_steps, Workspace& ws);
 
   // Cross-attention bind: projects encoder output rows [N·Tk, D] into
@@ -106,13 +130,15 @@ class MultiHeadAttention : public nn::Module {
                   const TensorView& k_cache, const TensorView& v_cache,
                   Workspace& ws);
 
-  // Cross-attention for one new token per sample against K/V prebound by
-  // project_kv.  kv_lengths masks padded source positions per sample
-  // (empty = all Tk valid; may hold more than N entries when the session
-  // keeps full-width per-row state), exactly as the training forward.
+  // Cross-attention for one new token per sample against K/V staged by
+  // project_kv and committed into pool pages.  tk is the batch-wide
+  // source capacity (max_src); kv_lengths masks padded source positions
+  // per sample (empty = all tk valid; may hold more than N entries when
+  // the session keeps full-width per-row state), exactly as the training
+  // forward.
   void cross_attend_step(const ConstTensorView& x, const TensorView& out,
-                         const ConstTensorView& k_cache,
-                         const ConstTensorView& v_cache,
+                         const PagedKvView& k_cache,
+                         const PagedKvView& v_cache, index_t tk,
                          const std::vector<index_t>& kv_lengths,
                          Workspace& ws);
 
@@ -151,11 +177,12 @@ class SelfAttentionStep : public nn::Module {
  public:
   SelfAttentionStep(MultiHeadAttention& attn, std::string name);
 
-  // k/v: [N, S, P] cache rings; `row_steps` points at the session's
-  // per-row step counters (entry s = ring row written and attended for
-  // sample s this call; the vector must hold at least N entries).
-  void bind(TensorView k_cache, TensorView v_cache,
-            const std::vector<index_t>* row_steps);
+  // k/v: paged views over the session's page pool (capacity = ring step
+  // bound); `row_steps` points at the session's per-row step counters
+  // (entry s = paged position written and attended for sample s this
+  // call; the vector must hold at least N entries).
+  void bind(const PagedKvView& k_cache, const PagedKvView& v_cache,
+            index_t capacity, const std::vector<index_t>* row_steps);
   void unbind();
   bool bound() const { return row_steps_ != nullptr; }
 
@@ -170,7 +197,8 @@ class SelfAttentionStep : public nn::Module {
  private:
   MultiHeadAttention* attn_;
   std::string name_;
-  TensorView k_, v_;
+  PagedKvView k_, v_;
+  index_t capacity_ = 0;
   const std::vector<index_t>* row_steps_ = nullptr;
 };
 
@@ -178,11 +206,11 @@ class CrossAttentionStep : public nn::Module {
  public:
   CrossAttentionStep(MultiHeadAttention& attn, std::string name);
 
-  // k/v: [N, Tk, P] encoder-side caches filled by project_kv;
-  // `kv_lengths` points at the session's source-length vector (empty =
-  // all Tk positions valid).
-  void bind(ConstTensorView k_cache, ConstTensorView v_cache,
-            const std::vector<index_t>* kv_lengths);
+  // k/v: paged views over the encoder-side K/V pages committed by the
+  // session (tk = batch-wide source capacity); `kv_lengths` points at
+  // the session's source-length vector (empty = all tk positions valid).
+  void bind(const PagedKvView& k_cache, const PagedKvView& v_cache,
+            index_t tk, const std::vector<index_t>* kv_lengths);
   void unbind();
   bool bound() const { return kv_lengths_ != nullptr; }
 
@@ -197,7 +225,8 @@ class CrossAttentionStep : public nn::Module {
  private:
   MultiHeadAttention* attn_;
   std::string name_;
-  ConstTensorView k_, v_;
+  PagedKvView k_, v_;
+  index_t tk_ = 0;
   const std::vector<index_t>* kv_lengths_ = nullptr;
 };
 

@@ -16,9 +16,17 @@ bool trace_env_enabled() {
   const char* env = std::getenv("QDNN_TRACE");
   return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }
+
+index_t trace_env_sample() {
+  const char* env = std::getenv("QDNN_TRACE_SAMPLE");
+  if (env == nullptr || env[0] == '\0') return 1;
+  const long n = std::strtol(env, nullptr, 10);
+  return n >= 1 ? static_cast<index_t>(n) : 1;
+}
 }  // namespace
 
 std::atomic<bool> g_trace_enabled{trace_env_enabled()};
+std::atomic<index_t> g_trace_sample{trace_env_sample()};
 
 }  // namespace detail
 
@@ -44,12 +52,20 @@ const char* trace_event_name(TraceEvent e) {
       return "cancel";
     case TraceEvent::kShed:
       return "shed";
+    case TraceEvent::kPrefixHit:
+      return "prefix_hit";
+    case TraceEvent::kPreempt:
+      return "preempt";
   }
   return "unknown";
 }
 
 void set_trace_enabled(bool on) {
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_sample(index_t n) {
+  detail::g_trace_sample.store(n >= 1 ? n : 1, std::memory_order_relaxed);
 }
 
 long long now_ns() {

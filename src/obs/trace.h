@@ -42,12 +42,15 @@ enum class TraceEvent : std::int32_t {
   kRetire,        // resolved: eos / budget / deadline / error
   kCancel,        // resolved: cancelled
   kShed,          // resolved at submit: queue full
+  kPrefixHit,     // admission served from the prefix cache (arg: row)
+  kPreempt,       // row evicted to free KV pages, requeued (arg: row)
 };
 
 const char* trace_event_name(TraceEvent e);
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;  // initialized from QDNN_TRACE
+extern std::atomic<index_t> g_trace_sample;  // from QDNN_TRACE_SAMPLE
 }
 
 inline bool trace_enabled() {
@@ -59,6 +62,26 @@ inline bool trace_enabled() {
 }
 
 void set_trace_enabled(bool on);
+
+// Trace SAMPLING: with tracing enabled, every Nth submitted request gets
+// a full lifecycle timeline (and phase timestamps); the rest keep the
+// one-relaxed-load disabled fast path at every per-request record site.
+// N = 1 (the default, or QDNN_TRACE_SAMPLE=N at process start) records
+// everything — the pre-sampling behavior.  The sampling decision is made
+// ONCE at submit by the request's owner (BatchScheduler), so a sampled
+// request's timeline is always complete; aggregate instrumentation that
+// is not per-request (stage profiling, tick histograms) stays keyed on
+// trace_enabled() alone and is unaffected by the sampling rate.
+inline index_t trace_sample() {
+#if defined(QDNN_OBS_NO_TRACE)
+  return 1;
+#else
+  return detail::g_trace_sample.load(std::memory_order_relaxed);
+#endif
+}
+
+// n < 1 is clamped to 1 (sample everything).
+void set_trace_sample(index_t n);
 
 // Monotonic (steady_clock) nanoseconds; allocation-free.
 long long now_ns();

@@ -93,18 +93,41 @@ DecodeSession::DecodeSession(models::Transformer& model,
     model_->output_projection().freeze();
   }
 
-  // KV caches and activation buffers, sized once for (max_batch,
-  // max_steps / max_src).  Zero-filled so the warm-up step at the deepest
-  // ring position reads defined values.
-  const index_t self_floats = config_.max_batch * config_.max_steps *
-                              proj_dim_;
-  const index_t cross_floats = config_.max_batch * max_src_ * proj_dim_;
-  for (index_t l = 0; l < layers; ++l) {
-    self_k_.emplace_back(Shape{self_floats});
-    self_v_.emplace_back(Shape{self_floats});
-    cross_k_.emplace_back(Shape{cross_floats});
-    cross_v_.emplace_back(Shape{cross_floats});
-  }
+  // Paged KV memory: one pool of uniform pages backs both attention
+  // kinds; per-row page tables start all-sentinel (parked/warming rows
+  // read defined zero memory).  pool_pages = 0 defaults to the dense
+  // worst case — every row fully deep — so oversubscription never
+  // happens unless explicitly configured.
+  QDNN_CHECK(config_.page_tokens >= 1 &&
+                 (config_.page_tokens & (config_.page_tokens - 1)) == 0,
+             "DecodeSession: page_tokens must be a power of two, got "
+                 << config_.page_tokens);
+  page_tokens_ = config_.page_tokens;
+  page_shift_ = 0;
+  while ((index_t{1} << page_shift_) < page_tokens_) ++page_shift_;
+  self_ppr_ = (config_.max_steps + page_tokens_ - 1) >> page_shift_;
+  cross_ppr_ = (max_src_ + page_tokens_ - 1) >> page_shift_;
+  const index_t page_floats = layers * 2 * page_tokens_ * proj_dim_;
+  const index_t pool_pages =
+      config_.pool_pages > 0
+          ? config_.pool_pages
+          : config_.max_batch * (self_ppr_ + cross_ppr_);
+  QDNN_CHECK(pool_pages >= self_ppr_ + cross_ppr_,
+             "DecodeSession: pool_pages "
+                 << pool_pages << " cannot cover one worst-case row ("
+                 << self_ppr_ + cross_ppr_
+                 << " pages) — a drained session could never admit");
+  pool_.init(pool_pages, page_floats);
+  prefix_cache_.init(config_.prefix_cache_entries, max_src_, cross_ppr_);
+  self_table_.assign(
+      static_cast<std::size_t>(config_.max_batch * self_ppr_),
+      KvPagePool::kSentinelPage);
+  cross_table_.assign(
+      static_cast<std::size_t>(config_.max_batch * cross_ppr_),
+      KvPagePool::kSentinelPage);
+  lookup_tokens_.reserve(static_cast<std::size_t>(max_src_));
+  lookup_pages_.reserve(static_cast<std::size_t>(cross_ppr_));
+
   embed_buf_ = Tensor{Shape{config_.max_batch * d_model_}};
   buffers_.reserve(stages_.size());
   for (index_t w : stage_width_)
@@ -134,13 +157,13 @@ DecodeSession::DecodeSession(models::Transformer& model,
     bind_views(config_.max_batch);
 
     if (config_.warmup) {
-      // Project dummy encoder K/V (covers prime's projection scratch)
-      // and run one step at the deepest ring position (the widest score
-      // buffers), then consolidate the workspace to the exact watermark.
-      Tensor dummy_enc{Shape{config_.max_batch * max_src_, d_model_}};
-      for (index_t r = 0; r < config_.max_batch; ++r)
-        project_cross_row(r, dummy_enc.data() + r * max_src_ * d_model_,
-                          max_src_);
+      // Warm the solo staging slot (encoder + projection scratch), then
+      // run one step at the deepest ring position (the widest score
+      // buffers) against the all-sentinel tables — warming_ suppresses
+      // page acquisition, and the sentinel page is defined zero memory —
+      // and consolidate the workspace to the exact watermark.
+      init_staging(solo_staging_);
+      warming_ = true;
       primed_ = true;
       row_steps_.assign(static_cast<std::size_t>(config_.max_batch),
                         config_.max_steps - 1);
@@ -148,6 +171,7 @@ DecodeSession::DecodeSession(models::Transformer& model,
                           max_src_);
       feed_tokens_.assign(static_cast<std::size_t>(config_.max_batch), 0);
       run_step(feed_tokens_);
+      warming_ = false;
       primed_ = false;
       row_steps_.assign(static_cast<std::size_t>(config_.max_batch), 0);
       src_lengths_.assign(static_cast<std::size_t>(config_.max_batch), 0);
@@ -155,6 +179,7 @@ DecodeSession::DecodeSession(models::Transformer& model,
       ws_.consolidate();
     }
   } catch (...) {
+    warming_ = false;
     unbind_all();
     throw;
   }
@@ -176,12 +201,8 @@ bool DecodeSession::fully_native() const {
 }
 
 index_t DecodeSession::kv_cache_floats() const {
-  index_t total = 0;
-  for (const Tensor& t : self_k_) total += t.numel();
-  for (const Tensor& t : self_v_) total += t.numel();
-  for (const Tensor& t : cross_k_) total += t.numel();
-  for (const Tensor& t : cross_v_) total += t.numel();
-  return total;
+  // The whole KV footprint is the pool (usable pages plus the sentinel).
+  return (pool_.pages() + 1) * pool_.page_floats();
 }
 
 index_t DecodeSession::row_steps(index_t row) const {
@@ -200,25 +221,29 @@ bool DecodeSession::row_parked(index_t row) const {
 
 void DecodeSession::bind_views(index_t n) {
   // Rebuild the per-stage views and the adapter cache bindings for this
-  // batch width.  The cross caches keep the full max_src row stride in
-  // every binding (per-row source lengths mask the tail), so a row's
-  // cache slice never moves and prime_row can fill it in place.  Shapes
-  // are inline, so this never touches the heap; it runs at construction
-  // and when prime() changes the batch width.
+  // batch width.  The paged views carry the FULL max_batch-width tables
+  // (a row's table slice never moves), so rebinding only resizes the
+  // activation boundaries.  Shapes are inline and the views are POD, so
+  // this never touches the heap; it runs at construction and when
+  // prime() changes the batch width.
+  const index_t pf = pool_.page_floats();
+  const index_t slice = page_tokens_ * proj_dim_;
   for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
     models::DecoderLayer& layer = model_->decoder_layer(l);
+    const index_t k_off = (2 * l) * slice;
+    const index_t v_off = (2 * l + 1) * slice;
     layer.self_step().bind(
-        TensorView(Shape{n, config_.max_steps, proj_dim_},
-                   self_k_[static_cast<std::size_t>(l)].data()),
-        TensorView(Shape{n, config_.max_steps, proj_dim_},
-                   self_v_[static_cast<std::size_t>(l)].data()),
-        &row_steps_);
+        models::PagedKvView{pool_.data(), self_table_.data(), pf,
+                            self_ppr_, page_tokens_, k_off},
+        models::PagedKvView{pool_.data(), self_table_.data(), pf,
+                            self_ppr_, page_tokens_, v_off},
+        config_.max_steps, &row_steps_);
     layer.cross_step().bind(
-        ConstTensorView(Shape{n, max_src_, proj_dim_},
-                        cross_k_[static_cast<std::size_t>(l)].data()),
-        ConstTensorView(Shape{n, max_src_, proj_dim_},
-                        cross_v_[static_cast<std::size_t>(l)].data()),
-        &src_lengths_);
+        models::PagedKvView{pool_.data(), cross_table_.data(), pf,
+                            cross_ppr_, page_tokens_, k_off},
+        models::PagedKvView{pool_.data(), cross_table_.data(), pf,
+                            cross_ppr_, page_tokens_, v_off},
+        max_src_, &src_lengths_);
   }
 
   auto boundary_data = [&](index_t b) -> float* {
@@ -244,24 +269,49 @@ void DecodeSession::bind_views(index_t n) {
   bound_n_ = n;
 }
 
-void DecodeSession::project_cross_row(index_t row, const float* enc_row,
-                                      index_t ts) {
-  // Project one request's encoder rows [ts, D] into row `row`'s slice of
-  // every layer's cross caches.  The slice is contiguous ([ts, P] at
-  // offset row · max_src · P), so this is the exact n = 1 projection a
-  // solo session would run — per-row and batch priming are bit-identical.
-  const ConstTensorView enc_view(Shape{ts, d_model_}, enc_row);
-  const index_t offset = row * max_src_ * proj_dim_;
-  for (index_t l = 0; l < model_->num_decoder_layers(); ++l) {
-    ws_.reset();
-    model_->decoder_layer(l).cross_attention().project_kv(
-        enc_view, 1, ts,
-        TensorView(Shape{1, ts, proj_dim_},
-                   cross_k_[static_cast<std::size_t>(l)].data() + offset),
-        TensorView(Shape{1, ts, proj_dim_},
-                   cross_v_[static_cast<std::size_t>(l)].data() + offset),
-        ws_);
+index_t DecodeSession::acquire_page_() {
+  index_t page = pool_.acquire();
+  // Cached prefixes whose only holder is the cache are reclaimable:
+  // evict LRU entries until a page frees up or nothing is left to evict
+  // (an eviction may free nothing when every page is still shared by a
+  // live row — keep evicting, later entries may be sole holders).
+  while (page < 0 && prefix_cache_.evict_one(pool_)) page = pool_.acquire();
+  return page;
+}
+
+void DecodeSession::release_row_pages_(index_t row) {
+  index_t* srow = self_table_.data() + row * self_ppr_;
+  for (index_t p = 0; p < self_ppr_; ++p) {
+    if (srow[p] != KvPagePool::kSentinelPage) {
+      pool_.release(srow[p]);
+      srow[p] = KvPagePool::kSentinelPage;
+    }
   }
+  index_t* crow = cross_table_.data() + row * cross_ppr_;
+  for (index_t p = 0; p < cross_ppr_; ++p) {
+    if (crow[p] != KvPagePool::kSentinelPage) {
+      pool_.release(crow[p]);
+      crow[p] = KvPagePool::kSentinelPage;
+    }
+  }
+}
+
+bool DecodeSession::ensure_row_step_capacity(index_t row) {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  const index_t block =
+      row_steps_[static_cast<std::size_t>(row)] >> page_shift_;
+  QDNN_DCHECK(block < self_ppr_,
+              "DecodeSession: step block " << block
+                                           << " beyond the page table");
+  index_t& slot =
+      self_table_[static_cast<std::size_t>(row * self_ppr_ + block)];
+  if (slot != KvPagePool::kSentinelPage) return true;
+  const index_t page = acquire_page_();
+  if (page < 0) return false;
+  slot = page;
+  return true;
 }
 
 void DecodeSession::prime(const Tensor& src_ids,
@@ -295,14 +345,8 @@ void DecodeSession::prime(const Tensor& src_ids,
     const auto ri = static_cast<std::size_t>(r);
     const index_t len =
         src_lengths.empty() || src_lengths[ri] == 0 ? ts : src_lengths[ri];
-    const ConstTensorView enc =
-        encode_source(src_ids.data() + r * ts, ts, len, solo_staging_);
-    src_lengths_[ri] = len;
-    row_steps_[ri] = 0;
-    parked_[ri] = 0;
-    // project_cross_row scratches from the session arena (ws_), not the
-    // staging frame holding `enc`, so the view stays valid throughout.
-    project_cross_row(r, enc.data(), ts);
+    prime_compute_impl(src_ids.data() + r * ts, ts, len, solo_staging_);
+    commit_row_impl(r, solo_staging_);
   }
   primed_ = true;
 }
@@ -327,6 +371,8 @@ void DecodeSession::init_staging(PrefillStaging& staging) const {
   if (fresh) {
     staging.k = Tensor{Shape{floats}};
     staging.v = Tensor{Shape{floats}};
+    staging.tokens.reserve(static_cast<std::size_t>(max_src_));
+    staging.page_ids.reserve(static_cast<std::size_t>(cross_ppr_));
   }
   if (fresh && config_.warmup) {
     // One dummy prefill at the deepest geometry discovers the slot's
@@ -338,6 +384,7 @@ void DecodeSession::init_staging(PrefillStaging& staging) const {
     prime_compute(ids, /*src_length=*/0, staging);
     staging.ts = 0;
     staging.len = 0;
+    staging.tokens.clear();
     staging.ws.reset();
     staging.ws.consolidate();
   }
@@ -376,14 +423,29 @@ void DecodeSession::prime_compute(const Tensor& src_ids,
              "DecodeSession: staging not sized for this session — call "
              "init_staging first");
   const index_t len = src_length > 0 ? src_length : ts;
+  prime_compute_impl(src_ids.data(), ts, len, staging);
+}
+
+void DecodeSession::prime_compute_impl(const float* ids, index_t ts,
+                                       index_t len,
+                                       PrefillStaging& staging) const {
+  QDNN_CHECK(staging.page_ids.empty(),
+             "DecodeSession: prime_compute on a staging slot still "
+             "holding prefix pages — commit or release them first");
+  // Capture the source ids: the prefix-cache key commit_row publishes
+  // the computed pages under.  Reserved at init_staging, so no alloc.
+  staging.tokens.clear();
+  for (index_t i = 0; i < ts; ++i)
+    staging.tokens.push_back(static_cast<index_t>(ids[i]));
+  staging.from_cache = false;
 
   // Masked native encoder + cross projections, all from staging.ws —
   // stateless kernels over frozen weights, so concurrent calls (each
   // with a private staging) never touch shared mutable state.  The
   // projections stack in the same frame as the encoder activation:
   // encode_source owns the slot's single reset point.
-  const ConstTensorView enc_view = encode_source(src_ids.data(), ts, len,
-                                                 staging);
+  const ConstTensorView enc_view = encode_source(ids, ts, len, staging);
+  const index_t layers = model_->num_decoder_layers();
   for (index_t l = 0; l < layers; ++l) {
     const index_t offset = l * max_src_ * proj_dim_;
     model_->decoder_layer(l).cross_attention().project_kv(
@@ -396,7 +458,7 @@ void DecodeSession::prime_compute(const Tensor& src_ids,
   staging.len = len;
 }
 
-void DecodeSession::commit_row(index_t row, const PrefillStaging& staging) {
+void DecodeSession::commit_row(index_t row, PrefillStaging& staging) {
   QDNN_CHECK(row >= 0 && row < config_.max_batch,
              "DecodeSession: row " << row << " outside [0, "
                                    << config_.max_batch << ")");
@@ -413,34 +475,190 @@ void DecodeSession::commit_row(index_t row, const PrefillStaging& staging) {
   // is addressable; rows never primed just ride the batch masked-out.
   // bind_views is heap-free (inline shapes), so the whole commit is too.
   if (bound_n_ != config_.max_batch) bind_views(config_.max_batch);
+  commit_row_impl(row, staging);
+}
 
-  const std::size_t bytes =
-      static_cast<std::size_t>(staging.ts * proj_dim_) * sizeof(float);
-  const index_t row_offset = row * max_src_ * proj_dim_;
-  for (index_t l = 0; l < layers; ++l) {
-    const auto li = static_cast<std::size_t>(l);
-    const index_t src_offset = l * max_src_ * proj_dim_;
-    std::memcpy(cross_k_[li].data() + row_offset,
-                staging.k.data() + src_offset, bytes);
-    std::memcpy(cross_v_[li].data() + row_offset,
-                staging.v.data() + src_offset, bytes);
+void DecodeSession::commit_row_impl(index_t row, PrefillStaging& staging) {
+  release_row_pages_(row);
+  const index_t n_pages = cross_pages_for(staging.ts);
+  index_t* crow = cross_table_.data() + row * cross_ppr_;
+
+  if (staging.from_cache) {
+    // A prefix hit: the slot holds one reference per shared page —
+    // ownership transfers to the row's table.  O(pages) bookkeeping; the
+    // pages already hold the cold prime's bits, so the row is
+    // bit-identical to one that ran the whole prefill.
+    QDNN_CHECK(static_cast<index_t>(staging.page_ids.size()) == n_pages,
+               "DecodeSession: staged prefix holds "
+                   << staging.page_ids.size() << " pages for a "
+                   << staging.ts << "-position source (" << n_pages
+                   << " expected)");
+    for (index_t p = 0; p < n_pages; ++p)
+      crow[p] = staging.page_ids[static_cast<std::size_t>(p)];
+    staging.page_ids.clear();
+    staging.from_cache = false;
+  } else {
+    // Cold commit: acquire the cross pages (reclaiming cached prefixes
+    // under pressure), copy the staged K/V in page-by-page, and publish
+    // the pages to the prefix cache under the source-token hash.
+    index_t got = 0;
+    for (; got < n_pages; ++got) {
+      const index_t page = acquire_page_();
+      if (page < 0) break;
+      crow[got] = page;
+    }
+    if (got < n_pages) {
+      for (index_t p = 0; p < got; ++p) {
+        pool_.release(crow[p]);
+        crow[p] = KvPagePool::kSentinelPage;
+      }
+      QDNN_CHECK(false,
+                 "DecodeSession: commit_row needs "
+                     << n_pages << " pages but the pool has " << got
+                     << " even after reclaim — gate admission on "
+                        "free_pages() (oversubscribed scheduler)");
+    }
+    const index_t layers = model_->num_decoder_layers();
+    const index_t slice = page_tokens_ * proj_dim_;
+    for (index_t p = 0; p < n_pages; ++p) {
+      const index_t t0 = p << page_shift_;
+      const index_t rows = std::min(page_tokens_, staging.ts - t0);
+      const std::size_t bytes =
+          static_cast<std::size_t>(rows * proj_dim_) * sizeof(float);
+      float* page = pool_.page_data(crow[p]);
+      for (index_t l = 0; l < layers; ++l) {
+        const index_t src = (l * max_src_ + t0) * proj_dim_;
+        std::memcpy(page + (2 * l) * slice, staging.k.data() + src, bytes);
+        std::memcpy(page + (2 * l + 1) * slice, staging.v.data() + src,
+                    bytes);
+      }
+    }
+    if (prefix_cache_.enabled() &&
+        static_cast<index_t>(staging.tokens.size()) == staging.ts) {
+      const std::uint64_t h =
+          prefix_hash(staging.tokens.data(), staging.ts, staging.len);
+      prefix_cache_.publish(h, staging.tokens.data(), staging.ts,
+                            staging.len, crow, n_pages, pool_);
+    }
   }
+
   src_lengths_[static_cast<std::size_t>(row)] = staging.len;
   row_steps_[static_cast<std::size_t>(row)] = 0;
   parked_[static_cast<std::size_t>(row)] = 0;
   primed_ = true;
 }
 
+bool DecodeSession::try_commit_row_from_cache(index_t row,
+                                              const Tensor& src_ids,
+                                              index_t src_length) {
+  QDNN_CHECK(row >= 0 && row < config_.max_batch,
+             "DecodeSession: row " << row << " outside [0, "
+                                   << config_.max_batch << ")");
+  QDNN_CHECK(src_ids.rank() == 1 ||
+                 (src_ids.rank() == 2 && src_ids.dim(0) == 1),
+             "DecodeSession: prime src_ids must be [Ts] or [1, Ts], got "
+                 << src_ids.shape());
+  if (!prefix_cache_.enabled()) return false;
+  const index_t ts = src_ids.dim(src_ids.rank() - 1);
+  QDNN_CHECK(ts >= 1 && ts <= max_src_,
+             "DecodeSession: source length " << ts << " outside [1, "
+                                             << max_src_ << "]");
+  QDNN_CHECK(src_length >= 0 && src_length <= ts,
+             "DecodeSession: src_length " << src_length << " outside [0, "
+                                          << ts << "] (0 = all valid)");
+  const index_t len = src_length > 0 ? src_length : ts;
+
+  lookup_tokens_.clear();
+  for (index_t i = 0; i < ts; ++i)
+    lookup_tokens_.push_back(static_cast<index_t>(src_ids.data()[i]));
+  const std::uint64_t h = prefix_hash(lookup_tokens_.data(), ts, len);
+  lookup_pages_.clear();
+  if (!prefix_cache_.lookup_acquire(h, lookup_tokens_.data(), ts, len,
+                                    pool_, lookup_pages_))
+    return false;
+
+  if (bound_n_ != config_.max_batch) bind_views(config_.max_batch);
+  release_row_pages_(row);
+  index_t* crow = cross_table_.data() + row * cross_ppr_;
+  for (std::size_t p = 0; p < lookup_pages_.size(); ++p)
+    crow[p] = lookup_pages_[p];
+  lookup_pages_.clear();
+  src_lengths_[static_cast<std::size_t>(row)] = len;
+  row_steps_[static_cast<std::size_t>(row)] = 0;
+  parked_[static_cast<std::size_t>(row)] = 0;
+  primed_ = true;
+  return true;
+}
+
+bool DecodeSession::prefix_lookup_into(const Tensor& src_ids,
+                                       index_t src_length,
+                                       PrefillStaging& staging) {
+  QDNN_CHECK(src_ids.rank() == 1 ||
+                 (src_ids.rank() == 2 && src_ids.dim(0) == 1),
+             "DecodeSession: prime src_ids must be [Ts] or [1, Ts], got "
+                 << src_ids.shape());
+  if (!prefix_cache_.enabled()) return false;
+  const index_t ts = src_ids.dim(src_ids.rank() - 1);
+  QDNN_CHECK(ts >= 1 && ts <= max_src_,
+             "DecodeSession: source length " << ts << " outside [1, "
+                                             << max_src_ << "]");
+  QDNN_CHECK(src_length >= 0 && src_length <= ts,
+             "DecodeSession: src_length " << src_length << " outside [0, "
+                                          << ts << "] (0 = all valid)");
+  QDNN_CHECK(staging.page_ids.empty(),
+             "DecodeSession: prefix_lookup_into on a staging slot still "
+             "holding prefix pages — commit or release them first");
+  const index_t len = src_length > 0 ? src_length : ts;
+
+  staging.tokens.clear();
+  for (index_t i = 0; i < ts; ++i)
+    staging.tokens.push_back(static_cast<index_t>(src_ids.data()[i]));
+  const std::uint64_t h = prefix_hash(staging.tokens.data(), ts, len);
+  if (!prefix_cache_.lookup_acquire(h, staging.tokens.data(), ts, len,
+                                    pool_, staging.page_ids))
+    return false;
+  staging.ts = ts;
+  staging.len = len;
+  staging.from_cache = true;
+  return true;
+}
+
+void DecodeSession::release_staged_prefix(PrefillStaging& staging) {
+  for (index_t page : staging.page_ids) pool_.release(page);
+  staging.page_ids.clear();
+  staging.from_cache = false;
+}
+
 void DecodeSession::reset_row(index_t row) {
   QDNN_CHECK(row >= 0 && row < config_.max_batch,
              "DecodeSession: row " << row << " outside [0, "
                                    << config_.max_batch << ")");
+  // Hand every page back (the prefix cache's own pins keep shared cross
+  // pages alive) and pin the row at ring 0 over the sentinel page.
+  release_row_pages_(row);
   row_steps_[static_cast<std::size_t>(row)] = 0;
   parked_[static_cast<std::size_t>(row)] = 1;
 }
 
 void DecodeSession::run_step(const std::vector<index_t>& tokens) {
   const index_t n = bound_n_;
+  // Map a self-KV page for every live row entering a new page-aligned
+  // block.  Solo/default pools can never trip this (pool_pages covers
+  // every row fully deep); an oversubscribing scheduler must call
+  // ensure_row_step_capacity itself (and preempt on false) before
+  // stepping.  Skipped while warming: the warm-up runs over the
+  // sentinel page.
+  if (!warming_) {
+    for (index_t r = 0; r < n; ++r) {
+      if (parked_[static_cast<std::size_t>(r)]) continue;
+      QDNN_CHECK(ensure_row_step_capacity(r),
+                 "DecodeSession: page pool exhausted at row "
+                     << r << " step "
+                     << row_steps_[static_cast<std::size_t>(r)]
+                     << " — preempt a row (scheduler) or raise "
+                        "pool_pages");
+    }
+  }
   // Stage profiling piggybacks on the trace gate: two clock reads per
   // stage while tracing, nothing at all (one relaxed load) when off.
   const bool profiling = obs::trace_enabled();

@@ -51,12 +51,26 @@
 //     Transformer::greedy_decode_reference, which remains the bit-exact
 //     regression oracle (tests/models/decode_session_test.cpp).
 //
-// KV cache memory (floats): self-attention rings hold
-//   layers × 2 × max_batch × max_steps × proj_dim
-// and the encoder-side caches add
-//   layers × 2 × max_batch × max_src × proj_dim
-// (max_src defaults to the model's max_len; proj_dim == d_model for the
-// baseline configuration).
+// KV cache memory (PR 10: paged).  All KV storage lives in one
+// preallocated runtime::KvPagePool of uniform pages holding `page_tokens`
+// token positions across every layer's K and V
+// (page_floats = layers × 2 × page_tokens × proj_dim); a row maps pages
+// through per-row page tables (self: ceil(max_steps / page_tokens)
+// entries, cross: ceil(max_src / page_tokens)), acquiring self pages as
+// its decode deepens and cross pages at commit, releasing everything at
+// reset_row.  Unmapped entries point at the pool's sentinel page, so
+// parked rows and the warm-up pass read/write defined memory with no
+// kernel branching.  pool_pages defaults to the dense worst case
+// (max_batch rows fully deep); smaller pools oversubscribe — see
+// free_pages()/ensure_row_step_capacity and the scheduler's preemption
+// path.  On top of the pool sits a bounded content-hashed PREFIX CACHE:
+// commit_row publishes each committed source's cross-K/V pages under a
+// hash of its tokens, and a later admission with the same source takes
+// refcounts on those SAME pages and skips the whole prefill
+// (try_commit_row_from_cache / prefix_lookup_into) — bit-identical to a
+// cold prime, because the pages hold the cold prime's bits.  Cached
+// pages whose only holder is the cache are reclaimed (LRU) whenever the
+// pool runs dry, so the cache can never starve admission.
 //
 // The session binds the model's decoder step adapters; one DecodeSession
 // may bind a given Transformer at a time (the destructor unbinds).  With
@@ -73,11 +87,13 @@
 // updates) while prefill workers are live.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/workspace.h"
 #include "models/transformer/transformer.h"
 #include "obs/profile.h"
+#include "runtime/kv_pages.h"
 
 namespace qdnn::runtime {
 
@@ -97,6 +113,18 @@ struct PrefillStaging {
   index_t ts = 0;  // source rows projected ([1, max_src])
   index_t len = 0; // valid (non-pad) positions ([1, ts])
   Workspace ws;    // projection scratch, owned by the slot
+  // Prefix-reuse state (PR 10).  `tokens` is the source id sequence,
+  // captured by prime_compute (the cache key commit_row publishes
+  // under) or by prefix_lookup_into (the key it matched).  On a cache
+  // hit (from_cache = true, prime_compute skipped) `page_ids` holds the
+  // shared cross-K/V pages with one refcount each taken for this slot —
+  // ownership passes to commit_row (which maps them into the row) or to
+  // release_staged_prefix (the doomed-job path), exactly once.  Both
+  // vectors are reserved by init_staging, so the steady-state slot cycle
+  // stays zero-alloc.
+  std::vector<index_t> tokens;
+  std::vector<index_t> page_ids;
+  bool from_cache = false;
 };
 
 struct DecodeSessionConfig {
@@ -121,6 +149,21 @@ struct DecodeSessionConfig {
   // first real request.  Also gates init_staging's dummy prefill, which
   // warms each staging slot's workspace the same way.
   bool warmup = true;
+  // Token positions per KV page (power of two).  One page carries every
+  // layer's K and V for this many consecutive positions, so
+  // page_floats = layers × 2 × page_tokens × proj_dim.
+  index_t page_tokens = 16;
+  // Usable pages in the pool.  0 (default) = the dense-equivalent worst
+  // case, max_batch × (ceil(max_steps/page_tokens) +
+  // ceil(max_src/page_tokens)) — every row fully deep, no
+  // oversubscription possible.  Smaller pools oversubscribe: admission
+  // should gate on free_pages() and a decode step that finds the pool
+  // dry needs the scheduler's preemption path (the session itself
+  // errors).  Must cover at least one worst-case row.
+  index_t pool_pages = 0;
+  // Prefix-cache entries (distinct sources whose cross-K/V pages stay
+  // pinned for reuse).  0 disables the cache.
+  index_t prefix_cache_entries = 16;
 };
 
 class DecodeSession {
@@ -174,11 +217,52 @@ class DecodeSession {
   void prime_compute(const Tensor& src_ids, index_t src_length,
                      PrefillStaging& staging) const;
 
-  // The commit half: copies the staged K/V into row `row`'s cache slices
-  // and rewinds that row's step counter — no other row is touched, and no
-  // heap allocation is performed (the continuous-batching admission cost
-  // is exactly this O(layers · Ts · P) copy).  Serving-thread only.
-  void commit_row(index_t row, const PrefillStaging& staging);
+  // The commit half: releases the row's previous pages, then either maps
+  // the staging's shared prefix pages (from_cache — O(pages) bookkeeping,
+  // refcount ownership transfers from the slot to the row) or acquires
+  // fresh cross pages, copies the staged K/V into them and publishes them
+  // to the prefix cache under the source-token hash.  Rewinds the row's
+  // step counter — no other row is touched, and no heap allocation is
+  // performed.  Serving-thread only.  Errors (rolling back cleanly) if
+  // the pool cannot cover the cross pages even after reclaiming cached
+  // prefixes — gate admission on free_pages() to avoid it.
+  void commit_row(index_t row, PrefillStaging& staging);
+
+  // Prefix-cache admission, the synchronous face: when the cache holds
+  // this exact source (full-token compare — hash collisions can never
+  // alias), maps the shared pages into row `row` (refcounted; skipping
+  // encoder + projection entirely) and rewinds the row, returning true.
+  // False = miss, caller runs prime_row/prime_compute.  Bit-identical to
+  // a cold prime: the pages hold the cold prime's bits.  Serving-thread
+  // only; zero-alloc.
+  bool try_commit_row_from_cache(index_t row, const Tensor& src_ids,
+                                 index_t src_length);
+
+  // Prefix-cache admission, the worker face: checks the cache for this
+  // source and, on a hit, acquires the shared pages INTO `staging`
+  // (page_ids + from_cache, one refcount per page held by the slot) so
+  // the worker skips prime_compute and the serving thread's commit_row
+  // maps the pages.  Safe from any number of pool workers concurrently
+  // with each other and with the serving thread's commit/publish/evict
+  // (the cache and pool serialize internally; race-checked under TSan in
+  // CI).  Zero-alloc once `staging` is warm.
+  bool prefix_lookup_into(const Tensor& src_ids, index_t src_length,
+                          PrefillStaging& staging);
+
+  // Releases a staging slot's un-committed prefix pages (a cache hit
+  // whose job was cancelled, expired or errored before commit).  No-op
+  // when the slot holds none.  Serving-thread only; zero-alloc.
+  void release_staged_prefix(PrefillStaging& staging);
+
+  // Ensures row `row` has a self-KV page mapped for its CURRENT step
+  // position, acquiring one (reclaiming cached prefixes if needed) when
+  // the row is entering a new page-aligned block.  Returns false when the
+  // pool is exhausted even after reclaim — the oversubscription signal:
+  // the caller (scheduler) preempts a row to free pages and retries.
+  // step() performs the same acquisition internally and ERRORS on
+  // exhaustion, so oversubscribing callers must invoke this for every
+  // live row before each step.  Serving-thread only; zero-alloc.
+  bool ensure_row_step_capacity(index_t row);
 
   // Parks row `row`: rewinds its step counter to ring position 0 and pins
   // it there — a parked row keeps riding the batch gemm (output ignored)
@@ -227,6 +311,27 @@ class DecodeSession {
   index_t kv_cache_floats() const;
   index_t workspace_floats() const { return ws_.capacity(); }
 
+  // --- paged-KV introspection (PR 10) ------------------------------------
+  // Token positions per page (config.page_tokens).
+  index_t page_tokens() const { return page_tokens_; }
+  // Pages currently free in the pool (lock-free; admission gate input).
+  index_t free_pages() const { return pool_.free_pages(); }
+  // Usable pages in the pool (config.pool_pages, or the dense-equivalent
+  // default).
+  index_t total_pages() const { return pool_.pages(); }
+  // Pages a commit of a ts-position source will acquire when it misses
+  // the prefix cache (0 on a hit — the hit maps shared pages).
+  index_t cross_pages_for(index_t ts) const {
+    return (ts + page_tokens_ - 1) >> page_shift_;
+  }
+  // Cached-prefix pages whose only holder is the cache — reclaimed on
+  // demand by page acquisition, so admission may count them as available.
+  index_t reclaimable_pages() const {
+    return prefix_cache_.reclaimable_pages(pool_);
+  }
+  const KvPagePool& pool() const { return pool_; }
+  const PrefixCache& prefix_cache() const { return prefix_cache_; }
+
   // Per-stage wall-time accumulated by run_step while tracing is enabled
   // (obs::trace_enabled()): one entry per pipeline stage, bracketed by an
   // "embed" pseudo-stage in front and "argmax" at the back.  Accumulation
@@ -246,7 +351,18 @@ class DecodeSession {
   // writes are to `staging`; safe from any thread with a private slot.
   ConstTensorView encode_source(const float* ids, index_t ts, index_t len,
                                 PrefillStaging& staging) const;
-  void project_cross_row(index_t row, const float* enc_row, index_t ts);
+  // The shared bodies behind prime/prime_row/prime_compute/commit_row:
+  // _impl performs no (re)binding, so prime() can drive them per row
+  // after binding the batch width once.
+  void prime_compute_impl(const float* ids, index_t ts, index_t len,
+                          PrefillStaging& staging) const;
+  void commit_row_impl(index_t row, PrefillStaging& staging);
+  // Pool acquire that reclaims LRU prefix-cache entries on exhaustion;
+  // -1 only when live rows hold everything.
+  index_t acquire_page_();
+  // Releases every non-sentinel page mapped by row `row` (both tables)
+  // and rewinds the table entries to the sentinel.
+  void release_row_pages_(index_t row);
   void run_step(const std::vector<index_t>& tokens);
 
   models::Transformer* model_;
@@ -259,11 +375,22 @@ class DecodeSession {
   std::vector<nn::PipelineStage> stages_;
   std::vector<index_t> stage_width_;  // per-boundary row width
 
-  // Per-layer KV caches.  Self rings: [max_batch, max_steps, P]; cross
-  // caches: [max_batch, max_src, P], always bound at the full max_src
-  // row stride so per-row prime can fill one row's slice in place —
-  // per-row source lengths mask the unused tail bit-exactly.
-  std::vector<Tensor> self_k_, self_v_, cross_k_, cross_v_;
+  // Paged KV state (PR 10).  One pool backs both attention kinds; the
+  // per-row page tables ([max_batch, pages_per_row], sentinel-filled when
+  // unmapped) are what the step adapters' PagedKvViews index through.
+  // Layer slices inside a page are static offsets (kv_pages.h), so one
+  // table entry per (row, token-block) serves every layer.
+  KvPagePool pool_;
+  PrefixCache prefix_cache_;
+  index_t page_tokens_ = 0, page_shift_ = 0;
+  index_t self_ppr_ = 0, cross_ppr_ = 0;  // table entries per row
+  std::vector<index_t> self_table_, cross_table_;
+  // True during the construction warm-up step: the kernels run against
+  // all-sentinel tables (defined zero memory) and no pages are acquired.
+  bool warming_ = false;
+  // Serving-thread scratch for try_commit_row_from_cache (reserved at
+  // bind so the lookup is zero-alloc).
+  std::vector<index_t> lookup_tokens_, lookup_pages_;
 
   Tensor embed_buf_;               // [max_batch · d_model], boundary -1
   std::vector<Tensor> buffers_;    // per-stage boundary buffers

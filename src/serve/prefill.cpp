@@ -49,21 +49,32 @@ void PrefillPool::worker_loop() {
     }
     Finished fin;
     fin.slot = slot;
-    // One gate read per job: the timestamps and the two ring writes are
-    // all-or-nothing, so a mid-prefill toggle cannot leave a half-stamped
-    // window.  Recording is wait-free and allocation-free.
-    const bool tracing = obs::trace_enabled();
+    // The sampling decision was made at submit: a sampled job stamps its
+    // whole prefill window and ring events, the rest skip every record
+    // site.  Timestamps and ring writes are all-or-nothing per job.
+    // Recording is wait-free and allocation-free.
+    const bool tracing = job.sampled;
     if (tracing) {
       job.prefill_start_ns = obs::now_ns();
       if (trace_ != nullptr)
         trace_->record_always(job.id, obs::TraceEvent::kPrefillStart);
     }
     try {
-      // The expensive half, off the serving thread: encoder pass (pool
-      // workers serialize it inside prime_compute) + cross-K/V
-      // projections into this worker's claimed staging slot.
-      session_->prime_compute(job.request.src_ids, job.request.src_length,
-                              staging_[static_cast<std::size_t>(slot)]);
+      // Prefix-cache probe first: a hit acquires the shared cross-K/V
+      // pages into this worker's slot (from_cache) and skips the whole
+      // encoder + projection.  The cache and page pool serialize the
+      // lookup internally, so any number of workers probe concurrently
+      // with each other and with the serving thread's publish/evict.
+      runtime::PrefillStaging& st =
+          staging_[static_cast<std::size_t>(slot)];
+      if (!session_->prefix_lookup_into(
+              job.request.src_ids, job.request.src_length, st)) {
+        // The expensive half, off the serving thread: encoder pass (pool
+        // workers serialize it inside prime_compute) + cross-K/V
+        // projections into this worker's claimed staging slot.
+        session_->prime_compute(job.request.src_ids,
+                                job.request.src_length, st);
+      }
     } catch (...) {
       fin.error = std::current_exception();
     }
@@ -107,6 +118,13 @@ void PrefillPool::wait_ready() const {
 }
 
 const runtime::PrefillStaging& PrefillPool::staging(index_t slot) const {
+  QDNN_CHECK(slot >= 0 && slot < slots(),
+             "PrefillPool: slot " << slot << " outside [0, " << slots()
+                                  << ")");
+  return staging_[static_cast<std::size_t>(slot)];
+}
+
+runtime::PrefillStaging& PrefillPool::staging_mut(index_t slot) {
   QDNN_CHECK(slot >= 0 && slot < slots(),
              "PrefillPool: slot " << slot << " outside [0, " << slots()
                                   << ")");

@@ -75,13 +75,35 @@ struct PrefillJob {
   index_t budget = 0;
   Request request;
   std::vector<index_t> tokens;  // reserved at submit, empty until decode
-  // Observability timestamps (obs::now_ns; 0 = tracing was off at that
-  // edge).  submit_ns is stamped by the scheduler; the prefill window is
-  // stamped by whichever thread runs prime_compute — a pool worker in
-  // async mode, the serving thread in sync mode.
+  // Observability timestamps (obs::now_ns; 0 = this request was not
+  // trace-sampled).  submit_ns is stamped by the scheduler; the prefill
+  // window is stamped by whichever thread runs prime_compute — a pool
+  // worker in async mode, the serving thread in sync mode.
   long long submit_ns = 0;
   long long prefill_start_ns = 0;
   long long prefill_end_ns = 0;
+  // Trace sampling: decided ONCE at submit (every Nth request while
+  // tracing — obs::trace_sample()), so a sampled request's lifecycle
+  // timeline and phase timestamps are complete and the rest keep the
+  // one-relaxed-load fast path at every per-request record site.
+  bool sampled = false;
+  // Preemption replay (PR 10): set when this job is a row the scheduler
+  // evicted under KV-page pressure and requeued.  `tokens` then holds
+  // everything decoded so far; at re-admission the scheduler replays
+  // them through the session — feeding, never sampling (no Rng draws,
+  // no streaming, no appends) — which rebuilds the row's KV state
+  // bit-identically, then decoding resumes from `resume_rng` exactly
+  // where it stopped.  The carried stamps keep the result's admission /
+  // first-token accounting at the ORIGINAL values, so a preempted
+  // request's result differs from the unpreempted run only in
+  // finish_tick.
+  bool resume = false;
+  Rng resume_rng{0};
+  index_t resume_admit_tick = -1;
+  index_t resume_first_token_tick = -1;
+  long long resume_admit_ns = 0;
+  long long resume_first_token_ns = 0;
+  long long resume_prefill_ns = 0;
 };
 
 class PrefillPool {
@@ -158,6 +180,10 @@ class PrefillPool {
 
   // Staged K/V of a slot returned by try_take (valid until release).
   const runtime::PrefillStaging& staging(index_t slot) const;
+  // Mutable face of the same slot, for DecodeSession::commit_row /
+  // release_staged_prefix (which consume the slot's staged prefix-page
+  // ownership).  Serving-thread only, between try_take and release.
+  runtime::PrefillStaging& staging_mut(index_t slot);
 
   // Returns a slot to the free list so the next queued job can compute.
   // Performs no heap allocation.

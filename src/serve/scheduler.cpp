@@ -115,6 +115,12 @@ void BatchScheduler::register_metrics() {
   ttft_hist_ = &registry_->histogram(p + "ttft_ticks", tick_bounds);
   latency_hist_ = &registry_->histogram(p + "latency_ticks", tick_bounds);
   tick_us_hist_ = &registry_->histogram(p + "tick_us", us_bounds);
+  // Paged KV / prefix cache (PR 10): page-pool gauges (set per tick) and
+  // the preemption counter.
+  preempted_counter_ = &registry_->counter(p + "preemptions");
+  free_pages_gauge_ = &registry_->gauge(p + "kv.free_pages");
+  used_pages_gauge_ = &registry_->gauge(p + "kv.used_pages");
+  prefix_entries_gauge_ = &registry_->gauge(p + "kv.prefix_entries");
   static const char* kClassNames[kPriorityClasses] = {"high", "normal",
                                                       "low"};
   for (std::size_t c = 0; c < static_cast<std::size_t>(kPriorityClasses);
@@ -127,6 +133,13 @@ void BatchScheduler::register_metrics() {
     cc.expired = &registry_->counter(cp + "expired");
     cc.shed = &registry_->counter(cp + "shed");
     cc.errored = &registry_->counter(cp + "errored");
+    // Wall-clock phase histograms (RequestResult::phases, µs), observed
+    // at retirement for trace-sampled requests only.
+    cc.queue_us = &registry_->histogram(cp + "queue_us", us_bounds);
+    cc.prefill_us = &registry_->histogram(cp + "prefill_us", us_bounds);
+    cc.first_token_us =
+        &registry_->histogram(cp + "first_token_us", us_bounds);
+    cc.decode_us = &registry_->histogram(cp + "decode_us", us_bounds);
   }
 }
 
@@ -178,6 +191,13 @@ index_t BatchScheduler::submit(Request request) {
   }
   const index_t id = request.id;
   class_counters_[static_cast<std::size_t>(cls)].submitted->inc();
+  // Trace sampling: decided HERE, once per submit — every Nth request
+  // while tracing is enabled (obs::trace_sample()).  The decision rides
+  // the job and then the slot, so a sampled request's timeline and phase
+  // timestamps are complete end to end and every other request keeps the
+  // no-op fast path at every per-request record site.
+  const bool sampled =
+      obs::trace_enabled() && (trace_seq_++ % obs::trace_sample() == 0);
 
   if (config_.max_queue > 0 && queued() >= config_.max_queue) {
     // Backpressure: the bounded queue is full, so this submit load-sheds
@@ -192,14 +212,15 @@ index_t BatchScheduler::submit(Request request) {
     shed.finish_tick = ticks_;  // admit_tick stays -1: never admitted
     completed_.push_back(std::move(shed));
     class_counters_[static_cast<std::size_t>(cls)].shed->inc();
-    trace_.record(id, obs::TraceEvent::kShed, cls);
+    if (sampled) trace_.record_always(id, obs::TraceEvent::kShed, cls);
     return id;
   }
 
   PrefillJob job;
   job.id = id;
   job.submit_tick = ticks_;
-  if (obs::trace_enabled()) {
+  job.sampled = sampled;
+  if (sampled) {
     job.submit_ns = obs::now_ns();
     trace_.record_always(id, obs::TraceEvent::kSubmit, cls);
   }
@@ -260,10 +281,12 @@ void BatchScheduler::resolve_unadmitted(PrefillJob&& job,
   inflight_ids_.erase(job.id);
   if (reason == FinishReason::kCancelled) {
     class_counters_[cls].cancelled->inc();
-    trace_.record(job.id, obs::TraceEvent::kCancel);
+    if (job.sampled)
+      trace_.record_always(job.id, obs::TraceEvent::kCancel);
   } else {
     class_counters_[cls].expired->inc();
-    trace_.record(job.id, obs::TraceEvent::kRetire);
+    if (job.sampled)
+      trace_.record_always(job.id, obs::TraceEvent::kRetire);
   }
 }
 
@@ -325,8 +348,9 @@ void BatchScheduler::pump_pool() {
   // can still overtake everything waiting here in the scheduler queue.
   while (!queue_.empty() && prefill_->pending() < prefill_->slots()) {
     auto it = pick_queued();
-    trace_.record(it->id, obs::TraceEvent::kQueueAdmit,
-                  effective_class(*it));
+    if (it->sampled)
+      trace_.record_always(it->id, obs::TraceEvent::kQueueAdmit,
+                           effective_class(*it));
     PrefillJob job = std::move(*it);
     queue_.erase(it);
     prefill_->submit(std::move(job));
@@ -339,42 +363,94 @@ void BatchScheduler::install(index_t row, PrefillJob&& job) {
   slot.id = job.id;
   slot.budget = job.budget;  // resolved at submit, matches the reserve
   slot.sampling = job.request.sampling;
-  slot.rng.reseed(job.request.sampling.seed);
-  slot.tokens = std::move(job.tokens);  // warm, empty, reserved at submit
+  slot.tokens = std::move(job.tokens);  // warm; the replay window on resume
   slot.submit_tick = job.submit_tick;
-  slot.admit_tick = ticks_;
   slot.priority = job.request.priority;
   slot.deadline_tick = job.request.deadline_tick;
-  slot.first_token_tick = -1;
   slot.on_token = std::move(job.request.on_token);
+  // The request itself stays with the slot so a preemption can requeue
+  // the job wholesale (preempt()).
+  slot.request = std::move(job.request);
+  slot.sampled = job.sampled;
   slot.submit_ns = job.submit_ns;
-  slot.admit_ns = obs::trace_enabled() ? obs::now_ns() : 0;
-  slot.prefill_ns = (job.prefill_start_ns > 0 && job.prefill_end_ns > 0)
-                        ? job.prefill_end_ns - job.prefill_start_ns
-                        : 0;
-  slot.first_token_ns = 0;
-  trace_.record(slot.id, obs::TraceEvent::kCommit, row);
+  if (job.resume) {
+    // Re-admission after preemption: restore the decode exactly where it
+    // stopped — the Rng mid-stream, the decoded tokens armed for replay
+    // by the step loop, and the ORIGINAL admission / first-token stamps,
+    // so the result differs from an unpreempted run only in finish_tick.
+    // Queue-wait samples are NOT re-recorded.
+    slot.rng = job.resume_rng;
+    slot.replay_pos = 0;
+    slot.replay_len = static_cast<index_t>(slot.tokens.size());
+    slot.admit_tick = job.resume_admit_tick;
+    slot.first_token_tick = job.resume_first_token_tick;
+    slot.admit_ns = job.resume_admit_ns;
+    slot.first_token_ns = job.resume_first_token_ns;
+    slot.prefill_ns = job.resume_prefill_ns;
+  } else {
+    slot.rng.reseed(slot.sampling.seed);
+    slot.replay_pos = 0;
+    slot.replay_len = 0;
+    slot.admit_tick = ticks_;
+    slot.first_token_tick = -1;
+    slot.admit_ns = slot.sampled ? obs::now_ns() : 0;
+    slot.prefill_ns = (job.prefill_start_ns > 0 && job.prefill_end_ns > 0)
+                          ? job.prefill_end_ns - job.prefill_start_ns
+                          : 0;
+    slot.first_token_ns = 0;
+    queue_wait_ring_[static_cast<std::size_t>(
+                         static_cast<index_t>(slot.priority))]
+        .record(static_cast<double>(ticks_ - slot.submit_tick));
+    queue_wait_hist_->observe(ticks_ - slot.submit_tick);
+  }
+  if (slot.sampled)
+    trace_.record_always(slot.id, obs::TraceEvent::kCommit, row);
   feed_[static_cast<std::size_t>(row)] = config_.bos;
   ++live_rows_;
   live_rows_gauge_->set(static_cast<double>(live_rows_));
-  queue_wait_ring_[static_cast<std::size_t>(
-                       static_cast<index_t>(slot.priority))]
-      .record(static_cast<double>(ticks_ - slot.submit_tick));
-  queue_wait_hist_->observe(ticks_ - slot.submit_tick);
 }
 
 void BatchScheduler::admit_sync() {
   // Synchronous admission runs the prefill on the serving thread:
   // prime_row = prime_compute + commit_row, the same code path the async
   // pool splits across threads.  The queue is drained best-class-first.
+  //
+  // PR 10: each admission first probes the session's prefix cache — a hit
+  // maps the already-committed shared cross-K/V pages into the row
+  // (bit-identical to a cold prime, zero compute, zero fresh pages) and a
+  // miss gates on the page pool actually covering the commit: the cross
+  // pages plus the first self page, counting what evicting cached
+  // prefixes could reclaim.  An admission that does not fit leaves the
+  // pick queued (head-of-line by design — it IS the best effective
+  // class); a drained batch always fits, because the session validates
+  // pool_pages covers one worst-case row.
   while (!queue_.empty() && !free_rows_.empty()) {
     const index_t row = free_rows_.back();
     auto it = pick_queued();
-    trace_.record(it->id, obs::TraceEvent::kQueueAdmit,
-                  effective_class(*it));
+    if (session_.try_commit_row_from_cache(row, it->request.src_ids,
+                                           it->request.src_length)) {
+      if (it->sampled) {
+        trace_.record_always(it->id, obs::TraceEvent::kQueueAdmit,
+                             effective_class(*it));
+        trace_.record_always(it->id, obs::TraceEvent::kPrefixHit, row);
+      }
+      PrefillJob job = std::move(*it);
+      queue_.erase(it);
+      free_rows_.pop_back();
+      install(row, std::move(job));
+      continue;
+    }
+    const index_t ts =
+        it->request.src_ids.dim(it->request.src_ids.rank() - 1);
+    if (session_.free_pages() + session_.reclaimable_pages() <
+        session_.cross_pages_for(ts) + 1)
+      break;
+    if (it->sampled)
+      trace_.record_always(it->id, obs::TraceEvent::kQueueAdmit,
+                           effective_class(*it));
     PrefillJob job = std::move(*it);
     queue_.erase(it);
-    const bool tracing = obs::trace_enabled();
+    const bool tracing = job.sampled;
     if (tracing) {
       job.prefill_start_ns = obs::now_ns();
       trace_.record_always(job.id, obs::TraceEvent::kPrefillStart);
@@ -447,6 +523,9 @@ void BatchScheduler::admit_async() {
             ticks_ >= f.job.request.deadline_tick);
   };
   const auto resolve_doomed = [this](PrefillPool::Finished&& f) {
+    // A cache-hit staging owns refcounts on shared prefix pages; hand
+    // them back before the slot is reused (no-op for cold prefills).
+    session_.release_staged_prefix(prefill_->staging_mut(f.slot));
     prefill_->release(f.slot);  // a doomed job must never hold a slot
     if (pool_cancelled_.erase(f.job.id) > 0)
       resolve_unadmitted(std::move(f.job), FinishReason::kCancelled);
@@ -456,19 +535,48 @@ void BatchScheduler::admit_async() {
       resolve_unadmitted(std::move(f.job), FinishReason::kDeadline);
     pump_pool();  // the freed staging slot can start the next prefill
   };
+  // The held prefill (page gate, below) can go doomed while waiting —
+  // cancellations and deadlines must not leak it.
+  if (has_held_ && doomed(held_fin_)) {
+    has_held_ = false;
+    resolve_doomed(std::move(held_fin_));
+  }
   while (prefill_->try_take_if(doomed, fin)) resolve_doomed(std::move(fin));
 
-  // Drain successful prefills into free rows: each admission is one
-  // commit_row K/V copy plus slot bookkeeping — no heap allocation, no
-  // waiting (a prefill still computing is simply not ready this tick).
-  while (!free_rows_.empty() && prefill_->try_take(fin)) {
+  // Drain successful prefills into free rows, the held one first (it
+  // arrived earliest and still owns its staging slot): each admission is
+  // one commit_row K/V copy plus slot bookkeeping — no heap allocation,
+  // no waiting (a prefill still computing is simply not ready this
+  // tick).  PR 10: each commit is gated on the page pool covering it —
+  // the cross pages for a cold prefill (none for a cache hit: those
+  // pages are already resident and shared) plus the first self page,
+  // counting reclaimable cached prefixes.  A prefill that does not fit
+  // is HELD — it counts in queued() and blocks idle(), and commits as
+  // soon as retirements or preemptions free pages.
+  while (!free_rows_.empty()) {
+    if (has_held_) {
+      fin = std::move(held_fin_);
+      has_held_ = false;
+    } else if (!prefill_->try_take(fin)) {
+      break;
+    }
     if (doomed(fin)) {  // finished after the sweep above — same path
       resolve_doomed(std::move(fin));
       continue;
     }
+    const runtime::PrefillStaging& st = prefill_->staging(fin.slot);
+    const index_t needed =
+        (st.from_cache ? 0 : session_.cross_pages_for(st.ts)) + 1;
+    if (session_.free_pages() + session_.reclaimable_pages() < needed) {
+      held_fin_ = std::move(fin);
+      has_held_ = true;
+      break;
+    }
     const index_t row = free_rows_.back();
     free_rows_.pop_back();
-    session_.commit_row(row, prefill_->staging(fin.slot));
+    if (st.from_cache && fin.job.sampled)
+      trace_.record_always(fin.job.id, obs::TraceEvent::kPrefixHit, row);
+    session_.commit_row(row, prefill_->staging_mut(fin.slot));
     prefill_->release(fin.slot);
     install(row, std::move(fin.job));
     pump_pool();
@@ -504,6 +612,16 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
     }
     if (slot.first_token_ns > 0)
       result.phases.first_token_ns = slot.first_token_ns - slot.submit_ns;
+    // Per-class phase histograms (µs): submit_ns > 0 means this request
+    // was trace-sampled, so the phases above are populated — fold them
+    // into the registry so pollers see the distribution without holding
+    // every result.
+    const ClassCounters& cc = class_counters_[cls];
+    cc.queue_us->observe(result.phases.queue_ns / 1000);
+    cc.prefill_us->observe(result.phases.prefill_ns / 1000);
+    if (result.phases.first_token_ns > 0)
+      cc.first_token_us->observe(result.phases.first_token_ns / 1000);
+    cc.decode_us->observe(result.phases.decode_ns / 1000);
   }
   latency_ring_.record(static_cast<double>(ticks_ - slot.submit_tick));
   latency_hist_->observe(ticks_ - slot.submit_tick);
@@ -512,21 +630,27 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   switch (reason) {
     case FinishReason::kCancelled:
       class_counters_[cls].cancelled->inc();
-      trace_.record(slot.id, obs::TraceEvent::kCancel, row);
+      if (slot.sampled)
+        trace_.record_always(slot.id, obs::TraceEvent::kCancel, row);
       break;
     case FinishReason::kDeadline:
       class_counters_[cls].expired->inc();
-      trace_.record(slot.id, obs::TraceEvent::kRetire, row);
+      if (slot.sampled)
+        trace_.record_always(slot.id, obs::TraceEvent::kRetire, row);
       break;
     default:
       class_counters_[cls].completed->inc();
-      trace_.record(slot.id, obs::TraceEvent::kRetire, row);
+      if (slot.sampled)
+        trace_.record_always(slot.id, obs::TraceEvent::kRetire, row);
       break;
   }
 
   slot.live = false;
   slot.id = -1;
   slot.on_token = nullptr;
+  // Drop the retired request's source tensor now (deallocation only —
+  // the steady-state contract counts allocations, not frees).
+  slot.request = Request();
   // Park exactly once: the freed row rides the batch gemm pinned at ring
   // position 0 (output ignored) until its next admission — no per-tick
   // reset needed, and its ring can never exhaust.
@@ -535,6 +659,68 @@ void BatchScheduler::retire(index_t row, FinishReason reason) {
   free_rows_.push_back(row);
   --live_rows_;
   live_rows_gauge_->set(static_cast<double>(live_rows_));
+}
+
+index_t BatchScheduler::pick_victim() const {
+  // The worst static priority class loses; within it the youngest
+  // admission (max admit_tick) loses first — it has the least decode to
+  // replay.  Static class, not effective: aging governs admission order,
+  // never a live row's claim on its pages.
+  index_t victim = -1;
+  index_t victim_cls = -1;
+  index_t victim_admit = -1;
+  for (index_t row = 0; row < static_cast<index_t>(slots_.size());
+       ++row) {
+    const Slot& slot = slots_[static_cast<std::size_t>(row)];
+    if (!slot.live) continue;
+    const auto cls = static_cast<index_t>(slot.priority);
+    if (cls > victim_cls ||
+        (cls == victim_cls && slot.admit_tick > victim_admit)) {
+      victim = row;
+      victim_cls = cls;
+      victim_admit = slot.admit_tick;
+    }
+  }
+  return victim;
+}
+
+void BatchScheduler::preempt(index_t row) {
+  Slot& slot = slots_[static_cast<std::size_t>(row)];
+  // Rebuild the admission job from the slot: the request (callback
+  // included), the tokens decoded so far, the Rng mid-stream, and the
+  // original stamps — then requeue it at the FRONT, so the victim
+  // re-admits before anything submitted after it.  Its id stays in
+  // inflight_ids_ (still unresolved, just back in the queue) and its
+  // FinishReason is untouched.  Allocates (deque growth) — preemption is
+  // a rare pressure event, like submit.
+  PrefillJob job;
+  job.id = slot.id;
+  job.submit_tick = slot.submit_tick;
+  job.budget = slot.budget;
+  slot.request.on_token = std::move(slot.on_token);
+  job.request = std::move(slot.request);
+  job.tokens = std::move(slot.tokens);
+  job.submit_ns = slot.submit_ns;
+  job.sampled = slot.sampled;
+  job.resume = true;
+  job.resume_rng = slot.rng;
+  job.resume_admit_tick = slot.admit_tick;
+  job.resume_first_token_tick = slot.first_token_tick;
+  job.resume_admit_ns = slot.admit_ns;
+  job.resume_first_token_ns = slot.first_token_ns;
+  job.resume_prefill_ns = slot.prefill_ns;
+  preempted_counter_->inc();
+  if (slot.sampled)
+    trace_.record_always(slot.id, obs::TraceEvent::kPreempt, row);
+  slot.live = false;
+  slot.id = -1;
+  slot.on_token = nullptr;
+  session_.reset_row(row);  // releases every page the row mapped
+  feed_[static_cast<std::size_t>(row)] = config_.bos;
+  free_rows_.push_back(row);
+  --live_rows_;
+  live_rows_gauge_->set(static_cast<double>(live_rows_));
+  queue_.push_front(std::move(job));
 }
 
 index_t BatchScheduler::step() {
@@ -547,10 +733,33 @@ index_t BatchScheduler::step() {
   else
     admit_sync();
 
+  // Page-pressure preemption (PR 10): before stepping, every live row
+  // must hold a self-KV page for its next position.  When the pool is
+  // dry even after reclaiming cached prefixes, evict the victim and
+  // retry — each preemption frees a live row's pages, and in the worst
+  // case the needing row evicts itself, so the loop always terminates.
+  for (index_t row = 0; row < static_cast<index_t>(slots_.size());
+       ++row) {
+    Slot& slot = slots_[static_cast<std::size_t>(row)];
+    if (!slot.live) continue;
+    while (slot.live && !session_.ensure_row_step_capacity(row)) {
+      const index_t victim = pick_victim();
+      QDNN_CHECK(victim >= 0,
+                 "BatchScheduler: page pool dry with no live row to "
+                 "preempt");
+      preempt(victim);
+    }
+  }
+
   if (live_rows_ == 0) {
     ++ticks_;  // idle tick: time passes for arrival traces
     ticks_counter_->inc();
     queue_depth_gauge_->set(static_cast<double>(queued()));
+    free_pages_gauge_->set(static_cast<double>(session_.free_pages()));
+    used_pages_gauge_->set(static_cast<double>(session_.total_pages() -
+                                               session_.free_pages()));
+    prefix_entries_gauge_->set(
+        static_cast<double>(session_.prefix_cache().live_entries()));
     return 0;
   }
 
@@ -562,12 +771,22 @@ index_t BatchScheduler::step() {
   ticks_counter_->inc();
   stepped_ticks_counter_->inc();
   occupancy_sum_counter_->add(stepped);
-  const bool tracing = obs::trace_enabled();
 
   for (index_t row = 0;
        row < static_cast<index_t>(slots_.size()); ++row) {
     Slot& slot = slots_[static_cast<std::size_t>(row)];
     if (!slot.live) continue;
+    if (slot.replay_pos < slot.replay_len) {
+      // Preemption replay: this position's token was already decoded
+      // (and streamed, and counted) before the row was evicted — feed it
+      // back verbatim: no sampling, no Rng draw, no stream, no append,
+      // no budget check.  The session just rebuilt the same K/V bits, so
+      // when the window drains, live decoding resumes exactly where it
+      // stopped.
+      feed_[static_cast<std::size_t>(row)] =
+          slot.tokens[static_cast<std::size_t>(slot.replay_pos++)];
+      continue;
+    }
     // Greedy rides the session's built-in argmax (identical first-max
     // tie-breaking); stochastic heads sample from the row's logits with
     // the request's own stream.
@@ -586,7 +805,7 @@ index_t BatchScheduler::step() {
     feed_[static_cast<std::size_t>(row)] = token;
     if (slot.first_token_tick < 0) {
       slot.first_token_tick = ticks_;
-      if (tracing) {
+      if (slot.sampled) {
         slot.first_token_ns = obs::now_ns();
         trace_.record_always(slot.id, obs::TraceEvent::kFirstToken, token);
       }
@@ -594,7 +813,7 @@ index_t BatchScheduler::step() {
                      static_cast<index_t>(slot.priority))]
           .record(static_cast<double>(ticks_ - slot.submit_tick));
       ttft_hist_->observe(ticks_ - slot.submit_tick);
-    } else if (tracing) {
+    } else if (slot.sampled) {
       // Per-token step mark: arg is the token's 0-based output index.
       trace_.record_always(
           slot.id, obs::TraceEvent::kStep,
@@ -624,12 +843,19 @@ index_t BatchScheduler::step() {
   tick_ring_.record(tick_ms);
   tick_us_hist_->observe(static_cast<long long>(tick_ms * 1000.0));
   queue_depth_gauge_->set(static_cast<double>(queued()));
+  free_pages_gauge_->set(static_cast<double>(session_.free_pages()));
+  used_pages_gauge_->set(static_cast<double>(session_.total_pages() -
+                                             session_.free_pages()));
+  prefix_entries_gauge_->set(
+      static_cast<double>(session_.prefix_cache().live_entries()));
   return stepped;
 }
 
 bool BatchScheduler::wait_for_prefill() const {
-  if (!prefill_ || live_rows_ > 0 || prefill_->pending() == 0 ||
-      prefill_->ready() > 0)
+  // A held finished prefill (page gate) commits the moment pages free —
+  // never block on UNRELATED prefill compute while it waits.
+  if (!prefill_ || has_held_ || live_rows_ > 0 ||
+      prefill_->pending() == 0 || prefill_->ready() > 0)
     return false;
   // A queued job the pool has room for would be fed by the next step();
   // a queued job already past its deadline would be resolved by it.
@@ -704,6 +930,14 @@ SchedulerStats BatchScheduler::stats() const {
     cls.ttft_p99 = ring_percentile(ttft_ring_[c].buf, 0.99);
     s.per_class[c] = cls;
   }
+  const runtime::PrefixCache& pc = session_.prefix_cache();
+  s.prefix_hits = pc.hits();
+  s.prefix_misses = pc.misses();
+  s.prefix_insertions = pc.insertions();
+  s.prefix_evictions = pc.evictions();
+  s.preemptions = static_cast<index_t>(preempted_counter_->value());
+  s.free_pages = session_.free_pages();
+  s.total_pages = session_.total_pages();
   return s;
 }
 

@@ -85,6 +85,27 @@
 //     growth / result hand-off), and so do the resolution paths for
 //     shed/cancelled/errored requests (error strings).
 //
+// Paged KV + prefix reuse (PR 10): the session's KV memory is a page
+// pool, so admission gates on ACTUAL free pages (plus what evicting
+// cached prefixes could reclaim), not on the dense worst case — with
+// config.session.pool_pages below the dense bound the scheduler
+// oversubscribes max_batch with short/shared-prefix requests.  Admission
+// first probes the session's prefix cache (sync:
+// try_commit_row_from_cache on the serving thread; async: the pool
+// workers probe before computing), and a hit skips the entire prefill —
+// bit-identical to the cold prime, because the shared pages hold the
+// cold prime's bits.  When a decode step finds the pool dry (a live row
+// needs its next self-KV page and ensure_row_step_capacity fails), the
+// scheduler PREEMPTS: the lowest-priority-class, youngest-admitted live
+// row is evicted — its pages released, its job (tokens decoded so far,
+// Rng state, original admission/first-token stamps) requeued at the
+// FRONT of the admission queue — and at re-admission the scheduler
+// re-primes the row (usually a prefix-cache hit) and REPLAYS the
+// decoded tokens through the session without sampling, streaming or
+// appending, so the resumed decode is bit-identical to an unpreempted
+// run and every id still resolves exactly once with its FinishReason
+// untouched.
+//
 // The serving loop stays single-threaded: callers pump step()/cancel()
 // and drain take_results() from one thread; only the prefill compute
 // moves to the pool.  serve::Server (serve/server.h) wraps N schedulers
@@ -181,6 +202,16 @@ struct SchedulerStats {
   // serving thread.
   index_t tick_samples = 0;
   double tick_mean_ms = 0.0, tick_p99_ms = 0.0;
+  // Paged KV / prefix-cache counters (PR 10).  The prefix counts come
+  // from the session's cache (hits include the pool workers' probes);
+  // preemptions counts rows evicted under page pressure and replayed.
+  long long prefix_hits = 0;
+  long long prefix_misses = 0;
+  long long prefix_insertions = 0;
+  long long prefix_evictions = 0;
+  index_t preemptions = 0;
+  index_t free_pages = 0;
+  index_t total_pages = 0;
   std::array<SchedulerClassStats, kPriorityClasses> per_class;
 };
 
@@ -238,7 +269,7 @@ class BatchScheduler {
   void run();
 
   bool idle() const {
-    return live_rows_ == 0 && queue_.empty() &&
+    return live_rows_ == 0 && queue_.empty() && !has_held_ &&
            (!prefill_ || prefill_->pending() == 0);
   }
   // Results finished and not yet taken — a cheap guard so drivers can
@@ -251,10 +282,11 @@ class BatchScheduler {
   // reserved one, off the tick path).
   std::vector<RequestResult> take_results();
 
-  // Requests submitted and not yet admitted (sync queue + async pool).
+  // Requests submitted and not yet admitted (sync queue + async pool +
+  // a finished prefill held back waiting for KV pages).
   index_t queued() const {
     return static_cast<index_t>(queue_.size()) +
-           (prefill_ ? prefill_->pending() : 0);
+           (prefill_ ? prefill_->pending() : 0) + (has_held_ ? 1 : 0);
   }
   index_t live_rows() const { return live_rows_; }
   index_t ticks() const { return ticks_; }
@@ -293,8 +325,19 @@ class BatchScheduler {
     index_t deadline_tick = 0;
     index_t first_token_tick = -1;
     std::function<void(const StreamEvent&)> on_token;
-    // Wall-clock trace timestamps (0 = tracing off at that edge); turned
-    // into RequestResult::phases at retirement.
+    // The request itself stays with the slot (source ids, sampling,
+    // deadline) so a preemption can requeue the job wholesale.
+    Request request;
+    // Replay window after a preempted re-admission: while replay_pos <
+    // replay_len the step loop FEEDS tokens[replay_pos] instead of
+    // sampling — no Rng draw, no stream, no append — rebuilding the KV
+    // state bit-identically before live decoding resumes.
+    index_t replay_pos = 0;
+    index_t replay_len = 0;
+    // Trace-sampling decision carried from the job (see PrefillJob).
+    bool sampled = false;
+    // Wall-clock trace timestamps (0 = not trace-sampled); turned into
+    // RequestResult::phases at retirement.
     long long submit_ns = 0;
     long long admit_ns = 0;
     long long prefill_ns = 0;  // duration, stamped by the prefill thread
@@ -332,6 +375,12 @@ class BatchScheduler {
   void resolve_failed(PrefillJob&& job, std::exception_ptr error);
   void install(index_t row, PrefillJob&& job);
   void retire(index_t row, FinishReason reason);
+  // Page-pressure preemption (PR 10): the victim is the live row with the
+  // WORST static priority class, youngest admit_tick breaking ties.
+  index_t pick_victim() const;
+  // Evicts `row`: releases its KV pages, requeues its job (tokens so
+  // far, Rng, original stamps) at the FRONT of the admission queue.
+  void preempt(index_t row);
 
   BatchSchedulerConfig config_;
   index_t vocab_ = 0;
@@ -378,6 +427,12 @@ class BatchScheduler {
     obs::Counter* expired = nullptr;
     obs::Counter* shed = nullptr;
     obs::Counter* errored = nullptr;
+    // Per-class phase histograms (µs, from RequestResult::phases):
+    // populated only for trace-sampled requests (obs::trace_sample()).
+    obs::Histogram* queue_us = nullptr;
+    obs::Histogram* prefill_us = nullptr;
+    obs::Histogram* first_token_us = nullptr;
+    obs::Histogram* decode_us = nullptr;
   };
   std::array<ClassCounters, kPriorityClasses> class_counters_{};
   obs::Counter* ticks_counter_ = nullptr;
@@ -390,10 +445,25 @@ class BatchScheduler {
   obs::Histogram* ttft_hist_ = nullptr;        // ticks, classes pooled
   obs::Histogram* latency_hist_ = nullptr;     // ticks
   obs::Histogram* tick_us_hist_ = nullptr;     // stepped-tick wall µs
+  // --- paged KV / prefix cache (PR 10) ---
+  obs::Counter* preempted_counter_ = nullptr;
+  obs::Gauge* free_pages_gauge_ = nullptr;
+  obs::Gauge* used_pages_gauge_ = nullptr;
+  obs::Gauge* prefix_entries_gauge_ = nullptr;
 
   index_t next_id_ = 0;
   index_t ticks_ = 0;
   index_t live_rows_ = 0;
+  // Trace-sampling sequence: every Nth submit (obs::trace_sample()) is
+  // sampled; serving-thread only.
+  index_t trace_seq_ = 0;
+
+  // Async admission, page gate: a finished prefill whose commit would
+  // need more pages than free + reclaimable is HELD here (still owning
+  // its staging slot) until pages free up — it counts in queued() and
+  // blocks idle(), so every id still resolves.
+  PrefillPool::Finished held_fin_;
+  bool has_held_ = false;
 
   // Declared after session_ so it joins its workers (which touch the
   // session's staging API) before the session unbinds.

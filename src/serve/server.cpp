@@ -288,6 +288,14 @@ ServerStats Server::stats() const {
     s.totals.ticks += ps.ticks;
     s.totals.stepped_ticks += ps.stepped_ticks;
     s.totals.total_tokens += ps.total_tokens;
+    // KV-paging counters sum across shards (each shard owns its own pool).
+    s.totals.prefix_hits += ps.prefix_hits;
+    s.totals.prefix_misses += ps.prefix_misses;
+    s.totals.prefix_insertions += ps.prefix_insertions;
+    s.totals.prefix_evictions += ps.prefix_evictions;
+    s.totals.preemptions += ps.preemptions;
+    s.totals.free_pages += ps.free_pages;
+    s.totals.total_pages += ps.total_pages;
     occupancy_weighted +=
         ps.mean_occupancy * static_cast<double>(ps.stepped_ticks);
     // Latency/tick percentiles roll up as worst-shard (the conservative

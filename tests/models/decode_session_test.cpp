@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "decode_test_util.h"
@@ -338,16 +339,37 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
   // Manual monolithic driver over manual_model (identical weights).
   const index_t P = config.proj_dim, D = config.d_model;
   const index_t layers = manual_model.num_decoder_layers();
-  std::vector<Tensor> k_self, v_self, k_cross, v_cross;
   // The adapters take per-row ring positions; this lockstep driver keeps
   // all rows at one shared position.
   std::vector<index_t> cur_rows(static_cast<std::size_t>(n), 0);
   const std::vector<index_t> no_lengths;
   Workspace ws;
   const Tensor enc = manual_model.encode(src, {});
+  // Hand-rolled paged KV (the PR 10 bind contract): one pool page per
+  // (row, self/cross) pair — page_tokens a power of two covering both the
+  // step budget and the source — with every layer's K and V slices at
+  // their static offsets inside the page, exactly the session's layout.
+  const index_t pt = 8;  // >= steps and >= ts, power of two
+  const index_t slice = pt * P;
+  const index_t page_floats = layers * 2 * slice;
+  runtime::KvPagePool pool;
+  pool.init(2 * n, page_floats);
+  std::vector<index_t> self_table, cross_table;
+  for (index_t r = 0; r < n; ++r) self_table.push_back(pool.acquire());
+  for (index_t r = 0; r < n; ++r) cross_table.push_back(pool.acquire());
+  const auto paged = [&](const std::vector<index_t>& table,
+                         index_t slice_offset) {
+    PagedKvView view;
+    view.pool = pool.data();
+    view.table = table.data();
+    view.page_floats = page_floats;
+    view.pages_per_row = 1;
+    view.page_tokens = pt;
+    view.slice_offset = slice_offset;
+    return view;
+  };
+  std::vector<Tensor> k_cross, v_cross;  // dense project_kv staging
   for (index_t l = 0; l < layers; ++l) {
-    k_self.emplace_back(Shape{n, steps, P});
-    v_self.emplace_back(Shape{n, steps, P});
     k_cross.emplace_back(Shape{n, ts, P});
     v_cross.emplace_back(Shape{n, ts, P});
     DecoderLayer& layer = manual_model.decoder_layer(l);
@@ -355,10 +377,23 @@ TEST(DecodeSession, MonolithicForwardIntoMatchesFlattenedStages) {
     layer.cross_attention().project_kv(
         ConstTensorView(Shape{n * ts, D}, enc.data()), n, ts,
         TensorView(k_cross.back()), TensorView(v_cross.back()), ws);
-    layer.self_step().bind(TensorView(k_self.back()),
-                           TensorView(v_self.back()), &cur_rows);
-    layer.cross_step().bind(ConstTensorView(k_cross.back()),
-                            ConstTensorView(v_cross.back()), &no_lengths);
+    // Commit the staged dense K/V into the cross pages (the session's
+    // commit_row copy, inlined for one page per row).
+    for (index_t r = 0; r < n; ++r) {
+      float* page = pool.page_data(cross_table[static_cast<std::size_t>(r)]);
+      for (index_t j = 0; j < ts; ++j) {
+        const float* ks = k_cross.back().data() + (r * ts + j) * P;
+        const float* vs = v_cross.back().data() + (r * ts + j) * P;
+        std::copy(ks, ks + P, page + (2 * l) * slice + j * P);
+        std::copy(vs, vs + P, page + (2 * l + 1) * slice + j * P);
+      }
+    }
+    layer.self_step().bind(paged(self_table, (2 * l) * slice),
+                           paged(self_table, (2 * l + 1) * slice), steps,
+                           &cur_rows);
+    layer.cross_step().bind(paged(cross_table, (2 * l) * slice),
+                            paged(cross_table, (2 * l + 1) * slice), ts,
+                            &no_lengths);
   }
 
   std::vector<index_t> feed(static_cast<std::size_t>(n), 1);  // bos
@@ -404,10 +439,16 @@ TEST(DecodeSession, StagePlanAndFootprintIntrospection) {
   // Per layer: self_step, add, ln1, cross_step, add, ln2, fc1, relu, fc2,
   // add, ln3 = 11 stages; plus the output projection.
   EXPECT_EQ(session.num_stages(), 11 * config.n_layers + 1);
-  // KV floats: layers × 2 × (batch·steps + batch·max_src) × proj_dim,
-  // with max_src defaulting to the model's max_len.
-  const index_t expected =
-      config.n_layers * 2 * (2 * 8 + 2 * config.max_len) * config.proj_dim;
+  // Paged KV floats (PR 10): (pool pages + the sentinel) × page_floats,
+  // where page_floats = layers × 2 × page_tokens × proj_dim and the
+  // default pool covers the dense worst case — max_batch rows at
+  // ceil(max_steps/pt) self + ceil(max_src/pt) cross pages each, max_src
+  // defaulting to the model's max_len.
+  const index_t pt = 16;  // DecodeSessionConfig default page_tokens
+  const index_t ppr =
+      (8 + pt - 1) / pt + (config.max_len + pt - 1) / pt;
+  const index_t page_floats = config.n_layers * 2 * pt * config.proj_dim;
+  const index_t expected = (2 * ppr + 1) * page_floats;
   EXPECT_EQ(session.kv_cache_floats(), expected);
   EXPECT_GT(session.workspace_floats(), 0);
 }
@@ -586,8 +627,12 @@ TEST(DecodeSession, MaxSrcShrinksCrossCachesAndBoundsPrime) {
   sc.max_src = 5;
   DecodeSession session(model, sc);
   const TransformerConfig& mc = model.config();
+  // Paged footprint: max_src=5 still needs one cross page per row (pages
+  // are 16 tokens), so the shrink shows up as fewer PAGES only once
+  // max_src crosses a page boundary — here both geometries fit one page
+  // and the footprint is (pool pages + sentinel) × page_floats.
   EXPECT_EQ(session.kv_cache_floats(),
-            mc.n_layers * 2 * (2 * 8 + 2 * 5) * mc.proj_dim);
+            (2 * (1 + 1) + 1) * (mc.n_layers * 2 * 16 * mc.proj_dim));
 
   // Sources up to max_src serve bit-identically; longer ones are
   // rejected instead of overrunning the shrunken caches.

@@ -646,6 +646,61 @@ TEST(BatchScheduler, SteadyStateTickZeroHeapAllocationsWithTracing) {
   EXPECT_EQ(scheduler.take_results().size(), 3u);
 }
 
+TEST(BatchScheduler, SteadyStateZeroAllocWithPagingPrefixCacheAndSampling) {
+  // PR 10 composition: small pages (so the measured ticks ACQUIRE self
+  // pages mid-decode), a live prefix cache holding pinned entries, and
+  // trace sampling (every 2nd request records its lifecycle).  The
+  // steady-state tick must still perform zero heap allocations — page
+  // acquisition works the pool's preallocated free list, the sampling
+  // decision is a counter compare, and sampled records land in the
+  // preallocated trace ring.
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::set_trace_sample(2);
+  models::Transformer model(qdnn::testing::tiny_transformer_config());
+  model.set_training(false);
+  serve::BatchSchedulerConfig config;
+  config.session.max_batch = 3;
+  config.session.max_steps = 16;
+  config.session.page_tokens = 4;  // page boundary every 4 steps
+  serve::BatchScheduler scheduler(model, config);
+
+  // Warm the prefix cache: one request to completion publishes its
+  // committed cross pages under the source hash.
+  {
+    serve::Request req;
+    req.src_ids = random_src_ids(1, 5, 20, 120);
+    req.max_new_tokens = 16;
+    scheduler.submit(std::move(req));
+    scheduler.run();
+    scheduler.take_results();
+  }
+  ASSERT_GT(scheduler.session().prefix_cache().live_entries(), 0);
+
+  for (index_t i = 0; i < 3; ++i) {
+    serve::Request req;
+    // Row 0 re-uses the cached source (admission takes the cache hit
+    // path); the others prime cold.
+    req.src_ids = random_src_ids(1, 5, 20, 120 + i);
+    req.max_new_tokens = 16;
+    scheduler.submit(std::move(req));
+  }
+  scheduler.step();
+  scheduler.step();
+  ASSERT_EQ(scheduler.live_rows(), 3);
+  ASSERT_GT(scheduler.session().prefix_cache().hits(), 0);
+
+  const long long before = g_live_allocs.load();
+  for (int i = 0; i < 8; ++i) scheduler.step();
+  const long long after = g_live_allocs.load();
+  EXPECT_EQ(after - before, 0)
+      << "paged+cached+sampled steady-state tick performed "
+      << (after - before) << " heap allocations";
+  scheduler.run();
+  EXPECT_EQ(scheduler.take_results().size(), 3u);
+  obs::set_trace_sample(1);
+}
+
 TEST(BatchScheduler, AsyncRetireAdmitCycleZeroHeapAllocations) {
   // The prefill/decode-split headline regression: with prefills computed
   // ahead by the pool, a scheduler tick that ADMITS (commit_row: a pure

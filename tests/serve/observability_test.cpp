@@ -329,5 +329,93 @@ TEST(Observability, ServerExportsPerShardInstrumentsAndChecksums) {
   EXPECT_EQ(tokens, all.totals.total_tokens);
 }
 
+TEST(Observability, PerClassPhaseHistogramsObserveSampledRetirements) {
+  // RequestResult::phases feed the per-class wall-clock histograms at
+  // retirement: each retired (sampled) request lands one observation in
+  // its class's queue/prefill/decode histograms, and an untouched class
+  // stays empty.
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(true);
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 8));
+  for (index_t i = 0; i < 5; ++i) {
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20, 900 + i);
+    req.max_new_tokens = 4;
+    req.priority = (i < 2) ? Priority::kHigh : Priority::kNormal;
+    scheduler.submit(std::move(req));
+  }
+  scheduler.run();
+  ASSERT_EQ(scheduler.take_results().size(), 5u);
+
+  const obs::MetricsSnapshot snap = scheduler.metrics().snapshot();
+  auto hist_count = [&](const std::string& name) -> long long {
+    for (const auto& h : snap.histograms)
+      if (h.name == name) return h.count;
+    ADD_FAILURE() << "histogram '" << name << "' not in snapshot";
+    return -1;
+  };
+  EXPECT_EQ(hist_count("scheduler.high.queue_us"), 2);
+  EXPECT_EQ(hist_count("scheduler.high.prefill_us"), 2);
+  EXPECT_EQ(hist_count("scheduler.high.decode_us"), 2);
+  EXPECT_EQ(hist_count("scheduler.normal.queue_us"), 3);
+  EXPECT_EQ(hist_count("scheduler.normal.prefill_us"), 3);
+  EXPECT_EQ(hist_count("scheduler.normal.decode_us"), 3);
+  // first_token_us only observes requests that emitted a token, so it
+  // is bounded by the class count rather than pinned to it.
+  EXPECT_LE(hist_count("scheduler.high.first_token_us"), 2);
+  EXPECT_EQ(hist_count("scheduler.low.queue_us"), 0);
+  EXPECT_EQ(hist_count("scheduler.low.decode_us"), 0);
+}
+
+TEST(Observability, TraceSamplingRecordsEveryNthRequest) {
+  // QDNN_TRACE_SAMPLE=3 semantics: the sampling decision is made once
+  // at submit (requests 0, 3, ... in submit order), sampled requests
+  // get the full lifecycle (phases + timeline records), unsampled ones
+  // stay at zero phases and never appear in the trace ring.
+  TraceFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::set_trace_sample(3);
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+  BatchScheduler scheduler(model, scheduler_config(2, 8));
+
+  std::vector<index_t> ids_in_submit_order;
+  std::map<index_t, RequestResult> results;
+  for (index_t i = 0; i < 6; ++i) {
+    Request req;
+    req.src_ids = random_src_ids(1, 4, 20, 950 + i);
+    req.max_new_tokens = 3;
+    ids_in_submit_order.push_back(scheduler.submit(std::move(req)));
+    // One at a time, so the submit order IS the sampling sequence.
+    scheduler.run();
+    for (RequestResult& r : scheduler.take_results())
+      results[r.id] = std::move(r);
+  }
+  ASSERT_EQ(results.size(), 6u);
+
+  std::set<index_t> sampled_ids;
+  for (std::size_t i = 0; i < ids_in_submit_order.size(); ++i) {
+    const RequestResult& r = results.at(ids_in_submit_order[i]);
+    if (i % 3 == 0) {
+      sampled_ids.insert(r.id);
+      EXPECT_GT(r.phases.total_ns, 0) << "sampled request " << i;
+      EXPECT_GT(r.phases.prefill_ns, 0) << "sampled request " << i;
+    } else {
+      EXPECT_EQ(r.phases.total_ns, 0) << "unsampled request " << i;
+      EXPECT_EQ(r.phases.queue_ns, 0) << "unsampled request " << i;
+      EXPECT_EQ(r.phases.prefill_ns, 0) << "unsampled request " << i;
+      EXPECT_EQ(r.phases.first_token_ns, 0) << "unsampled request " << i;
+      EXPECT_EQ(r.phases.decode_ns, 0) << "unsampled request " << i;
+    }
+  }
+  // The trace ring carries ONLY the sampled requests' lifecycles.
+  for (const auto& rec : scheduler.trace().snapshot())
+    EXPECT_TRUE(sampled_ids.count(rec.id))
+        << "unsampled id " << rec.id << " leaked into the trace ring";
+  obs::set_trace_sample(1);
+}
+
 }  // namespace
 }  // namespace qdnn::serve

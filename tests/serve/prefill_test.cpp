@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "decode_test_util.h"
+#include "obs/trace.h"
 #include "serve/scheduler.h"
 
 namespace qdnn::serve {
@@ -302,7 +303,7 @@ TEST(PrefillPool, ComputesOffThreadIntoSlotsAndReportsPending) {
   EXPECT_EQ(pool.pending(), 0);
 
   // The staged K/V commit into a row and decode exactly the solo stream.
-  session.commit_row(0, pool.staging(fin.slot));
+  session.commit_row(0, pool.staging_mut(fin.slot));
   pool.release(fin.slot);
   std::vector<index_t> feed{kBos, kBos};
   std::vector<index_t> got;
@@ -474,6 +475,69 @@ TEST(BatchScheduler, SyncModeHasNoPool) {
   model.set_training(false);
   BatchScheduler scheduler(model, scheduler_config(2, 8, 0));
   EXPECT_EQ(scheduler.prefill_pool(), nullptr);
+}
+
+TEST(PrefillPool, ConcurrentPrefixLookupsFromWorkersAreBitIdentical) {
+  // The prefix cache under concurrency (the TSan target): several pool
+  // workers probe prefix_lookup_into for the SAME handful of sources
+  // while the serving thread commits rows and PUBLISHES those sources —
+  // lookup pins, publish pins and LRU eviction all interleave, with
+  // tracing live so the workers' sampled trace records interleave too.
+  // Every request must still decode bit-identically to its solo
+  // reference, and repeated sources must actually hit the cache.
+  const bool trace_was = obs::trace_enabled();
+  obs::set_trace_enabled(true);
+  const index_t max_steps = 8;
+  Transformer model(tiny_transformer_config());
+  model.set_training(false);
+
+  struct Source {
+    Tensor src;
+    index_t len;
+    std::vector<index_t> reference;
+  };
+  std::vector<Source> sources;
+  for (index_t s = 0; s < 3; ++s) {
+    Source src;
+    src.src = random_src_ids(1, 4 + s, 20, 700 + s);
+    src.len = 3 + s;
+    src.reference = model.greedy_decode_reference(
+        src.src, {src.len}, kBos, kEos, max_steps)[0];
+    sources.push_back(std::move(src));
+  }
+
+  BatchScheduler scheduler(model,
+                           scheduler_config(/*max_batch=*/3, max_steps,
+                                            /*prefill_workers=*/3));
+  std::map<index_t, index_t> id_to_source;
+  for (index_t i = 0; i < 12; ++i) {
+    const Source& s = sources[static_cast<std::size_t>(i % 3)];
+    Request req;
+    req.src_ids = s.src;
+    req.src_length = s.len;
+    req.max_new_tokens = max_steps;
+    id_to_source[scheduler.submit(std::move(req))] = i % 3;
+  }
+  std::map<index_t, std::vector<index_t>> results;
+  while (!scheduler.idle()) {
+    if (scheduler.wait_for_prefill()) continue;
+    scheduler.step();
+    for (RequestResult& r : scheduler.take_results()) {
+      EXPECT_TRUE(results.emplace(r.id, std::move(r.tokens)).second);
+    }
+    ASSERT_LT(scheduler.ticks(), 20000) << "scheduler stuck";
+  }
+  ASSERT_EQ(results.size(), 12u);
+  for (const auto& [id, tokens] : results) {
+    const Source& s =
+        sources[static_cast<std::size_t>(id_to_source.at(id))];
+    EXPECT_EQ(tokens, s.reference);
+  }
+  // 3 distinct sources over 12 requests: at least the resubmissions
+  // AFTER each source's first publish must have hit.
+  EXPECT_GE(scheduler.session().prefix_cache().hits(), 3);
+  EXPECT_LE(scheduler.session().prefix_cache().insertions(), 3);
+  obs::set_trace_enabled(trace_was);
 }
 
 }  // namespace

@@ -186,6 +186,24 @@ TEST(Server, ConstructorValidatesTheReplicaSet) {
     std::vector<Transformer*> mixed{replicas[0].get(), &drifted};
     EXPECT_THROW(Server(mixed, config), std::runtime_error);
   }
+  {
+    // Post-construction weight drift: identical configs (so the config
+    // equality check passes) but one replica's weights were mutated
+    // after construction — only the weight CHECKSUM can catch it, and
+    // the constructor must reject at the edge rather than let shards
+    // route identical requests to different replicas.
+    auto drifting = make_replicas(2);
+    nn::Parameter* p = drifting[1]->parameters().front();
+    const float saved = p->value[0];
+    p->value[0] = saved + 0.5f;
+    EXPECT_THROW(Server(raw(drifting), config), std::runtime_error)
+        << "weight drift with equal configs must fail the checksum gate";
+    // Restoring the weight restores admissibility — the gate keys on
+    // the bits, nothing else.
+    p->value[0] = saved;
+    Server healed(raw(drifting), config);
+    EXPECT_EQ(healed.weight_checksum(0), healed.weight_checksum(1));
+  }
   // After every rejection the replicas are still unbound and serve.
   Server ok(raw(replicas), config);
   Request req;
